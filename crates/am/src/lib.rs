@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Access methods realized as GiST extensions.
+//!
+//! The paper's promise (§1, §12): with concurrency and recovery handled
+//! by the GiST core, "the core DBMS plus GiST can be extended with a new
+//! access method simply by supplying it with a set of pre-specified
+//! methods". Each module here is exactly that — a few hundred lines of
+//! extension code, no locking, logging or latching anywhere:
+//!
+//! - [`btree`] — a B⁺-tree-like index over `i64` keys with inclusive
+//!   range queries (\[HNP95\]'s first example specialization).
+//! - [`strtree`] — the same shape over byte-string keys (prefix and
+//!   range queries), exercising variable-length keys and predicates.
+//! - [`rtree`] — Guttman's R-tree over 2-D rectangles with quadratic
+//!   pick-split and overlap/containment queries.
+//! - [`rdtree`] — an RD-tree ("Russian-doll" tree) over small sets with
+//!   overlap and superset queries.
+
+pub mod btree;
+pub mod rdtree;
+pub mod rtree;
+pub mod strtree;
+
+pub use btree::{BtreeExt, I64Query};
+pub use rdtree::{RdQuery, RdTreeExt};
+pub use rtree::{Rect, RtreeExt, SpatialQuery};
+pub use strtree::{StrQuery, StrTreeExt};

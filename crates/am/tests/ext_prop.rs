@@ -1,0 +1,230 @@
+//! Property tests of the extension-method algebra, for all four access
+//! methods. These are the contracts the core's correctness rests on:
+//!
+//! 1. `union_preds(a, b)` covers both `a` and `b`;
+//! 2. `pred_covers` is reflexive and agrees with `union` (`covers(o, i)`
+//!    ⇔ `union(o, i) == o`);
+//! 3. consistency is monotone under union: if `consistent(p, q)` then
+//!    `consistent(union(p, x), q)`;
+//! 4. a key is consistent with its own `eq_query`, and `key_pred(k)`
+//!    covers `k`;
+//! 5. `pick_split` partitions indices into two non-empty sides;
+//! 6. codecs round-trip;
+//! 7. `penalty(p, k) == 0` when `p` covers `k`.
+
+use proptest::prelude::*;
+
+use gist_am::{BtreeExt, I64Query, RdQuery, RdTreeExt, Rect, RtreeExt, StrQuery, StrTreeExt};
+use gist_core::ext::GistExtension;
+
+// ---------------- B-tree ----------------
+
+fn btree_pred() -> impl Strategy<Value = (i64, i64)> {
+    (any::<i32>(), any::<i32>()).prop_map(|(a, b)| {
+        let (a, b) = (a as i64, b as i64);
+        (a.min(b), a.max(b))
+    })
+}
+
+proptest! {
+    #[test]
+    fn btree_union_covers((a, b) in (btree_pred(), btree_pred())) {
+        let e = BtreeExt;
+        let u = e.union_preds(&a, &b);
+        prop_assert!(e.pred_covers(&u, &a));
+        prop_assert!(e.pred_covers(&u, &b));
+        prop_assert!(e.pred_covers(&a, &a));
+        prop_assert_eq!(e.pred_covers(&a, &b), e.union_preds(&a, &b) == a);
+    }
+
+    #[test]
+    fn btree_consistency_monotone(p in btree_pred(), x in btree_pred(),
+                                  lo in any::<i32>(), hi in any::<i32>()) {
+        let e = BtreeExt;
+        let q = I64Query::range((lo as i64).min(hi as i64), (lo as i64).max(hi as i64));
+        if e.consistent_pred(&p, &q) {
+            prop_assert!(e.consistent_pred(&e.union_preds(&p, &x), &q));
+        }
+    }
+
+    #[test]
+    fn btree_key_laws(k in any::<i64>(), p in btree_pred()) {
+        let e = BtreeExt;
+        prop_assert!(e.consistent_key(&k, &e.eq_query(&k)));
+        prop_assert!(e.pred_covers_key(&e.key_pred(&k), &k));
+        if e.pred_covers_key(&p, &k) {
+            prop_assert_eq!(e.penalty(&p, &k), 0.0);
+        } else {
+            prop_assert!(e.penalty(&p, &k) > 0.0);
+        }
+        let mut buf = Vec::new();
+        e.encode_key(&k, &mut buf);
+        prop_assert_eq!(e.decode_key(&buf), k);
+    }
+
+    #[test]
+    fn btree_pick_split_partitions(keys in prop::collection::vec(any::<i64>(), 2..50)) {
+        let e = BtreeExt;
+        let preds: Vec<(i64, i64)> = keys.iter().map(|k| e.key_pred(k)).collect();
+        let d = e.pick_split(&preds);
+        prop_assert!(!d.left.is_empty());
+        prop_assert!(!d.right.is_empty());
+        let mut all: Vec<usize> = d.left.iter().chain(d.right.iter()).copied().collect();
+        all.sort();
+        prop_assert_eq!(all, (0..preds.len()).collect::<Vec<_>>());
+    }
+}
+
+// ---------------- R-tree ----------------
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..100.0, 0.0f64..100.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #[test]
+    fn rtree_union_covers(a in rect(), b in rect()) {
+        let e = RtreeExt;
+        let u = e.union_preds(&a, &b);
+        prop_assert!(e.pred_covers(&u, &a));
+        prop_assert!(e.pred_covers(&u, &b));
+        prop_assert!(e.pred_covers(&a, &a));
+    }
+
+    #[test]
+    fn rtree_consistency_monotone(p in rect(), x in rect(), w in rect()) {
+        let e = RtreeExt;
+        use gist_am::SpatialQuery;
+        for q in [SpatialQuery::Overlaps(w), SpatialQuery::Within(w), SpatialQuery::Equals(w)] {
+            if e.consistent_pred(&p, &q) {
+                prop_assert!(e.consistent_pred(&e.union_preds(&p, &x), &q));
+            }
+        }
+    }
+
+    #[test]
+    fn rtree_key_laws(k in rect(), p in rect()) {
+        let e = RtreeExt;
+        prop_assert!(e.consistent_key(&k, &e.eq_query(&k)));
+        prop_assert!(e.pred_covers_key(&e.key_pred(&k), &k));
+        if e.pred_covers_key(&p, &k) {
+            prop_assert_eq!(e.penalty(&p, &k), 0.0);
+        }
+        let mut buf = Vec::new();
+        e.encode_key(&k, &mut buf);
+        prop_assert_eq!(e.decode_key(&buf), k);
+    }
+
+    #[test]
+    fn rtree_split_partitions(rects in prop::collection::vec(rect(), 2..40)) {
+        let e = RtreeExt;
+        let d = e.pick_split(&rects);
+        prop_assert!(!d.left.is_empty());
+        prop_assert!(!d.right.is_empty());
+        let mut all: Vec<usize> = d.left.iter().chain(d.right.iter()).copied().collect();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), rects.len());
+    }
+
+    /// Soundness of subtree pruning: if any key under pred satisfies the
+    /// query, consistent_pred must say so.
+    #[test]
+    fn rtree_pruning_is_sound(keys in prop::collection::vec(rect(), 1..20), w in rect()) {
+        let e = RtreeExt;
+        let pred = keys.iter().skip(1).fold(keys[0], |acc, r| acc.union(r));
+        use gist_am::SpatialQuery;
+        for q in [SpatialQuery::Overlaps(w), SpatialQuery::Within(w), SpatialQuery::Equals(w)] {
+            if keys.iter().any(|k| e.consistent_key(k, &q)) {
+                prop_assert!(e.consistent_pred(&pred, &q), "pruned a qualifying subtree: {q:?}");
+            }
+        }
+    }
+}
+
+// ---------------- RD-tree ----------------
+
+proptest! {
+    #[test]
+    fn rdtree_laws(a in any::<u64>(), b in any::<u64>(), probe in any::<u64>()) {
+        let e = RdTreeExt;
+        let u = e.union_preds(&a, &b);
+        prop_assert!(e.pred_covers(&u, &a));
+        prop_assert!(e.pred_covers(&u, &b));
+        prop_assert!(e.consistent_key(&a, &e.eq_query(&a)));
+        for q in [RdQuery::Overlaps(probe), RdQuery::Contains(probe), RdQuery::Equals(probe)] {
+            // monotone under union
+            if e.consistent_pred(&a, &q) {
+                prop_assert!(e.consistent_pred(&u, &q));
+            }
+            // sound pruning: any qualifying key implies consistent pred
+            if e.consistent_key(&a, &q) || e.consistent_key(&b, &q) {
+                prop_assert!(e.consistent_pred(&u, &q));
+            }
+        }
+        if e.pred_covers_key(&a, &b) {
+            prop_assert_eq!(e.penalty(&a, &b), 0.0);
+        }
+    }
+
+    #[test]
+    fn rdtree_split_partitions(sets in prop::collection::vec(any::<u64>(), 2..40)) {
+        let e = RdTreeExt;
+        let d = e.pick_split(&sets);
+        prop_assert!(!d.left.is_empty());
+        prop_assert!(!d.right.is_empty());
+        prop_assert_eq!(d.left.len() + d.right.len(), sets.len());
+    }
+}
+
+// ---------------- string tree ----------------
+
+fn key_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..12)
+}
+
+proptest! {
+    #[test]
+    fn strtree_laws(a in key_bytes(), b in key_bytes(), lo in key_bytes(), hi in key_bytes()) {
+        let e = StrTreeExt;
+        let pa = e.key_pred(&a);
+        let pb = e.key_pred(&b);
+        let u = e.union_preds(&pa, &pb);
+        prop_assert!(e.pred_covers(&u, &pa));
+        prop_assert!(e.pred_covers(&u, &pb));
+        prop_assert!(e.consistent_key(&a, &e.eq_query(&a)));
+        let (qlo, qhi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let q = StrQuery::Range(qlo, qhi);
+        // sound pruning
+        if e.consistent_key(&a, &q) || e.consistent_key(&b, &q) {
+            prop_assert!(e.consistent_pred(&u, &q));
+        }
+        // codec roundtrip for preds with framing
+        let mut buf = Vec::new();
+        e.encode_pred(&u, &mut buf);
+        prop_assert_eq!(e.decode_pred(&buf), u);
+    }
+
+    #[test]
+    fn strtree_prefix_pruning_sound(keys in prop::collection::vec(key_bytes(), 1..15),
+                                    prefix in prop::collection::vec(any::<u8>(), 0..4)) {
+        let e = StrTreeExt;
+        let preds: Vec<_> = keys.iter().map(|k| e.key_pred(k)).collect();
+        let u = e.union_many(&preds);
+        let q = StrQuery::Prefix(prefix);
+        if keys.iter().any(|k| e.consistent_key(k, &q)) {
+            prop_assert!(e.consistent_pred(&u, &q));
+        }
+    }
+
+    #[test]
+    fn strtree_split_partitions(keys in prop::collection::vec(key_bytes(), 2..30)) {
+        let e = StrTreeExt;
+        let preds: Vec<_> = keys.iter().map(|k| e.key_pred(k)).collect();
+        let d = e.pick_split(&preds);
+        prop_assert!(!d.left.is_empty());
+        prop_assert!(!d.right.is_empty());
+        prop_assert_eq!(d.left.len() + d.right.len(), keys.len());
+    }
+}

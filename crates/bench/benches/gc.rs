@@ -1,0 +1,77 @@
+//! E8 — Criterion form: vacuum cost (physical removal + BP shrinking)
+//! for a tree with half its entries committed-deleted.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gist_bench::{btree_db, wl_rid};
+use gist_core::DbConfig;
+
+fn bench_vacuum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_gc");
+    g.sample_size(10);
+    for n in [2_000i64, 10_000] {
+        g.bench_function(format!("vacuum_{n}_half_deleted"), |b| {
+            b.iter_batched(
+                || {
+                    let (db, idx) = btree_db(DbConfig::default());
+                    let txn = db.begin();
+                    for k in 0..n {
+                        idx.insert(txn, &k, wl_rid(k as u64)).unwrap();
+                    }
+                    db.commit(txn).unwrap();
+                    let txn = db.begin();
+                    for k in 0..n / 2 {
+                        idx.delete(txn, &(k * 2), wl_rid((k * 2) as u64)).unwrap();
+                    }
+                    db.commit(txn).unwrap();
+                    (db, idx)
+                },
+                |(db, idx)| {
+                    let txn = db.begin();
+                    let rep = idx.vacuum(txn).unwrap();
+                    db.commit(txn).unwrap();
+                    assert_eq!(rep.entries_removed as i64, n / 2);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+/// The opportunistic path: inserts into full leaves trigger in-place GC
+/// instead of splits when marked entries are reclaimable.
+fn bench_opportunistic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_gc");
+    g.sample_size(10);
+    g.bench_function("insert_into_reclaimable_leaf", |b| {
+        b.iter_batched(
+            || {
+                let (db, idx) = btree_db(DbConfig::default());
+                let txn = db.begin();
+                for k in 0..400i64 {
+                    idx.insert(txn, &k, wl_rid(k as u64)).unwrap();
+                }
+                db.commit(txn).unwrap();
+                let txn = db.begin();
+                for k in 0..200i64 {
+                    idx.delete(txn, &k, wl_rid(k as u64)).unwrap();
+                }
+                db.commit(txn).unwrap();
+                (db, idx, 0i64)
+            },
+            |(db, idx, _)| {
+                let txn = db.begin();
+                for k in 0..100i64 {
+                    idx.insert(txn, &(1_000 + k), wl_rid(10_000 + k as u64)).unwrap();
+                }
+                db.commit(txn).unwrap();
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vacuum, bench_opportunistic);
+criterion_main!(benches);

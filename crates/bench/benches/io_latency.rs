@@ -1,0 +1,43 @@
+//! E6 — Criterion form: per-search latch-hold time with simulated page
+//! I/O. The coupling reader holds ancestor latches across child fetches;
+//! the link reader never does. With a cold-ish pool and 200 µs reads the
+//! difference shows up directly in search latency under concurrency.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gist_am::I64Query;
+use gist_bench::{baseline_tree, run_for, wl_rid, XorShift};
+use gist_core::baseline::BaselineProtocol;
+
+fn bench_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_io_latency_4T");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    for (name, protocol) in
+        [("link", BaselineProtocol::Link), ("coupling", BaselineProtocol::FullPathX)]
+    {
+        g.bench_with_input(BenchmarkId::new(name, "200us"), &protocol, |b, &protocol| {
+            b.iter_custom(|iters| {
+                let tree = baseline_tree(protocol, Duration::from_micros(200));
+                for k in 0..3_000i64 {
+                    tree.insert(&k, wl_rid(k as u64)).unwrap();
+                }
+                let window =
+                    Duration::from_millis(40).mul_f64((iters as f64 / 10.0).max(1.0));
+                let tree2 = tree.clone();
+                let tp = run_for(4, window, move |t, i| {
+                    let mut rng = XorShift::new((t as u64 + 1) * 13 + i);
+                    let lo = rng.below(2_900) as i64;
+                    let _ = tree2.search(&I64Query::range(lo, lo + 20)).unwrap();
+                });
+                tp.elapsed.div_f64(tp.ops.max(1) as f64).mul_f64(iters as f64)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_io);
+criterion_main!(benches);

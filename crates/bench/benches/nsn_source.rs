@@ -1,0 +1,56 @@
+//! E10 — Criterion form: insert cost under the three NSN configurations
+//! (§10.1). The interesting delta is the descent's "memorize the global
+//! counter" read, which in `WalLsn + parent-LSN` mode touches no shared
+//! counter at all below the root.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gist_bench::{btree_db, run_for, wl_rid};
+use gist_core::{DbConfig, IsolationLevel, NsnSource};
+
+fn bench_nsn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_nsn_source_4T_insert");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    let variants: [(&str, NsnSource, bool); 3] = [
+        ("dedicated_counter", NsnSource::DedicatedCounter, false),
+        ("wal_lsn_global", NsnSource::WalLsn, false),
+        ("wal_lsn_parent", NsnSource::WalLsn, true),
+    ];
+    for (name, source, parent_opt) in variants {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let (db, idx) = btree_db(DbConfig {
+                    nsn_source: source,
+                    memorize_parent_lsn: parent_opt,
+                    isolation: IsolationLevel::Latching,
+                    ..DbConfig::default()
+                });
+                let txn = db.begin();
+                for k in 0..5_000i64 {
+                    idx.insert(txn, &(k << 16), wl_rid(k as u64)).unwrap();
+                }
+                db.commit(txn).unwrap();
+                let window =
+                    Duration::from_millis(40).mul_f64((iters as f64 / 10.0).max(1.0));
+                let (db2, idx2) = (db.clone(), idx.clone());
+                let tp = run_for(4, window, move |t, i| {
+                    let k = ((t as i64) << 48) + ((i as i64) << 1) + 1;
+                    let txn = db2.begin();
+                    match idx2.insert(txn, &k, wl_rid(7_000_000 + ((t as u64) << 40) + i)) {
+                        Ok(()) => db2.commit(txn).unwrap(),
+                        Err(e) if e.is_retryable() => db2.abort(txn).unwrap(),
+                        Err(e) => panic!("{e}"),
+                    }
+                });
+                tp.elapsed.div_f64(tp.ops.max(1) as f64).mul_f64(iters as f64)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nsn);
+criterion_main!(benches);

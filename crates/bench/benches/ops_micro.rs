@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the primitive index operations (single-threaded
+//! cost floor the protocol experiments build on).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gist_am::I64Query;
+use gist_bench::{btree_db, wl_rid};
+use gist_core::DbConfig;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ops");
+    g.sample_size(20);
+    g.bench_function("insert_committed_txn", |b| {
+        let (db, idx) = btree_db(DbConfig::default());
+        let mut k = 0i64;
+        b.iter(|| {
+            let txn = db.begin();
+            idx.insert(txn, &k, wl_rid(k as u64)).unwrap();
+            db.commit(txn).unwrap();
+            k += 1;
+        });
+    });
+    g.bench_function("insert_batched_txn_of_100", |b| {
+        let (db, idx) = btree_db(DbConfig::default());
+        let mut k = 0i64;
+        b.iter(|| {
+            let txn = db.begin();
+            for _ in 0..100 {
+                idx.insert(txn, &k, wl_rid(k as u64)).unwrap();
+                k += 1;
+            }
+            db.commit(txn).unwrap();
+        });
+    });
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ops");
+    g.sample_size(30);
+    let (db, idx) = btree_db(DbConfig::default());
+    let txn = db.begin();
+    for k in 0..50_000i64 {
+        idx.insert(txn, &k, wl_rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    g.bench_function("point_search_50k_tree", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            let txn = db.begin();
+            let hits = idx.search(txn, &I64Query::eq(k % 50_000)).unwrap();
+            db.commit(txn).unwrap();
+            assert_eq!(hits.len(), 1);
+            k += 7919;
+        });
+    });
+    g.bench_function("range_scan_100_of_50k", |b| {
+        let mut lo = 0i64;
+        b.iter(|| {
+            let txn = db.begin();
+            let hits = idx.search(txn, &I64Query::range(lo, lo + 99)).unwrap();
+            db.commit(txn).unwrap();
+            assert_eq!(hits.len(), 100);
+            lo = (lo + 997) % 49_900;
+        });
+    });
+    g.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ops");
+    g.sample_size(10);
+    g.bench_function("logical_delete", |b| {
+        b.iter_batched(
+            || {
+                let (db, idx) = btree_db(DbConfig::default());
+                let txn = db.begin();
+                for k in 0..1_000i64 {
+                    idx.insert(txn, &k, wl_rid(k as u64)).unwrap();
+                }
+                db.commit(txn).unwrap();
+                (db, idx, 0i64)
+            },
+            |(db, idx, _)| {
+                let txn = db.begin();
+                for k in 0..100i64 {
+                    idx.delete(txn, &k, wl_rid(k as u64)).unwrap();
+                }
+                db.commit(txn).unwrap();
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_search, bench_delete);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E7 — Criterion form: the predicate-check cost at the heart of §4.2 vs
+//! §4.3. Measures `check_insert` directly against attachment lists of
+//! growing size — the paper's point that "every check must go through
+//! the entire tree-global list" in pure predicate locking, while the
+//! hybrid scheme checks only the target leaf's (short) list.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gist_pagestore::PageId;
+use gist_predlock::{PredKind, PredicateManager, GLOBAL_NODE};
+use gist_wal::TxnId;
+
+/// Byte-range conflict function mimicking a B-tree `consistent()`.
+fn conflict(scan: &[u8], key: &[u8]) -> bool {
+    let lo = i64::from_le_bytes(scan[0..8].try_into().unwrap());
+    let hi = i64::from_le_bytes(scan[8..16].try_into().unwrap());
+    let k = i64::from_le_bytes(key[0..8].try_into().unwrap());
+    lo <= k && k <= hi
+}
+
+fn range_bytes(lo: i64, hi: i64) -> Vec<u8> {
+    let mut b = lo.to_le_bytes().to_vec();
+    b.extend_from_slice(&hi.to_le_bytes());
+    b
+}
+
+fn bench_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_predicate_check");
+    for n_preds in [1usize, 16, 64, 256, 1024] {
+        // Pure-global shape: all predicates on one list.
+        g.bench_with_input(BenchmarkId::new("global_list", n_preds), &n_preds, |b, &n| {
+            let pm = PredicateManager::new();
+            for i in 0..n {
+                let p = pm.register(
+                    TxnId(i as u64 + 1),
+                    PredKind::Scan,
+                    range_bytes(i as i64 * 100, i as i64 * 100 + 50),
+                );
+                pm.attach(p, GLOBAL_NODE);
+            }
+            let key = (-42i64).to_le_bytes().to_vec(); // matches nothing
+            b.iter(|| {
+                let hits = pm.check_insert(GLOBAL_NODE, TxnId(0), &key, &conflict);
+                assert!(hits.is_empty());
+            });
+        });
+        // Hybrid shape: predicates spread over many leaves; the insert
+        // checks just its target leaf (list length ≈ n / leaves).
+        g.bench_with_input(BenchmarkId::new("per_leaf_list", n_preds), &n_preds, |b, &n| {
+            let pm = PredicateManager::new();
+            let leaves = 64u32;
+            for i in 0..n {
+                let p = pm.register(
+                    TxnId(i as u64 + 1),
+                    PredKind::Scan,
+                    range_bytes(i as i64 * 100, i as i64 * 100 + 50),
+                );
+                pm.attach(p, (1, PageId(i as u32 % leaves)));
+            }
+            let key = (-42i64).to_le_bytes().to_vec();
+            b.iter(|| {
+                let hits = pm.check_insert((1, PageId(7)), TxnId(0), &key, &conflict);
+                assert!(hits.is_empty());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_check);
+criterion_main!(benches);

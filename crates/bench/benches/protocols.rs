@@ -1,0 +1,53 @@
+//! E5 — Criterion form: link protocol vs. conservative latching under a
+//! fixed concurrent mixed load (4 threads, 50/50). The experiments
+//! binary sweeps the full thread/mix grid; this bench pins one point for
+//! regression tracking.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gist_am::I64Query;
+use gist_bench::{baseline_tree, run_for, wl_rid, XorShift};
+use gist_core::baseline::BaselineProtocol;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_protocols_4T_5050");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(6));
+    for (name, protocol) in [
+        ("link", BaselineProtocol::Link),
+        ("subtree_x", BaselineProtocol::FullPathX),
+        ("tree_rwlock", BaselineProtocol::TreeRwLock),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                // One timed window per iteration batch: run the mixed
+                // workload for a duration proportional to iters, report
+                // the elapsed time so criterion normalizes per "op".
+                let tree = baseline_tree(protocol, Duration::ZERO);
+                for k in 0..10_000i64 {
+                    tree.insert(&(k * 2), wl_rid(k as u64)).unwrap();
+                }
+                let window = Duration::from_millis(50).mul_f64(iters as f64 / 10.0).max(Duration::from_millis(50));
+                let tree2 = tree.clone();
+                let tp = run_for(4, window, move |t, i| {
+                    let mut rng = XorShift::new((t as u64 + 1) * 97 + i);
+                    if rng.below(2) == 0 {
+                        let k = 1_000_000 + ((t as i64) << 40) + i as i64;
+                        tree2.insert(&k, wl_rid(9_000_000 + ((t as u64) << 32) + i)).unwrap();
+                    } else {
+                        let lo = rng.below(19_000) as i64;
+                        let _ = tree2.search(&I64Query::range(lo, lo + 50)).unwrap();
+                    }
+                });
+                // Normalize: duration per requested iteration count.
+                tp.elapsed.div_f64((tp.ops.max(1)) as f64).mul_f64(iters as f64)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E4 — Criterion form: restart time for a fixed crash image
+//! (redo-dominated: 5k committed inserts, no surviving pages).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use std::sync::Arc;
+
+use gist_am::BtreeExt;
+use gist_bench::wl_rid;
+use gist_core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_pagestore::InMemoryStore;
+use gist_wal::LogManager;
+
+fn crash_image(n: i64) -> (Arc<InMemoryStore>, Arc<LogManager>) {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store.clone(), log.clone(), DbConfig::default()).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    let txn = db.begin();
+    for k in 0..n {
+        idx.insert(txn, &k, wl_rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let loser = db.begin();
+    for k in n..n + 100 {
+        idx.insert(loser, &k, wl_rid(k as u64)).unwrap();
+    }
+    db.log().flush_all();
+    db.crash();
+    (store, log)
+}
+
+fn bench_restart(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_restart");
+    g.sample_size(10);
+    for n in [1_000i64, 5_000] {
+        g.bench_function(format!("redo_{n}_committed_undo_100"), |b| {
+            b.iter_batched(
+                || crash_image(n),
+                |(store, log)| {
+                    // Restart consumes the durable image; pages rebuilt in
+                    // a fresh pool each time.
+                    let fresh_log = Arc::new(LogManager::new());
+                    for rec in log.scan_from(gist_wal::Lsn(1)) {
+                        fresh_log.append(rec.txn, rec.prev_lsn, rec.body.clone());
+                    }
+                    fresh_log.flush_all();
+                    let (db, report) =
+                        Db::restart(store, fresh_log, DbConfig::default()).unwrap();
+                    assert_eq!(report.outcome.losers.len(), 1);
+                    drop(db);
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_restart);
+criterion_main!(benches);

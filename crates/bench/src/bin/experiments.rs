@@ -1,0 +1,82 @@
+//! Regenerate every experiment table (E1–E12, see DESIGN.md §4).
+//!
+//! ```sh
+//! cargo run --release -p gist-bench --bin experiments            # all, full config
+//! cargo run --release -p gist-bench --bin experiments -- --quick # CI-sized
+//! cargo run --release -p gist-bench --bin experiments -- e5 e7   # a subset
+//! ```
+
+use gist_bench::{
+    e10_nsn, e11_phantoms, e12_savepoints, e1_figure1, e2_link_chases, e3_overlap, e4_recovery,
+    e5_protocols, e6_io_latency, e7_predicates, e8_gc, e9_unique, render_table, ExpConfig, Row,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::full() };
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let want = |id: &str| selected.is_empty() || selected.contains(&id);
+
+    let experiments: Vec<(&str, &str, Box<dyn Fn() -> Vec<Row>>)> = vec![
+        (
+            "e1",
+            "E1 — Figure 1/2: lost key without links vs. rightlink recovery",
+            Box::new(e1_figure1),
+        ),
+        (
+            "e2",
+            "E2 — rightlink chases per search vs. concurrent writers",
+            Box::new(move || e2_link_chases(cfg)),
+        ),
+        (
+            "e3",
+            "E3 — Figure 5: sibling predicate overlap (non-partitioning key space)",
+            Box::new(e3_overlap),
+        ),
+        ("e4", "E4 — Table 1: restart recovery cost and correctness", Box::new(e4_recovery)),
+        (
+            "e5",
+            "E5 — protocol scaling: link vs. subtree-X vs. tree-rwlock",
+            Box::new(move || e5_protocols(cfg)),
+        ),
+        (
+            "e6",
+            "E6 — latches across I/O: search throughput vs. simulated disk latency",
+            Box::new(move || e6_io_latency(cfg)),
+        ),
+        (
+            "e7",
+            "E7 — hybrid vs. pure predicate locking: insert cost vs. active scanners",
+            Box::new(move || e7_predicates(cfg)),
+        ),
+        ("e8", "E8 — logical delete + garbage collection lifecycle", Box::new(e8_gc)),
+        (
+            "e9",
+            "E9 — unique-index insert races (§8 deadlock resolution)",
+            Box::new(move || e9_unique(cfg)),
+        ),
+        ("e10", "E10 — NSN source ablation (§10.1)", Box::new(move || e10_nsn(cfg))),
+        (
+            "e11",
+            "E11 — repeatable read: phantom count under concurrent inserts",
+            Box::new(move || e11_phantoms(cfg)),
+        ),
+        ("e12", "E12 — savepoint partial-rollback cost (§10.2)", Box::new(e12_savepoints)),
+    ];
+
+    println!(
+        "# GiST concurrency & recovery experiments ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    for (id, title, runner) in experiments {
+        if !want(id) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let rows = runner();
+        println!("{}", render_table(title, &rows));
+        println!("({id} took {:.1}s)\n", t0.elapsed().as_secs_f64());
+    }
+}

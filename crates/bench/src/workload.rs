@@ -1,0 +1,187 @@
+//! Workload generation and common setup helpers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gist_am::BtreeExt;
+use gist_core::baseline::{BaselineProtocol, SimpleTree};
+use gist_core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_pagestore::{
+    BufferPool, InMemoryStore, PageAllocator, PageId, PageStore, Rid, SimulatedLatencyStore,
+};
+use gist_wal::LogManager;
+
+/// Deterministic xorshift PRNG (no external dependency needed in the hot
+/// path; `rand` is used by the richer generators below).
+#[derive(Debug, Clone)]
+pub struct XorShift(pub u64);
+
+impl XorShift {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Skewed (approximately zipfian via repeated halving): favors low
+    /// values.
+    pub fn skewed(&mut self, n: u64) -> u64 {
+        let mut range = n;
+        let mut base = 0u64;
+        while range > 1 && self.below(4) != 0 {
+            range /= 2;
+        }
+        if range == 0 {
+            range = 1;
+        }
+        base += self.below(range);
+        base
+    }
+}
+
+/// A unique RID for workload item `n` (RIDs must be distinct across the
+/// whole run).
+pub fn wl_rid(n: u64) -> Rid {
+    Rid::new(PageId(1_000_000 + (n >> 16) as u32), (n & 0xFFFF) as u16)
+}
+
+/// Fresh in-memory database + B-tree index.
+pub fn btree_db(config: DbConfig) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, config).expect("open db");
+    let idx = GistIndex::create(db.clone(), "bench", BtreeExt, IndexOptions::default())
+        .expect("create index");
+    (db, idx)
+}
+
+/// Fresh baseline tree over an optionally latency-injected store.
+pub fn baseline_tree(
+    protocol: BaselineProtocol,
+    read_latency: Duration,
+) -> Arc<SimpleTree<BtreeExt>> {
+    let inner = InMemoryStore::new();
+    let store: Arc<dyn PageStore> = if read_latency.is_zero() {
+        Arc::new(inner)
+    } else {
+        Arc::new(SimulatedLatencyStore::new(Box::new(inner), read_latency, Duration::ZERO))
+    };
+    // Tiny pool so simulated I/O actually happens on traversals.
+    let capacity = if read_latency.is_zero() { 4096 } else { 8 };
+    let pool = BufferPool::new(store, capacity);
+    let alloc = Arc::new(PageAllocator::new(0));
+    SimpleTree::create(pool, alloc, BtreeExt, protocol).expect("create tree")
+}
+
+/// Throughput measurement outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Operations completed.
+    pub ops: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Operations per second.
+    pub fn per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Run `threads` workers for `duration`; each calls `op(thread_id, i)`
+/// repeatedly. Returns total completed ops.
+pub fn run_for<F>(threads: usize, duration: Duration, op: F) -> Throughput
+where
+    F: Fn(usize, u64) + Send + Sync + 'static,
+{
+    let op = Arc::new(op);
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let (op, stop, total) = (op.clone(), stop.clone(), total.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                op(t, i);
+                i += 1;
+            }
+            total.fetch_add(i, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    Throughput { ops: total.load(Ordering::Relaxed), elapsed: t0.elapsed() }
+}
+
+/// A table row: label plus named numeric columns (printed by the
+/// `experiments` binary and recorded in EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (e.g. "4 threads / 50% insert").
+    pub label: String,
+    /// `(column name, value)` pairs.
+    pub cols: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(label: impl Into<String>) -> Self {
+        Row { label: label.into(), cols: Vec::new() }
+    }
+
+    /// Add a column.
+    pub fn col(mut self, name: &str, value: f64) -> Self {
+        self.cols.push((name.to_string(), value));
+        self
+    }
+}
+
+/// Render rows as an aligned text table.
+pub fn render_table(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    if rows.is_empty() {
+        out.push_str("(no rows)\n");
+        return out;
+    }
+    let col_names: Vec<&String> = rows[0].cols.iter().map(|(n, _)| n).collect();
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap().max(8);
+    out.push_str(&format!("{:label_w$}", ""));
+    for n in &col_names {
+        out.push_str(&format!(" | {:>12}", n));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(label_w + col_names.len() * 15));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("{:label_w$}", r.label));
+        for (_, v) in &r.cols {
+            if v.abs() >= 1000.0 {
+                out.push_str(&format!(" | {:>12.0}", v));
+            } else {
+                out.push_str(&format!(" | {:>12.2}", v));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}

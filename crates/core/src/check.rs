@@ -1,0 +1,158 @@
+//! Structural invariant checker, used by tests and crash-recovery
+//! experiments to assert that a tree is well-formed.
+//!
+//! Checked invariants:
+//! 1. every node reachable from the root via entries or rightlinks is a
+//!    formatted, in-use index node at the expected level;
+//! 2. rightlink chains are acyclic and NSNs never exceed the tree-global
+//!    counter;
+//! 3. every internal entry's predicate covers its child's own (slot 0)
+//!    BP — equality is not required because garbage collection may
+//!    shrink a child before its parent entry (§7.1);
+//! 4. every node's BP covers all of its entries (keys for leaves,
+//!    predicates for internal nodes);
+//! 5. the leaf level partitions the data RIDs: "exactly one GiST leaf
+//!    entry points to a given data record" (§2);
+//! 6. internal nodes are non-empty.
+
+use std::collections::{HashMap, HashSet};
+
+use gist_pagestore::{PageId, Rid};
+
+use crate::entry::{InternalEntry, LeafEntry};
+use crate::ext::GistExtension;
+use crate::node;
+use crate::tree::GistIndex;
+use crate::Result;
+
+/// Outcome of a structural check.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Nodes visited.
+    pub nodes: usize,
+    /// Leaf entries seen (live + marked).
+    pub entries: usize,
+    /// Invariant violations (empty = healthy).
+    pub violations: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the tree passed every check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with the violation list unless healthy (test helper).
+    pub fn assert_ok(&self) {
+        assert!(self.ok(), "tree invariant violations: {:#?}", self.violations);
+    }
+}
+
+/// Run the structural checks over `index`. Takes no latches beyond one
+/// node at a time; call while the tree is quiescent for exact results.
+pub fn check_tree<E: GistExtension>(index: &GistIndex<E>) -> Result<CheckReport> {
+    let mut report = CheckReport::default();
+    let ext = index.ext();
+    let pool = index.db().pool();
+    let global = index.db().global_nsn();
+
+    let root = index.root()?;
+    // Queue entries: (page, expectation-from-parent-entry, via_entry).
+    // Rightlinks may legitimately dangle into freed pages — the NSN guard
+    // means no operation ever follows them — so availability is only a
+    // violation when the page was reached through a parent entry.
+    let mut queue: Vec<(PageId, Option<(u16, Vec<u8>)>, bool)> = vec![(root, None, true)];
+    let mut visited: HashSet<PageId> = HashSet::new();
+    let mut rid_owner: HashMap<Rid, PageId> = HashMap::new();
+
+    while let Some((pid, expect, via_entry)) = queue.pop() {
+        if pid.is_invalid() {
+            continue;
+        }
+        let first_visit = visited.insert(pid);
+        let g = pool.fetch_read(pid)?;
+        if g.is_available() {
+            if via_entry {
+                report.violations.push(format!("{pid} reachable but marked available"));
+            }
+            continue;
+        }
+        if g.page_id() != pid {
+            report.violations.push(format!("{pid} header id mismatch: {}", g.page_id()));
+        }
+        if let Some((level, parent_pred)) = &expect {
+            if g.level() != *level {
+                report
+                    .violations
+                    .push(format!("{pid}: level {} but parent expects {level}", g.level()));
+            }
+            // Invariant 3: parent entry covers the child's own BP.
+            let child_bp = index.decode_bp_opt(node::bp_bytes(&g));
+            let parent_p = index.decode_bp_opt(parent_pred);
+            match (parent_p, child_bp) {
+                (Some(pp), Some(cb)) => {
+                    if !ext.pred_covers(&pp, &cb) {
+                        report
+                            .violations
+                            .push(format!("{pid}: parent entry does not cover child BP"));
+                    }
+                }
+                (None, Some(_)) => report
+                    .violations
+                    .push(format!("{pid}: parent entry empty but child BP is not")),
+                _ => {}
+            }
+        }
+        if g.nsn() > global {
+            report
+                .violations
+                .push(format!("{pid}: NSN {} exceeds global counter {global}", g.nsn()));
+        }
+        if !first_visit {
+            continue; // links converge; only validate content once
+        }
+        report.nodes += 1;
+        queue.push((g.rightlink(), None, false));
+
+        let own_bp = index.decode_bp_opt(node::bp_bytes(&g));
+        if g.is_leaf() {
+            for (_, cell) in node::entry_cells(&g) {
+                report.entries += 1;
+                let e = LeafEntry::decode(cell);
+                let key = ext.decode_key(&e.key_bytes);
+                // Invariant 4 (leaf form).
+                match &own_bp {
+                    Some(bp) if ext.pred_covers_key(bp, &key) => {}
+                    _ => report
+                        .violations
+                        .push(format!("{pid}: BP does not cover key {key:?}")),
+                }
+                // Invariant 5: RIDs partitioned across leaves.
+                if let Some(prev) = rid_owner.insert(e.rid, pid) {
+                    report.violations.push(format!(
+                        "{:?} stored on both {prev} and {pid}",
+                        e.rid
+                    ));
+                }
+            }
+        } else {
+            let entries = node::internal_entries(&g);
+            // Invariant 6.
+            if entries.is_empty() {
+                report.violations.push(format!("{pid}: empty internal node"));
+            }
+            for (_, InternalEntry { child, pred_bytes }) in entries {
+                let pred = ext.decode_pred(&pred_bytes);
+                // Invariant 4 (internal form).
+                match &own_bp {
+                    Some(bp) if ext.pred_covers(bp, &pred) => {}
+                    _ => report
+                        .violations
+                        .push(format!("{pid}: BP does not cover entry for {child}")),
+                }
+                queue.push((child, Some((g.level() - 1, pred_bytes)), true));
+            }
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,869 @@
+//! The database façade: wires the buffer pool, WAL, lock manager,
+//! predicate manager, transaction manager and page allocator together,
+//! owns the index catalog, and implements the database-wide
+//! [`RecoveryHandler`] for the Table 1 record set.
+//!
+//! One handler serves every index regardless of key type because all redo
+//! and undo actions are byte/page-oriented (see [`crate::logrec`]); the
+//! only "logical" part — locating a leaf entry that later splits moved
+//! rightward (§9.2) — needs nothing but RID comparison and link walking.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use gist_lockmgr::LockManager;
+use gist_pagestore::{
+    BufferPool, HeapFile, PageAllocator, PageId, PageStore, PageWriteGuard, Rid, SlotId,
+};
+use gist_predlock::PredicateManager;
+use gist_txn::{SavepointId, TxnManager};
+use gist_wal::recovery::{RecoveryError, RecoveryHandler};
+use gist_wal::{LogManager, LogRecord, Lsn, Payload, RecordBody, TxnId};
+
+use crate::entry::LeafEntry;
+use crate::logrec::GistRecord;
+use crate::{GistError, Result};
+
+/// Where node sequence numbers come from (§10.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NsnSource {
+    /// A dedicated tree-global counter, incremented per split. Must be
+    /// recovered at restart (we rebuild it from the redo pass).
+    DedicatedCounter,
+    /// The paper's optimization: LSNs double as NSNs — the split's log
+    /// record LSN becomes the node's new NSN, making the counter
+    /// recoverable "without having to write any log records".
+    WalLsn,
+}
+
+/// Transactional isolation degree for index operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationLevel {
+    /// Degree 3 (§4): hybrid record + predicate locking; phantom-free.
+    RepeatableRead,
+    /// Degree 2 (cursor stability / read committed): writers still 2PL
+    /// their record locks (so scans never see uncommitted inserts or
+    /// deletes), but scans release each record's S lock as soon as the
+    /// entry is delivered and attach no predicates — a re-scan may see
+    /// phantoms. The paper targets Degree 3; this level exists because
+    /// "the access method should support the degrees of transactional
+    /// isolation offered by the query language of the DBMS" (§1).
+    ReadCommitted,
+    /// Latch-only operation: no record locks, no predicates. Structurally
+    /// safe (the link protocol still applies) but no isolation — used by
+    /// the protocol benchmarks to isolate concurrency-control costs.
+    Latching,
+}
+
+/// Which phantom-avoidance mechanism scans/inserts use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateMode {
+    /// §4.3: predicates attached to visited nodes; inserts check only
+    /// their target leaf's list.
+    Hybrid,
+    /// §4.2 baseline: one tree-global predicate list, checked before any
+    /// traversal.
+    PureGlobal,
+}
+
+/// Database configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Buffer-pool frames.
+    pub pool_capacity: usize,
+    /// NSN source (§10.1).
+    pub nsn_source: NsnSource,
+    /// Isolation degree.
+    pub isolation: IsolationLevel,
+    /// Phantom-avoidance mechanism.
+    pub predicate_mode: PredicateMode,
+    /// Lock-wait timeout (safety net).
+    pub lock_timeout: Duration,
+    /// With [`NsnSource::WalLsn`]: memorize the parent page's LSN instead
+    /// of reading the log manager's counter when descending (§10.1's
+    /// second optimization, which relieves the high-frequency counter).
+    pub memorize_parent_lsn: bool,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            pool_capacity: 256,
+            nsn_source: NsnSource::WalLsn,
+            isolation: IsolationLevel::RepeatableRead,
+            predicate_mode: PredicateMode::Hybrid,
+            lock_timeout: Duration::from_secs(10),
+            memorize_parent_lsn: true,
+        }
+    }
+}
+
+/// A catalog entry (one per index), stored as a cell on page 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Index id (database-unique).
+    pub id: u32,
+    /// Current root page.
+    pub root: PageId,
+    /// Whether the index enforces uniqueness (§8).
+    pub unique: bool,
+    /// Index name.
+    pub name: String,
+    /// Catalog-page slot holding this entry.
+    pub slot: SlotId,
+}
+
+fn encode_catalog_cell(id: u32, root: PageId, unique: bool, name: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + name.len());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&root.0.to_le_bytes());
+    out.push(unique as u8);
+    out.extend_from_slice(name.as_bytes());
+    out
+}
+
+fn decode_catalog_cell(slot: SlotId, cell: &[u8]) -> CatalogEntry {
+    assert!(cell.len() >= 9, "catalog cell too short");
+    CatalogEntry {
+        id: u32::from_le_bytes(cell[0..4].try_into().unwrap()),
+        root: PageId(u32::from_le_bytes(cell[4..8].try_into().unwrap())),
+        unique: cell[8] != 0,
+        name: String::from_utf8_lossy(&cell[9..]).into_owned(),
+        slot,
+    }
+}
+
+/// Summary of a completed restart.
+#[derive(Debug)]
+pub struct RestartReport {
+    /// The WAL driver's redo/undo summary.
+    pub outcome: gist_wal::recovery::RestartOutcome,
+    /// Indexes found in the recovered catalog.
+    pub indexes: usize,
+    /// Pages on the rebuilt free list.
+    pub free_pages: usize,
+}
+
+/// The database: all substrates plus the catalog.
+pub struct Db {
+    pool: Arc<BufferPool>,
+    log: Arc<LogManager>,
+    locks: Arc<LockManager>,
+    preds: Arc<PredicateManager>,
+    txns: Arc<TxnManager>,
+    alloc: Arc<PageAllocator>,
+    heap: HeapFile,
+    config: DbConfig,
+    /// Tree-global counter for [`NsnSource::DedicatedCounter`]; mirrors
+    /// the max observed NSN in [`NsnSource::WalLsn`] mode.
+    nsn_counter: AtomicU64,
+    catalog: Mutex<Vec<CatalogEntry>>,
+    /// Former roots (demoted by root splits in this incarnation). Node
+    /// deletion skips them: an operation reads the catalog root pointer
+    /// and then signal-locks it, and that window is not covered by the
+    /// under-parent-latch locking discipline that protects every other
+    /// node. Restart clears the set, which is safe: no operation survives
+    /// a crash, so no stale root pointers exist afterwards.
+    retired_roots: Mutex<HashSet<PageId>>,
+}
+
+impl Db {
+    /// Open a database over `store` and `log`. A store with no pages is
+    /// bootstrapped (catalog page created and flushed); otherwise the
+    /// catalog and free list are loaded from the store. Use
+    /// [`Db::restart`] instead when the previous incarnation crashed.
+    pub fn open(
+        store: Arc<dyn PageStore>,
+        log: Arc<LogManager>,
+        config: DbConfig,
+    ) -> Result<Arc<Db>> {
+        let db = Self::build(store, log, config)?;
+        db.load_catalog()?;
+        db.alloc.rebuild_from_store(&db.pool, 1)?;
+        Ok(db)
+    }
+
+    fn build(
+        store: Arc<dyn PageStore>,
+        log: Arc<LogManager>,
+        config: DbConfig,
+    ) -> Result<Arc<Db>> {
+        let pool = BufferPool::new(store.clone(), config.pool_capacity);
+        pool.set_flusher(log.clone());
+        if store.page_count() == 0 {
+            // Bootstrap the catalog page and make it durable immediately
+            // so redo can always assume a formatted page 0.
+            let mut g = pool.new_page_write(PageId(0), 0)?;
+            g.mark_dirty_unlogged();
+            drop(g);
+            pool.flush_all();
+        }
+        let locks = Arc::new(LockManager::with_timeout(config.lock_timeout));
+        let preds = Arc::new(PredicateManager::new());
+        let txns = Arc::new(TxnManager::new(log.clone(), locks.clone(), preds.clone()));
+        let alloc = Arc::new(PageAllocator::new(1));
+        let heap = HeapFile::new(pool.clone(), alloc.clone());
+        Ok(Arc::new(Db {
+            pool,
+            log,
+            locks,
+            preds,
+            txns,
+            alloc,
+            heap,
+            config,
+            nsn_counter: AtomicU64::new(0),
+            catalog: Mutex::new(Vec::new()),
+            retired_roots: Mutex::new(HashSet::new()),
+        }))
+    }
+
+    /// Restart after a crash: run analysis/redo/undo over the durable
+    /// log, then rebuild the free list and catalog.
+    pub fn restart(
+        store: Arc<dyn PageStore>,
+        log: Arc<LogManager>,
+        config: DbConfig,
+    ) -> Result<(Arc<Db>, RestartReport)> {
+        let db = Self::build(store, log, config)?;
+        let outcome = gist_wal::recovery::restart(&db.log, db.as_ref())
+            .map_err(|e| GistError::Recovery(e.0))?;
+        db.alloc.rebuild_from_store(&db.pool, 1)?;
+        db.load_catalog()?;
+        // In WalLsn mode the counter is implicitly recovered (it *is* the
+        // LSN); in DedicatedCounter mode redo tracked the max split NSN.
+        if db.config.nsn_source == NsnSource::WalLsn {
+            db.nsn_counter.store(db.log.last_lsn().0, Ordering::SeqCst);
+        }
+        let report = RestartReport {
+            outcome,
+            indexes: db.catalog.lock().len(),
+            free_pages: db.alloc.free_count(),
+        };
+        Ok((db, report))
+    }
+
+    fn load_catalog(&self) -> Result<()> {
+        let g = self.pool.fetch_read(PageId(0))?;
+        let mut cat = self.catalog.lock();
+        cat.clear();
+        for (slot, cell) in g.iter_cells() {
+            cat.push(decode_catalog_cell(slot, cell));
+        }
+        Ok(())
+    }
+
+    // ---- accessors ----
+
+    /// The buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The write-ahead log.
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// The lock manager.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// The predicate manager.
+    pub fn preds(&self) -> &Arc<PredicateManager> {
+        &self.preds
+    }
+
+    /// The transaction manager.
+    pub fn txns(&self) -> &Arc<TxnManager> {
+        &self.txns
+    }
+
+    /// The page allocator.
+    pub fn alloc(&self) -> &Arc<PageAllocator> {
+        &self.alloc
+    }
+
+    /// The unlogged heap file for data records.
+    pub fn heap(&self) -> &HeapFile {
+        &self.heap
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    // ---- transactions ----
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnId {
+        self.txns.begin()
+    }
+
+    /// Commit a transaction (forces the log, releases predicates and
+    /// locks).
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.txns.commit(txn)?;
+        Ok(())
+    }
+
+    /// Abort a transaction (logical undo through the database recovery
+    /// handler).
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.txns.abort(txn, self)?;
+        Ok(())
+    }
+
+    /// Establish a savepoint (§10.2).
+    pub fn savepoint(&self, txn: TxnId) -> Result<SavepointId> {
+        Ok(self.txns.savepoint(txn)?)
+    }
+
+    /// Partial rollback to a savepoint.
+    pub fn rollback_to_savepoint(&self, txn: TxnId, sp: SavepointId) -> Result<()> {
+        self.txns.rollback_to_savepoint(txn, sp, self)?;
+        Ok(())
+    }
+
+    /// Simulate a crash: the buffer pool drops every unflushed page and
+    /// the log loses its non-durable suffix. Reopen with [`Db::restart`].
+    pub fn crash(&self) {
+        self.pool.crash();
+        self.log.crash();
+    }
+
+    /// Flush everything (clean shutdown).
+    pub fn shutdown(&self) {
+        self.log.flush_all();
+        self.pool.flush_all();
+    }
+
+    // ---- NSN management (§10.1) ----
+
+    /// Read the tree-global counter ("memorize the global counter value").
+    pub fn global_nsn(&self) -> u64 {
+        match self.config.nsn_source {
+            NsnSource::DedicatedCounter => self.nsn_counter.load(Ordering::SeqCst),
+            NsnSource::WalLsn => self.log.last_lsn().0,
+        }
+    }
+
+    /// The NSN a split assigns to the original node. In `WalLsn` mode it
+    /// is the split record's LSN; in `DedicatedCounter` mode the counter
+    /// is incremented.
+    pub fn split_nsn(&self, split_record_lsn: Lsn) -> u64 {
+        match self.config.nsn_source {
+            NsnSource::DedicatedCounter => self.nsn_counter.fetch_add(1, Ordering::SeqCst) + 1,
+            NsnSource::WalLsn => split_record_lsn.0,
+        }
+    }
+
+    // ---- catalog ----
+
+    /// Create an index: allocates and formats its root leaf and adds the
+    /// catalog entry, as one atomic unit of work under a short system
+    /// transaction.
+    pub fn create_index_raw(&self, name: &str, unique: bool) -> Result<CatalogEntry> {
+        {
+            let cat = self.catalog.lock();
+            if cat.iter().any(|e| e.name == name) {
+                return Err(GistError::Config(format!("index {name:?} already exists")));
+            }
+        }
+        let txn = self.begin();
+        let nta = self.txns.begin_nta(txn)?;
+        let root = self.alloc.allocate();
+        // Get-Page: format the root as an empty leaf (empty BP = covers
+        // nothing).
+        let rec = GistRecord::GetPage { page: root.0, level: 0, bp: Vec::new() };
+        let lsn = self.txns.log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        rec.redo(&self.pool, lsn)?;
+        // Catalog entry.
+        let id = {
+            let cat = self.catalog.lock();
+            cat.iter().map(|e| e.id).max().unwrap_or(0) + 1
+        };
+        let cell = encode_catalog_cell(id, root, unique, name);
+        let slot = {
+            // Reserve the slot deterministically under the page latch.
+            let g = self.pool.fetch_read(PageId(0))?;
+            let mut s = 0;
+            while g.is_occupied(s) {
+                s += 1;
+            }
+            s
+        };
+        let rec = GistRecord::CatalogAdd { slot, cell: cell.clone() };
+        let lsn = self.txns.log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        rec.redo(&self.pool, lsn)?;
+        self.txns.end_nta(txn, nta)?;
+        self.commit(txn)?;
+        let entry = decode_catalog_cell(slot, &cell);
+        self.catalog.lock().push(entry.clone());
+        Ok(entry)
+    }
+
+    /// Look up an index by name.
+    pub fn open_index_raw(&self, name: &str) -> Option<CatalogEntry> {
+        self.catalog.lock().iter().find(|e| e.name == name).cloned()
+    }
+
+    /// One human-readable line per cataloged index.
+    pub fn catalog_summary(&self) -> Vec<String> {
+        self.catalog
+            .lock()
+            .iter()
+            .map(|e| {
+                format!(
+                    "{} (id {}, root {}{})",
+                    e.name,
+                    e.id,
+                    e.root,
+                    if e.unique { ", unique" } else { "" }
+                )
+            })
+            .collect()
+    }
+
+    /// Drop an index: remove its catalog entry and free every page of
+    /// its tree, as one atomic unit of work under a short system
+    /// transaction. The caller must guarantee no concurrent operations
+    /// use the index (DDL is serialized above the index layer in a real
+    /// DBMS). Returns the number of pages freed.
+    pub fn drop_index_raw(&self, name: &str) -> Result<usize> {
+        let entry = self
+            .open_index_raw(name)
+            .ok_or_else(|| GistError::Config(format!("no index named {name:?}")))?;
+        // Collect every page of the tree (entries + rightlinks).
+        let mut pages = Vec::new();
+        let mut queue = vec![entry.root];
+        let mut seen = HashSet::new();
+        while let Some(pid) = queue.pop() {
+            if pid.is_invalid() || !seen.insert(pid) {
+                continue;
+            }
+            let g = self.pool.fetch_read(pid)?;
+            if g.is_available() {
+                continue; // dangling rightlink into an already-freed page
+            }
+            pages.push(pid);
+            queue.push(g.rightlink());
+            if !g.is_leaf() {
+                for (_, cell) in g.iter_cells().filter(|(s, _)| *s != 0) {
+                    queue.push(crate::entry::InternalEntry::decode_child(cell));
+                }
+            }
+        }
+        let txn = self.begin();
+        let nta = self.txns.begin_nta(txn)?;
+        // Undoable catalog removal first (InternalEntryDelete on page 0),
+        // then the page frees — all inside one unit, so a crash midway
+        // rolls the whole drop back.
+        let old_cell = {
+            let g = self.pool.fetch_read(PageId(0))?;
+            g.cell(entry.slot)
+                .ok_or_else(|| GistError::Corrupt("catalog cell vanished".into()))?
+                .to_vec()
+        };
+        let rec =
+            GistRecord::InternalEntryDelete { page: 0, slot: entry.slot, cell: old_cell };
+        let lsn = self.txns.log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        rec.redo(&self.pool, lsn)?;
+        for pid in &pages {
+            let rec = GistRecord::FreePage { page: pid.0 };
+            let lsn = self.txns.log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+            rec.redo(&self.pool, lsn)?;
+        }
+        self.txns.end_nta(txn, nta)?;
+        self.commit(txn)?;
+        self.catalog.lock().retain(|e| e.slot != entry.slot);
+        self.retired_roots.lock().remove(&entry.root);
+        for pid in &pages {
+            self.alloc.free(*pid);
+        }
+        Ok(pages.len())
+    }
+
+    /// Current root of an index, reading through the catalog page (kept
+    /// in the buffer pool, so this is cheap). Reading the durable cell —
+    /// not a cached field — is what makes a concurrently executed root
+    /// split visible.
+    pub fn current_root(&self, entry_slot: SlotId) -> Result<PageId> {
+        let g = self.pool.fetch_read(PageId(0))?;
+        let cell = g
+            .cell(entry_slot)
+            .ok_or_else(|| GistError::Corrupt(format!("catalog slot {entry_slot} missing")))?;
+        Ok(decode_catalog_cell(entry_slot, cell).root)
+    }
+
+    /// Update an index's root pointer (inside the caller's root-split
+    /// NTA). Logs the catalog cell update and applies it.
+    pub fn set_root(&self, txn: TxnId, entry_slot: SlotId, new_root: PageId) -> Result<()> {
+        let (old_cell, new_cell) = {
+            let g = self.pool.fetch_read(PageId(0))?;
+            let old = g
+                .cell(entry_slot)
+                .ok_or_else(|| GistError::Corrupt(format!("catalog slot {entry_slot} missing")))?
+                .to_vec();
+            let e = decode_catalog_cell(entry_slot, &old);
+            let new = encode_catalog_cell(e.id, new_root, e.unique, &e.name);
+            (old, new)
+        };
+        let rec = GistRecord::InternalEntryUpdate {
+            page: 0,
+            slot: entry_slot,
+            new_cell,
+            old_cell,
+        };
+        let lsn = self.txns.log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        rec.redo(&self.pool, lsn)?;
+        // Refresh the cache and remember the demoted root.
+        let mut cat = self.catalog.lock();
+        if let Some(e) = cat.iter_mut().find(|e| e.slot == entry_slot) {
+            self.retired_roots.lock().insert(e.root);
+            e.root = new_root;
+        }
+        Ok(())
+    }
+
+    /// Whether `page` is a current or former root (node deletion must
+    /// leave such pages alone; see `retired_roots`).
+    pub fn is_protected_root(&self, page: PageId) -> bool {
+        self.catalog.lock().iter().any(|e| e.root == page)
+            || self.retired_roots.lock().contains(&page)
+    }
+
+    // ---- logical-undo support ----
+
+    /// Locate the leaf entry with data RID `rid`, starting from the page
+    /// it was logged on and compensating for later splits by walking
+    /// rightlinks (§9.2: "between the time the index operation was
+    /// performed and the time the transaction is aborted, the tree
+    /// structure could have changed … the relevant entries may be moved
+    /// rightward"). Falls back to a breadth-first sweep when the start
+    /// page is no longer a leaf (root split moved the level down).
+    /// Applies `apply` under the found page's X latch.
+    fn locate_and_apply(
+        &self,
+        start: PageId,
+        rid: Rid,
+        apply: impl FnOnce(&mut PageWriteGuard, SlotId),
+    ) -> std::result::Result<(), RecoveryError> {
+        let mut queue = vec![start];
+        let mut visited: HashSet<PageId> = HashSet::new();
+        while let Some(pid) = queue.pop() {
+            if pid.is_invalid() || !visited.insert(pid) {
+                continue;
+            }
+            let mut g = self
+                .pool
+                .fetch_write(pid)
+                .map_err(|e| RecoveryError(format!("fetch {pid} for undo: {e}")))?;
+            if g.is_leaf() {
+                if let Some((slot, _)) = crate::node::find_leaf_by_rid(&g, rid) {
+                    apply(&mut g, slot);
+                    return Ok(());
+                }
+                queue.push(g.rightlink());
+            } else {
+                // Root split demoted the original page: sweep children.
+                for (_, e) in crate::node::internal_entries(&g) {
+                    queue.push(e.child);
+                }
+                queue.push(g.rightlink());
+            }
+        }
+        Err(RecoveryError(format!("leaf entry with {rid:?} not found from {start} during undo")))
+    }
+}
+
+impl RecoveryHandler for Db {
+    fn redo(&self, lsn: Lsn, payload: &Payload) -> std::result::Result<bool, RecoveryError> {
+        if payload.bytes.is_empty() {
+            return Ok(false); // empty CLR
+        }
+        let rec = GistRecord::decode(&payload.bytes)
+            .map_err(|e| RecoveryError(format!("redo decode: {e}")))?;
+        if let GistRecord::Split { orig_nsn_new, .. } = &rec {
+            // Recover the dedicated counter as redo repeats history
+            // (zero = LSN sentinel, see the record's docs).
+            let nsn = if *orig_nsn_new == 0 { lsn.0 } else { *orig_nsn_new };
+            self.nsn_counter.fetch_max(nsn, Ordering::SeqCst);
+        }
+        rec.redo(&self.pool, lsn).map_err(|e| RecoveryError(format!("redo apply: {e}")))
+    }
+
+    fn undo(
+        &self,
+        _rec: &LogRecord,
+        payload: &Payload,
+        _restart: bool,
+        log_clr: &mut dyn FnMut(Payload) -> Lsn,
+    ) -> std::result::Result<(), RecoveryError> {
+        let gr = GistRecord::decode(&payload.bytes)
+            .map_err(|e| RecoveryError(format!("undo decode: {e}")))?;
+        match gr {
+            GistRecord::AddLeafEntry { page, cell, .. } => {
+                // Logical undo: locate the entry (it may have moved right)
+                // and physically remove it. Per Table 1 we skip the
+                // optional immediate garbage collection during restart;
+                // as a conservative simplification we also skip it on
+                // live abort (BPs stay valid upper bounds; the next
+                // reorganization shrinks them).
+                let rid = LeafEntry::decode_rid(&cell);
+                self.locate_and_apply(PageId(page), rid, |g, slot| {
+                    let clr =
+                        log_clr(GistRecord::RemoveLeafEntry { page: g.page_id().0, slot }
+                            .to_payload());
+                    g.delete_cell(slot);
+                    g.mark_dirty(clr);
+                })
+            }
+            GistRecord::MarkLeafEntry { page, old_cell, .. } => {
+                let rid = LeafEntry::decode_rid(&old_cell);
+                self.locate_and_apply(PageId(page), rid, |g, slot| {
+                    let clr = log_clr(
+                        GistRecord::UnmarkLeafEntry {
+                            page: g.page_id().0,
+                            slot,
+                            cell: old_cell.clone(),
+                        }
+                        .to_payload(),
+                    );
+                    g.update_cell(slot, &old_cell).expect("in-place unmark");
+                    g.mark_dirty(clr);
+                })
+            }
+            GistRecord::Split {
+                orig,
+                new,
+                moved,
+                orig_bp_old,
+                orig_nsn_old,
+                orig_rightlink_old,
+                ..
+            } => {
+                let clr = log_clr(
+                    GistRecord::UndoSplit {
+                        orig,
+                        new,
+                        restored: moved.clone(),
+                        orig_bp: orig_bp_old.clone(),
+                        orig_nsn: orig_nsn_old,
+                        orig_rightlink: orig_rightlink_old,
+                    }
+                    .to_payload(),
+                );
+                {
+                    let mut g = self
+                        .pool
+                        .fetch_write(PageId(orig))
+                        .map_err(|e| RecoveryError(e.to_string()))?;
+                    for (slot, cell) in &moved {
+                        g.insert_cell_at(*slot, cell).expect("restored cells fit");
+                    }
+                    crate::node::set_bp(&mut g, &orig_bp_old).expect("restored BP fits");
+                    g.set_nsn(orig_nsn_old);
+                    g.set_rightlink(PageId(orig_rightlink_old));
+                    g.mark_dirty(clr);
+                }
+                {
+                    let mut g = self
+                        .pool
+                        .fetch_write(PageId(new))
+                        .map_err(|e| RecoveryError(e.to_string()))?;
+                    g.clear_cells();
+                    g.mark_dirty(clr);
+                }
+                Ok(())
+            }
+            GistRecord::InternalEntryAdd { page, slot, cell } => {
+                let clr =
+                    log_clr(GistRecord::InternalEntryDelete { page, slot, cell }.to_payload());
+                let mut g = self
+                    .pool
+                    .fetch_write(PageId(page))
+                    .map_err(|e| RecoveryError(e.to_string()))?;
+                g.delete_cell(slot);
+                g.mark_dirty(clr);
+                Ok(())
+            }
+            GistRecord::InternalEntryUpdate { page, slot, new_cell, old_cell } => {
+                let clr = log_clr(
+                    GistRecord::InternalEntryUpdate {
+                        page,
+                        slot,
+                        new_cell: old_cell.clone(),
+                        old_cell: new_cell,
+                    }
+                    .to_payload(),
+                );
+                let mut g = self
+                    .pool
+                    .fetch_write(PageId(page))
+                    .map_err(|e| RecoveryError(e.to_string()))?;
+                g.update_cell(slot, &old_cell).expect("undo update fits");
+                g.mark_dirty(clr);
+                Ok(())
+            }
+            GistRecord::InternalEntryDelete { page, slot, cell } => {
+                let clr = log_clr(
+                    GistRecord::InternalEntryAdd { page, slot, cell: cell.clone() }.to_payload(),
+                );
+                let mut g = self
+                    .pool
+                    .fetch_write(PageId(page))
+                    .map_err(|e| RecoveryError(e.to_string()))?;
+                g.insert_cell_at(slot, &cell).expect("undo insert fits");
+                g.mark_dirty(clr);
+                Ok(())
+            }
+            GistRecord::GetPage { page, .. } => {
+                let clr = log_clr(GistRecord::SetAvailable { page }.to_payload());
+                let mut g = self
+                    .pool
+                    .fetch_write(PageId(page))
+                    .map_err(|e| RecoveryError(e.to_string()))?;
+                g.set_available(true);
+                g.mark_dirty(clr);
+                Ok(())
+            }
+            GistRecord::FreePage { page } => {
+                let clr = log_clr(GistRecord::SetUnavailable { page }.to_payload());
+                let mut g = self
+                    .pool
+                    .fetch_write(PageId(page))
+                    .map_err(|e| RecoveryError(e.to_string()))?;
+                g.set_available(false);
+                g.mark_dirty(clr);
+                Ok(())
+            }
+            GistRecord::CatalogAdd { slot, .. } => {
+                let clr = log_clr(GistRecord::CatalogRemove { slot }.to_payload());
+                let mut g = self
+                    .pool
+                    .fetch_write(PageId(0))
+                    .map_err(|e| RecoveryError(e.to_string()))?;
+                g.delete_cell(slot);
+                g.mark_dirty(clr);
+                Ok(())
+            }
+            // Redo-only records (Table 1: Parent-Entry-Update and
+            // Garbage-Collection) and compensation payloads: no action —
+            // the driver writes an empty CLR to keep the chain skipping.
+            GistRecord::ParentEntryUpdate { .. }
+            | GistRecord::GarbageCollection { .. }
+            | GistRecord::CatalogRemove { .. }
+            | GistRecord::RemoveLeafEntry { .. }
+            | GistRecord::UnmarkLeafEntry { .. }
+            | GistRecord::UndoSplit { .. }
+            | GistRecord::SetAvailable { .. }
+            | GistRecord::SetUnavailable { .. } => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_pagestore::InMemoryStore;
+
+    fn fresh_db() -> Arc<Db> {
+        let store = Arc::new(InMemoryStore::new());
+        let log = Arc::new(LogManager::new());
+        Db::open(store, log, DbConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn bootstrap_creates_catalog_page() {
+        let db = fresh_db();
+        assert!(db.pool().store().page_count() >= 1);
+        assert!(db.open_index_raw("nope").is_none());
+    }
+
+    #[test]
+    fn create_index_is_recoverable() {
+        let store = Arc::new(InMemoryStore::new());
+        let log = Arc::new(LogManager::new());
+        let db = Db::open(store.clone(), log.clone(), DbConfig::default()).unwrap();
+        let e = db.create_index_raw("t", false).unwrap();
+        assert_eq!(e.name, "t");
+        assert!(!e.unique);
+        db.crash();
+        let (db2, report) = Db::restart(store, log, DbConfig::default()).unwrap();
+        assert_eq!(report.indexes, 1);
+        let e2 = db2.open_index_raw("t").unwrap();
+        assert_eq!(e2.id, e.id);
+        assert_eq!(e2.root, e.root);
+        // The root page was re-formatted by redo.
+        let g = db2.pool().fetch_read(e2.root).unwrap();
+        assert!(g.is_leaf());
+        assert!(!g.is_available());
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let db = fresh_db();
+        db.create_index_raw("t", false).unwrap();
+        assert!(matches!(db.create_index_raw("t", true), Err(GistError::Config(_))));
+    }
+
+    #[test]
+    fn multiple_indexes_get_distinct_roots_and_ids() {
+        let db = fresh_db();
+        let a = db.create_index_raw("a", false).unwrap();
+        let b = db.create_index_raw("b", true).unwrap();
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.root, b.root);
+        assert!(b.unique);
+        assert_eq!(db.current_root(a.slot).unwrap(), a.root);
+    }
+
+    #[test]
+    fn set_root_updates_catalog_durably() {
+        let store = Arc::new(InMemoryStore::new());
+        let log = Arc::new(LogManager::new());
+        let db = Db::open(store.clone(), log.clone(), DbConfig::default()).unwrap();
+        let e = db.create_index_raw("t", false).unwrap();
+        let txn = db.begin();
+        db.set_root(txn, e.slot, PageId(42)).unwrap();
+        db.commit(txn).unwrap();
+        assert_eq!(db.current_root(e.slot).unwrap(), PageId(42));
+        db.crash();
+        let (db2, _) = Db::restart(store, log, DbConfig::default()).unwrap();
+        assert_eq!(db2.current_root(e.slot).unwrap(), PageId(42));
+    }
+
+    #[test]
+    fn nsn_sources_behave() {
+        let store = Arc::new(InMemoryStore::new());
+        let log = Arc::new(LogManager::new());
+        let db = Db::open(
+            store,
+            log.clone(),
+            DbConfig { nsn_source: NsnSource::WalLsn, ..DbConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(db.global_nsn(), log.last_lsn().0);
+        let lsn = log.append(TxnId(1), Lsn::NULL, RecordBody::TxnBegin);
+        assert_eq!(db.global_nsn(), lsn.0);
+        assert_eq!(db.split_nsn(lsn), lsn.0);
+
+        let store2 = Arc::new(InMemoryStore::new());
+        let db2 = Db::open(
+            store2,
+            Arc::new(LogManager::new()),
+            DbConfig { nsn_source: NsnSource::DedicatedCounter, ..DbConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(db2.global_nsn(), 0);
+        assert_eq!(db2.split_nsn(Lsn(999)), 1, "dedicated counter ignores the LSN");
+        assert_eq!(db2.global_nsn(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for GiST operations.
+
+use std::fmt;
+use std::io;
+
+use gist_lockmgr::LockError;
+use gist_txn::TxnError;
+
+/// Errors surfaced by index operations.
+#[derive(Debug)]
+pub enum GistError {
+    /// Page store / buffer pool I/O failure.
+    Io(io::Error),
+    /// Lock request failed (deadlock victim or timeout). The caller
+    /// should abort the transaction and may retry it.
+    Lock(LockError),
+    /// Transaction-manager error.
+    Txn(TxnError),
+    /// §8: the inserted key already exists in a unique index. The
+    /// duplicate's data record is S-locked, making the error repeatable
+    /// under Degree 3.
+    UniqueViolation,
+    /// Delete target not found.
+    NotFound,
+    /// Log or page content failed to decode (corruption).
+    Corrupt(String),
+    /// Restart recovery failed.
+    Recovery(String),
+    /// Invalid configuration or usage.
+    Config(String),
+}
+
+impl fmt::Display for GistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GistError::Io(e) => write!(f, "io error: {e}"),
+            GistError::Lock(e) => write!(f, "{e}"),
+            GistError::Txn(e) => write!(f, "{e}"),
+            GistError::UniqueViolation => write!(f, "unique constraint violated"),
+            GistError::NotFound => write!(f, "key/RID pair not found"),
+            GistError::Corrupt(s) => write!(f, "corruption: {s}"),
+            GistError::Recovery(s) => write!(f, "recovery error: {s}"),
+            GistError::Config(s) => write!(f, "configuration error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GistError::Io(e) => Some(e),
+            GistError::Lock(e) => Some(e),
+            GistError::Txn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GistError {
+    fn from(e: io::Error) -> Self {
+        GistError::Io(e)
+    }
+}
+
+impl From<LockError> for GistError {
+    fn from(e: LockError) -> Self {
+        GistError::Lock(e)
+    }
+}
+
+impl From<TxnError> for GistError {
+    fn from(e: TxnError) -> Self {
+        GistError::Txn(e)
+    }
+}
+
+impl GistError {
+    /// Whether this error means "abort and retry the transaction"
+    /// (deadlock victims, per §8's resolution of unique-insert races).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, GistError::Lock(LockError::Deadlock))
+            || matches!(self, GistError::Txn(TxnError::Lock(LockError::Deadlock)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(GistError::Lock(LockError::Deadlock).is_retryable());
+        assert!(!GistError::Lock(LockError::Timeout).is_retryable());
+        assert!(!GistError::UniqueViolation.is_retryable());
+        assert!(!GistError::NotFound.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = GistError::Corrupt("bad cell".into());
+        assert!(e.to_string().contains("bad cell"));
+    }
+}

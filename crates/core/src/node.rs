@@ -1,0 +1,126 @@
+//! Typed node operations over slotted pages.
+//!
+//! Convention: slot 0 of every index node holds the node's own bounding
+//! predicate; slots ≥ 1 hold leaf or internal entries. All functions here
+//! are pure page manipulation — logging and latching are the callers'
+//! concern.
+
+use gist_pagestore::{Page, PageFull, Rid, SlotId};
+
+use crate::entry::{InternalEntry, LeafEntry};
+
+/// Slot holding the node's own BP.
+pub const BP_SLOT: SlotId = 0;
+
+/// Initialize a freshly formatted page as an index node with the given
+/// encoded BP.
+pub fn init_node(page: &mut Page, bp_bytes: &[u8]) {
+    let slot = page.insert_cell(bp_bytes).expect("BP fits on an empty page");
+    assert_eq!(slot, BP_SLOT, "BP must land in slot 0 of a fresh node");
+}
+
+/// The node's encoded BP.
+pub fn bp_bytes(page: &Page) -> &[u8] {
+    page.cell(BP_SLOT).expect("index node has no BP in slot 0")
+}
+
+/// Replace the node's BP.
+pub fn set_bp(page: &mut Page, bp_bytes: &[u8]) -> Result<(), PageFull> {
+    page.update_cell(BP_SLOT, bp_bytes)
+}
+
+/// Iterate `(slot, cell)` over entry slots (skipping the BP slot).
+pub fn entry_cells(page: &Page) -> impl Iterator<Item = (SlotId, &[u8])> {
+    page.iter_cells().filter(|(s, _)| *s != BP_SLOT)
+}
+
+/// Number of entries (excluding the BP).
+pub fn entry_count(page: &Page) -> usize {
+    entry_cells(page).count()
+}
+
+/// Decode all leaf entries.
+pub fn leaf_entries(page: &Page) -> Vec<(SlotId, LeafEntry)> {
+    debug_assert!(page.is_leaf());
+    entry_cells(page).map(|(s, c)| (s, LeafEntry::decode(c))).collect()
+}
+
+/// Decode all internal entries.
+pub fn internal_entries(page: &Page) -> Vec<(SlotId, InternalEntry)> {
+    debug_assert!(!page.is_leaf());
+    entry_cells(page).map(|(s, c)| (s, InternalEntry::decode(c))).collect()
+}
+
+/// Find the internal entry pointing at `child`.
+pub fn find_child_entry(page: &Page, child: gist_pagestore::PageId) -> Option<(SlotId, InternalEntry)> {
+    entry_cells(page)
+        .find(|(_, c)| InternalEntry::decode_child(c) == child)
+        .map(|(s, c)| (s, InternalEntry::decode(c)))
+}
+
+/// Find the leaf entry whose data RID is `rid` (logical undo and delete
+/// both locate entries by RID — RIDs are unique across the leaf level
+/// because "exactly one GiST leaf entry points to a given data record",
+/// §2).
+pub fn find_leaf_by_rid(page: &Page, rid: Rid) -> Option<(SlotId, LeafEntry)> {
+    entry_cells(page)
+        .find(|(_, c)| LeafEntry::decode_rid(c) == rid)
+        .map(|(s, c)| (s, LeafEntry::decode(c)))
+}
+
+/// Whether the page has room for another cell of `len` bytes.
+pub fn has_room(page: &Page, len: usize) -> bool {
+    page.free_for_insert() >= len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_pagestore::PageId;
+
+    fn fresh_leaf() -> Page {
+        let mut p = Page::zeroed();
+        p.format(PageId(1), 0);
+        init_node(&mut p, b"bp0");
+        p
+    }
+
+    #[test]
+    fn bp_lives_in_slot_zero() {
+        let mut p = fresh_leaf();
+        assert_eq!(bp_bytes(&p), b"bp0");
+        set_bp(&mut p, b"bigger-bp").unwrap();
+        assert_eq!(bp_bytes(&p), b"bigger-bp");
+        assert_eq!(entry_count(&p), 0);
+    }
+
+    #[test]
+    fn entries_skip_bp_slot() {
+        let mut p = fresh_leaf();
+        let e1 = LeafEntry::new(vec![1], Rid::new(PageId(10), 0));
+        let e2 = LeafEntry::new(vec![2], Rid::new(PageId(10), 1));
+        p.insert_cell(&e1.encode()).unwrap();
+        p.insert_cell(&e2.encode()).unwrap();
+        let entries = leaf_entries(&p);
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|(s, _)| *s != BP_SLOT));
+    }
+
+    #[test]
+    fn find_by_rid_and_child() {
+        let mut leaf = fresh_leaf();
+        let rid = Rid::new(PageId(3), 7);
+        leaf.insert_cell(&LeafEntry::new(vec![9], rid).encode()).unwrap();
+        assert_eq!(find_leaf_by_rid(&leaf, rid).unwrap().1.rid, rid);
+        assert!(find_leaf_by_rid(&leaf, Rid::new(PageId(3), 8)).is_none());
+
+        let mut internal = Page::zeroed();
+        internal.format(PageId(2), 1);
+        init_node(&mut internal, b"bp");
+        internal.insert_cell(&InternalEntry::new(PageId(5), vec![1]).encode()).unwrap();
+        internal.insert_cell(&InternalEntry::new(PageId(6), vec![2]).encode()).unwrap();
+        let (_, e) = find_child_entry(&internal, PageId(6)).unwrap();
+        assert_eq!(e.pred_bytes, vec![2]);
+        assert!(find_child_entry(&internal, PageId(7)).is_none());
+    }
+}

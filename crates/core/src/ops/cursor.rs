@@ -1,0 +1,300 @@
+//! Search (Fig. 3) as an incremental cursor.
+//!
+//! The search operation keeps a stack of `(page pointer, memorized
+//! counter)` pairs, latches one node at a time (never across I/Os),
+//! detects splits by comparing the memorized value with the node's NSN —
+//! pushing the rightlink with the *original* memorized value when the
+//! node has split — attaches its predicate to every visited node
+//! (top-down), and S-locks the RIDs of qualifying entries.
+//!
+//! Blocking (on a record lock or on insert predicates ahead in a leaf's
+//! FIFO list) never happens while a latch is held: the node is re-pushed,
+//! the latch dropped, the wait performed, and the node re-processed —
+//! "since the latched leaf can be split in the meantime, we might have to
+//! traverse rightlinks, guided by the node's original NSN" (§5), which
+//! the re-push preserves. Footnote 9's duplicate suppression is the
+//! `seen` set of *data* RIDs.
+//!
+//! Cursors also serve §10.2: [`Cursor::snapshot`] captures the stack (and
+//! progress) when a savepoint is established; [`Cursor::restore`] brings
+//! it back on partial rollback. The signaling locks protecting the
+//! stacked pointers are pinned by the transaction manager at savepoint
+//! time.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use gist_lockmgr::{LockMode, LockName};
+use gist_pagestore::{PageId, Rid};
+use gist_predlock::{PredId, PredKind, GLOBAL_NODE};
+use gist_wal::TxnId;
+
+use crate::db::{IsolationLevel, PredicateMode};
+use crate::entry::LeafEntry;
+use crate::ext::GistExtension;
+use crate::node;
+use crate::tree::GistIndex;
+use crate::Result;
+
+/// Saved cursor position (§10.2: "to record the position of a GiST
+/// search operation when establishing a savepoint, it is necessary to
+/// record the then-current stack").
+#[derive(Debug, Clone)]
+pub struct CursorSnapshot<K> {
+    stack: Vec<(PageId, u64)>,
+    seen: HashSet<Rid>,
+    attached: HashSet<PageId>,
+    pending: VecDeque<(K, Rid)>,
+    finished: bool,
+}
+
+/// An incremental search cursor.
+pub struct Cursor<E: GistExtension> {
+    index: Arc<GistIndex<E>>,
+    txn: TxnId,
+    query: E::Query,
+    /// Scan predicate handle (Degree 3 only).
+    pred: Option<PredId>,
+    /// Traversal stack: `(node, memorized counter value)`.
+    stack: Vec<(PageId, u64)>,
+    /// Data RIDs already returned or skipped (footnote 9).
+    seen: HashSet<Rid>,
+    /// Decoded, locked results from the current leaf not yet returned.
+    pending: VecDeque<(E::Key, Rid)>,
+    /// Nodes this cursor has already attached its predicate to.
+    attached: HashSet<PageId>,
+    finished: bool,
+}
+
+impl<E: GistExtension> Cursor<E> {
+    pub(crate) fn new(index: Arc<GistIndex<E>>, txn: TxnId, query: E::Query) -> Result<Self> {
+        let db = index.db().clone();
+        let degree3 = db.config().isolation == IsolationLevel::RepeatableRead;
+        let mut pred = None;
+        if degree3 {
+            let mut qb = Vec::new();
+            index.ext().encode_query(&query, &mut qb);
+            let p = db.preds().register(txn, PredKind::Scan, qb);
+            pred = Some(p);
+            if db.config().predicate_mode == PredicateMode::PureGlobal {
+                // §4.2: one global predicate; verified against conflicting
+                // (insert/delete) predicates before any traversal.
+                let owners = db.preds().attach_scan_and_check(
+                    p,
+                    GLOBAL_NODE,
+                    &|q, k| index.ext().query_conflicts_key_bytes(q, k),
+                );
+                for owner in owners {
+                    db.txns().wait_for_txn(txn, owner).map_err(crate::GistError::Lock)?;
+                }
+            }
+        }
+        let mem = db.global_nsn();
+        let root = index.root()?;
+        index.signal_lock(txn, root)?;
+        Ok(Cursor {
+            index,
+            txn,
+            query,
+            pred,
+            stack: vec![(root, mem)],
+            seen: HashSet::new(),
+            pending: VecDeque::new(),
+            attached: HashSet::new(),
+            finished: false,
+        })
+    }
+
+    /// Whether the hybrid per-node predicate/record protocol is active.
+    fn hybrid_degree3(&self) -> bool {
+        let cfg = self.index.db().config();
+        cfg.isolation == IsolationLevel::RepeatableRead
+            && cfg.predicate_mode == PredicateMode::Hybrid
+    }
+
+    /// Next qualifying `(key, RID)` pair, or `None` when the search range
+    /// is exhausted.
+    pub fn next(&mut self) -> Result<Option<(E::Key, Rid)>> {
+        loop {
+            if let Some(hit) = self.pending.pop_front() {
+                return Ok(Some(hit));
+            }
+            let Some((pid, mem)) = self.stack.pop() else {
+                self.finished = true;
+                return Ok(None);
+            };
+            if pid.is_invalid() {
+                continue;
+            }
+            self.process_node(pid, mem)?;
+        }
+    }
+
+    /// Drain the cursor.
+    pub fn collect_all(&mut self) -> Result<Vec<(E::Key, Rid)>> {
+        let mut out = Vec::new();
+        while let Some(hit) = self.next()? {
+            out.push(hit);
+        }
+        Ok(out)
+    }
+
+    fn process_node(&mut self, pid: PageId, mem: u64) -> Result<()> {
+        let index = self.index.clone();
+        let db = index.db().clone();
+        let ext = index.ext();
+        let g = db.pool().fetch_read(pid)?;
+
+        // Hybrid Degree 3: attach our predicate before reading entries;
+        // conflicting insert predicates *ahead of us* (FIFO fairness,
+        // §10.3) force a latch-free wait and a re-visit.
+        if self.hybrid_degree3() && !self.attached.contains(&pid) {
+            let owners = db.preds().attach_scan_and_check(
+                self.pred.expect("degree3 cursor has a predicate"),
+                index.node_key(pid),
+                &index.conflict_fn(),
+            );
+            self.attached.insert(pid);
+            if !owners.is_empty() {
+                drop(g);
+                self.stack.push((pid, mem));
+                for owner in owners {
+                    db.txns().wait_for_txn(self.txn, owner).map_err(crate::GistError::Lock)?;
+                }
+                return Ok(());
+            }
+        }
+
+        // Split detection (§3): the rightlink inherits the memorized
+        // value, ending the chase at the first node with NSN ≤ mem.
+        if g.nsn() > mem {
+            self.stack.push((g.rightlink(), mem));
+        }
+
+        if g.is_leaf() {
+            // Collect the qualifying entries under the latch, then lock.
+            let mut candidates: Vec<(gist_pagestore::Rid, E::Key, bool)> = Vec::new();
+            for (_, cell) in node::entry_cells(&g) {
+                let rid = LeafEntry::decode_rid(cell);
+                if self.seen.contains(&rid) {
+                    continue;
+                }
+                let entry = LeafEntry::decode(cell);
+                let key = ext.decode_key(&entry.key_bytes);
+                if ext.consistent_key(&key, &self.query) {
+                    candidates.push((rid, key, entry.deleted));
+                }
+            }
+            let mut blocker = None;
+            let isolation = db.config().isolation;
+            let takes_record_locks = isolation != IsolationLevel::Latching
+                && db.config().predicate_mode == PredicateMode::Hybrid;
+            for (rid, key, deleted) in candidates {
+                if takes_record_locks {
+                    if db.locks().try_lock(self.txn, LockName::Rid(rid), LockMode::S) {
+                        // Lock held: the entry's fate is decided. A mark
+                        // that survives its transaction is a committed
+                        // delete (aborts unmark before releasing locks).
+                        self.seen.insert(rid);
+                        if !deleted {
+                            self.pending.push_back((key, rid));
+                        }
+                        if isolation == IsolationLevel::ReadCommitted {
+                            // Degree 2: cursor stability only — the lock
+                            // is dropped as soon as the entry is read.
+                            db.locks().unlock(self.txn, LockName::Rid(rid));
+                        }
+                    } else {
+                        blocker = Some(rid);
+                        break;
+                    }
+                } else {
+                    // Latching / pure-predicate modes: no record locks;
+                    // marked entries are skipped (pure mode's global
+                    // predicate check already serialized us against the
+                    // deleter).
+                    self.seen.insert(rid);
+                    if !deleted {
+                        self.pending.push_back((key, rid));
+                    }
+                }
+            }
+            if let Some(rid) = blocker {
+                // Block without the latch (§5), then re-visit the node;
+                // the retained lock makes the retry cheap, and the
+                // re-push preserves the memorized NSN that guides any
+                // rightlink traversal the wait made necessary.
+                drop(g);
+                self.stack.push((pid, mem));
+                db.locks().lock(self.txn, LockName::Rid(rid), LockMode::S)?;
+                if db.config().isolation == IsolationLevel::ReadCommitted {
+                    // Degree 2 keeps no post-read locks; the re-visit
+                    // will re-acquire (and re-release) instantly.
+                    db.locks().unlock(self.txn, LockName::Rid(rid));
+                }
+                return Ok(());
+            }
+        } else {
+            for (_, e) in node::internal_entries(&g) {
+                let pred = ext.decode_pred(&e.pred_bytes);
+                if ext.consistent_pred(&pred, &self.query) {
+                    let child_mem = index.read_mem(Some(&g));
+                    // Signaling lock taken under the parent's latch —
+                    // the discipline node deletion relies on (§7.2).
+                    index.signal_lock(self.txn, e.child)?;
+                    self.stack.push((e.child, child_mem));
+                }
+            }
+        }
+        drop(g);
+        index.signal_unlock(self.txn, pid);
+        Ok(())
+    }
+
+    /// Capture the cursor position for a savepoint (§10.2). Call
+    /// *before* `TxnManager::savepoint` returns to the application so
+    /// the signaling locks still held for stacked pointers get pinned.
+    pub fn snapshot(&self) -> CursorSnapshot<E::Key> {
+        CursorSnapshot {
+            stack: self.stack.clone(),
+            seen: self.seen.clone(),
+            attached: self.attached.clone(),
+            pending: self.pending.clone(),
+            finished: self.finished,
+        }
+    }
+
+    /// Restore a snapshot after partial rollback.
+    pub fn restore(&mut self, snap: CursorSnapshot<E::Key>) {
+        self.stack = snap.stack;
+        self.seen = snap.seen;
+        self.attached = snap.attached;
+        self.pending = snap.pending;
+        self.finished = snap.finished;
+    }
+
+    /// Whether the cursor has delivered everything.
+    pub fn is_finished(&self) -> bool {
+        self.finished && self.pending.is_empty()
+    }
+
+    /// The cursor's scan-predicate handle (None below Degree 3). Unique
+    /// insertion uses this to release its probe predicates early (§8).
+    pub(crate) fn pred_id(&self) -> Option<PredId> {
+        self.pred
+    }
+}
+
+impl<E: GistExtension> GistIndex<E> {
+    /// Open an incremental cursor over `query`.
+    pub fn cursor(self: &Arc<Self>, txn: TxnId, query: E::Query) -> Result<Cursor<E>> {
+        Cursor::new(self.clone(), txn, query)
+    }
+
+    /// SEARCH: all `(key, RID)` pairs satisfying `query` (drains a
+    /// cursor).
+    pub fn search(self: &Arc<Self>, txn: TxnId, query: &E::Query) -> Result<Vec<(E::Key, Rid)>> {
+        let mut c = self.cursor(txn, query.clone())?;
+        c.collect_all()
+    }
+}

@@ -1,0 +1,357 @@
+//! Key deletion (§7): logical delete, garbage collection of
+//! committed-deleted entries (§7.1), and drain-based node deletion
+//! (§7.2).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use gist_lockmgr::{LockMode, LockName};
+use gist_pagestore::{PageId, PageWriteGuard};
+use gist_predlock::{PredKind, GLOBAL_NODE};
+use gist_wal::{RecordBody, TxnId};
+
+use crate::db::{IsolationLevel, PredicateMode};
+use crate::entry::LeafEntry;
+use crate::ext::GistExtension;
+use crate::logrec::GistRecord;
+use crate::node;
+use crate::ops::{ParentLoc, StackEntry};
+use crate::tree::GistIndex;
+use crate::{GistError, Result};
+
+/// Outcome of a [`GistIndex::vacuum`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VacuumReport {
+    /// Committed-deleted entries physically removed.
+    pub entries_removed: usize,
+    /// Empty nodes retired (parent entry removed, page freed).
+    pub nodes_deleted: usize,
+}
+
+impl<E: GistExtension> GistIndex<E> {
+    /// DELETE: logically delete `(key, RID)` — the entry is only
+    /// *marked* (§7): "the physical presence of this deleted key …
+    /// ensures that Degree 3 isolated search operations have an
+    /// opportunity to be suspended when they encounter such a key", and
+    /// parent BPs must not shrink yet, or the path to the key would
+    /// vanish for concurrent searches.
+    pub fn delete(self: &Arc<Self>, txn: TxnId, key: &E::Key, rid: gist_pagestore::Rid) -> Result<()> {
+        let db = self.db().clone();
+        let cfg = db.config();
+        let degree3 = cfg.isolation == IsolationLevel::RepeatableRead;
+        let locks_records = cfg.isolation != IsolationLevel::Latching;
+        // Two-phase X lock on the data record before the tree operation
+        // (Degree 2 and above).
+        if locks_records {
+            db.locks().lock(txn, LockName::Rid(rid), LockMode::X)?;
+        }
+        // Pure predicate locking: register the deleted key as a
+        // predicate and verify against scans first (§4.2: "insert and
+        // delete operations register their keys as predicates").
+        if degree3 && cfg.predicate_mode == PredicateMode::PureGlobal {
+            let mut kb = Vec::new();
+            self.ext().encode_key(key, &mut kb);
+            let owners = db.preds().check_insert(GLOBAL_NODE, txn, &kb, &self.conflict_fn());
+            let p = db.preds().register(txn, PredKind::Insert, kb);
+            db.preds().attach(p, GLOBAL_NODE);
+            for owner in owners {
+                db.txns().wait_for_txn(txn, owner).map_err(GistError::Lock)?;
+            }
+        }
+
+        // Locate the leaf holding the entry: "equivalent to a search
+        // operation with an equality predicate" (§7), X-latching leaves.
+        let q = self.ext().eq_query(key);
+        let mut mem = db.global_nsn();
+        let root = self.root()?;
+        self.signal_lock(txn, root)?;
+        let mut stack: Vec<(PageId, u64)> = vec![(root, mem)];
+        let mut visited_for_unlock: Vec<PageId> = Vec::new();
+        let mut found = false;
+        while let Some((pid, pmem)) = stack.pop() {
+            if pid.is_invalid() {
+                continue;
+            }
+            mem = pmem;
+            let g = db.pool().fetch_read(pid)?;
+            if g.nsn() > mem {
+                stack.push((g.rightlink(), mem));
+            }
+            if g.is_leaf() {
+                drop(g);
+                let mut w = db.pool().fetch_write(pid)?;
+                if w.nsn() > mem {
+                    // Split between the latches: make sure the chain
+                    // continuation is stacked exactly once.
+                    if stack.last() != Some(&(w.rightlink(), mem)) {
+                        stack.push((w.rightlink(), mem));
+                    }
+                }
+                let target = node::entry_cells(&w)
+                    .find(|(_, cell)| {
+                        let e = LeafEntry::decode(cell);
+                        e.rid == rid
+                            && !e.deleted
+                            && self.ext().key_equal(&self.ext().decode_key(&e.key_bytes), key)
+                    })
+                    .map(|(slot, cell)| (slot, cell.to_vec()));
+                if let Some((slot, old_cell)) = target {
+                    let rec = GistRecord::MarkLeafEntry {
+                        page: pid.0,
+                        nsn: w.nsn(),
+                        slot,
+                        old_cell: old_cell.clone(),
+                        deleter: txn.0,
+                    };
+                    let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+                    let marked = LeafEntry::with_mark(&old_cell, true, txn);
+                    w.update_cell(slot, &marked).expect("in-place mark");
+                    w.mark_dirty(lsn);
+                    found = true;
+                    drop(w);
+                    self.signal_unlock(txn, pid);
+                    break;
+                }
+                drop(w);
+            } else {
+                for (_, e) in node::internal_entries(&g) {
+                    let pred = self.ext().decode_pred(&e.pred_bytes);
+                    if self.ext().consistent_pred(&pred, &q) {
+                        let child_mem = self.read_mem(Some(&g));
+                        self.signal_lock(txn, e.child)?;
+                        stack.push((e.child, child_mem));
+                    }
+                }
+                drop(g);
+            }
+            visited_for_unlock.push(pid);
+            self.signal_unlock(txn, pid);
+        }
+        // Unvisited stacked pointers: release their signaling locks.
+        for (pid, _) in stack {
+            if !pid.is_invalid() {
+                self.signal_unlock(txn, pid);
+            }
+        }
+        if found {
+            Ok(())
+        } else {
+            Err(GistError::NotFound)
+        }
+    }
+
+    /// §7.1 node reorganization: physically remove the entries of this
+    /// (X-latched) leaf whose deleting transactions have committed, and
+    /// shrink the BP. Uses the Commit_LSN fast path (\[Moh90b\]): if the
+    /// page's LSN predates the oldest active transaction's begin, every
+    /// mark on it is committed. Returns the number of entries removed.
+    pub(crate) fn gc_leaf(
+        &self,
+        txn: TxnId,
+        leaf: &mut PageWriteGuard,
+        parent_hint: Option<StackEntry>,
+    ) -> Result<usize> {
+        let db = self.db().clone();
+        let txns = db.txns();
+        let fast_path = leaf.page_lsn() < txns.oldest_active_begin_lsn();
+        let mut removed: Vec<(u16, Vec<u8>)> = Vec::new();
+        let mut remaining_preds: Vec<E::Pred> = Vec::new();
+        for (slot, cell) in node::entry_cells(leaf) {
+            let (marked, deleter) = LeafEntry::decode_mark(cell);
+            // Our own marks are not removable (we might roll back).
+            if marked && deleter != txn && (fast_path || txns.is_certainly_committed(deleter)) {
+                removed.push((slot, cell.to_vec()));
+            } else {
+                let e = LeafEntry::decode(cell);
+                remaining_preds.push(self.ext().key_pred(&self.ext().decode_key(&e.key_bytes)));
+            }
+        }
+        if removed.is_empty() {
+            return Ok(0);
+        }
+        let new_bp_opt = if remaining_preds.is_empty() {
+            None
+        } else {
+            Some(self.ext().union_many(&remaining_preds))
+        };
+        let new_bp = self.encode_bp_opt(&new_bp_opt);
+        let nta = txns.begin_nta(txn)?;
+        let rec = GistRecord::GarbageCollection {
+            page: leaf.page_id().0,
+            removed: removed.clone(),
+            new_bp: new_bp.clone(),
+        };
+        let lsn = txns.log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        for (slot, _) in &removed {
+            leaf.delete_cell(*slot);
+        }
+        node::set_bp(leaf, &new_bp)
+            .map_err(|e| GistError::Corrupt(format!("GC BP overflow: {e}")))?;
+        leaf.mark_dirty(lsn);
+        txns.end_nta(txn, nta)?;
+        // Propagate the shrink to the parent entry when we know the
+        // parent ("the BP of that node may have shrunk, which can then be
+        // propagated to the parent nodes"). One level is enough for
+        // correctness — ancestor BPs stay conservative upper bounds.
+        // A fully emptied leaf keeps its old parent entry (internal
+        // entries always carry decodable, non-empty predicates); the
+        // node-deletion path will remove the entry soon anyway.
+        if new_bp.is_empty() {
+            return Ok(removed.len());
+        }
+        if let Some(hint) = parent_hint {
+            match self.latch_parent(&[hint], leaf)? {
+                ParentLoc::IsRoot => {
+                    self.apply_parent_entry_update(txn, leaf, None, new_bp)?;
+                }
+                ParentLoc::Found(mut parent, slot) => {
+                    self.apply_parent_entry_update(txn, leaf, Some((&mut parent, slot)), new_bp)?;
+                }
+            }
+        }
+        Ok(removed.len())
+    }
+
+    /// §7.2 node deletion with the drain technique. Opportunistic: any
+    /// contention (latch or signaling lock) abandons the attempt.
+    ///
+    /// Latch order is parent-then-child here, the reverse of the
+    /// bottom-up order used by splits and BP updates — which is exactly
+    /// why the child latch is only *tried*: a blocking acquire could
+    /// deadlock with an ascending operation.
+    pub(crate) fn try_delete_node(
+        &self,
+        txn: TxnId,
+        parent_hint: PageId,
+        child: PageId,
+    ) -> Result<bool> {
+        let db = self.db().clone();
+        if db.is_protected_root(child) {
+            return Ok(false);
+        }
+        // Find and X-latch the parent holding the child's entry.
+        let mut pid = parent_hint;
+        let (mut parent_g, slot) = loop {
+            let g = db.pool().fetch_write(pid)?;
+            if let Some((slot, _)) = node::find_child_entry(&g, child) {
+                break (g, slot);
+            }
+            let next = g.rightlink();
+            drop(g);
+            if next.is_invalid() {
+                return Ok(false); // already gone
+            }
+            pid = next;
+        };
+        // Keep internal nodes non-empty (descent needs a branch).
+        if parent_g.occupied_count() <= 2 {
+            // BP slot + one entry: deleting it would empty the parent.
+            return Ok(false);
+        }
+        // Child latch: try only (see latch-order note above).
+        let Some(child_g) = db.pool().try_fetch_write(child)? else {
+            return Ok(false);
+        };
+        if node::entry_count(&child_g) != 0 {
+            return Ok(false);
+        }
+        // A node that split must not be deleted while its rightlink may
+        // still be chased; the signaling-lock probe below covers active
+        // operations, but be conservative about in-flight arrivals.
+        let name = LockName::Node { index: self.id(), page: child };
+        if !db.locks().try_lock(txn, name, LockMode::X) {
+            return Ok(false); // drain: someone still holds a pointer
+        }
+        let entry_cell = parent_g.cell(slot).expect("entry present").to_vec();
+        let txns = db.txns();
+        let nta = match txns.begin_nta(txn) {
+            Ok(n) => n,
+            Err(e) => {
+                db.locks().unlock(txn, name);
+                return Err(e.into());
+            }
+        };
+        let rec = GistRecord::InternalEntryDelete {
+            page: parent_g.page_id().0,
+            slot,
+            cell: entry_cell,
+        };
+        let lsn = txns.log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        parent_g.delete_cell(slot);
+        parent_g.mark_dirty(lsn);
+        let rec = GistRecord::FreePage { page: child.0 };
+        let lsn = txns.log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        let mut child_g = child_g;
+        child_g.set_available(true);
+        child_g.mark_dirty(lsn);
+        txns.end_nta(txn, nta)?;
+        drop(child_g);
+        drop(parent_g);
+        db.locks().unlock(txn, name);
+        db.alloc().free(child);
+        Ok(true)
+    }
+
+    /// Sweep the whole index: garbage-collect every leaf, shrink BPs,
+    /// and retire empty nodes. Runs under the caller's transaction (the
+    /// physical work is in atomic units, so it commits as it goes).
+    pub fn vacuum(self: &Arc<Self>, txn: TxnId) -> Result<VacuumReport> {
+        let db = self.db().clone();
+        let mut report = VacuumReport::default();
+        loop {
+            let mut deleted_this_round = 0;
+            // Collect (parent, child-leaf) pairs with a read pass.
+            let mut pairs: Vec<(PageId, u64, PageId)> = Vec::new();
+            let root = self.root()?;
+            let mut queue = vec![root];
+            let mut seen: HashSet<PageId> = HashSet::new();
+            while let Some(pid) = queue.pop() {
+                if pid.is_invalid() || !seen.insert(pid) {
+                    continue;
+                }
+                let g = db.pool().fetch_read(pid)?;
+                queue.push(g.rightlink());
+                if !g.is_leaf() {
+                    for (_, e) in node::internal_entries(&g) {
+                        queue.push(e.child);
+                        if g.level() == 1 {
+                            pairs.push((pid, g.nsn(), e.child));
+                        }
+                    }
+                }
+            }
+            // Root-is-leaf case: GC it directly.
+            let root_g = db.pool().fetch_read(root)?;
+            let root_is_leaf = root_g.is_leaf();
+            drop(root_g);
+            if root_is_leaf {
+                let mut g = db.pool().fetch_write(root)?;
+                report.entries_removed += self.gc_leaf(txn, &mut g, None)?;
+                return Ok(report);
+            }
+            for (parent, parent_nsn, leaf) in pairs {
+                let mut g = db.pool().fetch_write(leaf)?;
+                if !g.is_leaf() {
+                    continue; // page got reused at another level
+                }
+                report.entries_removed += self.gc_leaf(
+                    txn,
+                    &mut g,
+                    Some(StackEntry { page: parent, nsn_at_visit: parent_nsn }),
+                )?;
+                let empty = node::entry_count(&g) == 0;
+                drop(g);
+                if empty && self.try_delete_node(txn, parent, leaf)? {
+                    report.nodes_deleted += 1;
+                    deleted_this_round += 1;
+                }
+            }
+            if deleted_this_round == 0 {
+                return Ok(report);
+            }
+            // Another round may now find empty internal nodes' parents
+            // (we only retire leaves directly; internal nodes drain on
+            // later passes once their children are gone).
+        }
+    }
+}

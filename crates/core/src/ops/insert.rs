@@ -1,0 +1,554 @@
+//! Key insertion (Fig. 4) and unique-index insertion (§8).
+//!
+//! Phases per §6:
+//! 1. X-lock the new data record before touching the tree;
+//! 2. `locateLeaf`: penalty-guided descent without lock coupling,
+//!    compensating for missed splits by choosing the min-penalty node in
+//!    the rightlink chain delimited by the memorized counter value;
+//! 3. recursive node splitting as one atomic unit of work (two-phase
+//!    latching inside the unit), replicating predicate attachments and
+//!    signaling locks to the new sibling;
+//! 4. top-down BP propagation with predicate percolation, one
+//!    `Parent-Entry-Update` atomic action per ancestor;
+//! 5. the `Add-Leaf-Entry` content record ascribed to the transaction;
+//! 6. the leaf-attached-predicate check, blocking latch-free on
+//!    conflicting scans, with a FIFO insert predicate against starvation
+//!    (§10.3).
+
+use std::sync::Arc;
+
+use gist_lockmgr::{LockMode, LockName};
+use gist_pagestore::{PageId, PageWriteGuard, Rid};
+use gist_predlock::{PredKind, GLOBAL_NODE};
+use gist_wal::{RecordBody, TxnId};
+
+use crate::db::{IsolationLevel, PredicateMode};
+use crate::entry::{InternalEntry, LeafEntry};
+use crate::ext::GistExtension;
+use crate::logrec::GistRecord;
+use crate::node;
+use crate::ops::{ParentLoc, StackEntry};
+use crate::tree::GistIndex;
+use crate::{GistError, Result};
+
+impl<E: GistExtension> GistIndex<E> {
+    /// INSERT: add `(key, RID)` to the index. On a unique index this
+    /// performs the §8 combined search+insert. A deadlock error means
+    /// the caller must abort (and may retry) the transaction.
+    pub fn insert(self: &Arc<Self>, txn: TxnId, key: &E::Key, rid: Rid) -> Result<()> {
+        if self.is_unique() {
+            self.insert_unique(txn, key, rid)
+        } else {
+            self.insert_nonunique(txn, key, rid)
+        }
+    }
+
+    /// §8: probe with an "`= key`" search (leaving probe predicates on
+    /// every visited node), then insert. Races between two inserters of
+    /// the same value surface as a lock-manager deadlock.
+    fn insert_unique(self: &Arc<Self>, txn: TxnId, key: &E::Key, rid: Rid) -> Result<()> {
+        let q = self.ext().eq_query(key);
+        let mut probe = self.cursor(txn, q)?;
+        let dup = probe.next()?;
+        let probe_pred = probe.pred_id();
+        if dup.is_some() {
+            // The duplicate's data record is S-locked by the cursor,
+            // making the error repeatable; the probe predicates are not
+            // needed for that (§8) and are dropped.
+            if let Some(p) = probe_pred {
+                self.db().preds().drop_predicate(p);
+            }
+            return Err(GistError::UniqueViolation);
+        }
+        // Finish the probe so its predicates cover every node whose BP is
+        // consistent with "= key" — this is what forces two concurrent
+        // inserters of the same value into a deadlock instead of a double
+        // insert.
+        probe.collect_all()?;
+        let res = self.insert_nonunique(txn, key, rid);
+        // "Once the insert operation is finished, the predicates left
+        // behind from the search phase can be released."
+        if res.is_ok() {
+            if let Some(p) = probe_pred {
+                self.db().preds().drop_predicate(p);
+            }
+        }
+        res
+    }
+
+    pub(crate) fn insert_nonunique(
+        self: &Arc<Self>,
+        txn: TxnId,
+        key: &E::Key,
+        rid: Rid,
+    ) -> Result<()> {
+        let db = self.db().clone();
+        let cfg = db.config();
+        let degree3 = cfg.isolation == IsolationLevel::RepeatableRead;
+        let locks_records = cfg.isolation != IsolationLevel::Latching;
+        let pure = cfg.predicate_mode == PredicateMode::PureGlobal;
+
+        // Phase 1: "the new data record is X-locked before the tree
+        // insertion is initiated". Writers 2PL their records at Degree 2
+        // and above.
+        if locks_records {
+            db.locks().lock(txn, LockName::Rid(rid), LockMode::X)?;
+        }
+        let mut key_bytes = Vec::new();
+        self.ext().encode_key(key, &mut key_bytes);
+
+        // Pure predicate locking (§4.2 baseline): verify against the
+        // global scan-predicate list before traversing, and register the
+        // key so later scans block on us.
+        if degree3 && pure {
+            let owners =
+                db.preds().check_insert(GLOBAL_NODE, txn, &key_bytes, &self.conflict_fn());
+            let p = db.preds().register(txn, PredKind::Insert, key_bytes.clone());
+            db.preds().attach(p, GLOBAL_NODE);
+            for owner in owners {
+                db.txns().wait_for_txn(txn, owner).map_err(GistError::Lock)?;
+            }
+        }
+
+        let cell = LeafEntry::new(key_bytes.clone(), rid).encode();
+
+        // Phase 2: locate the target leaf (X-latched).
+        let (mut leaf, mut stack) = self.locate_leaf(txn, key)?;
+
+        // Phase 3: make room — opportunistic garbage collection first
+        // (§7.1: physical removal "performed … by other operations which
+        // happen to pass through the affected nodes"), then splits.
+        if !node::has_room(&leaf, cell.len()) {
+            self.gc_leaf(txn, &mut leaf, stack.last().copied())?;
+        }
+        while !node::has_room(&leaf, cell.len()) {
+            leaf = self.split_for_insert(txn, leaf, &stack, key)?;
+        }
+
+        // Phase 4: expand BPs up the tree (top-down application with
+        // percolation).
+        let old_bp = self.decode_bp_opt(node::bp_bytes(&leaf));
+        let union = self.bp_union_key(&old_bp, key);
+        if old_bp.as_ref() != Some(&union) {
+            self.update_bp(txn, &mut leaf, union, &stack)?;
+        }
+
+        // Phase 5: the Add-Leaf-Entry content record (logged, then
+        // applied under the latch).
+        let slot = leaf.next_insert_slot();
+        let rec = GistRecord::AddLeafEntry {
+            page: leaf.page_id().0,
+            nsn: leaf.nsn(),
+            slot,
+            cell: cell.clone(),
+        };
+        let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        leaf.insert_cell_at(slot, &cell).expect("room was ensured");
+        leaf.mark_dirty(lsn);
+
+        // Phase 6: check the predicates attached to the leaf; block on
+        // conflicting scans after registering our own insert predicate
+        // (FIFO starvation avoidance, §10.3) and releasing the latch.
+        let leaf_pid = leaf.page_id();
+        let mut wait_result: Result<()> = Ok(());
+        if degree3 && !pure {
+            let owners = db.preds().check_insert(
+                self.node_key(leaf_pid),
+                txn,
+                &key_bytes,
+                &self.conflict_fn(),
+            );
+            if owners.is_empty() {
+                drop(leaf);
+            } else {
+                let ip = db.preds().register(txn, PredKind::Insert, key_bytes.clone());
+                db.preds().attach(ip, self.node_key(leaf_pid));
+                drop(leaf);
+                for owner in owners {
+                    if let Err(e) = db.txns().wait_for_txn(txn, owner) {
+                        wait_result = Err(GistError::Lock(e));
+                        break;
+                    }
+                }
+                // The insert operation is finished (or doomed): release
+                // the insert predicate.
+                db.preds().drop_predicate(ip);
+            }
+        } else {
+            drop(leaf);
+        }
+
+        // Release ancestor signaling locks; the target leaf's lock is
+        // retained until transaction end (§7.2: "otherwise
+        // recovery-relevant parts of the link chain would be
+        // interrupted").
+        for e in stack.drain(..) {
+            self.signal_unlock(txn, e.page);
+        }
+        wait_result
+    }
+
+    /// Fig. 4 `locateLeaf`: descend following minimum-penalty branches,
+    /// compensating for splits via the rightlink chain, without lock
+    /// coupling. Returns the X-latched leaf and the ancestor stack.
+    /// Signaling locks are held on the returned stack nodes and the leaf.
+    pub(crate) fn locate_leaf(
+        &self,
+        txn: TxnId,
+        key: &E::Key,
+    ) -> Result<(PageWriteGuard, Vec<StackEntry>)> {
+        let db = self.db().clone();
+        let mut mem = db.global_nsn();
+        let root = self.root()?;
+        self.signal_lock(txn, root)?;
+        let mut stack: Vec<StackEntry> = Vec::new();
+        let mut cur = root;
+        loop {
+            // Read-latch to inspect; adjust for splits missed since `mem`.
+            let g = db.pool().fetch_read(cur)?;
+            if g.nsn() > mem {
+                drop(g);
+                // Pick the min-penalty node in the chain; its NSN as of
+                // that inspection becomes the new memorized value, so a
+                // re-check only fires if it splits *again* afterwards.
+                let (best, best_nsn) = self.chain_min_penalty(cur, mem, key)?;
+                cur = best;
+                mem = best_nsn;
+                continue;
+            }
+            if g.is_leaf() {
+                drop(g);
+                let w = db.pool().fetch_write(cur)?;
+                if w.nsn() > mem {
+                    // Split slipped in between the latches; go around.
+                    drop(w);
+                    continue;
+                }
+                return Ok((w, stack));
+            }
+            stack.push(StackEntry { page: cur, nsn_at_visit: g.nsn() });
+            let (_, entry) = self.min_penalty_child(&g, key)?;
+            let child_mem = self.read_mem(Some(&g));
+            // Signaling lock under the parent latch (§7.2 discipline).
+            self.signal_lock(txn, entry.child)?;
+            drop(g);
+            mem = child_mem;
+            cur = entry.child;
+        }
+    }
+
+    /// "node with smallest insert penalty in rightlink chain delimited by
+    /// p-NSN" (Fig. 4): walk the chain, one latch at a time, and return
+    /// the best node. Signaling locks on chain members are already held
+    /// via split-time replication (§10.3).
+    fn chain_min_penalty(
+        &self,
+        start: PageId,
+        mem: u64,
+        key: &E::Key,
+    ) -> Result<(PageId, u64)> {
+        let db = self.db();
+        let mut best: Option<(f64, PageId, u64)> = None;
+        let mut cur = start;
+        loop {
+            let g = db.pool().fetch_read(cur)?;
+            let pen = match self.decode_bp_opt(node::bp_bytes(&g)) {
+                Some(bp) => self.ext().penalty(&bp, key),
+                None => f64::MAX,
+            };
+            match &best {
+                Some((b, _, _)) if *b <= pen => {}
+                _ => best = Some((pen, cur, g.nsn())),
+            }
+            let stop = g.nsn() <= mem;
+            let next = g.rightlink();
+            drop(g);
+            if stop || next.is_invalid() {
+                break;
+            }
+            cur = next;
+        }
+        let (_, pid, nsn) = best.expect("chain has at least one node");
+        Ok((pid, nsn))
+    }
+
+    /// Fig. 4 `updateBP`: expand this node's BP (and recursively its
+    /// ancestors'), percolating ancestor scan predicates down to newly
+    /// covered children. Each parent-entry update is its own atomic unit
+    /// of work; latches are held bottom-up along the updated path.
+    pub(crate) fn update_bp(
+        &self,
+        txn: TxnId,
+        child: &mut PageWriteGuard,
+        new_bp: E::Pred,
+        stack: &[StackEntry],
+    ) -> Result<()> {
+        let old_bp = self.decode_bp_opt(node::bp_bytes(child));
+        if old_bp.as_ref() == Some(&new_bp) {
+            return Ok(());
+        }
+        let new_bp_bytes = self.encode_bp_opt(&Some(new_bp.clone()));
+        match self.latch_parent(stack, child)? {
+            ParentLoc::IsRoot => {
+                self.apply_parent_entry_update(txn, child, None, new_bp_bytes)?;
+            }
+            ParentLoc::Found(mut parent, slot) => {
+                let parent_bp = self.decode_bp_opt(node::bp_bytes(&parent));
+                let parent_new = self.bp_union_pred(&parent_bp, &new_bp);
+                let upper = if stack.is_empty() { &[] } else { &stack[..stack.len() - 1] };
+                self.update_bp(txn, &mut parent, parent_new, upper)?;
+                // Percolation: ancestor scan predicates that the expanded
+                // BP makes consistent move down to the child (§4.3).
+                let ext = self.ext();
+                let old_for_filter = old_bp.clone();
+                self.db().preds().replicate(
+                    self.node_key(parent.page_id()),
+                    self.node_key(child.page_id()),
+                    &|kind, bytes| {
+                        kind == PredKind::Scan
+                            && ext.query_bytes_consistent_pred(bytes, &new_bp)
+                            && !old_for_filter
+                                .as_ref()
+                                .map_or(false, |ob| ext.query_bytes_consistent_pred(bytes, ob))
+                    },
+                );
+                self.apply_parent_entry_update(
+                    txn,
+                    child,
+                    Some((&mut parent, slot)),
+                    new_bp_bytes,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Split the (full, X-latched) node as one atomic unit of work and
+    /// return the X-latched node the pending key belongs on. Ancestor
+    /// latches taken by the recursion are released when the unit commits
+    /// (two-phase latching within the action, §9.1).
+    pub(crate) fn split_for_insert(
+        &self,
+        txn: TxnId,
+        node_g: PageWriteGuard,
+        stack: &[StackEntry],
+        key: &E::Key,
+    ) -> Result<PageWriteGuard> {
+        let db = self.db().clone();
+        let nta = db.txns().begin_nta(txn)?;
+        let mut held: Vec<PageWriteGuard> = Vec::new();
+        let (orig, sibling, pending_to_new) =
+            self.split_rec(txn, node_g, stack, &mut held, Some(key))?;
+        db.txns().end_nta(txn, nta)?;
+        drop(held); // ancestor latches released as the unit commits
+        if pending_to_new {
+            drop(orig);
+            Ok(sibling)
+        } else {
+            drop(sibling);
+            Ok(orig)
+        }
+    }
+
+    /// Recursive splitting (Fig. 4 `splitNode`). Returns the original and
+    /// new-sibling guards plus whether the pending key routes to the
+    /// sibling. Parent guards move into `held` (kept until the atomic
+    /// unit finishes).
+    fn split_rec(
+        &self,
+        txn: TxnId,
+        mut node_g: PageWriteGuard,
+        stack: &[StackEntry],
+        held: &mut Vec<PageWriteGuard>,
+        pending: Option<&E::Key>,
+    ) -> Result<(PageWriteGuard, PageWriteGuard, bool)> {
+        let db = self.db().clone();
+        let ext = self.ext();
+        let node_id = node_g.page_id();
+        let level = node_g.level();
+
+        // Latch the parent before modifying anything (Fig. 4 order),
+        // correcting for parent splits since the descent.
+        let parent_loc = self.latch_parent(stack, &node_g)?;
+
+        // Distribute the existing entries.
+        let entries: Vec<(u16, Vec<u8>)> =
+            node::entry_cells(&node_g).map(|(s, c)| (s, c.to_vec())).collect();
+        if entries.len() < 2 {
+            return Err(GistError::Corrupt(format!(
+                "cannot split {node_id}: {} entries (key too large for the page?)",
+                entries.len()
+            )));
+        }
+        let preds: Vec<E::Pred> = entries
+            .iter()
+            .map(|(_, cell)| {
+                if level == 0 {
+                    ext.key_pred(&ext.decode_key(&LeafEntry::decode(cell).key_bytes))
+                } else {
+                    ext.decode_pred(&InternalEntry::decode(cell).pred_bytes)
+                }
+            })
+            .collect();
+        let decision = ext.pick_split(&preds);
+        assert!(
+            !decision.left.is_empty() && !decision.right.is_empty(),
+            "pick_split must produce two non-empty sides"
+        );
+        let left_preds: Vec<E::Pred> = decision.left.iter().map(|&i| preds[i].clone()).collect();
+        let right_preds: Vec<E::Pred> = decision.right.iter().map(|&i| preds[i].clone()).collect();
+        let orig_bp_new_p = ext.union_many(&left_preds);
+        let new_bp_p = ext.union_many(&right_preds);
+        let pending_to_new = match pending {
+            Some(k) => ext.penalty(&new_bp_p, k) < ext.penalty(&orig_bp_new_p, k),
+            None => false,
+        };
+        let moved: Vec<(u16, Vec<u8>)> =
+            decision.right.iter().map(|&i| entries[i].clone()).collect();
+        let orig_bp_old = node::bp_bytes(&node_g).to_vec();
+        let orig_bp_new = self.encode_bp_opt(&Some(orig_bp_new_p.clone()));
+        let new_bp = self.encode_bp_opt(&Some(new_bp_p.clone()));
+
+        // Allocate and format the sibling (Get-Page, inside the unit).
+        let new_pid = db.alloc().allocate();
+        let get_rec = GistRecord::GetPage { page: new_pid.0, level, bp: new_bp.clone() };
+        let get_lsn = db.txns().log_update(txn, RecordBody::Payload(get_rec.to_payload()))?;
+        let mut new_g = db.pool().new_page_write(new_pid, level)?;
+        node::init_node(&mut new_g, &new_bp);
+        new_g.set_available(false);
+        new_g.mark_dirty(get_lsn);
+
+        // The Split record: log, then apply to both latched pages.
+        let orig_nsn_old = node_g.nsn();
+        let orig_rightlink_old = node_g.rightlink();
+        let split_rec_partial = |nsn_new: u64| GistRecord::Split {
+            orig: node_id.0,
+            new: new_pid.0,
+            level,
+            moved: moved.clone(),
+            orig_bp_old: orig_bp_old.clone(),
+            orig_bp_new: orig_bp_new.clone(),
+            new_bp: new_bp.clone(),
+            orig_nsn_old,
+            orig_nsn_new: nsn_new,
+            orig_rightlink_old: orig_rightlink_old.0,
+            pending_to_new,
+        };
+        // In WalLsn mode the record's own LSN becomes the new NSN; since
+        // the LSN is unknown before the append, the record carries the
+        // zero sentinel and redo resolves it to its LSN. The dedicated
+        // counter is drawn (and logged explicitly) before the append.
+        let logged_nsn = match db.config().nsn_source {
+            crate::db::NsnSource::WalLsn => 0,
+            crate::db::NsnSource::DedicatedCounter => db.split_nsn(gist_wal::Lsn::NULL),
+        };
+        let rec = split_rec_partial(logged_nsn);
+        let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        let nsn_new = if logged_nsn == 0 { lsn.0 } else { logged_nsn };
+        // Apply to the original node.
+        for (slot, _) in &moved {
+            node_g.delete_cell(*slot);
+        }
+        node::set_bp(&mut node_g, &orig_bp_new)
+            .map_err(|e| GistError::Corrupt(format!("split BP overflow: {e}")))?;
+        node_g.set_nsn(nsn_new);
+        node_g.set_rightlink(new_pid);
+        node_g.mark_dirty(lsn);
+        // Apply to the sibling: inherits the old NSN and rightlink (§3).
+        for (_, cell) in &moved {
+            new_g.insert_cell(cell).expect("moved cells fit on a fresh page");
+        }
+        new_g.set_nsn(orig_nsn_old);
+        new_g.set_rightlink(orig_rightlink_old);
+        new_g.mark_dirty(lsn);
+
+        // Replicate predicate attachments consistent with the sibling's
+        // BP (§4.3) and the signaling locks (§10.3).
+        self.db().preds().replicate(
+            self.node_key(node_id),
+            self.node_key(new_pid),
+            &|kind, bytes| match kind {
+                PredKind::Scan => ext.query_bytes_consistent_pred(bytes, &new_bp_p),
+                PredKind::Insert => ext.key_bytes_within_pred(bytes, &new_bp_p),
+            },
+        );
+        db.locks().replicate_shared(
+            LockName::Node { index: self.id(), page: node_id },
+            LockName::Node { index: self.id(), page: new_pid },
+        );
+
+        // Install the parent entries.
+        match parent_loc {
+            ParentLoc::IsRoot => {
+                // Root split: allocate a new root holding entries for
+                // both halves and swing the catalog pointer — all inside
+                // the same atomic unit.
+                let root_pid = db.alloc().allocate();
+                let root_bp = self.encode_bp_opt(&Some(ext.union_preds(&orig_bp_new_p, &new_bp_p)));
+                let rec = GistRecord::GetPage { page: root_pid.0, level: level + 1, bp: root_bp.clone() };
+                let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+                let mut root_g = db.pool().new_page_write(root_pid, level + 1)?;
+                node::init_node(&mut root_g, &root_bp);
+                root_g.set_available(false);
+                root_g.mark_dirty(lsn);
+                for (child, bp) in [(node_id, &orig_bp_new), (new_pid, &new_bp)] {
+                    let cell = InternalEntry::new(child, bp.clone()).encode();
+                    let slot = root_g.next_insert_slot();
+                    let rec = GistRecord::InternalEntryAdd { page: root_pid.0, slot, cell: cell.clone() };
+                    let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+                    root_g.insert_cell_at(slot, &cell).expect("fresh root has room");
+                    root_g.mark_dirty(lsn);
+                }
+                db.set_root(txn, self.catalog_slot(), root_pid)?;
+                held.push(root_g);
+            }
+            ParentLoc::Found(parent_g, mut entry_slot) => {
+                let mut parent_g = parent_g;
+                let new_entry = InternalEntry::new(new_pid, new_bp.clone()).encode();
+                // The parent may itself be full: split it recursively,
+                // then continue on whichever half holds our entry.
+                while !node::has_room(&parent_g, new_entry.len()) {
+                    let upper = if stack.is_empty() { &[] } else { &stack[..stack.len() - 1] };
+                    let (p_orig, p_new, _) = self.split_rec(txn, parent_g, upper, held, None)?;
+                    if node::find_child_entry(&p_orig, node_id).is_some() {
+                        parent_g = p_orig;
+                        held.push(p_new);
+                    } else {
+                        parent_g = p_new;
+                        held.push(p_orig);
+                    }
+                    entry_slot = node::find_child_entry(&parent_g, node_id)
+                        .expect("entry present after parent split")
+                        .0;
+                }
+                // Update the original node's entry to its shrunk BP.
+                let old_cell = parent_g
+                    .cell(entry_slot)
+                    .expect("parent entry present")
+                    .to_vec();
+                let upd_cell = InternalEntry::new(node_id, orig_bp_new.clone()).encode();
+                let rec = GistRecord::InternalEntryUpdate {
+                    page: parent_g.page_id().0,
+                    slot: entry_slot,
+                    new_cell: upd_cell.clone(),
+                    old_cell,
+                };
+                let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+                parent_g.update_cell(entry_slot, &upd_cell).expect("same-size entry update");
+                parent_g.mark_dirty(lsn);
+                // Add the sibling's entry.
+                let slot = parent_g.next_insert_slot();
+                let rec = GistRecord::InternalEntryAdd {
+                    page: parent_g.page_id().0,
+                    slot,
+                    cell: new_entry.clone(),
+                };
+                let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+                parent_g.insert_cell_at(slot, &new_entry).expect("room was ensured");
+                parent_g.mark_dirty(lsn);
+                held.push(parent_g);
+            }
+        }
+        Ok((node_g, new_g, pending_to_new))
+    }
+}

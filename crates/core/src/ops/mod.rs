@@ -1,0 +1,241 @@
+//! The tree operations: search (Fig. 3), insertion (Fig. 4), deletion,
+//! garbage collection, node deletion, unique insertion.
+//!
+//! Shared machinery lives here: descent stack entries, memorized-counter
+//! reads (§10.1), parent latching with rightlink correction, signaling
+//! locks (§7.2), and the log-then-apply helpers for structure
+//! modifications.
+
+pub mod cursor;
+pub mod delete;
+mod insert;
+
+use gist_lockmgr::{LockMode, LockName};
+use gist_pagestore::{PageId, PageWriteGuard, SlotId};
+use gist_wal::{RecordBody, TxnId};
+
+use crate::db::NsnSource;
+use crate::entry::InternalEntry;
+use crate::ext::GistExtension;
+use crate::logrec::GistRecord;
+use crate::node;
+use crate::tree::GistIndex;
+use crate::{GistError, Result};
+
+/// One ancestor recorded during descent (Fig. 4's
+/// `push(stack, [p, NSN(p)])`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StackEntry {
+    /// The ancestor node.
+    pub page: PageId,
+    /// Its NSN when we visited it — "if NSN(parent) changed since first
+    /// visited", the parent has split and the child's entry may have
+    /// moved to a right sibling. Kept for protocol fidelity and used by
+    /// diagnostics; `latch_parent` detects the same condition directly by
+    /// probing for the child's entry and walking rightlinks.
+    #[allow(dead_code)]
+    pub nsn_at_visit: u64,
+}
+
+/// Where a node's parent entry was found.
+pub(crate) enum ParentLoc {
+    /// The node is the current root: no parent entry exists.
+    IsRoot,
+    /// Parent latched in X mode; the child's entry is at `slot`.
+    Found(PageWriteGuard, SlotId),
+}
+
+impl<E: GistExtension> GistIndex<E> {
+    /// The value a descending operation memorizes before following a
+    /// child pointer (§10.1): the tree-global counter, or — with the
+    /// LSN-based optimization — the parent page's LSN, sparing the
+    /// high-frequency counter. `parent` is `None` at the root pointer.
+    pub(crate) fn read_mem(&self, parent: Option<&gist_pagestore::Page>) -> u64 {
+        let cfg = self.db().config();
+        match (parent, cfg.nsn_source, cfg.memorize_parent_lsn) {
+            (Some(p), NsnSource::WalLsn, true) => p.page_lsn().0,
+            _ => self.db().global_nsn(),
+        }
+    }
+
+    /// Acquire the §7.2 signaling lock on a node. Must be called while
+    /// the latch of the node's *parent* (or left sibling for rightlink
+    /// targets, or nothing for the root) is held, so that node deletion's
+    /// parent-latch-first discipline observes it. S mode: never blocks
+    /// meaningfully (deleters only `try_lock` X).
+    pub(crate) fn signal_lock(&self, txn: TxnId, page: PageId) -> Result<()> {
+        self.db()
+            .locks()
+            .lock(txn, LockName::Node { index: self.id(), page }, LockMode::S)?;
+        Ok(())
+    }
+
+    /// Release a signaling lock after visiting the node — unless a
+    /// savepoint pinned it (§10.2).
+    pub(crate) fn signal_unlock(&self, txn: TxnId, page: PageId) {
+        let name = LockName::Node { index: self.id(), page };
+        if !self.db().txns().is_pinned(txn, name) {
+            self.db().locks().unlock(txn, name);
+        }
+    }
+
+    /// The predicate-conflict test handed to the predicate manager:
+    /// `conflict(scan_query_bytes, insert_key_bytes)` via the extension's
+    /// `consistent()`.
+    pub(crate) fn conflict_fn(&self) -> impl Fn(&[u8], &[u8]) -> bool + '_ {
+        move |query_bytes, key_bytes| self.ext().query_conflicts_key_bytes(query_bytes, key_bytes)
+    }
+
+    /// Latch (X) the node holding the parent entry of `child`, starting
+    /// from the stacked ancestor and walking rightlinks ("if a parent
+    /// node does not contain the child's pointer anymore, it must have
+    /// been split and the search for the child's pointer is continued in
+    /// the right sibling", §6). With an empty stack, the child was the
+    /// root at descent time; if it has since been demoted by a root
+    /// split, its parent is found by sweeping the level above it from
+    /// the current root.
+    pub(crate) fn latch_parent(
+        &self,
+        stack: &[StackEntry],
+        child: &PageWriteGuard,
+    ) -> Result<ParentLoc> {
+        let child_id = child.page_id();
+        if let Some(top) = stack.last() {
+            let mut pid = top.page;
+            loop {
+                let g = self.db().pool().fetch_write(pid)?;
+                if let Some((slot, _)) = node::find_child_entry(&g, child_id) {
+                    return Ok(ParentLoc::Found(g, slot));
+                }
+                let next = g.rightlink();
+                drop(g);
+                if next.is_invalid() {
+                    return Err(GistError::Corrupt(format!(
+                        "parent entry for {child_id} not found in chain from {}",
+                        top.page
+                    )));
+                }
+                pid = next;
+            }
+        }
+        // No stacked parent: the child was the root when we descended.
+        if self.root()? == child_id {
+            return Ok(ParentLoc::IsRoot);
+        }
+        // Demoted by a concurrent root split: sweep the level above.
+        self.find_parent_by_sweep(child_id, child.level())
+    }
+
+    /// Exhaustively search level `child_level + 1` for the entry pointing
+    /// at `child_id` (rare path: only after a concurrent root split).
+    fn find_parent_by_sweep(&self, child_id: PageId, child_level: u16) -> Result<ParentLoc> {
+        loop {
+            let root = self.root()?;
+            let mut level_nodes = vec![root];
+            // Descend to the level above the child, collecting every node
+            // of that level reachable through entries and rightlinks.
+            let mut current = level_nodes.clone();
+            loop {
+                let g = self.db().pool().fetch_read(current[0])?;
+                let level = g.level();
+                drop(g);
+                if level == child_level + 1 {
+                    level_nodes = current;
+                    break;
+                }
+                if level <= child_level {
+                    return Err(GistError::Corrupt(format!(
+                        "no level {} above child {child_id}",
+                        child_level + 1
+                    )));
+                }
+                let mut next = Vec::new();
+                let mut queue = current.clone();
+                let mut seen = std::collections::HashSet::new();
+                while let Some(pid) = queue.pop() {
+                    if pid.is_invalid() || !seen.insert(pid) {
+                        continue;
+                    }
+                    let g = self.db().pool().fetch_read(pid)?;
+                    queue.push(g.rightlink());
+                    for (_, e) in node::internal_entries(&g) {
+                        next.push(e.child);
+                    }
+                }
+                current = next;
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut queue = level_nodes;
+            while let Some(pid) = queue.pop() {
+                if pid.is_invalid() || !seen.insert(pid) {
+                    continue;
+                }
+                let g = self.db().pool().fetch_write(pid)?;
+                if let Some((slot, _)) = node::find_child_entry(&g, child_id) {
+                    return Ok(ParentLoc::Found(g, slot));
+                }
+                queue.push(g.rightlink());
+                drop(g);
+            }
+            // The entry is being moved by an in-flight split; retry.
+            std::thread::yield_now();
+        }
+    }
+
+    /// The entry with the smallest insertion penalty on an internal node.
+    pub(crate) fn min_penalty_child(
+        &self,
+        page: &gist_pagestore::Page,
+        key: &E::Key,
+    ) -> Result<(SlotId, InternalEntry)> {
+        let mut best: Option<(f64, SlotId, InternalEntry)> = None;
+        for (slot, entry) in node::internal_entries(page) {
+            let pred = self.ext().decode_pred(&entry.pred_bytes);
+            let pen = self.ext().penalty(&pred, key);
+            match &best {
+                Some((b, _, _)) if *b <= pen => {}
+                _ => best = Some((pen, slot, entry)),
+            }
+        }
+        best.map(|(_, s, e)| (s, e)).ok_or_else(|| {
+            GistError::Corrupt(format!("internal node {} has no entries", page.page_id()))
+        })
+    }
+
+    /// Log and apply a `Parent-Entry-Update` as its own atomic unit of
+    /// work (§9.1 structure modification (2)): sets the child's slot-0 BP
+    /// and, when the child is not the root, the predicate in the parent's
+    /// entry. Both pages are already X-latched by the caller.
+    pub(crate) fn apply_parent_entry_update(
+        &self,
+        txn: TxnId,
+        child: &mut PageWriteGuard,
+        parent: Option<(&mut PageWriteGuard, SlotId)>,
+        new_bp_bytes: Vec<u8>,
+    ) -> Result<()> {
+        let txns = self.db().txns();
+        let nta = txns.begin_nta(txn)?;
+        let (parent_page, parent_slot) = match &parent {
+            Some((g, slot)) => (g.page_id().0, *slot),
+            None => (u32::MAX, 0),
+        };
+        let rec = GistRecord::ParentEntryUpdate {
+            child: child.page_id().0,
+            parent: parent_page,
+            parent_slot,
+            new_bp: new_bp_bytes.clone(),
+        };
+        let lsn = txns.log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+        node::set_bp(child, &new_bp_bytes)
+            .map_err(|e| GistError::Corrupt(format!("BP update overflow: {e}")))?;
+        child.mark_dirty(lsn);
+        if let Some((pg, slot)) = parent {
+            let new_cell = InternalEntry::new(child.page_id(), new_bp_bytes).encode();
+            pg.update_cell(slot, &new_cell)
+                .map_err(|e| GistError::Corrupt(format!("parent entry overflow: {e}")))?;
+            pg.mark_dirty(lsn);
+        }
+        txns.end_nta(txn, nta)?;
+        Ok(())
+    }
+}

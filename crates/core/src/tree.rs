@@ -1,0 +1,215 @@
+//! The typed index handle.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use gist_pagestore::{PageId, SlotId};
+use gist_predlock::NodeKey;
+
+use crate::db::Db;
+use crate::ext::GistExtension;
+use crate::node;
+use crate::{GistError, Result};
+
+/// Options for index creation.
+#[derive(Debug, Clone, Default)]
+pub struct IndexOptions {
+    /// Enforce key uniqueness (§8).
+    pub unique: bool,
+}
+
+/// Whole-tree statistics (computed by a full sweep; diagnostic use).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Height (1 = root is a leaf).
+    pub height: usize,
+    /// Total nodes.
+    pub nodes: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Live (unmarked) leaf entries.
+    pub live_entries: usize,
+    /// Delete-marked leaf entries awaiting garbage collection.
+    pub marked_entries: usize,
+}
+
+/// A GiST index specialized by an extension `E`.
+pub struct GistIndex<E: GistExtension> {
+    db: Arc<Db>,
+    ext: E,
+    id: u32,
+    catalog_slot: SlotId,
+    unique: bool,
+    name: String,
+}
+
+impl<E: GistExtension> GistIndex<E> {
+    /// Create a new index in `db`.
+    pub fn create(db: Arc<Db>, name: &str, ext: E, opts: IndexOptions) -> Result<Arc<Self>> {
+        let entry = db.create_index_raw(name, opts.unique)?;
+        Ok(Arc::new(GistIndex {
+            db,
+            ext,
+            id: entry.id,
+            catalog_slot: entry.slot,
+            unique: entry.unique,
+            name: entry.name,
+        }))
+    }
+
+    /// Open an existing index (e.g. after restart). The caller supplies
+    /// the same extension the index was created with.
+    pub fn open(db: Arc<Db>, name: &str, ext: E) -> Result<Arc<Self>> {
+        let entry = db
+            .open_index_raw(name)
+            .ok_or_else(|| GistError::Config(format!("no index named {name:?}")))?;
+        Ok(Arc::new(GistIndex {
+            db,
+            ext,
+            id: entry.id,
+            catalog_slot: entry.slot,
+            unique: entry.unique,
+            name: entry.name,
+        }))
+    }
+
+    /// The owning database.
+    pub fn db(&self) -> &Arc<Db> {
+        &self.db
+    }
+
+    /// The extension.
+    pub fn ext(&self) -> &E {
+        &self.ext
+    }
+
+    /// Index id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is a unique index.
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    /// Catalog slot (stable handle to the root pointer).
+    pub(crate) fn catalog_slot(&self) -> SlotId {
+        self.catalog_slot
+    }
+
+    /// Current root page (read through the durable catalog cell so
+    /// concurrent root splits are visible).
+    pub fn root(&self) -> Result<PageId> {
+        self.db.current_root(self.catalog_slot)
+    }
+
+    /// Predicate-manager key for one of this index's nodes.
+    pub(crate) fn node_key(&self, page: PageId) -> NodeKey {
+        (self.id, page)
+    }
+
+    // ---- BP helpers with the empty-BP convention ----
+    // A zero-length BP cell means "covers nothing" (fresh empty root).
+
+    /// Decode a BP cell (`None` = empty BP).
+    pub(crate) fn decode_bp_opt(&self, bytes: &[u8]) -> Option<E::Pred> {
+        if bytes.is_empty() {
+            None
+        } else {
+            Some(self.ext.decode_pred(bytes))
+        }
+    }
+
+    /// Encode an optional BP.
+    pub(crate) fn encode_bp_opt(&self, pred: &Option<E::Pred>) -> Vec<u8> {
+        match pred {
+            None => Vec::new(),
+            Some(p) => {
+                let mut out = Vec::new();
+                self.ext.encode_pred(p, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Expand an optional BP with a key.
+    pub(crate) fn bp_union_key(&self, bp: &Option<E::Pred>, key: &E::Key) -> E::Pred {
+        match bp {
+            None => self.ext.key_pred(key),
+            Some(p) => self.ext.union_pred_key(p, key),
+        }
+    }
+
+    /// Expand an optional BP with a predicate.
+    pub(crate) fn bp_union_pred(&self, bp: &Option<E::Pred>, p: &E::Pred) -> E::Pred {
+        match bp {
+            None => p.clone(),
+            Some(b) => self.ext.union_preds(b, p),
+        }
+    }
+
+    /// Whether an optional BP covers a predicate.
+    #[allow(dead_code)]
+    pub(crate) fn bp_covers(&self, bp: &Option<E::Pred>, inner: &E::Pred) -> bool {
+        match bp {
+            None => false,
+            Some(b) => self.ext.pred_covers(b, inner),
+        }
+    }
+
+    /// Whether an optional BP is consistent with a query (empty BP is
+    /// consistent with nothing).
+    #[allow(dead_code)]
+    pub(crate) fn bp_consistent(&self, bp: &Option<E::Pred>, q: &E::Query) -> bool {
+        match bp {
+            None => false,
+            Some(b) => self.ext.consistent_pred(b, q),
+        }
+    }
+
+    /// Compute tree statistics with a full sweep (no isolation — a
+    /// diagnostic snapshot).
+    pub fn stats(&self) -> Result<TreeStats> {
+        let mut stats = TreeStats::default();
+        let root = self.root()?;
+        let mut queue = vec![root];
+        let mut visited: HashSet<PageId> = HashSet::new();
+        let mut max_level = 0u16;
+        while let Some(pid) = queue.pop() {
+            if pid.is_invalid() || !visited.insert(pid) {
+                continue;
+            }
+            let g = self.db.pool().fetch_read(pid)?;
+            if g.is_available() {
+                // Freed page still reachable via a dangling rightlink
+                // (never followed by operations thanks to the NSN guard).
+                continue;
+            }
+            stats.nodes += 1;
+            max_level = max_level.max(g.level());
+            queue.push(g.rightlink());
+            if g.is_leaf() {
+                stats.leaves += 1;
+                for (_, e) in node::leaf_entries(&g) {
+                    if e.deleted {
+                        stats.marked_entries += 1;
+                    } else {
+                        stats.live_entries += 1;
+                    }
+                }
+            } else {
+                for (_, e) in node::internal_entries(&g) {
+                    queue.push(e.child);
+                }
+            }
+        }
+        stats.height = max_level as usize + 1;
+        Ok(stats)
+    }
+}

@@ -1,0 +1,238 @@
+//! Core-level operation tests with a minimal self-contained extension
+//! (an `i32` interval domain), independent of the `gist-am` crate.
+//! Exercises the tree machinery through the public API plus a few
+//! behaviors best checked close to the core: BP maintenance on split
+//! chains, opportunistic GC during inserts, vacuum node retirement, and
+//! the Latching isolation mode.
+
+use std::sync::Arc;
+
+use gist_core::check::check_tree;
+use gist_core::ext::{GistExtension, SplitDecision};
+use gist_core::{Db, DbConfig, GistIndex, IndexOptions, IsolationLevel};
+use gist_pagestore::{InMemoryStore, PageId, Rid};
+use gist_wal::LogManager;
+
+/// Keys are i32; predicates are inclusive intervals; queries intervals.
+#[derive(Debug, Clone, Copy, Default)]
+struct IntervalExt;
+
+impl GistExtension for IntervalExt {
+    type Key = i32;
+    type Pred = (i32, i32);
+    type Query = (i32, i32);
+
+    fn encode_key(&self, key: &i32, out: &mut Vec<u8>) {
+        out.extend_from_slice(&key.to_le_bytes());
+    }
+    fn decode_key(&self, bytes: &[u8]) -> i32 {
+        i32::from_le_bytes(bytes[0..4].try_into().unwrap())
+    }
+    fn encode_pred(&self, pred: &(i32, i32), out: &mut Vec<u8>) {
+        out.extend_from_slice(&pred.0.to_le_bytes());
+        out.extend_from_slice(&pred.1.to_le_bytes());
+    }
+    fn decode_pred(&self, bytes: &[u8]) -> (i32, i32) {
+        (
+            i32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+            i32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        )
+    }
+    fn encode_query(&self, q: &(i32, i32), out: &mut Vec<u8>) {
+        self.encode_pred(q, out);
+    }
+    fn decode_query(&self, bytes: &[u8]) -> (i32, i32) {
+        self.decode_pred(bytes)
+    }
+    fn consistent_pred(&self, pred: &(i32, i32), q: &(i32, i32)) -> bool {
+        pred.0 <= q.1 && q.0 <= pred.1
+    }
+    fn consistent_key(&self, key: &i32, q: &(i32, i32)) -> bool {
+        q.0 <= *key && *key <= q.1
+    }
+    fn key_equal(&self, a: &i32, b: &i32) -> bool {
+        a == b
+    }
+    fn eq_query(&self, key: &i32) -> (i32, i32) {
+        (*key, *key)
+    }
+    fn key_pred(&self, key: &i32) -> (i32, i32) {
+        (*key, *key)
+    }
+    fn union_preds(&self, a: &(i32, i32), b: &(i32, i32)) -> (i32, i32) {
+        (a.0.min(b.0), a.1.max(b.1))
+    }
+    fn pred_covers(&self, outer: &(i32, i32), inner: &(i32, i32)) -> bool {
+        outer.0 <= inner.0 && inner.1 <= outer.1
+    }
+    fn penalty(&self, pred: &(i32, i32), key: &i32) -> f64 {
+        ((pred.0 - *key).max(0) + (*key - pred.1).max(0)) as f64
+    }
+    fn pick_split(&self, preds: &[(i32, i32)]) -> SplitDecision {
+        gist_core::ext::median_split(preds, |p| (p.0 as f64 + p.1 as f64) / 2.0)
+    }
+}
+
+fn setup(config: DbConfig) -> (Arc<Db>, Arc<GistIndex<IntervalExt>>) {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, config).unwrap();
+    let idx = GistIndex::create(db.clone(), "iv", IntervalExt, IndexOptions::default()).unwrap();
+    (db, idx)
+}
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId(650_000 + (n >> 16) as u32), (n & 0xFFFF) as u16)
+}
+
+#[test]
+fn bp_chain_remains_tight_after_many_splits() {
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    // Alternate far-apart keys so BPs must expand repeatedly.
+    for i in 0..4000i32 {
+        let k = if i % 2 == 0 { i } else { -i };
+        idx.insert(txn, &k, rid(i as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let report = check_tree(&idx).unwrap();
+    report.assert_ok();
+    assert!(report.nodes > 5, "splits happened");
+    // Root BP covers everything inserted.
+    let txn = db.begin();
+    assert_eq!(idx.search(txn, &(-4000, 4000)).unwrap().len(), 4000);
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn opportunistic_gc_avoids_split_when_leaf_is_reclaimable() {
+    let (db, idx) = setup(DbConfig::default());
+    // Fill a single-leaf tree almost to capacity.
+    let txn = db.begin();
+    let mut k = 0i32;
+    while idx.stats().unwrap().height == 1 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+        k += 1;
+        if k > 10_000 {
+            panic!("leaf never filled");
+        }
+    }
+    db.commit(txn).unwrap();
+    let nodes_after_first_split = idx.stats().unwrap().nodes;
+
+    // Delete and commit a batch, then keep inserting: opportunistic GC
+    // reclaims the marked entries instead of splitting further.
+    let txn = db.begin();
+    for d in 0..k / 2 {
+        idx.delete(txn, &d, rid(d as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    for extra in 0..k / 4 {
+        idx.insert(txn, &(100_000 + extra), rid(1_000_000 + extra as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let stats = idx.stats().unwrap();
+    assert!(
+        stats.nodes <= nodes_after_first_split + 1,
+        "GC kept growth in check: {stats:?} vs {nodes_after_first_split} nodes"
+    );
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn vacuum_retires_emptied_leaves_and_frees_pages() {
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    for i in 0..6000i32 {
+        idx.insert(txn, &i, rid(i as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let nodes_before = idx.stats().unwrap().nodes;
+    let txn = db.begin();
+    for i in 0..6000i32 {
+        idx.delete(txn, &i, rid(i as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    let rep = idx.vacuum(txn).unwrap();
+    db.commit(txn).unwrap();
+    assert_eq!(rep.entries_removed, 6000);
+    assert!(rep.nodes_deleted > 0);
+    let after = idx.stats().unwrap();
+    assert!(after.nodes < nodes_before);
+    assert!(db.alloc().free_count() > 0, "pages went back to the allocator");
+    check_tree(&idx).unwrap().assert_ok();
+
+    // Freed pages are reused by later growth.
+    let free_before_growth = db.alloc().free_count();
+    let txn = db.begin();
+    for i in 0..3000i32 {
+        idx.insert(txn, &i, rid(100_000 + i as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    assert!(db.alloc().free_count() < free_before_growth, "free pages consumed");
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn latching_mode_skips_locks_and_predicates() {
+    let (db, idx) = setup(DbConfig {
+        isolation: IsolationLevel::Latching,
+        ..DbConfig::default()
+    });
+    let txn = db.begin();
+    for i in 0..500i32 {
+        idx.insert(txn, &i, rid(i as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    let hits = idx.search(txn, &(0, 499)).unwrap();
+    assert_eq!(hits.len(), 500);
+    // No record locks were taken and no predicates registered.
+    assert_eq!(db.preds().stats().predicates, 0);
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn overlapping_interval_trees_stay_correct() {
+    // Keys inserted in pathological order (center-out) so sibling BPs
+    // overlap heavily; exactness of search must not depend on
+    // partitioning.
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    let n = 3000i32;
+    for i in 0..n {
+        let k = if i % 2 == 0 { i / 2 } else { -(i / 2) };
+        idx.insert(txn, &k, rid(i as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    // Note: i = 0 and i = 1 both map to key 0 (with distinct RIDs), so 0
+    // appears twice.
+    for (lo, hi, expect) in [(-10, 10, 22), (0, 0, 2), (-1499, 1499, 3000)] {
+        assert_eq!(idx.search(txn, &(lo, hi)).unwrap().len(), expect, "({lo},{hi})");
+    }
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn stats_and_checker_agree() {
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    for i in 0..2500i32 {
+        idx.insert(txn, &i, rid(i as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    for i in 0..100i32 {
+        idx.delete(txn, &i, rid(i as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let stats = idx.stats().unwrap();
+    let report = check_tree(&idx).unwrap();
+    report.assert_ok();
+    assert_eq!(stats.live_entries + stats.marked_entries, report.entries);
+    assert_eq!(stats.marked_entries, 100);
+}

@@ -1,0 +1,489 @@
+//! The lock manager proper: queues, grants, conversions, deadlock
+//! detection.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use gist_wal::TxnId;
+
+use crate::{LockMode, LockName};
+
+/// Why a lock request failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// Granting would close a waits-for cycle; the requester is the
+    /// victim and should abort (e.g. the §8 unique-insert race, which the
+    /// paper resolves "in a standard manner by the lock manager").
+    Deadlock,
+    /// The request waited longer than the manager's timeout (a safety net
+    /// against undetected cross-resource waits, e.g. latch-lock mixes).
+    Timeout,
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Deadlock => write!(f, "deadlock: requester chosen as victim"),
+            LockError::Timeout => write!(f, "lock wait timed out"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Debug)]
+struct Entry {
+    txn: TxnId,
+    mode: LockMode,
+    count: u32,
+    granted: bool,
+    /// Pending conversion target for a granted entry.
+    convert_to: Option<LockMode>,
+    seq: u64,
+}
+
+impl Entry {
+    /// Mode other requests must be compatible with: the conversion target
+    /// is claimed eagerly so converters cannot be starved by new grants.
+    fn effective_mode(&self) -> LockMode {
+        match self.convert_to {
+            Some(t) => self.mode.supremum(t),
+            None => self.mode,
+        }
+    }
+}
+
+#[derive(Default)]
+struct State {
+    queues: HashMap<LockName, Vec<Entry>>,
+    held: HashMap<TxnId, HashSet<LockName>>,
+    seq: u64,
+}
+
+/// Lock-manager counters.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    /// Requests granted immediately.
+    pub immediate_grants: AtomicU64,
+    /// Requests that had to wait at least once.
+    pub waits: AtomicU64,
+    /// Requests aborted as deadlock victims.
+    pub deadlocks: AtomicU64,
+    /// Requests that timed out.
+    pub timeouts: AtomicU64,
+}
+
+/// The lock manager.
+pub struct LockManager {
+    state: Mutex<State>,
+    cv: Condvar,
+    timeout: Duration,
+    /// Counters (grants/waits/deadlocks/timeouts).
+    pub stats: LockStats,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    /// Manager with the default 10 s wait timeout.
+    pub fn new() -> Self {
+        Self::with_timeout(Duration::from_secs(10))
+    }
+
+    /// Manager with a custom wait timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        LockManager {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            timeout,
+            stats: LockStats::default(),
+        }
+    }
+
+    /// Acquire `name` in `mode` for `txn`, blocking as needed.
+    ///
+    /// Re-acquisitions of covered modes are counted (see
+    /// [`unlock`](Self::unlock)); stronger re-requests convert with
+    /// priority over new waiters.
+    pub fn lock(&self, txn: TxnId, name: LockName, mode: LockMode) -> Result<(), LockError> {
+        assert!(!txn.is_none(), "locks must be owned by a transaction");
+        let mut st = self.state.lock();
+        // Existing granted entry? Count or convert.
+        if let Some(pos) = Self::granted_pos(&st, &name, txn) {
+            let entry = &mut st.queues.get_mut(&name).unwrap()[pos];
+            if entry.mode.covers(mode) {
+                entry.count += 1;
+                self.stats.immediate_grants.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            let target = entry.mode.supremum(mode);
+            entry.convert_to = Some(target);
+            let mut waited = false;
+            loop {
+                if Self::conversion_compatible(&st, &name, txn, target) {
+                    let entry = Self::entry_mut(&mut st, &name, txn);
+                    entry.mode = target;
+                    entry.convert_to = None;
+                    entry.count += 1;
+                    if waited {
+                        self.cv.notify_all();
+                    } else {
+                        self.stats.immediate_grants.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(());
+                }
+                if self.would_deadlock(&st, txn) {
+                    Self::entry_mut(&mut st, &name, txn).convert_to = None;
+                    self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+                    self.cv.notify_all();
+                    return Err(LockError::Deadlock);
+                }
+                if !waited {
+                    waited = true;
+                    self.stats.waits.fetch_add(1, Ordering::Relaxed);
+                }
+                if self.cv.wait_for(&mut st, self.timeout).timed_out() {
+                    Self::entry_mut(&mut st, &name, txn).convert_to = None;
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.cv.notify_all();
+                    return Err(LockError::Timeout);
+                }
+            }
+        }
+
+        // Fresh request: enqueue, wait until grantable.
+        let seq = {
+            st.seq += 1;
+            st.seq
+        };
+        st.queues.entry(name).or_default().push(Entry {
+            txn,
+            mode,
+            count: 1,
+            granted: false,
+            convert_to: None,
+            seq,
+        });
+        let mut waited = false;
+        loop {
+            if Self::grantable(&st, &name, txn, seq) {
+                let entry = Self::waiting_entry_mut(&mut st, &name, txn, seq);
+                entry.granted = true;
+                st.held.entry(txn).or_default().insert(name);
+                if waited {
+                    self.cv.notify_all();
+                } else {
+                    self.stats.immediate_grants.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(());
+            }
+            if self.would_deadlock(&st, txn) {
+                Self::remove_waiting(&mut st, &name, txn, seq);
+                self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
+                self.cv.notify_all();
+                return Err(LockError::Deadlock);
+            }
+            if !waited {
+                waited = true;
+                self.stats.waits.fetch_add(1, Ordering::Relaxed);
+            }
+            if self.cv.wait_for(&mut st, self.timeout).timed_out() {
+                Self::remove_waiting(&mut st, &name, txn, seq);
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.cv.notify_all();
+                return Err(LockError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking acquire: `Ok(true)` if granted immediately.
+    pub fn try_lock(&self, txn: TxnId, name: LockName, mode: LockMode) -> bool {
+        let mut st = self.state.lock();
+        if let Some(pos) = Self::granted_pos(&st, &name, txn) {
+            let entry = &st.queues[&name][pos];
+            if entry.mode.covers(mode) {
+                st.queues.get_mut(&name).unwrap()[pos].count += 1;
+                return true;
+            }
+            let target = entry.mode.supremum(mode);
+            if Self::conversion_compatible(&st, &name, txn, target) {
+                let entry = Self::entry_mut(&mut st, &name, txn);
+                entry.mode = target;
+                entry.count += 1;
+                return true;
+            }
+            return false;
+        }
+        let seq = {
+            st.seq += 1;
+            st.seq
+        };
+        st.queues.entry(name).or_default().push(Entry {
+            txn,
+            mode,
+            count: 1,
+            granted: false,
+            convert_to: None,
+            seq,
+        });
+        if Self::grantable(&st, &name, txn, seq) {
+            let entry = Self::waiting_entry_mut(&mut st, &name, txn, seq);
+            entry.granted = true;
+            st.held.entry(txn).or_default().insert(name);
+            true
+        } else {
+            Self::remove_waiting(&mut st, &name, txn, seq);
+            false
+        }
+    }
+
+    /// Release one acquisition of `name` by `txn` (used for signaling
+    /// locks, which are released "as soon as the operation that set it
+    /// visits that node", §7.2). Fully releases when the count drops to
+    /// zero. Returns whether the entry was fully released.
+    pub fn unlock(&self, txn: TxnId, name: LockName) -> bool {
+        let mut st = self.state.lock();
+        let Some(queue) = st.queues.get_mut(&name) else { return false };
+        let Some(pos) = queue.iter().position(|e| e.txn == txn && e.granted) else {
+            return false;
+        };
+        let entry = &mut queue[pos];
+        entry.count -= 1;
+        if entry.count > 0 {
+            return false;
+        }
+        queue.remove(pos);
+        if queue.is_empty() {
+            st.queues.remove(&name);
+        }
+        if let Some(set) = st.held.get_mut(&txn) {
+            set.remove(&name);
+            if set.is_empty() {
+                st.held.remove(&txn);
+            }
+        }
+        self.cv.notify_all();
+        true
+    }
+
+    /// Release every lock held by `txn` (commit/abort).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        let names: Vec<LockName> =
+            st.held.remove(&txn).map(|s| s.into_iter().collect()).unwrap_or_default();
+        for name in names {
+            if let Some(queue) = st.queues.get_mut(&name) {
+                queue.retain(|e| e.txn != txn);
+                if queue.is_empty() {
+                    st.queues.remove(&name);
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// The mode `txn` holds on `name`, if any.
+    pub fn holds(&self, txn: TxnId, name: LockName) -> Option<LockMode> {
+        let st = self.state.lock();
+        st.queues
+            .get(&name)?
+            .iter()
+            .find(|e| e.txn == txn && e.granted)
+            .map(|e| e.mode)
+    }
+
+    /// All granted holders of `name`.
+    pub fn holders(&self, name: LockName) -> Vec<(TxnId, LockMode)> {
+        let st = self.state.lock();
+        st.queues
+            .get(&name)
+            .map(|q| q.iter().filter(|e| e.granted).map(|e| (e.txn, e.mode)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of requests waiting on `name`.
+    pub fn waiter_count(&self, name: LockName) -> usize {
+        let st = self.state.lock();
+        st.queues.get(&name).map(|q| q.iter().filter(|e| !e.granted).count()).unwrap_or(0)
+    }
+
+    /// Names held by `txn` (snapshot).
+    pub fn held_by(&self, txn: TxnId) -> Vec<LockName> {
+        let st = self.state.lock();
+        st.held.get(&txn).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Force-add a granted S entry on `to` for every transaction holding
+    /// a granted lock on `from`.
+    ///
+    /// This is the lock-manager extension §10.3 calls for: "it is also
+    /// necessary to replicate the signaling locks set on a node" when it
+    /// splits. Safe because the new node is not yet reachable, so `to` can
+    /// have no conflicting holders.
+    pub fn replicate_shared(&self, from: LockName, to: LockName) {
+        let mut st = self.state.lock();
+        let owners: Vec<TxnId> = st
+            .queues
+            .get(&from)
+            .map(|q| q.iter().filter(|e| e.granted).map(|e| e.txn).collect())
+            .unwrap_or_default();
+        for txn in owners {
+            let already = st
+                .queues
+                .get(&to)
+                .map(|q| q.iter().any(|e| e.txn == txn && e.granted))
+                .unwrap_or(false);
+            if already {
+                continue;
+            }
+            st.seq += 1;
+            let seq = st.seq;
+            st.queues.entry(to).or_default().push(Entry {
+                txn,
+                mode: LockMode::S,
+                count: 1,
+                granted: true,
+                convert_to: None,
+                seq,
+            });
+            st.held.entry(txn).or_default().insert(to);
+        }
+    }
+
+    // ---- internals ----
+
+    fn granted_pos(st: &State, name: &LockName, txn: TxnId) -> Option<usize> {
+        st.queues.get(name)?.iter().position(|e| e.txn == txn && e.granted)
+    }
+
+    fn entry_mut<'a>(st: &'a mut State, name: &LockName, txn: TxnId) -> &'a mut Entry {
+        st.queues
+            .get_mut(name)
+            .unwrap()
+            .iter_mut()
+            .find(|e| e.txn == txn && e.granted)
+            .expect("granted entry vanished while converting")
+    }
+
+    fn waiting_entry_mut<'a>(
+        st: &'a mut State,
+        name: &LockName,
+        txn: TxnId,
+        seq: u64,
+    ) -> &'a mut Entry {
+        st.queues
+            .get_mut(name)
+            .unwrap()
+            .iter_mut()
+            .find(|e| e.txn == txn && e.seq == seq)
+            .expect("waiting entry vanished")
+    }
+
+    fn remove_waiting(st: &mut State, name: &LockName, txn: TxnId, seq: u64) {
+        if let Some(q) = st.queues.get_mut(name) {
+            q.retain(|e| !(e.txn == txn && e.seq == seq && !e.granted));
+            if q.is_empty() {
+                st.queues.remove(name);
+            }
+        }
+    }
+
+    /// A conversion to `target` by `txn` can proceed iff `target` is
+    /// compatible with every *other* granted entry.
+    fn conversion_compatible(st: &State, name: &LockName, txn: TxnId, target: LockMode) -> bool {
+        st.queues
+            .get(name)
+            .map(|q| {
+                q.iter()
+                    .filter(|e| e.granted && e.txn != txn)
+                    .all(|e| e.effective_mode().compatible(target))
+            })
+            .unwrap_or(true)
+    }
+
+    /// A waiting entry is grantable iff compatible with all granted
+    /// entries of other transactions *and* it does not overtake an earlier
+    /// conflicting waiter (fairness / starvation freedom).
+    fn grantable(st: &State, name: &LockName, txn: TxnId, seq: u64) -> bool {
+        let Some(q) = st.queues.get(name) else { return true };
+        for e in q {
+            if e.txn == txn && e.seq == seq {
+                continue;
+            }
+            if e.granted {
+                if e.txn != txn && !e.effective_mode().compatible(Self::mode_of(q, txn, seq)) {
+                    return false;
+                }
+            } else if e.seq < seq
+                && e.txn != txn
+                && !e.mode.compatible(Self::mode_of(q, txn, seq))
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn mode_of(q: &[Entry], txn: TxnId, seq: u64) -> LockMode {
+        q.iter().find(|e| e.txn == txn && e.seq == seq).map(|e| e.mode).unwrap_or(LockMode::X)
+    }
+
+    /// Build the waits-for graph and check whether `requester` is on a
+    /// cycle. Edges:
+    /// - waiter → conflicting granted holder,
+    /// - waiter → earlier conflicting waiter (FIFO implies waiting),
+    /// - converter → other conflicting granted holder.
+    fn would_deadlock(&self, st: &State, requester: TxnId) -> bool {
+        let mut edges: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+        for q in st.queues.values() {
+            for (i, e) in q.iter().enumerate() {
+                if e.granted {
+                    if let Some(target) = e.convert_to {
+                        for other in q.iter().filter(|o| o.granted && o.txn != e.txn) {
+                            if !other.effective_mode().compatible(target) {
+                                edges.entry(e.txn).or_default().insert(other.txn);
+                            }
+                        }
+                    }
+                } else {
+                    for (j, other) in q.iter().enumerate() {
+                        if other.txn == e.txn {
+                            continue;
+                        }
+                        let blocks = if other.granted {
+                            !other.effective_mode().compatible(e.mode)
+                        } else {
+                            j < i && !other.mode.compatible(e.mode)
+                        };
+                        if blocks {
+                            edges.entry(e.txn).or_default().insert(other.txn);
+                        }
+                    }
+                }
+            }
+        }
+        // DFS from the requester looking for a path back to it.
+        let mut stack: Vec<TxnId> =
+            edges.get(&requester).map(|s| s.iter().copied().collect()).unwrap_or_default();
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == requester {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = edges.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+}

@@ -1,0 +1,41 @@
+//! Lock names: what can be locked.
+
+use std::fmt;
+
+use gist_pagestore::{PageId, Rid};
+use gist_wal::TxnId;
+
+/// A lockable resource.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LockName {
+    /// A data record, named by RID — the unit of the hybrid protocol's
+    /// two-phase locking (§4.3, "data-only locking" as in ARIES/IM).
+    Rid(Rid),
+    /// An index node (within index `index`). Used for the §7.2 *signaling
+    /// locks*: an S lock here does not restrict physical access to the
+    /// page (that is the latch's job); it only tells node deletion that an
+    /// operation still holds a pointer.
+    Node {
+        /// Index identifier (lock names are database-global).
+        index: u32,
+        /// The node's page.
+        page: PageId,
+    },
+    /// A transaction id. Every transaction X-locks its own id at start;
+    /// blocking "on a predicate" (§10.3) is an S request on the owner's
+    /// id.
+    Txn(TxnId),
+    /// Escape hatch for embedders (e.g. table locks above the index).
+    Custom(u64),
+}
+
+impl fmt::Debug for LockName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockName::Rid(r) => write!(f, "L:{r:?}"),
+            LockName::Node { index, page } => write!(f, "L:idx{index}/{page}"),
+            LockName::Txn(t) => write!(f, "L:{t}"),
+            LockName::Custom(v) => write!(f, "L:custom#{v}"),
+        }
+    }
+}

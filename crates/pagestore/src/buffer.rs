@@ -1,0 +1,674 @@
+//! Buffer pool: frames, latches, pinning, eviction, WAL enforcement.
+//!
+//! Frame latches are the paper's *latches* (§5 footnote 8): physically
+//! addressed reader/writer locks on buffer frames, never checked for
+//! deadlock, and entirely separate from the lock manager — a transaction
+//! can hold a *lock* on a node while another holds the *latch* on its
+//! frame. All the GiST protocol's "latch node in S/X mode" steps map to
+//! [`BufferPool::fetch_read`] / [`BufferPool::fetch_write`] guards.
+//!
+//! The pool enforces the write-ahead rule: before a dirty page is written
+//! back, the registered [`LogFlusher`] is asked to make the log durable up
+//! to the page's LSN.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
+use parking_lot::{Mutex, RawRwLock, RwLock};
+
+use gist_wal::{LogFlusher, Lsn};
+
+use crate::page::{Page, PageId};
+use crate::store::PageStore;
+
+type ReadGuardInner = ArcRwLockReadGuard<RawRwLock, FrameData>;
+type WriteGuardInner = ArcRwLockWriteGuard<RawRwLock, FrameData>;
+
+/// The latched content of a buffer frame.
+pub struct FrameData {
+    /// The page image.
+    pub page: Page,
+    /// Whether the image has been loaded from the store (or freshly
+    /// formatted). While false the loading thread holds the write latch.
+    loaded: bool,
+    /// Set when the load failed; waiters retry the fetch.
+    failed: bool,
+}
+
+struct Frame {
+    id: PageId,
+    latch: Arc<RwLock<FrameData>>,
+    pins: AtomicUsize,
+    dirty: AtomicBool,
+    tick: AtomicU64,
+}
+
+/// Buffer-pool counters.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Fetches served from memory.
+    pub hits: AtomicU64,
+    /// Fetches that had to read the store.
+    pub misses: AtomicU64,
+    /// Frames evicted.
+    pub evictions: AtomicU64,
+    /// Dirty pages written back.
+    pub writebacks: AtomicU64,
+}
+
+/// The buffer pool.
+pub struct BufferPool {
+    store: Arc<dyn PageStore>,
+    flusher: Mutex<Option<Arc<dyn LogFlusher>>>,
+    capacity: usize,
+    frames: Mutex<HashMap<PageId, Arc<Frame>>>,
+    clock: AtomicU64,
+    /// Counters (hits/misses/evictions/writebacks).
+    pub stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Pool over `store` holding at most `capacity` frames (soft limit:
+    /// if every frame is pinned the pool grows rather than deadlocks).
+    pub fn new(store: Arc<dyn PageStore>, capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "capacity must be positive");
+        Arc::new(BufferPool {
+            store,
+            flusher: Mutex::new(None),
+            capacity,
+            frames: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            stats: PoolStats::default(),
+        })
+    }
+
+    /// Register the log flusher used to enforce the WAL rule on
+    /// writebacks.
+    pub fn set_flusher(&self, f: Arc<dyn LogFlusher>) {
+        *self.flusher.lock() = Some(f);
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &Arc<dyn PageStore> {
+        &self.store
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Latch page `id` in S mode. Never holds any other latch during the
+    /// store read.
+    pub fn fetch_read(self: &Arc<Self>, id: PageId) -> io::Result<PageReadGuard> {
+        loop {
+            match self.fetch_inner(id, false)? {
+                FetchResult::Read(g) => return Ok(g),
+                FetchResult::Write(_) => unreachable!("asked for read"),
+                FetchResult::Retry => continue,
+            }
+        }
+    }
+
+    /// Latch page `id` in X mode.
+    pub fn fetch_write(self: &Arc<Self>, id: PageId) -> io::Result<PageWriteGuard> {
+        loop {
+            match self.fetch_inner(id, true)? {
+                FetchResult::Write(g) => return Ok(g),
+                FetchResult::Read(_) => unreachable!("asked for write"),
+                FetchResult::Retry => continue,
+            }
+        }
+    }
+
+    fn fetch_inner(self: &Arc<Self>, id: PageId, write: bool) -> io::Result<FetchResult> {
+        assert!(!id.is_invalid(), "fetch of the invalid page id");
+        // Fast path: hit.
+        let existing = {
+            let frames = self.frames.lock();
+            frames.get(&id).map(|f| {
+                f.pins.fetch_add(1, Ordering::Relaxed);
+                f.tick.store(self.tick(), Ordering::Relaxed);
+                f.clone()
+            })
+        };
+        if let Some(frame) = existing {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            // Block on the frame latch (no other latch is held here).
+            if write {
+                let g = frame.latch.write_arc();
+                if g.failed {
+                    drop(g);
+                    frame.pins.fetch_sub(1, Ordering::Relaxed);
+                    return Ok(FetchResult::Retry);
+                }
+                debug_assert!(g.loaded);
+                return Ok(FetchResult::Write(PageWriteGuard { frame, guard: g }));
+            }
+            let g = frame.latch.read_arc();
+            if g.failed {
+                drop(g);
+                frame.pins.fetch_sub(1, Ordering::Relaxed);
+                return Ok(FetchResult::Retry);
+            }
+            debug_assert!(g.loaded);
+            return Ok(FetchResult::Read(PageReadGuard { frame, guard: g }));
+        }
+
+        // Miss: create the frame, holding its write latch across the load
+        // so waiters park on the latch rather than re-reading the store.
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let frame = Arc::new(Frame {
+            id,
+            latch: Arc::new(RwLock::new(FrameData {
+                page: Page::zeroed(),
+                loaded: false,
+                failed: false,
+            })),
+            pins: AtomicUsize::new(1),
+            dirty: AtomicBool::new(false),
+            tick: AtomicU64::new(self.tick()),
+        });
+        let mut g = frame.latch.write_arc();
+        {
+            let mut frames = self.frames.lock();
+            if frames.contains_key(&id) {
+                // Lost the race; retry via the hit path.
+                return Ok(FetchResult::Retry);
+            }
+            frames.insert(id, frame.clone());
+        }
+        self.evict_excess();
+        match self.store.read(id, &mut g.page) {
+            Ok(()) => {
+                g.loaded = true;
+                if write {
+                    Ok(FetchResult::Write(PageWriteGuard { frame, guard: g }))
+                } else {
+                    let rg = ArcRwLockWriteGuard::downgrade(g);
+                    Ok(FetchResult::Read(PageReadGuard { frame, guard: rg }))
+                }
+            }
+            Err(e) => {
+                g.failed = true;
+                drop(g);
+                self.frames.lock().remove(&id);
+                frame.pins.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Latch page `id` in X mode without blocking on the latch. Returns
+    /// `None` if the latch is currently held (used by opportunistic
+    /// operations — e.g. node deletion — whose latch order would
+    /// otherwise risk deadlock). May still perform I/O on a miss (the
+    /// fresh frame's latch is uncontended).
+    pub fn try_fetch_write(self: &Arc<Self>, id: PageId) -> io::Result<Option<PageWriteGuard>> {
+        let existing = {
+            let frames = self.frames.lock();
+            frames.get(&id).map(|f| {
+                f.pins.fetch_add(1, Ordering::Relaxed);
+                f.tick.store(self.tick(), Ordering::Relaxed);
+                f.clone()
+            })
+        };
+        if let Some(frame) = existing {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            match frame.latch.try_write_arc() {
+                Some(g) => {
+                    if g.failed {
+                        drop(g);
+                        frame.pins.fetch_sub(1, Ordering::Relaxed);
+                        return self.try_fetch_write(id);
+                    }
+                    return Ok(Some(PageWriteGuard { frame, guard: g }));
+                }
+                None => {
+                    frame.pins.fetch_sub(1, Ordering::Relaxed);
+                    return Ok(None);
+                }
+            }
+        }
+        // Miss: the regular path's load latch is uncontended by
+        // construction, so this never blocks on another holder.
+        self.fetch_write(id).map(Some)
+    }
+
+    /// Create (or reformat) page `id` in the pool without reading the
+    /// store, formatted as an empty page at `level`. The frame starts
+    /// dirty so the formatted image cannot be lost to eviction.
+    pub fn new_page_write(self: &Arc<Self>, id: PageId, level: u16) -> io::Result<PageWriteGuard> {
+        self.store.ensure_capacity(id.0 + 1)?;
+        let mut g = self.fetch_write_or_fresh(id)?;
+        g.guard.page.format(id, level);
+        g.frame.dirty.store(true, Ordering::Relaxed);
+        Ok(g)
+    }
+
+    /// Fetch for write, but if the page is not cached, produce a fresh
+    /// zeroed frame without a store read (content will be overwritten).
+    fn fetch_write_or_fresh(self: &Arc<Self>, id: PageId) -> io::Result<PageWriteGuard> {
+        loop {
+            let existing = {
+                let frames = self.frames.lock();
+                frames.get(&id).map(|f| {
+                    f.pins.fetch_add(1, Ordering::Relaxed);
+                    f.clone()
+                })
+            };
+            if let Some(frame) = existing {
+                let g = frame.latch.write_arc();
+                if g.failed {
+                    drop(g);
+                    frame.pins.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                }
+                return Ok(PageWriteGuard { frame, guard: g });
+            }
+            let frame = Arc::new(Frame {
+                id,
+                latch: Arc::new(RwLock::new(FrameData {
+                    page: Page::zeroed(),
+                    loaded: true,
+                    failed: false,
+                })),
+                pins: AtomicUsize::new(1),
+                dirty: AtomicBool::new(false),
+                tick: AtomicU64::new(self.tick()),
+            });
+            let g = frame.latch.write_arc();
+            {
+                let mut frames = self.frames.lock();
+                if frames.contains_key(&id) {
+                    continue;
+                }
+                frames.insert(id, frame.clone());
+            }
+            self.evict_excess();
+            return Ok(PageWriteGuard { frame, guard: g });
+        }
+    }
+
+    /// Evict clean-or-flushable unpinned frames until within capacity.
+    fn evict_excess(self: &Arc<Self>) {
+        loop {
+            let victim = {
+                let frames = self.frames.lock();
+                if frames.len() <= self.capacity {
+                    return;
+                }
+                let mut best: Option<(u64, Arc<Frame>, WriteGuardInner)> = None;
+                for f in frames.values() {
+                    if f.pins.load(Ordering::Relaxed) != 0 {
+                        continue;
+                    }
+                    if let Some(g) = f.latch.try_write_arc() {
+                        // Re-check pins under the latch+map locks.
+                        if f.pins.load(Ordering::Relaxed) != 0 {
+                            continue;
+                        }
+                        let t = f.tick.load(Ordering::Relaxed);
+                        match &best {
+                            Some((bt, _, _)) if *bt <= t => {}
+                            _ => best = Some((t, f.clone(), g)),
+                        }
+                    }
+                }
+                match best {
+                    Some((_, f, g)) => Some((f, g)),
+                    None => return, // everything pinned or latched: grow
+                }
+            };
+            let Some((frame, guard)) = victim else { return };
+            // Write back outside the map lock, latch held.
+            if frame.dirty.load(Ordering::Relaxed) {
+                self.write_back(&frame, &guard.page);
+            }
+            // Remove only if still unpinned (a fetcher may be parked on
+            // the latch; its pin protects it).
+            let mut frames = self.frames.lock();
+            if frame.pins.load(Ordering::Relaxed) == 0 {
+                frames.remove(&frame.id);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn write_back(&self, frame: &Frame, page: &Page) {
+        let lsn = page.page_lsn();
+        if !lsn.is_null() {
+            if let Some(f) = self.flusher.lock().clone() {
+                f.flush_until(lsn);
+            }
+        }
+        if let Err(e) = self.store.write(frame.id, page) {
+            panic!("buffer pool write-back of {} failed: {e}", frame.id);
+        }
+        frame.dirty.store(false, Ordering::Relaxed);
+        self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Write every dirty page back to the store (log flushed first).
+    pub fn flush_all(&self) {
+        let snapshot: Vec<Arc<Frame>> = self.frames.lock().values().cloned().collect();
+        for frame in snapshot {
+            if !frame.dirty.load(Ordering::Relaxed) {
+                continue;
+            }
+            let g = frame.latch.read_arc();
+            if frame.dirty.load(Ordering::Relaxed) {
+                self.write_back(&frame, &g.page);
+            }
+        }
+    }
+
+    /// Simulate a crash: every cached frame is dropped without write-back,
+    /// exactly as if the process died. Outstanding guards must not exist.
+    pub fn crash(&self) {
+        let mut frames = self.frames.lock();
+        for f in frames.values() {
+            assert_eq!(
+                f.pins.load(Ordering::Relaxed),
+                0,
+                "crash() with outstanding guards on {}",
+                f.id
+            );
+        }
+        frames.clear();
+    }
+
+    /// Number of frames currently cached.
+    pub fn cached_frames(&self) -> usize {
+        self.frames.lock().len()
+    }
+}
+
+enum FetchResult {
+    Read(PageReadGuard),
+    Write(PageWriteGuard),
+    Retry,
+}
+
+/// S-mode latch on a page.
+pub struct PageReadGuard {
+    frame: Arc<Frame>,
+    guard: ReadGuardInner,
+}
+
+impl PageReadGuard {
+    /// Id of the latched page.
+    pub fn page_id(&self) -> PageId {
+        self.frame.id
+    }
+}
+
+impl std::ops::Deref for PageReadGuard {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        &self.guard.page
+    }
+}
+
+impl Drop for PageReadGuard {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// X-mode latch on a page.
+pub struct PageWriteGuard {
+    frame: Arc<Frame>,
+    guard: WriteGuardInner,
+}
+
+impl PageWriteGuard {
+    /// Id of the latched page.
+    pub fn page_id(&self) -> PageId {
+        self.frame.id
+    }
+
+    /// Record that the page was modified under `lsn`: stamps the page LSN
+    /// and marks the frame dirty (write-ahead rule enforced at
+    /// write-back).
+    pub fn mark_dirty(&mut self, lsn: Lsn) {
+        self.guard.page.set_page_lsn(lsn);
+        self.frame.dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Mark dirty without stamping an LSN (bootstrap/unlogged changes).
+    pub fn mark_dirty_unlogged(&mut self) {
+        self.frame.dirty.store(true, Ordering::Relaxed);
+    }
+
+    /// Downgrade to an S-mode latch without releasing it.
+    pub fn downgrade(self) -> PageReadGuard {
+        // Field-by-field move: forget `self` so Drop does not double-unpin.
+        let this = std::mem::ManuallyDrop::new(self);
+        // SAFETY: fields are read exactly once out of the ManuallyDrop.
+        let frame = unsafe { std::ptr::read(&this.frame) };
+        let guard = unsafe { std::ptr::read(&this.guard) };
+        PageReadGuard { frame, guard: ArcRwLockWriteGuard::downgrade(guard) }
+    }
+}
+
+impl std::ops::Deref for PageWriteGuard {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        &self.guard.page
+    }
+}
+
+impl std::ops::DerefMut for PageWriteGuard {
+    fn deref_mut(&mut self) -> &mut Page {
+        &mut self.guard.page
+    }
+}
+
+impl Drop for PageWriteGuard {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::InMemoryStore;
+
+    fn pool(capacity: usize) -> Arc<BufferPool> {
+        let store = Arc::new(InMemoryStore::new());
+        store.ensure_capacity(64).unwrap();
+        BufferPool::new(store, capacity)
+    }
+
+    #[test]
+    fn new_page_then_read_back() {
+        let pool = pool(8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"hello").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        let g = pool.fetch_read(PageId(1)).unwrap();
+        assert_eq!(g.cell(0).unwrap(), b"hello");
+        assert_eq!(g.page_id(), PageId(1));
+    }
+
+    #[test]
+    fn eviction_writes_back_and_reload_preserves_content() {
+        let pool = pool(2);
+        for i in 1..=8u32 {
+            let mut g = pool.new_page_write(PageId(i), 0).unwrap();
+            g.insert_cell(format!("page-{i}").as_bytes()).unwrap();
+            g.mark_dirty_unlogged();
+        }
+        assert!(pool.cached_frames() <= 3, "pool stayed near capacity");
+        for i in 1..=8u32 {
+            let g = pool.fetch_read(PageId(i)).unwrap();
+            assert_eq!(g.cell(0).unwrap(), format!("page-{i}").as_bytes());
+        }
+        assert!(pool.stats.evictions.load(Ordering::Relaxed) > 0);
+        assert!(pool.stats.writebacks.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let pool = pool(2);
+        let g1 = pool.new_page_write(PageId(1), 0).unwrap();
+        let g2 = pool.new_page_write(PageId(2), 0).unwrap();
+        let g3 = pool.new_page_write(PageId(3), 0).unwrap();
+        // All pinned: pool must grow past capacity rather than evict.
+        assert_eq!(pool.cached_frames(), 3);
+        drop((g1, g2, g3));
+    }
+
+    #[test]
+    fn crash_discards_unflushed_writes() {
+        let store = Arc::new(InMemoryStore::new());
+        store.ensure_capacity(8).unwrap();
+        let pool = BufferPool::new(store.clone(), 8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"durable").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        pool.flush_all();
+        {
+            let mut g = pool.fetch_write(PageId(1)).unwrap();
+            g.insert_cell(b"lost").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        pool.crash();
+        let pool2 = BufferPool::new(store, 8);
+        let g = pool2.fetch_read(PageId(1)).unwrap();
+        assert_eq!(g.cell(0).unwrap(), b"durable");
+        assert_eq!(g.cell(1), None, "unflushed cell gone after crash");
+    }
+
+    #[test]
+    fn wal_rule_flushes_log_before_writeback() {
+        struct RecordingFlusher(AtomicU64);
+        impl LogFlusher for RecordingFlusher {
+            fn flush_until(&self, lsn: Lsn) {
+                self.0.fetch_max(lsn.0, Ordering::Relaxed);
+            }
+        }
+        let store = Arc::new(InMemoryStore::new());
+        store.ensure_capacity(8).unwrap();
+        let pool = BufferPool::new(store, 8);
+        let flusher = Arc::new(RecordingFlusher(AtomicU64::new(0)));
+        pool.set_flusher(flusher.clone());
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"x").unwrap();
+            g.mark_dirty(Lsn(77));
+        }
+        pool.flush_all();
+        assert_eq!(flusher.0.load(Ordering::Relaxed), 77, "log forced to page LSN");
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_latch() {
+        let pool = pool(8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"shared").unwrap();
+        }
+        let r1 = pool.fetch_read(PageId(1)).unwrap();
+        let r2 = pool.fetch_read(PageId(1)).unwrap();
+        assert_eq!(r1.cell(0), r2.cell(0));
+    }
+
+    #[test]
+    fn downgrade_keeps_the_latch() {
+        let pool = pool(8);
+        let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+        g.insert_cell(b"d").unwrap();
+        let r = g.downgrade();
+        // A concurrent reader can share, a writer cannot (try via thread).
+        let r2 = pool.fetch_read(PageId(1)).unwrap();
+        assert_eq!(r.cell(0).unwrap(), b"d");
+        assert_eq!(r2.cell(0).unwrap(), b"d");
+    }
+
+    #[test]
+    fn many_threads_hammer_the_pool() {
+        let pool = pool(4);
+        for i in 0..16u32 {
+            let mut g = pool.new_page_write(PageId(i), 0).unwrap();
+            g.insert_cell(&i.to_le_bytes()).unwrap();
+            g.mark_dirty_unlogged();
+        }
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..200u32 {
+                    let id = PageId((t * 7 + round) % 16);
+                    let g = pool.fetch_read(id).unwrap();
+                    assert_eq!(g.cell(0).unwrap(), &id.0.to_le_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pool.stats.hits.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn try_fetch_write_declines_contended_latches() {
+        let pool = pool(8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"x").unwrap();
+        }
+        // Uncontended: granted.
+        let g = pool.try_fetch_write(PageId(1)).unwrap().expect("free latch");
+        // Contended from another thread: declined without blocking.
+        let pool2 = pool.clone();
+        let t = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            let res = pool2.try_fetch_write(PageId(1)).unwrap();
+            (res.is_none(), t0.elapsed())
+        });
+        let (declined, took) = t.join().unwrap();
+        assert!(declined, "latch was held");
+        assert!(took < std::time::Duration::from_millis(100), "did not block");
+        drop(g);
+        // And a miss loads from the store without blocking.
+        let miss = pool.try_fetch_write(PageId(7)).unwrap();
+        assert!(miss.is_some());
+    }
+
+    #[test]
+    fn writers_exclude_each_other() {
+        let pool = pool(8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(&0u64.to_le_bytes()).unwrap();
+            g.mark_dirty_unlogged();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let mut g = pool.fetch_write(PageId(1)).unwrap();
+                    let v = u64::from_le_bytes(g.cell(0).unwrap().try_into().unwrap());
+                    g.update_cell(0, &(v + 1).to_le_bytes()).unwrap();
+                    g.mark_dirty_unlogged();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let g = pool.fetch_read(PageId(1)).unwrap();
+        let v = u64::from_le_bytes(g.cell(0).unwrap().try_into().unwrap());
+        assert_eq!(v, 800, "increments never lost under the X latch");
+    }
+}

@@ -1,0 +1,159 @@
+//! A minimal heap file for data records.
+//!
+//! The paper's index stores `(key, RID)` pairs whose RIDs "point to the
+//! corresponding records on the data pages" (§2) — the records themselves
+//! live outside the index, and the hybrid locking protocol two-phase-locks
+//! them by RID. This heap file provides those data pages for the examples
+//! and tests.
+//!
+//! Data-record recovery is the data manager's job in a real DBMS and is
+//! orthogonal to the paper (which recovers the *index*); the heap is
+//! therefore unlogged. Crash tests treat the index as authoritative.
+
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::alloc::PageAllocator;
+use crate::buffer::BufferPool;
+use crate::page::{PageId, Rid};
+
+/// An unlogged heap file of variable-length records.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    alloc: Arc<PageAllocator>,
+    /// Pages owned by this heap, newest last (inserts try the newest
+    /// first, then fall back to a scan).
+    pages: Mutex<Vec<PageId>>,
+}
+
+impl HeapFile {
+    /// Empty heap drawing pages from `alloc`.
+    pub fn new(pool: Arc<BufferPool>, alloc: Arc<PageAllocator>) -> Self {
+        HeapFile { pool, alloc, pages: Mutex::new(Vec::new()) }
+    }
+
+    /// Insert a record; returns its RID.
+    pub fn insert(&self, bytes: &[u8]) -> io::Result<Rid> {
+        // Try the newest page first.
+        let newest = self.pages.lock().last().copied();
+        if let Some(pid) = newest {
+            let mut g = self.pool.fetch_write(pid)?;
+            if let Ok(slot) = g.insert_cell(bytes) {
+                g.mark_dirty_unlogged();
+                return Ok(Rid::new(pid, slot));
+            }
+        }
+        // Fall back to any page with room.
+        let candidates: Vec<PageId> = self.pages.lock().clone();
+        for pid in candidates {
+            let mut g = self.pool.fetch_write(pid)?;
+            if let Ok(slot) = g.insert_cell(bytes) {
+                g.mark_dirty_unlogged();
+                return Ok(Rid::new(pid, slot));
+            }
+        }
+        // Grow.
+        let pid = self.alloc.allocate();
+        let mut g = self.pool.new_page_write(pid, 0)?;
+        let slot = g.insert_cell(bytes).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("record too large: {e}"))
+        })?;
+        g.mark_dirty_unlogged();
+        self.pages.lock().push(pid);
+        Ok(Rid::new(pid, slot))
+    }
+
+    /// Fetch a record by RID.
+    pub fn get(&self, rid: Rid) -> io::Result<Option<Vec<u8>>> {
+        let g = self.pool.fetch_read(rid.page)?;
+        Ok(g.cell(rid.slot).map(|c| c.to_vec()))
+    }
+
+    /// Overwrite a record in place (must fit the page).
+    pub fn update(&self, rid: Rid, bytes: &[u8]) -> io::Result<bool> {
+        let mut g = self.pool.fetch_write(rid.page)?;
+        if !g.is_occupied(rid.slot) {
+            return Ok(false);
+        }
+        g.update_cell(rid.slot, bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        g.mark_dirty_unlogged();
+        Ok(true)
+    }
+
+    /// Delete a record.
+    pub fn delete(&self, rid: Rid) -> io::Result<bool> {
+        let mut g = self.pool.fetch_write(rid.page)?;
+        let existed = g.delete_cell(rid.slot);
+        if existed {
+            g.mark_dirty_unlogged();
+        }
+        Ok(existed)
+    }
+
+    /// Number of heap pages in use.
+    pub fn page_count(&self) -> usize {
+        self.pages.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{InMemoryStore, PageStore};
+
+    fn heap() -> HeapFile {
+        let store = Arc::new(InMemoryStore::new());
+        store.ensure_capacity(1).unwrap();
+        let pool = BufferPool::new(store, 16);
+        HeapFile::new(pool, Arc::new(PageAllocator::new(1)))
+    }
+
+    #[test]
+    fn insert_get_update_delete() {
+        let h = heap();
+        let rid = h.insert(b"record one").unwrap();
+        assert_eq!(h.get(rid).unwrap().unwrap(), b"record one");
+        assert!(h.update(rid, b"updated!").unwrap());
+        assert_eq!(h.get(rid).unwrap().unwrap(), b"updated!");
+        assert!(h.delete(rid).unwrap());
+        assert_eq!(h.get(rid).unwrap(), None);
+        assert!(!h.delete(rid).unwrap());
+    }
+
+    #[test]
+    fn spills_to_new_pages() {
+        let h = heap();
+        let big = vec![9u8; 3000];
+        let mut rids = Vec::new();
+        for _ in 0..10 {
+            rids.push(h.insert(&big).unwrap());
+        }
+        assert!(h.page_count() > 1, "records spilled across pages");
+        for rid in rids {
+            assert_eq!(h.get(rid).unwrap().unwrap(), big);
+        }
+    }
+
+    #[test]
+    fn reuses_space_after_delete() {
+        let h = heap();
+        let big = vec![1u8; 3000];
+        let a = h.insert(&big).unwrap();
+        let _b = h.insert(&big).unwrap();
+        let pages_before = h.page_count();
+        h.delete(a).unwrap();
+        let c = h.insert(&big).unwrap();
+        assert_eq!(h.page_count(), pages_before, "hole reused, no growth");
+        assert_eq!(h.get(c).unwrap().unwrap(), big);
+    }
+
+    #[test]
+    fn rejects_oversized_records() {
+        let h = heap();
+        let too_big = vec![0u8; crate::page::PAGE_SIZE];
+        assert!(h.insert(&too_big).is_err());
+    }
+}

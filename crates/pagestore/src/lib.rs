@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Page, slotted-page, buffer-pool and page-store substrate.
+//!
+//! This crate provides the storage layer underneath the GiST: fixed-size
+//! pages with a slotted layout and the header fields the concurrency
+//! protocol needs (**page LSN**, **NSN**, **rightlink**, level, an
+//! availability flag for Get-Page/Free-Page recovery), a buffer pool whose
+//! per-frame reader/writer latches are the paper's *latches* ("addressed
+//! physically … not checked for deadlock", §5 footnote 8), pluggable page
+//! stores (in-memory, file-backed, and a simulated-latency wrapper used to
+//! measure the cost of holding latches across I/Os), a page allocator, and
+//! a small heap file for the *data records* that index leaves point at.
+
+mod alloc;
+mod buffer;
+mod heap;
+mod page;
+pub mod store;
+
+pub use alloc::PageAllocator;
+pub use buffer::{BufferPool, FrameData, PageReadGuard, PageWriteGuard, PoolStats};
+pub use heap::HeapFile;
+pub use page::{Page, PageFull, PageId, Rid, SlotId, HEADER_SIZE, PAGE_SIZE, SLOT_SIZE};
+pub use store::{FileStore, InMemoryStore, PageStore, SimulatedLatencyStore};

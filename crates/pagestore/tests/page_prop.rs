@@ -1,0 +1,123 @@
+//! Property tests: the slotted page against a trivial model.
+
+use proptest::prelude::*;
+
+use gist_pagestore::{Page, PageId, PAGE_SIZE};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>),
+    Delete(usize),
+    Update(usize, Vec<u8>),
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => prop::collection::vec(any::<u8>(), 0..300).prop_map(Op::Insert),
+        2 => (0usize..64).prop_map(Op::Delete),
+        2 => ((0usize..64), prop::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(i, b)| Op::Update(i, b)),
+        1 => Just(Op::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever sequence of operations runs, the page agrees with a
+    /// shadow `Vec<Option<Vec<u8>>>` keyed by slot id, and layout
+    /// invariants hold.
+    #[test]
+    fn page_matches_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut page = Page::zeroed();
+        page.format(PageId(1), 0);
+        // model[slot] = Some(cell bytes) | None (vacant)
+        let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(bytes) => {
+                    match page.insert_cell(&bytes) {
+                        Ok(slot) => {
+                            let slot = slot as usize;
+                            if slot == model.len() {
+                                model.push(Some(bytes));
+                            } else {
+                                prop_assert!(model[slot].is_none(), "reused occupied slot");
+                                model[slot] = Some(bytes);
+                            }
+                        }
+                        Err(_) => {
+                            // Page full: the free-space accounting must
+                            // actually be insufficient.
+                            prop_assert!(page.free_for_insert() < bytes.len());
+                        }
+                    }
+                }
+                Op::Delete(i) => {
+                    let existed = page.delete_cell(i as u16);
+                    let model_had = model.get(i).map(|c| c.is_some()).unwrap_or(false);
+                    prop_assert_eq!(existed, model_had);
+                    if model_had {
+                        model[i] = None;
+                        // Mirror the trailing-slot trim.
+                        while model.last().map(|c| c.is_none()).unwrap_or(false) {
+                            model.pop();
+                        }
+                    }
+                }
+                Op::Update(i, bytes) => {
+                    let occupied = page.is_occupied(i as u16);
+                    prop_assert_eq!(occupied, model.get(i).map(|c| c.is_some()).unwrap_or(false));
+                    if occupied {
+                        match page.update_cell(i as u16, &bytes) {
+                            Ok(()) => model[i] = Some(bytes),
+                            Err(_) => {
+                                // Failed update must leave the old value.
+                                prop_assert_eq!(
+                                    page.cell(i as u16).unwrap(),
+                                    model[i].as_deref().unwrap()
+                                );
+                            }
+                        }
+                    }
+                }
+                Op::Compact => page.compact(),
+            }
+            // Full agreement after every step.
+            prop_assert_eq!(page.slot_count() as usize, model.len());
+            for (i, want) in model.iter().enumerate() {
+                prop_assert_eq!(page.cell(i as u16), want.as_deref(), "slot {}", i);
+            }
+            // Free-space arithmetic is conservative and bounded.
+            let live: usize = model.iter().flatten().map(|c| c.len()).sum();
+            prop_assert!(page.total_free() <= PAGE_SIZE);
+            prop_assert!(page.contiguous_free() <= page.total_free());
+            prop_assert!(live + page.total_free() <= PAGE_SIZE);
+        }
+    }
+
+    /// Header fields survive arbitrary cell traffic.
+    #[test]
+    fn header_is_isolated_from_cells(
+        cells in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..200), 1..30),
+        nsn in any::<u64>(),
+        rl in any::<u32>(),
+    ) {
+        let mut page = Page::zeroed();
+        page.format(PageId(3), 2);
+        page.set_nsn(nsn);
+        page.set_rightlink(PageId(rl));
+        page.set_available(true);
+        for c in &cells {
+            let _ = page.insert_cell(c);
+        }
+        page.compact();
+        prop_assert_eq!(page.nsn(), nsn);
+        prop_assert_eq!(page.rightlink(), PageId(rl));
+        prop_assert_eq!(page.level(), 2);
+        prop_assert!(page.is_available());
+        prop_assert_eq!(page.page_id(), PageId(3));
+    }
+}

@@ -1,0 +1,351 @@
+#![warn(missing_docs)]
+
+//! Transaction manager: lifecycle, 2PL integration, savepoints.
+//!
+//! Ties the substrates together for the paper's protocols:
+//!
+//! - **begin** assigns a [`TxnId`], writes `TxnBegin`, and takes the X
+//!   lock on the transaction's own id that §10.3 assumes ("every
+//!   transaction acquires an X-mode lock on its own ID when it starts
+//!   up") — this is what lets other operations "block on a predicate" by
+//!   S-locking that id.
+//! - **commit** forces the log (`TxnCommit` + flush), writes `TxnEnd`,
+//!   then releases predicate locks and record/signaling locks — strict
+//!   two-phase locking with predicate attachments held to transaction end
+//!   (§4.3).
+//! - **abort** writes `TxnAbort`, performs *logical undo* through the
+//!   caller-supplied [`RecoveryHandler`] (the GiST layer), writes
+//!   `TxnEnd`, then releases everything.
+//! - **savepoints** (§10.2): partial rollback to a recorded LSN keeps the
+//!   transaction (and its locks) alive; signaling locks existing at the
+//!   savepoint are *pinned* so they are not released when the node is
+//!   later visited — the restored cursor stacks still reference those
+//!   nodes.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gist_lockmgr::{LockError, LockManager, LockMode, LockName};
+use gist_predlock::PredicateManager;
+use gist_wal::recovery::{rollback, RecoveryHandler, RollbackKind};
+use gist_wal::{LogManager, Lsn, NestedTopAction, RecordBody, TxnId};
+
+/// State of a transaction in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Running.
+    Active,
+    /// Commit record written and forced; end record written; gone from
+    /// the table (this status is only ever returned transiently).
+    Committed,
+    /// Abort decided; rollback in progress.
+    Aborting,
+}
+
+/// Savepoint handle (transaction-local, monotonically increasing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SavepointId(pub u32);
+
+#[derive(Debug)]
+struct TxnInfo {
+    status: TxnStatus,
+    begin_lsn: Lsn,
+    last_lsn: Lsn,
+    savepoints: Vec<(SavepointId, Lsn)>,
+    next_savepoint: u32,
+    /// Signaling locks pinned by savepoints (§10.2): never released
+    /// before transaction end.
+    pinned_nodes: HashSet<LockName>,
+}
+
+/// Errors from transaction operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// Unknown or already-terminated transaction.
+    NotActive(TxnId),
+    /// Unknown savepoint.
+    NoSuchSavepoint(SavepointId),
+    /// Undo failed (propagated from the recovery handler).
+    Undo(String),
+    /// Lock acquisition failed (deadlock victim or timeout).
+    Lock(LockError),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::NotActive(t) => write!(f, "transaction {t} is not active"),
+            TxnError::NoSuchSavepoint(s) => write!(f, "no such savepoint {s:?}"),
+            TxnError::Undo(e) => write!(f, "undo failed: {e}"),
+            TxnError::Lock(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<LockError> for TxnError {
+    fn from(e: LockError) -> Self {
+        TxnError::Lock(e)
+    }
+}
+
+/// The transaction manager.
+pub struct TxnManager {
+    log: Arc<LogManager>,
+    locks: Arc<LockManager>,
+    preds: Arc<PredicateManager>,
+    table: Mutex<HashMap<TxnId, TxnInfo>>,
+    next_txn: Mutex<u64>,
+}
+
+impl TxnManager {
+    /// Manager over the shared log, lock manager and predicate manager.
+    pub fn new(
+        log: Arc<LogManager>,
+        locks: Arc<LockManager>,
+        preds: Arc<PredicateManager>,
+    ) -> Self {
+        TxnManager {
+            log,
+            locks,
+            preds,
+            table: Mutex::new(HashMap::new()),
+            next_txn: Mutex::new(0),
+        }
+    }
+
+    /// The shared log manager.
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// The shared lock manager.
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// The shared predicate manager.
+    pub fn preds(&self) -> &Arc<PredicateManager> {
+        &self.preds
+    }
+
+    /// Start a transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = {
+            let mut n = self.next_txn.lock();
+            *n += 1;
+            TxnId(*n)
+        };
+        let begin_lsn = self.log.append(id, Lsn::NULL, RecordBody::TxnBegin);
+        self.table.lock().insert(
+            id,
+            TxnInfo {
+                status: TxnStatus::Active,
+                begin_lsn,
+                last_lsn: begin_lsn,
+                savepoints: Vec::new(),
+                next_savepoint: 0,
+                pinned_nodes: HashSet::new(),
+            },
+        );
+        // §10.3: X lock on the own id, so others can block on this txn.
+        self.locks
+            .lock(id, LockName::Txn(id), LockMode::X)
+            .expect("own-id lock can never conflict");
+        id
+    }
+
+    /// Append a content log record for `txn`, maintaining its backchain.
+    /// Returns the record's LSN.
+    pub fn log_update(&self, txn: TxnId, body: RecordBody) -> Result<Lsn, TxnError> {
+        let mut table = self.table.lock();
+        let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+        let lsn = self.log.append(txn, info.last_lsn, body);
+        info.last_lsn = lsn;
+        Ok(lsn)
+    }
+
+    /// Start a nested top action for `txn` (§9.1).
+    pub fn begin_nta(&self, txn: TxnId) -> Result<NestedTopAction, TxnError> {
+        let table = self.table.lock();
+        let info = table.get(&txn).ok_or(TxnError::NotActive(txn))?;
+        Ok(self.log.begin_nta(info.last_lsn))
+    }
+
+    /// Finish a nested top action for `txn`: writes and flushes the dummy
+    /// CLR.
+    pub fn end_nta(&self, txn: TxnId, nta: NestedTopAction) -> Result<Lsn, TxnError> {
+        let mut table = self.table.lock();
+        let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+        let lsn = self.log.end_nta(txn, info.last_lsn, nta);
+        info.last_lsn = lsn;
+        Ok(lsn)
+    }
+
+    /// Commit: force the log, write the end record, release predicates
+    /// and locks.
+    pub fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
+        {
+            let mut table = self.table.lock();
+            let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+            let commit_lsn = self.log.append(txn, info.last_lsn, RecordBody::TxnCommit);
+            self.log.flush(commit_lsn);
+            let end_lsn = self.log.append(txn, commit_lsn, RecordBody::TxnEnd);
+            self.log.flush(end_lsn);
+            table.remove(&txn);
+        }
+        self.preds.release_txn(txn);
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    /// Abort: logical undo through `handler`, then end and release.
+    pub fn abort(&self, txn: TxnId, handler: &dyn RecoveryHandler) -> Result<(), TxnError> {
+        let last_lsn = {
+            let mut table = self.table.lock();
+            let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+            info.status = TxnStatus::Aborting;
+            let abort_lsn = self.log.append(txn, info.last_lsn, RecordBody::TxnAbort);
+            info.last_lsn = abort_lsn;
+            abort_lsn
+        };
+        // Undo outside the table lock: logical undo latches pages and may
+        // take time.
+        let chain_end = rollback(&self.log, handler, txn, last_lsn, Lsn::NULL, RollbackKind::Abort)
+            .map_err(|e| TxnError::Undo(e.0))?;
+        {
+            let mut table = self.table.lock();
+            let end_lsn = self.log.append(txn, chain_end, RecordBody::TxnEnd);
+            self.log.flush(end_lsn);
+            table.remove(&txn);
+        }
+        self.preds.release_txn(txn);
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    /// Establish a savepoint (§10.2). The caller (cursor layer) snapshots
+    /// its stacks alongside.
+    pub fn savepoint(&self, txn: TxnId) -> Result<SavepointId, TxnError> {
+        let mut table = self.table.lock();
+        let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+        info.next_savepoint += 1;
+        let id = SavepointId(info.next_savepoint);
+        let lsn = self.log.append(txn, info.last_lsn, RecordBody::Savepoint { id: id.0 });
+        info.last_lsn = lsn;
+        info.savepoints.push((id, lsn));
+        // Pin the signaling locks existing now: they must survive later
+        // visits so a restored cursor's stacked pointers stay protected.
+        for name in self.locks.held_by(txn) {
+            if matches!(name, LockName::Node { .. }) {
+                info.pinned_nodes.insert(name);
+            }
+        }
+        Ok(id)
+    }
+
+    /// Roll back to `sp`, undoing everything logged after it. The
+    /// transaction stays active; locks and predicates are retained.
+    /// Savepoints established after `sp` are discarded; `sp` itself
+    /// remains valid (can be rolled back to again).
+    pub fn rollback_to_savepoint(
+        &self,
+        txn: TxnId,
+        sp: SavepointId,
+        handler: &dyn RecoveryHandler,
+    ) -> Result<(), TxnError> {
+        let (last_lsn, sp_lsn) = {
+            let table = self.table.lock();
+            let info = table.get(&txn).ok_or(TxnError::NotActive(txn))?;
+            let sp_lsn = info
+                .savepoints
+                .iter()
+                .find(|(id, _)| *id == sp)
+                .map(|(_, l)| *l)
+                .ok_or(TxnError::NoSuchSavepoint(sp))?;
+            (info.last_lsn, sp_lsn)
+        };
+        let chain_end =
+            rollback(&self.log, handler, txn, last_lsn, sp_lsn, RollbackKind::Savepoint)
+                .map_err(|e| TxnError::Undo(e.0))?;
+        let mut table = self.table.lock();
+        let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+        info.last_lsn = chain_end;
+        info.savepoints.retain(|(id, _)| *id <= sp);
+        Ok(())
+    }
+
+    /// Whether a signaling lock was pinned by a savepoint (if so, the
+    /// visiting operation must not release it early).
+    pub fn is_pinned(&self, txn: TxnId, name: LockName) -> bool {
+        self.table
+            .lock()
+            .get(&txn)
+            .map(|i| i.pinned_nodes.contains(&name))
+            .unwrap_or(false)
+    }
+
+    /// Whether `txn` is still in the table (active or aborting).
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.table.lock().contains_key(&txn)
+    }
+
+    /// Whether `txn` has definitely committed. Transactions leave the
+    /// table only after their end record: an ended transaction whose
+    /// updates are still visible (e.g. a delete-marked entry) must have
+    /// committed, because an abort would have undone the mark first.
+    pub fn is_certainly_committed(&self, txn: TxnId) -> bool {
+        !self.table.lock().contains_key(&txn)
+    }
+
+    /// Smallest `begin_lsn` among active transactions, or [`Lsn::MAX`]
+    /// when none are active. Used for the Commit_LSN fast path of garbage
+    /// collection (\[Moh90b\], §7.1 footnote 11): a page whose LSN is below
+    /// this cannot hold any uncommitted entry.
+    pub fn oldest_active_begin_lsn(&self) -> Lsn {
+        self.table
+            .lock()
+            .values()
+            .map(|i| i.begin_lsn)
+            .min()
+            .unwrap_or(Lsn::MAX)
+    }
+
+    /// Last LSN of `txn`'s backchain.
+    pub fn last_lsn(&self, txn: TxnId) -> Option<Lsn> {
+        self.table.lock().get(&txn).map(|i| i.last_lsn)
+    }
+
+    /// Write a fuzzy checkpoint record.
+    pub fn checkpoint(&self) -> Lsn {
+        let active: Vec<(TxnId, Lsn)> =
+            self.table.lock().iter().map(|(t, i)| (*t, i.last_lsn)).collect();
+        let lsn = self.log.append(
+            TxnId::NONE,
+            Lsn::NULL,
+            RecordBody::Checkpoint { active_txns: active },
+        );
+        self.log.flush(lsn);
+        lsn
+    }
+
+    /// Block until `owner` terminates ("blocking on a predicate",
+    /// §10.3): S-lock the owner's id, then release it immediately.
+    pub fn wait_for_txn(&self, me: TxnId, owner: TxnId) -> Result<(), LockError> {
+        self.locks.lock(me, LockName::Txn(owner), LockMode::S)?;
+        self.locks.unlock(me, LockName::Txn(owner));
+        Ok(())
+    }
+
+    /// Number of transactions currently in the table.
+    pub fn active_count(&self) -> usize {
+        self.table.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,224 @@
+//! The log manager: append, flush, scan, and crash simulation.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::codec;
+use crate::{LogRecord, Lsn, NestedTopAction, RecordBody, TxnId};
+
+/// Anything that can force the log durable up to an LSN.
+///
+/// The buffer pool uses this to enforce the write-ahead rule: before a
+/// dirty page with page-LSN `l` goes to disk, `flush_until(l)` must have
+/// completed.
+pub trait LogFlusher: Send + Sync {
+    /// Make every record with LSN ≤ `lsn` durable.
+    fn flush_until(&self, lsn: Lsn);
+}
+
+struct LogInner {
+    /// All records, `records[i].lsn == Lsn(i as u64 + 1)`.
+    records: Vec<LogRecord>,
+    /// Durable prefix: everything with LSN ≤ `flushed` survives a crash.
+    flushed: Lsn,
+}
+
+/// In-memory write-ahead log with an explicit durable prefix.
+///
+/// LSNs are dense (`1, 2, 3, …`), which keeps them strictly monotonically
+/// increasing as §10.1 requires for NSN generation. [`LogManager::crash`]
+/// models a system failure by discarding the non-durable suffix.
+pub struct LogManager {
+    inner: Mutex<LogInner>,
+    /// Signalled whenever the durable prefix advances (group-commit style
+    /// waiters; kept simple here since flushes are synchronous).
+    flush_cv: Condvar,
+}
+
+impl Default for LogManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogManager {
+    /// Empty log.
+    pub fn new() -> Self {
+        LogManager {
+            inner: Mutex::new(LogInner { records: Vec::new(), flushed: Lsn::NULL }),
+            flush_cv: Condvar::new(),
+        }
+    }
+
+    /// Append a record; returns its LSN.
+    ///
+    /// `prev_lsn` is the transaction's backchain pointer (the caller —
+    /// normally the transaction manager — tracks each transaction's last
+    /// LSN).
+    pub fn append(&self, txn: TxnId, prev_lsn: Lsn, body: RecordBody) -> Lsn {
+        let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.records.len() as u64 + 1);
+        inner.records.push(LogRecord { lsn, prev_lsn, txn, body });
+        lsn
+    }
+
+    /// LSN of the most recently appended record ([`Lsn::NULL`] if empty).
+    ///
+    /// This is the paper's "global NSN" counter when NSNs are sourced from
+    /// the log (§10.1).
+    pub fn last_lsn(&self) -> Lsn {
+        Lsn(self.inner.lock().records.len() as u64)
+    }
+
+    /// Durable prefix of the log.
+    pub fn flushed_lsn(&self) -> Lsn {
+        self.inner.lock().flushed
+    }
+
+    /// Force everything up to (and including) `lsn` durable.
+    pub fn flush(&self, lsn: Lsn) {
+        let mut inner = self.inner.lock();
+        let limit = Lsn(lsn.0.min(inner.records.len() as u64));
+        if limit > inner.flushed {
+            inner.flushed = limit;
+            self.flush_cv.notify_all();
+        }
+    }
+
+    /// Force the entire log durable.
+    pub fn flush_all(&self) {
+        let mut inner = self.inner.lock();
+        inner.flushed = Lsn(inner.records.len() as u64);
+        self.flush_cv.notify_all();
+    }
+
+    /// Fetch the record with the given LSN.
+    ///
+    /// # Panics
+    /// Panics if `lsn` is null or beyond the end of the log — both indicate
+    /// a corrupted backchain, which must not be silently ignored.
+    pub fn get(&self, lsn: Lsn) -> LogRecord {
+        assert!(!lsn.is_null(), "fetching the NULL lsn");
+        let inner = self.inner.lock();
+        inner
+            .records
+            .get(lsn.0 as usize - 1)
+            .unwrap_or_else(|| panic!("lsn {lsn} beyond end of log ({})", inner.records.len()))
+            .clone()
+    }
+
+    /// Clone of every record with LSN ≥ `from` in LSN order.
+    pub fn scan_from(&self, from: Lsn) -> Vec<LogRecord> {
+        let inner = self.inner.lock();
+        let start = (from.0.max(1) - 1) as usize;
+        inner.records.get(start..).unwrap_or(&[]).to_vec()
+    }
+
+    /// Number of records currently in the log.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Simulate a system crash: every record past the durable prefix is
+    /// lost, exactly as if the machine died after its last `fsync`.
+    ///
+    /// Returns the number of records discarded.
+    pub fn crash(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let keep = inner.flushed.0 as usize;
+        let lost = inner.records.len().saturating_sub(keep);
+        inner.records.truncate(keep);
+        lost
+    }
+
+    /// LSN of the most recent checkpoint record, if any.
+    pub fn last_checkpoint(&self) -> Option<Lsn> {
+        let inner = self.inner.lock();
+        inner
+            .records
+            .iter()
+            .rev()
+            .find(|r| matches!(r.body, RecordBody::Checkpoint { .. }))
+            .map(|r| r.lsn)
+    }
+
+    /// Begin a nested top action for `txn` whose backchain currently ends
+    /// at `txn_last_lsn`.
+    pub fn begin_nta(&self, txn_last_lsn: Lsn) -> NestedTopAction {
+        NestedTopAction { undo_next: txn_last_lsn }
+    }
+
+    /// Finish a nested top action: writes the dummy CLR that makes the
+    /// whole unit of work invisible to rollback. Returns the new last LSN
+    /// for the transaction's backchain.
+    ///
+    /// The terminator is flushed immediately: once the unit's effects can
+    /// reach disk (its latches are released right after this call), the
+    /// fact that it completed must be durable too, otherwise restart would
+    /// undo a structure modification whose pages concurrent operations have
+    /// already built upon.
+    pub fn end_nta(&self, txn: TxnId, txn_last_lsn: Lsn, nta: NestedTopAction) -> Lsn {
+        let lsn = self.append(txn, txn_last_lsn, RecordBody::NtaEnd { undo_next: nta.undo_next });
+        self.flush(lsn);
+        lsn
+    }
+
+    /// Persist the durable prefix to a file (see [`LogManager::load_file`]).
+    pub fn persist_file(&self, path: &Path) -> io::Result<()> {
+        let inner = self.inner.lock();
+        let durable = &inner.records[..inner.flushed.0 as usize];
+        let mut buf = Vec::new();
+        for rec in durable {
+            let enc = codec::encode_record(rec);
+            buf.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&enc);
+        }
+        let mut f = fs::File::create(path)?;
+        f.write_all(&buf)?;
+        f.sync_all()
+    }
+
+    /// Load a log persisted by [`LogManager::persist_file`]; the loaded prefix is
+    /// entirely durable.
+    pub fn load_file(path: &Path) -> io::Result<LogManager> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        let mut records = Vec::new();
+        let mut off = 0usize;
+        while off + 4 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            off += 4;
+            let rec = codec::decode_record(&bytes[off..off + len]).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("log decode: {e}"))
+            })?;
+            off += len;
+            let expect = Lsn(records.len() as u64 + 1);
+            if rec.lsn != expect {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("log not dense: got {} expected {}", rec.lsn, expect),
+                ));
+            }
+            records.push(rec);
+        }
+        let flushed = Lsn(records.len() as u64);
+        Ok(LogManager {
+            inner: Mutex::new(LogInner { records, flushed }),
+            flush_cv: Condvar::new(),
+        })
+    }
+}
+
+impl LogFlusher for LogManager {
+    fn flush_until(&self, lsn: Lsn) {
+        self.flush(lsn);
+    }
+}

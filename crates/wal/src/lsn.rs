@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// Log sequence number.
+///
+/// LSNs are assigned by the log manager at append time and are strictly
+/// monotonically increasing. The paper (§10.1) exploits exactly this
+/// property to use LSNs as node sequence numbers (NSNs): "These LSNs are
+/// guaranteed to be monotonically increasing, which makes the LSN of the
+/// last log record written an ideal candidate for the global counter
+/// value."
+///
+/// `Lsn::NULL` (zero) is reserved and never assigned to a record; it marks
+/// the end of a backchain.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The null LSN: end-of-chain marker, smaller than every real LSN.
+    pub const NULL: Lsn = Lsn(0);
+    /// Largest representable LSN.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+
+    /// Whether this is the null (end-of-chain) LSN.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Lsn(NULL)")
+        } else {
+            write!(f, "Lsn({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Transaction identifier.
+///
+/// `TxnId::NONE` (zero) marks log records not ascribed to any transaction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Sentinel for "no transaction".
+    pub const NONE: TxnId = TxnId(0);
+
+    /// Whether this is the no-transaction sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_lsn_is_smallest() {
+        assert!(Lsn::NULL < Lsn(1));
+        assert!(Lsn::NULL.is_null());
+        assert!(!Lsn(1).is_null());
+        assert!(Lsn(1) < Lsn(2));
+        assert!(Lsn(2) < Lsn::MAX);
+    }
+
+    #[test]
+    fn txn_id_none() {
+        assert!(TxnId::NONE.is_none());
+        assert!(!TxnId(3).is_none());
+        assert_eq!(format!("{}", TxnId(3)), "T3");
+    }
+}

@@ -1,0 +1,267 @@
+//! Restart recovery: analysis, page-oriented redo, and undo with logical
+//! undo delegated to the resource manager (§9.2 of the paper).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{LogManager, LogRecord, Lsn, Payload, RecordBody, TxnId};
+
+/// Error surfaced by a [`RecoveryHandler`] or the driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryError(pub String);
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recovery error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Resource-manager callbacks used by the restart driver and by live
+/// transaction rollback.
+///
+/// The GiST layer implements this for its Table 1 record set.
+pub trait RecoveryHandler {
+    /// Page-oriented redo of a content payload (or of a CLR's redo
+    /// payload). Must be idempotent: implementations compare the page LSN
+    /// against `lsn` and skip already-applied updates. Returns whether the
+    /// update was (re)applied.
+    fn redo(&self, lsn: Lsn, payload: &Payload) -> Result<bool, RecoveryError>;
+
+    /// Undo one content record during rollback.
+    ///
+    /// `restart` distinguishes restart undo from live rollback: per §9.2,
+    /// restart undo must not trigger structure modifications (no garbage
+    /// collection, no BP shrinking, no node deletion), because unfinished
+    /// structure modifications may still be present and unlatched.
+    ///
+    /// The handler must call `log_clr` with the page-oriented redo
+    /// description of the compensation *before* touching any page, and
+    /// stamp the modified pages with the returned CLR LSN. This is the
+    /// ARIES discipline that makes undo idempotent: a page flushed with
+    /// the CLR's LSN implies (by the WAL rule) the CLR is durable, so a
+    /// post-crash redo of the CLR skips the page, and an unflushed page
+    /// is simply re-compensated. Handlers with no page effects may skip
+    /// the call; the driver then writes an empty CLR.
+    fn undo(
+        &self,
+        rec: &LogRecord,
+        payload: &Payload,
+        restart: bool,
+        log_clr: &mut dyn FnMut(Payload) -> Lsn,
+    ) -> Result<(), RecoveryError>;
+}
+
+/// Why a rollback is being performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackKind {
+    /// Live transaction abort: logical undo may perform structure
+    /// modifications (e.g. immediate garbage collection, Table 1
+    /// Add-Leaf-Entry undo).
+    Abort,
+    /// Partial rollback to a savepoint (§10.2).
+    Savepoint,
+    /// Restart undo after a crash: structure modifications forbidden.
+    Restart,
+}
+
+/// Roll back `txn`'s backchain starting at `last_lsn`, stopping once the
+/// chain passes `stop_after` (use [`Lsn::NULL`] for a complete rollback,
+/// or a savepoint LSN for partial rollback — records with LSN ≤
+/// `stop_after` survive).
+///
+/// Writes one CLR per undone content record. Returns the transaction's new
+/// last LSN.
+pub fn rollback(
+    log: &LogManager,
+    handler: &dyn RecoveryHandler,
+    txn: TxnId,
+    last_lsn: Lsn,
+    stop_after: Lsn,
+    kind: RollbackKind,
+) -> Result<Lsn, RecoveryError> {
+    let mut cur = last_lsn;
+    let mut chain_end = last_lsn;
+    while !cur.is_null() && cur > stop_after {
+        let rec = log.get(cur);
+        debug_assert_eq!(rec.txn, txn, "backchain crossed transactions");
+        if let RecordBody::Payload(p) = &rec.body {
+            let mut clr_lsn: Option<Lsn> = None;
+            {
+                let mut log_clr = |redo: Payload| {
+                    let l = log.append(
+                        txn,
+                        chain_end,
+                        RecordBody::Clr { undo_next: rec.prev_lsn, redo },
+                    );
+                    clr_lsn = Some(l);
+                    l
+                };
+                handler.undo(&rec, p, kind == RollbackKind::Restart, &mut log_clr)?;
+            }
+            // A handler with no page effects gets an empty CLR so the
+            // chain still skips this record on a re-rollback.
+            chain_end = clr_lsn.unwrap_or_else(|| {
+                log.append(
+                    txn,
+                    chain_end,
+                    RecordBody::Clr { undo_next: rec.prev_lsn, redo: Payload::default() },
+                )
+            });
+            cur = rec.prev_lsn;
+        } else {
+            cur = rec.undo_next();
+        }
+    }
+    Ok(chain_end)
+}
+
+/// Transaction status as seen by the analysis pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// In flight at the crash: a loser, to be undone.
+    Active,
+    /// Commit record found but no end record: a winner, just needs its end
+    /// record written.
+    Committed,
+    /// Abort record found but rollback unfinished: still a loser.
+    Aborting,
+}
+
+/// Output of the analysis pass.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisResult {
+    /// Transactions without a `TxnEnd` record, with their last LSN.
+    pub txn_table: HashMap<TxnId, (Lsn, TxnStatus)>,
+    /// Pages referenced by payload records since the analysis start (a
+    /// conservative dirty-page table).
+    pub dirty_pages: HashMap<u32, Lsn>,
+    /// Where the scan started (after the last checkpoint, or log start).
+    pub start_lsn: Lsn,
+}
+
+/// Analysis pass: reconstruct the transaction table (and a conservative
+/// dirty-page table) from the durable log.
+pub fn analysis(log: &LogManager) -> AnalysisResult {
+    let mut res = AnalysisResult::default();
+    // Seed from the most recent checkpoint, then scan forward from it.
+    let start = match log.last_checkpoint() {
+        Some(cp_lsn) => {
+            if let RecordBody::Checkpoint { active_txns } = log.get(cp_lsn).body {
+                for (t, l) in active_txns {
+                    res.txn_table.insert(t, (l, TxnStatus::Active));
+                }
+            }
+            cp_lsn
+        }
+        None => Lsn(1),
+    };
+    res.start_lsn = start;
+    for rec in log.scan_from(start) {
+        if !rec.txn.is_none() {
+            match rec.body {
+                RecordBody::TxnEnd => {
+                    res.txn_table.remove(&rec.txn);
+                }
+                RecordBody::TxnCommit => {
+                    res.txn_table.insert(rec.txn, (rec.lsn, TxnStatus::Committed));
+                }
+                RecordBody::TxnAbort => {
+                    res.txn_table.insert(rec.txn, (rec.lsn, TxnStatus::Aborting));
+                }
+                _ => {
+                    let status = res
+                        .txn_table
+                        .get(&rec.txn)
+                        .map(|(_, s)| *s)
+                        .unwrap_or(TxnStatus::Active);
+                    res.txn_table.insert(rec.txn, (rec.lsn, status));
+                }
+            }
+        }
+        let payload = match &rec.body {
+            RecordBody::Payload(p) => Some(p),
+            RecordBody::Clr { redo, .. } => Some(redo),
+            _ => None,
+        };
+        if let Some(p) = payload {
+            for pg in &p.pages {
+                res.dirty_pages.entry(*pg).or_insert(rec.lsn);
+            }
+        }
+    }
+    res
+}
+
+/// Summary of a completed restart.
+#[derive(Debug, Clone, Default)]
+pub struct RestartOutcome {
+    /// Loser transactions that were rolled back.
+    pub losers: Vec<TxnId>,
+    /// Winners that were missing only their end record.
+    pub completed_winners: Vec<TxnId>,
+    /// Payload/CLR records examined by the redo pass.
+    pub redo_considered: usize,
+    /// Records whose effects were actually re-applied (page LSN check
+    /// failed open).
+    pub redo_applied: usize,
+    /// CLRs written by the undo pass.
+    pub clrs_written: usize,
+}
+
+/// Full ARIES-style restart: analysis, redo-all (with page-LSN
+/// idempotence in the handler), then undo of losers with logical undo and
+/// no structure modifications (§9.2).
+///
+/// On return the log has been flushed; the caller is responsible for
+/// flushing data pages (or leaving them to the buffer pool).
+pub fn restart(
+    log: &LogManager,
+    handler: &dyn RecoveryHandler,
+) -> Result<RestartOutcome, RecoveryError> {
+    let analysis_res = analysis(log);
+    let mut outcome = RestartOutcome::default();
+
+    // Redo pass: repeat history from the log start. (A dirty-page-table
+    // driven redo point is an optimization only; redoing everything with
+    // the page-LSN check yields the same state.)
+    for rec in log.scan_from(Lsn(1)) {
+        let payload = match &rec.body {
+            RecordBody::Payload(p) => Some(p),
+            RecordBody::Clr { redo, .. } => Some(redo),
+            _ => None,
+        };
+        if let Some(p) = payload {
+            outcome.redo_considered += 1;
+            if handler.redo(rec.lsn, p)? {
+                outcome.redo_applied += 1;
+            }
+        }
+    }
+
+    // Undo pass: roll back losers; finish winners that lack an end record.
+    let mut losers: Vec<(TxnId, Lsn)> = Vec::new();
+    for (txn, (last, status)) in &analysis_res.txn_table {
+        match status {
+            TxnStatus::Committed => {
+                let end = log.append(*txn, *last, RecordBody::TxnEnd);
+                log.flush(end);
+                outcome.completed_winners.push(*txn);
+            }
+            TxnStatus::Active | TxnStatus::Aborting => losers.push((*txn, *last)),
+        }
+    }
+    // Deterministic order (oldest first) for reproducible tests.
+    losers.sort_by_key(|(t, _)| *t);
+    for (txn, last) in losers {
+        let before = log.len();
+        let chain_end = rollback(log, handler, txn, last, Lsn::NULL, RollbackKind::Restart)?;
+        outcome.clrs_written += log.len() - before;
+        let end = log.append(txn, chain_end, RecordBody::TxnEnd);
+        log.flush(end);
+        outcome.losers.push(txn);
+    }
+    log.flush_all();
+    Ok(outcome)
+}

@@ -1,0 +1,402 @@
+//! Unit tests for the log manager, nested top actions, rollback and
+//! restart, using a toy resource manager (an array of versioned cells).
+
+use std::sync::Mutex;
+
+use crate::codec::{decode_record, encode_record};
+use crate::recovery::{analysis, restart, rollback, RollbackKind, TxnStatus};
+use crate::{
+    LogManager, LogRecord, Lsn, Payload, RecordBody, RecoveryError, RecoveryHandler, TxnId,
+};
+
+/// Toy resource manager: `cells[i]` holds `(value, page_lsn)`. Payload
+/// bytes encode `op(1)=set, cell(u32), new(u64), old(u64)`.
+struct Cells {
+    cells: Mutex<Vec<(u64, Lsn)>>,
+    log: std::sync::Arc<LogManager>,
+}
+
+impl Cells {
+    fn new(n: usize, log: std::sync::Arc<LogManager>) -> Self {
+        Cells { cells: Mutex::new(vec![(0, Lsn::NULL); n]), log }
+    }
+
+    fn payload(cell: u32, new: u64, old: u64) -> Payload {
+        let mut b = vec![1u8];
+        b.extend_from_slice(&cell.to_le_bytes());
+        b.extend_from_slice(&new.to_le_bytes());
+        b.extend_from_slice(&old.to_le_bytes());
+        Payload::new(vec![cell], b)
+    }
+
+    fn decode(bytes: &[u8]) -> (u32, u64, u64) {
+        let cell = u32::from_le_bytes(bytes[1..5].try_into().unwrap());
+        let new = u64::from_le_bytes(bytes[5..13].try_into().unwrap());
+        let old = u64::from_le_bytes(bytes[13..21].try_into().unwrap());
+        (cell, new, old)
+    }
+
+    /// Forward operation: log then apply.
+    fn set(&self, txn: TxnId, prev: Lsn, cell: u32, new: u64) -> Lsn {
+        let mut cells = self.cells.lock().unwrap();
+        let old = cells[cell as usize].0;
+        let lsn = self.log.append(txn, prev, RecordBody::Payload(Self::payload(cell, new, old)));
+        cells[cell as usize] = (new, lsn);
+        lsn
+    }
+
+    fn get(&self, cell: u32) -> u64 {
+        self.cells.lock().unwrap()[cell as usize].0
+    }
+
+    /// Simulate losing all in-memory state (cells revert to what "disk"
+    /// had — here we model disk as empty, so redo must rebuild).
+    fn wipe(&self) {
+        let mut cells = self.cells.lock().unwrap();
+        for c in cells.iter_mut() {
+            *c = (0, Lsn::NULL);
+        }
+    }
+}
+
+impl RecoveryHandler for Cells {
+    fn redo(&self, lsn: Lsn, payload: &Payload) -> Result<bool, RecoveryError> {
+        if payload.bytes.is_empty() {
+            return Ok(false);
+        }
+        let (cell, new, _old) = Self::decode(&payload.bytes);
+        let mut cells = self.cells.lock().unwrap();
+        let slot = &mut cells[cell as usize];
+        if slot.1 < lsn {
+            *slot = (new, lsn);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn undo(
+        &self,
+        _rec: &LogRecord,
+        payload: &Payload,
+        _restart: bool,
+        log_clr: &mut dyn FnMut(Payload) -> Lsn,
+    ) -> Result<(), RecoveryError> {
+        let (cell, _new, old) = Self::decode(&payload.bytes);
+        // ARIES discipline: log the CLR first, stamp the page (cell) with
+        // its LSN.
+        let clr_lsn = log_clr(Self::payload(cell, old, 0));
+        let mut cells = self.cells.lock().unwrap();
+        cells[cell as usize] = (old, clr_lsn);
+        Ok(())
+    }
+}
+
+fn setup(cells: usize) -> (std::sync::Arc<LogManager>, Cells) {
+    let log = std::sync::Arc::new(LogManager::new());
+    let rm = Cells::new(cells, log.clone());
+    (log, rm)
+}
+
+#[test]
+fn lsns_are_dense_and_monotonic() {
+    let log = LogManager::new();
+    let a = log.append(TxnId(1), Lsn::NULL, RecordBody::TxnBegin);
+    let b = log.append(TxnId(1), a, RecordBody::TxnCommit);
+    assert_eq!(a, Lsn(1));
+    assert_eq!(b, Lsn(2));
+    assert_eq!(log.last_lsn(), Lsn(2));
+    assert_eq!(log.get(a).body.kind_name(), "TxnBegin");
+}
+
+#[test]
+fn flush_and_crash_truncate_unflushed_suffix() {
+    let log = LogManager::new();
+    let a = log.append(TxnId(1), Lsn::NULL, RecordBody::TxnBegin);
+    let _b = log.append(TxnId(1), a, RecordBody::TxnCommit);
+    log.flush(a);
+    assert_eq!(log.flushed_lsn(), a);
+    let lost = log.crash();
+    assert_eq!(lost, 1);
+    assert_eq!(log.last_lsn(), a);
+}
+
+#[test]
+fn flush_is_monotone_and_bounded() {
+    let log = LogManager::new();
+    let a = log.append(TxnId(1), Lsn::NULL, RecordBody::TxnBegin);
+    log.flush(Lsn(100)); // beyond end: clamps
+    assert_eq!(log.flushed_lsn(), a);
+    log.flush(Lsn::NULL); // never regresses
+    assert_eq!(log.flushed_lsn(), a);
+}
+
+#[test]
+fn rollback_undoes_in_reverse_and_writes_clrs() {
+    let (log, rm) = setup(4);
+    let t = TxnId(1);
+    let l0 = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let l1 = rm.set(t, l0, 0, 10);
+    let l2 = rm.set(t, l1, 1, 20);
+    let l3 = rm.set(t, l2, 0, 30);
+    assert_eq!(rm.get(0), 30);
+
+    let end = rollback(&log, &rm, t, l3, Lsn::NULL, RollbackKind::Abort).unwrap();
+    assert_eq!(rm.get(0), 0);
+    assert_eq!(rm.get(1), 0);
+    // Three CLRs were written and the chain end moved forward.
+    assert!(end > l3);
+    let clr = log.get(end);
+    assert!(matches!(clr.body, RecordBody::Clr { .. }));
+}
+
+#[test]
+fn partial_rollback_stops_at_savepoint() {
+    let (log, rm) = setup(4);
+    let t = TxnId(1);
+    let l0 = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let l1 = rm.set(t, l0, 0, 10);
+    let sp = log.append(t, l1, RecordBody::Savepoint { id: 1 });
+    let l2 = rm.set(t, sp, 1, 20);
+    let l3 = rm.set(t, l2, 0, 30);
+
+    rollback(&log, &rm, t, l3, sp, RollbackKind::Savepoint).unwrap();
+    // Updates after the savepoint are gone; the one before survives.
+    assert_eq!(rm.get(1), 0);
+    assert_eq!(rm.get(0), 10);
+}
+
+#[test]
+fn nta_records_are_skipped_by_rollback() {
+    let (log, rm) = setup(4);
+    let t = TxnId(1);
+    let l0 = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let l1 = rm.set(t, l0, 0, 10);
+    // Structure modification: cells 2 and 3 updated inside an NTA.
+    let nta = log.begin_nta(l1);
+    let s1 = rm.set(t, l1, 2, 111);
+    let s2 = rm.set(t, s1, 3, 222);
+    let l2 = log.end_nta(t, s2, nta);
+    let l3 = rm.set(t, l2, 1, 20);
+
+    rollback(&log, &rm, t, l3, Lsn::NULL, RollbackKind::Abort).unwrap();
+    // Content updates are undone, the NTA's updates survive.
+    assert_eq!(rm.get(0), 0);
+    assert_eq!(rm.get(1), 0);
+    assert_eq!(rm.get(2), 111);
+    assert_eq!(rm.get(3), 222);
+}
+
+#[test]
+fn incomplete_nta_is_undone_at_restart() {
+    let (log, rm) = setup(4);
+    let t = TxnId(1);
+    let l0 = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let _nta = log.begin_nta(l0);
+    let s1 = rm.set(t, l0, 2, 111);
+    let _s2 = rm.set(t, s1, 3, 222);
+    // Crash before end_nta: the NTA is incomplete and must be rolled back.
+    log.flush_all();
+    log.crash();
+    rm.wipe();
+
+    let out = restart(&log, &rm).unwrap();
+    assert_eq!(out.losers, vec![t]);
+    assert_eq!(rm.get(2), 0);
+    assert_eq!(rm.get(3), 0);
+}
+
+#[test]
+fn restart_redoes_committed_and_undoes_losers() {
+    let (log, rm) = setup(4);
+    let t1 = TxnId(1);
+    let t2 = TxnId(2);
+    let b1 = log.append(t1, Lsn::NULL, RecordBody::TxnBegin);
+    let b2 = log.append(t2, Lsn::NULL, RecordBody::TxnBegin);
+    let u1 = rm.set(t1, b1, 0, 10);
+    let u2 = rm.set(t2, b2, 1, 20);
+    let c1 = log.append(t1, u1, RecordBody::TxnCommit);
+    log.flush(c1);
+    let _u2b = rm.set(t2, u2, 2, 30);
+    // Crash: t1 committed (flushed), t2 in flight; t2's second update was
+    // never flushed and is lost entirely.
+    log.crash();
+    rm.wipe();
+
+    let out = restart(&log, &rm).unwrap();
+    assert_eq!(rm.get(0), 10, "committed update redone");
+    assert_eq!(rm.get(1), 0, "loser update undone");
+    assert_eq!(rm.get(2), 0, "unflushed update lost");
+    assert!(out.losers.contains(&t2));
+    assert!(out.completed_winners.contains(&t1));
+}
+
+#[test]
+fn restart_is_idempotent() {
+    let (log, rm) = setup(4);
+    let t = TxnId(1);
+    let b = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let u = rm.set(t, b, 0, 42);
+    let c = log.append(t, u, RecordBody::TxnCommit);
+    log.flush(c);
+    log.crash();
+    rm.wipe();
+
+    restart(&log, &rm).unwrap();
+    let v1 = rm.get(0);
+    // A second restart over the same (now longer) log must not change
+    // anything.
+    let out2 = restart(&log, &rm).unwrap();
+    assert_eq!(rm.get(0), v1);
+    assert!(out2.losers.is_empty());
+}
+
+#[test]
+fn crash_during_restart_undo_converges() {
+    let (log, rm) = setup(4);
+    let t = TxnId(1);
+    let b = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let u1 = rm.set(t, b, 0, 10);
+    let u2 = rm.set(t, u1, 1, 20);
+    let _u3 = rm.set(t, u2, 2, 30);
+    log.flush_all();
+    rm.wipe();
+
+    // First restart: runs fully, but we then simulate the *next* crash by
+    // keeping only a prefix that contains some CLRs.
+    restart(&log, &rm).unwrap();
+    // Find the first CLR and flush only up to it.
+    let first_clr = log
+        .scan_from(Lsn(1))
+        .into_iter()
+        .find(|r| matches!(r.body, RecordBody::Clr { .. }))
+        .unwrap()
+        .lsn;
+    // Rewind durability to just past the first CLR, losing later CLRs.
+    let log2 = LogManager::new();
+    for rec in log.scan_from(Lsn(1)) {
+        if rec.lsn <= first_clr {
+            log2.append(rec.txn, rec.prev_lsn, rec.body.clone());
+        }
+    }
+    log2.flush_all();
+    rm.wipe();
+    restart(&log2, &rm).unwrap();
+    // All three updates are undone regardless of the crash point.
+    assert_eq!(rm.get(0), 0);
+    assert_eq!(rm.get(1), 0);
+    assert_eq!(rm.get(2), 0);
+}
+
+#[test]
+fn analysis_tracks_statuses_and_checkpoint() {
+    let (log, rm) = setup(4);
+    let t1 = TxnId(1);
+    let t2 = TxnId(2);
+    let t3 = TxnId(3);
+    let b1 = log.append(t1, Lsn::NULL, RecordBody::TxnBegin);
+    let b2 = log.append(t2, Lsn::NULL, RecordBody::TxnBegin);
+    let cp = log.append(
+        TxnId::NONE,
+        Lsn::NULL,
+        RecordBody::Checkpoint { active_txns: vec![(t1, b1), (t2, b2)] },
+    );
+    let b3 = log.append(t3, Lsn::NULL, RecordBody::TxnBegin);
+    let u1 = rm.set(t1, b1, 0, 1);
+    let c1 = log.append(t1, u1, RecordBody::TxnCommit);
+    let e1 = log.append(t1, c1, RecordBody::TxnEnd);
+    let _a2 = log.append(t2, b2, RecordBody::TxnAbort);
+    let u3 = rm.set(t3, b3, 1, 2);
+    log.flush(e1);
+
+    let res = analysis(&log);
+    assert_eq!(res.start_lsn, cp);
+    assert!(!res.txn_table.contains_key(&t1), "ended txn dropped");
+    assert_eq!(res.txn_table[&t2].1, TxnStatus::Aborting);
+    assert_eq!(res.txn_table[&t3], (u3, TxnStatus::Active));
+    assert!(res.dirty_pages.contains_key(&1));
+}
+
+#[test]
+fn codec_roundtrips_all_record_kinds() {
+    let bodies = vec![
+        RecordBody::TxnBegin,
+        RecordBody::TxnCommit,
+        RecordBody::TxnAbort,
+        RecordBody::TxnEnd,
+        RecordBody::Savepoint { id: 7 },
+        RecordBody::Clr {
+            undo_next: Lsn(3),
+            redo: Payload::new(vec![1, 2], vec![9, 8, 7]),
+        },
+        RecordBody::NtaEnd { undo_next: Lsn(5) },
+        RecordBody::Checkpoint { active_txns: vec![(TxnId(1), Lsn(2)), (TxnId(3), Lsn(4))] },
+        RecordBody::Payload(Payload::new(vec![], vec![])),
+        RecordBody::Payload(Payload::new(vec![42], (0..255u8).collect())),
+    ];
+    for (i, body) in bodies.into_iter().enumerate() {
+        let rec = LogRecord { lsn: Lsn(i as u64 + 1), prev_lsn: Lsn(i as u64), txn: TxnId(9), body };
+        let enc = encode_record(&rec);
+        let dec = decode_record(&enc).unwrap();
+        assert_eq!(rec, dec);
+    }
+}
+
+#[test]
+fn codec_rejects_truncation_and_junk() {
+    let rec = LogRecord {
+        lsn: Lsn(1),
+        prev_lsn: Lsn::NULL,
+        txn: TxnId(1),
+        body: RecordBody::Payload(Payload::new(vec![1], vec![1, 2, 3])),
+    };
+    let enc = encode_record(&rec);
+    for cut in 0..enc.len() {
+        assert!(decode_record(&enc[..cut]).is_err(), "cut at {cut} must fail");
+    }
+    let mut junk = enc.clone();
+    junk[24] = 200; // invalid tag
+    assert!(decode_record(&junk).is_err());
+}
+
+#[test]
+fn file_persist_and_load_roundtrip() {
+    let (log, rm) = setup(2);
+    let t = TxnId(1);
+    let b = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let u = rm.set(t, b, 0, 5);
+    let c = log.append(t, u, RecordBody::TxnCommit);
+    log.flush(c);
+    let _unflushed = log.append(t, c, RecordBody::TxnEnd);
+
+    let dir = std::env::temp_dir().join(format!("gist-wal-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wal.log");
+    log.persist_file(&path).unwrap();
+    let loaded = LogManager::load_file(&path).unwrap();
+    // Only the durable prefix survives the round trip.
+    assert_eq!(loaded.last_lsn(), c);
+    assert_eq!(loaded.get(u), log.get(u));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_appends_get_unique_lsns() {
+    let log = std::sync::Arc::new(LogManager::new());
+    let mut handles = Vec::new();
+    for i in 0..8u64 {
+        let log = log.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut lsns = Vec::new();
+            for _ in 0..500 {
+                lsns.push(log.append(TxnId(i + 1), Lsn::NULL, RecordBody::TxnBegin));
+            }
+            lsns
+        }));
+    }
+    let mut all: Vec<Lsn> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), 8 * 500);
+    assert_eq!(log.last_lsn(), Lsn(4000));
+}

@@ -1,0 +1,66 @@
+//! Property tests for the log-record byte codec.
+
+use proptest::prelude::*;
+
+use gist_wal::codec::{decode_record, encode_record};
+use gist_wal::{LogRecord, Lsn, Payload, RecordBody, TxnId};
+
+fn payload() -> impl Strategy<Value = Payload> {
+    (
+        prop::collection::vec(any::<u32>(), 0..5),
+        prop::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(pages, bytes)| Payload::new(pages, bytes))
+}
+
+fn body() -> impl Strategy<Value = RecordBody> {
+    prop_oneof![
+        Just(RecordBody::TxnBegin),
+        Just(RecordBody::TxnCommit),
+        Just(RecordBody::TxnAbort),
+        Just(RecordBody::TxnEnd),
+        any::<u32>().prop_map(|id| RecordBody::Savepoint { id }),
+        (any::<u64>(), payload())
+            .prop_map(|(u, redo)| RecordBody::Clr { undo_next: Lsn(u), redo }),
+        any::<u64>().prop_map(|u| RecordBody::NtaEnd { undo_next: Lsn(u) }),
+        prop::collection::vec((any::<u64>(), any::<u64>()), 0..6).prop_map(|v| {
+            RecordBody::Checkpoint {
+                active_txns: v.into_iter().map(|(t, l)| (TxnId(t), Lsn(l))).collect(),
+            }
+        }),
+        payload().prop_map(RecordBody::Payload),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn roundtrip(lsn in any::<u64>(), prev in any::<u64>(), txn in any::<u64>(), b in body()) {
+        let rec = LogRecord { lsn: Lsn(lsn), prev_lsn: Lsn(prev), txn: TxnId(txn), body: b };
+        let enc = encode_record(&rec);
+        let dec = decode_record(&enc).unwrap();
+        prop_assert_eq!(rec, dec);
+    }
+
+    /// Truncation at any point is detected, never mis-decoded.
+    #[test]
+    fn truncation_always_fails(b in body(), cut_frac in 0.0f64..1.0) {
+        let rec = LogRecord { lsn: Lsn(1), prev_lsn: Lsn(0), txn: TxnId(1), body: b };
+        let enc = encode_record(&rec);
+        let cut = ((enc.len() as f64) * cut_frac) as usize;
+        if cut < enc.len() {
+            prop_assert!(decode_record(&enc[..cut]).is_err());
+        }
+    }
+
+    /// Appending junk after a record is rejected (records are framed by
+    /// the caller; trailing garbage means corruption).
+    #[test]
+    fn trailing_bytes_rejected(b in body(), junk in prop::collection::vec(any::<u8>(), 1..10)) {
+        let rec = LogRecord { lsn: Lsn(1), prev_lsn: Lsn(0), txn: TxnId(1), body: b };
+        let mut enc = encode_record(&rec);
+        enc.extend_from_slice(&junk);
+        prop_assert!(decode_record(&enc).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Spatial indexing: an R-tree GiST over 2-D rectangles, queried while
+//! concurrent writers keep splitting nodes — the scenario the paper's
+//! link protocol exists for.
+//!
+//! ```sh
+//! cargo run --example spatial_rtree
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gist_repro::am::{Rect, RtreeExt, SpatialQuery};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_repro::pagestore::{InMemoryStore, PageId, Rid};
+use gist_repro::wal::LogManager;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default())?;
+    let map = GistIndex::create(db.clone(), "city_map", RtreeExt, IndexOptions::default())?;
+
+    // Seed: a grid of "buildings".
+    let txn = db.begin();
+    let mut n = 0u64;
+    for gx in 0..40 {
+        for gy in 0..40 {
+            let (x, y) = (gx as f64 * 10.0, gy as f64 * 10.0);
+            let building = Rect::new(x, y, x + 6.0, y + 6.0);
+            // RIDs must be unique — the leaf level partitions them (§2).
+            map.insert(txn, &building, Rid::new(PageId(1_000_000), n as u16))?;
+            n += 1;
+        }
+    }
+    db.commit(txn)?;
+    println!("seeded {n} buildings; tree stats: {:?}", map.stats()?);
+
+    // Concurrent writers add "vehicles" while readers run window queries.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for t in 0..3u64 {
+        let (db, map, stop) = (db.clone(), map.clone(), stop.clone());
+        threads.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let x = ((t * 131 + i * 17) % 400) as f64;
+                let y = ((t * 57 + i * 23) % 400) as f64;
+                let vehicle = Rect::new(x, y, x + 1.0, y + 1.0);
+                let rid = Rid::new(PageId(2_000_000 + t as u32), (i % 60_000) as u16);
+                let txn = db.begin();
+                match map.insert(txn, &vehicle, rid) {
+                    Ok(()) => db.commit(txn).unwrap(),
+                    Err(e) if e.is_retryable() => db.abort(txn).unwrap(),
+                    Err(e) => panic!("{e}"),
+                }
+                i += 1;
+            }
+            i
+        }));
+    }
+
+    let t0 = Instant::now();
+    let mut queries = 0u64;
+    let mut reader_retries = 0u64;
+    while t0.elapsed().as_millis() < 800 {
+        // Readers can be picked as deadlock victims when they re-scan a
+        // range an insert is blocked on (§6 steps 5-6): abort and retry.
+        let txn = db.begin();
+        let window = Rect::new(100.0, 100.0, 180.0, 180.0);
+        let res = (|| -> gist_repro::core::Result<(usize, usize)> {
+            let hits = map.search(txn, &SpatialQuery::Overlaps(window))?;
+            let contained = map.search(txn, &SpatialQuery::Within(window))?;
+            Ok((hits.len(), contained.len()))
+        })();
+        match res {
+            Ok((hits, contained)) => {
+                db.commit(txn)?;
+                assert!(contained <= hits);
+                queries += 1;
+            }
+            Err(e) if e.is_retryable() => {
+                db.abort(txn)?;
+                reader_retries += 1;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    println!("reader deadlock retries: {reader_retries}");
+    stop.store(true, Ordering::Relaxed);
+    let inserted: u64 = threads.into_iter().map(|h| h.join().unwrap()).sum();
+    println!("ran {queries} window queries alongside {inserted} concurrent inserts");
+
+    // Structural invariants hold after all that churn.
+    check_tree(&map)?.assert_ok();
+    println!("final tree: {:?}", map.stats()?);
+    Ok(())
+}

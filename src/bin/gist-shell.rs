@@ -1,0 +1,325 @@
+//! `gist-shell` — an interactive shell over a file-backed GiST database.
+//!
+//! ```sh
+//! cargo run --bin gist-shell -- /tmp/demo
+//! ```
+//!
+//! Commands (one per line):
+//!
+//! ```text
+//! create <index>            create a B-tree (i64) index
+//! create-unique <index>     create a unique B-tree index
+//! drop <index>              drop an index
+//! begin                     start a transaction (the shell holds one at a time)
+//! commit | abort            finish the current transaction
+//! savepoint                 establish a savepoint
+//! rollback-sp               roll back to the last savepoint
+//! insert <index> <key> <payload...>   insert key -> heap record
+//! delete <index> <key>      delete one entry with that key
+//! get <index> <key>         point lookup
+//! range <index> <lo> <hi>   range scan
+//! stats <index>             tree statistics
+//! check <index>             run the structural invariant checker
+//! vacuum <index>            garbage-collect committed deletes
+//! catalog                   list indexes
+//! crash                     simulate a crash (then `exit` and reopen)
+//! flush                     flush log + pages (clean shutdown state)
+//! help | exit
+//! ```
+//!
+//! The page file is `<path>.pages`, the WAL `<path>.wal`. On startup, if
+//! both exist, the shell runs restart recovery.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write as _};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistError, GistIndex, IndexOptions};
+use gist_repro::pagestore::{FileStore, PageStore};
+use gist_repro::txn::SavepointId;
+use gist_repro::wal::{LogManager, TxnId};
+
+struct Shell {
+    db: Arc<Db>,
+    wal_path: PathBuf,
+    indexes: HashMap<String, Arc<GistIndex<BtreeExt>>>,
+    txn: Option<TxnId>,
+    savepoints: Vec<SavepointId>,
+    crashed: bool,
+}
+
+impl Shell {
+    fn open(base: &str) -> Result<Shell, Box<dyn std::error::Error>> {
+        let pages = PathBuf::from(format!("{base}.pages"));
+        let wal_path = PathBuf::from(format!("{base}.wal"));
+        let store = Arc::new(FileStore::open(&pages)?);
+        let fresh = store.page_count() == 0 || !wal_path.exists();
+        let log = if fresh {
+            Arc::new(LogManager::new())
+        } else {
+            Arc::new(LogManager::load_file(&wal_path)?)
+        };
+        let db = if fresh {
+            Db::open(store, log, DbConfig::default())?
+        } else {
+            let (db, report) = Db::restart(store, log, DbConfig::default())?;
+            println!(
+                "recovered: {} indexes, {} losers undone, {} records redone",
+                report.indexes,
+                report.outcome.losers.len(),
+                report.outcome.redo_applied
+            );
+            db
+        };
+        Ok(Shell {
+            db,
+            wal_path,
+            indexes: HashMap::new(),
+            txn: None,
+            savepoints: Vec::new(),
+            crashed: false,
+        })
+    }
+
+    fn index(&mut self, name: &str) -> Result<Arc<GistIndex<BtreeExt>>, GistError> {
+        if let Some(idx) = self.indexes.get(name) {
+            return Ok(idx.clone());
+        }
+        let idx = GistIndex::open(self.db.clone(), name, BtreeExt)?;
+        self.indexes.insert(name.to_string(), idx.clone());
+        Ok(idx)
+    }
+
+    /// The current transaction, starting one implicitly if needed (auto
+    /// transactions commit at the end of the statement).
+    fn txn(&mut self) -> (TxnId, bool) {
+        match self.txn {
+            Some(t) => (t, false),
+            None => (self.db.begin(), true),
+        }
+    }
+
+    fn finish_auto(&self, txn: TxnId, auto: bool) -> Result<(), GistError> {
+        if auto {
+            self.db.commit(txn)?;
+        }
+        Ok(())
+    }
+
+    fn persist(&self) -> Result<(), Box<dyn std::error::Error>> {
+        self.db.shutdown();
+        self.db.log().persist_file(&self.wal_path)?;
+        Ok(())
+    }
+
+    fn run_line(&mut self, line: &str) -> Result<bool, Box<dyn std::error::Error>> {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let Some(&cmd) = parts.first() else { return Ok(true) };
+        if self.crashed && cmd != "exit" {
+            println!("(crashed — only `exit` works; reopen the shell to recover)");
+            return Ok(true);
+        }
+        match cmd {
+            "help" => println!("{}", HELP),
+            "exit" | "quit" => {
+                if !self.crashed {
+                    if let Some(t) = self.txn.take() {
+                        println!("(aborting open transaction)");
+                        self.db.abort(t)?;
+                    }
+                    self.persist()?;
+                }
+                return Ok(false);
+            }
+            "create" | "create-unique" => {
+                let name = parts.get(1).ok_or("usage: create <index>")?;
+                let idx = GistIndex::create(
+                    self.db.clone(),
+                    name,
+                    BtreeExt,
+                    IndexOptions { unique: cmd == "create-unique" },
+                )?;
+                self.indexes.insert(name.to_string(), idx);
+                println!("created {name}");
+            }
+            "drop" => {
+                let name = parts.get(1).ok_or("usage: drop <index>")?;
+                self.indexes.remove(*name);
+                let freed = self.db.drop_index_raw(name)?;
+                println!("dropped {name} ({freed} pages freed)");
+            }
+            "begin" => {
+                if self.txn.is_some() {
+                    println!("(already in a transaction)");
+                } else {
+                    self.txn = Some(self.db.begin());
+                    println!("begun");
+                }
+            }
+            "commit" => match self.txn.take() {
+                Some(t) => {
+                    self.db.commit(t)?;
+                    self.savepoints.clear();
+                    println!("committed");
+                }
+                None => println!("(no open transaction)"),
+            },
+            "abort" => match self.txn.take() {
+                Some(t) => {
+                    self.db.abort(t)?;
+                    self.savepoints.clear();
+                    println!("aborted");
+                }
+                None => println!("(no open transaction)"),
+            },
+            "savepoint" => match self.txn {
+                Some(t) => {
+                    let sp = self.db.savepoint(t)?;
+                    self.savepoints.push(sp);
+                    println!("savepoint {:?}", sp);
+                }
+                None => println!("(begin a transaction first)"),
+            },
+            "rollback-sp" => match (self.txn, self.savepoints.pop()) {
+                (Some(t), Some(sp)) => {
+                    self.db.rollback_to_savepoint(t, sp)?;
+                    self.savepoints.push(sp); // remains valid
+                    println!("rolled back to {:?}", sp);
+                }
+                _ => println!("(need an open transaction with a savepoint)"),
+            },
+            "insert" => {
+                let name = parts.get(1).ok_or("usage: insert <index> <key> <payload>")?;
+                let key: i64 = parts.get(2).ok_or("missing key")?.parse()?;
+                let payload = parts.get(3..).unwrap_or(&[]).join(" ");
+                let idx = self.index(name)?;
+                let rid = self.db.heap().insert(payload.as_bytes())?;
+                let (t, auto) = self.txn();
+                match idx.insert(t, &key, rid) {
+                    Ok(()) => {
+                        self.finish_auto(t, auto)?;
+                        println!("inserted {key} -> {rid:?}");
+                    }
+                    Err(e) => {
+                        if auto {
+                            self.db.abort(t)?;
+                        }
+                        println!("error: {e}");
+                    }
+                }
+            }
+            "delete" => {
+                let name = parts.get(1).ok_or("usage: delete <index> <key>")?;
+                let key: i64 = parts.get(2).ok_or("missing key")?.parse()?;
+                let idx = self.index(name)?;
+                let (t, auto) = self.txn();
+                let hit = idx.search(t, &I64Query::eq(key))?.into_iter().next();
+                match hit {
+                    Some((_, rid)) => {
+                        idx.delete(t, &key, rid)?;
+                        self.finish_auto(t, auto)?;
+                        println!("deleted {key}");
+                    }
+                    None => {
+                        self.finish_auto(t, auto)?;
+                        println!("(not found)");
+                    }
+                }
+            }
+            "get" | "range" => {
+                let name = parts.get(1).ok_or("usage: get <index> <key>")?;
+                let lo: i64 = parts.get(2).ok_or("missing key")?.parse()?;
+                let hi: i64 =
+                    if cmd == "range" { parts.get(3).ok_or("missing hi")?.parse()? } else { lo };
+                let idx = self.index(name)?;
+                let (t, auto) = self.txn();
+                let hits = idx.search(t, &I64Query::range(lo, hi))?;
+                for (k, rid) in &hits {
+                    let payload = self
+                        .db
+                        .heap()
+                        .get(*rid)?
+                        .map(|b| String::from_utf8_lossy(&b).into_owned())
+                        .unwrap_or_default();
+                    println!("  {k} -> {payload}");
+                }
+                println!("({} rows)", hits.len());
+                self.finish_auto(t, auto)?;
+            }
+            "stats" => {
+                let name = parts.get(1).ok_or("usage: stats <index>")?;
+                let idx = self.index(name)?;
+                println!("{:?}", idx.stats()?);
+            }
+            "check" => {
+                let name = parts.get(1).ok_or("usage: check <index>")?;
+                let idx = self.index(name)?;
+                let report = check_tree(&idx)?;
+                if report.ok() {
+                    println!("OK: {} nodes, {} entries", report.nodes, report.entries);
+                } else {
+                    println!("VIOLATIONS: {:#?}", report.violations);
+                }
+            }
+            "vacuum" => {
+                let name = parts.get(1).ok_or("usage: vacuum <index>")?;
+                let idx = self.index(name)?;
+                let (t, auto) = self.txn();
+                let rep = idx.vacuum(t)?;
+                self.finish_auto(t, auto)?;
+                println!("{rep:?}");
+            }
+            "catalog" => {
+                for line in self.db.catalog_summary() {
+                    println!("  {line}");
+                }
+            }
+            "crash" => {
+                self.txn = None;
+                self.db.log().persist_file(&self.wal_path)?;
+                self.db.crash();
+                self.crashed = true;
+                println!("crashed (durable prefix persisted); exit and reopen to recover");
+            }
+            "flush" => {
+                self.persist()?;
+                println!("flushed");
+            }
+            other => println!("unknown command {other:?} (try `help`)"),
+        }
+        Ok(true)
+    }
+}
+
+const HELP: &str = "\
+create <i> | create-unique <i> | drop <i>
+begin | commit | abort | savepoint | rollback-sp
+insert <i> <key> <payload> | delete <i> <key>
+get <i> <key> | range <i> <lo> <hi>
+stats <i> | check <i> | vacuum <i> | catalog
+crash | flush | exit";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = std::env::args().nth(1).unwrap_or_else(|| "/tmp/gist-shell-db".to_string());
+    println!("gist-shell over {base}.pages / {base}.wal  (`help` for commands)");
+    let mut shell = Shell::open(&base)?;
+    let stdin = std::io::stdin();
+    loop {
+        print!("gist> ");
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            shell.run_line("exit")?;
+            break;
+        }
+        match shell.run_line(line.trim()) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

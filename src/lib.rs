@@ -1,0 +1,30 @@
+//! # gist-repro
+//!
+//! Umbrella crate for the reproduction of *Concurrency and Recovery in
+//! Generalized Search Trees* (Kornacker, Mohan, Hellerstein — SIGMOD 1997).
+//!
+//! The actual functionality lives in the workspace crates; this crate
+//! re-exports them under stable module names and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Quick orientation:
+//!
+//! - [`pagestore`] — slotted pages, buffer pool with latches, page stores.
+//! - [`wal`] — ARIES-style write-ahead log, nested top actions, restart.
+//! - [`lockmgr`] — lock manager with deadlock detection.
+//! - [`predlock`] — the predicate manager of §10.3.
+//! - [`txn`] — transaction manager and savepoints.
+//! - [`core`] — the GiST itself: the concurrency protocol (NSN +
+//!   rightlinks), hybrid repeatable-read locking, logical delete and
+//!   garbage collection, node deletion via the drain technique, the
+//!   Table 1 logging/recovery protocol, and baseline protocols.
+//! - [`am`] — example access methods (B-tree, R-tree, RD-tree) realized as
+//!   GiST extensions.
+
+pub use gist_am as am;
+pub use gist_core as core;
+pub use gist_lockmgr as lockmgr;
+pub use gist_pagestore as pagestore;
+pub use gist_predlock as predlock;
+pub use gist_txn as txn;
+pub use gist_wal as wal;

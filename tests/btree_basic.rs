@@ -1,0 +1,235 @@
+//! End-to-end single-threaded behavior of the B-tree GiST: inserts,
+//! splits (incl. root splits), range search, logical delete, garbage
+//! collection, abort, and structural invariants.
+
+use std::sync::Arc;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistError, GistIndex, IndexOptions};
+use gist_repro::pagestore::{InMemoryStore, Rid, PageId};
+use gist_repro::wal::LogManager;
+
+fn setup() -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    (db, idx)
+}
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId((n >> 16) as u32 + 1000), (n & 0xFFFF) as u16)
+}
+
+#[test]
+fn insert_and_point_search() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for k in 0..50i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let txn = db.begin();
+    for k in 0..50i64 {
+        let hits = idx.search(txn, &I64Query::eq(k)).unwrap();
+        assert_eq!(hits.len(), 1, "key {k}");
+        assert_eq!(hits[0], (k, rid(k as u64)));
+    }
+    assert!(idx.search(txn, &I64Query::eq(99)).unwrap().is_empty());
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn range_search_returns_exact_set() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for k in (0..200i64).step_by(2) {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let txn = db.begin();
+    let mut hits: Vec<i64> =
+        idx.search(txn, &I64Query::range(50, 99)).unwrap().into_iter().map(|(k, _)| k).collect();
+    hits.sort();
+    let expect: Vec<i64> = (50..=99).filter(|k| k % 2 == 0).collect();
+    assert_eq!(hits, expect);
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn many_inserts_cause_splits_and_stay_searchable() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    let n = 5_000i64;
+    for k in 0..n {
+        // Shuffled-ish order to exercise non-append insertion.
+        let key = (k * 7919) % n;
+        idx.insert(txn, &key, rid(key as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let stats = idx.stats().unwrap();
+    assert!(stats.height >= 2, "tree must have split: {stats:?}");
+    assert_eq!(stats.live_entries, n as usize);
+    check_tree(&idx).unwrap().assert_ok();
+
+    let txn = db.begin();
+    let all = idx.search(txn, &I64Query::range(0, n)).unwrap();
+    assert_eq!(all.len(), n as usize);
+    let some = idx.search(txn, &I64Query::range(1000, 1099)).unwrap();
+    assert_eq!(some.len(), 100);
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn delete_hides_key_and_gc_reclaims() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for k in 0..100i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let txn = db.begin();
+    idx.delete(txn, &42, rid(42)).unwrap();
+    // Deleter still sees its own uncommitted delete as gone? The entry is
+    // marked; our own search skips marked entries we deleted.
+    db.commit(txn).unwrap();
+
+    let txn = db.begin();
+    assert!(idx.search(txn, &I64Query::eq(42)).unwrap().is_empty());
+    assert_eq!(idx.search(txn, &I64Query::range(40, 44)).unwrap().len(), 4);
+    db.commit(txn).unwrap();
+
+    // The entry is physically present until garbage collection.
+    assert_eq!(idx.stats().unwrap().marked_entries, 1);
+    let txn = db.begin();
+    let report = idx.vacuum(txn).unwrap();
+    db.commit(txn).unwrap();
+    assert_eq!(report.entries_removed, 1);
+    assert_eq!(idx.stats().unwrap().marked_entries, 0);
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn delete_missing_key_errors() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    idx.insert(txn, &1, rid(1)).unwrap();
+    assert!(matches!(idx.delete(txn, &2, rid(2)), Err(GistError::NotFound)));
+    // Wrong RID for an existing key is also NotFound.
+    assert!(matches!(idx.delete(txn, &1, rid(9)), Err(GistError::NotFound)));
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn abort_rolls_back_inserts_and_deletes() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for k in 0..20i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let txn = db.begin();
+    idx.insert(txn, &100, rid(100)).unwrap();
+    idx.delete(txn, &5, rid(5)).unwrap();
+    db.abort(txn).unwrap();
+
+    let txn = db.begin();
+    assert!(idx.search(txn, &I64Query::eq(100)).unwrap().is_empty(), "insert undone");
+    assert_eq!(idx.search(txn, &I64Query::eq(5)).unwrap().len(), 1, "delete undone");
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn abort_after_splits_keeps_structure() {
+    let (db, idx) = setup();
+    // Committed base.
+    let txn = db.begin();
+    for k in 0..300i64 {
+        idx.insert(txn, &(k * 10), rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    // A big aborted transaction that forces splits.
+    let txn = db.begin();
+    for k in 0..800i64 {
+        idx.insert(txn, &(k * 10 + 5), rid(100_000 + k as u64)).unwrap();
+    }
+    db.abort(txn).unwrap();
+
+    // Splits (structure) survive; content does not.
+    let txn = db.begin();
+    assert_eq!(idx.search(txn, &I64Query::range(0, 3000)).unwrap().len(), 300);
+    assert!(idx.search(txn, &I64Query::eq(15)).unwrap().is_empty());
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn duplicate_keys_with_distinct_rids_coexist() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for i in 0..5u64 {
+        idx.insert(txn, &7, rid(i)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    assert_eq!(idx.search(txn, &I64Query::eq(7)).unwrap().len(), 5);
+    // Delete one specific (key, RID) pair.
+    idx.delete(txn, &7, rid(2)).unwrap();
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    let left: Vec<Rid> =
+        idx.search(txn, &I64Query::eq(7)).unwrap().into_iter().map(|(_, r)| r).collect();
+    assert_eq!(left.len(), 4);
+    assert!(!left.contains(&rid(2)));
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn cursor_is_incremental() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for k in 0..30i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    let mut c = idx.cursor(txn, I64Query::range(10, 19)).unwrap();
+    let mut got = Vec::new();
+    while let Some((k, _)) = c.next().unwrap() {
+        got.push(k);
+    }
+    got.sort();
+    assert_eq!(got, (10..20).collect::<Vec<i64>>());
+    assert!(c.is_finished());
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn two_indexes_are_independent()  {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let a = GistIndex::create(db.clone(), "a", BtreeExt, IndexOptions::default()).unwrap();
+    let b = GistIndex::create(db.clone(), "b", BtreeExt, IndexOptions::default()).unwrap();
+    let txn = db.begin();
+    for k in 0..100i64 {
+        a.insert(txn, &k, rid(k as u64)).unwrap();
+        b.insert(txn, &(1000 + k), rid(500 + k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    assert_eq!(a.search(txn, &I64Query::range(0, 2000)).unwrap().len(), 100);
+    assert_eq!(b.search(txn, &I64Query::range(0, 2000)).unwrap().len(), 100);
+    assert!(a.search(txn, &I64Query::eq(1000)).unwrap().is_empty());
+    db.commit(txn).unwrap();
+    check_tree(&a).unwrap().assert_ok();
+    check_tree(&b).unwrap().assert_ok();
+}

@@ -1,0 +1,543 @@
+//! Multi-threaded protocol tests: the link technique under concurrent
+//! splits (Figures 1/2), repeatable read (§4), delete/scan blocking
+//! (§7), unique-insert races (§8), and mixed-workload stress with a
+//! shadow oracle.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistError, GistIndex, IndexOptions};
+use gist_repro::pagestore::{InMemoryStore, PageId, Rid};
+use gist_repro::wal::LogManager;
+
+fn setup(config: DbConfig) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, config).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    (db, idx)
+}
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId((n >> 16) as u32 + 100_000), (n & 0xFFFF) as u16)
+}
+
+/// Retry a transactional closure on deadlock (the paper's §8 resolution:
+/// victims abort and retry).
+fn with_txn_retry<F: FnMut(gist_repro::wal::TxnId) -> gist_repro::core::Result<()>>(
+    db: &Arc<Db>,
+    mut f: F,
+) {
+    loop {
+        let txn = db.begin();
+        match f(txn) {
+            Ok(()) => {
+                db.commit(txn).unwrap();
+                return;
+            }
+            Err(e) if e.is_retryable() => {
+                db.abort(txn).unwrap();
+                continue;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_inserters_build_a_consistent_tree() {
+    let (db, idx) = setup(DbConfig::default());
+    let threads = 8;
+    let per = 500i64;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let (db, idx) = (db.clone(), idx.clone());
+        handles.push(std::thread::spawn(move || {
+            for i in 0..per {
+                let key = t as i64 * per + i;
+                with_txn_retry(&db, |txn| idx.insert(txn, &key, rid(key as u64)));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = threads as i64 * per;
+    let txn = db.begin();
+    let hits = idx.search(txn, &I64Query::range(0, total)).unwrap();
+    assert_eq!(hits.len(), total as usize, "every insert visible");
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+    let stats = idx.stats().unwrap();
+    assert!(stats.height >= 2, "splits happened: {stats:?}");
+}
+
+#[test]
+fn figure_1_and_2_searches_never_miss_keys_during_splits() {
+    // The Figure 2 guarantee: while inserters split nodes continuously,
+    // a search for an already-committed key set always finds all of it.
+    let (db, idx) = setup(DbConfig::default());
+    // Committed baseline spread over the key space.
+    let baseline: Vec<i64> = (0..400).map(|i| i * 100).collect();
+    let txn = db.begin();
+    for &k in &baseline {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for t in 0..4 {
+        let (db, idx, stop) = (db.clone(), idx.clone(), stop.clone());
+        writers.push(std::thread::spawn(move || {
+            let mut i = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                let key = (t + 1) as i64 * 1_000_000 + i; // outside baseline range
+                with_txn_retry(&db, |txn| idx.insert(txn, &key, rid(key as u64)));
+                i += 1;
+            }
+            i
+        }));
+    }
+    // Readers continuously verify the baseline is fully visible.
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let (db, idx, baseline, stop) = (db.clone(), idx.clone(), baseline.clone(), stop.clone());
+        readers.push(std::thread::spawn(move || {
+            let mut rounds = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let txn = db.begin();
+                let hits: HashSet<i64> = idx
+                    .search(txn, &I64Query::range(0, 40_000))
+                    .unwrap()
+                    .into_iter()
+                    .map(|(k, _)| k)
+                    .collect();
+                db.commit(txn).unwrap();
+                for k in &baseline {
+                    assert!(hits.contains(k), "key {k} lost during concurrent splits");
+                }
+                rounds += 1;
+            }
+            rounds
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    stop.store(true, Ordering::Relaxed);
+    let inserted: i64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    let rounds: i32 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(inserted > 100, "writers made progress ({inserted})");
+    assert!(rounds > 2, "readers made progress ({rounds})");
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn repeatable_read_blocks_phantom_inserts() {
+    // A Degree 3 scan of [0,100] holds its predicate; an insert into the
+    // range must block (§6 step 6) until the scanner commits.
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    idx.insert(txn, &10, rid(10)).unwrap();
+    db.commit(txn).unwrap();
+
+    let scanner = db.begin();
+    let first = idx.search(scanner, &I64Query::range(0, 100)).unwrap();
+    assert_eq!(first.len(), 1);
+
+    let inserted = Arc::new(AtomicBool::new(false));
+    let t = {
+        let (db, idx, inserted) = (db.clone(), idx.clone(), inserted.clone());
+        std::thread::spawn(move || {
+            let w = db.begin();
+            idx.insert(w, &50, rid(50)).unwrap(); // must block on the predicate
+            inserted.store(true, Ordering::SeqCst);
+            db.commit(w).unwrap();
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    assert!(!inserted.load(Ordering::SeqCst), "phantom insert blocked");
+    db.commit(scanner).unwrap();
+    t.join().unwrap();
+    assert!(inserted.load(Ordering::SeqCst), "insert proceeded after scanner committed");
+}
+
+#[test]
+fn rescan_during_blocked_insert_resolves_by_deadlock() {
+    // The paper inserts the entry *before* the predicate check (§6 steps
+    // 5-6), so a scanner that re-reads its range while the inserter is
+    // suspended finds the uncommitted entry, blocks on its record lock,
+    // and closes a waits-for cycle (scanner → inserter's record lock,
+    // inserter → scanner's predicate). Degree 3 is preserved by aborting
+    // the victim — the phantom is never *observed*.
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    idx.insert(txn, &10, rid(10)).unwrap();
+    db.commit(txn).unwrap();
+
+    let scanner = db.begin();
+    let first = idx.search(scanner, &I64Query::range(0, 100)).unwrap();
+    assert_eq!(first.len(), 1);
+
+    let inserted = Arc::new(AtomicBool::new(false));
+    let t = {
+        let (db, idx, inserted) = (db.clone(), idx.clone(), inserted.clone());
+        std::thread::spawn(move || {
+            let w = db.begin();
+            idx.insert(w, &50, rid(50)).unwrap();
+            inserted.store(true, Ordering::SeqCst);
+            db.commit(w).unwrap();
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    assert!(!inserted.load(Ordering::SeqCst));
+    match idx.search(scanner, &I64Query::range(0, 100)) {
+        Ok(second) => {
+            // Permissible only if identical (no phantom read).
+            assert_eq!(first, second);
+            db.commit(scanner).unwrap();
+        }
+        Err(e) if e.is_retryable() => {
+            // Deadlock victim: abort; the phantom was never returned.
+            db.abort(scanner).unwrap();
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+    t.join().unwrap();
+    assert!(inserted.load(Ordering::SeqCst));
+}
+
+#[test]
+fn inserts_outside_the_scanned_range_do_not_block() {
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    idx.insert(txn, &10, rid(10)).unwrap();
+    db.commit(txn).unwrap();
+
+    let scanner = db.begin();
+    let _ = idx.search(scanner, &I64Query::range(0, 100)).unwrap();
+    // Insert far outside the predicate: must not block.
+    let w = db.begin();
+    idx.insert(w, &10_000, rid(1)).unwrap();
+    db.commit(w).unwrap();
+    db.commit(scanner).unwrap();
+}
+
+#[test]
+fn scan_blocks_on_uncommitted_delete_until_decision() {
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    for k in 0..10i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    // Deleter marks key 5 and stays open.
+    let deleter = db.begin();
+    idx.delete(deleter, &5, rid(5)).unwrap();
+
+    let result = Arc::new(parking_lot_stub::Holder::default());
+    let t = {
+        let (db, idx, result) = (db.clone(), idx.clone(), result.clone());
+        std::thread::spawn(move || {
+            let scanner = db.begin();
+            // Blocks on the deleter's X record lock for key 5.
+            let hits = idx.search(scanner, &I64Query::range(0, 9)).unwrap();
+            result.set(hits.len());
+            db.commit(scanner).unwrap();
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    assert!(result.get().is_none(), "scan suspended on the deleted entry");
+    db.commit(deleter).unwrap();
+    t.join().unwrap();
+    assert_eq!(result.get(), Some(9), "committed delete excluded");
+}
+
+#[test]
+fn aborted_delete_makes_key_visible_to_blocked_scan() {
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    for k in 0..10i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let deleter = db.begin();
+    idx.delete(deleter, &5, rid(5)).unwrap();
+    let t = {
+        let (db, idx) = (db.clone(), idx.clone());
+        std::thread::spawn(move || {
+            let scanner = db.begin();
+            let n = idx.search(scanner, &I64Query::range(0, 9)).unwrap().len();
+            db.commit(scanner).unwrap();
+            n
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    db.abort(deleter).unwrap();
+    assert_eq!(t.join().unwrap(), 10, "rolled-back deletion yields no gap");
+}
+
+#[test]
+fn unique_index_rejects_duplicates_sequentially() {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx =
+        GistIndex::create(db.clone(), "u", BtreeExt, IndexOptions { unique: true }).unwrap();
+    let txn = db.begin();
+    idx.insert(txn, &1, rid(1)).unwrap();
+    db.commit(txn).unwrap();
+
+    let txn = db.begin();
+    assert!(matches!(idx.insert(txn, &1, rid(2)), Err(GistError::UniqueViolation)));
+    // The error is repeatable within the transaction.
+    assert!(matches!(idx.insert(txn, &1, rid(3)), Err(GistError::UniqueViolation)));
+    // Other keys still insert fine.
+    idx.insert(txn, &2, rid(2)).unwrap();
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn unique_insert_race_resolves_via_deadlock() {
+    // §8: two transactions insert the same new value concurrently; the
+    // probe predicates force a deadlock; exactly one wins.
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx =
+        GistIndex::create(db.clone(), "u", BtreeExt, IndexOptions { unique: true }).unwrap();
+
+    let successes = Arc::new(AtomicU64::new(0));
+    let violations = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let (db, idx, successes, violations) =
+            (db.clone(), idx.clone(), successes.clone(), violations.clone());
+        handles.push(std::thread::spawn(move || {
+            for round in 0..20i64 {
+                loop {
+                    let txn = db.begin();
+                    match idx.insert(txn, &round, rid(round as u64 * 10 + t)) {
+                        Ok(()) => {
+                            db.commit(txn).unwrap();
+                            successes.fetch_add(1, Ordering::SeqCst);
+                            break;
+                        }
+                        Err(GistError::UniqueViolation) => {
+                            db.abort(txn).unwrap();
+                            violations.fetch_add(1, Ordering::SeqCst);
+                            break;
+                        }
+                        Err(e) if e.is_retryable() => {
+                            db.abort(txn).unwrap();
+                            continue;
+                        }
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(successes.load(Ordering::SeqCst), 20, "each key inserted exactly once");
+    assert_eq!(violations.load(Ordering::SeqCst), 60, "the other three saw the duplicate");
+    let txn = db.begin();
+    for k in 0..20i64 {
+        assert_eq!(idx.search(txn, &I64Query::eq(k)).unwrap().len(), 1);
+    }
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn probe_probe_insert_insert_deadlocks() {
+    // The §8 race distilled: both transactions "probe" (search) the same
+    // absent key — leaving "= key" predicates on the leaf — then both
+    // insert it. Each insert blocks on the other's predicate; the lock
+    // manager breaks the cycle by victimizing one. On a single-core host
+    // the natural race rarely interleaves this way, so we force the
+    // probe-probe-insert-insert schedule explicitly.
+    let (db, idx) = setup(DbConfig::default());
+    let txn = db.begin();
+    idx.insert(txn, &1, rid(1)).unwrap();
+    db.commit(txn).unwrap();
+
+    let t1 = db.begin();
+    let t2 = db.begin();
+    assert!(idx.search(t1, &I64Query::eq(5)).unwrap().is_empty());
+    assert!(idx.search(t2, &I64Query::eq(5)).unwrap().is_empty());
+
+    // T1's insert physically lands, then blocks on T2's predicate.
+    let h = {
+        let (db, idx) = (db.clone(), idx.clone());
+        std::thread::spawn(move || {
+            let res = idx.insert(t1, &5, rid(51));
+            match &res {
+                Ok(()) => db.commit(t1).unwrap(),
+                Err(_) => db.abort(t1).unwrap(),
+            }
+            res.is_ok()
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    // T2's insert closes the cycle: one of the two must die.
+    let t2_ok = match idx.insert(t2, &5, rid(52)) {
+        Ok(()) => {
+            db.commit(t2).unwrap();
+            true
+        }
+        Err(e) => {
+            assert!(e.is_retryable(), "cycle must resolve as deadlock, got {e}");
+            db.abort(t2).unwrap();
+            false
+        }
+    };
+    let t1_ok = h.join().unwrap();
+    assert!(t1_ok || t2_ok, "at least one insert wins");
+    assert_eq!(
+        db.locks().stats.deadlocks.load(Ordering::SeqCst) >= 1,
+        !(t1_ok && t2_ok),
+        "if both won, they must not have overlapped; otherwise a deadlock fired"
+    );
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn mixed_workload_against_shadow_oracle() {
+    use std::collections::BTreeMap;
+    // Serialize committed effects into a shadow map via a mutex taken at
+    // commit time; verify the final tree matches.
+    let (db, idx) = setup(DbConfig::default());
+    let oracle: Arc<parking_lot_stub::MapHolder> = Arc::default();
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let (db, idx, oracle) = (db.clone(), idx.clone(), oracle.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut local = 0u64;
+            for i in 0..150u64 {
+                let key = ((t * 997 + i * 31) % 500) as i64;
+                let unique_rid = rid(t * 1_000_000 + i);
+                let do_delete = i % 3 == 2;
+                loop {
+                    let txn = db.begin();
+                    let res = if do_delete {
+                        // Delete some previously committed pair of ours.
+                        match oracle.take_one_owned(t) {
+                            Some((k, r)) => idx.delete(txn, &k, r).map(|_| None),
+                            None => Ok(None),
+                        }
+                    } else {
+                        idx.insert(txn, &key, unique_rid).map(|_| Some((key, unique_rid)))
+                    };
+                    match res {
+                        Ok(change) => {
+                            // Publish to the oracle before commit under
+                            // its lock; the tree commit follows.
+                            oracle.apply(t, change, do_delete);
+                            db.commit(txn).unwrap();
+                            local += 1;
+                            break;
+                        }
+                        Err(e) if e.is_retryable() => {
+                            oracle.rollback_pending(t);
+                            db.abort(txn).unwrap();
+                        }
+                        Err(GistError::NotFound) => {
+                            oracle.rollback_pending(t);
+                            db.abort(txn).unwrap();
+                            break;
+                        }
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+            }
+            local
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Final verification: tree content == oracle content.
+    let expect: BTreeMap<Rid, i64> = oracle.snapshot();
+    let txn = db.begin();
+    let got: BTreeMap<Rid, i64> = idx
+        .search(txn, &I64Query::range(i64::MIN, i64::MAX))
+        .unwrap()
+        .into_iter()
+        .map(|(k, r)| (r, k))
+        .collect();
+    db.commit(txn).unwrap();
+    assert_eq!(got, expect, "tree content matches the serial oracle");
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+/// Tiny test-local sync helpers (kept here to avoid polluting the crates).
+mod parking_lot_stub {
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    use gist_repro::pagestore::Rid;
+
+    #[derive(Default)]
+    pub struct Holder(Mutex<Option<usize>>);
+
+    impl Holder {
+        pub fn set(&self, v: usize) {
+            *self.0.lock().unwrap() = Some(v);
+        }
+        pub fn get(&self) -> Option<usize> {
+            *self.0.lock().unwrap()
+        }
+    }
+
+    /// Oracle map: committed (rid -> key), plus per-thread pending takes
+    /// so aborted deletes can be rolled back.
+    #[derive(Default)]
+    pub struct MapHolder {
+        map: Mutex<BTreeMap<Rid, (i64, u64)>>,
+        pending: Mutex<BTreeMap<u64, (i64, Rid)>>,
+    }
+
+    impl MapHolder {
+        /// Claim one of `owner`'s committed pairs for deletion.
+        pub fn take_one_owned(&self, owner: u64) -> Option<(i64, Rid)> {
+            let mut map = self.map.lock().unwrap();
+            let found = map
+                .iter()
+                .find(|(_, (_, o))| *o == owner)
+                .map(|(r, (k, _))| (*k, *r));
+            if let Some((k, r)) = found {
+                map.remove(&r);
+                self.pending.lock().unwrap().insert(owner, (k, r));
+            }
+            found
+        }
+
+        /// Commit the thread's operation into the oracle.
+        pub fn apply(&self, owner: u64, insert: Option<(i64, Rid)>, was_delete: bool) {
+            if was_delete {
+                // The take already removed it; forget the pending entry.
+                self.pending.lock().unwrap().remove(&owner);
+            } else if let Some((k, r)) = insert {
+                self.map.lock().unwrap().insert(r, (k, owner));
+            }
+        }
+
+        /// Roll back a taken-but-aborted delete.
+        pub fn rollback_pending(&self, owner: u64) {
+            if let Some((k, r)) = self.pending.lock().unwrap().remove(&owner) {
+                self.map.lock().unwrap().insert(r, (k, owner));
+            }
+        }
+
+        pub fn snapshot(&self) -> BTreeMap<Rid, i64> {
+            self.map.lock().unwrap().iter().map(|(r, (k, _))| (*r, *k)).collect()
+        }
+    }
+}

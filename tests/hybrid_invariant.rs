@@ -1,0 +1,185 @@
+//! The §4.3 invariant: "if a search operation's predicate is consistent
+//! with a node's BP, the predicate must be attached to the node." Two
+//! structural changes can break it, and the paper prescribes a fix for
+//! each — these tests verify both fixes end-to-end through blocking
+//! behavior (not white-box inspection):
+//!
+//! 1. **BP expansion** ⟹ percolation: an insert that expands a leaf's BP
+//!    into a scanned region must find the scanner's predicate percolated
+//!    down from the ancestors and block.
+//! 2. **Node split** ⟹ replication: predicates attached to a split node
+//!    must follow the moved keys to the new sibling, so inserts into the
+//!    sibling still block.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_repro::pagestore::{InMemoryStore, PageId, Rid};
+use gist_repro::wal::LogManager;
+
+fn setup() -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    (db, idx)
+}
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId(690_000 + (n >> 16) as u32), (n & 0xFFFF) as u16)
+}
+
+/// Grow the tree until it has at least two levels, keeping keys below
+/// `limit` so a disjoint scan region exists above it.
+fn grow_two_levels(db: &Arc<Db>, idx: &Arc<GistIndex<BtreeExt>>, limit: i64) -> i64 {
+    let txn = db.begin();
+    let mut k = 0i64;
+    while idx.stats().unwrap().height < 2 {
+        idx.insert(txn, &(k % limit), rid(k as u64)).unwrap();
+        k += 1;
+        assert!(k < 50_000, "tree never split");
+    }
+    db.commit(txn).unwrap();
+    k
+}
+
+#[test]
+fn bp_expansion_percolates_scan_predicates() {
+    // Keys all < 1000; the scan covers [5000, 6000] — consistent with NO
+    // leaf BP, so the scanner's predicate lands only on the root (its BP
+    // covers nothing above 1000 either, but the cursor always visits the
+    // root). An insert of key 5500 expands some leaf's BP into the
+    // scanned range; per §4.3 the predicate must percolate down with the
+    // expansion and block the insert.
+    let (db, idx) = setup();
+    grow_two_levels(&db, &idx, 1000);
+
+    let scanner = db.begin();
+    let hits = idx.search(scanner, &I64Query::range(5000, 6000)).unwrap();
+    assert!(hits.is_empty(), "nothing there yet — this empty range is what we protect");
+
+    let inserted = Arc::new(AtomicBool::new(false));
+    let t = {
+        let (db, idx, inserted) = (db.clone(), idx.clone(), inserted.clone());
+        std::thread::spawn(move || {
+            let w = db.begin();
+            idx.insert(w, &5500, rid(999_999)).unwrap();
+            inserted.store(true, Ordering::SeqCst);
+            db.commit(w).unwrap();
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    assert!(
+        !inserted.load(Ordering::SeqCst),
+        "percolated predicate must block the phantom insert into the empty scanned range"
+    );
+    db.commit(scanner).unwrap();
+    t.join().unwrap();
+    assert!(inserted.load(Ordering::SeqCst));
+}
+
+#[test]
+fn split_replicates_scan_predicates_to_sibling() {
+    // The scanner's predicate covers the whole key space and is attached
+    // to every leaf. A writer then forces one leaf to split repeatedly;
+    // an insert routed to a *new sibling* (which the scanner never
+    // visited) must still block — the split replicated the attachment.
+    let (db, idx) = setup();
+    // Single-leaf tree with a few keys.
+    let txn = db.begin();
+    for k in 0..10i64 {
+        idx.insert(txn, &(k * 100), rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let scanner = db.begin();
+    let hits = idx.search(scanner, &I64Query::range(0, 1_000_000)).unwrap();
+    assert_eq!(hits.len(), 10);
+
+    // A writer transaction fills the leaf until it splits. Its inserts
+    // conflict with the scan predicate too, so it blocks on the FIRST
+    // insert... unless we insert keys outside the scanned range. Scan
+    // covers [0, 1_000_000]; use negative keys to force splits without
+    // conflicting.
+    let w = db.begin();
+    let mut k = -1i64;
+    while idx.stats().unwrap().height < 2 {
+        idx.insert(w, &k, rid(500_000 + (-k) as u64)).unwrap();
+        k -= 1;
+        assert!(k > -50_000, "never split");
+    }
+    db.commit(w).unwrap();
+    // The original leaf split at least once; at least one sibling node
+    // now holds part of [0, 1_000_000] that the scanner never visited.
+
+    let inserted = Arc::new(AtomicBool::new(false));
+    let t = {
+        let (db, idx, inserted) = (db.clone(), idx.clone(), inserted.clone());
+        std::thread::spawn(move || {
+            let w2 = db.begin();
+            // Insert into the scanned range — wherever it lands (original
+            // leaf or a split-off sibling), a predicate must be there.
+            idx.insert(w2, &555, rid(700_001)).unwrap();
+            inserted.store(true, Ordering::SeqCst);
+            db.commit(w2).unwrap();
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    assert!(
+        !inserted.load(Ordering::SeqCst),
+        "replicated predicate must block inserts into split-off siblings"
+    );
+    db.commit(scanner).unwrap();
+    t.join().unwrap();
+    assert!(inserted.load(Ordering::SeqCst));
+}
+
+#[test]
+fn predicates_vanish_at_commit_and_unblock_writers() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    idx.insert(txn, &1, rid(1)).unwrap();
+    db.commit(txn).unwrap();
+
+    let s1 = db.begin();
+    let _ = idx.search(s1, &I64Query::range(0, 100)).unwrap();
+    let before = db.preds().stats();
+    assert!(before.predicates >= 1 && before.attachments >= 1);
+    db.commit(s1).unwrap();
+    let after = db.preds().stats();
+    assert_eq!(after.predicates, 0, "termination removes predicates (§4.3)");
+    assert_eq!(after.attachments, 0);
+
+    // A writer now proceeds without blocking.
+    let w = db.begin();
+    idx.insert(w, &50, rid(50)).unwrap();
+    db.commit(w).unwrap();
+}
+
+#[test]
+fn aborting_scanner_also_releases_predicates() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    idx.insert(txn, &1, rid(1)).unwrap();
+    db.commit(txn).unwrap();
+
+    let s = db.begin();
+    let _ = idx.search(s, &I64Query::range(0, 100)).unwrap();
+    let blocked = Arc::new(AtomicBool::new(true));
+    let t = {
+        let (db, idx, blocked) = (db.clone(), idx.clone(), blocked.clone());
+        std::thread::spawn(move || {
+            let w = db.begin();
+            idx.insert(w, &50, rid(50)).unwrap();
+            blocked.store(false, Ordering::SeqCst);
+            db.commit(w).unwrap();
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    assert!(blocked.load(Ordering::SeqCst));
+    db.abort(s).unwrap(); // abort, not commit
+    t.join().unwrap();
+    assert!(!blocked.load(Ordering::SeqCst), "abort releases predicate locks too");
+}

@@ -1,0 +1,382 @@
+//! E4 — the Table 1 crash-recovery matrix.
+//!
+//! Each test drives the system to a state where a specific log-record
+//! type's redo or undo path must run at restart, injects a crash
+//! (buffer pool dropped, log truncated to its durable prefix), restarts,
+//! and verifies both content (committed in, uncommitted out) and
+//! structure (invariant checker).
+
+use std::sync::Arc;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistIndex, IndexOptions, NsnSource};
+use gist_repro::pagestore::{InMemoryStore, PageId, PageStore, Rid};
+use gist_repro::wal::LogManager;
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId((n >> 16) as u32 + 1000), (n & 0xFFFF) as u16)
+}
+
+struct Harness {
+    store: Arc<InMemoryStore>,
+    log: Arc<LogManager>,
+    config: DbConfig,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            store: Arc::new(InMemoryStore::new()),
+            log: Arc::new(LogManager::new()),
+            config: DbConfig::default(),
+        }
+    }
+
+    fn with_config(config: DbConfig) -> Self {
+        Harness { store: Arc::new(InMemoryStore::new()), log: Arc::new(LogManager::new()), config }
+    }
+
+    fn open(&self) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+        let db = Db::open(self.store.clone(), self.log.clone(), self.config.clone()).unwrap();
+        let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+        (db, idx)
+    }
+
+    fn restart(&self) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+        let (db, _report) =
+            Db::restart(self.store.clone(), self.log.clone(), self.config.clone()).unwrap();
+        let idx = GistIndex::open(db.clone(), "t", BtreeExt).unwrap();
+        (db, idx)
+    }
+}
+
+fn keys_present(db: &Arc<Db>, idx: &Arc<GistIndex<BtreeExt>>, lo: i64, hi: i64) -> Vec<i64> {
+    let txn = db.begin();
+    let mut ks: Vec<i64> =
+        idx.search(txn, &I64Query::range(lo, hi)).unwrap().into_iter().map(|(k, _)| k).collect();
+    db.commit(txn).unwrap();
+    ks.sort();
+    ks
+}
+
+#[test]
+fn committed_inserts_survive_crash_redo() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..500i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    // Nothing flushed to the store: redo must rebuild every page.
+    db.crash();
+
+    let (db2, idx2) = h.restart();
+    assert_eq!(keys_present(&db2, &idx2, 0, 1000), (0..500).collect::<Vec<i64>>());
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn uncommitted_inserts_are_undone_add_leaf_entry() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..100i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let loser = db.begin();
+    for k in 100..150i64 {
+        idx.insert(loser, &k, rid(k as u64)).unwrap();
+    }
+    // Make the loser's records durable without committing (forced log,
+    // no commit record) — restart must undo them logically.
+    db.log().flush_all();
+    db.crash();
+
+    let (db2, idx2) = h.restart();
+    assert_eq!(keys_present(&db2, &idx2, 0, 1000), (0..100).collect::<Vec<i64>>());
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn uncommitted_delete_is_unmarked_mark_leaf_entry() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..50i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let loser = db.begin();
+    idx.delete(loser, &7, rid(7)).unwrap();
+    idx.delete(loser, &8, rid(8)).unwrap();
+    db.log().flush_all();
+    db.crash();
+
+    let (db2, idx2) = h.restart();
+    // The marks must have been rolled back: keys visible again.
+    assert_eq!(keys_present(&db2, &idx2, 0, 100), (0..50).collect::<Vec<i64>>());
+    assert_eq!(idx2.stats().unwrap().marked_entries, 0);
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn committed_delete_mark_survives_crash() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..50i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    idx.delete(txn, &7, rid(7)).unwrap();
+    db.commit(txn).unwrap();
+    db.crash();
+
+    let (db2, idx2) = h.restart();
+    let ks = keys_present(&db2, &idx2, 0, 100);
+    assert!(!ks.contains(&7), "committed delete persists");
+    assert_eq!(ks.len(), 49);
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn split_redo_rebuilds_multi_node_tree() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    let n = 3000i64;
+    for k in 0..n {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let height_before = idx.stats().unwrap().height;
+    assert!(height_before >= 2);
+    db.crash();
+
+    let (db2, idx2) = h.restart();
+    let stats = idx2.stats().unwrap();
+    assert_eq!(stats.live_entries, n as usize);
+    assert_eq!(stats.height, height_before, "structure reproduced by redo");
+    assert_eq!(keys_present(&db2, &idx2, 0, n).len(), n as usize);
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn incomplete_split_nta_is_rolled_back() {
+    // Crash with a split's records durable but its NtaEnd missing: the
+    // restart must undo the partial structure modification (Table 1
+    // Split/Internal-Entry-Add/Get-Page undo actions).
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..100i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let before = h.log.last_lsn();
+
+    // Fill one leaf to the brink, then insert one more key in a fresh
+    // transaction — this triggers a split. We find the NtaEnd record the
+    // split wrote and truncate the durable log *just before it*.
+    let txn = db.begin();
+    let mut k = 100i64;
+    let nta_end_lsn = loop {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+        k += 1;
+        let recs = h.log.scan_from(gist_repro::wal::Lsn(before.0 + 1));
+        if let Some(r) = recs
+            .iter()
+            .find(|r| matches!(r.body, gist_repro::wal::RecordBody::NtaEnd { .. }))
+        {
+            break r.lsn;
+        }
+        assert!(k < 3000, "no split happened");
+    };
+    // Truncate durability to just before the NtaEnd.
+    h.log.flush(gist_repro::wal::Lsn(nta_end_lsn.0 - 1));
+    // Crash without the in-memory suffix (commit never happened).
+    db.pool().crash();
+    let lost = h.log.crash();
+    assert!(lost >= 1, "the NtaEnd must be lost");
+
+    let (db2, idx2) = h.restart();
+    // All committed keys intact; the split was unwound; the loser's keys
+    // are gone.
+    assert_eq!(keys_present(&db2, &idx2, 0, 10_000), (0..100).collect::<Vec<i64>>());
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn garbage_collection_redo_survives() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..200i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    for k in 0..100i64 {
+        idx.delete(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    let rep = idx.vacuum(txn).unwrap();
+    db.commit(txn).unwrap();
+    assert_eq!(rep.entries_removed, 100);
+    db.crash();
+
+    let (db2, idx2) = h.restart();
+    assert_eq!(keys_present(&db2, &idx2, 0, 500), (100..200).collect::<Vec<i64>>());
+    assert_eq!(idx2.stats().unwrap().marked_entries, 0, "GC redone");
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn free_page_redo_rebuilds_free_list() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    // Build a multi-leaf tree, delete everything, vacuum until nodes are
+    // retired, then crash: the freed pages must be rediscovered.
+    let txn = db.begin();
+    for k in 0..2000i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    for k in 0..2000i64 {
+        idx.delete(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    let rep = idx.vacuum(txn).unwrap();
+    db.commit(txn).unwrap();
+    assert!(rep.nodes_deleted > 0, "some leaves retired: {rep:?}");
+    let free_before = db.alloc().free_count();
+    assert!(free_before > 0);
+    db.crash();
+
+    let (db2, idx2) = h.restart();
+    assert_eq!(db2.alloc().free_count(), free_before, "free list rebuilt from flags");
+    assert!(keys_present(&db2, &idx2, 0, 5000).is_empty());
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn repeated_crash_restart_is_idempotent() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..300i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let loser = db.begin();
+    for k in 300..350i64 {
+        idx.insert(loser, &k, rid(k as u64)).unwrap();
+    }
+    db.log().flush_all();
+    db.crash();
+
+    for round in 0..3 {
+        let (db2, idx2) = h.restart();
+        assert_eq!(
+            keys_present(&db2, &idx2, 0, 1000),
+            (0..300).collect::<Vec<i64>>(),
+            "round {round}"
+        );
+        check_tree(&idx2).unwrap().assert_ok();
+        db2.crash();
+    }
+}
+
+#[test]
+fn crash_mid_transaction_with_partial_page_flushes() {
+    // Force dirty pages to disk mid-transaction (steal policy), then
+    // crash: restart must undo the on-disk uncommitted changes.
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..100i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let loser = db.begin();
+    for k in 100..200i64 {
+        idx.insert(loser, &k, rid(k as u64)).unwrap();
+    }
+    // Steal: push everything to the store (log forced first by the WAL
+    // rule inside flush_all).
+    db.pool().flush_all();
+    db.crash();
+
+    let (db2, idx2) = h.restart();
+    assert_eq!(keys_present(&db2, &idx2, 0, 1000), (0..100).collect::<Vec<i64>>());
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn recovery_works_with_dedicated_counter_nsns() {
+    let h = Harness::with_config(DbConfig {
+        nsn_source: NsnSource::DedicatedCounter,
+        ..DbConfig::default()
+    });
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..2000i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let counter_before = db.global_nsn();
+    assert!(counter_before > 0, "splits incremented the counter");
+    db.crash();
+
+    let (db2, idx2) = h.restart();
+    assert!(db2.global_nsn() >= counter_before, "counter recovered from redo");
+    assert_eq!(keys_present(&db2, &idx2, 0, 5000).len(), 2000);
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn unflushed_everything_means_empty_tree_after_restart() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    // create_index committed (flushed); inserts not flushed.
+    let txn = db.begin();
+    for k in 0..50i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    // No commit, no flush: the whole transaction vanishes.
+    let _ = txn;
+    db.crash();
+    let (db2, idx2) = h.restart();
+    assert!(keys_present(&db2, &idx2, 0, 100).is_empty());
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn store_only_durability_without_log_is_ignored() {
+    // Pages flushed but log lost beyond the durable prefix: restart undoes
+    // using the durable records only. (WAL rule guarantees the log needed
+    // to undo any flushed page IS durable.)
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    idx.insert(txn, &1, rid(1)).unwrap();
+    db.commit(txn).unwrap();
+    let loser = db.begin();
+    idx.insert(loser, &2, rid(2)).unwrap();
+    db.pool().flush_all(); // forces the log for flushed pages
+    db.crash();
+    let (db2, idx2) = h.restart();
+    assert_eq!(keys_present(&db2, &idx2, 0, 10), vec![1]);
+    check_tree(&idx2).unwrap().assert_ok();
+    // The store itself survived both rounds.
+    assert!(h.store.page_count() > 0);
+}

@@ -1,0 +1,169 @@
+//! E12 — §10.2 savepoints and partial rollback: index state restoration,
+//! cursor-position restoration, pinned signaling locks.
+
+use std::sync::Arc;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_repro::pagestore::{InMemoryStore, PageId, Rid};
+use gist_repro::wal::LogManager;
+
+fn setup() -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    (db, idx)
+}
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId(300_000), n as u16)
+}
+
+#[test]
+fn partial_rollback_restores_index_state() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for k in 0..10i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    let sp = db.savepoint(txn).unwrap();
+    for k in 10..20i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    idx.delete(txn, &3, rid(3)).unwrap();
+    db.rollback_to_savepoint(txn, sp).unwrap();
+
+    // Post-savepoint work is gone; pre-savepoint work remains; the
+    // transaction is still alive and can continue.
+    let visible = idx.search(txn, &I64Query::range(0, 100)).unwrap();
+    assert_eq!(visible.len(), 10, "inserts after savepoint undone, delete unmarked");
+    idx.insert(txn, &99, rid(99)).unwrap();
+    db.commit(txn).unwrap();
+
+    let txn = db.begin();
+    assert_eq!(idx.search(txn, &I64Query::range(0, 100)).unwrap().len(), 11);
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn nested_savepoints_roll_back_in_order() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    idx.insert(txn, &1, rid(1)).unwrap();
+    let sp1 = db.savepoint(txn).unwrap();
+    idx.insert(txn, &2, rid(2)).unwrap();
+    let sp2 = db.savepoint(txn).unwrap();
+    idx.insert(txn, &3, rid(3)).unwrap();
+
+    db.rollback_to_savepoint(txn, sp2).unwrap();
+    assert_eq!(idx.search(txn, &I64Query::range(0, 10)).unwrap().len(), 2);
+    db.rollback_to_savepoint(txn, sp1).unwrap();
+    assert_eq!(idx.search(txn, &I64Query::range(0, 10)).unwrap().len(), 1);
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn savepoint_spanning_splits_keeps_structure() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for k in 0..100i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    let sp = db.savepoint(txn).unwrap();
+    // Enough inserts to force splits after the savepoint.
+    for k in 100..1500i64 {
+        idx.insert(txn, &k, Rid::new(PageId(300_001 + (k >> 12) as u32), (k & 0xFFF) as u16))
+            .unwrap();
+    }
+    assert!(idx.stats().unwrap().height >= 2);
+    db.rollback_to_savepoint(txn, sp).unwrap();
+    // Content rolled back; split structure (atomic actions) remains.
+    assert_eq!(idx.search(txn, &I64Query::range(0, 10_000)).unwrap().len(), 100);
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn cursor_snapshot_and_restore_across_rollback() {
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for k in 0..40i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let txn = db.begin();
+    let mut cursor = idx.cursor(txn, I64Query::range(0, 39)).unwrap();
+    // Consume half.
+    let mut first_half = Vec::new();
+    for _ in 0..20 {
+        first_half.push(cursor.next().unwrap().unwrap().0);
+    }
+    // Establish a savepoint: snapshot the cursor with it (§10.2 "record
+    // the then-current stack").
+    let snap = cursor.snapshot();
+    let sp = db.savepoint(txn).unwrap();
+    // Do some work and consume more of the cursor.
+    idx.insert(txn, &1000, rid(1000)).unwrap();
+    let mut consumed_after = 0;
+    while cursor.next().unwrap().is_some() {
+        consumed_after += 1;
+    }
+    assert!(consumed_after > 0);
+
+    // Roll back and restore the cursor position.
+    db.rollback_to_savepoint(txn, sp).unwrap();
+    cursor.restore(snap);
+    let mut second_half = Vec::new();
+    while let Some((k, _)) = cursor.next().unwrap() {
+        second_half.push(k);
+    }
+    // Together the two halves cover the range exactly once.
+    let mut all = first_half;
+    all.extend(second_half);
+    all.sort();
+    all.dedup();
+    assert_eq!(all, (0..40).collect::<Vec<i64>>());
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn signaling_locks_pinned_by_savepoint_survive_visits() {
+    use gist_repro::lockmgr::LockName;
+    let (db, idx) = setup();
+    let txn = db.begin();
+    for k in 0..2000i64 {
+        idx.insert(txn, &k, Rid::new(PageId(300_002), (k % 60_000) as u16)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let txn = db.begin();
+    let mut cursor = idx.cursor(txn, I64Query::range(0, 1999)).unwrap();
+    let _ = cursor.next().unwrap();
+    // Snapshot + savepoint pins the signaling locks backing the stack.
+    let _snap = cursor.snapshot();
+    let _sp = db.savepoint(txn).unwrap();
+    let pinned_before: Vec<LockName> = db
+        .locks()
+        .held_by(txn)
+        .into_iter()
+        .filter(|n| matches!(n, LockName::Node { .. }))
+        .collect();
+    assert!(!pinned_before.is_empty(), "stacked pointers are signal-locked");
+    // Drain the cursor: normally visits release signaling locks, but the
+    // pinned ones must survive for the snapshot's stack.
+    while cursor.next().unwrap().is_some() {}
+    let after: Vec<LockName> = db
+        .locks()
+        .held_by(txn)
+        .into_iter()
+        .filter(|n| matches!(n, LockName::Node { .. }))
+        .collect();
+    for name in &pinned_before {
+        assert!(after.contains(name), "{name:?} released despite the savepoint pin");
+    }
+    db.commit(txn).unwrap();
+}

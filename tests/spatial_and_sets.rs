@@ -1,0 +1,221 @@
+//! End-to-end tests of the non-linear access methods — R-tree, RD-tree,
+//! string tree — on top of the full concurrency/recovery stack. These
+//! exercise exactly what the paper targets: key spaces without linear
+//! order, overlapping BPs, multi-subtree searches.
+
+use std::sync::Arc;
+
+use gist_repro::am::{
+    Rect, RdQuery, RdTreeExt, RtreeExt, SpatialQuery, StrQuery, StrTreeExt,
+};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_repro::pagestore::{InMemoryStore, PageId, Rid};
+use gist_repro::wal::LogManager;
+
+fn db() -> Arc<Db> {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    Db::open(store, log, DbConfig::default()).unwrap()
+}
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId(400_000 + (n >> 16) as u32), (n & 0xFFFF) as u16)
+}
+
+#[test]
+fn rtree_window_queries_match_bruteforce() {
+    let db = db();
+    let idx = GistIndex::create(db.clone(), "r", RtreeExt, IndexOptions::default()).unwrap();
+    // Deterministic pseudo-random rectangles.
+    let mut rects = Vec::new();
+    let mut state = 88172645463325252u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 1000) as f64
+    };
+    let txn = db.begin();
+    for i in 0..800u64 {
+        let (x, y) = (next(), next());
+        let r = Rect::new(x, y, x + next() % 50.0, y + next() % 50.0);
+        rects.push(r);
+        idx.insert(txn, &r, rid(i)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+
+    let windows = [
+        Rect::new(0.0, 0.0, 100.0, 100.0),
+        Rect::new(250.0, 250.0, 600.0, 400.0),
+        Rect::new(900.0, 900.0, 1100.0, 1100.0),
+        Rect::new(-10.0, -10.0, -1.0, -1.0),
+    ];
+    let txn = db.begin();
+    for w in windows {
+        let got = idx.search(txn, &SpatialQuery::Overlaps(w)).unwrap();
+        let expect = rects.iter().filter(|r| r.overlaps(&w)).count();
+        assert_eq!(got.len(), expect, "window {w:?}");
+        let within = idx.search(txn, &SpatialQuery::Within(w)).unwrap();
+        let expect_within = rects.iter().filter(|r| w.contains(r)).count();
+        assert_eq!(within.len(), expect_within, "within {w:?}");
+    }
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn rtree_delete_and_recover() {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store.clone(), log.clone(), DbConfig::default()).unwrap();
+    let idx = GistIndex::create(db.clone(), "r", RtreeExt, IndexOptions::default()).unwrap();
+    let txn = db.begin();
+    for i in 0..300u64 {
+        let r = Rect::new(i as f64, i as f64, i as f64 + 5.0, i as f64 + 5.0);
+        idx.insert(txn, &r, rid(i)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    idx.delete(txn, &Rect::new(10.0, 10.0, 15.0, 15.0), rid(10)).unwrap();
+    db.commit(txn).unwrap();
+    db.crash();
+
+    let (db2, _) = Db::restart(store, log, DbConfig::default()).unwrap();
+    let idx2 = GistIndex::open(db2.clone(), "r", RtreeExt).unwrap();
+    let txn = db2.begin();
+    let all = idx2.search(txn, &SpatialQuery::Overlaps(Rect::new(0.0, 0.0, 1e6, 1e6))).unwrap();
+    assert_eq!(all.len(), 299);
+    db2.commit(txn).unwrap();
+    check_tree(&idx2).unwrap().assert_ok();
+}
+
+#[test]
+fn rdtree_containment_queries() {
+    let db = db();
+    let idx = GistIndex::create(db.clone(), "sets", RdTreeExt, IndexOptions::default()).unwrap();
+    // Sets: each key i has elements { i%8, (i/8)%8 + 8, 16 + i%3 }.
+    let mut sets = Vec::new();
+    let txn = db.begin();
+    for i in 0..600u64 {
+        let s: u64 = (1 << (i % 8)) | (1 << ((i / 8) % 8 + 8)) | (1 << (16 + i % 3));
+        sets.push(s);
+        idx.insert(txn, &s, rid(i)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+
+    let txn = db.begin();
+    for probe in [1u64 << 3, (1 << 3) | (1 << 9), (1 << 16) | (1 << 2)] {
+        let got = idx.search(txn, &RdQuery::Contains(probe)).unwrap();
+        let expect = sets.iter().filter(|s| *s & probe == probe).count();
+        assert_eq!(got.len(), expect, "contains {probe:b}");
+        let overlap = idx.search(txn, &RdQuery::Overlaps(probe)).unwrap();
+        let expect_o = sets.iter().filter(|s| *s & probe != 0).count();
+        assert_eq!(overlap.len(), expect_o, "overlaps {probe:b}");
+    }
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn string_tree_prefix_and_range() {
+    let db = db();
+    let idx = GistIndex::create(db.clone(), "words", StrTreeExt, IndexOptions::default()).unwrap();
+    let words: Vec<String> = (0..500)
+        .map(|i| format!("{}{:04}", ["apple", "banana", "cherry", "date", "elder"][i % 5], i))
+        .collect();
+    let txn = db.begin();
+    for (i, w) in words.iter().enumerate() {
+        idx.insert(txn, &w.clone().into_bytes(), rid(i as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+
+    let txn = db.begin();
+    let bananas = idx.search(txn, &StrQuery::Prefix(b"banana".to_vec())).unwrap();
+    assert_eq!(bananas.len(), 100);
+    let range = idx
+        .search(txn, &StrQuery::Range(b"cherry0000".to_vec(), b"cherry9999".to_vec()))
+        .unwrap();
+    assert_eq!(range.len(), 100);
+    let exact = idx.search(txn, &StrQuery::Eq(words[42].clone().into_bytes())).unwrap();
+    assert_eq!(exact.len(), 1);
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn string_tree_unique_and_phantoms() {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx =
+        GistIndex::create(db.clone(), "uniq", StrTreeExt, IndexOptions { unique: true }).unwrap();
+    let txn = db.begin();
+    idx.insert(txn, &b"alpha".to_vec(), rid(1)).unwrap();
+    db.commit(txn).unwrap();
+    let txn = db.begin();
+    assert!(matches!(
+        idx.insert(txn, &b"alpha".to_vec(), rid(2)),
+        Err(gist_repro::core::GistError::UniqueViolation)
+    ));
+    idx.insert(txn, &b"beta".to_vec(), rid(2)).unwrap();
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn rtree_concurrent_inserts_and_queries() {
+    let db = db();
+    let idx = GistIndex::create(db.clone(), "r", RtreeExt, IndexOptions::default()).unwrap();
+    let txn = db.begin();
+    for i in 0..200u64 {
+        let r = Rect::point(i as f64, i as f64);
+        idx.insert(txn, &r, rid(i)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let (db, idx) = (db.clone(), idx.clone());
+        handles.push(std::thread::spawn(move || {
+            for i in 0..200u64 {
+                let r = Rect::point(1000.0 + (t * 200 + i) as f64, 0.0);
+                loop {
+                    let txn = db.begin();
+                    match idx.insert(txn, &r, rid(10_000 + t * 1000 + i)) {
+                        Ok(()) => {
+                            db.commit(txn).unwrap();
+                            break;
+                        }
+                        Err(e) if e.is_retryable() => db.abort(txn).unwrap(),
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            }
+        }));
+    }
+    // Reader thread validating the committed baseline.
+    let reader = {
+        let (db, idx) = (db.clone(), idx.clone());
+        std::thread::spawn(move || {
+            for _ in 0..30 {
+                let txn = db.begin();
+                let hits = idx
+                    .search(txn, &SpatialQuery::Overlaps(Rect::new(0.0, 0.0, 199.0, 199.0)))
+                    .unwrap();
+                assert_eq!(hits.len(), 200, "baseline never loses keys");
+                db.commit(txn).unwrap();
+            }
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    reader.join().unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+    let txn = db.begin();
+    let total = idx
+        .search(txn, &SpatialQuery::Overlaps(Rect::new(-1.0, -1.0, 1e9, 1e9)))
+        .unwrap();
+    assert_eq!(total.len(), 200 + 800);
+    db.commit(txn).unwrap();
+}

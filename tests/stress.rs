@@ -1,0 +1,232 @@
+//! Sustained mixed stress: concurrent inserts, deletes, scans, vacuums
+//! and crash/restart cycles, with the invariant checker as the referee.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistError, GistIndex, IndexOptions};
+use gist_repro::pagestore::{InMemoryStore, PageId, Rid};
+use gist_repro::wal::LogManager;
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId(670_000 + (n >> 16) as u32), (n & 0xFFFF) as u16)
+}
+
+#[test]
+fn sustained_mixed_workload_with_vacuum() {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+
+    let txn = db.begin();
+    for k in 0..2_000i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed_inserts = Arc::new(AtomicU64::new(0));
+    let committed_deletes = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+
+    // Two insert/delete writers with private key regions.
+    for t in 0..2u64 {
+        let (db, idx, stop, ci, cd) = (
+            db.clone(),
+            idx.clone(),
+            stop.clone(),
+            committed_inserts.clone(),
+            committed_deletes.clone(),
+        );
+        handles.push(std::thread::spawn(move || {
+            let mut mine: Vec<(i64, Rid)> = Vec::new();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let txn = db.begin();
+                let res: gist_repro::core::Result<bool> = if i % 4 == 3 && !mine.is_empty() {
+                    let (k, r) = mine[0];
+                    idx.delete(txn, &k, r).map(|_| false)
+                } else {
+                    let k = 10_000 + (t as i64) * 1_000_000 + i as i64;
+                    let r = rid(1_000_000 + t * 100_000_000 + i);
+                    idx.insert(txn, &k, r).map(|_| true)
+                };
+                match res {
+                    Ok(was_insert) => {
+                        db.commit(txn).unwrap();
+                        if was_insert {
+                            let k = 10_000 + (t as i64) * 1_000_000 + i as i64;
+                            mine.push((k, rid(1_000_000 + t * 100_000_000 + i)));
+                            ci.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            mine.remove(0);
+                            cd.fetch_add(1, Ordering::Relaxed);
+                        }
+                        i += 1;
+                    }
+                    Err(e) if e.is_retryable() => db.abort(txn).unwrap(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }));
+    }
+    // A scanner that checks the stable baseline plus repeatability.
+    {
+        let (db, idx, stop) = (db.clone(), idx.clone(), stop.clone());
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let txn = db.begin();
+                let a = match idx.search(txn, &I64Query::range(0, 1_999)) {
+                    Ok(v) => v,
+                    Err(e) if e.is_retryable() => {
+                        db.abort(txn).unwrap();
+                        continue;
+                    }
+                    Err(e) => panic!("{e}"),
+                };
+                assert_eq!(a.len(), 2_000, "baseline stable");
+                db.commit(txn).unwrap();
+            }
+        }));
+    }
+    // A periodic vacuum.
+    {
+        let (db, idx, stop) = (db.clone(), idx.clone(), stop.clone());
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(100));
+                let txn = db.begin();
+                match idx.vacuum(txn) {
+                    Ok(_) => db.commit(txn).unwrap(),
+                    Err(e) if e.is_retryable() => db.abort(txn).unwrap(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs(3));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let txn = db.begin();
+    let total = idx.search(txn, &I64Query::range(i64::MIN, i64::MAX)).unwrap().len() as u64;
+    db.commit(txn).unwrap();
+    assert_eq!(
+        total,
+        2_000 + committed_inserts.load(Ordering::Relaxed)
+            - committed_deletes.load(Ordering::Relaxed),
+        "content accounting exact"
+    );
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn repeated_crash_cycles_with_work_between() {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let mut expected: Vec<i64> = Vec::new();
+    {
+        let db = Db::open(store.clone(), log.clone(), DbConfig::default()).unwrap();
+        let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+        let txn = db.begin();
+        for k in 0..100i64 {
+            idx.insert(txn, &k, rid(k as u64)).unwrap();
+            expected.push(k);
+        }
+        db.commit(txn).unwrap();
+        db.crash();
+    }
+    for round in 1..=4i64 {
+        let (db, _) = Db::restart(store.clone(), log.clone(), DbConfig::default()).unwrap();
+        let idx = GistIndex::open(db.clone(), "t", BtreeExt).unwrap();
+        // Verify, then add a committed batch and a doomed batch.
+        let txn = db.begin();
+        let mut got: Vec<i64> = idx
+            .search(txn, &I64Query::range(i64::MIN, i64::MAX))
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        db.commit(txn).unwrap();
+        got.sort();
+        let mut want = expected.clone();
+        want.sort();
+        assert_eq!(got, want, "round {round}");
+        check_tree(&idx).unwrap().assert_ok();
+
+        let txn = db.begin();
+        for j in 0..50i64 {
+            let k = round * 1_000 + j;
+            idx.insert(txn, &k, rid(200_000 + (round * 100 + j) as u64)).unwrap();
+            expected.push(k);
+        }
+        db.commit(txn).unwrap();
+        let doomed = db.begin();
+        for j in 0..30i64 {
+            let k = round * 1_000 + 500 + j;
+            idx.insert(doomed, &k, rid(300_000 + (round * 100 + j) as u64)).unwrap();
+        }
+        match round % 2 {
+            0 => {
+                // Crash with the doomed txn in flight (records forced).
+                db.log().flush_all();
+            }
+            _ => {
+                // Explicit abort, then crash.
+                db.abort(doomed).unwrap();
+            }
+        }
+        db.crash();
+    }
+}
+
+#[test]
+fn unique_index_under_concurrent_mixed_load() {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx =
+        GistIndex::create(db.clone(), "u", BtreeExt, IndexOptions { unique: true }).unwrap();
+    let winners = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let (db, idx, winners) = (db.clone(), idx.clone(), winners.clone());
+        handles.push(std::thread::spawn(move || {
+            for k in 0..100i64 {
+                loop {
+                    let txn = db.begin();
+                    match idx.insert(txn, &k, rid(10_000 + t * 1_000 + k as u64)) {
+                        Ok(()) => {
+                            db.commit(txn).unwrap();
+                            winners.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(GistError::UniqueViolation) => {
+                            db.abort(txn).unwrap();
+                            break;
+                        }
+                        Err(e) if e.is_retryable() => db.abort(txn).unwrap(),
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(winners.load(Ordering::Relaxed), 100);
+    let txn = db.begin();
+    for k in 0..100i64 {
+        assert_eq!(idx.search(txn, &I64Query::eq(k)).unwrap().len(), 1, "key {k}");
+    }
+    db.commit(txn).unwrap();
+    check_tree(&idx).unwrap().assert_ok();
+}

@@ -1,0 +1,177 @@
+//! Property tests of the whole system: random operation sequences
+//! against a shadow model, and crash-anywhere recovery.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_repro::pagestore::{InMemoryStore, PageId, Rid};
+use gist_repro::wal::{LogManager, Lsn};
+
+#[derive(Debug, Clone)]
+enum TxnOp {
+    Insert(i64),
+    DeleteExisting(usize),
+    Search(i64, i64),
+}
+
+#[derive(Debug, Clone)]
+enum TxnEnd {
+    Commit,
+    Abort,
+    SavepointRoundtrip,
+}
+
+fn txn_ops() -> impl Strategy<Value = (Vec<TxnOp>, TxnEnd)> {
+    let op = prop_oneof![
+        5 => (0i64..500).prop_map(TxnOp::Insert),
+        2 => (0usize..64).prop_map(TxnOp::DeleteExisting),
+        2 => ((0i64..500), (0i64..100)).prop_map(|(lo, w)| TxnOp::Search(lo, lo + w)),
+    ];
+    let end = prop_oneof![
+        5 => Just(TxnEnd::Commit),
+        2 => Just(TxnEnd::Abort),
+        1 => Just(TxnEnd::SavepointRoundtrip),
+    ];
+    (prop::collection::vec(op, 1..25), end)
+}
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId(900_000 + (n >> 16) as u32), (n & 0xFFFF) as u16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random single-threaded transactions (commit / abort / savepoint
+    /// cycle) against a `BTreeMap` model: contents and search results
+    /// always agree, invariants always hold.
+    #[test]
+    fn random_transactions_match_model(txns in prop::collection::vec(txn_ops(), 1..12)) {
+        let store = Arc::new(InMemoryStore::new());
+        let log = Arc::new(LogManager::new());
+        let db = Db::open(store, log, DbConfig::default()).unwrap();
+        let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+        // model: rid-counter -> (key); committed state only.
+        let mut committed: BTreeMap<u64, i64> = BTreeMap::new();
+        let mut next_rid = 0u64;
+
+        for (ops, end) in txns {
+            let txn = db.begin();
+            let mut local = committed.clone();
+            let save = match end {
+                TxnEnd::SavepointRoundtrip => {
+                    Some((db.savepoint(txn).unwrap(), local.clone()))
+                }
+                _ => None,
+            };
+            for op in ops {
+                match op {
+                    TxnOp::Insert(k) => {
+                        let r = next_rid;
+                        next_rid += 1;
+                        idx.insert(txn, &k, rid(r)).unwrap();
+                        local.insert(r, k);
+                    }
+                    TxnOp::DeleteExisting(i) => {
+                        // Pick the i-th entry of the local view, if any.
+                        if let Some((&r, &k)) = local.iter().nth(i % local.len().max(1)) {
+                            idx.delete(txn, &k, rid(r)).unwrap();
+                            local.remove(&r);
+                        }
+                    }
+                    TxnOp::Search(lo, hi) => {
+                        let got = idx.search(txn, &I64Query::range(lo, hi)).unwrap();
+                        let expect = local.values().filter(|k| lo <= **k && **k <= hi).count();
+                        prop_assert_eq!(got.len(), expect, "search within txn");
+                    }
+                }
+            }
+            match end {
+                TxnEnd::Commit => {
+                    db.commit(txn).unwrap();
+                    committed = local;
+                }
+                TxnEnd::Abort => {
+                    db.abort(txn).unwrap();
+                }
+                TxnEnd::SavepointRoundtrip => {
+                    // Roll back everything, then commit (net no-op).
+                    let (sp, at_save) = save.unwrap();
+                    db.rollback_to_savepoint(txn, sp).unwrap();
+                    db.commit(txn).unwrap();
+                    committed = at_save;
+                }
+            }
+            // Cross-check committed state.
+            let txn = db.begin();
+            let got = idx.search(txn, &I64Query::range(i64::MIN, i64::MAX)).unwrap();
+            db.commit(txn).unwrap();
+            let mut got_pairs: Vec<(u64, i64)> = got
+                .into_iter()
+                .map(|(k, r)| (((r.page.0 - 900_000) as u64) << 16 | r.slot as u64, k))
+                .collect();
+            got_pairs.sort();
+            let want: Vec<(u64, i64)> = committed.iter().map(|(r, k)| (*r, *k)).collect();
+            prop_assert_eq!(got_pairs, want, "committed state mismatch");
+        }
+        check_tree(&idx).unwrap().assert_ok();
+    }
+
+    /// Crash-anywhere: commit some transactions, leave one in flight,
+    /// truncate the durable log at an arbitrary point ≥ the last commit,
+    /// restart — the committed prefix must be intact and the tree sound.
+    #[test]
+    fn crash_at_any_durable_point_recovers(
+        committed_batches in prop::collection::vec(prop::collection::vec(0i64..300, 1..20), 1..5),
+        loser_ops in prop::collection::vec(0i64..300, 0..20),
+        cut_offset in 0u64..400,
+    ) {
+        let store = Arc::new(InMemoryStore::new());
+        let log = Arc::new(LogManager::new());
+        let db = Db::open(store.clone(), log.clone(), DbConfig::default()).unwrap();
+        let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+        let mut next_rid = 0u64;
+        let mut committed_keys: Vec<i64> = Vec::new();
+        for batch in &committed_batches {
+            let txn = db.begin();
+            for &k in batch {
+                idx.insert(txn, &k, rid(next_rid)).unwrap();
+                next_rid += 1;
+                committed_keys.push(k);
+            }
+            db.commit(txn).unwrap();
+        }
+        let commit_point = log.flushed_lsn();
+        let loser = db.begin();
+        for &k in &loser_ops {
+            idx.insert(loser, &k, rid(next_rid)).unwrap();
+            next_rid += 1;
+        }
+        // Flush to an arbitrary point at or past the last commit, then
+        // crash: everything after the cut is lost.
+        let cut = Lsn((commit_point.0 + cut_offset).min(log.last_lsn().0));
+        log.flush(cut);
+        db.pool().crash();
+        log.crash();
+
+        let (db2, _) = Db::restart(store, log, DbConfig::default()).unwrap();
+        let idx2 = GistIndex::open(db2.clone(), "t", BtreeExt).unwrap();
+        let txn = db2.begin();
+        let mut got: Vec<i64> = idx2
+            .search(txn, &I64Query::range(i64::MIN, i64::MAX))
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        db2.commit(txn).unwrap();
+        got.sort();
+        committed_keys.sort();
+        prop_assert_eq!(got, committed_keys, "exactly the committed keys survive");
+        check_tree(&idx2).unwrap().assert_ok();
+    }
+}
