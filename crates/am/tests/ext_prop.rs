@@ -1,5 +1,6 @@
-//! Property tests of the extension-method algebra, for all four access
-//! methods. These are the contracts the core's correctness rests on:
+//! Randomized (deterministic) tests of the extension-method algebra,
+//! for all four access methods. These are the contracts the core's
+//! correctness rests on:
 //!
 //! 1. `union_preds(a, b)` covers both `a` and `b`;
 //! 2. `pred_covers` is reflexive and agrees with `union` (`covers(o, i)`
@@ -11,133 +12,213 @@
 //! 5. `pick_split` partitions indices into two non-empty sides;
 //! 6. codecs round-trip;
 //! 7. `penalty(p, k) == 0` when `p` covers `k`.
-
-use proptest::prelude::*;
+//!
+//! Rewritten from `proptest` to a seeded xorshift generator so the
+//! workspace has no external dev-deps; every run covers the same cases.
 
 use gist_am::{BtreeExt, I64Query, RdQuery, RdTreeExt, Rect, RtreeExt, StrQuery, StrTreeExt};
 use gist_core::ext::GistExtension;
 
-// ---------------- B-tree ----------------
+struct Gen(u64);
 
-fn btree_pred() -> impl Strategy<Value = (i64, i64)> {
-    (any::<i32>(), any::<i32>()).prop_map(|(a, b)| {
-        let (a, b) = (a as i64, b as i64);
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn i64_small(&mut self) -> i64 {
+        self.next() as i32 as i64
+    }
+
+    /// Uniform float in `[0, hi)`.
+    fn f64_in(&mut self, hi: f64) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 * hi
+    }
+
+    fn btree_pred(&mut self) -> (i64, i64) {
+        let (a, b) = (self.i64_small(), self.i64_small());
         (a.min(b), a.max(b))
-    })
+    }
+
+    fn rect(&mut self) -> Rect {
+        let x = self.f64_in(1000.0);
+        let y = self.f64_in(1000.0);
+        let w = self.f64_in(100.0);
+        let h = self.f64_in(100.0);
+        Rect::new(x, y, x + w, y + h)
+    }
+
+    fn key_bytes(&mut self) -> Vec<u8> {
+        let len = self.below(12) as usize;
+        (0..len).map(|_| self.next() as u8).collect()
+    }
 }
 
-proptest! {
-    #[test]
-    fn btree_union_covers((a, b) in (btree_pred(), btree_pred())) {
-        let e = BtreeExt;
-        let u = e.union_preds(&a, &b);
-        prop_assert!(e.pred_covers(&u, &a));
-        prop_assert!(e.pred_covers(&u, &b));
-        prop_assert!(e.pred_covers(&a, &a));
-        prop_assert_eq!(e.pred_covers(&a, &b), e.union_preds(&a, &b) == a);
-    }
+const CASES: usize = 256;
 
-    #[test]
-    fn btree_consistency_monotone(p in btree_pred(), x in btree_pred(),
-                                  lo in any::<i32>(), hi in any::<i32>()) {
-        let e = BtreeExt;
-        let q = I64Query::range((lo as i64).min(hi as i64), (lo as i64).max(hi as i64));
+// ---------------- B-tree ----------------
+
+#[test]
+fn btree_union_covers() {
+    let e = BtreeExt;
+    let mut g = Gen::new(0xB7EE_0001);
+    for _ in 0..CASES {
+        let a = g.btree_pred();
+        let b = g.btree_pred();
+        let u = e.union_preds(&a, &b);
+        assert!(e.pred_covers(&u, &a));
+        assert!(e.pred_covers(&u, &b));
+        assert!(e.pred_covers(&a, &a));
+        assert_eq!(e.pred_covers(&a, &b), e.union_preds(&a, &b) == a);
+    }
+}
+
+#[test]
+fn btree_consistency_monotone() {
+    let e = BtreeExt;
+    let mut g = Gen::new(0xB7EE_0002);
+    for _ in 0..CASES {
+        let p = g.btree_pred();
+        let x = g.btree_pred();
+        let (lo, hi) = g.btree_pred();
+        let q = I64Query::range(lo, hi);
         if e.consistent_pred(&p, &q) {
-            prop_assert!(e.consistent_pred(&e.union_preds(&p, &x), &q));
+            assert!(e.consistent_pred(&e.union_preds(&p, &x), &q));
         }
     }
+}
 
-    #[test]
-    fn btree_key_laws(k in any::<i64>(), p in btree_pred()) {
-        let e = BtreeExt;
-        prop_assert!(e.consistent_key(&k, &e.eq_query(&k)));
-        prop_assert!(e.pred_covers_key(&e.key_pred(&k), &k));
+#[test]
+fn btree_key_laws() {
+    let e = BtreeExt;
+    let mut g = Gen::new(0xB7EE_0003);
+    for _ in 0..CASES {
+        let k = g.i64_small();
+        let p = g.btree_pred();
+        assert!(e.consistent_key(&k, &e.eq_query(&k)));
+        assert!(e.pred_covers_key(&e.key_pred(&k), &k));
         if e.pred_covers_key(&p, &k) {
-            prop_assert_eq!(e.penalty(&p, &k), 0.0);
+            assert_eq!(e.penalty(&p, &k), 0.0);
         } else {
-            prop_assert!(e.penalty(&p, &k) > 0.0);
+            assert!(e.penalty(&p, &k) > 0.0);
         }
         let mut buf = Vec::new();
         e.encode_key(&k, &mut buf);
-        prop_assert_eq!(e.decode_key(&buf), k);
+        assert_eq!(e.decode_key(&buf), k);
     }
+}
 
-    #[test]
-    fn btree_pick_split_partitions(keys in prop::collection::vec(any::<i64>(), 2..50)) {
-        let e = BtreeExt;
+#[test]
+fn btree_pick_split_partitions() {
+    let e = BtreeExt;
+    let mut g = Gen::new(0xB7EE_0004);
+    for _ in 0..CASES {
+        let n = 2 + g.below(48) as usize;
+        let keys: Vec<i64> = (0..n).map(|_| g.i64_small()).collect();
         let preds: Vec<(i64, i64)> = keys.iter().map(|k| e.key_pred(k)).collect();
         let d = e.pick_split(&preds);
-        prop_assert!(!d.left.is_empty());
-        prop_assert!(!d.right.is_empty());
+        assert!(!d.left.is_empty());
+        assert!(!d.right.is_empty());
         let mut all: Vec<usize> = d.left.iter().chain(d.right.iter()).copied().collect();
         all.sort();
-        prop_assert_eq!(all, (0..preds.len()).collect::<Vec<_>>());
+        assert_eq!(all, (0..preds.len()).collect::<Vec<_>>());
     }
 }
 
 // ---------------- R-tree ----------------
 
-fn rect() -> impl Strategy<Value = Rect> {
-    (0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..100.0, 0.0f64..100.0)
-        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+#[test]
+fn rtree_union_covers() {
+    let e = RtreeExt;
+    let mut g = Gen::new(0x47EE_0001);
+    for _ in 0..CASES {
+        let a = g.rect();
+        let b = g.rect();
+        let u = e.union_preds(&a, &b);
+        assert!(e.pred_covers(&u, &a));
+        assert!(e.pred_covers(&u, &b));
+        assert!(e.pred_covers(&a, &a));
+    }
 }
 
-proptest! {
-    #[test]
-    fn rtree_union_covers(a in rect(), b in rect()) {
-        let e = RtreeExt;
-        let u = e.union_preds(&a, &b);
-        prop_assert!(e.pred_covers(&u, &a));
-        prop_assert!(e.pred_covers(&u, &b));
-        prop_assert!(e.pred_covers(&a, &a));
-    }
-
-    #[test]
-    fn rtree_consistency_monotone(p in rect(), x in rect(), w in rect()) {
-        let e = RtreeExt;
-        use gist_am::SpatialQuery;
+#[test]
+fn rtree_consistency_monotone() {
+    use gist_am::SpatialQuery;
+    let e = RtreeExt;
+    let mut g = Gen::new(0x47EE_0002);
+    for _ in 0..CASES {
+        let p = g.rect();
+        let x = g.rect();
+        let w = g.rect();
         for q in [SpatialQuery::Overlaps(w), SpatialQuery::Within(w), SpatialQuery::Equals(w)] {
             if e.consistent_pred(&p, &q) {
-                prop_assert!(e.consistent_pred(&e.union_preds(&p, &x), &q));
+                assert!(e.consistent_pred(&e.union_preds(&p, &x), &q));
             }
         }
     }
+}
 
-    #[test]
-    fn rtree_key_laws(k in rect(), p in rect()) {
-        let e = RtreeExt;
-        prop_assert!(e.consistent_key(&k, &e.eq_query(&k)));
-        prop_assert!(e.pred_covers_key(&e.key_pred(&k), &k));
+#[test]
+fn rtree_key_laws() {
+    let e = RtreeExt;
+    let mut g = Gen::new(0x47EE_0003);
+    for _ in 0..CASES {
+        let k = g.rect();
+        let p = g.rect();
+        assert!(e.consistent_key(&k, &e.eq_query(&k)));
+        assert!(e.pred_covers_key(&e.key_pred(&k), &k));
         if e.pred_covers_key(&p, &k) {
-            prop_assert_eq!(e.penalty(&p, &k), 0.0);
+            assert_eq!(e.penalty(&p, &k), 0.0);
         }
         let mut buf = Vec::new();
         e.encode_key(&k, &mut buf);
-        prop_assert_eq!(e.decode_key(&buf), k);
+        assert_eq!(e.decode_key(&buf), k);
     }
+}
 
-    #[test]
-    fn rtree_split_partitions(rects in prop::collection::vec(rect(), 2..40)) {
-        let e = RtreeExt;
+#[test]
+fn rtree_split_partitions() {
+    let e = RtreeExt;
+    let mut g = Gen::new(0x47EE_0004);
+    for _ in 0..CASES {
+        let n = 2 + g.below(38) as usize;
+        let rects: Vec<Rect> = (0..n).map(|_| g.rect()).collect();
         let d = e.pick_split(&rects);
-        prop_assert!(!d.left.is_empty());
-        prop_assert!(!d.right.is_empty());
+        assert!(!d.left.is_empty());
+        assert!(!d.right.is_empty());
         let mut all: Vec<usize> = d.left.iter().chain(d.right.iter()).copied().collect();
         all.sort();
         all.dedup();
-        prop_assert_eq!(all.len(), rects.len());
+        assert_eq!(all.len(), rects.len());
     }
+}
 
-    /// Soundness of subtree pruning: if any key under pred satisfies the
-    /// query, consistent_pred must say so.
-    #[test]
-    fn rtree_pruning_is_sound(keys in prop::collection::vec(rect(), 1..20), w in rect()) {
-        let e = RtreeExt;
+/// Soundness of subtree pruning: if any key under pred satisfies the
+/// query, consistent_pred must say so.
+#[test]
+fn rtree_pruning_is_sound() {
+    use gist_am::SpatialQuery;
+    let e = RtreeExt;
+    let mut g = Gen::new(0x47EE_0005);
+    for _ in 0..CASES {
+        let n = 1 + g.below(19) as usize;
+        let keys: Vec<Rect> = (0..n).map(|_| g.rect()).collect();
+        let w = g.rect();
         let pred = keys.iter().skip(1).fold(keys[0], |acc, r| acc.union(r));
-        use gist_am::SpatialQuery;
         for q in [SpatialQuery::Overlaps(w), SpatialQuery::Within(w), SpatialQuery::Equals(w)] {
             if keys.iter().any(|k| e.consistent_key(k, &q)) {
-                prop_assert!(e.consistent_pred(&pred, &q), "pruned a qualifying subtree: {q:?}");
+                assert!(e.consistent_pred(&pred, &q), "pruned a qualifying subtree: {q:?}");
             }
         }
     }
@@ -145,86 +226,107 @@ proptest! {
 
 // ---------------- RD-tree ----------------
 
-proptest! {
-    #[test]
-    fn rdtree_laws(a in any::<u64>(), b in any::<u64>(), probe in any::<u64>()) {
-        let e = RdTreeExt;
+#[test]
+fn rdtree_laws() {
+    let e = RdTreeExt;
+    let mut g = Gen::new(0x4D7E_0001);
+    for _ in 0..CASES {
+        let a = g.next();
+        let b = g.next();
+        let probe = g.next();
         let u = e.union_preds(&a, &b);
-        prop_assert!(e.pred_covers(&u, &a));
-        prop_assert!(e.pred_covers(&u, &b));
-        prop_assert!(e.consistent_key(&a, &e.eq_query(&a)));
+        assert!(e.pred_covers(&u, &a));
+        assert!(e.pred_covers(&u, &b));
+        assert!(e.consistent_key(&a, &e.eq_query(&a)));
         for q in [RdQuery::Overlaps(probe), RdQuery::Contains(probe), RdQuery::Equals(probe)] {
             // monotone under union
             if e.consistent_pred(&a, &q) {
-                prop_assert!(e.consistent_pred(&u, &q));
+                assert!(e.consistent_pred(&u, &q));
             }
             // sound pruning: any qualifying key implies consistent pred
             if e.consistent_key(&a, &q) || e.consistent_key(&b, &q) {
-                prop_assert!(e.consistent_pred(&u, &q));
+                assert!(e.consistent_pred(&u, &q));
             }
         }
         if e.pred_covers_key(&a, &b) {
-            prop_assert_eq!(e.penalty(&a, &b), 0.0);
+            assert_eq!(e.penalty(&a, &b), 0.0);
         }
     }
+}
 
-    #[test]
-    fn rdtree_split_partitions(sets in prop::collection::vec(any::<u64>(), 2..40)) {
-        let e = RdTreeExt;
+#[test]
+fn rdtree_split_partitions() {
+    let e = RdTreeExt;
+    let mut g = Gen::new(0x4D7E_0002);
+    for _ in 0..CASES {
+        let n = 2 + g.below(38) as usize;
+        let sets: Vec<u64> = (0..n).map(|_| g.next()).collect();
         let d = e.pick_split(&sets);
-        prop_assert!(!d.left.is_empty());
-        prop_assert!(!d.right.is_empty());
-        prop_assert_eq!(d.left.len() + d.right.len(), sets.len());
+        assert!(!d.left.is_empty());
+        assert!(!d.right.is_empty());
+        assert_eq!(d.left.len() + d.right.len(), sets.len());
     }
 }
 
 // ---------------- string tree ----------------
 
-fn key_bytes() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(any::<u8>(), 0..12)
-}
-
-proptest! {
-    #[test]
-    fn strtree_laws(a in key_bytes(), b in key_bytes(), lo in key_bytes(), hi in key_bytes()) {
-        let e = StrTreeExt;
+#[test]
+fn strtree_laws() {
+    let e = StrTreeExt;
+    let mut g = Gen::new(0x5745_0001);
+    for _ in 0..CASES {
+        let a = g.key_bytes();
+        let b = g.key_bytes();
+        let lo = g.key_bytes();
+        let hi = g.key_bytes();
         let pa = e.key_pred(&a);
         let pb = e.key_pred(&b);
         let u = e.union_preds(&pa, &pb);
-        prop_assert!(e.pred_covers(&u, &pa));
-        prop_assert!(e.pred_covers(&u, &pb));
-        prop_assert!(e.consistent_key(&a, &e.eq_query(&a)));
+        assert!(e.pred_covers(&u, &pa));
+        assert!(e.pred_covers(&u, &pb));
+        assert!(e.consistent_key(&a, &e.eq_query(&a)));
         let (qlo, qhi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
         let q = StrQuery::Range(qlo, qhi);
         // sound pruning
         if e.consistent_key(&a, &q) || e.consistent_key(&b, &q) {
-            prop_assert!(e.consistent_pred(&u, &q));
+            assert!(e.consistent_pred(&u, &q));
         }
         // codec roundtrip for preds with framing
         let mut buf = Vec::new();
         e.encode_pred(&u, &mut buf);
-        prop_assert_eq!(e.decode_pred(&buf), u);
+        assert_eq!(e.decode_pred(&buf), u);
     }
+}
 
-    #[test]
-    fn strtree_prefix_pruning_sound(keys in prop::collection::vec(key_bytes(), 1..15),
-                                    prefix in prop::collection::vec(any::<u8>(), 0..4)) {
-        let e = StrTreeExt;
+#[test]
+fn strtree_prefix_pruning_sound() {
+    let e = StrTreeExt;
+    let mut g = Gen::new(0x5745_0002);
+    for _ in 0..CASES {
+        let n = 1 + g.below(14) as usize;
+        let keys: Vec<Vec<u8>> = (0..n).map(|_| g.key_bytes()).collect();
+        let plen = g.below(4) as usize;
+        let prefix: Vec<u8> = (0..plen).map(|_| g.next() as u8).collect();
         let preds: Vec<_> = keys.iter().map(|k| e.key_pred(k)).collect();
         let u = e.union_many(&preds);
         let q = StrQuery::Prefix(prefix);
         if keys.iter().any(|k| e.consistent_key(k, &q)) {
-            prop_assert!(e.consistent_pred(&u, &q));
+            assert!(e.consistent_pred(&u, &q));
         }
     }
+}
 
-    #[test]
-    fn strtree_split_partitions(keys in prop::collection::vec(key_bytes(), 2..30)) {
-        let e = StrTreeExt;
+#[test]
+fn strtree_split_partitions() {
+    let e = StrTreeExt;
+    let mut g = Gen::new(0x5745_0003);
+    for _ in 0..CASES {
+        let n = 2 + g.below(28) as usize;
+        let keys: Vec<Vec<u8>> = (0..n).map(|_| g.key_bytes()).collect();
         let preds: Vec<_> = keys.iter().map(|k| e.key_pred(k)).collect();
         let d = e.pick_split(&preds);
-        prop_assert!(!d.left.is_empty());
-        prop_assert!(!d.right.is_empty());
-        prop_assert_eq!(d.left.len() + d.right.len(), keys.len());
+        assert!(!d.left.is_empty());
+        assert!(!d.right.is_empty());
+        assert_eq!(d.left.len() + d.right.len(), keys.len());
     }
 }

@@ -28,7 +28,7 @@ fn bench_vacuum(c: &mut Criterion) {
                 },
                 |(db, idx)| {
                     let txn = db.begin();
-                    let rep = idx.vacuum(txn).unwrap();
+                    let rep = idx.vacuum_sync(txn).unwrap();
                     db.commit(txn).unwrap();
                     assert_eq!(rep.entries_removed as i64, n / 2);
                 },

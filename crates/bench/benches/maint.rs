@@ -1,0 +1,96 @@
+//! Maintenance subsystem: cost of physical reclamation when it runs as a
+//! foreground sweep on the deleting thread vs. handed to the maintenance
+//! daemon post-commit (drained synchronously here so Criterion measures
+//! the same work without thread-scheduling noise).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gist_bench::{btree_db, wl_rid};
+use gist_core::DbConfig;
+
+const N: i64 = 5_000;
+
+fn loaded_tree() -> (std::sync::Arc<gist_core::Db>, std::sync::Arc<gist_core::GistIndex<gist_am::BtreeExt>>) {
+    let (db, idx) = btree_db(DbConfig::default());
+    let txn = db.begin();
+    for k in 0..N {
+        idx.insert(txn, &k, wl_rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    (db, idx)
+}
+
+/// Delete every other key, then reclaim with a foreground `vacuum_sync`
+/// on the caller's thread — the pre-daemon behavior.
+fn bench_foreground_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maint");
+    g.sample_size(10);
+    g.bench_function("foreground_sweep", |b| {
+        b.iter_batched(
+            loaded_tree,
+            |(db, idx)| {
+                let txn = db.begin();
+                for k in 0..N / 2 {
+                    idx.delete(txn, &(k * 2), wl_rid((k * 2) as u64)).unwrap();
+                }
+                db.commit(txn).unwrap();
+                let txn = db.begin();
+                let rep = idx.vacuum_sync(txn).unwrap();
+                db.commit(txn).unwrap();
+                assert_eq!(rep.entries_removed as i64, N / 2);
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+/// Same deletes, but commit hands the candidates to the daemon and the
+/// reclamation happens leaf-by-leaf off the queue (drained here with
+/// `maint_sync`). Measures the targeted-GC path incl. queue overhead.
+fn bench_background_gc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maint");
+    g.sample_size(10);
+    g.bench_function("background_gc_drained", |b| {
+        b.iter_batched(
+            loaded_tree,
+            |(db, idx)| {
+                let txn = db.begin();
+                for k in 0..N / 2 {
+                    idx.delete(txn, &(k * 2), wl_rid((k * 2) as u64)).unwrap();
+                }
+                db.commit(txn).unwrap();
+                db.maint_sync();
+                assert_eq!(idx.stats().unwrap().marked_entries, 0);
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+/// The deleting transaction's own latency when reclamation is deferred:
+/// the commit returns before any physical removal happens. This is the
+/// foreground win the daemon buys.
+fn bench_delete_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maint");
+    g.sample_size(10);
+    g.bench_function("delete_commit_only_deferred", |b| {
+        b.iter_batched(
+            loaded_tree,
+            |(db, idx)| {
+                let txn = db.begin();
+                for k in 0..N / 2 {
+                    idx.delete(txn, &(k * 2), wl_rid((k * 2) as u64)).unwrap();
+                }
+                db.commit(txn).unwrap();
+                // Reclamation intentionally left to the daemon.
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_foreground_sweep, bench_background_gc, bench_delete_latency);
+criterion_main!(benches);

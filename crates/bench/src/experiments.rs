@@ -498,7 +498,7 @@ pub fn e8_gc() -> Vec<Row> {
 
     let txn = db.begin();
     let t0 = Instant::now();
-    let rep = idx.vacuum(txn).unwrap();
+    let rep = idx.vacuum_sync(txn).unwrap();
     let vac_ms = t0.elapsed().as_secs_f64() * 1e3;
     db.commit(txn).unwrap();
     let s2 = idx.stats().unwrap();

@@ -16,11 +16,12 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use gist_lockmgr::LockManager;
+use gist_maint::{MaintDaemon, MaintStatsSnapshot};
 use gist_pagestore::{
     BufferPool, HeapFile, PageAllocator, PageId, PageStore, PageWriteGuard, Rid, SlotId,
 };
 use gist_predlock::PredicateManager;
-use gist_txn::{SavepointId, TxnManager};
+use gist_txn::{GcSink, SavepointId, TxnManager};
 use gist_wal::recovery::{RecoveryError, RecoveryHandler};
 use gist_wal::{LogManager, LogRecord, Lsn, Payload, RecordBody, TxnId};
 
@@ -87,6 +88,8 @@ pub struct DbConfig {
     /// of reading the log manager's counter when descending (§10.1's
     /// second optimization, which relieves the high-frequency counter).
     pub memorize_parent_lsn: bool,
+    /// Maintenance-daemon tuning (deferred GC, drain, checkpoints).
+    pub maint: gist_maint::MaintConfig,
 }
 
 impl Default for DbConfig {
@@ -98,6 +101,7 @@ impl Default for DbConfig {
             predicate_mode: PredicateMode::Hybrid,
             lock_timeout: Duration::from_secs(10),
             memorize_parent_lsn: true,
+            maint: gist_maint::MaintConfig::default(),
         }
     }
 }
@@ -157,6 +161,12 @@ pub struct Db {
     txns: Arc<TxnManager>,
     alloc: Arc<PageAllocator>,
     heap: HeapFile,
+    /// The background maintenance daemon. Created with the database and
+    /// wired as the transaction manager's [`GcSink`] immediately, so GC
+    /// candidates accumulate even before any worker thread is started;
+    /// call [`Db::start_maint`] for background processing or
+    /// [`Db::maint_sync`] to drain the queue deterministically.
+    maint: Arc<MaintDaemon>,
     config: DbConfig,
     /// Tree-global counter for [`NsnSource::DedicatedCounter`]; mirrors
     /// the max observed NSN in [`NsnSource::WalLsn`] mode.
@@ -207,6 +217,13 @@ impl Db {
         let txns = Arc::new(TxnManager::new(log.clone(), locks.clone(), preds.clone()));
         let alloc = Arc::new(PageAllocator::new(1));
         let heap = HeapFile::new(pool.clone(), alloc.clone());
+        let maint =
+            MaintDaemon::new(txns.clone(), pool.clone(), log.clone(), config.maint.clone());
+        // The daemon is the commit-time GC sink from the start (held
+        // weakly by the transaction manager; the daemon itself holds the
+        // manager strongly for checkpoint capture).
+        let sink: std::sync::Weak<dyn GcSink> = Arc::downgrade(&maint) as _;
+        txns.set_gc_sink(sink);
         Ok(Arc::new(Db {
             pool,
             log,
@@ -215,6 +232,7 @@ impl Db {
             txns,
             alloc,
             heap,
+            maint,
             config,
             nsn_counter: AtomicU64::new(0),
             catalog: Mutex::new(Vec::new()),
@@ -294,6 +312,41 @@ impl Db {
         &self.heap
     }
 
+    /// The maintenance daemon.
+    pub fn maint(&self) -> &Arc<MaintDaemon> {
+        &self.maint
+    }
+
+    /// Spawn the maintenance daemon's worker threads (idempotent). Until
+    /// this is called (or [`Db::maint_sync`] is driven by hand), queued
+    /// work — post-commit GC, drains, checkpoint requests — just
+    /// accumulates.
+    pub fn start_maint(&self) {
+        self.maint.start();
+    }
+
+    /// Synchronously process every queued maintenance item on the
+    /// calling thread — the deterministic escape hatch for tests and
+    /// single-threaded tools. Returns the number of items processed.
+    pub fn maint_sync(&self) -> usize {
+        self.maint.run_until_idle()
+    }
+
+    /// A snapshot of the maintenance counters.
+    pub fn maint_stats(&self) -> MaintStatsSnapshot {
+        self.maint.stats.snapshot()
+    }
+
+    /// Write a fuzzy checkpoint now (§9-style: capture the log position,
+    /// then the dirty-page table, then the active-transaction table —
+    /// nothing is quiesced). Restart's analysis pass will begin at the
+    /// captured position instead of the log start, and redo at the
+    /// oldest recLSN in the captured dirty-page table. Returns the
+    /// checkpoint record's LSN.
+    pub fn checkpoint(&self) -> Lsn {
+        self.maint.checkpoint_now()
+    }
+
     /// The configuration.
     pub fn config(&self) -> &DbConfig {
         &self.config
@@ -333,13 +386,22 @@ impl Db {
 
     /// Simulate a crash: the buffer pool drops every unflushed page and
     /// the log loses its non-durable suffix. Reopen with [`Db::restart`].
+    ///
+    /// The maintenance workers are stopped first — *without* draining
+    /// the queue (a crash abandons pending work; recovery and later
+    /// sweeps make it up) — because the pool's crash asserts that no
+    /// page is pinned.
     pub fn crash(&self) {
+        self.maint.stop(false);
         self.pool.crash();
         self.log.crash();
     }
 
-    /// Flush everything (clean shutdown).
+    /// Flush everything (clean shutdown). The maintenance daemon is
+    /// drained first: queued GC/drain work completes and its log records
+    /// land before the final flush, so a clean restart owes nothing.
     pub fn shutdown(&self) {
+        self.maint.stop(true);
         self.log.flush_all();
         self.pool.flush_all();
     }

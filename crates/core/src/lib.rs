@@ -34,6 +34,7 @@ mod entry;
 mod error;
 pub mod ext;
 mod logrec;
+mod maint;
 mod node;
 mod ops;
 mod tree;
@@ -42,6 +43,12 @@ pub use db::{Db, DbConfig, IsolationLevel, NsnSource, PredicateMode, RestartRepo
 pub use entry::{InternalEntry, LeafEntry};
 pub use error::GistError;
 pub use ext::GistExtension;
+// The maintenance daemon's public surface, re-exported so users don't
+// need a direct gist-maint dependency.
+pub use gist_maint::{
+    DrainOutcome, GcOutcome, MaintConfig, MaintDaemon, MaintError, MaintIndex,
+    MaintStatsSnapshot, SweepOutcome, WorkItem,
+};
 pub use logrec::GistRecord;
 pub use ops::cursor::{Cursor, CursorSnapshot};
 pub use ops::delete::VacuumReport;

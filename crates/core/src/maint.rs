@@ -1,0 +1,144 @@
+//! The tree side of the maintenance daemon: [`MaintIndex`] for
+//! [`GistIndex`].
+//!
+//! Every method is self-contained — it begins its own short system
+//! transaction, does NTA-wrapped physical work through the existing §7
+//! machinery ([`GistIndex::gc_leaf`], `try_delete_node`, `vacuum_sync`),
+//! and commits. Losing a latch or signaling-lock race to a foreground
+//! transaction maps to [`MaintError::Retry`] / [`DrainOutcome::Busy`] so
+//! the daemon backs off instead of blocking anyone.
+
+use gist_maint::{DrainOutcome, GcOutcome, MaintError, MaintIndex, SweepOutcome};
+use gist_pagestore::PageId;
+
+use crate::ext::GistExtension;
+use crate::node;
+use crate::ops::StackEntry;
+use crate::tree::GistIndex;
+use crate::GistError;
+
+/// Classify a tree error for the daemon: lock-manager trouble (timeout,
+/// deadlock victim) means a foreground transaction got in the way —
+/// retry later; anything else is a real failure.
+fn classify(e: GistError) -> MaintError {
+    match e {
+        GistError::Lock(_) => MaintError::Retry(e.to_string()),
+        GistError::Txn(gist_txn::TxnError::Lock(_)) => MaintError::Retry(e.to_string()),
+        other => MaintError::Fatal(other.to_string()),
+    }
+}
+
+impl<E: GistExtension> GistIndex<E> {
+    /// A usable parent hint, or `None` if the hinted page no longer
+    /// looks like an internal node (freed, reused as a leaf). GC then
+    /// simply skips the BP-shrink propagation — parent BPs stay
+    /// conservative upper bounds, which is always correct.
+    fn validate_parent_hint(&self, hint: Option<PageId>) -> Option<StackEntry> {
+        let p = hint?;
+        let g = self.db().pool().fetch_read(p).ok()?;
+        if g.is_available() || g.is_leaf() {
+            return None;
+        }
+        Some(StackEntry { page: p, nsn_at_visit: g.nsn() })
+    }
+}
+
+impl<E: GistExtension> MaintIndex for GistIndex<E> {
+    fn maint_index_id(&self) -> u32 {
+        self.id()
+    }
+
+    fn maint_gc_leaf(
+        &self,
+        leaf: PageId,
+        parent_hint: Option<PageId>,
+    ) -> Result<GcOutcome, MaintError> {
+        let db = self.db().clone();
+        let txn = db.begin();
+        let result = (|| {
+            // Try-only latch: the daemon never waits on a leaf a
+            // foreground operation holds.
+            let mut g = db
+                .pool()
+                .try_fetch_write(leaf)
+                .map_err(|e| MaintError::Fatal(e.to_string()))?
+                .ok_or_else(|| MaintError::Retry(format!("leaf {leaf} latched")))?;
+            // The candidate may be stale: the page could have been
+            // drained and reused since the deleting transaction ran.
+            if g.is_available() || !g.is_leaf() {
+                return Ok(GcOutcome::default());
+            }
+            let hint = self.validate_parent_hint(parent_hint);
+            let reclaimed = self.gc_leaf(txn, &mut g, hint).map_err(classify)?;
+            let leaf_empty = node::entry_count(&g) == 0;
+            Ok(GcOutcome { reclaimed, leaf_empty })
+        })();
+        match &result {
+            Ok(_) => db.commit(txn).map_err(|e| MaintError::Fatal(e.to_string()))?,
+            Err(_) => {
+                let _ = db.abort(txn);
+            }
+        }
+        result
+    }
+
+    fn maint_try_drain(
+        &self,
+        leaf: PageId,
+        parent_hint: Option<PageId>,
+    ) -> Result<DrainOutcome, MaintError> {
+        // Without a parent there is nothing to unlink from; the next
+        // full sweep retires the node instead.
+        let Some(parent) = parent_hint else {
+            return Ok(DrainOutcome::Skipped);
+        };
+        let db = self.db().clone();
+        let fatal = |e: GistError| MaintError::Fatal(e.to_string());
+        {
+            // Cheap ineligibility checks before spending a transaction.
+            let g = db.pool().fetch_read(leaf).map_err(|e| fatal(e.into()))?;
+            if g.is_available() || !g.is_leaf() || node::entry_count(&g) != 0 {
+                return Ok(DrainOutcome::Skipped);
+            }
+        }
+        if self.validate_parent_hint(Some(parent)).is_none() {
+            return Ok(DrainOutcome::Skipped);
+        }
+        let txn = db.begin();
+        match self.try_delete_node(txn, parent, leaf) {
+            Ok(deleted) => {
+                db.commit(txn).map_err(fatal)?;
+                if deleted {
+                    Ok(DrainOutcome::Deleted)
+                } else {
+                    // Drain semantics (§7.2): a pointer holder still has
+                    // its signaling lock, or a latch was contended. Both
+                    // clear once the foreground operation moves on.
+                    Ok(DrainOutcome::Busy)
+                }
+            }
+            Err(e) => {
+                let _ = db.abort(txn);
+                Err(classify(e))
+            }
+        }
+    }
+
+    fn maint_sweep(&self) -> Result<SweepOutcome, MaintError> {
+        let db = self.db().clone();
+        let txn = db.begin();
+        match self.vacuum_sync(txn) {
+            Ok(rep) => {
+                db.commit(txn).map_err(|e| MaintError::Fatal(e.to_string()))?;
+                Ok(SweepOutcome {
+                    entries_removed: rep.entries_removed,
+                    nodes_deleted: rep.nodes_deleted,
+                })
+            }
+            Err(e) => {
+                let _ = db.abort(txn);
+                Err(classify(e))
+            }
+        }
+    }
+}

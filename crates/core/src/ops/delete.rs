@@ -61,21 +61,26 @@ impl<E: GistExtension> GistIndex<E> {
 
         // Locate the leaf holding the entry: "equivalent to a search
         // operation with an equality predicate" (§7), X-latching leaves.
+        // Each stacked pointer carries the page we followed it from: if
+        // the mark succeeds, that parent becomes the GC candidate's hint
+        // (a sibling reached by rightlink shares its predecessor's
+        // parent hint — the maintenance path walks parent rightlinks, so
+        // any same-level ancestor's parent locates the entry).
         let q = self.ext().eq_query(key);
         let mut mem = db.global_nsn();
         let root = self.root()?;
         self.signal_lock(txn, root)?;
-        let mut stack: Vec<(PageId, u64)> = vec![(root, mem)];
+        let mut stack: Vec<(PageId, u64, Option<PageId>)> = vec![(root, mem, None)];
         let mut visited_for_unlock: Vec<PageId> = Vec::new();
         let mut found = false;
-        while let Some((pid, pmem)) = stack.pop() {
+        while let Some((pid, pmem, parent)) = stack.pop() {
             if pid.is_invalid() {
                 continue;
             }
             mem = pmem;
             let g = db.pool().fetch_read(pid)?;
             if g.nsn() > mem {
-                stack.push((g.rightlink(), mem));
+                stack.push((g.rightlink(), mem, parent));
             }
             if g.is_leaf() {
                 drop(g);
@@ -83,8 +88,8 @@ impl<E: GistExtension> GistIndex<E> {
                 if w.nsn() > mem {
                     // Split between the latches: make sure the chain
                     // continuation is stacked exactly once.
-                    if stack.last() != Some(&(w.rightlink(), mem)) {
-                        stack.push((w.rightlink(), mem));
+                    if stack.last() != Some(&(w.rightlink(), mem, parent)) {
+                        stack.push((w.rightlink(), mem, parent));
                     }
                 }
                 let target = node::entry_cells(&w)
@@ -107,6 +112,18 @@ impl<E: GistExtension> GistIndex<E> {
                     let marked = LeafEntry::with_mark(&old_cell, true, txn);
                     w.update_cell(slot, &marked).expect("in-place mark");
                     w.mark_dirty(lsn);
+                    // Hand the leaf to the maintenance daemon: if (when)
+                    // this transaction commits, the mark becomes
+                    // garbage-collectable and the daemon reclaims the
+                    // slot (§7.1) without any foreground sweep.
+                    db.txns().note_gc_candidate(
+                        txn,
+                        gist_txn::GcCandidate {
+                            index: self.id(),
+                            leaf: pid,
+                            parent_hint: parent,
+                        },
+                    );
                     found = true;
                     drop(w);
                     self.signal_unlock(txn, pid);
@@ -119,7 +136,7 @@ impl<E: GistExtension> GistIndex<E> {
                     if self.ext().consistent_pred(&pred, &q) {
                         let child_mem = self.read_mem(Some(&g));
                         self.signal_lock(txn, e.child)?;
-                        stack.push((e.child, child_mem));
+                        stack.push((e.child, child_mem, Some(pid)));
                     }
                 }
                 drop(g);
@@ -128,7 +145,7 @@ impl<E: GistExtension> GistIndex<E> {
             self.signal_unlock(txn, pid);
         }
         // Unvisited stacked pointers: release their signaling locks.
-        for (pid, _) in stack {
+        for (pid, _, _) in stack {
             if !pid.is_invalid() {
                 self.signal_unlock(txn, pid);
             }
@@ -292,10 +309,26 @@ impl<E: GistExtension> GistIndex<E> {
         Ok(true)
     }
 
+    /// Hand a whole-index sweep to the maintenance daemon instead of
+    /// blocking the calling transaction on it. Returns whether the sweep
+    /// was newly enqueued (an identical pending sweep coalesces). The
+    /// daemon runs it as its own system transaction — either on a worker
+    /// thread ([`Db::start_maint`](crate::Db::start_maint)) or when the
+    /// caller drives [`Db::maint_sync`](crate::Db::maint_sync).
+    ///
+    /// Deterministic callers (tests, benchmarks, the shell's `vacuum`
+    /// command) that need the report immediately use [`Self::vacuum_sync`].
+    pub fn vacuum(self: &Arc<Self>) -> bool {
+        self.db().maint().enqueue(gist_maint::WorkItem::FullSweep { index: self.id() })
+    }
+
     /// Sweep the whole index: garbage-collect every leaf, shrink BPs,
     /// and retire empty nodes. Runs under the caller's transaction (the
     /// physical work is in atomic units, so it commits as it goes).
-    pub fn vacuum(self: &Arc<Self>, txn: TxnId) -> Result<VacuumReport> {
+    ///
+    /// This is the synchronous escape hatch behind [`Self::vacuum`];
+    /// the daemon's full-sweep work item calls it too.
+    pub fn vacuum_sync(&self, txn: TxnId) -> Result<VacuumReport> {
         let db = self.db().clone();
         let mut report = VacuumReport::default();
         loop {

@@ -47,14 +47,7 @@ impl<E: GistExtension> GistIndex<E> {
     /// Create a new index in `db`.
     pub fn create(db: Arc<Db>, name: &str, ext: E, opts: IndexOptions) -> Result<Arc<Self>> {
         let entry = db.create_index_raw(name, opts.unique)?;
-        Ok(Arc::new(GistIndex {
-            db,
-            ext,
-            id: entry.id,
-            catalog_slot: entry.slot,
-            unique: entry.unique,
-            name: entry.name,
-        }))
+        Ok(Self::finish_handle(db, ext, entry))
     }
 
     /// Open an existing index (e.g. after restart). The caller supplies
@@ -63,14 +56,23 @@ impl<E: GistExtension> GistIndex<E> {
         let entry = db
             .open_index_raw(name)
             .ok_or_else(|| GistError::Config(format!("no index named {name:?}")))?;
-        Ok(Arc::new(GistIndex {
+        Ok(Self::finish_handle(db, ext, entry))
+    }
+
+    /// Build the handle and make it reachable from the maintenance
+    /// daemon (weakly — dropping the handle retires its queued work).
+    fn finish_handle(db: Arc<Db>, ext: E, entry: crate::db::CatalogEntry) -> Arc<Self> {
+        let idx = Arc::new(GistIndex {
             db,
             ext,
             id: entry.id,
             catalog_slot: entry.slot,
             unique: entry.unique,
             name: entry.name,
-        }))
+        });
+        let weak: std::sync::Weak<dyn gist_maint::MaintIndex> = Arc::downgrade(&idx) as _;
+        idx.db.maint().register_index(weak);
+        idx
     }
 
     /// The owning database.

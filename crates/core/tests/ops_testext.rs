@@ -155,7 +155,7 @@ fn vacuum_retires_emptied_leaves_and_frees_pages() {
     }
     db.commit(txn).unwrap();
     let txn = db.begin();
-    let rep = idx.vacuum(txn).unwrap();
+    let rep = idx.vacuum_sync(txn).unwrap();
     db.commit(txn).unwrap();
     assert_eq!(rep.entries_removed, 6000);
     assert!(rep.nodes_deleted > 0);

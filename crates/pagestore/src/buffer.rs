@@ -43,6 +43,10 @@ struct Frame {
     latch: Arc<RwLock<FrameData>>,
     pins: AtomicUsize,
     dirty: AtomicBool,
+    /// recLSN: the first LSN that may have dirtied the page since it was
+    /// last written back (0 = clean, or dirtied by an unlogged change).
+    /// Reported by [`BufferPool::dirty_page_table`] to fuzzy checkpoints.
+    rec_lsn: AtomicU64,
     tick: AtomicU64,
 }
 
@@ -169,6 +173,7 @@ impl BufferPool {
             })),
             pins: AtomicUsize::new(1),
             dirty: AtomicBool::new(false),
+            rec_lsn: AtomicU64::new(0),
             tick: AtomicU64::new(self.tick()),
         });
         let mut g = frame.latch.write_arc();
@@ -277,6 +282,7 @@ impl BufferPool {
                 })),
                 pins: AtomicUsize::new(1),
                 dirty: AtomicBool::new(false),
+                rec_lsn: AtomicU64::new(0),
                 tick: AtomicU64::new(self.tick()),
             });
             let g = frame.latch.write_arc();
@@ -348,6 +354,7 @@ impl BufferPool {
             panic!("buffer pool write-back of {} failed: {e}", frame.id);
         }
         frame.dirty.store(false, Ordering::Relaxed);
+        frame.rec_lsn.store(0, Ordering::Relaxed);
         self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -383,6 +390,25 @@ impl BufferPool {
     /// Number of frames currently cached.
     pub fn cached_frames(&self) -> usize {
         self.frames.lock().len()
+    }
+
+    /// Snapshot `(page, recLSN)` for every dirty frame — the dirty-page
+    /// table of a fuzzy checkpoint. Purely atomic reads, no latches: an
+    /// entry may be stale-dirty (harmlessly conservative), and any page
+    /// dirtied after the caller captured its `scan_start` is re-observed
+    /// by the restart analysis scan, so missing it here is also safe.
+    /// Frames dirtied by unlogged changes report the log start.
+    pub fn dirty_page_table(&self) -> Vec<(u32, Lsn)> {
+        let snapshot: Vec<Arc<Frame>> = self.frames.lock().values().cloned().collect();
+        let mut out = Vec::new();
+        for f in snapshot {
+            if f.dirty.load(Ordering::Relaxed) {
+                let rl = f.rec_lsn.load(Ordering::Relaxed);
+                out.push((f.id.0, if rl == 0 { Lsn(1) } else { Lsn(rl) }));
+            }
+        }
+        out.sort_unstable();
+        out
     }
 }
 
@@ -435,6 +461,12 @@ impl PageWriteGuard {
     /// write-back).
     pub fn mark_dirty(&mut self, lsn: Lsn) {
         self.guard.page.set_page_lsn(lsn);
+        // First dirtying LSN since the page was last clean: the recLSN
+        // reported to fuzzy checkpoints. The X latch excludes racing
+        // mutators; a racing write-back cannot happen latch-free either.
+        if self.frame.rec_lsn.load(Ordering::Relaxed) == 0 {
+            self.frame.rec_lsn.store(lsn.0, Ordering::Relaxed);
+        }
         self.frame.dirty.store(true, Ordering::Relaxed);
     }
 

@@ -1,10 +1,33 @@
-//! Property tests: the slotted page against a trivial model.
-
-use proptest::prelude::*;
+//! Randomized (deterministic) tests: the slotted page against a trivial
+//! model. Rewritten from `proptest` to a seeded xorshift generator so
+//! the workspace has no external dev-deps.
 
 use gist_pagestore::{Page, PageId, PAGE_SIZE};
 
-#[derive(Debug, Clone)]
+struct Gen(u64);
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bytes(&mut self, max_len: u64) -> Vec<u8> {
+        let len = self.below(max_len) as usize;
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
+
 enum Op {
     Insert(Vec<u8>),
     Delete(usize),
@@ -12,53 +35,50 @@ enum Op {
     Compact,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => prop::collection::vec(any::<u8>(), 0..300).prop_map(Op::Insert),
-        2 => (0usize..64).prop_map(Op::Delete),
-        2 => ((0usize..64), prop::collection::vec(any::<u8>(), 0..300))
-            .prop_map(|(i, b)| Op::Update(i, b)),
-        1 => Just(Op::Compact),
-    ]
+fn op(g: &mut Gen) -> Op {
+    // Weighted 4:2:2:1 like the original strategy.
+    match g.below(9) {
+        0..=3 => Op::Insert(g.bytes(300)),
+        4 | 5 => Op::Delete(g.below(64) as usize),
+        6 | 7 => Op::Update(g.below(64) as usize, g.bytes(300)),
+        _ => Op::Compact,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Whatever sequence of operations runs, the page agrees with a
-    /// shadow `Vec<Option<Vec<u8>>>` keyed by slot id, and layout
-    /// invariants hold.
-    #[test]
-    fn page_matches_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+/// Whatever sequence of operations runs, the page agrees with a shadow
+/// `Vec<Option<Vec<u8>>>` keyed by slot id, and layout invariants hold.
+#[test]
+fn page_matches_model() {
+    let mut g = Gen::new(0x1234_5678_9ABC_DEF0);
+    for case in 0..256 {
+        let nops = 1 + g.below(79) as usize;
         let mut page = Page::zeroed();
         page.format(PageId(1), 0);
         // model[slot] = Some(cell bytes) | None (vacant)
         let mut model: Vec<Option<Vec<u8>>> = Vec::new();
 
-        for op in ops {
-            match op {
-                Op::Insert(bytes) => {
-                    match page.insert_cell(&bytes) {
-                        Ok(slot) => {
-                            let slot = slot as usize;
-                            if slot == model.len() {
-                                model.push(Some(bytes));
-                            } else {
-                                prop_assert!(model[slot].is_none(), "reused occupied slot");
-                                model[slot] = Some(bytes);
-                            }
-                        }
-                        Err(_) => {
-                            // Page full: the free-space accounting must
-                            // actually be insufficient.
-                            prop_assert!(page.free_for_insert() < bytes.len());
+        for step in 0..nops {
+            match op(&mut g) {
+                Op::Insert(bytes) => match page.insert_cell(&bytes) {
+                    Ok(slot) => {
+                        let slot = slot as usize;
+                        if slot == model.len() {
+                            model.push(Some(bytes));
+                        } else {
+                            assert!(model[slot].is_none(), "case {case}: reused occupied slot");
+                            model[slot] = Some(bytes);
                         }
                     }
-                }
+                    Err(_) => {
+                        // Page full: the free-space accounting must
+                        // actually be insufficient.
+                        assert!(page.free_for_insert() < bytes.len(), "case {case} step {step}");
+                    }
+                },
                 Op::Delete(i) => {
                     let existed = page.delete_cell(i as u16);
                     let model_had = model.get(i).map(|c| c.is_some()).unwrap_or(false);
-                    prop_assert_eq!(existed, model_had);
+                    assert_eq!(existed, model_had, "case {case} step {step}");
                     if model_had {
                         model[i] = None;
                         // Mirror the trailing-slot trim.
@@ -69,15 +89,20 @@ proptest! {
                 }
                 Op::Update(i, bytes) => {
                     let occupied = page.is_occupied(i as u16);
-                    prop_assert_eq!(occupied, model.get(i).map(|c| c.is_some()).unwrap_or(false));
+                    assert_eq!(
+                        occupied,
+                        model.get(i).map(|c| c.is_some()).unwrap_or(false),
+                        "case {case} step {step}"
+                    );
                     if occupied {
                         match page.update_cell(i as u16, &bytes) {
                             Ok(()) => model[i] = Some(bytes),
                             Err(_) => {
                                 // Failed update must leave the old value.
-                                prop_assert_eq!(
+                                assert_eq!(
                                     page.cell(i as u16).unwrap(),
-                                    model[i].as_deref().unwrap()
+                                    model[i].as_deref().unwrap(),
+                                    "case {case} step {step}"
                                 );
                             }
                         }
@@ -86,38 +111,42 @@ proptest! {
                 Op::Compact => page.compact(),
             }
             // Full agreement after every step.
-            prop_assert_eq!(page.slot_count() as usize, model.len());
+            assert_eq!(page.slot_count() as usize, model.len(), "case {case} step {step}");
             for (i, want) in model.iter().enumerate() {
-                prop_assert_eq!(page.cell(i as u16), want.as_deref(), "slot {}", i);
+                assert_eq!(page.cell(i as u16), want.as_deref(), "case {case} slot {i}");
             }
             // Free-space arithmetic is conservative and bounded.
             let live: usize = model.iter().flatten().map(|c| c.len()).sum();
-            prop_assert!(page.total_free() <= PAGE_SIZE);
-            prop_assert!(page.contiguous_free() <= page.total_free());
-            prop_assert!(live + page.total_free() <= PAGE_SIZE);
+            assert!(page.total_free() <= PAGE_SIZE);
+            assert!(page.contiguous_free() <= page.total_free());
+            assert!(live + page.total_free() <= PAGE_SIZE);
         }
     }
+}
 
-    /// Header fields survive arbitrary cell traffic.
-    #[test]
-    fn header_is_isolated_from_cells(
-        cells in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..200), 1..30),
-        nsn in any::<u64>(),
-        rl in any::<u32>(),
-    ) {
+/// Header fields survive arbitrary cell traffic.
+#[test]
+fn header_is_isolated_from_cells() {
+    let mut g = Gen::new(0x0F0F_F0F0_1111_2222);
+    for case in 0..128 {
+        let ncells = 1 + g.below(29) as usize;
+        let nsn = g.next();
+        let rl = g.next() as u32;
         let mut page = Page::zeroed();
         page.format(PageId(3), 2);
         page.set_nsn(nsn);
         page.set_rightlink(PageId(rl));
         page.set_available(true);
-        for c in &cells {
-            let _ = page.insert_cell(c);
+        for _ in 0..ncells {
+            let len = 1 + g.below(199) as usize;
+            let c: Vec<u8> = (0..len).map(|_| g.next() as u8).collect();
+            let _ = page.insert_cell(&c);
         }
         page.compact();
-        prop_assert_eq!(page.nsn(), nsn);
-        prop_assert_eq!(page.rightlink(), PageId(rl));
-        prop_assert_eq!(page.level(), 2);
-        prop_assert!(page.is_available());
-        prop_assert_eq!(page.page_id(), PageId(3));
+        assert_eq!(page.nsn(), nsn, "case {case}");
+        assert_eq!(page.rightlink(), PageId(rl), "case {case}");
+        assert_eq!(page.level(), 2, "case {case}");
+        assert!(page.is_available(), "case {case}");
+        assert_eq!(page.page_id(), PageId(3), "case {case}");
     }
 }

@@ -29,9 +29,36 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use gist_lockmgr::{LockError, LockManager, LockMode, LockName};
+use gist_pagestore::PageId;
 use gist_predlock::PredicateManager;
 use gist_wal::recovery::{rollback, RecoveryHandler, RollbackKind};
 use gist_wal::{LogManager, Lsn, NestedTopAction, RecordBody, TxnId};
+
+/// A leaf page that a transaction left delete-marked entries on —
+/// physical reclamation is deferred to the maintenance daemon, which
+/// receives these at commit through the registered [`GcSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GcCandidate {
+    /// Index the leaf belongs to.
+    pub index: u32,
+    /// The leaf holding delete-marked entries.
+    pub leaf: PageId,
+    /// The parent seen during the deleting descent, if any — a hint for
+    /// BP shrinking and drain-based node deletion, never trusted blindly.
+    pub parent_hint: Option<PageId>,
+}
+
+/// Receiver for garbage-collection candidates handed off at commit.
+///
+/// Implemented by the maintenance daemon. The transaction manager calls
+/// `committed` *after* the commit record is forced and all locks are
+/// released, so the sink may immediately attempt physical reclamation
+/// under the Commit_LSN fast path. Candidates of aborting transactions
+/// are dropped — their delete marks are undone by rollback.
+pub trait GcSink: Send + Sync {
+    /// `txn` committed having delete-marked entries on these leaves.
+    fn committed(&self, txn: TxnId, candidates: Vec<GcCandidate>);
+}
 
 /// State of a transaction in the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +86,9 @@ struct TxnInfo {
     /// Signaling locks pinned by savepoints (§10.2): never released
     /// before transaction end.
     pinned_nodes: HashSet<LockName>,
+    /// Leaves this transaction delete-marked entries on; handed to the
+    /// [`GcSink`] at commit, dropped at abort.
+    gc_candidates: Vec<GcCandidate>,
 }
 
 /// Errors from transaction operations.
@@ -100,6 +130,9 @@ pub struct TxnManager {
     preds: Arc<PredicateManager>,
     table: Mutex<HashMap<TxnId, TxnInfo>>,
     next_txn: Mutex<u64>,
+    /// Weak so the daemon (which holds an `Arc<TxnManager>` for
+    /// checkpointing) and the manager don't keep each other alive.
+    gc_sink: Mutex<Option<std::sync::Weak<dyn GcSink>>>,
 }
 
 impl TxnManager {
@@ -115,6 +148,26 @@ impl TxnManager {
             preds,
             table: Mutex::new(HashMap::new()),
             next_txn: Mutex::new(0),
+            gc_sink: Mutex::new(None),
+        }
+    }
+
+    /// Register the receiver for commit-time GC candidates (the
+    /// maintenance daemon). Replaces any previous sink.
+    pub fn set_gc_sink(&self, sink: std::sync::Weak<dyn GcSink>) {
+        *self.gc_sink.lock() = Some(sink);
+    }
+
+    /// Remember that `txn` delete-marked entries on a leaf, for deferred
+    /// physical reclamation after commit. Duplicates are cheap and
+    /// deduplicated here so long marking transactions don't flood the
+    /// daemon.
+    pub fn note_gc_candidate(&self, txn: TxnId, cand: GcCandidate) {
+        let mut table = self.table.lock();
+        if let Some(info) = table.get_mut(&txn) {
+            if !info.gc_candidates.iter().any(|c| c.index == cand.index && c.leaf == cand.leaf) {
+                info.gc_candidates.push(cand);
+            }
         }
     }
 
@@ -150,6 +203,7 @@ impl TxnManager {
                 savepoints: Vec::new(),
                 next_savepoint: 0,
                 pinned_nodes: HashSet::new(),
+                gc_candidates: Vec::new(),
             },
         );
         // §10.3: X lock on the own id, so others can block on this txn.
@@ -189,17 +243,25 @@ impl TxnManager {
     /// Commit: force the log, write the end record, release predicates
     /// and locks.
     pub fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
-        {
+        let gc = {
             let mut table = self.table.lock();
             let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
             let commit_lsn = self.log.append(txn, info.last_lsn, RecordBody::TxnCommit);
             self.log.flush(commit_lsn);
             let end_lsn = self.log.append(txn, commit_lsn, RecordBody::TxnEnd);
             self.log.flush(end_lsn);
-            table.remove(&txn);
-        }
+            table.remove(&txn).map(|i| i.gc_candidates).unwrap_or_default()
+        };
         self.preds.release_txn(txn);
         self.locks.release_all(txn);
+        // Hand GC work to the daemon only after every lock is gone, so
+        // reclamation can't deadlock against this transaction's remains.
+        if !gc.is_empty() {
+            let sink = self.gc_sink.lock().as_ref().and_then(|w| w.upgrade());
+            if let Some(sink) = sink {
+                sink.committed(txn, gc);
+            }
+        }
         Ok(())
     }
 
@@ -320,17 +382,38 @@ impl TxnManager {
         self.table.lock().get(&txn).map(|i| i.last_lsn)
     }
 
-    /// Write a fuzzy checkpoint record.
-    pub fn checkpoint(&self) -> Lsn {
+    /// Write a fuzzy checkpoint record with a caller-supplied dirty-page
+    /// table (§ ARIES). Capture discipline, enforced by the caller (the
+    /// maintenance daemon):
+    ///
+    /// 1. read `scan_start = log.last_lsn()` **first**;
+    /// 2. then capture `dirty_pages` from the buffer pool;
+    /// 3. then this method captures the transaction table and appends.
+    ///
+    /// Mutators append their log record and mark the frame dirty under
+    /// the same page latch, so any dirtying the DPT capture missed has an
+    /// LSN > `scan_start` and is re-observed by the analysis scan.
+    pub fn checkpoint_with(&self, scan_start: Lsn, dirty_pages: Vec<(u32, Lsn)>) -> Lsn {
         let active: Vec<(TxnId, Lsn)> =
             self.table.lock().iter().map(|(t, i)| (*t, i.last_lsn)).collect();
         let lsn = self.log.append(
             TxnId::NONE,
             Lsn::NULL,
-            RecordBody::Checkpoint { active_txns: active },
+            RecordBody::Checkpoint { scan_start, active_txns: active, dirty_pages },
         );
         self.log.flush(lsn);
         lsn
+    }
+
+    /// Write a fuzzy checkpoint record without dirty-page knowledge.
+    ///
+    /// `scan_start` is pinned to the log start: with an empty dirty-page
+    /// table, claiming anything later would let redo skip pages dirtied
+    /// before the checkpoint. Restart still benefits from the transaction
+    /// table; use [`TxnManager::checkpoint_with`] (via the maintenance
+    /// daemon) to actually bound the scans.
+    pub fn checkpoint(&self) -> Lsn {
+        self.checkpoint_with(Lsn(1), Vec::new())
     }
 
     /// Block until `owner` terminates ("blocking on a predicate",

@@ -273,7 +273,7 @@ fn checkpoint_lists_active_txns() {
     mgr.checkpoint();
     let cp = log.last_checkpoint().unwrap();
     match log.get(cp).body {
-        RecordBody::Checkpoint { active_txns } => {
+        RecordBody::Checkpoint { active_txns, .. } => {
             assert_eq!(active_txns.len(), 2);
             assert!(active_txns.iter().any(|(t, _)| *t == t1));
         }

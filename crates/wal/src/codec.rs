@@ -149,11 +149,17 @@ pub fn encode_record(rec: &LogRecord) -> Vec<u8> {
             out.push(TAG_NTA_END);
             put_u64(&mut out, undo_next.0);
         }
-        RecordBody::Checkpoint { active_txns } => {
+        RecordBody::Checkpoint { scan_start, active_txns, dirty_pages } => {
             out.push(TAG_CHECKPOINT);
+            put_u64(&mut out, scan_start.0);
             put_u32(&mut out, active_txns.len() as u32);
             for (t, l) in active_txns {
                 put_u64(&mut out, t.0);
+                put_u64(&mut out, l.0);
+            }
+            put_u32(&mut out, dirty_pages.len() as u32);
+            for (p, l) in dirty_pages {
+                put_u32(&mut out, *p);
                 put_u64(&mut out, l.0);
             }
         }
@@ -185,6 +191,7 @@ pub fn decode_record(buf: &[u8]) -> Result<LogRecord, CodecError> {
         }
         TAG_NTA_END => RecordBody::NtaEnd { undo_next: Lsn(r.u64()?) },
         TAG_CHECKPOINT => {
+            let scan_start = Lsn(r.u64()?);
             let n = r.u32()? as usize;
             let mut active_txns = Vec::with_capacity(n);
             for _ in 0..n {
@@ -192,7 +199,14 @@ pub fn decode_record(buf: &[u8]) -> Result<LogRecord, CodecError> {
                 let l = Lsn(r.u64()?);
                 active_txns.push((t, l));
             }
-            RecordBody::Checkpoint { active_txns }
+            let m = r.u32()? as usize;
+            let mut dirty_pages = Vec::with_capacity(m);
+            for _ in 0..m {
+                let p = r.u32()?;
+                let l = Lsn(r.u64()?);
+                dirty_pages.push((p, l));
+            }
+            RecordBody::Checkpoint { scan_start, active_txns, dirty_pages }
         }
         TAG_PAYLOAD => RecordBody::Payload(read_payload(&mut r)?),
         other => return Err(CodecError(format!("unknown record tag {other}"))),

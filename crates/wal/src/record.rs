@@ -54,10 +54,22 @@ pub enum RecordBody {
         /// The transaction's last LSN before the unit began.
         undo_next: Lsn,
     },
-    /// Fuzzy checkpoint.
+    /// Fuzzy checkpoint (§ ARIES-style): taken without quiescing the
+    /// system. Restart analysis seeds its transaction and dirty-page
+    /// tables from the latest checkpoint and scans forward from
+    /// `scan_start` instead of the log start.
     Checkpoint {
+        /// Last LSN appended before the checkpoint began capturing its
+        /// tables; analysis resumes its forward scan here. Any record
+        /// after `scan_start` is re-observed by the scan, so tables the
+        /// checkpoint captured slightly stale are repaired.
+        scan_start: Lsn,
         /// Active transactions and their last LSNs at checkpoint time.
         active_txns: Vec<(TxnId, Lsn)>,
+        /// Dirty-page table: `(page, recLSN)` — the first LSN that may
+        /// have dirtied each page since it was last written back. Redo
+        /// starts at the minimum recLSN.
+        dirty_pages: Vec<(u32, Lsn)>,
     },
     /// Resource-manager content record (redo/undo via handler).
     Payload(Payload),

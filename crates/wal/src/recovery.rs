@@ -134,26 +134,40 @@ pub enum TxnStatus {
 pub struct AnalysisResult {
     /// Transactions without a `TxnEnd` record, with their last LSN.
     pub txn_table: HashMap<TxnId, (Lsn, TxnStatus)>,
-    /// Pages referenced by payload records since the analysis start (a
-    /// conservative dirty-page table).
+    /// Dirty-page table: checkpoint-recorded entries merged with pages
+    /// referenced by payload records since the scan start, each with the
+    /// smallest LSN that may have dirtied it.
     pub dirty_pages: HashMap<u32, Lsn>,
-    /// Where the scan started (after the last checkpoint, or log start).
+    /// Where the forward scan started (the last checkpoint's
+    /// `scan_start`, or log start).
     pub start_lsn: Lsn,
 }
 
-/// Analysis pass: reconstruct the transaction table (and a conservative
-/// dirty-page table) from the durable log.
+/// Analysis pass: reconstruct the transaction table and dirty-page table
+/// from the durable log.
+///
+/// Seeds both tables from the most recent fuzzy checkpoint and scans
+/// forward from its `scan_start` — everything earlier is already
+/// reflected in the checkpointed tables (the checkpoint captured them
+/// *after* reading `scan_start` off the log tail, so any record the
+/// capture missed has an LSN > `scan_start` and is re-observed here).
 pub fn analysis(log: &LogManager) -> AnalysisResult {
     let mut res = AnalysisResult::default();
-    // Seed from the most recent checkpoint, then scan forward from it.
     let start = match log.last_checkpoint() {
         Some(cp_lsn) => {
-            if let RecordBody::Checkpoint { active_txns } = log.get(cp_lsn).body {
+            if let RecordBody::Checkpoint { scan_start, active_txns, dirty_pages } =
+                log.get(cp_lsn).body
+            {
                 for (t, l) in active_txns {
                     res.txn_table.insert(t, (l, TxnStatus::Active));
                 }
+                for (p, l) in dirty_pages {
+                    res.dirty_pages.insert(p, l);
+                }
+                scan_start.max(Lsn(1))
+            } else {
+                Lsn(1)
             }
-            cp_lsn
         }
         None => Lsn(1),
     };
@@ -187,7 +201,10 @@ pub fn analysis(log: &LogManager) -> AnalysisResult {
         };
         if let Some(p) = payload {
             for pg in &p.pages {
-                res.dirty_pages.entry(*pg).or_insert(rec.lsn);
+                res.dirty_pages
+                    .entry(*pg)
+                    .and_modify(|e| *e = (*e).min(rec.lsn))
+                    .or_insert(rec.lsn);
             }
         }
     }
@@ -208,6 +225,9 @@ pub struct RestartOutcome {
     pub redo_applied: usize,
     /// CLRs written by the undo pass.
     pub clrs_written: usize,
+    /// Where the redo pass started: the minimum recLSN over the merged
+    /// dirty-page table (log start when no checkpoint bounds it).
+    pub redo_start: Lsn,
 }
 
 /// Full ARIES-style restart: analysis, redo-all (with page-LSN
@@ -223,10 +243,20 @@ pub fn restart(
     let analysis_res = analysis(log);
     let mut outcome = RestartOutcome::default();
 
-    // Redo pass: repeat history from the log start. (A dirty-page-table
-    // driven redo point is an optimization only; redoing everything with
-    // the page-LSN check yields the same state.)
-    for rec in log.scan_from(Lsn(1)) {
+    // Redo pass: repeat history from the smallest recLSN in the merged
+    // dirty-page table. Any page missing from that table was written back
+    // clean before the crash, so its page LSN already covers every earlier
+    // record; the handler's page-LSN check keeps the pass idempotent
+    // either way.
+    let redo_start = analysis_res
+        .dirty_pages
+        .values()
+        .copied()
+        .min()
+        .unwrap_or(analysis_res.start_lsn)
+        .max(Lsn(1));
+    outcome.redo_start = redo_start;
+    for rec in log.scan_from(redo_start) {
         let payload = match &rec.body {
             RecordBody::Payload(p) => Some(p),
             RecordBody::Clr { redo, .. } => Some(redo),

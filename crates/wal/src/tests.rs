@@ -296,10 +296,14 @@ fn analysis_tracks_statuses_and_checkpoint() {
     let t3 = TxnId(3);
     let b1 = log.append(t1, Lsn::NULL, RecordBody::TxnBegin);
     let b2 = log.append(t2, Lsn::NULL, RecordBody::TxnBegin);
-    let cp = log.append(
+    let _cp = log.append(
         TxnId::NONE,
         Lsn::NULL,
-        RecordBody::Checkpoint { active_txns: vec![(t1, b1), (t2, b2)] },
+        RecordBody::Checkpoint {
+            scan_start: b2,
+            active_txns: vec![(t1, b1), (t2, b2)],
+            dirty_pages: vec![],
+        },
     );
     let b3 = log.append(t3, Lsn::NULL, RecordBody::TxnBegin);
     let u1 = rm.set(t1, b1, 0, 1);
@@ -310,7 +314,7 @@ fn analysis_tracks_statuses_and_checkpoint() {
     log.flush(e1);
 
     let res = analysis(&log);
-    assert_eq!(res.start_lsn, cp);
+    assert_eq!(res.start_lsn, b2, "scan resumes at the checkpoint's scan_start");
     assert!(!res.txn_table.contains_key(&t1), "ended txn dropped");
     assert_eq!(res.txn_table[&t2].1, TxnStatus::Aborting);
     assert_eq!(res.txn_table[&t3], (u3, TxnStatus::Active));
@@ -330,7 +334,11 @@ fn codec_roundtrips_all_record_kinds() {
             redo: Payload::new(vec![1, 2], vec![9, 8, 7]),
         },
         RecordBody::NtaEnd { undo_next: Lsn(5) },
-        RecordBody::Checkpoint { active_txns: vec![(TxnId(1), Lsn(2)), (TxnId(3), Lsn(4))] },
+        RecordBody::Checkpoint {
+            scan_start: Lsn(9),
+            active_txns: vec![(TxnId(1), Lsn(2)), (TxnId(3), Lsn(4))],
+            dirty_pages: vec![(11, Lsn(6)), (12, Lsn(7))],
+        },
         RecordBody::Payload(Payload::new(vec![], vec![])),
         RecordBody::Payload(Payload::new(vec![42], (0..255u8).collect())),
     ];

@@ -1,66 +1,120 @@
-//! Property tests for the log-record byte codec.
-
-use proptest::prelude::*;
+//! Randomized (but deterministic) tests for the log-record byte codec.
+//!
+//! Previously written against `proptest`; rewritten around a seeded
+//! xorshift generator so the workspace carries no external dev-deps and
+//! every CI run exercises the identical case set.
 
 use gist_wal::codec::{decode_record, encode_record};
 use gist_wal::{LogRecord, Lsn, Payload, RecordBody, TxnId};
 
-fn payload() -> impl Strategy<Value = Payload> {
-    (
-        prop::collection::vec(any::<u32>(), 0..5),
-        prop::collection::vec(any::<u8>(), 0..200),
-    )
-        .prop_map(|(pages, bytes)| Payload::new(pages, bytes))
-}
+/// Seeded xorshift64 generator.
+struct Gen(u64);
 
-fn body() -> impl Strategy<Value = RecordBody> {
-    prop_oneof![
-        Just(RecordBody::TxnBegin),
-        Just(RecordBody::TxnCommit),
-        Just(RecordBody::TxnAbort),
-        Just(RecordBody::TxnEnd),
-        any::<u32>().prop_map(|id| RecordBody::Savepoint { id }),
-        (any::<u64>(), payload())
-            .prop_map(|(u, redo)| RecordBody::Clr { undo_next: Lsn(u), redo }),
-        any::<u64>().prop_map(|u| RecordBody::NtaEnd { undo_next: Lsn(u) }),
-        prop::collection::vec((any::<u64>(), any::<u64>()), 0..6).prop_map(|v| {
-            RecordBody::Checkpoint {
-                active_txns: v.into_iter().map(|(t, l)| (TxnId(t), Lsn(l))).collect(),
-            }
-        }),
-        payload().prop_map(RecordBody::Payload),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn roundtrip(lsn in any::<u64>(), prev in any::<u64>(), txn in any::<u64>(), b in body()) {
-        let rec = LogRecord { lsn: Lsn(lsn), prev_lsn: Lsn(prev), txn: TxnId(txn), body: b };
-        let enc = encode_record(&rec);
-        let dec = decode_record(&enc).unwrap();
-        prop_assert_eq!(rec, dec);
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen(seed | 1)
     }
 
-    /// Truncation at any point is detected, never mis-decoded.
-    #[test]
-    fn truncation_always_fails(b in body(), cut_frac in 0.0f64..1.0) {
-        let rec = LogRecord { lsn: Lsn(1), prev_lsn: Lsn(0), txn: TxnId(1), body: b };
-        let enc = encode_record(&rec);
-        let cut = ((enc.len() as f64) * cut_frac) as usize;
-        if cut < enc.len() {
-            prop_assert!(decode_record(&enc[..cut]).is_err());
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn bytes(&mut self, max_len: u64) -> Vec<u8> {
+        let len = self.below(max_len) as usize;
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+
+    fn payload(&mut self) -> Payload {
+        let npages = self.below(5) as usize;
+        let pages: Vec<u32> = (0..npages).map(|_| self.next() as u32).collect();
+        let bytes = self.bytes(200);
+        Payload::new(pages, bytes)
+    }
+
+    fn body(&mut self) -> RecordBody {
+        match self.below(9) {
+            0 => RecordBody::TxnBegin,
+            1 => RecordBody::TxnCommit,
+            2 => RecordBody::TxnAbort,
+            3 => RecordBody::TxnEnd,
+            4 => RecordBody::Savepoint { id: self.next() as u32 },
+            5 => RecordBody::Clr { undo_next: Lsn(self.next()), redo: self.payload() },
+            6 => RecordBody::NtaEnd { undo_next: Lsn(self.next()) },
+            7 => {
+                let ntxn = self.below(6) as usize;
+                let active_txns =
+                    (0..ntxn).map(|_| (TxnId(self.next()), Lsn(self.next()))).collect();
+                let ndirty = self.below(6) as usize;
+                let dirty_pages =
+                    (0..ndirty).map(|_| (self.next() as u32, Lsn(self.next()))).collect();
+                RecordBody::Checkpoint {
+                    scan_start: Lsn(self.next()),
+                    active_txns,
+                    dirty_pages,
+                }
+            }
+            _ => RecordBody::Payload(self.payload()),
         }
     }
 
-    /// Appending junk after a record is rejected (records are framed by
-    /// the caller; trailing garbage means corruption).
-    #[test]
-    fn trailing_bytes_rejected(b in body(), junk in prop::collection::vec(any::<u8>(), 1..10)) {
-        let rec = LogRecord { lsn: Lsn(1), prev_lsn: Lsn(0), txn: TxnId(1), body: b };
+    fn record(&mut self) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(self.next()),
+            prev_lsn: Lsn(self.next()),
+            txn: TxnId(self.next()),
+            body: self.body(),
+        }
+    }
+}
+
+#[test]
+fn roundtrip() {
+    let mut g = Gen::new(0x9E37_79B9_7F4A_7C15);
+    for case in 0..512 {
+        let rec = g.record();
+        let enc = encode_record(&rec);
+        let dec = decode_record(&enc).unwrap_or_else(|e| panic!("case {case}: decode failed: {e:?}"));
+        assert_eq!(rec, dec, "case {case}");
+    }
+}
+
+/// Truncation at any point is detected, never mis-decoded.
+#[test]
+fn truncation_always_fails() {
+    let mut g = Gen::new(0xA5A5_A5A5_5A5A_5A5A);
+    for case in 0..64 {
+        let rec = LogRecord { lsn: Lsn(1), prev_lsn: Lsn(0), txn: TxnId(1), body: g.body() };
+        let enc = encode_record(&rec);
+        for cut in 0..enc.len() {
+            assert!(
+                decode_record(&enc[..cut]).is_err(),
+                "case {case}: truncation at {cut}/{} decoded",
+                enc.len()
+            );
+        }
+    }
+}
+
+/// Appending junk after a record is rejected (records are framed by the
+/// caller; trailing garbage means corruption).
+#[test]
+fn trailing_bytes_rejected() {
+    let mut g = Gen::new(0xFEED_FACE_CAFE_BEEF);
+    for case in 0..128 {
+        let rec = LogRecord { lsn: Lsn(1), prev_lsn: Lsn(0), txn: TxnId(1), body: g.body() };
         let mut enc = encode_record(&rec);
-        enc.extend_from_slice(&junk);
-        prop_assert!(decode_record(&enc).is_err());
+        let junk_len = 1 + g.below(9) as usize;
+        for _ in 0..junk_len {
+            enc.push(g.next() as u8);
+        }
+        assert!(decode_record(&enc).is_err(), "case {case}: trailing bytes accepted");
     }
 }

@@ -143,7 +143,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let txn = db.begin();
     bookings.insert(txn, &Span::new(18 * 60, 19 * 60), Rid::new(PageId(1_000_000), 99))?;
     // ... crash before commit:
-    drop(txn);
+    let _ = txn;
     println!("custom AM done — 3 conflicts found, isolation & recovery inherited");
     Ok(())
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification: release build, full workspace test suite, and the
+# maintenance-subsystem integration tests called out explicitly so a
+# filtered run can't silently skip them.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (workspace) =="
+cargo test -q
+
+echo "== cargo test --release --test maint =="
+cargo test --release --test maint
+
+echo "verify.sh: all green"

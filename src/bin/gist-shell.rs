@@ -268,7 +268,7 @@ impl Shell {
                 let name = parts.get(1).ok_or("usage: vacuum <index>")?;
                 let idx = self.index(name)?;
                 let (t, auto) = self.txn();
-                let rep = idx.vacuum(t)?;
+                let rep = idx.vacuum_sync(t)?;
                 self.finish_auto(t, auto)?;
                 println!("{rep:?}");
             }

@@ -24,6 +24,7 @@
 pub use gist_am as am;
 pub use gist_core as core;
 pub use gist_lockmgr as lockmgr;
+pub use gist_maint as maint;
 pub use gist_pagestore as pagestore;
 pub use gist_predlock as predlock;
 pub use gist_txn as txn;

@@ -108,7 +108,7 @@ fn delete_hides_key_and_gc_reclaims() {
     // The entry is physically present until garbage collection.
     assert_eq!(idx.stats().unwrap().marked_entries, 1);
     let txn = db.begin();
-    let report = idx.vacuum(txn).unwrap();
+    let report = idx.vacuum_sync(txn).unwrap();
     db.commit(txn).unwrap();
     assert_eq!(report.entries_removed, 1);
     assert_eq!(idx.stats().unwrap().marked_entries, 0);

@@ -227,7 +227,7 @@ fn garbage_collection_redo_survives() {
     }
     db.commit(txn).unwrap();
     let txn = db.begin();
-    let rep = idx.vacuum(txn).unwrap();
+    let rep = idx.vacuum_sync(txn).unwrap();
     db.commit(txn).unwrap();
     assert_eq!(rep.entries_removed, 100);
     db.crash();
@@ -255,7 +255,7 @@ fn free_page_redo_rebuilds_free_list() {
     }
     db.commit(txn).unwrap();
     let txn = db.begin();
-    let rep = idx.vacuum(txn).unwrap();
+    let rep = idx.vacuum_sync(txn).unwrap();
     db.commit(txn).unwrap();
     assert!(rep.nodes_deleted > 0, "some leaves retired: {rep:?}");
     let free_before = db.alloc().free_count();

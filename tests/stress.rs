@@ -100,7 +100,7 @@ fn sustained_mixed_workload_with_vacuum() {
             while !stop.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(100));
                 let txn = db.begin();
-                match idx.vacuum(txn) {
+                match idx.vacuum_sync(txn) {
                     Ok(_) => db.commit(txn).unwrap(),
                     Err(e) if e.is_retryable() => db.abort(txn).unwrap(),
                     Err(e) => panic!("{e}"),

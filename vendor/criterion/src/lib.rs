@@ -1,0 +1,294 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The workspace must build without network access, so the real
+//! `criterion` crate is replaced by this vendored shim that implements
+//! the surface the repo's benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::{iter, iter_batched,
+//! iter_custom}`, `BatchSize`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a warm-up pass and a fixed
+//! number of timed samples whose median/min/max are printed — because
+//! the repo's reproduction targets are *shapes* (who wins, by what
+//! factor), not absolute confidence intervals. Sample counts respect
+//! `sample_size`, and `CRITERION_QUICK=1` drops to one sample per bench
+//! so the suite can double as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted, not tuned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timer handle passed to bench closures.
+pub struct Bencher {
+    /// Total measured time of the last run.
+    elapsed: Duration,
+    /// Iterations the routine should run per sample.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Time `routine` with a fresh `setup` product per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine takes the input by
+    /// reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            total += t0.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// The routine performs its own timing over `iters` iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Soft cap on total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run_samples<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
+        let samples = if quick_mode() { 1 } else { self.sample_size };
+        // Warm-up: one untimed sample.
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 1 };
+        f(&mut b);
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+        let budget = Instant::now();
+        for _ in 0..samples {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 1 };
+            f(&mut b);
+            per_iter.push(b.elapsed);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{}/{id}: median {} (min {}, max {}, {} samples)",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            per_iter.len()
+        );
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_samples(&id, f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.to_string();
+        self.run_samples(&id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing already happened per bench).
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation (accepted, not reported).
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            measurement_time: Duration::from_secs(30),
+            _criterion: self,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Parse CLI args (no-op: every bench always runs).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Finalize (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,598 @@
+//! Offline drop-in subset of the `parking_lot` API, implemented over
+//! `std::sync` primitives.
+//!
+//! The workspace must build without network access, so the real
+//! `parking_lot` crate is replaced by this vendored shim providing the
+//! exact surface the repo uses:
+//!
+//! - [`Mutex`]/[`MutexGuard`] — infallible `lock()` (poison is ignored:
+//!   a panic while holding a latch is already fatal to the test run).
+//! - [`Condvar`] with `wait`, `wait_for` and `notify_all`/`notify_one`.
+//! - [`RwLock`] with plain (`read`/`write`) and Arc-owned
+//!   (`read_arc`/`write_arc`/`try_write_arc`) guards, plus write→read
+//!   downgrade. The Arc guards are what the buffer pool's frame latches
+//!   need: guards that own the lock and can be stored in structs.
+//! - [`lock_api`] re-exports of the Arc guard types and a [`RawRwLock`]
+//!   marker so `ArcRwLockWriteGuard<RawRwLock, T>` type aliases keep
+//!   compiling unchanged.
+//!
+//! The rwlock is writer-preferring (writers block new readers), matching
+//! parking_lot's fairness closely enough for latch semantics: a writer
+//! cannot be starved by a stream of readers, which the buffer-pool
+//! eviction and X-latch paths rely on for progress.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// Mutual exclusion over `T` with an infallible `lock()`.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// New mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(g) }
+    }
+
+    /// Acquire the mutex if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { inner: Some(p.into_inner()) })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Option so Condvar::wait can temporarily take the std guard.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Result of a timed wait.
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable working with [`MutexGuard`].
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present");
+        let g = match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Block until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        let timeout = deadline.saturating_duration_since(now);
+        self.wait_for(guard, timeout)
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock with Arc-owned guards
+// ---------------------------------------------------------------------
+
+/// Marker standing in for parking_lot's raw lock type parameter in the
+/// `lock_api` guard aliases.
+pub struct RawRwLock {
+    _private: (),
+}
+
+#[derive(Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+    /// Writers parked on the lock; new readers defer to them so writers
+    /// cannot starve.
+    waiting_writers: usize,
+}
+
+/// Reader/writer lock with Arc-owned guard support.
+pub struct RwLock<T: ?Sized> {
+    state: std::sync::Mutex<RwState>,
+    readers_cv: std::sync::Condvar,
+    writers_cv: std::sync::Condvar,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is mediated by the reader/writer protocol.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// New lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            state: std::sync::Mutex::new(RwState::default()),
+            readers_cv: std::sync::Condvar::new(),
+            writers_cv: std::sync::Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn state(&self) -> std::sync::MutexGuard<'_, RwState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn lock_shared(&self) {
+        let mut st = self.state();
+        while st.writer || st.waiting_writers > 0 {
+            st = match self.readers_cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        st.readers += 1;
+    }
+
+    fn lock_exclusive(&self) {
+        let mut st = self.state();
+        st.waiting_writers += 1;
+        while st.writer || st.readers > 0 {
+            st = match self.writers_cv.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        st.waiting_writers -= 1;
+        st.writer = true;
+    }
+
+    fn try_lock_exclusive(&self) -> bool {
+        let mut st = self.state();
+        if st.writer || st.readers > 0 {
+            return false;
+        }
+        st.writer = true;
+        true
+    }
+
+    fn try_lock_shared(&self) -> bool {
+        let mut st = self.state();
+        if st.writer || st.waiting_writers > 0 {
+            return false;
+        }
+        st.readers += 1;
+        true
+    }
+
+    fn unlock_shared(&self) {
+        let mut st = self.state();
+        st.readers -= 1;
+        if st.readers == 0 {
+            self.writers_cv.notify_one();
+        }
+    }
+
+    fn unlock_exclusive(&self) {
+        let mut st = self.state();
+        st.writer = false;
+        if st.waiting_writers > 0 {
+            self.writers_cv.notify_one();
+        } else {
+            self.readers_cv.notify_all();
+        }
+    }
+
+    /// Atomically turn an exclusive hold into a shared one.
+    fn downgrade_exclusive(&self) {
+        let mut st = self.state();
+        st.writer = false;
+        st.readers = 1;
+        // Other readers may join; parked writers wait for our read.
+        self.readers_cv.notify_all();
+    }
+
+    /// Shared borrow of the protected data.
+    ///
+    /// # Safety
+    /// Caller must hold a shared or exclusive lock.
+    unsafe fn data_ref(&self) -> &T {
+        &*self.data.get()
+    }
+
+    /// Exclusive borrow of the protected data.
+    ///
+    /// # Safety
+    /// Caller must hold the exclusive lock.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn data_mut(&self) -> &mut T {
+        &mut *self.data.get()
+    }
+
+    /// Acquire in shared mode.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquire in exclusive mode.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Shared mode if available right now.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        if self.try_lock_shared() {
+            Some(RwLockReadGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Exclusive mode if available right now.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        if self.try_lock_exclusive() {
+            Some(RwLockWriteGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Acquire in shared mode, returning a guard that owns the `Arc`.
+    pub fn read_arc(self: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T> {
+        self.lock_shared();
+        lock_api::ArcRwLockReadGuard { lock: self.clone(), _raw: std::marker::PhantomData }
+    }
+
+    /// Acquire in exclusive mode, returning a guard that owns the `Arc`.
+    pub fn write_arc(self: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T> {
+        self.lock_exclusive();
+        lock_api::ArcRwLockWriteGuard { lock: self.clone(), _raw: std::marker::PhantomData }
+    }
+
+    /// Arc-owned exclusive guard if available right now.
+    pub fn try_write_arc(self: &Arc<Self>) -> Option<lock_api::ArcRwLockWriteGuard<RawRwLock, T>> {
+        if self.try_lock_exclusive() {
+            Some(lock_api::ArcRwLockWriteGuard { lock: self.clone(), _raw: std::marker::PhantomData })
+        } else {
+            None
+        }
+    }
+
+    /// Arc-owned shared guard if available right now.
+    pub fn try_read_arc(self: &Arc<Self>) -> Option<lock_api::ArcRwLockReadGuard<RawRwLock, T>> {
+        if self.try_lock_shared() {
+            Some(lock_api::ArcRwLockReadGuard { lock: self.clone(), _raw: std::marker::PhantomData })
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// Shared guard borrowed from a [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: shared lock held for the guard's lifetime.
+        unsafe { self.lock.data_ref() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_shared();
+    }
+}
+
+/// Exclusive guard borrowed from a [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive lock held for the guard's lifetime.
+        unsafe { self.lock.data_ref() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive lock held for the guard's lifetime.
+        unsafe { self.lock.data_mut() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_exclusive();
+    }
+}
+
+/// Arc-owned guard types mirroring `parking_lot::lock_api`.
+pub mod lock_api {
+    use super::{RwLockRawAccess, RwLock};
+    use std::marker::PhantomData;
+    use std::sync::Arc;
+
+    /// Shared guard owning an `Arc` to its lock.
+    pub struct ArcRwLockReadGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized> std::ops::Deref for ArcRwLockReadGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: shared lock held for the guard's lifetime.
+            unsafe { self.lock.raw_data_ref() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw_unlock_shared();
+        }
+    }
+
+    /// Exclusive guard owning an `Arc` to its lock.
+    pub struct ArcRwLockWriteGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized> ArcRwLockWriteGuard<R, T> {
+        /// Atomically downgrade to a shared guard without releasing.
+        pub fn downgrade(this: Self) -> ArcRwLockReadGuard<R, T> {
+            let this = std::mem::ManuallyDrop::new(this);
+            // SAFETY: the Arc is read exactly once out of the ManuallyDrop
+            // and the Drop impl never runs.
+            let lock: Arc<RwLock<T>> = unsafe { std::ptr::read(&this.lock) };
+            lock.raw_downgrade();
+            ArcRwLockReadGuard { lock, _raw: PhantomData }
+        }
+    }
+
+    impl<R, T: ?Sized> std::ops::Deref for ArcRwLockWriteGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: exclusive lock held for the guard's lifetime.
+            unsafe { self.lock.raw_data_ref() }
+        }
+    }
+
+    impl<R, T: ?Sized> std::ops::DerefMut for ArcRwLockWriteGuard<R, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: exclusive lock held for the guard's lifetime.
+            unsafe { self.lock.raw_data_mut() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw_unlock_exclusive();
+        }
+    }
+}
+
+/// Crate-internal raw access used by the `lock_api` guards (they live in
+/// a submodule and cannot reach the private methods directly).
+trait RwLockRawAccess<T: ?Sized> {
+    unsafe fn raw_data_ref(&self) -> &T;
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn raw_data_mut(&self) -> &mut T;
+    fn raw_unlock_shared(&self);
+    fn raw_unlock_exclusive(&self);
+    fn raw_downgrade(&self);
+}
+
+impl<T: ?Sized> RwLockRawAccess<T> for RwLock<T> {
+    unsafe fn raw_data_ref(&self) -> &T {
+        self.data_ref()
+    }
+    unsafe fn raw_data_mut(&self) -> &mut T {
+        self.data_mut()
+    }
+    fn raw_unlock_shared(&self) {
+        self.unlock_shared();
+    }
+    fn raw_unlock_exclusive(&self) {
+        self.unlock_exclusive();
+    }
+    fn raw_downgrade(&self) {
+        self.downgrade_exclusive();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = Mutex::new(0);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 1);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = Arc::new(RwLock::new(5));
+        let r1 = l.read_arc();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 10);
+        assert!(l.try_write_arc().is_none());
+        drop((r1, r2));
+        let mut w = l.write_arc();
+        *w = 7;
+        let r = lock_api::ArcRwLockWriteGuard::downgrade(w);
+        assert_eq!(*r, 7);
+        assert!(l.try_write_arc().is_none(), "downgraded guard still holds shared");
+        drop(r);
+        assert!(l.try_write_arc().is_some());
+    }
+
+    #[test]
+    fn writers_are_not_starved() {
+        let l = Arc::new(RwLock::new(0u64));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let l = l.clone();
+            let stop = stop.clone();
+            readers.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _g = l.read();
+                }
+            }));
+        }
+        for _ in 0..50 {
+            let mut g = l.write();
+            *g += 1;
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*l.read(), 50);
+    }
+}
