@@ -39,7 +39,9 @@ fn put_i64(out: &mut Vec<u8>, v: i64) {
 }
 
 fn get_i64(b: &[u8], off: usize) -> i64 {
-    i64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+    let mut v = [0u8; 8];
+    v.copy_from_slice(&b[off..off + 8]);
+    i64::from_le_bytes(v)
 }
 
 impl GistExtension for BtreeExt {

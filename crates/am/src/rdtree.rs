@@ -24,6 +24,12 @@ pub enum RdQuery {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RdTreeExt;
 
+fn get_u64(b: &[u8], off: usize) -> u64 {
+    let mut v = [0u8; 8];
+    v.copy_from_slice(&b[off..off + 8]);
+    u64::from_le_bytes(v)
+}
+
 impl GistExtension for RdTreeExt {
     /// A set of element ids `0..64` as a bitmask.
     type Key = u64;
@@ -36,7 +42,7 @@ impl GistExtension for RdTreeExt {
     }
 
     fn decode_key(&self, bytes: &[u8]) -> u64 {
-        u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"))
+        get_u64(bytes, 0)
     }
 
     fn encode_pred(&self, pred: &u64, out: &mut Vec<u8>) {
@@ -44,7 +50,7 @@ impl GistExtension for RdTreeExt {
     }
 
     fn decode_pred(&self, bytes: &[u8]) -> u64 {
-        u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"))
+        get_u64(bytes, 0)
     }
 
     fn encode_query(&self, q: &RdQuery, out: &mut Vec<u8>) {
@@ -58,7 +64,7 @@ impl GistExtension for RdTreeExt {
     }
 
     fn decode_query(&self, bytes: &[u8]) -> RdQuery {
-        let v = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+        let v = get_u64(bytes, 1);
         match bytes[0] {
             0 => RdQuery::Overlaps(v),
             1 => RdQuery::Contains(v),
@@ -126,17 +132,17 @@ impl GistExtension for RdTreeExt {
         let mut left = vec![s1];
         let mut right = vec![s2];
         let (mut lu, mut ru) = (preds[s1], preds[s2]);
-        for i in 0..n {
+        for (i, &p) in preds.iter().enumerate() {
             if i == s1 || i == s2 {
                 continue;
             }
-            let dl = (lu | preds[i]).count_ones() - lu.count_ones();
-            let dr = (ru | preds[i]).count_ones() - ru.count_ones();
+            let dl = (lu | p).count_ones() - lu.count_ones();
+            let dr = (ru | p).count_ones() - ru.count_ones();
             if dl < dr || (dl == dr && left.len() <= right.len()) {
-                lu |= preds[i];
+                lu |= p;
                 left.push(i);
             } else {
-                ru |= preds[i];
+                ru |= p;
                 right.push(i);
             }
         }

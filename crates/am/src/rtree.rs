@@ -95,7 +95,9 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 }
 
 fn get_f64(b: &[u8], off: usize) -> f64 {
-    f64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+    let mut v = [0u8; 8];
+    v.copy_from_slice(&b[off..off + 8]);
+    f64::from_le_bytes(v)
 }
 
 fn encode_rect(r: &Rect, out: &mut Vec<u8>) {
@@ -218,34 +220,34 @@ impl GistExtension for RtreeExt {
         let mut right = vec![s2];
         let mut lbox = preds[s1];
         let mut rbox = preds[s2];
-        for i in 0..n {
+        for (i, p) in preds.iter().enumerate() {
             if i == s1 || i == s2 {
                 continue;
             }
             let remaining = n - left.len() - right.len() - 1;
             // Force-assign to keep minimum fill reachable.
             if left.len() + remaining < min_fill {
-                lbox = lbox.union(&preds[i]);
+                lbox = lbox.union(p);
                 left.push(i);
                 continue;
             }
             if right.len() + remaining < min_fill {
-                rbox = rbox.union(&preds[i]);
+                rbox = rbox.union(p);
                 right.push(i);
                 continue;
             }
-            let dl = lbox.union(&preds[i]).measure() - lbox.measure();
-            let dr = rbox.union(&preds[i]).measure() - rbox.measure();
+            let dl = lbox.union(p).measure() - lbox.measure();
+            let dr = rbox.union(p).measure() - rbox.measure();
             let go_left = match dl.partial_cmp(&dr) {
                 Some(std::cmp::Ordering::Less) => true,
                 Some(std::cmp::Ordering::Greater) => false,
                 _ => lbox.measure() <= rbox.measure(),
             };
             if go_left {
-                lbox = lbox.union(&preds[i]);
+                lbox = lbox.union(p);
                 left.push(i);
             } else {
-                rbox = rbox.union(&preds[i]);
+                rbox = rbox.union(p);
                 right.push(i);
             }
         }

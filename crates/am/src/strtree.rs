@@ -54,7 +54,9 @@ fn put_framed(out: &mut Vec<u8>, b: &[u8]) {
 }
 
 fn get_framed(b: &[u8], off: usize) -> (Vec<u8>, usize) {
-    let len = u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes")) as usize;
+    let mut len4 = [0u8; 4];
+    len4.copy_from_slice(&b[off..off + 4]);
+    let len = u32::from_le_bytes(len4) as usize;
     (b[off + 4..off + 4 + len].to_vec(), off + 4 + len)
 }
 

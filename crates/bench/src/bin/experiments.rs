@@ -19,7 +19,8 @@ fn main() {
         args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let want = |id: &str| selected.is_empty() || selected.contains(&id);
 
-    let experiments: Vec<(&str, &str, Box<dyn Fn() -> Vec<Row>>)> = vec![
+    type Experiment = (&'static str, &'static str, Box<dyn Fn() -> Vec<Row>>);
+    let experiments: Vec<Experiment> = vec![
         (
             "e1",
             "E1 — Figure 1/2: lost key without links vs. rightlink recovery",

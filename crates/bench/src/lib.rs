@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Experiment harness: workload generators and runners shared by the
 //! Criterion benches and the `experiments` binary.
 //!

@@ -1,0 +1,42 @@
+//! Hooks into the gist-audit dynamic discipline analyzer.
+//!
+//! With the `latch-audit` feature the hooks forward to `gist_audit`;
+//! without it they are inlined no-ops. The protocol code uses them to
+//! mark the *blessed* windows where the §5 disciplines are legitimately
+//! relaxed — the parent/child two-latch windows of split BP-installation
+//! and node deletion, and the split's bottom-up atomic unit.
+
+#[cfg(feature = "latch-audit")]
+pub(crate) use gist_audit::{enter_scope, enter_scope_rel, new_instance_id, nsn_drawn};
+
+#[cfg(not(feature = "latch-audit"))]
+mod noop {
+    /// No-op stand-in for `gist_audit::ScopeGuard`.
+    pub(crate) struct ScopeGuard;
+
+    #[inline(always)]
+    pub(crate) fn enter_scope(
+        _name: &'static str,
+        _allowance: usize,
+        _io_ok: bool,
+        _lock_wait_ok: bool,
+    ) -> ScopeGuard {
+        ScopeGuard
+    }
+
+    #[inline(always)]
+    pub(crate) fn enter_scope_rel(_name: &'static str, _extra: usize) -> ScopeGuard {
+        ScopeGuard
+    }
+
+    #[inline(always)]
+    pub(crate) fn new_instance_id() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn nsn_drawn(_counter: u64, _value: u64) {}
+}
+
+#[cfg(not(feature = "latch-audit"))]
+pub(crate) use noop::*;

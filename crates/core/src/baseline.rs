@@ -121,6 +121,10 @@ impl<E: GistExtension> SimpleTree<E> {
 
     /// SEARCH under the configured protocol.
     pub fn search(&self, query: &E::Query) -> Result<Vec<(E::Key, Rid)>> {
+        // Baseline protocols exist to *measure* what the §5 disciplines
+        // cost; latch coupling and whole-path latching deliberately break
+        // them, so the audit scope is fully permissive here.
+        let _scope = crate::audit::enter_scope("baseline-protocol", usize::MAX, true, true);
         match self.protocol {
             BaselineProtocol::TreeRwLock => {
                 let _g = self.tree_lock.read();
@@ -253,6 +257,8 @@ impl<E: GistExtension> SimpleTree<E> {
 
     /// INSERT under the configured protocol.
     pub fn insert(&self, key: &E::Key, rid: Rid) -> Result<()> {
+        // See `search`: baseline protocols are exempt by design.
+        let _scope = crate::audit::enter_scope("baseline-protocol", usize::MAX, true, true);
         match self.protocol {
             BaselineProtocol::TreeRwLock => {
                 let _g = self.tree_lock.write();
@@ -286,7 +292,9 @@ impl<E: GistExtension> SimpleTree<E> {
             }
             let mut path: Vec<PageWriteGuard> = vec![g];
             loop {
-                let cur = path.last().unwrap();
+                let Some(cur) = path.last() else {
+                    unreachable!("path starts at the root")
+                };
                 if cur.is_leaf() {
                     break;
                 }
@@ -302,7 +310,9 @@ impl<E: GistExtension> SimpleTree<E> {
             }
             // Insert at the leaf and expand BPs along the held path.
             let leaf_idx = path.len() - 1;
-            path[leaf_idx].insert_cell(&cell).expect("preemptive split guarantees room");
+            path[leaf_idx]
+                .insert_cell(&cell)
+                .unwrap_or_else(|e| unreachable!("preemptive split guarantees room: {e}"));
             path[leaf_idx].mark_dirty_unlogged();
             self.expand_bps(&mut path, key)?;
             return Ok(());
@@ -355,7 +365,8 @@ impl<E: GistExtension> SimpleTree<E> {
                 return Ok(());
             }
             let mut leaf = leaf;
-            leaf.insert_cell(&cell).expect("room checked");
+            leaf.insert_cell(&cell)
+                .unwrap_or_else(|e| unreachable!("room was checked: {e}"));
             leaf.mark_dirty_unlogged();
             // Expand BPs bottom-up by re-latching ancestors (walking
             // rightlinks if they split meanwhile).
@@ -393,7 +404,8 @@ impl<E: GistExtension> SimpleTree<E> {
                     }
                     pid = next;
                 };
-                let (slot, _) = node::find_child_entry(&g, child_pid).unwrap();
+                let (slot, _) = node::find_child_entry(&g, child_pid)
+                    .unwrap_or_else(|| unreachable!("child entry present: parent latched"));
                 let cellb = InternalEntry::new(child_pid, self.encode_pred(&child_bp)).encode();
                 if g.update_cell(slot, &cellb).is_err() {
                     continue 'restart;
@@ -452,13 +464,16 @@ impl<E: GistExtension> SimpleTree<E> {
         node::init_node(&mut new_g, &self.encode_pred(&right_bp));
         new_g.set_available(false);
         for (_, cell) in &moved {
-            new_g.insert_cell(cell).expect("fits on fresh page");
+            new_g
+                .insert_cell(cell)
+                .unwrap_or_else(|e| unreachable!("moved cells fit on a fresh page: {e}"));
         }
         for (slot, _) in &moved {
             child.delete_cell(*slot);
         }
         let left_bytes = self.encode_pred(&left_bp);
-        node::set_bp(&mut child, &left_bytes).expect("shrunk BP fits");
+        node::set_bp(&mut child, &left_bytes)
+            .unwrap_or_else(|e| unreachable!("shrunk BP fits: {e}"));
         // Link maintenance (kept in every protocol so trees stay
         // structurally comparable).
         new_g.set_nsn(child.nsn());
@@ -469,9 +484,13 @@ impl<E: GistExtension> SimpleTree<E> {
         new_g.mark_dirty_unlogged();
         // Parent entries.
         let upd = InternalEntry::new(child.page_id(), left_bytes).encode();
-        parent.update_cell(child_slot, &upd).expect("same-size update");
+        parent
+            .update_cell(child_slot, &upd)
+            .unwrap_or_else(|e| unreachable!("parent kept roomy by preemptive splits: {e}"));
         let add = InternalEntry::new(new_pid, self.encode_pred(&right_bp)).encode();
-        parent.insert_cell(&add).expect("parent kept roomy by preemptive splits");
+        parent
+            .insert_cell(&add)
+            .unwrap_or_else(|e| unreachable!("parent kept roomy by preemptive splits: {e}"));
         parent.mark_dirty_unlogged();
         Ok(())
     }
@@ -486,13 +505,16 @@ impl<E: GistExtension> SimpleTree<E> {
         node::init_node(&mut right, &self.encode_pred(&right_bp));
         right.set_available(false);
         for (_, cell) in &moved {
-            right.insert_cell(cell).expect("fits");
+            right
+                .insert_cell(cell)
+                .unwrap_or_else(|e| unreachable!("moved cells fit on a fresh page: {e}"));
         }
         for (slot, _) in &moved {
             root_g.delete_cell(*slot);
         }
         let left_bytes = self.encode_pred(&left_bp);
-        node::set_bp(&mut root_g, &left_bytes).expect("fits");
+        node::set_bp(&mut root_g, &left_bytes)
+            .unwrap_or_else(|e| unreachable!("shrunk BP fits: {e}"));
         right.set_nsn(root_g.nsn());
         right.set_rightlink(root_g.rightlink());
         root_g.set_nsn(self.nsn.fetch_add(1, Ordering::SeqCst) + 1);
@@ -507,12 +529,12 @@ impl<E: GistExtension> SimpleTree<E> {
         new_root.set_available(false);
         new_root
             .insert_cell(&InternalEntry::new(root_g.page_id(), left_bytes).encode())
-            .expect("fits");
+            .unwrap_or_else(|e| unreachable!("two entries fit on a fresh root: {e}"));
         new_root
             .insert_cell(
                 &InternalEntry::new(right_pid, self.encode_pred(&right_bp)).encode(),
             )
-            .expect("fits");
+            .unwrap_or_else(|e| unreachable!("two entries fit on a fresh root: {e}"));
         new_root.mark_dirty_unlogged();
         *self.root.lock() = new_root_pid;
         Ok(())
@@ -568,7 +590,7 @@ impl<E: GistExtension> SimpleTree<E> {
             if i > 0 {
                 let child_pid = path[i].page_id();
                 let (slot, _) = node::find_child_entry(&path[i - 1], child_pid)
-                    .expect("entry present: path latched");
+                    .unwrap_or_else(|| unreachable!("entry present: path latched"));
                 let cell = InternalEntry::new(child_pid, bytes).encode();
                 path[i - 1]
                     .update_cell(slot, &cell)

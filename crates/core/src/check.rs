@@ -4,8 +4,9 @@
 //! Checked invariants:
 //! 1. every node reachable from the root via entries or rightlinks is a
 //!    formatted, in-use index node at the expected level;
-//! 2. rightlink chains are acyclic and NSNs never exceed the tree-global
-//!    counter;
+//! 2. no node's rightlink points back at itself (the checkable slice of
+//!    chain acyclicity once drained pages may be reused) and NSNs never
+//!    exceed the tree-global counter;
 //! 3. every internal entry's predicate covers its child's own (slot 0)
 //!    BP — equality is not required because garbage collection may
 //!    shrink a child before its parent entry (§7.1);
@@ -48,6 +49,10 @@ impl CheckReport {
     }
 }
 
+/// Work-queue entry: `(page, expected (level, parent predicate), whether
+/// the page was reached through a parent entry)`.
+type CheckItem = (PageId, Option<(u16, Vec<u8>)>, bool);
+
 /// Run the structural checks over `index`. Takes no latches beyond one
 /// node at a time; call while the tree is quiescent for exact results.
 pub fn check_tree<E: GistExtension>(index: &GistIndex<E>) -> Result<CheckReport> {
@@ -61,7 +66,7 @@ pub fn check_tree<E: GistExtension>(index: &GistIndex<E>) -> Result<CheckReport>
     // Rightlinks may legitimately dangle into freed pages — the NSN guard
     // means no operation ever follows them — so availability is only a
     // violation when the page was reached through a parent entry.
-    let mut queue: Vec<(PageId, Option<(u16, Vec<u8>)>, bool)> = vec![(root, None, true)];
+    let mut queue: Vec<CheckItem> = vec![(root, None, true)];
     let mut visited: HashSet<PageId> = HashSet::new();
     let mut rid_owner: HashMap<Rid, PageId> = HashMap::new();
 
@@ -90,13 +95,12 @@ pub fn check_tree<E: GistExtension>(index: &GistIndex<E>) -> Result<CheckReport>
             let child_bp = index.decode_bp_opt(node::bp_bytes(&g));
             let parent_p = index.decode_bp_opt(parent_pred);
             match (parent_p, child_bp) {
-                (Some(pp), Some(cb)) => {
-                    if !ext.pred_covers(&pp, &cb) {
-                        report
-                            .violations
-                            .push(format!("{pid}: parent entry does not cover child BP"));
-                    }
+                (Some(pp), Some(cb)) if !ext.pred_covers(&pp, &cb) => {
+                    report
+                        .violations
+                        .push(format!("{pid}: parent entry does not cover child BP"));
                 }
+                (Some(_), Some(_)) => {}
                 (None, Some(_)) => report
                     .violations
                     .push(format!("{pid}: parent entry empty but child BP is not")),
@@ -112,6 +116,17 @@ pub fn check_tree<E: GistExtension>(index: &GistIndex<E>) -> Result<CheckReport>
             continue; // links converge; only validate content once
         }
         report.nodes += 1;
+        // Invariant 2 (acyclic part). General cycle detection over the
+        // rightlink graph is unsound here: a drained page's left sibling
+        // keeps a stale rightlink (legal — the NSN guard keeps traversals
+        // off it), and once the page is reused that stale edge is
+        // structurally indistinguishable from corruption. A self-link is
+        // the exception: no code path ever stores a page's own id in its
+        // rightlink, so it is always corruption — and it is the failure
+        // mode a torn or misdirected header write actually produces.
+        if g.rightlink() == pid {
+            report.violations.push(format!("rightlink cycle through {pid} (self-link)"));
+        }
         queue.push((g.rightlink(), None, false));
 
         let own_bp = index.decode_bp_opt(node::bp_bytes(&g));

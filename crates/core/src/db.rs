@@ -130,11 +130,17 @@ fn encode_catalog_cell(id: u32, root: PageId, unique: bool, name: &str) -> Vec<u
     out
 }
 
+fn le_u32(b: &[u8]) -> u32 {
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(v)
+}
+
 fn decode_catalog_cell(slot: SlotId, cell: &[u8]) -> CatalogEntry {
     assert!(cell.len() >= 9, "catalog cell too short");
     CatalogEntry {
-        id: u32::from_le_bytes(cell[0..4].try_into().unwrap()),
-        root: PageId(u32::from_le_bytes(cell[4..8].try_into().unwrap())),
+        id: le_u32(&cell[0..4]),
+        root: PageId(le_u32(&cell[4..8])),
         unique: cell[8] != 0,
         name: String::from_utf8_lossy(&cell[9..]).into_owned(),
         slot,
@@ -171,6 +177,9 @@ pub struct Db {
     /// Tree-global counter for [`NsnSource::DedicatedCounter`]; mirrors
     /// the max observed NSN in [`NsnSource::WalLsn`] mode.
     nsn_counter: AtomicU64,
+    /// gist-audit instance id for NSN-uniqueness tracking (0 when
+    /// auditing is off).
+    audit_nsn: u64,
     catalog: Mutex<Vec<CatalogEntry>>,
     /// Former roots (demoted by root splits in this incarnation). Node
     /// deletion skips them: an operation reads the catalog root pointer
@@ -235,6 +244,7 @@ impl Db {
             maint,
             config,
             nsn_counter: AtomicU64::new(0),
+            audit_nsn: crate::audit::new_instance_id(),
             catalog: Mutex::new(Vec::new()),
             retired_roots: Mutex::new(HashSet::new()),
         }))
@@ -420,10 +430,14 @@ impl Db {
     /// is the split record's LSN; in `DedicatedCounter` mode the counter
     /// is incremented.
     pub fn split_nsn(&self, split_record_lsn: Lsn) -> u64 {
-        match self.config.nsn_source {
+        let nsn = match self.config.nsn_source {
             NsnSource::DedicatedCounter => self.nsn_counter.fetch_add(1, Ordering::SeqCst) + 1,
             NsnSource::WalLsn => split_record_lsn.0,
-        }
+        };
+        // Every NSN handed to a split must be unique for this tree: a
+        // reissued value would defeat the memorized-counter split check.
+        crate::audit::nsn_drawn(self.audit_nsn, nsn);
+        nsn
     }
 
     // ---- catalog ----
@@ -698,7 +712,8 @@ impl RecoveryHandler for Db {
                         }
                         .to_payload(),
                     );
-                    g.update_cell(slot, &old_cell).expect("in-place unmark");
+                    g.update_cell(slot, &old_cell)
+                        .unwrap_or_else(|e| unreachable!("unmark is same-size: {e}"));
                     g.mark_dirty(clr);
                 })
             }
@@ -728,9 +743,11 @@ impl RecoveryHandler for Db {
                         .fetch_write(PageId(orig))
                         .map_err(|e| RecoveryError(e.to_string()))?;
                     for (slot, cell) in &moved {
-                        g.insert_cell_at(*slot, cell).expect("restored cells fit");
+                        g.insert_cell_at(*slot, cell)
+                            .map_err(|e| RecoveryError(format!("undo split: {e}")))?;
                     }
-                    crate::node::set_bp(&mut g, &orig_bp_old).expect("restored BP fits");
+                    crate::node::set_bp(&mut g, &orig_bp_old)
+                        .map_err(|e| RecoveryError(format!("undo split BP: {e}")))?;
                     g.set_nsn(orig_nsn_old);
                     g.set_rightlink(PageId(orig_rightlink_old));
                     g.mark_dirty(clr);
@@ -770,7 +787,8 @@ impl RecoveryHandler for Db {
                     .pool
                     .fetch_write(PageId(page))
                     .map_err(|e| RecoveryError(e.to_string()))?;
-                g.update_cell(slot, &old_cell).expect("undo update fits");
+                g.update_cell(slot, &old_cell)
+                    .map_err(|e| RecoveryError(format!("undo entry update: {e}")))?;
                 g.mark_dirty(clr);
                 Ok(())
             }
@@ -782,7 +800,8 @@ impl RecoveryHandler for Db {
                     .pool
                     .fetch_write(PageId(page))
                     .map_err(|e| RecoveryError(e.to_string()))?;
-                g.insert_cell_at(slot, &cell).expect("undo insert fits");
+                g.insert_cell_at(slot, &cell)
+                    .map_err(|e| RecoveryError(format!("undo entry delete: {e}")))?;
                 g.mark_dirty(clr);
                 Ok(())
             }

@@ -16,6 +16,26 @@ use gist_wal::TxnId;
 const LEAF_HEADER: usize = 1 + 8 + 4 + 2;
 const FLAG_DELETED: u8 = 1 << 0;
 
+// Little-endian field reads; the length asserts in the callers make the
+// sub-slice indexing infallible.
+fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+fn le_u16(b: &[u8]) -> u16 {
+    let mut a = [0u8; 2];
+    a.copy_from_slice(&b[..2]);
+    u16::from_le_bytes(a)
+}
+
 /// Decoded leaf entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LeafEntry {
@@ -55,9 +75,9 @@ impl LeafEntry {
     pub fn decode(cell: &[u8]) -> Self {
         assert!(cell.len() >= LEAF_HEADER, "leaf cell too short: {}", cell.len());
         let flags = cell[0];
-        let deleter = TxnId(u64::from_le_bytes(cell[1..9].try_into().unwrap()));
-        let page = PageId(u32::from_le_bytes(cell[9..13].try_into().unwrap()));
-        let slot = u16::from_le_bytes(cell[13..15].try_into().unwrap());
+        let deleter = TxnId(le_u64(&cell[1..9]));
+        let page = PageId(le_u32(&cell[9..13]));
+        let slot = le_u16(&cell[13..15]);
         LeafEntry {
             key_bytes: cell[LEAF_HEADER..].to_vec(),
             rid: Rid::new(page, slot),
@@ -70,15 +90,15 @@ impl LeafEntry {
     /// entries by RID).
     pub fn decode_rid(cell: &[u8]) -> Rid {
         assert!(cell.len() >= LEAF_HEADER);
-        let page = PageId(u32::from_le_bytes(cell[9..13].try_into().unwrap()));
-        let slot = u16::from_le_bytes(cell[13..15].try_into().unwrap());
+        let page = PageId(le_u32(&cell[9..13]));
+        let slot = le_u16(&cell[13..15]);
         Rid::new(page, slot)
     }
 
     /// Read just the delete mark and deleter.
     pub fn decode_mark(cell: &[u8]) -> (bool, TxnId) {
         assert!(cell.len() >= LEAF_HEADER);
-        (cell[0] & FLAG_DELETED != 0, TxnId(u64::from_le_bytes(cell[1..9].try_into().unwrap())))
+        (cell[0] & FLAG_DELETED != 0, TxnId(le_u64(&cell[1..9])))
     }
 
     /// Produce the cell with the delete mark set/cleared in place (the
@@ -121,7 +141,7 @@ impl InternalEntry {
     pub fn decode(cell: &[u8]) -> Self {
         assert!(cell.len() >= 4, "internal cell too short");
         InternalEntry {
-            child: PageId(u32::from_le_bytes(cell[0..4].try_into().unwrap())),
+            child: PageId(le_u32(&cell[0..4])),
             pred_bytes: cell[4..].to_vec(),
         }
     }
@@ -129,7 +149,7 @@ impl InternalEntry {
     /// Read just the child pointer.
     pub fn decode_child(cell: &[u8]) -> PageId {
         assert!(cell.len() >= 4);
-        PageId(u32::from_le_bytes(cell[0..4].try_into().unwrap()))
+        PageId(le_u32(&cell[0..4]))
     }
 }
 

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # gist-core — Generalized Search Trees with concurrency and recovery
 //!
@@ -27,6 +28,7 @@
 //! Entry points: build a [`Db`], create a [`GistIndex`] with your
 //! extension (or one from `gist-am`), then run transactions.
 
+pub(crate) mod audit;
 pub mod baseline;
 pub mod check;
 mod db;

@@ -262,6 +262,20 @@ fn read_slot_cells(r: &mut Reader<'_>) -> Result<Vec<SlotCell>, CodecError> {
     Ok(cells)
 }
 
+/// Map a page-capacity failure during redo to an I/O error: redo replays
+/// exactly what was once applied, so a non-fitting cell means the page
+/// image diverged from the log — surfaced, not papered over.
+fn redo_fit<T>(r: Result<T, gist_pagestore::PageFull>, what: &str) -> std::io::Result<T> {
+    r.map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("redo {what}: {e}"))
+    })
+}
+
+/// Same, for a cell that must be present on the page being replayed.
+fn redo_present<T>(v: Option<T>, what: &str) -> std::io::Result<T> {
+    v.ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("redo: {what}")))
+}
+
 impl GistRecord {
     /// Pages this record touches (for the WAL envelope's analysis list).
     pub fn pages(&self) -> Vec<u32> {
@@ -531,7 +545,7 @@ impl GistRecord {
                 {
                     let mut g = pool.fetch_write(PageId(*child))?;
                     if g.page_lsn() < lsn {
-                        node::set_bp(&mut g, new_bp).expect("BP update must fit");
+                        redo_fit(node::set_bp(&mut g, new_bp), "BP update")?;
                         g.mark_dirty(lsn);
                         applied = true;
                     }
@@ -539,11 +553,13 @@ impl GistRecord {
                 if *parent != u32::MAX {
                     let mut g = pool.fetch_write(PageId(*parent))?;
                     if g.page_lsn() < lsn {
-                        let cell = g.cell(*parent_slot).expect("parent entry vanished").to_vec();
+                        let cell =
+                            redo_present(g.cell(*parent_slot), "parent entry vanished")?
+                                .to_vec();
                         let child_id = crate::entry::InternalEntry::decode_child(&cell);
                         let new_cell =
                             crate::entry::InternalEntry::new(child_id, new_bp.clone()).encode();
-                        g.update_cell(*parent_slot, &new_cell).expect("entry update must fit");
+                        redo_fit(g.update_cell(*parent_slot, &new_cell), "parent entry update")?;
                         g.mark_dirty(lsn);
                         applied = true;
                     }
@@ -568,7 +584,7 @@ impl GistRecord {
                         for (slot, _) in moved {
                             g.delete_cell(*slot);
                         }
-                        node::set_bp(&mut g, orig_bp_new).expect("shrunk BP fits");
+                        redo_fit(node::set_bp(&mut g, orig_bp_new), "shrunk BP")?;
                         g.set_nsn(nsn_new);
                         g.set_rightlink(PageId(*new));
                         g.mark_dirty(lsn);
@@ -581,7 +597,7 @@ impl GistRecord {
                         g.format(PageId(*new), *level);
                         node::init_node(&mut g, new_bp);
                         for (_, cell) in moved {
-                            g.insert_cell(cell).expect("moved cells fit on a fresh page");
+                            redo_fit(g.insert_cell(cell), "moved cell")?;
                         }
                         g.set_nsn(*orig_nsn_old);
                         g.set_rightlink(PageId(*orig_rightlink_old));
@@ -596,7 +612,7 @@ impl GistRecord {
                     for (slot, _) in removed {
                         g.delete_cell(*slot);
                     }
-                    node::set_bp(&mut g, new_bp).expect("shrunk BP fits");
+                    redo_fit(node::set_bp(&mut g, new_bp), "shrunk BP")?;
                     g.mark_dirty(lsn);
                     applied = true;
                 }
@@ -604,7 +620,7 @@ impl GistRecord {
             GistRecord::InternalEntryAdd { page, slot, cell } => {
                 let mut g = pool.fetch_write(PageId(*page))?;
                 if g.page_lsn() < lsn {
-                    g.insert_cell_at(*slot, cell).expect("redo insert must fit");
+                    redo_fit(g.insert_cell_at(*slot, cell), "entry insert")?;
                     g.mark_dirty(lsn);
                     applied = true;
                 }
@@ -612,7 +628,7 @@ impl GistRecord {
             GistRecord::InternalEntryUpdate { page, slot, new_cell, .. } => {
                 let mut g = pool.fetch_write(PageId(*page))?;
                 if g.page_lsn() < lsn {
-                    g.update_cell(*slot, new_cell).expect("redo update must fit");
+                    redo_fit(g.update_cell(*slot, new_cell), "entry update")?;
                     g.mark_dirty(lsn);
                     applied = true;
                 }
@@ -628,7 +644,7 @@ impl GistRecord {
             GistRecord::AddLeafEntry { page, slot, cell, .. } => {
                 let mut g = pool.fetch_write(PageId(*page))?;
                 if g.page_lsn() < lsn {
-                    g.insert_cell_at(*slot, cell).expect("redo insert must fit");
+                    redo_fit(g.insert_cell_at(*slot, cell), "entry insert")?;
                     g.mark_dirty(lsn);
                     applied = true;
                 }
@@ -641,7 +657,7 @@ impl GistRecord {
                         true,
                         gist_wal::TxnId(*deleter),
                     );
-                    g.update_cell(*slot, &marked).expect("in-place mark");
+                    redo_fit(g.update_cell(*slot, &marked), "in-place mark")?;
                     g.mark_dirty(lsn);
                     applied = true;
                 }
@@ -667,7 +683,7 @@ impl GistRecord {
             GistRecord::CatalogAdd { slot, cell } => {
                 let mut g = pool.fetch_write(PageId(0))?;
                 if g.page_lsn() < lsn {
-                    g.insert_cell_at(*slot, cell).expect("catalog cell fits");
+                    redo_fit(g.insert_cell_at(*slot, cell), "catalog cell")?;
                     g.mark_dirty(lsn);
                     applied = true;
                 }
@@ -691,7 +707,7 @@ impl GistRecord {
             GistRecord::UnmarkLeafEntry { page, slot, cell } => {
                 let mut g = pool.fetch_write(PageId(*page))?;
                 if g.page_lsn() < lsn {
-                    g.update_cell(*slot, cell).expect("in-place unmark");
+                    redo_fit(g.update_cell(*slot, cell), "in-place unmark")?;
                     g.mark_dirty(lsn);
                     applied = true;
                 }
@@ -701,9 +717,9 @@ impl GistRecord {
                     let mut g = pool.fetch_write(PageId(*orig))?;
                     if g.page_lsn() < lsn {
                         for (slot, cell) in restored {
-                            g.insert_cell_at(*slot, cell).expect("restored cells fit");
+                            redo_fit(g.insert_cell_at(*slot, cell), "restored cell")?;
                         }
-                        node::set_bp(&mut g, orig_bp).expect("restored BP fits");
+                        redo_fit(node::set_bp(&mut g, orig_bp), "restored BP")?;
                         g.set_nsn(*orig_nsn);
                         g.set_rightlink(PageId(*orig_rightlink));
                         g.mark_dirty(lsn);

@@ -29,12 +29,41 @@ fn classify(e: GistError) -> MaintError {
 }
 
 impl<E: GistExtension> GistIndex<E> {
+    /// In `latch-audit` builds, run the §5/§7 structural checker after a
+    /// maintenance mutation — but only when the tree is quiescent (the
+    /// checker's sweep is only exact without concurrent foreground
+    /// transactions) and report any violation as a fatal maint error.
+    #[cfg(feature = "latch-audit")]
+    fn audit_check_structure(&self, what: &str) -> Result<(), MaintError> {
+        if self.db().txns().active_count() != 0 {
+            return Ok(()); // non-quiescent: a sweep would race descents
+        }
+        let report = crate::check::check_tree(self)
+            .map_err(|e| MaintError::Fatal(format!("post-{what} check failed: {e}")))?;
+        if !report.ok() {
+            return Err(MaintError::Fatal(format!(
+                "post-{what} structural violations: {:?}",
+                report.violations
+            )));
+        }
+        Ok(())
+    }
+
+    #[cfg(not(feature = "latch-audit"))]
+    #[inline(always)]
+    fn audit_check_structure(&self, _what: &str) -> Result<(), MaintError> {
+        Ok(())
+    }
+
     /// A usable parent hint, or `None` if the hinted page no longer
     /// looks like an internal node (freed, reused as a leaf). GC then
     /// simply skips the BP-shrink propagation — parent BPs stay
     /// conservative upper bounds, which is always correct.
     fn validate_parent_hint(&self, hint: Option<PageId>) -> Option<StackEntry> {
         let p = hint?;
+        // Blessed parent/child window: GC holds the try-latched leaf
+        // while peeking (S) at its hinted parent one level up.
+        let _scope = crate::audit::enter_scope_rel("parent-child:hint-check", 1);
         let g = self.db().pool().fetch_read(p).ok()?;
         if g.is_available() || g.is_leaf() {
             return None;
@@ -74,7 +103,10 @@ impl<E: GistExtension> MaintIndex for GistIndex<E> {
             Ok(GcOutcome { reclaimed, leaf_empty })
         })();
         match &result {
-            Ok(_) => db.commit(txn).map_err(|e| MaintError::Fatal(e.to_string()))?,
+            Ok(_) => {
+                db.commit(txn).map_err(|e| MaintError::Fatal(e.to_string()))?;
+                self.audit_check_structure("gc")?;
+            }
             Err(_) => {
                 let _ = db.abort(txn);
             }
@@ -109,6 +141,7 @@ impl<E: GistExtension> MaintIndex for GistIndex<E> {
             Ok(deleted) => {
                 db.commit(txn).map_err(fatal)?;
                 if deleted {
+                    self.audit_check_structure("drain")?;
                     Ok(DrainOutcome::Deleted)
                 } else {
                     // Drain semantics (§7.2): a pointer holder still has
@@ -130,6 +163,7 @@ impl<E: GistExtension> MaintIndex for GistIndex<E> {
         match self.vacuum_sync(txn) {
             Ok(rep) => {
                 db.commit(txn).map_err(|e| MaintError::Fatal(e.to_string()))?;
+                self.audit_check_structure("sweep")?;
                 Ok(SweepOutcome {
                     entries_removed: rep.entries_removed,
                     nodes_deleted: rep.nodes_deleted,

@@ -15,13 +15,16 @@ pub const BP_SLOT: SlotId = 0;
 /// Initialize a freshly formatted page as an index node with the given
 /// encoded BP.
 pub fn init_node(page: &mut Page, bp_bytes: &[u8]) {
-    let slot = page.insert_cell(bp_bytes).expect("BP fits on an empty page");
+    let slot = page
+        .insert_cell(bp_bytes)
+        .unwrap_or_else(|e| panic!("BP must fit on an empty page: {e}"));
     assert_eq!(slot, BP_SLOT, "BP must land in slot 0 of a fresh node");
 }
 
 /// The node's encoded BP.
 pub fn bp_bytes(page: &Page) -> &[u8] {
-    page.cell(BP_SLOT).expect("index node has no BP in slot 0")
+    page.cell(BP_SLOT)
+        .unwrap_or_else(|| panic!("index node {} has no BP in slot 0", page.page_id()))
 }
 
 /// Replace the node's BP.

@@ -114,6 +114,9 @@ impl<E: GistExtension> Cursor<E> {
 
     /// Next qualifying `(key, RID)` pair, or `None` when the search range
     /// is exhausted.
+    // Named like a database cursor, not an Iterator: fetching can fail,
+    // so the signature is Result<Option<..>> and the trait does not fit.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<(E::Key, Rid)>> {
         loop {
             if let Some(hit) = self.pending.pop_front() {
@@ -149,8 +152,11 @@ impl<E: GistExtension> Cursor<E> {
         // conflicting insert predicates *ahead of us* (FIFO fairness,
         // §10.3) force a latch-free wait and a re-visit.
         if self.hybrid_degree3() && !self.attached.contains(&pid) {
+            let Some(pred) = self.pred else {
+                unreachable!("degree3 cursor always carries a predicate")
+            };
             let owners = db.preds().attach_scan_and_check(
-                self.pred.expect("degree3 cursor has a predicate"),
+                pred,
                 index.node_key(pid),
                 &index.conflict_fn(),
             );

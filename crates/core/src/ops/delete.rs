@@ -110,7 +110,8 @@ impl<E: GistExtension> GistIndex<E> {
                     };
                     let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
                     let marked = LeafEntry::with_mark(&old_cell, true, txn);
-                    w.update_cell(slot, &marked).expect("in-place mark");
+                    w.update_cell(slot, &marked)
+                        .unwrap_or_else(|e| unreachable!("mark is same-size: {e}"));
                     w.mark_dirty(lsn);
                     // Hand the leaf to the maintenance daemon: if (when)
                     // this transaction commits, the mark becomes
@@ -246,6 +247,10 @@ impl<E: GistExtension> GistIndex<E> {
         if db.is_protected_root(child) {
             return Ok(false);
         }
+        // Blessed two-latch window (§5/§7.2): parent X-latched, then the
+        // empty child latch is *tried* (never blocked on — see the
+        // latch-order note above), so no deadlock-relevant edge exists.
+        let _scope = crate::audit::enter_scope_rel("parent-child:node-delete", 2);
         // Find and X-latch the parent holding the child's entry.
         let mut pid = parent_hint;
         let (mut parent_g, slot) = loop {
@@ -279,7 +284,10 @@ impl<E: GistExtension> GistIndex<E> {
         if !db.locks().try_lock(txn, name, LockMode::X) {
             return Ok(false); // drain: someone still holds a pointer
         }
-        let entry_cell = parent_g.cell(slot).expect("entry present").to_vec();
+        let entry_cell = parent_g
+            .cell(slot)
+            .unwrap_or_else(|| unreachable!("entry present at validated slot"))
+            .to_vec();
         let txns = db.txns();
         let nta = match txns.begin_nta(txn) {
             Ok(n) => n,

@@ -143,7 +143,8 @@ impl<E: GistExtension> GistIndex<E> {
             cell: cell.clone(),
         };
         let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
-        leaf.insert_cell_at(slot, &cell).expect("room was ensured");
+        leaf.insert_cell_at(slot, &cell)
+            .unwrap_or_else(|e| unreachable!("room was ensured before logging: {e}"));
         leaf.mark_dirty(lsn);
 
         // Phase 6: check the predicates attached to the leaf; block on
@@ -268,7 +269,9 @@ impl<E: GistExtension> GistIndex<E> {
             }
             cur = next;
         }
-        let (_, pid, nsn) = best.expect("chain has at least one node");
+        let Some((_, pid, nsn)) = best else {
+            unreachable!("chain has at least one node")
+        };
         Ok((pid, nsn))
     }
 
@@ -309,7 +312,7 @@ impl<E: GistExtension> GistIndex<E> {
                             && ext.query_bytes_consistent_pred(bytes, &new_bp)
                             && !old_for_filter
                                 .as_ref()
-                                .map_or(false, |ob| ext.query_bytes_consistent_pred(bytes, ob))
+                                .is_some_and(|ob| ext.query_bytes_consistent_pred(bytes, ob))
                     },
                 );
                 self.apply_parent_entry_update(
@@ -336,6 +339,11 @@ impl<E: GistExtension> GistIndex<E> {
     ) -> Result<PageWriteGuard> {
         let db = self.db().clone();
         let nta = db.txns().begin_nta(txn)?;
+        // The split's atomic unit practices two-phase latching (§9.1):
+        // the bottom-up recursion may legitimately hold a short chain of
+        // ancestor latches (plus each level's fresh sibling) until the
+        // unit commits, and may fault pages in while doing so.
+        let _scope = crate::audit::enter_scope("split-unit", 64, true, false);
         let mut held: Vec<PageWriteGuard> = Vec::new();
         let (orig, sibling, pending_to_new) =
             self.split_rec(txn, node_g, stack, &mut held, Some(key))?;
@@ -456,7 +464,9 @@ impl<E: GistExtension> GistIndex<E> {
         node_g.mark_dirty(lsn);
         // Apply to the sibling: inherits the old NSN and rightlink (§3).
         for (_, cell) in &moved {
-            new_g.insert_cell(cell).expect("moved cells fit on a fresh page");
+            new_g
+                .insert_cell(cell)
+                .unwrap_or_else(|e| unreachable!("moved cells fit on a fresh page: {e}"));
         }
         new_g.set_nsn(orig_nsn_old);
         new_g.set_rightlink(orig_rightlink_old);
@@ -496,7 +506,9 @@ impl<E: GistExtension> GistIndex<E> {
                     let slot = root_g.next_insert_slot();
                     let rec = GistRecord::InternalEntryAdd { page: root_pid.0, slot, cell: cell.clone() };
                     let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
-                    root_g.insert_cell_at(slot, &cell).expect("fresh root has room");
+                    root_g
+                        .insert_cell_at(slot, &cell)
+                        .unwrap_or_else(|e| unreachable!("fresh root has room: {e}"));
                     root_g.mark_dirty(lsn);
                 }
                 db.set_root(txn, self.catalog_slot(), root_pid)?;
@@ -518,13 +530,15 @@ impl<E: GistExtension> GistIndex<E> {
                         held.push(p_orig);
                     }
                     entry_slot = node::find_child_entry(&parent_g, node_id)
-                        .expect("entry present after parent split")
+                        .unwrap_or_else(|| {
+                            unreachable!("entry present after parent split")
+                        })
                         .0;
                 }
                 // Update the original node's entry to its shrunk BP.
                 let old_cell = parent_g
                     .cell(entry_slot)
-                    .expect("parent entry present")
+                    .unwrap_or_else(|| unreachable!("parent entry present"))
                     .to_vec();
                 let upd_cell = InternalEntry::new(node_id, orig_bp_new.clone()).encode();
                 let rec = GistRecord::InternalEntryUpdate {
@@ -534,7 +548,9 @@ impl<E: GistExtension> GistIndex<E> {
                     old_cell,
                 };
                 let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
-                parent_g.update_cell(entry_slot, &upd_cell).expect("same-size entry update");
+                parent_g
+                    .update_cell(entry_slot, &upd_cell)
+                    .unwrap_or_else(|e| unreachable!("room was ensured for the update: {e}"));
                 parent_g.mark_dirty(lsn);
                 // Add the sibling's entry.
                 let slot = parent_g.next_insert_slot();
@@ -544,7 +560,9 @@ impl<E: GistExtension> GistIndex<E> {
                     cell: new_entry.clone(),
                 };
                 let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
-                parent_g.insert_cell_at(slot, &new_entry).expect("room was ensured");
+                parent_g
+                    .insert_cell_at(slot, &new_entry)
+                    .unwrap_or_else(|e| unreachable!("room was ensured: {e}"));
                 parent_g.mark_dirty(lsn);
                 held.push(parent_g);
             }

@@ -100,6 +100,9 @@ impl<E: GistExtension> GistIndex<E> {
         child: &PageWriteGuard,
     ) -> Result<ParentLoc> {
         let child_id = child.page_id();
+        // Blessed two-latch window (§5): the child is held while its
+        // parent is latched (and possibly faulted in) one level up.
+        let _scope = crate::audit::enter_scope_rel("parent-child:latch-parent", 1);
         if let Some(top) = stack.last() {
             let mut pid = top.page;
             loop {
@@ -129,6 +132,9 @@ impl<E: GistExtension> GistIndex<E> {
     /// Exhaustively search level `child_level + 1` for the entry pointing
     /// at `child_id` (rare path: only after a concurrent root split).
     fn find_parent_by_sweep(&self, child_id: PageId, child_level: u16) -> Result<ParentLoc> {
+        // Part of the latch-parent window: the caller's child latch stays
+        // held while one sweep latch at a time probes the level above.
+        let _scope = crate::audit::enter_scope_rel("parent-child:sweep", 1);
         loop {
             let root = self.root()?;
             let mut level_nodes = vec![root];

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Lock manager.
 //!
@@ -15,6 +16,7 @@
 //! detection with the requester as victim, per-transaction lock lists for
 //! two-phase release, and individual unlock for signaling locks.
 
+pub(crate) mod audit;
 mod manager;
 mod modes;
 mod name;

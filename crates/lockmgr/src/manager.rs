@@ -9,6 +9,7 @@ use parking_lot::{Condvar, Mutex};
 
 use gist_wal::TxnId;
 
+use crate::audit;
 use crate::{LockMode, LockName};
 
 /// Why a lock request failed.
@@ -116,8 +117,8 @@ impl LockManager {
         assert!(!txn.is_none(), "locks must be owned by a transaction");
         let mut st = self.state.lock();
         // Existing granted entry? Count or convert.
-        if let Some(pos) = Self::granted_pos(&st, &name, txn) {
-            let entry = &mut st.queues.get_mut(&name).unwrap()[pos];
+        if Self::granted_pos(&st, &name, txn).is_some() {
+            let entry = Self::entry_mut(&mut st, &name, txn);
             if entry.mode.covers(mode) {
                 entry.count += 1;
                 self.stats.immediate_grants.fetch_add(1, Ordering::Relaxed);
@@ -148,6 +149,9 @@ impl LockManager {
                 if !waited {
                     waited = true;
                     self.stats.waits.fetch_add(1, Ordering::Relaxed);
+                    // §5 coupling discipline: a blocking record-lock wait
+                    // must happen latch-free.
+                    audit::lock_wait(matches!(name, LockName::Rid(_)), "lock conversion");
                 }
                 if self.cv.wait_for(&mut st, self.timeout).timed_out() {
                     Self::entry_mut(&mut st, &name, txn).convert_to = None;
@@ -193,6 +197,9 @@ impl LockManager {
             if !waited {
                 waited = true;
                 self.stats.waits.fetch_add(1, Ordering::Relaxed);
+                // §5 coupling discipline: a blocking record-lock wait
+                // must happen latch-free.
+                audit::lock_wait(matches!(name, LockName::Rid(_)), "fresh lock request");
             }
             if self.cv.wait_for(&mut st, self.timeout).timed_out() {
                 Self::remove_waiting(&mut st, &name, txn, seq);
@@ -207,12 +214,14 @@ impl LockManager {
     pub fn try_lock(&self, txn: TxnId, name: LockName, mode: LockMode) -> bool {
         let mut st = self.state.lock();
         if let Some(pos) = Self::granted_pos(&st, &name, txn) {
-            let entry = &st.queues[&name][pos];
-            if entry.mode.covers(mode) {
-                st.queues.get_mut(&name).unwrap()[pos].count += 1;
+            let (covers, target) = {
+                let entry = &st.queues[&name][pos];
+                (entry.mode.covers(mode), entry.mode.supremum(mode))
+            };
+            if covers {
+                Self::entry_mut(&mut st, &name, txn).count += 1;
                 return true;
             }
-            let target = entry.mode.supremum(mode);
             if Self::conversion_compatible(&st, &name, txn, target) {
                 let entry = Self::entry_mut(&mut st, &name, txn);
                 entry.mode = target;
@@ -364,12 +373,14 @@ impl LockManager {
     }
 
     fn entry_mut<'a>(st: &'a mut State, name: &LockName, txn: TxnId) -> &'a mut Entry {
-        st.queues
+        let found = st
+            .queues
             .get_mut(name)
-            .unwrap()
-            .iter_mut()
-            .find(|e| e.txn == txn && e.granted)
-            .expect("granted entry vanished while converting")
+            .and_then(|q| q.iter_mut().find(|e| e.txn == txn && e.granted));
+        match found {
+            Some(e) => e,
+            None => unreachable!("granted entry vanished while converting"),
+        }
     }
 
     fn waiting_entry_mut<'a>(
@@ -378,12 +389,14 @@ impl LockManager {
         txn: TxnId,
         seq: u64,
     ) -> &'a mut Entry {
-        st.queues
+        let found = st
+            .queues
             .get_mut(name)
-            .unwrap()
-            .iter_mut()
-            .find(|e| e.txn == txn && e.seq == seq)
-            .expect("waiting entry vanished")
+            .and_then(|q| q.iter_mut().find(|e| e.txn == txn && e.seq == seq));
+        match found {
+            Some(e) => e,
+            None => unreachable!("waiting entry vanished"),
+        }
     }
 
     fn remove_waiting(st: &mut State, name: &LockName, txn: TxnId, seq: u64) {

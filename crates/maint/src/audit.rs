@@ -1,0 +1,10 @@
+//! Hooks into the gist-audit dynamic discipline analyzer (no-ops unless
+//! the `latch-audit` feature is enabled). Call sites are identical in
+//! both configurations.
+
+#[cfg(feature = "latch-audit")]
+pub(crate) use gist_audit::assert_thread_clear;
+
+#[cfg(not(feature = "latch-audit"))]
+#[inline(always)]
+pub(crate) fn assert_thread_clear(_context: &str) {}

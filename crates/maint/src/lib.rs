@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Background maintenance daemon.
 //!
@@ -41,6 +42,8 @@ use parking_lot::{Condvar, Mutex};
 use gist_pagestore::{BufferPool, PageId};
 use gist_txn::{GcCandidate, GcSink, TxnManager};
 use gist_wal::{LogManager, Lsn, TxnId};
+
+pub(crate) mod audit;
 
 /// Failure modes of one maintenance work item.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -413,7 +416,7 @@ impl MaintDaemon {
                 std::thread::Builder::new()
                     .name(format!("gist-maint-{i}"))
                     .spawn(move || me.worker_loop())
-                    .expect("spawn maintenance worker"),
+                    .unwrap_or_else(|e| panic!("failed to spawn maintenance worker: {e}")),
             );
         }
     }
@@ -481,6 +484,8 @@ impl MaintDaemon {
                 }
             };
             self.process(q);
+            // A work item must never leak a latch past its boundary.
+            audit::assert_thread_clear("maint run_until_idle item");
             processed += 1;
         }
         processed
@@ -535,6 +540,8 @@ impl MaintDaemon {
                 }
             };
             self.process(q);
+            // A work item must never leak a latch past its boundary.
+            audit::assert_thread_clear("maint worker item");
         }
     }
 
@@ -694,7 +701,7 @@ impl Drop for MaintDaemon {
 mod tests {
     use super::*;
     use gist_lockmgr::LockManager;
-    use gist_pagestore::InMemoryStore;
+    use gist_pagestore::{InMemoryStore, PageStore};
     use gist_predlock::PredicateManager;
 
     struct FakeIndex {

@@ -21,6 +21,7 @@ use parking_lot::{Mutex, RawRwLock, RwLock};
 
 use gist_wal::{LogFlusher, Lsn};
 
+use crate::audit;
 use crate::page::{Page, PageId};
 use crate::store::PageStore;
 
@@ -40,6 +41,9 @@ pub struct FrameData {
 
 struct Frame {
     id: PageId,
+    /// Owning pool's audit instance id (copied here so guards can report
+    /// releases without a pool reference; 0 when auditing is off).
+    audit_id: u64,
     latch: Arc<RwLock<FrameData>>,
     pins: AtomicUsize,
     dirty: AtomicBool,
@@ -66,6 +70,9 @@ pub struct PoolStats {
 /// The buffer pool.
 pub struct BufferPool {
     store: Arc<dyn PageStore>,
+    /// gist-audit instance id isolating this pool's latch events from
+    /// other pools in the same process (0 when auditing is off).
+    audit_id: u64,
     flusher: Mutex<Option<Arc<dyn LogFlusher>>>,
     capacity: usize,
     frames: Mutex<HashMap<PageId, Arc<Frame>>>,
@@ -81,6 +88,7 @@ impl BufferPool {
         assert!(capacity > 0, "capacity must be positive");
         Arc::new(BufferPool {
             store,
+            audit_id: audit::new_instance_id(),
             flusher: Mutex::new(None),
             capacity,
             frames: Mutex::new(HashMap::new()),
@@ -108,7 +116,7 @@ impl BufferPool {
     /// store read.
     pub fn fetch_read(self: &Arc<Self>, id: PageId) -> io::Result<PageReadGuard> {
         loop {
-            match self.fetch_inner(id, false)? {
+            match self.fetch_inner(id, false, true)? {
                 FetchResult::Read(g) => return Ok(g),
                 FetchResult::Write(_) => unreachable!("asked for read"),
                 FetchResult::Retry => continue,
@@ -118,8 +126,16 @@ impl BufferPool {
 
     /// Latch page `id` in X mode.
     pub fn fetch_write(self: &Arc<Self>, id: PageId) -> io::Result<PageWriteGuard> {
+        self.fetch_write_with(id, true)
+    }
+
+    /// `fetch_write` with an explicit blocking intent: `try_fetch_write`'s
+    /// miss fallback passes `blocking = false` so the audit order graph
+    /// records no deadlock-relevant edge for an acquisition that cannot
+    /// park behind another holder.
+    fn fetch_write_with(self: &Arc<Self>, id: PageId, blocking: bool) -> io::Result<PageWriteGuard> {
         loop {
-            match self.fetch_inner(id, true)? {
+            match self.fetch_inner(id, true, blocking)? {
                 FetchResult::Write(g) => return Ok(g),
                 FetchResult::Read(_) => unreachable!("asked for write"),
                 FetchResult::Retry => continue,
@@ -127,7 +143,12 @@ impl BufferPool {
         }
     }
 
-    fn fetch_inner(self: &Arc<Self>, id: PageId, write: bool) -> io::Result<FetchResult> {
+    fn fetch_inner(
+        self: &Arc<Self>,
+        id: PageId,
+        write: bool,
+        blocking: bool,
+    ) -> io::Result<FetchResult> {
         assert!(!id.is_invalid(), "fetch of the invalid page id");
         // Fast path: hit.
         let existing = {
@@ -149,7 +170,8 @@ impl BufferPool {
                     return Ok(FetchResult::Retry);
                 }
                 debug_assert!(g.loaded);
-                return Ok(FetchResult::Write(PageWriteGuard { frame, guard: g }));
+                audit::latch_acquired(self.audit_id, u64::from(id.0), true, blocking);
+                return Ok(FetchResult::Write(PageWriteGuard { frame, guard: Some(g) }));
             }
             let g = frame.latch.read_arc();
             if g.failed {
@@ -158,6 +180,7 @@ impl BufferPool {
                 return Ok(FetchResult::Retry);
             }
             debug_assert!(g.loaded);
+            audit::latch_acquired(self.audit_id, u64::from(id.0), false, blocking);
             return Ok(FetchResult::Read(PageReadGuard { frame, guard: g }));
         }
 
@@ -166,6 +189,7 @@ impl BufferPool {
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         let frame = Arc::new(Frame {
             id,
+            audit_id: self.audit_id,
             latch: Arc::new(RwLock::new(FrameData {
                 page: Page::zeroed(),
                 loaded: false,
@@ -186,11 +210,13 @@ impl BufferPool {
             frames.insert(id, frame.clone());
         }
         self.evict_excess();
+        audit::io_event(self.audit_id, u64::from(id.0), "page-load");
         match self.store.read(id, &mut g.page) {
             Ok(()) => {
                 g.loaded = true;
+                audit::latch_acquired(self.audit_id, u64::from(id.0), write, blocking);
                 if write {
-                    Ok(FetchResult::Write(PageWriteGuard { frame, guard: g }))
+                    Ok(FetchResult::Write(PageWriteGuard { frame, guard: Some(g) }))
                 } else {
                     let rg = ArcRwLockWriteGuard::downgrade(g);
                     Ok(FetchResult::Read(PageReadGuard { frame, guard: rg }))
@@ -229,7 +255,8 @@ impl BufferPool {
                         frame.pins.fetch_sub(1, Ordering::Relaxed);
                         return self.try_fetch_write(id);
                     }
-                    return Ok(Some(PageWriteGuard { frame, guard: g }));
+                    audit::latch_acquired(self.audit_id, u64::from(id.0), true, false);
+                    return Ok(Some(PageWriteGuard { frame, guard: Some(g) }));
                 }
                 None => {
                     frame.pins.fetch_sub(1, Ordering::Relaxed);
@@ -239,7 +266,7 @@ impl BufferPool {
         }
         // Miss: the regular path's load latch is uncontended by
         // construction, so this never blocks on another holder.
-        self.fetch_write(id).map(Some)
+        self.fetch_write_with(id, false).map(Some)
     }
 
     /// Create (or reformat) page `id` in the pool without reading the
@@ -247,8 +274,11 @@ impl BufferPool {
     /// dirty so the formatted image cannot be lost to eviction.
     pub fn new_page_write(self: &Arc<Self>, id: PageId, level: u16) -> io::Result<PageWriteGuard> {
         self.store.ensure_capacity(id.0 + 1)?;
+        // The page begins a new life: latch orders observed against its
+        // previous incarnation no longer constrain it.
+        audit::latch_page_fresh(self.audit_id, u64::from(id.0));
         let mut g = self.fetch_write_or_fresh(id)?;
-        g.guard.page.format(id, level);
+        g.data_mut().page.format(id, level);
         g.frame.dirty.store(true, Ordering::Relaxed);
         Ok(g)
     }
@@ -271,10 +301,17 @@ impl BufferPool {
                     frame.pins.fetch_sub(1, Ordering::Relaxed);
                     continue;
                 }
-                return Ok(PageWriteGuard { frame, guard: g });
+                // Audited as non-blocking: this is the allocation path
+                // (`new_page_write`) — the page is private to the
+                // allocating thread, so the acquisition cannot be part of
+                // a deadlock cycle with structured tree operations (any
+                // residual holder is a transient stale rightlink chaser).
+                audit::latch_acquired(self.audit_id, u64::from(id.0), true, false);
+                return Ok(PageWriteGuard { frame, guard: Some(g) });
             }
             let frame = Arc::new(Frame {
                 id,
+                audit_id: self.audit_id,
                 latch: Arc::new(RwLock::new(FrameData {
                     page: Page::zeroed(),
                     loaded: true,
@@ -294,7 +331,8 @@ impl BufferPool {
                 frames.insert(id, frame.clone());
             }
             self.evict_excess();
-            return Ok(PageWriteGuard { frame, guard: g });
+            audit::latch_acquired(self.audit_id, u64::from(id.0), true, false);
+            return Ok(PageWriteGuard { frame, guard: Some(g) });
         }
     }
 
@@ -344,6 +382,7 @@ impl BufferPool {
     }
 
     fn write_back(&self, frame: &Frame, page: &Page) {
+        audit::io_event(self.audit_id, u64::from(frame.id.0), "writeback");
         let lsn = page.page_lsn();
         if !lsn.is_null() {
             if let Some(f) = self.flusher.lock().clone() {
@@ -440,14 +479,19 @@ impl std::ops::Deref for PageReadGuard {
 
 impl Drop for PageReadGuard {
     fn drop(&mut self) {
+        audit::latch_released(self.frame.audit_id, u64::from(self.frame.id.0));
         self.frame.pins.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
 /// X-mode latch on a page.
+///
+/// The inner guard lives in an `Option` solely so [`downgrade`]
+/// (`PageWriteGuard::downgrade`) can move it out without `unsafe`; it is
+/// `Some` for the guard's entire observable life.
 pub struct PageWriteGuard {
     frame: Arc<Frame>,
-    guard: WriteGuardInner,
+    guard: Option<WriteGuardInner>,
 }
 
 impl PageWriteGuard {
@@ -456,11 +500,25 @@ impl PageWriteGuard {
         self.frame.id
     }
 
+    fn data(&self) -> &FrameData {
+        match &self.guard {
+            Some(g) => g,
+            None => unreachable!("write guard accessed after downgrade"),
+        }
+    }
+
+    fn data_mut(&mut self) -> &mut FrameData {
+        match &mut self.guard {
+            Some(g) => g,
+            None => unreachable!("write guard accessed after downgrade"),
+        }
+    }
+
     /// Record that the page was modified under `lsn`: stamps the page LSN
     /// and marks the frame dirty (write-ahead rule enforced at
     /// write-back).
     pub fn mark_dirty(&mut self, lsn: Lsn) {
-        self.guard.page.set_page_lsn(lsn);
+        self.data_mut().page.set_page_lsn(lsn);
         // First dirtying LSN since the page was last clean: the recLSN
         // reported to fuzzy checkpoints. The X latch excludes racing
         // mutators; a racing write-back cannot happen latch-free either.
@@ -476,12 +534,15 @@ impl PageWriteGuard {
     }
 
     /// Downgrade to an S-mode latch without releasing it.
-    pub fn downgrade(self) -> PageReadGuard {
-        // Field-by-field move: forget `self` so Drop does not double-unpin.
-        let this = std::mem::ManuallyDrop::new(self);
-        // SAFETY: fields are read exactly once out of the ManuallyDrop.
-        let frame = unsafe { std::ptr::read(&this.frame) };
-        let guard = unsafe { std::ptr::read(&this.guard) };
+    pub fn downgrade(mut self) -> PageReadGuard {
+        let frame = self.frame.clone();
+        let Some(guard) = self.guard.take() else {
+            unreachable!("write guard downgraded twice");
+        };
+        // `self` drops here with `guard == None`: the pin and the audit
+        // held-entry transfer to the read guard instead of being released.
+        drop(self);
+        audit::latch_downgraded(frame.audit_id, u64::from(frame.id.0));
         PageReadGuard { frame, guard: ArcRwLockWriteGuard::downgrade(guard) }
     }
 }
@@ -489,19 +550,24 @@ impl PageWriteGuard {
 impl std::ops::Deref for PageWriteGuard {
     type Target = Page;
     fn deref(&self) -> &Page {
-        &self.guard.page
+        &self.data().page
     }
 }
 
 impl std::ops::DerefMut for PageWriteGuard {
     fn deref_mut(&mut self) -> &mut Page {
-        &mut self.guard.page
+        &mut self.data_mut().page
     }
 }
 
 impl Drop for PageWriteGuard {
     fn drop(&mut self) {
-        self.frame.pins.fetch_sub(1, Ordering::Relaxed);
+        // `None` means `downgrade` moved the latch into a read guard:
+        // pin and audit entry live on there.
+        if self.guard.take().is_some() {
+            audit::latch_released(self.frame.audit_id, u64::from(self.frame.id.0));
+            self.frame.pins.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -548,6 +614,9 @@ mod tests {
 
     #[test]
     fn pinned_pages_are_not_evicted() {
+        // The test deliberately pins three pages at once — legal here,
+        // whitelisted for the latch-audit discipline checker.
+        let _scope = audit::enter_scope("test-harness", usize::MAX, true, true);
         let pool = pool(2);
         let g1 = pool.new_page_write(PageId(1), 0).unwrap();
         let g2 = pool.new_page_write(PageId(2), 0).unwrap();
@@ -604,6 +673,7 @@ mod tests {
 
     #[test]
     fn concurrent_readers_share_the_latch() {
+        let _scope = audit::enter_scope("test-harness", usize::MAX, true, true);
         let pool = pool(8);
         {
             let mut g = pool.new_page_write(PageId(1), 0).unwrap();
@@ -616,6 +686,7 @@ mod tests {
 
     #[test]
     fn downgrade_keeps_the_latch() {
+        let _scope = audit::enter_scope("test-harness", usize::MAX, true, true);
         let pool = pool(8);
         let mut g = pool.new_page_write(PageId(1), 0).unwrap();
         g.insert_cell(b"d").unwrap();

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Page, slotted-page, buffer-pool and page-store substrate.
 //!
@@ -13,6 +14,7 @@
 //! a small heap file for the *data records* that index leaves point at.
 
 mod alloc;
+pub(crate) mod audit;
 mod buffer;
 mod heap;
 mod page;

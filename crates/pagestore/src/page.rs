@@ -131,7 +131,7 @@ impl Clone for Page {
 impl Page {
     /// A zeroed page (slot count 0, cell start at page end, id 0).
     pub fn zeroed() -> Self {
-        let mut p = Page { data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap() };
+        let mut p = Page { data: Box::new([0u8; PAGE_SIZE]) };
         p.set_cell_start(PAGE_SIZE as u16);
         p
     }
@@ -161,7 +161,9 @@ impl Page {
     // ---- header accessors ----
 
     fn u64_at(&self, off: usize) -> u64 {
-        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[off..off + 8]);
+        u64::from_le_bytes(b)
     }
 
     fn set_u64_at(&mut self, off: usize, v: u64) {
@@ -169,7 +171,9 @@ impl Page {
     }
 
     fn u32_at(&self, off: usize) -> u32 {
-        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.data[off..off + 4]);
+        u32::from_le_bytes(b)
     }
 
     fn set_u32_at(&mut self, off: usize, v: u32) {
@@ -177,7 +181,9 @@ impl Page {
     }
 
     fn u16_at(&self, off: usize) -> u16 {
-        u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
+        let mut b = [0u8; 2];
+        b.copy_from_slice(&self.data[off..off + 2]);
+        u16::from_le_bytes(b)
     }
 
     fn set_u16_at(&mut self, off: usize, v: u16) {

@@ -83,7 +83,7 @@ impl PageStore for InMemoryStore {
     fn ensure_capacity(&self, count: u32) -> io::Result<()> {
         let mut pages = self.pages.write();
         while (pages.len() as u32) < count {
-            pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap());
+            pages.push(Box::new([0u8; PAGE_SIZE]));
         }
         Ok(())
     }
@@ -102,7 +102,8 @@ pub struct FileStore {
 impl FileStore {
     /// Open (creating if necessary) the file at `path`.
     pub fn open(path: &Path) -> io::Result<Self> {
-        let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
         let len = file.metadata()?.len();
         if len % PAGE_SIZE as u64 != 0 {
             return Err(io::Error::new(

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Transaction manager: lifecycle, 2PL integration, savepoints.
@@ -207,9 +208,9 @@ impl TxnManager {
             },
         );
         // §10.3: X lock on the own id, so others can block on this txn.
-        self.locks
-            .lock(id, LockName::Txn(id), LockMode::X)
-            .expect("own-id lock can never conflict");
+        if let Err(e) = self.locks.lock(id, LockName::Txn(id), LockMode::X) {
+            unreachable!("own-id lock can never conflict: {e}");
+        }
         id
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! ARIES-style write-ahead logging for the GiST reproduction.

@@ -194,7 +194,9 @@ impl LogManager {
         let mut records = Vec::new();
         let mut off = 0usize;
         while off + 4 <= bytes.len() {
-            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let mut len4 = [0u8; 4];
+            len4.copy_from_slice(&bytes[off..off + 4]);
+            let len = u32::from_le_bytes(len4) as usize;
             off += 4;
             let rec = codec::decode_record(&bytes[off..off + len]).map_err(|e| {
                 io::Error::new(io::ErrorKind::InvalidData, format!("log decode: {e}"))

@@ -2,6 +2,10 @@
 # Tier-1 verification: release build, full workspace test suite, and the
 # maintenance-subsystem integration tests called out explicitly so a
 # filtered run can't silently skip them.
+#
+# Tier-2 verification gate: zero clippy warnings, zero gist-lint
+# violations, and the full test suite under the gist-audit dynamic
+# discipline analyzer (`--features latch-audit`).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,4 +18,24 @@ cargo test -q
 echo "== cargo test --release --test maint =="
 cargo test --release --test maint
 
+echo "== tier 2: cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier 2: cargo clippy --workspace --all-targets --features latch-audit =="
+cargo clippy --workspace --all-targets --features latch-audit -- -D warnings
+
+echo "== tier 2: gist-lint (static discipline rules) =="
+cargo run -q --bin gist-lint
+
+echo "== tier 2: cargo test -q --features latch-audit (dynamic analyzer) =="
+cargo test -q --features latch-audit
+
+echo ""
+echo "verification summary"
+echo "  step                                violations"
+echo "  ----------------------------------  ----------"
+echo "  tier-1 build + tests                         0"
+echo "  clippy (default + latch-audit)               0"
+echo "  gist-lint static rules                       0"
+echo "  latch-audit dynamic analyzer                 0"
 echo "verify.sh: all green"

@@ -1,0 +1,624 @@
+//! gist-lint: std-only static checks for the repo's discipline rules.
+//!
+//! The dynamic analyzer (`crates/audit`, behind the `latch-audit`
+//! feature) asserts the §5 latch/lock protocol at runtime; this binary
+//! enforces the complementary *source-level* rules that keep the
+//! protocol auditable at all:
+//!
+//! | rule | what it enforces |
+//! |------|------------------|
+//! | `no-unwrap` | no `.unwrap()` / `.expect(...)` in non-test crate code — recoverable paths must surface errors, invariants must say why they hold (`unreachable!`) |
+//! | `record-coverage` | every `GistRecord` variant has an arm in the redo and undo dispatchers, and every `RecordBody` variant is named in the restart driver (no silent wildcard swallowing a new record kind) |
+//! | `latch-outside-buffer` | no direct `write_arc()` / `read_arc()` latch calls outside `pagestore/src/buffer.rs` — every latch must pass through the (audited) buffer-pool API |
+//! | `forbid-unsafe` | every crate without `unsafe` carries `#![forbid(unsafe_code)]` |
+//!
+//! Scanning is line/AST-lite on purpose: the build must stay offline, so
+//! no syn/proc-macro dependencies. A light sanitizer strips comments and
+//! string literals and a brace tracker excludes `#[cfg(test)]` regions,
+//! which is exact enough for these rules on this codebase.
+//!
+//! Exit status is non-zero when any violation is found; `scripts/verify.sh`
+//! runs it as a tier-2 gate.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Violation {
+    rule: &'static str,
+    file: String,
+    line: usize,
+    msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// A source file held in memory: repo-relative path + raw text.
+struct SourceFile {
+    path: String,
+    raw: String,
+    /// Comment- and string-stripped text, same length/line structure.
+    clean: String,
+    /// Per-line flag: line begins inside a `#[cfg(test)]` item.
+    in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    fn new(path: String, raw: String) -> SourceFile {
+        let clean = sanitize(&raw);
+        // An out-of-line test module (`#[cfg(test)] mod tests;` pointing
+        // at src/tests.rs or src/tests/) is test code wholesale.
+        let in_test = if path.ends_with("/tests.rs") || path.contains("/tests/") {
+            clean.lines().map(|_| true).collect()
+        } else {
+            test_lines(&clean)
+        };
+        SourceFile { path, raw, clean, in_test }
+    }
+
+    fn lines(&self) -> impl Iterator<Item = (usize, &str, &str, bool)> {
+        self.clean
+            .lines()
+            .zip(self.raw.lines())
+            .enumerate()
+            .map(move |(i, (c, r))| (i + 1, c, r, *self.in_test.get(i).unwrap_or(&false)))
+    }
+}
+
+/// Replace comment and string-literal *contents* with spaces, keeping the
+/// line structure intact so line numbers survive. Handles `//`, `/* */`
+/// (nested), `"..."` with escapes, and char literals / lifetimes well
+/// enough for this repo (no raw strings with embedded quotes are used).
+fn sanitize(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < b.len() {
+        let c = b[i];
+        if c == '/' && i + 1 < b.len() && b[i + 1] == '/' {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < b.len() && b[i] != '"' {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            if i < b.len() {
+                out.push('"');
+                i += 1;
+            }
+        } else if c == '\'' {
+            // Char literal ('x', '\n', '\u{..}') or a lifetime ('a).
+            if i + 1 < b.len() && b[i + 1] == '\\' {
+                // Escaped char literal: copy blanked up to the closing quote.
+                out.push('\'');
+                i += 1;
+                while i < b.len() && b[i] != '\'' {
+                    out.push(' ');
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push('\'');
+                    i += 1;
+                }
+            } else if i + 2 < b.len() && b[i + 2] == '\'' {
+                out.push('\'');
+                out.push(' ');
+                out.push('\'');
+                i += 3;
+            } else {
+                out.push('\'');
+                i += 1; // lifetime
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Per-line "is inside a `#[cfg(test)]` item" flags, computed on the
+/// sanitized text by tracking brace depth from each attribute to the
+/// matching close of the item it introduces.
+fn test_lines(clean: &str) -> Vec<bool> {
+    let mut flags = Vec::new();
+    let mut depth: i64 = 0;
+    // Depth at which a #[cfg(test)] item opened; region ends when the
+    // depth returns to it.
+    let mut regions: Vec<i64> = Vec::new();
+    let mut pending_attr = false;
+    for line in clean.lines() {
+        flags.push(!regions.is_empty());
+        if line.contains("#[cfg(test)]") || line.contains("#[cfg(all(test") {
+            pending_attr = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending_attr {
+                        regions.push(depth);
+                        pending_attr = false;
+                        // The attribute's own line is already test code.
+                        if let Some(last) = flags.last_mut() {
+                            *last = true;
+                        }
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if regions.last().is_some_and(|d| depth <= *d) {
+                        regions.pop();
+                    }
+                }
+                // A `;` before any `{` ends the attributed item without a
+                // body (`#[cfg(test)] mod tests;` — handled via the path
+                // check in `SourceFile::new`, not by brace tracking).
+                ';' => pending_attr = false,
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+/// Rule `no-unwrap`: `.unwrap()` / `.expect(` in non-test code. A raw-line
+/// marker comment `lint: allow-unwrap` waives a line (used nowhere today;
+/// exists so a future genuine need is greppable).
+fn rule_no_unwrap(f: &SourceFile, out: &mut Vec<Violation>) {
+    // The bench crate is the experiment harness — dev-tooling driving the
+    // tree from outside, not protocol code. Its panics abort an
+    // experiment run, never a database operation.
+    if f.path.starts_with("crates/bench/") {
+        return;
+    }
+    for (n, clean, raw, test) in f.lines() {
+        if test || raw.contains("lint: allow-unwrap") {
+            continue;
+        }
+        for needle in [".unwrap()", ".expect("] {
+            if clean.contains(needle) {
+                out.push(Violation {
+                    rule: "no-unwrap",
+                    file: f.path.clone(),
+                    line: n,
+                    msg: format!(
+                        "`{needle}` in non-test code — return an error or \
+                         state the invariant with `unreachable!`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule `latch-outside-buffer`: direct parking_lot arc-latch calls are the
+/// buffer pool's private business; everyone else goes through the audited
+/// fetch/guard API.
+fn rule_latch_outside_buffer(f: &SourceFile, out: &mut Vec<Violation>) {
+    if f.path.ends_with("pagestore/src/buffer.rs") {
+        return;
+    }
+    for (n, clean, _raw, _test) in f.lines() {
+        if clean.contains("write_arc(") || clean.contains("read_arc(") {
+            out.push(Violation {
+                rule: "latch-outside-buffer",
+                file: f.path.clone(),
+                line: n,
+                msg: "direct latch acquisition outside pagestore/src/buffer.rs".into(),
+            });
+        }
+    }
+}
+
+/// Extract the variant names of `pub enum <name>` from sanitized source.
+fn enum_variants(clean: &str, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let Some(start) = clean.find(&format!("pub enum {name}")) else {
+        return variants;
+    };
+    let body = &clean[start..];
+    let Some(open) = body.find('{') else { return variants };
+    let mut depth = 0i64;
+    let mut end = body.len();
+    for (i, ch) in body[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut rel_depth = 0i64;
+    for line in body[open + 1..end].lines() {
+        let t = line.trim();
+        if rel_depth == 0 {
+            let ident: String =
+                t.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+            if !ident.is_empty() && ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                let rest = t[ident.len()..].trim_start();
+                if rest.is_empty()
+                    || rest.starts_with(',')
+                    || rest.starts_with('{')
+                    || rest.starts_with('(')
+                {
+                    variants.push(ident);
+                }
+            }
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' | '(' => rel_depth += 1,
+                '}' | ')' => rel_depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+/// The sanitized body text of the first `fn <name>` in the file, or `None`.
+fn fn_body<'a>(clean: &'a str, name: &str) -> Option<&'a str> {
+    let start = clean.find(&format!("fn {name}("))?;
+    let open = start + clean[start..].find('{')?;
+    let mut depth = 0i64;
+    for (i, ch) in clean[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&clean[open..open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn find_file<'a>(files: &'a [SourceFile], suffix: &str) -> Option<&'a SourceFile> {
+    files.iter().find(|f| f.path.ends_with(suffix))
+}
+
+/// Rule `record-coverage`: the recovery protocol's record sets must be
+/// dispatched exhaustively *by name* — a new record kind has to show up
+/// in redo, in undo, and in the restart analysis, or this rule fails the
+/// build instead of a wildcard arm silently ignoring it.
+fn rule_record_coverage(files: &[SourceFile], out: &mut Vec<Violation>) {
+    let mut push = |file: &str, msg: String| {
+        out.push(Violation { rule: "record-coverage", file: file.into(), line: 1, msg });
+    };
+    // GiST content records: redo dispatcher lives in logrec.rs, undo in db.rs.
+    match (find_file(files, "core/src/logrec.rs"), find_file(files, "core/src/db.rs")) {
+        (Some(logrec), Some(db)) => {
+            let variants = enum_variants(&logrec.clean, "GistRecord");
+            if variants.is_empty() {
+                push(&logrec.path, "could not parse `pub enum GistRecord`".into());
+            }
+            let redo = fn_body(&logrec.clean, "redo").unwrap_or("");
+            let undo = fn_body(&db.clean, "undo").unwrap_or("");
+            for v in &variants {
+                let pat = format!("GistRecord::{v}");
+                if !redo.contains(&pat) {
+                    push(&logrec.path, format!("{pat} has no arm in the redo dispatcher"));
+                }
+                if !undo.contains(&pat) {
+                    push(&db.path, format!("{pat} has no arm in the undo dispatcher"));
+                }
+            }
+        }
+        _ => push("crates/core", "logrec.rs / db.rs not found for coverage check".into()),
+    }
+    // Log-manager records: the restart driver must name every variant.
+    match (find_file(files, "wal/src/record.rs"), find_file(files, "wal/src/recovery.rs")) {
+        (Some(record), Some(recovery)) => {
+            let variants = enum_variants(&record.clean, "RecordBody");
+            if variants.is_empty() {
+                push(&record.path, "could not parse `pub enum RecordBody`".into());
+            }
+            for v in &variants {
+                let pat = format!("RecordBody::{v}");
+                if !recovery.clean.contains(&pat) {
+                    push(
+                        &recovery.path,
+                        format!("{pat} is not named anywhere in the restart driver"),
+                    );
+                }
+            }
+        }
+        _ => push("crates/wal", "record.rs / recovery.rs not found for coverage check".into()),
+    }
+}
+
+/// Rule `forbid-unsafe`: group files by crate root; a crate whose sources
+/// contain no `unsafe` must carry `#![forbid(unsafe_code)]` in its root.
+fn rule_forbid_unsafe(files: &[SourceFile], out: &mut Vec<Violation>) {
+    let mut roots: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| f.path.ends_with("src/lib.rs") && !f.path.contains("vendor/"))
+        .collect();
+    roots.sort_by(|a, b| a.path.cmp(&b.path));
+    for root in roots {
+        let crate_dir = root.path.trim_end_matches("lib.rs");
+        let has_unsafe = files.iter().filter(|f| f.path.starts_with(crate_dir)).any(|f| {
+            // `unsafe` as a keyword use (fn/block/impl), not the
+            // `unsafe_code` lint name inside the forbid attribute.
+            f.clean
+                .split("unsafe")
+                .skip(1)
+                .any(|rest| !rest.starts_with("_code"))
+        });
+        if !has_unsafe && !root.clean.contains("#![forbid(unsafe_code)]") {
+            out.push(Violation {
+                rule: "forbid-unsafe",
+                file: root.path.clone(),
+                line: 1,
+                msg: "crate has no unsafe code but lacks #![forbid(unsafe_code)]".into(),
+            });
+        }
+    }
+}
+
+/// Run every rule over an in-memory file set (testable entry point).
+fn scan(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        rule_no_unwrap(f, &mut out);
+        rule_latch_outside_buffer(f, &mut out);
+    }
+    rule_record_coverage(files, &mut out);
+    rule_forbid_unsafe(files, &mut out);
+    out
+}
+
+/// Collect the `.rs` sources the rules apply to: `crates/*/src/**` and
+/// the umbrella crate's `src/**`. Vendored shims, examples, integration
+/// tests, and benches are out of scope (test-support code by nature).
+fn collect(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut dirs: Vec<PathBuf> = vec![root.join("src")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for e in fs::read_dir(&crates)? {
+            let p = e?.path().join("src");
+            if p.is_dir() {
+                dirs.push(p);
+            }
+        }
+    }
+    while let Some(dir) = dirs.pop() {
+        for e in fs::read_dir(&dir)? {
+            let p = e?.path();
+            if p.is_dir() {
+                dirs.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.push(SourceFile::new(rel, fs::read_to_string(&p)?));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("CARGO_MANIFEST_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let files = match collect(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gist-lint: cannot read {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    let violations = scan(&files);
+    for v in &violations {
+        println!("{v}");
+    }
+    println!();
+    println!("gist-lint summary ({} files scanned)", files.len());
+    println!("  {:<22} violations", "rule");
+    for rule in ["no-unwrap", "record-coverage", "latch-outside-buffer", "forbid-unsafe"] {
+        let n = violations.iter().filter(|v| v.rule == rule).count();
+        println!("  {rule:<22} {n}");
+    }
+    if violations.is_empty() {
+        println!("  OK — no violations");
+    } else {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::new(path.into(), src.into())
+    }
+
+    #[test]
+    fn sanitizer_strips_comments_and_strings() {
+        let s = sanitize("let x = \"a.unwrap()\"; // .unwrap()\nlet y = 1; /* .expect( */");
+        assert!(!s.contains(".unwrap()"));
+        assert!(!s.contains(".expect("));
+        assert_eq!(s.lines().count(), 2, "line structure preserved");
+    }
+
+    #[test]
+    fn sanitizer_handles_char_literals_and_lifetimes() {
+        let s = sanitize("let q = '\"'; fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(s.contains(".unwrap()"), "code after char literal still visible: {s}");
+    }
+
+    #[test]
+    fn seeded_unwrap_is_flagged() {
+        let f = file("crates/x/src/lib.rs", "fn f(o: Option<u8>) -> u8 { o.unwrap() }");
+        let mut v = Vec::new();
+        rule_no_unwrap(&f, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn seeded_expect_is_flagged() {
+        let f = file("crates/x/src/lib.rs", "fn f(o: Option<u8>) -> u8 {\n    o.expect(\"x\")\n}");
+        let mut v = Vec::new();
+        rule_no_unwrap(&f, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn test_module_unwrap_is_exempt() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t(o: Option<u8>) { o.unwrap(); }\n}\n";
+        let f = file("crates/x/src/lib.rs", src);
+        let mut v = Vec::new();
+        rule_no_unwrap(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn code_after_test_module_is_checked_again() {
+        let src = "#[cfg(test)]\nmod tests { fn t() {} }\nfn prod(o: Option<u8>) { o.unwrap(); }\n";
+        let f = file("crates/x/src/lib.rs", src);
+        let mut v = Vec::new();
+        rule_no_unwrap(&f, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn waiver_comment_is_respected() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "fn f(o: Option<u8>) { o.unwrap(); } // lint: allow-unwrap — test scaffold",
+        );
+        let mut v = Vec::new();
+        rule_no_unwrap(&f, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn latch_call_outside_buffer_is_flagged() {
+        let f = file("crates/core/src/tree.rs", "let g = frame.latch.write_arc();");
+        let mut v = Vec::new();
+        rule_latch_outside_buffer(&f, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "latch-outside-buffer");
+        let f = file("crates/pagestore/src/buffer.rs", "let g = frame.latch.write_arc();");
+        let mut v = Vec::new();
+        rule_latch_outside_buffer(&f, &mut v);
+        assert!(v.is_empty(), "buffer.rs itself is the blessed site");
+    }
+
+    #[test]
+    fn enum_variants_parse_struct_tuple_and_unit() {
+        let clean = sanitize(
+            "pub enum E {\n    Unit,\n    Tup(u8, Vec<u8>),\n    Struct {\n        a: u8,\n    },\n}\n",
+        );
+        assert_eq!(enum_variants(&clean, "E"), vec!["Unit", "Tup", "Struct"]);
+    }
+
+    #[test]
+    fn missing_redo_arm_is_flagged() {
+        let logrec = file(
+            "crates/core/src/logrec.rs",
+            "pub enum GistRecord {\n    A,\n    B,\n}\nimpl GistRecord {\n  pub fn redo(&self) { match self { GistRecord::A => {} GistRecord::B => {} } }\n}\n",
+        );
+        let db = file(
+            "crates/core/src/db.rs",
+            "fn undo(&self) { match gr { GistRecord::A => {} } }\n",
+        );
+        let record = file("crates/wal/src/record.rs", "pub enum RecordBody { X }\n");
+        let recovery = file("crates/wal/src/recovery.rs", "fn a() { RecordBody::X; }\n");
+        let files = vec![logrec, db, record, recovery];
+        let mut v = Vec::new();
+        rule_record_coverage(&files, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("GistRecord::B"));
+        assert!(v[0].msg.contains("undo"));
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_is_flagged() {
+        let clean_crate = file("crates/x/src/lib.rs", "pub fn f() {}\n");
+        let mut v = Vec::new();
+        rule_forbid_unsafe(&[clean_crate], &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "forbid-unsafe");
+        // A crate that really uses unsafe is exempt.
+        let unsafe_crate = file("crates/y/src/lib.rs", "pub fn f() { unsafe { std::hint::unreachable_unchecked() } }\n");
+        let mut v = Vec::new();
+        rule_forbid_unsafe(&[unsafe_crate], &mut v);
+        assert!(v.is_empty());
+    }
+
+    /// The real repository must be lint-clean: this is the self-scan the
+    /// acceptance criteria call "with no seeded faults, zero violations".
+    #[test]
+    fn repository_is_lint_clean() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let files = collect(&root).expect("repo readable");
+        assert!(files.len() > 20, "expected the workspace sources, got {}", files.len());
+        let violations = scan(&files);
+        assert!(
+            violations.is_empty(),
+            "gist-lint found violations:\n{}",
+            violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
+}

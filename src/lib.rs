@@ -20,8 +20,14 @@
 //!   Table 1 logging/recovery protocol, and baseline protocols.
 //! - [`am`] — example access methods (B-tree, R-tree, RD-tree) realized as
 //!   GiST extensions.
+//! - `audit` (behind the `latch-audit` feature) — the dynamic latch/lock
+//!   discipline analyzer asserting the §5 protocol invariants at runtime.
+
+#![forbid(unsafe_code)]
 
 pub use gist_am as am;
+#[cfg(feature = "latch-audit")]
+pub use gist_audit as audit;
 pub use gist_core as core;
 pub use gist_lockmgr as lockmgr;
 pub use gist_maint as maint;

@@ -64,7 +64,7 @@ fn run_interleaving(protocol: BaselineProtocol) -> usize {
         // Protocol-faithful: read the counter before examining the root.
         // (SimpleTree's Link search does this internally; we replicate it
         // here for the scripted schedule.)
-        u64::MAX & tree_counter(&tree)
+        tree_counter(&tree)
     };
     let root_pid = tree.root();
     let stacked_leaf = {

@@ -404,3 +404,72 @@ fn queued_work_for_the_same_leaf_coalesces() {
     db.maint_sync();
     assert_eq!(idx.stats().unwrap().marked_entries, 0);
 }
+
+/// Walk the tree from the root following only parent→child entries
+/// (not rightlinks, which may legitimately dangle after a drain) and
+/// collect every referenced page.
+fn reachable_pages(
+    db: &Arc<Db>,
+    idx: &Arc<GistIndex<BtreeExt>>,
+) -> std::collections::HashSet<PageId> {
+    use gist_repro::core::InternalEntry;
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![idx.root().unwrap()];
+    while let Some(pid) = stack.pop() {
+        if !seen.insert(pid) {
+            continue;
+        }
+        let g = db.pool().fetch_read(pid).unwrap();
+        if g.is_leaf() {
+            continue;
+        }
+        for (s, cell) in g.iter_cells() {
+            if s != 0 {
+                stack.push(InternalEntry::decode_child(cell));
+            }
+        }
+    }
+    seen
+}
+
+/// §7.2 regression: once the daemon has drained a page, no internal
+/// entry anywhere in the tree references it — the drained page is gone
+/// from the parent level, not merely emptied.
+#[test]
+fn drained_pages_are_unreachable_afterward() {
+    let h = Harness::new();
+    let (db, idx) = h.open();
+    let txn = db.begin();
+    for k in 0..2000i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    let before = reachable_pages(&db, &idx);
+
+    // Empty a contiguous key range so whole leaves become drainable.
+    let txn = db.begin();
+    for k in 0..1500i64 {
+        idx.delete(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    db.maint_sync();
+    idx.vacuum();
+    db.maint_sync();
+    let stats = db.maint_stats();
+    assert!(stats.nodes_drained > 0, "workload must actually drain pages: {stats:?}");
+
+    // Pages that were part of the tree and are now marked available were
+    // drained; none of them may still be referenced by an entry.
+    let after = reachable_pages(&db, &idx);
+    let drained: Vec<PageId> = before
+        .iter()
+        .copied()
+        .filter(|&p| db.pool().fetch_read(p).unwrap().is_available())
+        .collect();
+    assert!(!drained.is_empty(), "at least one formerly-reachable page was retired");
+    for p in &drained {
+        assert!(!after.contains(p), "{p} was drained but is still reachable via an entry");
+    }
+    assert_eq!(keys_present(&db, &idx, 0, 2000).len(), 500);
+    check_tree(&idx).unwrap().assert_ok();
+}
