@@ -1,0 +1,160 @@
+//! Multi-threaded throughput benchmark for the sharded synchronization
+//! layers (partitioned buffer pool, striped lock manager, per-node
+//! predicate tables).
+//!
+//! Runs search / insert / mixed workloads at 1, 2, 4 and 8 threads over
+//! a latency-injected store (so page misses model real I/O and threads
+//! can overlap them) with a buffer pool much smaller than the working
+//! set. Each cell is run twice: `shards = 1`, which reproduces the
+//! pre-refactor global-mutex structure exactly (the in-PR baseline), and
+//! `shards = 16`, the partitioned configuration. Results are written to
+//! `BENCH_shard.json` and printed as a table.
+//!
+//! Usage: `cargo run --release -p gist-bench --bin bench_shard [out.json]`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gist_am::{BtreeExt, I64Query};
+use gist_bench::{run_for, render_table, wl_rid, Row, XorShift};
+use gist_core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_pagestore::{InMemoryStore, PageStore, SimulatedLatencyStore};
+use gist_wal::LogManager;
+
+/// Preloaded keys (spaced by `KEY_STRIDE` so range searches hit a few).
+const PRELOAD: i64 = 20_000;
+const KEY_STRIDE: i64 = 10;
+/// Pool frames — far below the ~70-leaf working set, so traversals miss.
+const POOL_CAPACITY: usize = 8;
+/// Simulated read latency per page miss.
+const READ_LATENCY: Duration = Duration::from_micros(120);
+/// Measurement window per cell.
+const WINDOW: Duration = Duration::from_millis(700);
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const WORKLOADS: [&str; 3] = ["search", "insert", "mixed"];
+
+fn fresh_db(shards: usize) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let store: Arc<dyn PageStore> = Arc::new(SimulatedLatencyStore::new(
+        Box::new(InMemoryStore::new()),
+        READ_LATENCY,
+        Duration::ZERO,
+    ));
+    let log = Arc::new(LogManager::new());
+    let config = DbConfig {
+        pool_capacity: POOL_CAPACITY,
+        sync_shards: shards,
+        lock_timeout: Duration::from_secs(30),
+        ..DbConfig::default()
+    };
+    let db = Db::open(store, log, config).expect("open db");
+    let idx = GistIndex::create(db.clone(), "bench", BtreeExt, IndexOptions::default())
+        .expect("create index");
+    let txn = db.begin();
+    for k in 0..PRELOAD {
+        idx.insert(txn, &(k * KEY_STRIDE), wl_rid(k as u64)).expect("preload");
+    }
+    db.commit(txn).expect("preload commit");
+    (db, idx)
+}
+
+/// One workload operation: begin / op / commit, aborting on error (a
+/// lock timeout or deadlock abort must not wedge the worker).
+fn one_op(
+    db: &Arc<Db>,
+    idx: &Arc<GistIndex<BtreeExt>>,
+    workload: &str,
+    thread: usize,
+    i: u64,
+) {
+    let mut rng = XorShift::new(0x9E37_79B9 ^ (thread as u64) << 32 ^ i.wrapping_mul(0x2545_F491));
+    let insert = match workload {
+        "insert" => true,
+        "search" => false,
+        _ => i.is_multiple_of(2),
+    };
+    let txn = db.begin();
+    let outcome = if insert {
+        // Thread-unique RIDs; keys spread across the whole preloaded
+        // range so inserts land on random leaves.
+        let k = rng.below((PRELOAD * KEY_STRIDE) as u64) as i64;
+        idx.insert(txn, &k, wl_rid(10_000_000 + thread as u64 * 1_000_000_000 + i))
+    } else {
+        let lo = rng.below((PRELOAD * KEY_STRIDE) as u64) as i64;
+        idx.search(txn, &I64Query::range(lo, lo + 5 * KEY_STRIDE)).map(|_| ())
+    };
+    match outcome {
+        Ok(()) => db.commit(txn).expect("commit"),
+        Err(_) => {
+            let _ = db.abort(txn);
+        }
+    }
+}
+
+fn run_cell(shards: usize, workload: &'static str, threads: usize) -> f64 {
+    let (db, idx) = fresh_db(shards);
+    let tp = run_for(threads, WINDOW, move |t, i| one_op(&db, &idx, workload, t, i));
+    tp.per_sec()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_shard.json".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut rows = Vec::new();
+    let mut json_results = String::new();
+    let mut cell = |shards: usize, workload: &'static str| -> Vec<f64> {
+        let mut per_thread = Vec::new();
+        let mut row = Row::new(format!("{workload} / {shards} shard(s)"));
+        for &t in &THREADS {
+            let ops = run_cell(shards, workload, t);
+            if !json_results.is_empty() {
+                json_results.push_str(",\n");
+            }
+            json_results.push_str(&format!(
+                "    {{\"shards\": {shards}, \"workload\": \"{workload}\", \"threads\": {t}, \"ops_per_sec\": {ops:.1}}}"
+            ));
+            row = row.col(&format!("{t}T ops/s"), ops);
+            per_thread.push(ops);
+        }
+        rows.push(row);
+        per_thread
+    };
+
+    let mut mixed_scaling = (0.0, 0.0); // (single-shard, sharded)
+    for &shards in &[1usize, 16] {
+        for workload in WORKLOADS {
+            let per_thread = cell(shards, workload);
+            if workload == "mixed" {
+                let scale = per_thread[3] / per_thread[0];
+                if shards == 1 {
+                    mixed_scaling.0 = scale;
+                } else {
+                    mixed_scaling.1 = scale;
+                }
+            }
+        }
+    }
+
+    println!("{}", render_table("Sharded synchronization throughput", &rows));
+    println!(
+        "mixed 8T/1T scaling: baseline (1 shard) {:.2}x, sharded (16) {:.2}x",
+        mixed_scaling.0, mixed_scaling.1
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"shard_throughput\",\n  \"cores\": {cores},\n  \"config\": {{\"preload_keys\": {PRELOAD}, \"pool_capacity\": {POOL_CAPACITY}, \"read_latency_us\": {}, \"window_ms\": {}}},\n  \"baseline\": \"shards=1 (pre-refactor global-mutex structure)\",\n  \"results\": [\n{json_results}\n  ],\n  \"mixed_scaling_8t_over_1t\": {{\"shards_1\": {:.3}, \"shards_16\": {:.3}}}\n}}\n",
+        READ_LATENCY.as_micros(),
+        WINDOW.as_millis(),
+        mixed_scaling.0,
+        mixed_scaling.1,
+    );
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+
+    assert!(
+        mixed_scaling.1 >= 2.0,
+        "acceptance: sharded mixed workload must scale >= 2x from 1T to 8T (got {:.2}x)",
+        mixed_scaling.1
+    );
+}

@@ -90,6 +90,13 @@ pub struct DbConfig {
     pub memorize_parent_lsn: bool,
     /// Maintenance-daemon tuning (deferred GC, drain, checkpoints).
     pub maint: gist_maint::MaintConfig,
+    /// Shard count for the hot-path synchronization tables (buffer-pool
+    /// frame table, lock-manager queues, predicate node tables). Rounded
+    /// up to a power of two; `0` picks `next_pow2(2 × cores)`. `1`
+    /// reproduces the pre-sharding global-mutex behavior. The NSN counter
+    /// stays global regardless — §3's correctness argument needs one
+    /// totally-ordered sequence-number source per tree.
+    pub sync_shards: usize,
 }
 
 impl Default for DbConfig {
@@ -102,6 +109,7 @@ impl Default for DbConfig {
             lock_timeout: Duration::from_secs(10),
             memorize_parent_lsn: true,
             maint: gist_maint::MaintConfig::default(),
+            sync_shards: 0,
         }
     }
 }
@@ -211,7 +219,7 @@ impl Db {
         log: Arc<LogManager>,
         config: DbConfig,
     ) -> Result<Arc<Db>> {
-        let pool = BufferPool::new(store.clone(), config.pool_capacity);
+        let pool = BufferPool::with_shards(store.clone(), config.pool_capacity, config.sync_shards);
         pool.set_flusher(log.clone());
         if store.page_count() == 0 {
             // Bootstrap the catalog page and make it durable immediately
@@ -221,8 +229,11 @@ impl Db {
             drop(g);
             pool.flush_all();
         }
-        let locks = Arc::new(LockManager::with_timeout(config.lock_timeout));
-        let preds = Arc::new(PredicateManager::new());
+        let locks = Arc::new(LockManager::with_timeout_and_shards(
+            config.lock_timeout,
+            config.sync_shards,
+        ));
+        let preds = Arc::new(PredicateManager::with_shards(config.sync_shards));
         let txns = Arc::new(TxnManager::new(log.clone(), locks.clone(), preds.clone()));
         let alloc = Arc::new(PageAllocator::new(1));
         let heap = HeapFile::new(pool.clone(), alloc.clone());

@@ -1,5 +1,23 @@
 //! The lock manager proper: queues, grants, conversions, deadlock
 //! detection.
+//!
+//! Lock queues are **striped** (`gist-striped`): a `LockName` hashes to
+//! one of N shards, each an independent mutex + condvar, so requests on
+//! distinct names never contend on a global manager lock. The §4
+//! two-phase semantics and per-queue FIFO fairness are untouched — a
+//! queue lives entirely inside one shard, and every grant/wait decision
+//! is made under that shard's lock exactly as it was under the old
+//! global one.
+//!
+//! Deadlock detection is **snapshot-based**: every shard keeps a version
+//! counter bumped on each queue mutation, and a detector cache holds the
+//! wait-for edges last computed per shard. A blocked request re-collects
+//! edges only from shards whose version moved — never holding more than
+//! one shard lock at a time — and runs the cycle search on the union.
+//! All wait-for edges are intra-queue (waiter → holder, waiter → earlier
+//! waiter, converter → other holder), so each shard's edge set is exact;
+//! staleness across shards is resolved by re-checking grantability under
+//! the shard lock before declaring the requester a victim.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -7,6 +25,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+use gist_striped::Striped;
 use gist_wal::TxnId;
 
 use crate::audit;
@@ -57,11 +76,29 @@ impl Entry {
     }
 }
 
+/// One stripe of the lock table. A queue (and therefore every FIFO /
+/// grant decision about it) lives entirely inside one shard.
 #[derive(Default)]
-struct State {
+struct Shard {
     queues: HashMap<LockName, Vec<Entry>>,
-    held: HashMap<TxnId, HashSet<LockName>>,
+    /// Per-shard request sequencer (FIFO comparisons only ever happen
+    /// within one queue, which never spans shards).
     seq: u64,
+    /// Bumped on every queue mutation; the deadlock detector's cache key.
+    version: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) {
+        self.version = self.version.wrapping_add(1);
+    }
+}
+
+/// Per-shard cache of wait-for edges, keyed by the shard version they
+/// were computed at.
+struct EdgeCache {
+    version: u64,
+    edges: Vec<(TxnId, TxnId)>,
 }
 
 /// Lock-manager counters.
@@ -79,8 +116,19 @@ pub struct LockStats {
 
 /// The lock manager.
 pub struct LockManager {
-    state: Mutex<State>,
-    cv: Condvar,
+    shards: Striped<Shard>,
+    /// `cvs[i]` pairs with shard `i`: waiters on any queue in the shard
+    /// park here and are woken by mutations of that shard only.
+    cvs: Box<[Condvar]>,
+    /// Names held per transaction, striped by `TxnId`. Locked only
+    /// *after* a queue shard (grant/unlock paths) or entirely before any
+    /// queue shard is taken (`release_all` drops it first) — a single
+    /// cross-table order, so the tables cannot deadlock against each
+    /// other.
+    held: Striped<HashMap<TxnId, HashSet<LockName>>>,
+    /// Snapshot cache for the deadlock detector; serializes detection
+    /// (which is off the grant fast path — only blocked requests enter).
+    detector: Mutex<Vec<EdgeCache>>,
     timeout: Duration,
     /// Counters (grants/waits/deadlocks/timeouts).
     pub stats: LockStats,
@@ -93,19 +141,44 @@ impl Default for LockManager {
 }
 
 impl LockManager {
-    /// Manager with the default 10 s wait timeout.
+    /// Manager with the default 10 s wait timeout and shard count.
     pub fn new() -> Self {
         Self::with_timeout(Duration::from_secs(10))
     }
 
-    /// Manager with a custom wait timeout.
+    /// Manager with a custom wait timeout and the default shard count.
     pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_timeout_and_shards(timeout, 0)
+    }
+
+    /// Manager with an explicit queue shard count (rounded up to a power
+    /// of two; `0` = `next_pow2(2×cores)`). Shard count 1 reproduces the
+    /// pre-sharding single-mutex behavior exactly.
+    pub fn with_timeout_and_shards(timeout: Duration, shards: usize) -> Self {
+        let shards: Striped<Shard> = Striped::with_default(shards);
+        let n = shards.shard_count();
+        let cvs: Vec<Condvar> = (0..n).map(|_| Condvar::new()).collect();
+        let detector =
+            (0..n).map(|_| EdgeCache { version: u64::MAX, edges: Vec::new() }).collect();
         LockManager {
-            state: Mutex::new(State::default()),
-            cv: Condvar::new(),
+            shards,
+            cvs: cvs.into_boxed_slice(),
+            held: Striped::with_default(n),
+            detector: Mutex::new(detector),
             timeout,
             stats: LockStats::default(),
         }
+    }
+
+    /// Number of queue shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.shard_count()
+    }
+
+    /// The queue shard `name` maps to (stable for the manager's lifetime;
+    /// tests use this to build colliding / spread lock-name sets).
+    pub fn shard_of(&self, name: &LockName) -> usize {
+        self.shards.index_of(name)
     }
 
     /// Acquire `name` in `mode` for `txn`, blocking as needed.
@@ -115,10 +188,11 @@ impl LockManager {
     /// priority over new waiters.
     pub fn lock(&self, txn: TxnId, name: LockName, mode: LockMode) -> Result<(), LockError> {
         assert!(!txn.is_none(), "locks must be owned by a transaction");
-        let mut st = self.state.lock();
+        let idx = self.shards.index_of(&name);
+        let mut sh = self.shards.lock_index(idx);
         // Existing granted entry? Count or convert.
-        if Self::granted_pos(&st, &name, txn).is_some() {
-            let entry = Self::entry_mut(&mut st, &name, txn);
+        if Self::granted_pos(&sh, &name, txn).is_some() {
+            let entry = Self::entry_mut(&mut sh, &name, txn);
             if entry.mode.covers(mode) {
                 entry.count += 1;
                 self.stats.immediate_grants.fetch_add(1, Ordering::Relaxed);
@@ -126,24 +200,39 @@ impl LockManager {
             }
             let target = entry.mode.supremum(mode);
             entry.convert_to = Some(target);
+            sh.touch();
             let mut waited = false;
             loop {
-                if Self::conversion_compatible(&st, &name, txn, target) {
-                    let entry = Self::entry_mut(&mut st, &name, txn);
+                if Self::conversion_compatible(&sh, &name, txn, target) {
+                    let entry = Self::entry_mut(&mut sh, &name, txn);
                     entry.mode = target;
                     entry.convert_to = None;
                     entry.count += 1;
+                    sh.touch();
+                    drop(sh);
                     if waited {
-                        self.cv.notify_all();
+                        self.cvs[idx].notify_all();
                     } else {
                         self.stats.immediate_grants.fetch_add(1, Ordering::Relaxed);
                     }
                     return Ok(());
                 }
-                if self.would_deadlock(&st, txn) {
-                    Self::entry_mut(&mut st, &name, txn).convert_to = None;
+                // Cycle-check on a cross-shard snapshot; the shard lock is
+                // dropped first so detection never stacks shard mutexes.
+                drop(sh);
+                let dead = self.cycle_check(txn);
+                sh = self.shards.lock_index(idx);
+                // The world moved while unlocked: prefer granting over
+                // aborting on a stale snapshot.
+                if Self::conversion_compatible(&sh, &name, txn, target) {
+                    continue;
+                }
+                if dead {
+                    Self::entry_mut(&mut sh, &name, txn).convert_to = None;
+                    sh.touch();
+                    drop(sh);
                     self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
-                    self.cv.notify_all();
+                    self.cvs[idx].notify_all();
                     return Err(LockError::Deadlock);
                 }
                 if !waited {
@@ -151,23 +240,27 @@ impl LockManager {
                     self.stats.waits.fetch_add(1, Ordering::Relaxed);
                     // §5 coupling discipline: a blocking record-lock wait
                     // must happen latch-free.
-                    audit::lock_wait(matches!(name, LockName::Rid(_)), "lock conversion");
+                    audit::lock_wait_sharded(
+                        matches!(name, LockName::Rid(_)),
+                        "lock conversion",
+                        idx,
+                    );
                 }
-                if self.cv.wait_for(&mut st, self.timeout).timed_out() {
-                    Self::entry_mut(&mut st, &name, txn).convert_to = None;
+                if self.cvs[idx].wait_for(sh.inner_mut(), self.timeout).timed_out() {
+                    Self::entry_mut(&mut sh, &name, txn).convert_to = None;
+                    sh.touch();
+                    drop(sh);
                     self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                    self.cv.notify_all();
+                    self.cvs[idx].notify_all();
                     return Err(LockError::Timeout);
                 }
             }
         }
 
         // Fresh request: enqueue, wait until grantable.
-        let seq = {
-            st.seq += 1;
-            st.seq
-        };
-        st.queues.entry(name).or_default().push(Entry {
+        sh.seq += 1;
+        let seq = sh.seq;
+        sh.queues.entry(name).or_default().push(Entry {
             txn,
             mode,
             count: 1,
@@ -175,23 +268,33 @@ impl LockManager {
             convert_to: None,
             seq,
         });
+        sh.touch();
         let mut waited = false;
         loop {
-            if Self::grantable(&st, &name, txn, seq) {
-                let entry = Self::waiting_entry_mut(&mut st, &name, txn, seq);
+            if Self::grantable(&sh, &name, txn, seq) {
+                let entry = Self::waiting_entry_mut(&mut sh, &name, txn, seq);
                 entry.granted = true;
-                st.held.entry(txn).or_default().insert(name);
+                sh.touch();
+                drop(sh);
+                self.held.lock(&txn).entry(txn).or_default().insert(name);
                 if waited {
-                    self.cv.notify_all();
+                    self.cvs[idx].notify_all();
                 } else {
                     self.stats.immediate_grants.fetch_add(1, Ordering::Relaxed);
                 }
                 return Ok(());
             }
-            if self.would_deadlock(&st, txn) {
-                Self::remove_waiting(&mut st, &name, txn, seq);
+            drop(sh);
+            let dead = self.cycle_check(txn);
+            sh = self.shards.lock_index(idx);
+            if Self::grantable(&sh, &name, txn, seq) {
+                continue;
+            }
+            if dead {
+                Self::remove_waiting(&mut sh, &name, txn, seq);
+                drop(sh);
                 self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
-                self.cv.notify_all();
+                self.cvs[idx].notify_all();
                 return Err(LockError::Deadlock);
             }
             if !waited {
@@ -199,12 +302,17 @@ impl LockManager {
                 self.stats.waits.fetch_add(1, Ordering::Relaxed);
                 // §5 coupling discipline: a blocking record-lock wait
                 // must happen latch-free.
-                audit::lock_wait(matches!(name, LockName::Rid(_)), "fresh lock request");
+                audit::lock_wait_sharded(
+                    matches!(name, LockName::Rid(_)),
+                    "fresh lock request",
+                    idx,
+                );
             }
-            if self.cv.wait_for(&mut st, self.timeout).timed_out() {
-                Self::remove_waiting(&mut st, &name, txn, seq);
+            if self.cvs[idx].wait_for(sh.inner_mut(), self.timeout).timed_out() {
+                Self::remove_waiting(&mut sh, &name, txn, seq);
+                drop(sh);
                 self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                self.cv.notify_all();
+                self.cvs[idx].notify_all();
                 return Err(LockError::Timeout);
             }
         }
@@ -212,29 +320,28 @@ impl LockManager {
 
     /// Non-blocking acquire: `Ok(true)` if granted immediately.
     pub fn try_lock(&self, txn: TxnId, name: LockName, mode: LockMode) -> bool {
-        let mut st = self.state.lock();
-        if let Some(pos) = Self::granted_pos(&st, &name, txn) {
+        let mut sh = self.shards.lock(&name);
+        if let Some(pos) = Self::granted_pos(&sh, &name, txn) {
             let (covers, target) = {
-                let entry = &st.queues[&name][pos];
+                let entry = &sh.queues[&name][pos];
                 (entry.mode.covers(mode), entry.mode.supremum(mode))
             };
             if covers {
-                Self::entry_mut(&mut st, &name, txn).count += 1;
+                Self::entry_mut(&mut sh, &name, txn).count += 1;
                 return true;
             }
-            if Self::conversion_compatible(&st, &name, txn, target) {
-                let entry = Self::entry_mut(&mut st, &name, txn);
+            if Self::conversion_compatible(&sh, &name, txn, target) {
+                let entry = Self::entry_mut(&mut sh, &name, txn);
                 entry.mode = target;
                 entry.count += 1;
+                sh.touch();
                 return true;
             }
             return false;
         }
-        let seq = {
-            st.seq += 1;
-            st.seq
-        };
-        st.queues.entry(name).or_default().push(Entry {
+        sh.seq += 1;
+        let seq = sh.seq;
+        sh.queues.entry(name).or_default().push(Entry {
             txn,
             mode,
             count: 1,
@@ -242,13 +349,15 @@ impl LockManager {
             convert_to: None,
             seq,
         });
-        if Self::grantable(&st, &name, txn, seq) {
-            let entry = Self::waiting_entry_mut(&mut st, &name, txn, seq);
+        if Self::grantable(&sh, &name, txn, seq) {
+            let entry = Self::waiting_entry_mut(&mut sh, &name, txn, seq);
             entry.granted = true;
-            st.held.entry(txn).or_default().insert(name);
+            sh.touch();
+            drop(sh);
+            self.held.lock(&txn).entry(txn).or_default().insert(name);
             true
         } else {
-            Self::remove_waiting(&mut st, &name, txn, seq);
+            Self::remove_waiting(&mut sh, &name, txn, seq);
             false
         }
     }
@@ -258,8 +367,9 @@ impl LockManager {
     /// visits that node", §7.2). Fully releases when the count drops to
     /// zero. Returns whether the entry was fully released.
     pub fn unlock(&self, txn: TxnId, name: LockName) -> bool {
-        let mut st = self.state.lock();
-        let Some(queue) = st.queues.get_mut(&name) else { return false };
+        let idx = self.shards.index_of(&name);
+        let mut sh = self.shards.lock_index(idx);
+        let Some(queue) = sh.queues.get_mut(&name) else { return false };
         let Some(pos) = queue.iter().position(|e| e.txn == txn && e.granted) else {
             return false;
         };
@@ -270,38 +380,50 @@ impl LockManager {
         }
         queue.remove(pos);
         if queue.is_empty() {
-            st.queues.remove(&name);
+            sh.queues.remove(&name);
         }
-        if let Some(set) = st.held.get_mut(&txn) {
-            set.remove(&name);
-            if set.is_empty() {
-                st.held.remove(&txn);
+        sh.touch();
+        drop(sh);
+        {
+            let mut held = self.held.lock(&txn);
+            if let Some(set) = held.get_mut(&txn) {
+                set.remove(&name);
+                if set.is_empty() {
+                    held.remove(&txn);
+                }
             }
         }
-        self.cv.notify_all();
+        self.cvs[idx].notify_all();
         true
     }
 
     /// Release every lock held by `txn` (commit/abort).
     pub fn release_all(&self, txn: TxnId) {
-        let mut st = self.state.lock();
-        let names: Vec<LockName> =
-            st.held.remove(&txn).map(|s| s.into_iter().collect()).unwrap_or_default();
+        // Take the held set first and drop its shard before touching any
+        // queue shard (the one cross-table ordering rule; see `held`).
+        let names: Vec<LockName> = {
+            let mut held = self.held.lock(&txn);
+            held.remove(&txn).map(|s| s.into_iter().collect()).unwrap_or_default()
+        };
         for name in names {
-            if let Some(queue) = st.queues.get_mut(&name) {
+            let idx = self.shards.index_of(&name);
+            let mut sh = self.shards.lock_index(idx);
+            if let Some(queue) = sh.queues.get_mut(&name) {
                 queue.retain(|e| e.txn != txn);
                 if queue.is_empty() {
-                    st.queues.remove(&name);
+                    sh.queues.remove(&name);
                 }
+                sh.touch();
             }
+            drop(sh);
+            self.cvs[idx].notify_all();
         }
-        self.cv.notify_all();
     }
 
     /// The mode `txn` holds on `name`, if any.
     pub fn holds(&self, txn: TxnId, name: LockName) -> Option<LockMode> {
-        let st = self.state.lock();
-        st.queues
+        let sh = self.shards.lock(&name);
+        sh.queues
             .get(&name)?
             .iter()
             .find(|e| e.txn == txn && e.granted)
@@ -310,8 +432,8 @@ impl LockManager {
 
     /// All granted holders of `name`.
     pub fn holders(&self, name: LockName) -> Vec<(TxnId, LockMode)> {
-        let st = self.state.lock();
-        st.queues
+        let sh = self.shards.lock(&name);
+        sh.queues
             .get(&name)
             .map(|q| q.iter().filter(|e| e.granted).map(|e| (e.txn, e.mode)).collect())
             .unwrap_or_default()
@@ -319,14 +441,14 @@ impl LockManager {
 
     /// Number of requests waiting on `name`.
     pub fn waiter_count(&self, name: LockName) -> usize {
-        let st = self.state.lock();
-        st.queues.get(&name).map(|q| q.iter().filter(|e| !e.granted).count()).unwrap_or(0)
+        let sh = self.shards.lock(&name);
+        sh.queues.get(&name).map(|q| q.iter().filter(|e| !e.granted).count()).unwrap_or(0)
     }
 
     /// Names held by `txn` (snapshot).
     pub fn held_by(&self, txn: TxnId) -> Vec<LockName> {
-        let st = self.state.lock();
-        st.held.get(&txn).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        let held = self.held.lock(&txn);
+        held.get(&txn).map(|s| s.iter().copied().collect()).unwrap_or_default()
     }
 
     /// Force-add a granted S entry on `to` for every transaction holding
@@ -335,16 +457,25 @@ impl LockManager {
     /// This is the lock-manager extension §10.3 calls for: "it is also
     /// necessary to replicate the signaling locks set on a node" when it
     /// splits. Safe because the new node is not yet reachable, so `to` can
-    /// have no conflicting holders.
+    /// have no conflicting holders. The two queue shards are taken in
+    /// ascending index order ([`Striped::lock_pair`]), making the
+    /// node-pair update atomic without a global lock.
     pub fn replicate_shared(&self, from: LockName, to: LockName) {
-        let mut st = self.state.lock();
-        let owners: Vec<TxnId> = st
+        let (mut ga, mut gb) = self.shards.lock_pair(&from, &to);
+        let owners: Vec<TxnId> = ga
             .queues
             .get(&from)
             .map(|q| q.iter().filter(|e| e.granted).map(|e| e.txn).collect())
             .unwrap_or_default();
+        if owners.is_empty() {
+            return;
+        }
+        let to_shard: &mut Shard = match gb.as_mut() {
+            Some(g) => g,
+            None => &mut ga,
+        };
         for txn in owners {
-            let already = st
+            let already = to_shard
                 .queues
                 .get(&to)
                 .map(|q| q.iter().any(|e| e.txn == txn && e.granted))
@@ -352,9 +483,9 @@ impl LockManager {
             if already {
                 continue;
             }
-            st.seq += 1;
-            let seq = st.seq;
-            st.queues.entry(to).or_default().push(Entry {
+            to_shard.seq += 1;
+            let seq = to_shard.seq;
+            to_shard.queues.entry(to).or_default().push(Entry {
                 txn,
                 mode: LockMode::S,
                 count: 1,
@@ -362,18 +493,19 @@ impl LockManager {
                 convert_to: None,
                 seq,
             });
-            st.held.entry(txn).or_default().insert(to);
+            to_shard.touch();
+            self.held.lock(&txn).entry(txn).or_default().insert(to);
         }
     }
 
     // ---- internals ----
 
-    fn granted_pos(st: &State, name: &LockName, txn: TxnId) -> Option<usize> {
-        st.queues.get(name)?.iter().position(|e| e.txn == txn && e.granted)
+    fn granted_pos(sh: &Shard, name: &LockName, txn: TxnId) -> Option<usize> {
+        sh.queues.get(name)?.iter().position(|e| e.txn == txn && e.granted)
     }
 
-    fn entry_mut<'a>(st: &'a mut State, name: &LockName, txn: TxnId) -> &'a mut Entry {
-        let found = st
+    fn entry_mut<'a>(sh: &'a mut Shard, name: &LockName, txn: TxnId) -> &'a mut Entry {
+        let found = sh
             .queues
             .get_mut(name)
             .and_then(|q| q.iter_mut().find(|e| e.txn == txn && e.granted));
@@ -384,12 +516,12 @@ impl LockManager {
     }
 
     fn waiting_entry_mut<'a>(
-        st: &'a mut State,
+        sh: &'a mut Shard,
         name: &LockName,
         txn: TxnId,
         seq: u64,
     ) -> &'a mut Entry {
-        let found = st
+        let found = sh
             .queues
             .get_mut(name)
             .and_then(|q| q.iter_mut().find(|e| e.txn == txn && e.seq == seq));
@@ -399,19 +531,20 @@ impl LockManager {
         }
     }
 
-    fn remove_waiting(st: &mut State, name: &LockName, txn: TxnId, seq: u64) {
-        if let Some(q) = st.queues.get_mut(name) {
+    fn remove_waiting(sh: &mut Shard, name: &LockName, txn: TxnId, seq: u64) {
+        if let Some(q) = sh.queues.get_mut(name) {
             q.retain(|e| !(e.txn == txn && e.seq == seq && !e.granted));
             if q.is_empty() {
-                st.queues.remove(name);
+                sh.queues.remove(name);
             }
+            sh.touch();
         }
     }
 
     /// A conversion to `target` by `txn` can proceed iff `target` is
     /// compatible with every *other* granted entry.
-    fn conversion_compatible(st: &State, name: &LockName, txn: TxnId, target: LockMode) -> bool {
-        st.queues
+    fn conversion_compatible(sh: &Shard, name: &LockName, txn: TxnId, target: LockMode) -> bool {
+        sh.queues
             .get(name)
             .map(|q| {
                 q.iter()
@@ -424,8 +557,8 @@ impl LockManager {
     /// A waiting entry is grantable iff compatible with all granted
     /// entries of other transactions *and* it does not overtake an earlier
     /// conflicting waiter (fairness / starvation freedom).
-    fn grantable(st: &State, name: &LockName, txn: TxnId, seq: u64) -> bool {
-        let Some(q) = st.queues.get(name) else { return true };
+    fn grantable(sh: &Shard, name: &LockName, txn: TxnId, seq: u64) -> bool {
+        let Some(q) = sh.queues.get(name) else { return true };
         for e in q {
             if e.txn == txn && e.seq == seq {
                 continue;
@@ -448,20 +581,19 @@ impl LockManager {
         q.iter().find(|e| e.txn == txn && e.seq == seq).map(|e| e.mode).unwrap_or(LockMode::X)
     }
 
-    /// Build the waits-for graph and check whether `requester` is on a
-    /// cycle. Edges:
-    /// - waiter → conflicting granted holder,
-    /// - waiter → earlier conflicting waiter (FIFO implies waiting),
-    /// - converter → other conflicting granted holder.
-    fn would_deadlock(&self, st: &State, requester: TxnId) -> bool {
-        let mut edges: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
-        for q in st.queues.values() {
+    /// Wait-for edges contributed by one shard. Every edge is intra-queue
+    /// (waiter → conflicting granted holder, waiter → earlier conflicting
+    /// waiter, converter → other conflicting granted holder), so the set
+    /// is exact for the shard's current state.
+    fn shard_edges(sh: &Shard) -> Vec<(TxnId, TxnId)> {
+        let mut edges = Vec::new();
+        for q in sh.queues.values() {
             for (i, e) in q.iter().enumerate() {
                 if e.granted {
                     if let Some(target) = e.convert_to {
                         for other in q.iter().filter(|o| o.granted && o.txn != e.txn) {
                             if !other.effective_mode().compatible(target) {
-                                edges.entry(e.txn).or_default().insert(other.txn);
+                                edges.push((e.txn, other.txn));
                             }
                         }
                     }
@@ -476,10 +608,36 @@ impl LockManager {
                             j < i && !other.mode.compatible(e.mode)
                         };
                         if blocks {
-                            edges.entry(e.txn).or_default().insert(other.txn);
+                            edges.push((e.txn, other.txn));
                         }
                     }
                 }
+            }
+        }
+        edges
+    }
+
+    /// Check whether `requester` is on a waits-for cycle, using the
+    /// version-keyed snapshot cache: only shards mutated since the last
+    /// detection recompute their edge set, and at most one shard lock is
+    /// held at any moment (the caller holds none). The union can mix
+    /// shard states observed at slightly different instants; the caller
+    /// guards against the resulting (rare) stale positive by re-checking
+    /// grantability under its shard lock before aborting.
+    fn cycle_check(&self, requester: TxnId) -> bool {
+        let mut det = self.detector.lock();
+        for idx in 0..self.shards.shard_count() {
+            let sh = self.shards.lock_index(idx);
+            let cache = &mut det[idx];
+            if cache.version != sh.version {
+                cache.edges = Self::shard_edges(&sh);
+                cache.version = sh.version;
+            }
+        }
+        let mut edges: HashMap<TxnId, HashSet<TxnId>> = HashMap::new();
+        for cache in det.iter() {
+            for &(a, b) in &cache.edges {
+                edges.entry(a).or_default().insert(b);
             }
         }
         // DFS from the requester looking for a path back to it.

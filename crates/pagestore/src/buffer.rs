@@ -10,6 +10,12 @@
 //! The pool enforces the write-ahead rule: before a dirty page is written
 //! back, the registered [`LogFlusher`] is asked to make the log durable up
 //! to the page's LSN.
+//!
+//! The frame table is **partitioned** (`gist-striped`): page ids hash to
+//! one of N independently locked shards, so fetch/pin/evict of distinct
+//! pages never contend on a global map mutex. Per-frame latches, pin
+//! counts and the flusher discipline are unchanged — sharding only
+//! affects how a page id finds its frame.
 
 use std::collections::HashMap;
 use std::io;
@@ -19,6 +25,7 @@ use std::sync::Arc;
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
 
+use gist_striped::Striped;
 use gist_wal::{LogFlusher, Lsn};
 
 use crate::audit;
@@ -75,7 +82,11 @@ pub struct BufferPool {
     audit_id: u64,
     flusher: Mutex<Option<Arc<dyn LogFlusher>>>,
     capacity: usize,
-    frames: Mutex<HashMap<PageId, Arc<Frame>>>,
+    /// Partitioned frame table: `PageId` hashes to one shard.
+    frames: Striped<HashMap<PageId, Arc<Frame>>>,
+    /// Frames cached across all shards (maintained at insert/remove so
+    /// the capacity check never sums every shard).
+    total: AtomicUsize,
     clock: AtomicU64,
     /// Counters (hits/misses/evictions/writebacks).
     pub stats: PoolStats,
@@ -83,18 +94,42 @@ pub struct BufferPool {
 
 impl BufferPool {
     /// Pool over `store` holding at most `capacity` frames (soft limit:
-    /// if every frame is pinned the pool grows rather than deadlocks).
+    /// if every frame is pinned the pool grows rather than deadlocks),
+    /// with the default frame-table shard count.
     pub fn new(store: Arc<dyn PageStore>, capacity: usize) -> Arc<Self> {
+        BufferPool::with_shards(store, capacity, 0)
+    }
+
+    /// [`BufferPool::new`] with an explicit frame-table shard count
+    /// (rounded up to a power of two; `0` = `next_pow2(2×cores)`). Shard
+    /// count 1 reproduces the pre-sharding single-mutex behavior exactly.
+    pub fn with_shards(
+        store: Arc<dyn PageStore>,
+        capacity: usize,
+        shards: usize,
+    ) -> Arc<Self> {
         assert!(capacity > 0, "capacity must be positive");
         Arc::new(BufferPool {
             store,
             audit_id: audit::new_instance_id(),
             flusher: Mutex::new(None),
             capacity,
-            frames: Mutex::new(HashMap::new()),
+            frames: Striped::new(shards, HashMap::new),
+            total: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
             stats: PoolStats::default(),
         })
+    }
+
+    /// Number of frame-table shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.frames.shard_count()
+    }
+
+    /// The frame-table shard `id` maps to (stable for the pool's
+    /// lifetime; tests use this to build colliding / spread key sets).
+    pub fn shard_of(&self, id: PageId) -> usize {
+        self.frames.index_of(&id)
     }
 
     /// Register the log flusher used to enforce the WAL rule on
@@ -150,9 +185,9 @@ impl BufferPool {
         blocking: bool,
     ) -> io::Result<FetchResult> {
         assert!(!id.is_invalid(), "fetch of the invalid page id");
-        // Fast path: hit.
+        // Fast path: hit (only `id`'s shard is locked).
         let existing = {
-            let frames = self.frames.lock();
+            let frames = self.frames.lock(&id);
             frames.get(&id).map(|f| {
                 f.pins.fetch_add(1, Ordering::Relaxed);
                 f.tick.store(self.tick(), Ordering::Relaxed);
@@ -202,12 +237,13 @@ impl BufferPool {
         });
         let mut g = frame.latch.write_arc();
         {
-            let mut frames = self.frames.lock();
+            let mut frames = self.frames.lock(&id);
             if frames.contains_key(&id) {
                 // Lost the race; retry via the hit path.
                 return Ok(FetchResult::Retry);
             }
             frames.insert(id, frame.clone());
+            self.total.fetch_add(1, Ordering::Relaxed);
         }
         self.evict_excess();
         audit::io_event(self.audit_id, u64::from(id.0), "page-load");
@@ -225,7 +261,9 @@ impl BufferPool {
             Err(e) => {
                 g.failed = true;
                 drop(g);
-                self.frames.lock().remove(&id);
+                if self.frames.lock(&id).remove(&id).is_some() {
+                    self.total.fetch_sub(1, Ordering::Relaxed);
+                }
                 frame.pins.fetch_sub(1, Ordering::Relaxed);
                 Err(e)
             }
@@ -239,7 +277,7 @@ impl BufferPool {
     /// fresh frame's latch is uncontended).
     pub fn try_fetch_write(self: &Arc<Self>, id: PageId) -> io::Result<Option<PageWriteGuard>> {
         let existing = {
-            let frames = self.frames.lock();
+            let frames = self.frames.lock(&id);
             frames.get(&id).map(|f| {
                 f.pins.fetch_add(1, Ordering::Relaxed);
                 f.tick.store(self.tick(), Ordering::Relaxed);
@@ -288,7 +326,7 @@ impl BufferPool {
     fn fetch_write_or_fresh(self: &Arc<Self>, id: PageId) -> io::Result<PageWriteGuard> {
         loop {
             let existing = {
-                let frames = self.frames.lock();
+                let frames = self.frames.lock(&id);
                 frames.get(&id).map(|f| {
                     f.pins.fetch_add(1, Ordering::Relaxed);
                     f.clone()
@@ -324,11 +362,12 @@ impl BufferPool {
             });
             let g = frame.latch.write_arc();
             {
-                let mut frames = self.frames.lock();
+                let mut frames = self.frames.lock(&id);
                 if frames.contains_key(&id) {
                     continue;
                 }
                 frames.insert(id, frame.clone());
+                self.total.fetch_add(1, Ordering::Relaxed);
             }
             self.evict_excess();
             audit::latch_acquired(self.audit_id, u64::from(id.0), true, false);
@@ -337,20 +376,25 @@ impl BufferPool {
     }
 
     /// Evict clean-or-flushable unpinned frames until within capacity.
+    ///
+    /// Scans shards in ascending index order holding one shard lock at a
+    /// time; the global minimum-tick unpinned victim is carried between
+    /// shards by its *frame latch* (never a shard lock), so eviction
+    /// stacks no shard mutexes and cannot deadlock with fetchers.
     fn evict_excess(self: &Arc<Self>) {
         loop {
-            let victim = {
-                let frames = self.frames.lock();
-                if frames.len() <= self.capacity {
-                    return;
-                }
-                let mut best: Option<(u64, Arc<Frame>, WriteGuardInner)> = None;
+            if self.total.load(Ordering::Relaxed) <= self.capacity {
+                return;
+            }
+            let mut best: Option<(u64, Arc<Frame>, WriteGuardInner)> = None;
+            for idx in 0..self.frames.shard_count() {
+                let frames = self.frames.lock_index(idx);
                 for f in frames.values() {
                     if f.pins.load(Ordering::Relaxed) != 0 {
                         continue;
                     }
                     if let Some(g) = f.latch.try_write_arc() {
-                        // Re-check pins under the latch+map locks.
+                        // Re-check pins under the latch+shard locks.
                         if f.pins.load(Ordering::Relaxed) != 0 {
                             continue;
                         }
@@ -361,21 +405,21 @@ impl BufferPool {
                         }
                     }
                 }
-                match best {
-                    Some((_, f, g)) => Some((f, g)),
-                    None => return, // everything pinned or latched: grow
-                }
-            };
-            let Some((frame, guard)) = victim else { return };
-            // Write back outside the map lock, latch held.
+            }
+            // Everything pinned or latched: grow rather than deadlock.
+            let Some((_, frame, guard)) = best else { return };
+            // Write back outside any shard lock, latch held.
             if frame.dirty.load(Ordering::Relaxed) {
                 self.write_back(&frame, &guard.page);
             }
             // Remove only if still unpinned (a fetcher may be parked on
-            // the latch; its pin protects it).
-            let mut frames = self.frames.lock();
-            if frame.pins.load(Ordering::Relaxed) == 0 {
+            // the latch; its pin protects it) and still the mapped frame.
+            let mut frames = self.frames.lock(&frame.id);
+            if frame.pins.load(Ordering::Relaxed) == 0
+                && frames.get(&frame.id).is_some_and(|f| Arc::ptr_eq(f, &frame))
+            {
                 frames.remove(&frame.id);
+                self.total.fetch_sub(1, Ordering::Relaxed);
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -397,10 +441,19 @@ impl BufferPool {
         self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Snapshot every cached frame, locking shards one at a time in
+    /// ascending order (so sweeps never stack shard locks).
+    fn snapshot_frames(&self) -> Vec<Arc<Frame>> {
+        let mut out = Vec::new();
+        for idx in 0..self.frames.shard_count() {
+            out.extend(self.frames.lock_index(idx).values().cloned());
+        }
+        out
+    }
+
     /// Write every dirty page back to the store (log flushed first).
     pub fn flush_all(&self) {
-        let snapshot: Vec<Arc<Frame>> = self.frames.lock().values().cloned().collect();
-        for frame in snapshot {
+        for frame in self.snapshot_frames() {
             if !frame.dirty.load(Ordering::Relaxed) {
                 continue;
             }
@@ -414,8 +467,10 @@ impl BufferPool {
     /// Simulate a crash: every cached frame is dropped without write-back,
     /// exactly as if the process died. Outstanding guards must not exist.
     pub fn crash(&self) {
-        let mut frames = self.frames.lock();
-        for f in frames.values() {
+        // Assert quiescence across every shard before dropping anything,
+        // so a pinned frame in a late shard cannot leave a half-cleared
+        // pool behind the panic.
+        for f in self.snapshot_frames() {
             assert_eq!(
                 f.pins.load(Ordering::Relaxed),
                 0,
@@ -423,12 +478,16 @@ impl BufferPool {
                 f.id
             );
         }
-        frames.clear();
+        for idx in 0..self.frames.shard_count() {
+            let mut frames = self.frames.lock_index(idx);
+            self.total.fetch_sub(frames.len(), Ordering::Relaxed);
+            frames.clear();
+        }
     }
 
     /// Number of frames currently cached.
     pub fn cached_frames(&self) -> usize {
-        self.frames.lock().len()
+        (0..self.frames.shard_count()).map(|idx| self.frames.lock_index(idx).len()).sum()
     }
 
     /// Snapshot `(page, recLSN)` for every dirty frame — the dirty-page
@@ -438,9 +497,8 @@ impl BufferPool {
     /// by the restart analysis scan, so missing it here is also safe.
     /// Frames dirtied by unlogged changes report the log start.
     pub fn dirty_page_table(&self) -> Vec<(u32, Lsn)> {
-        let snapshot: Vec<Arc<Frame>> = self.frames.lock().values().cloned().collect();
         let mut out = Vec::new();
-        for f in snapshot {
+        for f in self.snapshot_frames() {
             if f.dirty.load(Ordering::Relaxed) {
                 let rl = f.rec_lsn.load(Ordering::Relaxed);
                 out.push((f.id.0, if rl == 0 { Lsn(1) } else { Lsn(rl) }));
@@ -745,6 +803,53 @@ mod tests {
         // And a miss loads from the store without blocking.
         let miss = pool.try_fetch_write(PageId(7)).unwrap();
         assert!(miss.is_some());
+    }
+
+    #[test]
+    fn single_shard_reproduces_preshard_semantics() {
+        // Shard count 1 is exactly the old single-mutex frame table: the
+        // capacity-2 eviction behavior, content round-trips and stats
+        // must match the sharded pool bit for bit.
+        let store = Arc::new(InMemoryStore::new());
+        store.ensure_capacity(64).unwrap();
+        let pool = BufferPool::with_shards(store, 2, 1);
+        assert_eq!(pool.shard_count(), 1);
+        for i in 1..=8u32 {
+            assert_eq!(pool.shard_of(PageId(i)), 0, "one shard owns everything");
+            let mut g = pool.new_page_write(PageId(i), 0).unwrap();
+            g.insert_cell(format!("page-{i}").as_bytes()).unwrap();
+            g.mark_dirty_unlogged();
+        }
+        assert!(pool.cached_frames() <= 3, "pool stayed near capacity");
+        for i in 1..=8u32 {
+            let g = pool.fetch_read(PageId(i)).unwrap();
+            assert_eq!(g.cell(0).unwrap(), format!("page-{i}").as_bytes());
+        }
+        assert!(pool.stats.evictions.load(Ordering::Relaxed) > 0);
+        assert!(pool.stats.writebacks.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn sharded_pool_spreads_pages_and_evicts_globally() {
+        let store = Arc::new(InMemoryStore::new());
+        store.ensure_capacity(64).unwrap();
+        let pool = BufferPool::with_shards(store, 4, 8);
+        assert_eq!(pool.shard_count(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 1..=32u32 {
+            seen.insert(pool.shard_of(PageId(i)));
+            let mut g = pool.new_page_write(PageId(i), 0).unwrap();
+            g.insert_cell(&i.to_le_bytes()).unwrap();
+            g.mark_dirty_unlogged();
+        }
+        assert!(seen.len() >= 4, "sequential pages collapsed to {} shard(s)", seen.len());
+        // Eviction is global: the pool stays near capacity even though
+        // each individual shard is far below it.
+        assert!(pool.cached_frames() <= 5, "global capacity respected across shards");
+        for i in 1..=32u32 {
+            let g = pool.fetch_read(PageId(i)).unwrap();
+            assert_eq!(g.cell(0).unwrap(), &i.to_le_bytes());
+        }
     }
 
     #[test]

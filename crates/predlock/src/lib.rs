@@ -21,6 +21,18 @@
 //! ordering predicates … in a FIFO list and checking each new predicate
 //! against those ahead of it").
 //!
+//! The per-node FIFO lists are **striped** (`gist-striped`): a `NodeKey`
+//! hashes to one of N shards, and each list entry carries the owner,
+//! kind and predicate bytes inline — so insert-time predicate checks on
+//! different leaves touch different shards and never consult the
+//! registry at all. The registry (a single mutex holding the
+//! per-predicate and per-transaction indexes) is only on the slow paths:
+//! register, attach bookkeeping, termination. Registry and node shards
+//! are never held simultaneously; split-time replication takes the two
+//! node shards in ascending index order ([`Striped::lock_pair`]), which
+//! keeps the node-pair update atomic. FIFO order per node is untouched —
+//! a node's list lives entirely inside one shard.
+//!
 //! Predicates are opaque byte strings here; the index supplies the
 //! conflict test (its `consistent()` extension method — §6: "the function
 //! consistent(), which is used to detect conflicting predicates, is the
@@ -34,6 +46,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use gist_pagestore::PageId;
+use gist_striped::Striped;
 use gist_wal::TxnId;
 
 /// What a predicate protects.
@@ -79,12 +92,21 @@ struct PredState {
     attachments: Vec<NodeKey>,
 }
 
+/// One FIFO-list entry. Owner/kind/bytes are denormalized from the
+/// registry so node-local checks are shard-local.
+#[derive(Debug, Clone)]
+struct NodeEntry {
+    id: PredId,
+    txn: TxnId,
+    kind: PredKind,
+    bytes: Arc<[u8]>,
+}
+
+/// Slow-path indexes: predicate states and the per-transaction lists.
 #[derive(Default)]
-struct PmState {
+struct Registry {
     next_id: u64,
     preds: HashMap<PredId, PredState>,
-    /// FIFO attachment list per node.
-    nodes: HashMap<NodeKey, Vec<PredId>>,
     by_txn: HashMap<TxnId, Vec<PredId>>,
 }
 
@@ -100,23 +122,51 @@ pub struct PredStats {
 }
 
 /// The predicate manager.
-#[derive(Default)]
 pub struct PredicateManager {
-    state: Mutex<PmState>,
+    registry: Mutex<Registry>,
+    /// Striped per-node FIFO attachment lists.
+    nodes: Striped<HashMap<NodeKey, Vec<NodeEntry>>>,
+}
+
+impl Default for PredicateManager {
+    fn default() -> Self {
+        Self::with_shards(0)
+    }
 }
 
 impl PredicateManager {
-    /// Empty manager.
+    /// Empty manager with the default node-table shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Empty manager with an explicit node-table shard count (rounded up
+    /// to a power of two; `0` = `next_pow2(2×cores)`). Shard count 1
+    /// reproduces the pre-sharding single-table behavior exactly.
+    pub fn with_shards(shards: usize) -> Self {
+        PredicateManager {
+            registry: Mutex::new(Registry::default()),
+            nodes: Striped::with_default(shards),
+        }
+    }
+
+    /// Number of node-table shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.nodes.shard_count()
+    }
+
+    /// The node-table shard `node` maps to (stable for the manager's
+    /// lifetime; tests use this to build colliding / spread node sets).
+    pub fn node_shard(&self, node: &NodeKey) -> usize {
+        self.nodes.index_of(node)
+    }
+
     /// Register a predicate for `txn` (no attachments yet).
     pub fn register(&self, txn: TxnId, kind: PredKind, bytes: Vec<u8>) -> PredId {
-        let mut st = self.state.lock();
-        st.next_id += 1;
-        let id = PredId(st.next_id);
-        st.preds.insert(
+        let mut reg = self.registry.lock();
+        reg.next_id += 1;
+        let id = PredId(reg.next_id);
+        reg.preds.insert(
             id,
             PredState {
                 txn,
@@ -125,27 +175,31 @@ impl PredicateManager {
                 attachments: Vec::new(),
             },
         );
-        st.by_txn.entry(txn).or_default().push(id);
+        reg.by_txn.entry(txn).or_default().push(id);
         id
     }
 
     /// Attach `pred` to `node` (idempotent). Returns whether a new
     /// attachment was created.
     pub fn attach(&self, pred: PredId, node: NodeKey) -> bool {
-        let mut st = self.state.lock();
-        Self::attach_locked(&mut st, pred, node)
-    }
-
-    fn attach_locked(st: &mut PmState, pred: PredId, node: NodeKey) -> bool {
-        let Some(p) = st.preds.get_mut(&pred) else {
-            // Owner already terminated: nothing to protect.
-            return false;
+        // Claim the attachment in the registry first (atomic idempotence
+        // check), then insert into the node shard, then re-check the
+        // registry: a concurrent owner termination that raced the shard
+        // insert is swept up. Registry and shard are never held together.
+        let entry = {
+            let mut reg = self.registry.lock();
+            let Some(p) = reg.preds.get_mut(&pred) else {
+                // Owner already terminated: nothing to protect.
+                return false;
+            };
+            if p.attachments.contains(&node) {
+                return false;
+            }
+            p.attachments.push(node);
+            NodeEntry { id: pred, txn: p.txn, kind: p.kind, bytes: p.bytes.clone() }
         };
-        if p.attachments.contains(&node) {
-            return false;
-        }
-        p.attachments.push(node);
-        st.nodes.entry(node).or_default().push(pred);
+        self.nodes.lock(&node).entry(node).or_default().push(entry);
+        self.sweep_if_terminated(pred, node);
         true
     }
 
@@ -161,33 +215,53 @@ impl PredicateManager {
         node: NodeKey,
         conflict: &dyn Fn(&[u8], &[u8]) -> bool,
     ) -> Vec<TxnId> {
-        let mut st = self.state.lock();
-        let (me, my_bytes) = match st.preds.get(&pred) {
-            Some(p) => (p.txn, p.bytes.clone()),
-            None => return Vec::new(),
+        let info = {
+            let mut reg = self.registry.lock();
+            match reg.preds.get_mut(&pred) {
+                Some(p) => {
+                    let fresh = if p.attachments.contains(&node) {
+                        false
+                    } else {
+                        p.attachments.push(node);
+                        true
+                    };
+                    Some((p.txn, p.kind, p.bytes.clone(), fresh))
+                }
+                None => None,
+            }
         };
-        // Conflicts among predicates already attached (= ahead in FIFO
-        // order), then attach self.
+        let Some((me, kind, my_bytes, fresh)) = info else { return Vec::new() };
         let mut owners = Vec::new();
-        if let Some(list) = st.nodes.get(&node) {
-            for id in list {
-                let Some(other) = st.preds.get(id) else { continue };
-                if other.txn == me || other.kind != PredKind::Insert {
+        {
+            // Conflict scan and self-attach under one shard lock: the
+            // node's FIFO list is mutated atomically, exactly as under
+            // the old global mutex.
+            let mut sh = self.nodes.lock(&node);
+            let list = sh.entry(node).or_default();
+            for e in list.iter() {
+                if e.txn == me || e.kind != PredKind::Insert {
                     continue;
                 }
-                if conflict(&my_bytes, &other.bytes) && !owners.contains(&other.txn) {
-                    owners.push(other.txn);
+                if conflict(&my_bytes, &e.bytes) && !owners.contains(&e.txn) {
+                    owners.push(e.txn);
                 }
             }
+            if fresh {
+                list.push(NodeEntry { id: pred, txn: me, kind, bytes: my_bytes });
+            }
+            if list.is_empty() {
+                sh.remove(&node);
+            }
         }
-        Self::attach_locked(&mut st, pred, node);
+        self.sweep_if_terminated(pred, node);
         owners
     }
 
     /// Check a new key against the *scan* predicates attached to `node`
     /// (§6 step 6: "check the list of predicates attached to the leaf and
     /// block on the conflicting ones"). Returns conflicting owners in
-    /// FIFO order, deduplicated.
+    /// FIFO order, deduplicated. Touches only `node`'s shard — the hot
+    /// insert path never takes the registry.
     pub fn check_insert(
         &self,
         node: NodeKey,
@@ -195,16 +269,15 @@ impl PredicateManager {
         key_bytes: &[u8],
         conflict: &dyn Fn(&[u8], &[u8]) -> bool,
     ) -> Vec<TxnId> {
-        let st = self.state.lock();
+        let sh = self.nodes.lock(&node);
         let mut owners = Vec::new();
-        if let Some(list) = st.nodes.get(&node) {
-            for id in list {
-                let Some(p) = st.preds.get(id) else { continue };
-                if p.txn == me || p.kind != PredKind::Scan {
+        if let Some(list) = sh.get(&node) {
+            for e in list {
+                if e.txn == me || e.kind != PredKind::Scan {
                     continue;
                 }
-                if conflict(&p.bytes, key_bytes) && !owners.contains(&p.txn) {
-                    owners.push(p.txn);
+                if conflict(&e.bytes, key_bytes) && !owners.contains(&e.txn) {
+                    owners.push(e.txn);
                 }
             }
         }
@@ -213,18 +286,15 @@ impl PredicateManager {
 
     /// Snapshot of the predicates attached to `node`.
     pub fn predicates_on(&self, node: NodeKey) -> Vec<Predicate> {
-        let st = self.state.lock();
-        st.nodes
-            .get(&node)
+        let sh = self.nodes.lock(&node);
+        sh.get(&node)
             .map(|list| {
                 list.iter()
-                    .filter_map(|id| {
-                        st.preds.get(id).map(|p| Predicate {
-                            id: *id,
-                            txn: p.txn,
-                            kind: p.kind,
-                            bytes: p.bytes.clone(),
-                        })
+                    .map(|e| Predicate {
+                        id: e.id,
+                        txn: e.txn,
+                        kind: e.kind,
+                        bytes: e.bytes.clone(),
                     })
                     .collect()
             })
@@ -236,19 +306,67 @@ impl PredicateManager {
     /// tests the predicate against the new sibling's BP, and function 4,
     /// percolation to children on BP expansion). Preserves FIFO order.
     /// Returns the number of new attachments.
+    ///
+    /// The two node shards are locked in ascending index order, making
+    /// the node-pair copy atomic; registry bookkeeping follows with no
+    /// shard held, and entries whose owner terminated in between are
+    /// swept back out.
     pub fn replicate(
         &self,
         from: NodeKey,
         to: NodeKey,
         keep: &dyn Fn(PredKind, &[u8]) -> bool,
     ) -> usize {
-        let mut st = self.state.lock();
-        let candidates: Vec<PredId> = st.nodes.get(&from).cloned().unwrap_or_default();
+        let inserted: Vec<PredId> = {
+            let (mut ga, mut gb) = self.nodes.lock_pair(&from, &to);
+            let candidates: Vec<NodeEntry> = ga
+                .get(&from)
+                .map(|l| l.iter().filter(|e| keep(e.kind, &e.bytes)).cloned().collect())
+                .unwrap_or_default();
+            if candidates.is_empty() {
+                return 0;
+            }
+            let to_map = match gb.as_mut() {
+                Some(g) => &mut **g,
+                None => &mut *ga,
+            };
+            let list = to_map.entry(to).or_default();
+            let mut inserted = Vec::new();
+            for e in candidates {
+                if list.iter().any(|x| x.id == e.id) {
+                    continue;
+                }
+                inserted.push(e.id);
+                list.push(e);
+            }
+            if list.is_empty() {
+                to_map.remove(&to);
+            }
+            inserted
+        };
         let mut n = 0;
-        for id in candidates {
-            let Some(p) = st.preds.get(&id) else { continue };
-            if keep(p.kind, &p.bytes) && Self::attach_locked(&mut st, id, to) {
-                n += 1;
+        let mut dead: Vec<PredId> = Vec::new();
+        {
+            let mut reg = self.registry.lock();
+            for id in &inserted {
+                match reg.preds.get_mut(id) {
+                    Some(p) => {
+                        if !p.attachments.contains(&to) {
+                            p.attachments.push(to);
+                            n += 1;
+                        }
+                    }
+                    None => dead.push(*id),
+                }
+            }
+        }
+        if !dead.is_empty() {
+            let mut sh = self.nodes.lock(&to);
+            if let Some(list) = sh.get_mut(&to) {
+                list.retain(|e| !dead.contains(&e.id));
+                if list.is_empty() {
+                    sh.remove(&to);
+                }
             }
         }
         n
@@ -259,22 +377,21 @@ impl PredicateManager {
     /// insert finishes, before transaction end, and for insert
     /// predicates once the insert has succeeded).
     pub fn drop_predicate(&self, pred: PredId) {
-        let mut st = self.state.lock();
-        if let Some(p) = st.preds.remove(&pred) {
-            for node in &p.attachments {
-                if let Some(list) = st.nodes.get_mut(node) {
+        let removed = {
+            let mut reg = self.registry.lock();
+            let p = reg.preds.remove(&pred);
+            if let Some(p) = &p {
+                if let Some(list) = reg.by_txn.get_mut(&p.txn) {
                     list.retain(|x| *x != pred);
                     if list.is_empty() {
-                        st.nodes.remove(node);
+                        reg.by_txn.remove(&p.txn);
                     }
                 }
             }
-            if let Some(list) = st.by_txn.get_mut(&p.txn) {
-                list.retain(|x| *x != pred);
-                if list.is_empty() {
-                    st.by_txn.remove(&p.txn);
-                }
-            }
+            p
+        };
+        if let Some(p) = removed {
+            self.detach_from_nodes(pred, &p.attachments);
         }
     }
 
@@ -282,29 +399,56 @@ impl PredicateManager {
     /// "the predicates and their node attachments are only removed when
     /// the owner transaction terminates", §4.3).
     pub fn release_txn(&self, txn: TxnId) {
-        let mut st = self.state.lock();
-        let ids = st.by_txn.remove(&txn).unwrap_or_default();
-        for id in ids {
-            if let Some(p) = st.preds.remove(&id) {
-                for node in &p.attachments {
-                    if let Some(list) = st.nodes.get_mut(node) {
-                        list.retain(|x| *x != id);
-                        if list.is_empty() {
-                            st.nodes.remove(node);
-                        }
-                    }
-                }
-            }
+        let removed: Vec<(PredId, Vec<NodeKey>)> = {
+            let mut reg = self.registry.lock();
+            let ids = reg.by_txn.remove(&txn).unwrap_or_default();
+            ids.into_iter()
+                .filter_map(|id| reg.preds.remove(&id).map(|p| (id, p.attachments)))
+                .collect()
+        };
+        for (id, attachments) in removed {
+            self.detach_from_nodes(id, &attachments);
         }
     }
 
     /// Current counters.
     pub fn stats(&self) -> PredStats {
-        let st = self.state.lock();
-        PredStats {
-            predicates: st.preds.len(),
-            attachments: st.preds.values().map(|p| p.attachments.len()).sum(),
-            nodes: st.nodes.len(),
+        let (predicates, attachments) = {
+            let reg = self.registry.lock();
+            (reg.preds.len(), reg.preds.values().map(|p| p.attachments.len()).sum())
+        };
+        let mut nodes = 0;
+        for idx in 0..self.nodes.shard_count() {
+            nodes += self.nodes.lock_index(idx).len();
+        }
+        PredStats { predicates, attachments, nodes }
+    }
+
+    // ---- internals ----
+
+    /// Remove `pred`'s entries from the given nodes' shard lists (one
+    /// shard lock at a time; removals are idempotent).
+    fn detach_from_nodes(&self, pred: PredId, nodes: &[NodeKey]) {
+        for node in nodes {
+            let mut sh = self.nodes.lock(node);
+            if let Some(list) = sh.get_mut(node) {
+                list.retain(|e| e.id != pred);
+                if list.is_empty() {
+                    sh.remove(node);
+                }
+            }
+        }
+    }
+
+    /// Close the attach-vs-termination race: the attachment was recorded
+    /// in the registry *before* the shard insert, so a termination that
+    /// ran in between saw it and removed what existed then — but our
+    /// shard insert may have landed after its sweep. If the predicate is
+    /// gone now, take the entry back out (idempotent either way).
+    fn sweep_if_terminated(&self, pred: PredId, node: NodeKey) {
+        let live = self.registry.lock().preds.contains_key(&pred);
+        if !live {
+            self.detach_from_nodes(pred, &[node]);
         }
     }
 }
@@ -457,5 +601,85 @@ mod tests {
         assert_eq!(s.predicates, 2);
         assert_eq!(s.attachments, 3);
         assert_eq!(s.nodes, 2);
+    }
+
+    #[test]
+    fn single_shard_reproduces_preshard_semantics() {
+        // Shard count 1 is exactly the old single-table manager: FIFO
+        // attach order, replication and termination behave identically.
+        let pm = PredicateManager::with_shards(1);
+        assert_eq!(pm.shard_count(), 1);
+        assert_eq!(pm.node_shard(&node(1)), 0);
+        assert_eq!(pm.node_shard(&node(999)), 0);
+        let scan = pm.register(TxnId(1), PredKind::Scan, vec![9]);
+        assert!(pm.attach_scan_and_check(scan, node(1), &overlap).is_empty());
+        let ins = pm.register(TxnId(2), PredKind::Insert, vec![9]);
+        pm.attach(ins, node(1));
+        let scan2 = pm.register(TxnId(3), PredKind::Scan, vec![9]);
+        assert_eq!(pm.attach_scan_and_check(scan2, node(1), &overlap), vec![TxnId(2)]);
+        assert_eq!(pm.replicate(node(1), node(2), &|_, _| true), 3);
+        assert_eq!(pm.predicates_on(node(2)).len(), 3);
+        pm.release_txn(TxnId(1));
+        pm.release_txn(TxnId(2));
+        pm.release_txn(TxnId(3));
+        assert_eq!(pm.stats(), PredStats::default());
+    }
+
+    #[test]
+    fn sharded_tables_spread_nodes_and_replicate_across_shards() {
+        let pm = PredicateManager::with_shards(8);
+        assert_eq!(pm.shard_count(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 1..=32u32 {
+            seen.insert(pm.node_shard(&node(i)));
+        }
+        assert!(seen.len() >= 4, "sequential nodes collapsed to {} shard(s)", seen.len());
+        // Find two nodes in different shards and replicate between them.
+        let a = node(1);
+        let mut b = node(2);
+        let mut i = 3u32;
+        while pm.node_shard(&a) == pm.node_shard(&b) {
+            b = node(i);
+            i += 1;
+        }
+        let p = pm.register(TxnId(1), PredKind::Scan, vec![4]);
+        pm.attach(p, a);
+        assert_eq!(pm.replicate(a, b, &|_, _| true), 1, "cross-shard replication");
+        assert_eq!(pm.replicate(b, a, &|_, _| true), 0, "reverse is idempotent");
+        assert_eq!(pm.predicates_on(b).len(), 1);
+        let s = pm.stats();
+        assert_eq!((s.predicates, s.attachments, s.nodes), (1, 2, 2));
+        pm.release_txn(TxnId(1));
+        assert_eq!(pm.stats(), PredStats::default());
+    }
+
+    #[test]
+    fn concurrent_attach_and_release_leave_no_orphans() {
+        // Hammer attach/check/replicate/release from several threads; at
+        // the end every shard list must be empty (the termination sweep
+        // closed every race).
+        let pm = std::sync::Arc::new(PredicateManager::with_shards(8));
+        let mut handles = Vec::new();
+        for t in 1..=4u64 {
+            let pm = pm.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let txn = TxnId(t * 10_000 + u64::from(i));
+                    let p = pm.register(txn, PredKind::Scan, vec![t as u8]);
+                    let n = node(i % 16);
+                    pm.attach_scan_and_check(p, n, &overlap);
+                    pm.attach(p, node((i + 1) % 16));
+                    pm.replicate(n, node((i + 2) % 16), &|_, _| true);
+                    pm.check_insert(n, txn, &[t as u8], &overlap);
+                    pm.release_txn(txn);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = pm.stats();
+        assert_eq!(s.predicates, 0, "all predicates released");
+        assert_eq!(s.nodes, 0, "no orphaned node entries: {s:?}");
     }
 }

@@ -1,0 +1,33 @@
+//! Hooks into the gist-audit dynamic discipline analyzer.
+//!
+//! With the `latch-audit` feature every shard-mutex acquisition/release
+//! is reported to `gist_audit`'s thread-local shadow state, which
+//! enforces the ascending cross-shard acquisition order (`shard-order`
+//! rule). Without it the hooks are inlined no-ops.
+
+#[cfg(feature = "latch-audit")]
+pub(crate) use gist_audit::{shard_lock_acquired, shard_lock_released};
+
+/// Fresh audit layer id for one striped table (0 when auditing is off,
+/// so independent tables never alias in the shadow state).
+#[cfg(feature = "latch-audit")]
+pub(crate) fn new_layer_id() -> u64 {
+    gist_audit::new_instance_id()
+}
+
+#[cfg(not(feature = "latch-audit"))]
+mod noop {
+    #[inline(always)]
+    pub(crate) fn new_layer_id() -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    pub(crate) fn shard_lock_acquired(_layer: u64, _index: usize) {}
+
+    #[inline(always)]
+    pub(crate) fn shard_lock_released(_layer: u64, _index: usize) {}
+}
+
+#[cfg(not(feature = "latch-audit"))]
+pub(crate) use noop::*;

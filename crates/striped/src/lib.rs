@@ -1,0 +1,329 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # gist-striped — the shared sharding utility
+//!
+//! The paper's whole point (§3, §5) is that B-link-style traversal needs
+//! *no* global coordination beyond the NSN counter — so none of the
+//! synchronization layers around the tree protocol may funnel every
+//! request through one mutex either. This crate provides the one
+//! abstraction the buffer pool's frame table, the lock manager's queues
+//! and the predicate manager's node tables all shard onto:
+//! [`Striped<T>`], a power-of-two array of independently locked shards
+//! addressed by a **stable hash** of the caller's key.
+//!
+//! Properties the layers rely on:
+//!
+//! - **Stable addressing** — [`stable_hash`] is a fixed FNV-1a/fmix64
+//!   combination, independent of `RandomState`, so a key maps to the
+//!   same shard for the lifetime of a `Striped` and tests can construct
+//!   deliberately colliding key sets.
+//! - **Power-of-two shard count** — index extraction is a mask, and
+//!   [`default_shard_count`] picks `next_pow2(2 × cores)` so the table
+//!   out-provisions the hardware's true concurrency.
+//! - **Ordered cross-shard acquisition** — the rare operations that need
+//!   two shards at once (split-time predicate replication, signaling-lock
+//!   replication) go through [`Striped::lock_pair`], which locks in
+//!   ascending index order; whole-table sweeps use ascending
+//!   [`Striped::lock_index`] loops. Under the `latch-audit` feature every
+//!   acquisition is reported to `gist-audit`, whose `shard-order` rule
+//!   panics on a descending (deadlock-capable) acquisition.
+//! - **Shard count 1 degenerates to the old layout** — a single shard is
+//!   exactly the pre-sharding global `Mutex<…>`, which the per-layer
+//!   semantics tests exploit.
+
+use std::hash::{Hash, Hasher};
+
+use parking_lot::{Mutex, MutexGuard};
+
+mod audit;
+
+/// A deterministic, `RandomState`-independent hasher: FNV-1a over the
+/// `Hash` byte stream, finished with Murmur3's fmix64 avalanche so that
+/// low-entropy keys (sequential page ids, RIDs on one heap page) still
+/// disperse across the low bits used for shard selection.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for StableHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        // Murmur3 fmix64: full-width avalanche so masking off low bits
+        // samples every input bit.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+}
+
+/// Stable hash of `key` (see [`StableHasher`]).
+pub fn stable_hash<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = StableHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// The smallest power of two `>= n` (and `>= 1`).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// The default shard count: `next_pow2(2 × available cores)`, clamped to
+/// at most 256 so degenerate container limits cannot blow the table up.
+pub fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    next_pow2(2 * cores).min(256)
+}
+
+/// A power-of-two array of independently locked shards addressed by a
+/// stable hash. See the crate docs for the discipline the accessors
+/// enforce.
+pub struct Striped<T> {
+    shards: Box<[Mutex<T>]>,
+    mask: u64,
+    /// gist-audit layer id isolating this table's shard events from other
+    /// striped tables in the process (0 when auditing is off).
+    audit_layer: u64,
+}
+
+impl<T> Striped<T> {
+    /// Table with `count` shards (rounded up to a power of two; `0` means
+    /// [`default_shard_count`]), each initialized by `init`.
+    pub fn new(count: usize, init: impl Fn() -> T) -> Striped<T> {
+        let count = if count == 0 { default_shard_count() } else { next_pow2(count) };
+        let shards: Vec<Mutex<T>> = (0..count).map(|_| Mutex::new(init())).collect();
+        Striped {
+            shards: shards.into_boxed_slice(),
+            mask: (count - 1) as u64,
+            audit_layer: audit::new_layer_id(),
+        }
+    }
+
+    /// Table with `count` shards of `T::default()`.
+    pub fn with_default(count: usize) -> Striped<T>
+    where
+        T: Default,
+    {
+        Striped::new(count, T::default)
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` maps to.
+    pub fn index_of<K: Hash + ?Sized>(&self, key: &K) -> usize {
+        (stable_hash(key) & self.mask) as usize
+    }
+
+    /// Lock the shard owning `key`.
+    pub fn lock<K: Hash + ?Sized>(&self, key: &K) -> ShardGuard<'_, T> {
+        self.lock_index(self.index_of(key))
+    }
+
+    /// Lock shard `index` directly (whole-table sweeps iterate indices in
+    /// ascending order, which keeps cross-shard acquisition acyclic).
+    pub fn lock_index(&self, index: usize) -> ShardGuard<'_, T> {
+        audit::shard_lock_acquired(self.audit_layer, index);
+        ShardGuard { guard: self.shards[index].lock(), layer: self.audit_layer, index }
+    }
+
+    /// Lock the shards owning `a` and `b` in ascending index order — the
+    /// only deadlock-free way to hold two shards of one table. When both
+    /// keys share a shard the second guard is `None`; the guards are
+    /// returned in **key order** (`a`'s shard first), whatever the
+    /// locking order was.
+    pub fn lock_pair<K: Hash + ?Sized>(
+        &self,
+        a: &K,
+        b: &K,
+    ) -> (ShardGuard<'_, T>, Option<ShardGuard<'_, T>>) {
+        let ia = self.index_of(a);
+        let ib = self.index_of(b);
+        if ia == ib {
+            (self.lock_index(ia), None)
+        } else if ia < ib {
+            let ga = self.lock_index(ia);
+            let gb = self.lock_index(ib);
+            (ga, Some(gb))
+        } else {
+            let gb = self.lock_index(ib);
+            let ga = self.lock_index(ia);
+            (ga, Some(gb))
+        }
+    }
+}
+
+/// RAII guard on one shard; releases (and reports to the audit layer) on
+/// drop.
+pub struct ShardGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    layer: u64,
+    index: usize,
+}
+
+impl<'a, T> ShardGuard<'a, T> {
+    /// Index of the locked shard.
+    pub fn shard_index(&self) -> usize {
+        self.index
+    }
+
+    /// The raw `MutexGuard`, for condition-variable waits
+    /// (`Condvar::wait_for` needs the guard itself). The wait's internal
+    /// unlock/relock is invisible to the audit layer, which is sound: the
+    /// waiting thread acquires nothing while parked, so no ordering edge
+    /// is missed.
+    pub fn inner_mut(&mut self) -> &mut MutexGuard<'a, T> {
+        &mut self.guard
+    }
+}
+
+impl<T> std::ops::Deref for ShardGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for ShardGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for ShardGuard<'_, T> {
+    fn drop(&mut self) {
+        audit::shard_lock_released(self.layer, self.index);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn stable_hash_is_deterministic_and_disperses() {
+        assert_eq!(stable_hash(&42u32), stable_hash(&42u32));
+        assert_ne!(stable_hash(&1u32), stable_hash(&2u32));
+        // Sequential keys must not all land in one shard.
+        let s: Striped<()> = Striped::with_default(8);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            seen.insert(s.index_of(&i));
+        }
+        assert!(seen.len() >= 4, "sequential keys collapsed to {} shard(s)", seen.len());
+    }
+
+    #[test]
+    fn next_pow2_rounds_up() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(8), 8);
+        assert_eq!(next_pow2(9), 16);
+    }
+
+    #[test]
+    fn shard_count_rounds_and_zero_means_default() {
+        let s: Striped<u32> = Striped::with_default(5);
+        assert_eq!(s.shard_count(), 8);
+        let d: Striped<u32> = Striped::with_default(0);
+        assert_eq!(d.shard_count(), default_shard_count());
+        assert!(d.shard_count().is_power_of_two());
+    }
+
+    #[test]
+    fn keyed_access_hits_the_computed_shard() {
+        let s: Striped<Vec<u32>> = Striped::with_default(4);
+        for i in 0..32u32 {
+            s.lock(&i).push(i);
+        }
+        let mut total = 0;
+        for idx in 0..s.shard_count() {
+            let g = s.lock_index(idx);
+            for &v in g.iter() {
+                assert_eq!(s.index_of(&v), idx, "value {v} stored in wrong shard");
+                total += 1;
+            }
+        }
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn lock_pair_orders_and_collapses() {
+        let s: Striped<u32> = Striped::with_default(8);
+        // Find two keys in distinct shards and two sharing one.
+        let mut distinct = None;
+        let mut same = None;
+        for a in 0..64u32 {
+            for b in (a + 1)..64u32 {
+                if s.index_of(&a) != s.index_of(&b) {
+                    distinct.get_or_insert((a, b));
+                } else {
+                    same.get_or_insert((a, b));
+                }
+            }
+        }
+        let (a, b) = distinct.expect("some pair differs");
+        {
+            let (ga, gb) = s.lock_pair(&a, &b);
+            assert_eq!(ga.shard_index(), s.index_of(&a), "guards in key order");
+            assert_eq!(gb.expect("two shards").shard_index(), s.index_of(&b));
+        }
+        let (a, b) = same.expect("some pair collides");
+        let (ga, gb) = s.lock_pair(&a, &b);
+        assert_eq!(ga.shard_index(), s.index_of(&a));
+        assert!(gb.is_none(), "same shard yields one guard");
+    }
+
+    #[test]
+    fn single_shard_serializes_everything() {
+        let s: Striped<u64> = Striped::with_default(1);
+        assert_eq!(s.shard_count(), 1);
+        for i in 0..100u32 {
+            assert_eq!(s.index_of(&i), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_distinct_shards_do_not_corrupt() {
+        let s: Arc<Striped<HashMap<u32, u32>>> = Arc::new(Striped::with_default(8));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let k = t * 10_000 + i;
+                    s.lock(&k).insert(k, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut total = 0;
+        for idx in 0..s.shard_count() {
+            total += s.lock_index(idx).len();
+        }
+        assert_eq!(total, 2_000);
+    }
+}

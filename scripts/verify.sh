@@ -30,6 +30,9 @@ cargo run -q --bin gist-lint
 echo "== tier 2: cargo test -q --features latch-audit (dynamic analyzer) =="
 cargo test -q --features latch-audit
 
+echo "== tier 2: shard-boundary stress under latch-audit =="
+cargo test -q --features latch-audit --test stress shard_
+
 echo ""
 echo "verification summary"
 echo "  step                                violations"
@@ -38,4 +41,5 @@ echo "  tier-1 build + tests                         0"
 echo "  clippy (default + latch-audit)               0"
 echo "  gist-lint static rules                       0"
 echo "  latch-audit dynamic analyzer                 0"
+echo "  shard stress under latch-audit               0"
 echo "verify.sh: all green"

@@ -11,6 +11,7 @@
 //! | `record-coverage` | every `GistRecord` variant has an arm in the redo and undo dispatchers, and every `RecordBody` variant is named in the restart driver (no silent wildcard swallowing a new record kind) |
 //! | `latch-outside-buffer` | no direct `write_arc()` / `read_arc()` latch calls outside `pagestore/src/buffer.rs` — every latch must pass through the (audited) buffer-pool API |
 //! | `forbid-unsafe` | every crate without `unsafe` carries `#![forbid(unsafe_code)]` |
+//! | `no-global-sync-map` | no new top-level `Mutex<HashMap<...>>` / `RwLock<HashMap<...>>` in the hot-path sync crates (pagestore, lockmgr, predlock) — shared tables there must go through the striped abstraction (`gist-striped`) so they stay partitioned and shard-order audited |
 //!
 //! Scanning is line/AST-lite on purpose: the build must stay offline, so
 //! no syn/proc-macro dependencies. A light sanitizer strips comments and
@@ -250,6 +251,40 @@ fn rule_latch_outside_buffer(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule `no-global-sync-map`: the hot-path synchronization crates got
+/// their shared tables partitioned (PR 3); a mutex- or rwlock-wrapped
+/// `HashMap` reintroduces a process-global serialization point that the
+/// shard-order audit cannot see. New shared tables in these crates must
+/// be `Striped<...>` (or a named struct with a documented waiver).
+fn rule_no_global_sync_map(f: &SourceFile, out: &mut Vec<Violation>) {
+    let scoped = ["crates/pagestore/", "crates/lockmgr/", "crates/predlock/"]
+        .iter()
+        .any(|p| f.path.starts_with(p));
+    if !scoped {
+        return;
+    }
+    for (n, clean, raw, test) in f.lines() {
+        if test || raw.contains("lint: allow-global-sync-map") {
+            continue;
+        }
+        // Whitespace-insensitive match (`Mutex< HashMap` etc.).
+        let compact: String = clean.chars().filter(|c| !c.is_whitespace()).collect();
+        for needle in ["Mutex<HashMap<", "RwLock<HashMap<"] {
+            if compact.contains(needle) {
+                out.push(Violation {
+                    rule: "no-global-sync-map",
+                    file: f.path.clone(),
+                    line: n,
+                    msg: format!(
+                        "global `{needle}...>` in a hot-path sync crate — \
+                         use `gist_striped::Striped` (shard-order audited) instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Extract the variant names of `pub enum <name>` from sanitized source.
 fn enum_variants(clean: &str, name: &str) -> Vec<String> {
     let mut variants = Vec::new();
@@ -410,6 +445,7 @@ fn scan(files: &[SourceFile]) -> Vec<Violation> {
     for f in files {
         rule_no_unwrap(f, &mut out);
         rule_latch_outside_buffer(f, &mut out);
+        rule_no_global_sync_map(f, &mut out);
     }
     rule_record_coverage(files, &mut out);
     rule_forbid_unsafe(files, &mut out);
@@ -470,7 +506,13 @@ fn main() {
     println!();
     println!("gist-lint summary ({} files scanned)", files.len());
     println!("  {:<22} violations", "rule");
-    for rule in ["no-unwrap", "record-coverage", "latch-outside-buffer", "forbid-unsafe"] {
+    for rule in [
+        "no-unwrap",
+        "record-coverage",
+        "latch-outside-buffer",
+        "forbid-unsafe",
+        "no-global-sync-map",
+    ] {
         let n = violations.iter().filter(|v| v.rule == rule).count();
         println!("  {rule:<22} {n}");
     }
@@ -605,6 +647,51 @@ mod tests {
         let mut v = Vec::new();
         rule_forbid_unsafe(&[unsafe_crate], &mut v);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn global_sync_map_in_scoped_crate_is_flagged() {
+        let f = file(
+            "crates/lockmgr/src/manager.rs",
+            "struct M { queues: Mutex<HashMap<LockName, Vec<Entry>>> }",
+        );
+        let mut v = Vec::new();
+        rule_no_global_sync_map(&f, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-global-sync-map");
+        // RwLock and odd spacing are caught too.
+        let f = file(
+            "crates/predlock/src/lib.rs",
+            "nodes: RwLock< HashMap <NodeKey, Vec<PredId>> >,",
+        );
+        let mut v = Vec::new();
+        rule_no_global_sync_map(&f, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn global_sync_map_outside_scope_or_waived_is_exempt() {
+        // Other crates may still use a plain mutexed map.
+        let f = file("crates/wal/src/lib.rs", "x: Mutex<HashMap<u64, u64>>,");
+        let mut v = Vec::new();
+        rule_no_global_sync_map(&f, &mut v);
+        assert!(v.is_empty());
+        // An explicit waiver comment is respected.
+        let f = file(
+            "crates/pagestore/src/store.rs",
+            "x: Mutex<HashMap<u64, u64>>, // lint: allow-global-sync-map — cold path",
+        );
+        let mut v = Vec::new();
+        rule_no_global_sync_map(&f, &mut v);
+        assert!(v.is_empty());
+        // Test code in a scoped crate is exempt.
+        let f = file(
+            "crates/lockmgr/src/manager.rs",
+            "#[cfg(test)]\nmod tests {\n    struct T { m: Mutex<HashMap<u8, u8>> }\n}\n",
+        );
+        let mut v = Vec::new();
+        rule_no_global_sync_map(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     /// The real repository must be lint-clean: this is the self-scan the

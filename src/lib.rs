@@ -20,6 +20,9 @@
 //!   Table 1 logging/recovery protocol, and baseline protocols.
 //! - [`am`] — example access methods (B-tree, R-tree, RD-tree) realized as
 //!   GiST extensions.
+//! - [`striped`] — the shared sharding utility (`Striped<T>`) behind the
+//!   partitioned buffer-pool frame table, the striped lock-manager
+//!   queues, and the per-node predicate tables.
 //! - `audit` (behind the `latch-audit` feature) — the dynamic latch/lock
 //!   discipline analyzer asserting the §5 protocol invariants at runtime.
 
@@ -33,5 +36,6 @@ pub use gist_lockmgr as lockmgr;
 pub use gist_maint as maint;
 pub use gist_pagestore as pagestore;
 pub use gist_predlock as predlock;
+pub use gist_striped as striped;
 pub use gist_txn as txn;
 pub use gist_wal as wal;
