@@ -401,22 +401,38 @@ impl LockManager {
     pub fn release_all(&self, txn: TxnId) {
         // Take the held set first and drop its shard before touching any
         // queue shard (the one cross-table ordering rule; see `held`).
-        let names: Vec<LockName> = {
-            let mut held = self.held.lock(&txn);
-            held.remove(&txn).map(|s| s.into_iter().collect()).unwrap_or_default()
-        };
-        for name in names {
-            let idx = self.shards.index_of(&name);
-            let mut sh = self.shards.lock_index(idx);
-            if let Some(queue) = sh.queues.get_mut(&name) {
-                queue.retain(|e| e.txn != txn);
-                if queue.is_empty() {
-                    sh.queues.remove(&name);
-                }
-                sh.touch();
+        //
+        // Loop until the held set stays empty: a concurrent
+        // [`replicate_shared`](Self::replicate_shared) that still sees
+        // `txn` granted on the split node (its queue not yet purged here)
+        // adds a granted entry on the new node and re-inserts it into the
+        // held set after our snapshot. That insert happens *before*
+        // `replicate_shared` drops the source queue shard — which we must
+        // take to purge the source name — so re-reading the held set
+        // after the purge pass is guaranteed to observe the addition, and
+        // the loop terminates once the source queue no longer shows `txn`
+        // granted (no further replication can name it).
+        loop {
+            let names: Vec<LockName> = {
+                let mut held = self.held.lock(&txn);
+                held.remove(&txn).map(|s| s.into_iter().collect()).unwrap_or_default()
+            };
+            if names.is_empty() {
+                return;
             }
-            drop(sh);
-            self.cvs[idx].notify_all();
+            for name in names {
+                let idx = self.shards.index_of(&name);
+                let mut sh = self.shards.lock_index(idx);
+                if let Some(queue) = sh.queues.get_mut(&name) {
+                    queue.retain(|e| e.txn != txn);
+                    if queue.is_empty() {
+                        sh.queues.remove(&name);
+                    }
+                    sh.touch();
+                }
+                drop(sh);
+                self.cvs[idx].notify_all();
+            }
         }
     }
 
@@ -460,6 +476,13 @@ impl LockManager {
     /// have no conflicting holders. The two queue shards are taken in
     /// ascending index order ([`Striped::lock_pair`]), making the
     /// node-pair update atomic without a global lock.
+    ///
+    /// An owner may be terminating concurrently: replication is legal as
+    /// long as it still appears granted on `from`, and the held-set insert
+    /// below happens *before* the `from` queue shard is dropped, so the
+    /// owner's [`release_all`](Self::release_all) (which loops over the
+    /// held set until it stays empty) is guaranteed to pick up the
+    /// replicated entry and purge it — no orphaned grants.
     pub fn replicate_shared(&self, from: LockName, to: LockName) {
         let (mut ga, mut gb) = self.shards.lock_pair(&from, &to);
         let owners: Vec<TxnId> = ga

@@ -295,6 +295,41 @@ fn replicate_shared_copies_signaling_locks() {
 }
 
 #[test]
+fn replicate_shared_racing_release_all_leaves_no_orphans() {
+    // Regression: `release_all` used to snapshot the held set once; a
+    // concurrent `replicate_shared` that still saw the txn granted on the
+    // source node could add a granted S entry on the sibling *after* the
+    // snapshot, orphaning it forever (every later conflicting request on
+    // the sibling waited to timeout). `release_all` now loops until the
+    // held set stays empty.
+    let lm = Arc::new(LockManager::with_timeout_and_shards(Duration::from_secs(10), 8));
+    let orig = LockName::Node { index: 1, page: PageId(10) };
+    let sibling = LockName::Node { index: 1, page: PageId(11) };
+    for round in 0..200u64 {
+        let owner = TxnId(round + 1);
+        lm.lock(owner, orig, LockMode::S).unwrap();
+        let splitter = {
+            let lm = lm.clone();
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    lm.replicate_shared(orig, sibling);
+                }
+            })
+        };
+        lm.release_all(owner);
+        splitter.join().unwrap();
+        // Whatever the interleaving, the terminated owner must survive
+        // nowhere: not in its held set, not on either node.
+        assert!(lm.held_by(owner).is_empty(), "round {round}: held set not empty");
+        assert!(lm.holders(orig).is_empty(), "round {round}: source grant survived");
+        assert!(
+            lm.holders(sibling).is_empty(),
+            "round {round}: orphaned replicated grant"
+        );
+    }
+}
+
+#[test]
 fn node_deletion_drain_pattern() {
     // A deleter probes for signaling locks with try_lock X; present locks
     // make the probe fail, and once the scanner moves on the delete works.

@@ -198,7 +198,18 @@ impl PredicateManager {
             p.attachments.push(node);
             NodeEntry { id: pred, txn: p.txn, kind: p.kind, bytes: p.bytes.clone() }
         };
-        self.nodes.lock(&node).entry(node).or_default().push(entry);
+        {
+            // Dedupe at the insert: a replicate(from, node) racing between
+            // our registry claim and this push may already have copied the
+            // entry here (the registry lists `node`, so replicate's
+            // bookkeeping skips it) — pushing unconditionally would leave
+            // a duplicate FIFO entry for one predicate.
+            let mut sh = self.nodes.lock(&node);
+            let list = sh.entry(node).or_default();
+            if list.iter().all(|e| e.id != pred) {
+                list.push(entry);
+            }
+        }
         self.sweep_if_terminated(pred, node);
         true
     }
@@ -209,6 +220,10 @@ impl PredicateManager {
     ///
     /// `conflict(scan_bytes, insert_key_bytes)` is the index's
     /// `consistent()` test.
+    ///
+    /// Shares [`check_insert`](Self::check_insert)'s transient-staleness
+    /// caveat: a returned owner may have just terminated; waiting on its
+    /// transaction-id lock then resolves immediately.
     pub fn attach_scan_and_check(
         &self,
         pred: PredId,
@@ -246,7 +261,9 @@ impl PredicateManager {
                     owners.push(e.txn);
                 }
             }
-            if fresh {
+            // Same dedupe as `attach`: a racing replicate may already have
+            // copied this predicate's entry into the node's list.
+            if fresh && list.iter().all(|e| e.id != pred) {
                 list.push(NodeEntry { id: pred, txn: me, kind, bytes: my_bytes });
             }
             if list.is_empty() {
@@ -262,6 +279,17 @@ impl PredicateManager {
     /// block on the conflicting ones"). Returns conflicting owners in
     /// FIFO order, deduplicated. Touches only `node`'s shard — the hot
     /// insert path never takes the registry.
+    ///
+    /// **Transient staleness:** this reads the denormalized node-shard
+    /// entries only. Between [`release_txn`](Self::release_txn) removing
+    /// an owner's predicates from the registry and the per-node sweep
+    /// clearing its shard entries, a check can report a conflict naming
+    /// an already-terminated owner (impossible under the old global
+    /// mutex). Callers must tolerate this: they already do, because they
+    /// block via the lock manager on the owner's transaction-id lock,
+    /// which a terminated owner has released — the wait resolves
+    /// immediately and the caller re-checks. The effect is a transient
+    /// spurious conflict, never a missed one.
     pub fn check_insert(
         &self,
         node: NodeKey,
@@ -650,6 +678,37 @@ mod tests {
         let s = pm.stats();
         assert_eq!((s.predicates, s.attachments, s.nodes), (1, 2, 2));
         pm.release_txn(TxnId(1));
+        assert_eq!(pm.stats(), PredStats::default());
+    }
+
+    #[test]
+    fn replicate_racing_attach_never_duplicates_entries() {
+        // Regression: attach() claims the registry, then pushes into the
+        // node shard. A replicate(from, to) running in between copies the
+        // entry into `to`'s list (the registry already names `to`, so
+        // replicate's bookkeeping skips it) and the attach push used to
+        // add a second copy — a duplicate FIFO entry for one predicate.
+        let pm = std::sync::Arc::new(PredicateManager::with_shards(8));
+        for round in 0..200u64 {
+            let txn = TxnId(round + 1);
+            let p = pm.register(txn, PredKind::Scan, vec![1]);
+            pm.attach(p, node(1));
+            let t = {
+                let pm = pm.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        pm.replicate(node(1), node(2), &|_, _| true);
+                    }
+                })
+            };
+            pm.attach(p, node(2));
+            t.join().unwrap();
+            let on2 = pm.predicates_on(node(2));
+            let unique: std::collections::HashSet<PredId> =
+                on2.iter().map(|e| e.id).collect();
+            assert_eq!(on2.len(), unique.len(), "round {round}: duplicate FIFO entry");
+            pm.release_txn(txn);
+        }
         assert_eq!(pm.stats(), PredStats::default());
     }
 
