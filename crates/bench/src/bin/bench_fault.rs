@@ -1,0 +1,183 @@
+//! Read-path cost of the storage-robustness layer.
+//!
+//! Two questions, answered as throughput deltas on a miss-heavy search
+//! workload (pool far smaller than the working set, so every traversal
+//! loads pages from the store and each load runs the on-load checksum
+//! verification):
+//!
+//! 1. **Checksum verification** — the same database is driven with
+//!    `verify_checksums` on (the default) and off. Cells run over a raw
+//!    in-memory store (worst case: verification competes only with a
+//!    memcpy) and over a latency-injected store modelling a real device,
+//!    where the acceptance bound applies: **< 5% overhead**.
+//! 2. **Disarmed fault shim** — the same workload through a disarmed
+//!    `FaultStore` wrapper, to show the injection layer is free when not
+//!    injecting (it must be: it ships in the default test builds).
+//!
+//! Results are written to `BENCH_fault.json` and printed as a table.
+//!
+//! Usage: `cargo run --release -p gist-bench --bin bench_fault [out.json]`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gist_am::{BtreeExt, I64Query};
+use gist_bench::{render_table, run_for, wl_rid, Row, XorShift};
+use gist_core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_pagestore::{FaultStore, InMemoryStore, PageStore, SimulatedLatencyStore};
+use gist_wal::LogManager;
+
+/// Preloaded keys (spaced so range searches hit a few).
+const PRELOAD: i64 = 20_000;
+const KEY_STRIDE: i64 = 10;
+/// Pool frames — far below the ~70-leaf working set, so traversals miss
+/// and the on-load verification actually runs.
+const POOL_CAPACITY: usize = 8;
+/// Simulated device latency for the realistic cells.
+const READ_LATENCY: Duration = Duration::from_micros(120);
+/// Measurement window per cell.
+const WINDOW: Duration = Duration::from_millis(700);
+const THREADS: [usize; 2] = [1, 4];
+
+#[derive(Clone, Copy, PartialEq)]
+enum StoreKind {
+    Raw,
+    Latency,
+    DisarmedFaults,
+}
+
+impl StoreKind {
+    fn label(self) -> &'static str {
+        match self {
+            StoreKind::Raw => "raw",
+            StoreKind::Latency => "latency",
+            StoreKind::DisarmedFaults => "disarmed-faultstore",
+        }
+    }
+
+    fn build(self) -> Arc<dyn PageStore> {
+        match self {
+            StoreKind::Raw => Arc::new(InMemoryStore::new()),
+            StoreKind::Latency => Arc::new(SimulatedLatencyStore::new(
+                Box::new(InMemoryStore::new()),
+                READ_LATENCY,
+                Duration::ZERO,
+            )),
+            // Never armed: measures the pure interposition cost.
+            StoreKind::DisarmedFaults => FaultStore::new(Arc::new(InMemoryStore::new())),
+        }
+    }
+}
+
+fn fresh_db(kind: StoreKind, verify: bool) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let config = DbConfig {
+        pool_capacity: POOL_CAPACITY,
+        lock_timeout: Duration::from_secs(30),
+        ..DbConfig::default()
+    };
+    let db = Db::open(kind.build(), Arc::new(LogManager::new()), config).expect("open db");
+    let idx = GistIndex::create(db.clone(), "bench", BtreeExt, IndexOptions::default())
+        .expect("create index");
+    let txn = db.begin();
+    for k in 0..PRELOAD {
+        idx.insert(txn, &(k * KEY_STRIDE), wl_rid(k as u64)).expect("preload");
+    }
+    db.commit(txn).expect("preload commit");
+    // Every store image carries a stamped checksum before measurement.
+    db.pool().flush_all().expect("flush");
+    db.pool().sync_store().expect("sync");
+    db.pool().set_verify_checksums(verify);
+    (db, idx)
+}
+
+fn run_cell(kind: StoreKind, verify: bool, threads: usize) -> f64 {
+    let (db, idx) = fresh_db(kind, verify);
+    let tp = run_for(threads, WINDOW, move |t, i| {
+        let mut rng =
+            XorShift::new(0x9E37_79B9 ^ (t as u64) << 32 ^ i.wrapping_mul(0x2545_F491));
+        let lo = rng.below((PRELOAD * KEY_STRIDE) as u64) as i64;
+        let txn = db.begin();
+        match idx.search(txn, &I64Query::range(lo, lo + 5 * KEY_STRIDE)) {
+            Ok(_) => db.commit(txn).expect("commit"),
+            Err(_) => {
+                let _ = db.abort(txn);
+            }
+        }
+    });
+    tp.per_sec()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fault.json".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut rows = Vec::new();
+    let mut json_results = String::new();
+    let mut emit = |kind: StoreKind, verify: bool, t: usize, ops: f64| {
+        if !json_results.is_empty() {
+            json_results.push_str(",\n");
+        }
+        json_results.push_str(&format!(
+            "    {{\"store\": \"{}\", \"verify_checksums\": {verify}, \"threads\": {t}, \"ops_per_sec\": {ops:.1}}}",
+            kind.label()
+        ));
+    };
+
+    // verify-off baselines, then verify-on, per store kind and thread count.
+    let mut overhead_latency = Vec::new();
+    let mut overhead_raw = Vec::new();
+    for kind in [StoreKind::Raw, StoreKind::Latency] {
+        for &t in &THREADS {
+            let off = run_cell(kind, false, t);
+            let on = run_cell(kind, true, t);
+            emit(kind, false, t, off);
+            emit(kind, true, t, on);
+            let pct = (off - on) / off * 100.0;
+            rows.push(
+                Row::new(format!("{} / {t}T", kind.label()))
+                    .col("verify-off ops/s", off)
+                    .col("verify-on ops/s", on)
+                    .col("overhead %", pct),
+            );
+            match kind {
+                StoreKind::Raw => overhead_raw.push(pct),
+                StoreKind::Latency => overhead_latency.push(pct),
+                StoreKind::DisarmedFaults => unreachable!(),
+            }
+        }
+    }
+    // Disarmed fault shim vs the raw store (both with verification on,
+    // the shipping configuration).
+    let mut shim_pcts = Vec::new();
+    for &t in &THREADS {
+        let raw = run_cell(StoreKind::Raw, true, t);
+        let shim = run_cell(StoreKind::DisarmedFaults, true, t);
+        emit(StoreKind::DisarmedFaults, true, t, shim);
+        let pct = (raw - shim) / raw * 100.0;
+        rows.push(
+            Row::new(format!("fault shim / {t}T"))
+                .col("raw ops/s", raw)
+                .col("shim ops/s", shim)
+                .col("overhead %", pct),
+        );
+        shim_pcts.push(pct);
+    }
+
+    println!("{}", render_table("Storage robustness read-path overhead", &rows));
+
+    let max_latency_overhead =
+        overhead_latency.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let json = format!(
+        "{{\n  \"bench\": \"fault_layer_overhead\",\n  \"cores\": {cores},\n  \"config\": {{\"preload_keys\": {PRELOAD}, \"pool_capacity\": {POOL_CAPACITY}, \"read_latency_us\": {}, \"window_ms\": {}}},\n  \"results\": [\n{json_results}\n  ],\n  \"checksum_overhead_pct\": {{\"raw\": {overhead_raw:?}, \"latency\": {overhead_latency:?}}},\n  \"disarmed_shim_overhead_pct\": {shim_pcts:?},\n  \"acceptance\": \"checksum overhead on the latency store must stay under 5%\",\n  \"max_latency_overhead_pct\": {max_latency_overhead:.3}\n}}\n",
+        READ_LATENCY.as_micros(),
+        WINDOW.as_millis(),
+    );
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+
+    assert!(
+        max_latency_overhead < 5.0,
+        "acceptance: checksum verification must cost < 5% of read throughput \
+         on the latency-modelled store (got {max_latency_overhead:.2}%)"
+    );
+}

@@ -164,6 +164,11 @@ pub struct RestartReport {
     pub indexes: usize,
     /// Pages on the rebuilt free list.
     pub free_pages: usize,
+    /// Pages whose on-disk image failed its checksum (torn write) or was
+    /// unreadable; they were quarantined — zeroed in the pool — and
+    /// rebuilt by forcing the redo pass to repeat history from the log
+    /// start.
+    pub repaired_pages: Vec<PageId>,
 }
 
 /// The database: all substrates plus the catalog.
@@ -227,7 +232,8 @@ impl Db {
             let mut g = pool.new_page_write(PageId(0), 0)?;
             g.mark_dirty_unlogged();
             drop(g);
-            pool.flush_all();
+            pool.flush_all()?;
+            pool.sync_store()?;
         }
         let locks = Arc::new(LockManager::with_timeout_and_shards(
             config.lock_timeout,
@@ -269,7 +275,16 @@ impl Db {
         config: DbConfig,
     ) -> Result<(Arc<Db>, RestartReport)> {
         let db = Self::build(store, log, config)?;
-        let outcome = gist_wal::recovery::restart(&db.log, db.as_ref())
+        // Torn-page repair (checksum self-healing): scan the store for
+        // pages whose image fails its checksum — a write torn by the
+        // crash — or cannot be read at all, and quarantine each as a
+        // zeroed dirty frame with page LSN 0. Since the log is never
+        // truncated, redo can rebuild them from scratch; the floor forces
+        // the pass to repeat all of history, and page-LSN idempotence
+        // keeps the wider scan free for every healthy page.
+        let repaired_pages = db.pool.quarantine_torn_pages()?;
+        let floor = if repaired_pages.is_empty() { Lsn(u64::MAX) } else { Lsn(1) };
+        let outcome = gist_wal::recovery::restart_with_floor(&db.log, db.as_ref(), floor)
             .map_err(|e| GistError::Recovery(e.0))?;
         db.alloc.rebuild_from_store(&db.pool, 1)?;
         db.load_catalog()?;
@@ -282,6 +297,7 @@ impl Db {
             outcome,
             indexes: db.catalog.lock().len(),
             free_pages: db.alloc.free_count(),
+            repaired_pages,
         };
         Ok((db, report))
     }
@@ -364,8 +380,13 @@ impl Db {
     /// captured position instead of the log start, and redo at the
     /// oldest recLSN in the captured dirty-page table. Returns the
     /// checkpoint record's LSN.
-    pub fn checkpoint(&self) -> Lsn {
-        self.maint.checkpoint_now()
+    ///
+    /// The capture syncs the store first (the lost-write barrier — see
+    /// `MaintDaemon::checkpoint_now`), so this fails if the device does:
+    /// a checkpoint that cannot vouch for its dirty-page table is not
+    /// written.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        Ok(self.maint.checkpoint_now()?)
     }
 
     /// The configuration.
@@ -420,11 +441,15 @@ impl Db {
 
     /// Flush everything (clean shutdown). The maintenance daemon is
     /// drained first: queued GC/drain work completes and its log records
-    /// land before the final flush, so a clean restart owes nothing.
-    pub fn shutdown(&self) {
+    /// land before the final flush, so a clean restart owes nothing. The
+    /// final store sync is what upgrades "written back" to "durable";
+    /// its failure is reported rather than swallowed.
+    pub fn shutdown(&self) -> Result<()> {
         self.maint.stop(true);
         self.log.flush_all();
-        self.pool.flush_all();
+        self.pool.flush_all()?;
+        self.pool.sync_store()?;
+        Ok(())
     }
 
     // ---- NSN management (§10.1) ----

@@ -28,6 +28,12 @@ pub enum GistError {
     Recovery(String),
     /// Invalid configuration or usage.
     Config(String),
+    /// The storage layer suffered a persistent (non-transient) write or
+    /// sync failure and the buffer pool has degraded to read-only.
+    /// Reads of cached and intact pages still work; every mutation is
+    /// refused with this error until the database is restarted against
+    /// healthy storage.
+    StorageFailed(String),
 }
 
 impl fmt::Display for GistError {
@@ -41,6 +47,9 @@ impl fmt::Display for GistError {
             GistError::Corrupt(s) => write!(f, "corruption: {s}"),
             GistError::Recovery(s) => write!(f, "recovery error: {s}"),
             GistError::Config(s) => write!(f, "configuration error: {s}"),
+            GistError::StorageFailed(s) => {
+                write!(f, "storage failed, database is read-only: {s}")
+            }
         }
     }
 }
@@ -58,6 +67,13 @@ impl std::error::Error for GistError {
 
 impl From<io::Error> for GistError {
     fn from(e: io::Error) -> Self {
+        // The buffer pool marks its poisoned-state refusals with a typed
+        // payload; surface those as the dedicated read-only error so
+        // callers can tell "this request failed" from "the database has
+        // degraded".
+        if gist_pagestore::is_storage_poisoned(&e) {
+            return GistError::StorageFailed(e.to_string());
+        }
         GistError::Io(e)
     }
 }
@@ -99,5 +115,18 @@ mod tests {
     fn display_is_informative() {
         let e = GistError::Corrupt("bad cell".into());
         assert!(e.to_string().contains("bad cell"));
+    }
+
+    #[test]
+    fn poisoned_io_errors_map_to_storage_failed() {
+        let plain = io::Error::new(io::ErrorKind::BrokenPipe, "disk gone");
+        assert!(matches!(GistError::from(plain), GistError::Io(_)));
+        let poisoned = io::Error::other(gist_pagestore::StoragePoisoned {
+            reason: "write of page 3 failed".into(),
+        });
+        let mapped = GistError::from(poisoned);
+        assert!(matches!(mapped, GistError::StorageFailed(_)), "{mapped}");
+        assert!(mapped.to_string().contains("read-only"));
+        assert!(!mapped.is_retryable());
     }
 }

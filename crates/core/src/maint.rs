@@ -19,11 +19,18 @@ use crate::GistError;
 
 /// Classify a tree error for the daemon: lock-manager trouble (timeout,
 /// deadlock victim) means a foreground transaction got in the way —
-/// retry later; anything else is a real failure.
+/// retry later, as is a transient I/O error (the pool already retried
+/// with backoff; the daemon adds its own coarser retry on top). A
+/// poisoned store ([`GistError::StorageFailed`]) is fatal: maintenance
+/// mutates pages, which a read-only pool refuses forever.
 fn classify(e: GistError) -> MaintError {
     match e {
         GistError::Lock(_) => MaintError::Retry(e.to_string()),
         GistError::Txn(gist_txn::TxnError::Lock(_)) => MaintError::Retry(e.to_string()),
+        GistError::StorageFailed(_) => MaintError::Fatal(e.to_string()),
+        GistError::Io(ref io) if gist_pagestore::is_transient_io(io) => {
+            MaintError::Retry(e.to_string())
+        }
         other => MaintError::Fatal(other.to_string()),
     }
 }
@@ -90,7 +97,7 @@ impl<E: GistExtension> MaintIndex for GistIndex<E> {
             let mut g = db
                 .pool()
                 .try_fetch_write(leaf)
-                .map_err(|e| MaintError::Fatal(e.to_string()))?
+                .map_err(|e| classify(e.into()))?
                 .ok_or_else(|| MaintError::Retry(format!("leaf {leaf} latched")))?;
             // The candidate may be stale: the page could have been
             // drained and reused since the deleting transaction ran.
@@ -128,7 +135,7 @@ impl<E: GistExtension> MaintIndex for GistIndex<E> {
         let fatal = |e: GistError| MaintError::Fatal(e.to_string());
         {
             // Cheap ineligibility checks before spending a transaction.
-            let g = db.pool().fetch_read(leaf).map_err(|e| fatal(e.into()))?;
+            let g = db.pool().fetch_read(leaf).map_err(|e| classify(e.into()))?;
             if g.is_available() || !g.is_leaf() || node::entry_count(&g) != 0 {
                 return Ok(DrainOutcome::Skipped);
             }

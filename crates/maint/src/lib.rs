@@ -594,10 +594,16 @@ impl MaintDaemon {
 
     fn process(&self, q: Queued) {
         let result: Result<Option<WorkItem>, MaintError> = match &q.item {
-            WorkItem::Checkpoint => {
-                self.checkpoint_now();
-                Ok(None)
-            }
+            WorkItem::Checkpoint => match self.checkpoint_now() {
+                Ok(_) => Ok(None),
+                // A poisoned (read-only) store can never checkpoint
+                // again; anything else — a transient hiccup the pool's
+                // own bounded retry did not outlast — may clear.
+                Err(e) if gist_pagestore::is_storage_poisoned(&e) => {
+                    Err(MaintError::Fatal(format!("checkpoint: {e}")))
+                }
+                Err(e) => Err(MaintError::Retry(format!("checkpoint: {e}"))),
+            },
             WorkItem::Gc { index, leaf, parent_hint } => match self.index(*index) {
                 None => Ok(None), // index dropped: work is moot
                 Some(idx) => {
@@ -663,14 +669,24 @@ impl MaintDaemon {
 
     /// Write a fuzzy checkpoint right now, on the calling thread.
     /// Capture order is the §ARIES discipline `checkpoint_with`
-    /// documents: log position first, then the dirty-page table, then
-    /// (inside `checkpoint_with`) the transaction table.
-    pub fn checkpoint_now(&self) -> Lsn {
+    /// documents: log position first, then a store sync, then the
+    /// dirty-page table, then (inside `checkpoint_with`) the transaction
+    /// table.
+    ///
+    /// The sync between capturing `scan_start` and the dirty-page table
+    /// is what makes the checkpoint's DPT sound against *lost writes*: a
+    /// page written back but not yet fsynced stays in the pool's
+    /// `unsynced` ledger (and hence in the DPT) until a sync succeeds,
+    /// so redo never trusts a volatile write the device may drop. A
+    /// failed sync fails the checkpoint — the previous checkpoint, whose
+    /// DPT still covers those pages, stays authoritative.
+    pub fn checkpoint_now(&self) -> std::io::Result<Lsn> {
         let scan_start = self.log.last_lsn();
+        self.pool.sync_store()?;
         let dpt = self.pool.dirty_page_table();
         let lsn = self.txns.checkpoint_with(scan_start, dpt);
         self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
-        lsn
+        Ok(lsn)
     }
 }
 

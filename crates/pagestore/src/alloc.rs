@@ -116,6 +116,7 @@ mod tests {
             let mut p = Page::zeroed();
             p.format(PageId(raw), 0);
             p.set_available(raw == 2 || raw == 4);
+            p.stamp_checksum();
             store.write(PageId(raw), &p).unwrap();
         }
         let pool = BufferPool::new(store, 8);

@@ -16,11 +16,24 @@
 //! pages never contend on a global map mutex. Per-frame latches, pin
 //! counts and the flusher discipline are unchanged — sharding only
 //! affects how a page id finds its frame.
+//!
+//! ## Fault handling
+//!
+//! Every store I/O goes through a bounded exponential-backoff retry for
+//! *transient* errors ([`is_transient_io`]). Page images are
+//! checksum-stamped on write-back and verified on load, so torn on-disk
+//! writes surface as `InvalidData` at the first fetch. A load failure is
+//! recorded in the frame and propagated to **every** waiter parked on the
+//! frame latch (not retried forever). A *persistent* write or sync
+//! failure **poisons** the pool: further writes are refused with a
+//! [`StoragePoisoned`]-carrying error while reads keep working — the
+//! graceful read-only degradation mode.
 
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
@@ -35,6 +48,63 @@ use crate::store::PageStore;
 type ReadGuardInner = ArcRwLockReadGuard<RawRwLock, FrameData>;
 type WriteGuardInner = ArcRwLockWriteGuard<RawRwLock, FrameData>;
 
+/// Transient-I/O retry cap: a load/write/sync is attempted at most
+/// `1 + IO_RETRY_LIMIT` times before the error is treated as persistent.
+const IO_RETRY_LIMIT: u32 = 4;
+/// First retry backoff; doubles per attempt (100µs, 200µs, 400µs, 800µs).
+const IO_RETRY_BASE: Duration = Duration::from_micros(100);
+
+/// Whether an I/O error is worth retrying: the kinds a real kernel or
+/// device returns for conditions that clear on their own.
+pub fn is_transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Run `op`, retrying transient failures with bounded exponential
+/// backoff. The final error (transient or not) is returned as-is.
+fn with_io_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient_io(&e) && attempt < IO_RETRY_LIMIT => {
+                std::thread::sleep(IO_RETRY_BASE * (1 << attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Marker payload of the error returned for writes refused because the
+/// pool is poisoned (read-only degradation after a persistent storage
+/// failure). Detect it with [`is_storage_poisoned`].
+#[derive(Debug)]
+pub struct StoragePoisoned {
+    /// The original failure that tripped read-only mode.
+    pub reason: String,
+}
+
+impl std::fmt::Display for StoragePoisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "storage failed, pool is read-only: {}", self.reason)
+    }
+}
+
+impl std::error::Error for StoragePoisoned {}
+
+/// Whether `e` is the pool's "read-only, storage poisoned" refusal.
+pub fn is_storage_poisoned(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<StoragePoisoned>())
+}
+
+fn storage_poisoned_error(reason: String) -> io::Error {
+    io::Error::other(StoragePoisoned { reason })
+}
+
 /// The latched content of a buffer frame.
 pub struct FrameData {
     /// The page image.
@@ -42,8 +112,15 @@ pub struct FrameData {
     /// Whether the image has been loaded from the store (or freshly
     /// formatted). While false the loading thread holds the write latch.
     loaded: bool,
-    /// Set when the load failed; waiters retry the fetch.
-    failed: bool,
+    /// Set when the load failed (error kind + message); every waiter
+    /// parked on the frame latch returns this error instead of retrying.
+    load_error: Option<(io::ErrorKind, String)>,
+}
+
+impl FrameData {
+    fn load_error(&self) -> Option<io::Error> {
+        self.load_error.as_ref().map(|(k, m)| io::Error::new(*k, m.clone()))
+    }
 }
 
 struct Frame {
@@ -88,6 +165,18 @@ pub struct BufferPool {
     /// the capacity check never sums every shard).
     total: AtomicUsize,
     clock: AtomicU64,
+    /// Set after a persistent write/sync failure: the pool is read-only.
+    poisoned: AtomicBool,
+    /// The failure that poisoned the pool (empty until then).
+    poison_reason: Mutex<String>,
+    /// Verify page checksums on load (default on; the fault benchmark
+    /// turns it off to measure the read-path overhead).
+    verify_checksums: AtomicBool,
+    /// Pages written back since the last successful [`Self::sync_store`],
+    /// with the recLSN they had when written. Until the store is synced a
+    /// write-back may still be *lost* by a crash, so these stay in the
+    /// dirty-page table and restart redo re-covers them.
+    unsynced: Mutex<HashMap<u32, u64>>, // lint: allow-global-sync-map — per write-back, not per fetch
     /// Counters (hits/misses/evictions/writebacks).
     pub stats: PoolStats,
 }
@@ -117,8 +206,58 @@ impl BufferPool {
             frames: Striped::new(shards, HashMap::new),
             total: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            poison_reason: Mutex::new(String::new()),
+            verify_checksums: AtomicBool::new(true),
+            unsynced: Mutex::new(HashMap::new()),
             stats: PoolStats::default(),
         })
+    }
+
+    /// Enable/disable checksum verification on page loads (stamping on
+    /// write-back is unconditional). On by default; `bench_fault` turns
+    /// it off to isolate the read-path verification cost.
+    pub fn set_verify_checksums(&self, on: bool) {
+        self.verify_checksums.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether a persistent storage failure has tripped read-only mode.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// The poisoned-pool refusal error, if the pool is poisoned.
+    pub fn poison_error(&self) -> Option<io::Error> {
+        if self.is_poisoned() {
+            Some(storage_poisoned_error(self.poison_reason.lock().clone()))
+        } else {
+            None
+        }
+    }
+
+    fn poison(&self, e: &io::Error) {
+        if !self.poisoned.swap(true, Ordering::SeqCst) {
+            *self.poison_reason.lock() = e.to_string();
+        }
+    }
+
+    fn check_writable(&self) -> io::Result<()> {
+        match self.poison_error() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Run a store mutation with transient retry; a persistent failure
+    /// poisons the pool (storage can no longer be trusted for writes).
+    fn retry_write_op<T>(&self, op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        match with_io_retry(op) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poison(&e);
+                Err(e)
+            }
+        }
     }
 
     /// Number of frame-table shards (a power of two).
@@ -159,8 +298,10 @@ impl BufferPool {
         }
     }
 
-    /// Latch page `id` in X mode.
+    /// Latch page `id` in X mode. Refused with a [`StoragePoisoned`]
+    /// error while the pool is in read-only degradation.
     pub fn fetch_write(self: &Arc<Self>, id: PageId) -> io::Result<PageWriteGuard> {
+        self.check_writable()?;
         self.fetch_write_with(id, true)
     }
 
@@ -199,20 +340,23 @@ impl BufferPool {
             // Block on the frame latch (no other latch is held here).
             if write {
                 let g = frame.latch.write_arc();
-                if g.failed {
+                if let Some(e) = g.load_error() {
+                    // The load failed: every parked waiter gets the error
+                    // rather than re-fetching forever (the loader already
+                    // exhausted the transient-retry budget).
                     drop(g);
                     frame.pins.fetch_sub(1, Ordering::Relaxed);
-                    return Ok(FetchResult::Retry);
+                    return Err(e);
                 }
                 debug_assert!(g.loaded);
                 audit::latch_acquired(self.audit_id, u64::from(id.0), true, blocking);
                 return Ok(FetchResult::Write(PageWriteGuard { frame, guard: Some(g) }));
             }
             let g = frame.latch.read_arc();
-            if g.failed {
+            if let Some(e) = g.load_error() {
                 drop(g);
                 frame.pins.fetch_sub(1, Ordering::Relaxed);
-                return Ok(FetchResult::Retry);
+                return Err(e);
             }
             debug_assert!(g.loaded);
             audit::latch_acquired(self.audit_id, u64::from(id.0), false, blocking);
@@ -228,7 +372,7 @@ impl BufferPool {
             latch: Arc::new(RwLock::new(FrameData {
                 page: Page::zeroed(),
                 loaded: false,
-                failed: false,
+                load_error: None,
             })),
             pins: AtomicUsize::new(1),
             dirty: AtomicBool::new(false),
@@ -247,7 +391,19 @@ impl BufferPool {
         }
         self.evict_excess();
         audit::io_event(self.audit_id, u64::from(id.0), "page-load");
-        match self.store.read(id, &mut g.page) {
+        // Transient read errors are retried with backoff; a loaded image
+        // must then pass checksum verification (torn-write detection).
+        let res = with_io_retry(|| self.store.read(id, &mut g.page)).and_then(|()| {
+            if self.verify_checksums.load(Ordering::Relaxed) && !g.page.verify_checksum() {
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("page {id} checksum mismatch on load (torn or corrupt image)"),
+                ))
+            } else {
+                Ok(())
+            }
+        });
+        match res {
             Ok(()) => {
                 g.loaded = true;
                 audit::latch_acquired(self.audit_id, u64::from(id.0), write, blocking);
@@ -259,7 +415,7 @@ impl BufferPool {
                 }
             }
             Err(e) => {
-                g.failed = true;
+                g.load_error = Some((e.kind(), e.to_string()));
                 drop(g);
                 if self.frames.lock(&id).remove(&id).is_some() {
                     self.total.fetch_sub(1, Ordering::Relaxed);
@@ -276,6 +432,7 @@ impl BufferPool {
     /// otherwise risk deadlock). May still perform I/O on a miss (the
     /// fresh frame's latch is uncontended).
     pub fn try_fetch_write(self: &Arc<Self>, id: PageId) -> io::Result<Option<PageWriteGuard>> {
+        self.check_writable()?;
         let existing = {
             let frames = self.frames.lock(&id);
             frames.get(&id).map(|f| {
@@ -288,10 +445,10 @@ impl BufferPool {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             match frame.latch.try_write_arc() {
                 Some(g) => {
-                    if g.failed {
+                    if let Some(e) = g.load_error() {
                         drop(g);
                         frame.pins.fetch_sub(1, Ordering::Relaxed);
-                        return self.try_fetch_write(id);
+                        return Err(e);
                     }
                     audit::latch_acquired(self.audit_id, u64::from(id.0), true, false);
                     return Ok(Some(PageWriteGuard { frame, guard: Some(g) }));
@@ -311,7 +468,8 @@ impl BufferPool {
     /// store, formatted as an empty page at `level`. The frame starts
     /// dirty so the formatted image cannot be lost to eviction.
     pub fn new_page_write(self: &Arc<Self>, id: PageId, level: u16) -> io::Result<PageWriteGuard> {
-        self.store.ensure_capacity(id.0 + 1)?;
+        self.check_writable()?;
+        self.retry_write_op(|| self.store.ensure_capacity(id.0 + 1))?;
         // The page begins a new life: latch orders observed against its
         // previous incarnation no longer constrain it.
         audit::latch_page_fresh(self.audit_id, u64::from(id.0));
@@ -334,7 +492,10 @@ impl BufferPool {
             };
             if let Some(frame) = existing {
                 let g = frame.latch.write_arc();
-                if g.failed {
+                if g.load_error.is_some() {
+                    // The failed loader already removed the frame from the
+                    // table; loop to create a fresh one (no store read on
+                    // this path — the content is about to be overwritten).
                     drop(g);
                     frame.pins.fetch_sub(1, Ordering::Relaxed);
                     continue;
@@ -353,7 +514,7 @@ impl BufferPool {
                 latch: Arc::new(RwLock::new(FrameData {
                     page: Page::zeroed(),
                     loaded: true,
-                    failed: false,
+                    load_error: None,
                 })),
                 pins: AtomicUsize::new(1),
                 dirty: AtomicBool::new(false),
@@ -386,11 +547,17 @@ impl BufferPool {
             if self.total.load(Ordering::Relaxed) <= self.capacity {
                 return;
             }
+            // A poisoned pool cannot write dirty frames back; only clean
+            // frames are eviction candidates (the pool grows otherwise).
+            let poisoned = self.is_poisoned();
             let mut best: Option<(u64, Arc<Frame>, WriteGuardInner)> = None;
             for idx in 0..self.frames.shard_count() {
                 let frames = self.frames.lock_index(idx);
                 for f in frames.values() {
                     if f.pins.load(Ordering::Relaxed) != 0 {
+                        continue;
+                    }
+                    if poisoned && f.dirty.load(Ordering::Relaxed) {
                         continue;
                     }
                     if let Some(g) = f.latch.try_write_arc() {
@@ -408,9 +575,12 @@ impl BufferPool {
             }
             // Everything pinned or latched: grow rather than deadlock.
             let Some((_, frame, guard)) = best else { return };
-            // Write back outside any shard lock, latch held.
-            if frame.dirty.load(Ordering::Relaxed) {
-                self.write_back(&frame, &guard.page);
+            // Write back outside any shard lock, latch held. If the
+            // write-back fails the frame stays dirty and cached (its
+            // content must not be dropped); the failure already poisoned
+            // the pool, so give up on shrinking this round.
+            if frame.dirty.load(Ordering::Relaxed) && self.write_back(&frame, &guard.page).is_err() {
+                return;
             }
             // Remove only if still unpinned (a fetcher may be parked on
             // the latch; its pin protects it) and still the mapped frame.
@@ -425,7 +595,11 @@ impl BufferPool {
         }
     }
 
-    fn write_back(&self, frame: &Frame, page: &Page) {
+    /// Write one frame back: flush the log to the page LSN (WAL rule),
+    /// stamp the checksum on a copy of the image, and write with
+    /// transient retry. On persistent failure the frame stays dirty and
+    /// the pool is poisoned.
+    fn write_back(&self, frame: &Frame, page: &Page) -> io::Result<()> {
         audit::io_event(self.audit_id, u64::from(frame.id.0), "writeback");
         let lsn = page.page_lsn();
         if !lsn.is_null() {
@@ -433,12 +607,24 @@ impl BufferPool {
                 f.flush_until(lsn);
             }
         }
-        if let Err(e) = self.store.write(frame.id, page) {
-            panic!("buffer pool write-back of {} failed: {e}", frame.id);
+        // Stamp a copy: the in-pool image must not carry a checksum that
+        // goes stale on the next mark_dirty.
+        let mut img = page.clone();
+        img.stamp_checksum();
+        // Record the pre-write recLSN *before* clearing it: until the
+        // store is synced this write may still be lost by a crash, so the
+        // page stays in the dirty-page table under its old recLSN.
+        let rl = frame.rec_lsn.load(Ordering::Relaxed);
+        self.retry_write_op(|| self.store.write(frame.id, &img))?;
+        {
+            let mut unsynced = self.unsynced.lock();
+            let entry = unsynced.entry(frame.id.0).or_insert(u64::MAX);
+            *entry = (*entry).min(if rl == 0 { 1 } else { rl });
         }
         frame.dirty.store(false, Ordering::Relaxed);
         frame.rec_lsn.store(0, Ordering::Relaxed);
         self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Snapshot every cached frame, locking shards one at a time in
@@ -452,14 +638,46 @@ impl BufferPool {
     }
 
     /// Write every dirty page back to the store (log flushed first).
-    pub fn flush_all(&self) {
+    /// Stops at the first persistent failure (which poisons the pool).
+    pub fn flush_all(&self) -> io::Result<()> {
         for frame in self.snapshot_frames() {
             if !frame.dirty.load(Ordering::Relaxed) {
                 continue;
             }
             let g = frame.latch.read_arc();
             if frame.dirty.load(Ordering::Relaxed) {
-                self.write_back(&frame, &g.page);
+                self.write_back(&frame, &g.page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fsync barrier: make every completed write-back durable. Pages
+    /// written back before a successful sync leave the dirty-page table;
+    /// a persistent sync failure poisons the pool (an fsync that failed
+    /// may have lost arbitrary earlier writes — see the fuzzy-checkpoint
+    /// contract in `checkpoint_now`).
+    pub fn sync_store(&self) -> io::Result<()> {
+        // A poisoned pool must not vouch for durability: some write-back
+        // already failed for good, so a "successful" sync here would let
+        // a checkpoint record a dirty-page table that understates what
+        // recovery still has to redo.
+        self.check_writable()?;
+        // Take the pending set *before* issuing the sync: a write-back
+        // racing with the sync inserts into the live map and stays
+        // tracked (it may not be covered), while everything taken here is.
+        let taken = std::mem::take(&mut *self.unsynced.lock());
+        audit::io_event(self.audit_id, u64::MAX, "store-sync");
+        match self.retry_write_op(|| self.store.sync()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Nothing became durable: merge the taken entries back.
+                let mut unsynced = self.unsynced.lock();
+                for (id, rl) in taken {
+                    let entry = unsynced.entry(id).or_insert(u64::MAX);
+                    *entry = (*entry).min(rl);
+                }
+                Err(e)
             }
         }
     }
@@ -483,6 +701,7 @@ impl BufferPool {
             self.total.fetch_sub(frames.len(), Ordering::Relaxed);
             frames.clear();
         }
+        self.unsynced.lock().clear();
     }
 
     /// Number of frames currently cached.
@@ -491,21 +710,67 @@ impl BufferPool {
     }
 
     /// Snapshot `(page, recLSN)` for every dirty frame — the dirty-page
-    /// table of a fuzzy checkpoint. Purely atomic reads, no latches: an
-    /// entry may be stale-dirty (harmlessly conservative), and any page
-    /// dirtied after the caller captured its `scan_start` is re-observed
-    /// by the restart analysis scan, so missing it here is also safe.
-    /// Frames dirtied by unlogged changes report the log start.
+    /// table of a fuzzy checkpoint — plus every page written back since
+    /// the last successful [`Self::sync_store`] (a write-back is only
+    /// trusted once an fsync covers it; until then a crash may *lose* it,
+    /// so restart redo must still re-cover the page). Purely atomic reads
+    /// plus the unsynced map, no latches: an entry may be stale-dirty
+    /// (harmlessly conservative), and any page dirtied after the caller
+    /// captured its `scan_start` is re-observed by the restart analysis
+    /// scan, so missing it here is also safe. Frames dirtied by unlogged
+    /// changes report the log start.
     pub fn dirty_page_table(&self) -> Vec<(u32, Lsn)> {
-        let mut out = Vec::new();
+        let mut merged: HashMap<u32, u64> = HashMap::new();
         for f in self.snapshot_frames() {
             if f.dirty.load(Ordering::Relaxed) {
                 let rl = f.rec_lsn.load(Ordering::Relaxed);
-                out.push((f.id.0, if rl == 0 { Lsn(1) } else { Lsn(rl) }));
+                let rl = if rl == 0 { 1 } else { rl };
+                let entry = merged.entry(f.id.0).or_insert(u64::MAX);
+                *entry = (*entry).min(rl);
             }
         }
+        for (&id, &rl) in self.unsynced.lock().iter() {
+            let entry = merged.entry(id).or_insert(u64::MAX);
+            *entry = (*entry).min(rl);
+        }
+        let mut out: Vec<(u32, Lsn)> = merged.into_iter().map(|(p, l)| (p, Lsn(l))).collect();
         out.sort_unstable();
         out
+    }
+
+    /// Restart-time torn-page scan: read every raw store page, verify
+    /// its checksum, and *quarantine* failures (torn writes, bit rot, or
+    /// persistently unreadable pages) by seeding a zeroed dirty frame in
+    /// the pool — page LSN 0, so a full-history redo rebuilds every
+    /// logged byte and the repaired image is written back at the next
+    /// flush. Returns the quarantined page ids; the caller (restart)
+    /// must widen its redo window to the log start when any page was
+    /// quarantined. Must run on a quiescent pool before recovery fetches.
+    pub fn quarantine_torn_pages(self: &Arc<Self>) -> io::Result<Vec<PageId>> {
+        if !self.verify_checksums.load(Ordering::Relaxed) {
+            return Ok(Vec::new());
+        }
+        let mut quarantined = Vec::new();
+        let mut scratch = Page::zeroed();
+        for raw in 0..self.store.page_count() {
+            let id = PageId(raw);
+            audit::io_event(self.audit_id, u64::from(raw), "torn-scan");
+            let bad = match with_io_retry(|| self.store.read(id, &mut scratch)) {
+                Ok(()) => !scratch.verify_checksum(),
+                // Persistently unreadable during recovery: treat like a
+                // torn image — redo can rebuild it from the log anyway.
+                Err(_) => true,
+            };
+            if bad {
+                let mut g = self.fetch_write_or_fresh(id)?;
+                g.data_mut().page = Page::zeroed();
+                g.frame.dirty.store(true, Ordering::Relaxed);
+                g.frame.rec_lsn.store(0, Ordering::Relaxed);
+                drop(g);
+                quarantined.push(id);
+            }
+        }
+        Ok(quarantined)
     }
 }
 
@@ -694,7 +959,7 @@ mod tests {
             g.insert_cell(b"durable").unwrap();
             g.mark_dirty_unlogged();
         }
-        pool.flush_all();
+        pool.flush_all().unwrap();
         {
             let mut g = pool.fetch_write(PageId(1)).unwrap();
             g.insert_cell(b"lost").unwrap();
@@ -725,7 +990,7 @@ mod tests {
             g.insert_cell(b"x").unwrap();
             g.mark_dirty(Lsn(77));
         }
-        pool.flush_all();
+        pool.flush_all().unwrap();
         assert_eq!(flusher.0.load(Ordering::Relaxed), 77, "log forced to page LSN");
     }
 
@@ -850,6 +1115,168 @@ mod tests {
             let g = pool.fetch_read(PageId(i)).unwrap();
             assert_eq!(g.cell(0).unwrap(), &i.to_le_bytes());
         }
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried_through() {
+        use crate::fault::{FaultKind, FaultPoint, FaultStore, IoOp};
+        let inner = Arc::new(InMemoryStore::new());
+        inner.ensure_capacity(8).unwrap();
+        let faults = FaultStore::new(inner);
+        let pool = BufferPool::new(faults.clone(), 4);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"survives eintr").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        pool.flush_all().unwrap();
+        pool.crash();
+        // The next load hits IO_RETRY_LIMIT-1 consecutive transient
+        // failures — still within the retry budget, so the fetch succeeds.
+        faults.schedule(FaultPoint {
+            op: IoOp::Read,
+            index: 0,
+            kind: FaultKind::Transient { times: IO_RETRY_LIMIT - 1 },
+        });
+        faults.arm();
+        let g = pool.fetch_read(PageId(1)).unwrap();
+        assert_eq!(g.cell(0).unwrap(), b"survives eintr");
+        assert!(faults.has_triggered());
+        assert!(!pool.is_poisoned(), "transient errors never poison");
+    }
+
+    #[test]
+    fn persistent_load_error_reaches_every_waiter() {
+        use crate::fault::{FaultKind, FaultPoint, FaultStore, IoOp};
+        let inner = Arc::new(InMemoryStore::new());
+        inner.ensure_capacity(8).unwrap();
+        let faults = FaultStore::new(inner);
+        let pool = BufferPool::new(faults.clone(), 4);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"x").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        pool.flush_all().unwrap();
+        pool.crash();
+        // Reads fail permanently from the very first operation. Several
+        // threads race the fetch: exactly one loads (and fails), the rest
+        // park on the frame latch — all must get the error, none may spin.
+        faults.schedule(FaultPoint { op: IoOp::Read, index: 0, kind: FaultKind::Permanent });
+        faults.arm();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = pool.clone();
+            handles.push(std::thread::spawn(move || pool.fetch_read(PageId(1)).map(|_| ())));
+        }
+        for h in handles {
+            let res = h.join().unwrap();
+            assert!(res.is_err(), "waiter saw the load error");
+        }
+        assert_eq!(pool.cached_frames(), 0, "failed frame removed from the table");
+    }
+
+    #[test]
+    fn persistent_write_failure_degrades_to_read_only() {
+        use crate::fault::{FaultKind, FaultPoint, FaultStore, IoOp};
+        let inner = Arc::new(InMemoryStore::new());
+        inner.ensure_capacity(8).unwrap();
+        let faults = FaultStore::new(inner);
+        let pool = BufferPool::new(faults.clone(), 4);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"still readable").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        pool.flush_all().unwrap();
+        {
+            let mut g = pool.fetch_write(PageId(1)).unwrap();
+            g.insert_cell(b"doomed").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        faults.schedule(FaultPoint { op: IoOp::Write, index: 0, kind: FaultKind::Permanent });
+        faults.arm();
+        let err = pool.flush_all().unwrap_err();
+        assert!(!is_transient_io(&err));
+        assert!(pool.is_poisoned(), "persistent write failure poisons the pool");
+        // Writes are refused with the marker error...
+        let Err(werr) = pool.fetch_write(PageId(1)).map(|_| ()) else {
+            panic!("poisoned pool granted a write latch");
+        };
+        assert!(is_storage_poisoned(&werr));
+        assert!(pool.try_fetch_write(PageId(1)).is_err());
+        assert!(pool.new_page_write(PageId(5), 0).is_err());
+        // ...while reads keep being served (the dirty frame is cached).
+        let g = pool.fetch_read(PageId(1)).unwrap();
+        assert_eq!(g.cell(1).unwrap(), b"doomed");
+    }
+
+    #[test]
+    fn quarantine_zeroes_torn_pages_for_redo() {
+        use crate::fault::{FaultKind, FaultPoint, FaultStore, IoOp};
+        let inner = Arc::new(InMemoryStore::new());
+        inner.ensure_capacity(8).unwrap();
+        let faults = FaultStore::new(inner);
+        let pool = BufferPool::new(faults.clone(), 8);
+        for i in 1..=3u32 {
+            let mut g = pool.new_page_write(PageId(i), 0).unwrap();
+            g.insert_cell(format!("page {i}").as_bytes()).unwrap();
+            g.mark_dirty(Lsn(u64::from(10 + i)));
+        }
+        // Page 2's write-back tears after the first sector.
+        faults.schedule(FaultPoint {
+            op: IoOp::Write,
+            index: 1,
+            kind: FaultKind::TornWrite { keep: 512 },
+        });
+        faults.arm();
+        // Whichever of the three write-backs is issued second tears; the
+        // scan below finds it without assuming a flush order.
+        pool.flush_all().unwrap();
+        faults.disarm();
+        pool.crash();
+
+        // Restart-time scan: exactly one page fails its checksum and is
+        // quarantined as a zeroed dirty frame with page LSN 0.
+        let pool2 = BufferPool::new(faults.clone(), 8);
+        let torn = pool2.quarantine_torn_pages().unwrap();
+        assert_eq!(torn.len(), 1, "exactly one torn page: {torn:?}");
+        let id = torn[0];
+        let g = pool2.fetch_read(id).unwrap();
+        assert_eq!(g.page_lsn(), Lsn::NULL, "quarantined image redoes from scratch");
+        drop(g);
+        // The intact pages load and verify fine.
+        for i in 1..=3u32 {
+            if PageId(i) != id {
+                let g = pool2.fetch_read(PageId(i)).unwrap();
+                assert_eq!(g.cell(0).unwrap(), format!("page {i}").as_bytes());
+            }
+        }
+        // And the quarantined page is dirty, so a flush persists the
+        // repaired (here: zeroed) image with a fresh checksum.
+        pool2.flush_all().unwrap();
+        pool2.crash();
+        let pool3 = BufferPool::new(faults, 8);
+        assert!(pool3.quarantine_torn_pages().unwrap().is_empty(), "repair stuck");
+    }
+
+    #[test]
+    fn unsynced_writebacks_stay_in_the_dirty_page_table() {
+        let store = Arc::new(InMemoryStore::new());
+        store.ensure_capacity(8).unwrap();
+        let pool = BufferPool::new(store, 8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"x").unwrap();
+            g.mark_dirty(Lsn(5));
+        }
+        assert_eq!(pool.dirty_page_table(), vec![(1, Lsn(5))]);
+        pool.flush_all().unwrap();
+        // Written back but not yet synced: still reported, same recLSN —
+        // a crash could lose the write-back.
+        assert_eq!(pool.dirty_page_table(), vec![(1, Lsn(5))]);
+        pool.sync_store().unwrap();
+        assert_eq!(pool.dirty_page_table(), vec![], "sync barrier clears the entry");
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! Deterministic storage fault injection.
+//!
+//! [`FaultStore`] wraps any [`PageStore`] and injects faults from an
+//! explicit schedule addressed by *operation index*: the Nth read, write
+//! or sync issued since the store was [armed](FaultStore::arm). Because
+//! the schedule is data, a harness can enumerate fault points one at a
+//! time and replay the identical workload against each — the
+//! crash-point enumeration used by `tests/fault_recovery.rs`.
+//!
+//! Fault classes:
+//!
+//! - **Transient errors** ([`FaultKind::Transient`]): the next `times`
+//!   operations of the class fail with [`io::ErrorKind::Interrupted`],
+//!   then the device recovers — exercises the bounded retry path.
+//! - **Permanent errors** ([`FaultKind::Permanent`]): every operation of
+//!   the class fails from this point on — exercises read-only
+//!   degradation (pool poisoning).
+//! - **Torn writes** ([`FaultKind::TornWrite`]): only a prefix of the
+//!   page image lands (whole 512-byte sectors); the write *reports
+//!   success*. Detected later by the page checksum.
+//! - **Lost writes** ([`FaultKind::LostWrite`]): the write reports
+//!   success and reads observe it, but it sits in a volatile device
+//!   cache: a [`crash_disk`](FaultStore::crash_disk) before the next
+//!   successful `sync` rolls the page back to its pre-write image.
+//!   Undetectable by checksums (the stale image is internally
+//!   consistent) — survived via the dirty-page-table sync barrier.
+//! - **Failed fsync** ([`FaultKind::FailedSync`]): the sync fails
+//!   *without* draining the device cache, so pending lost writes stay
+//!   lost.
+//!
+//! `ensure_capacity` and `page_count` pass through unfaulted: capacity
+//! growth is metadata, and the interesting failures are on the data
+//! path.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::store::PageStore;
+
+/// Torn writes land whole sectors; the header (including the checksum)
+/// always lands, so a tear is detectable whenever the tail differs.
+const SECTOR: usize = 512;
+
+/// The three faultable operation classes, each with its own op counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Page reads.
+    Read,
+    /// Page writes.
+    Write,
+    /// Store syncs (fsync barriers).
+    Sync,
+}
+
+impl IoOp {
+    fn idx(self) -> usize {
+        match self {
+            IoOp::Read => 0,
+            IoOp::Write => 1,
+            IoOp::Sync => 2,
+        }
+    }
+}
+
+/// What to inject when a fault point fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The next `times` operations of the class fail with a *transient*
+    /// error (`Interrupted`), then the device recovers.
+    Transient {
+        /// Consecutive failures before recovery.
+        times: u32,
+    },
+    /// Every operation of the class fails from this point on (the error
+    /// is non-transient, so retries do not help).
+    Permanent,
+    /// Write only: the first `keep` bytes (clamped to whole sectors,
+    /// minimum one) of the new image land, the tail keeps the old disk
+    /// content; reported as success.
+    TornWrite {
+        /// Bytes of the new image that land.
+        keep: usize,
+    },
+    /// Write only: reported as success but held in a volatile cache —
+    /// rolled back by [`FaultStore::crash_disk`] unless a successful
+    /// sync intervenes.
+    LostWrite,
+    /// Sync only: the sync fails and the device cache is *not* drained
+    /// (pending lost writes stay lost).
+    FailedSync,
+}
+
+/// One scheduled fault: `kind` fires at the `index`th operation of
+/// class `op` (0-based, counted since [`FaultStore::arm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Operation class the point addresses.
+    pub op: IoOp,
+    /// 0-based operation index within the class.
+    pub index: u64,
+    /// The fault to inject.
+    pub kind: FaultKind,
+}
+
+/// Operation / trigger counters (diagnostics and harness bookkeeping).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStoreStats {
+    /// Reads issued while armed.
+    pub reads: u64,
+    /// Writes issued while armed.
+    pub writes: u64,
+    /// Syncs issued while armed.
+    pub syncs: u64,
+    /// Scheduled fault points that have fired.
+    pub triggered: u64,
+}
+
+/// A [`PageStore`] wrapper injecting faults from a deterministic,
+/// op-index-addressed schedule. See the module docs for the fault model.
+pub struct FaultStore {
+    inner: Arc<dyn PageStore>,
+    armed: AtomicBool,
+    counters: [AtomicU64; 3],
+    /// Remaining forced transient failures per class.
+    active_transient: [AtomicU32; 3],
+    /// Class has permanently failed.
+    permanent: [AtomicBool; 3],
+    schedule: Mutex<HashMap<(IoOp, u64), FaultKind>>, // lint: allow-global-sync-map — test harness
+    /// Pre-write disk images of writes sitting in the volatile cache
+    /// (oldest pre-image wins if a page is lost-written twice).
+    pending_lost: Mutex<HashMap<u32, Page>>, // lint: allow-global-sync-map — test harness
+    triggered: Mutex<Vec<FaultPoint>>,
+}
+
+impl FaultStore {
+    /// Wrap `inner`. The store starts *disarmed*: operations pass
+    /// through and do not advance the op counters, so setup I/O does not
+    /// shift the schedule.
+    pub fn new(inner: Arc<dyn PageStore>) -> Arc<Self> {
+        Arc::new(FaultStore {
+            inner,
+            armed: AtomicBool::new(false),
+            counters: Default::default(),
+            active_transient: Default::default(),
+            permanent: Default::default(),
+            schedule: Mutex::new(HashMap::new()),
+            pending_lost: Mutex::new(HashMap::new()),
+            triggered: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Add one fault point to the schedule.
+    pub fn schedule(&self, point: FaultPoint) {
+        self.schedule.lock().insert((point.op, point.index), point.kind);
+    }
+
+    /// Start counting operations and firing scheduled faults.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop firing faults (already-tripped permanent/transient state is
+    /// kept; use [`Self::crash_disk`] for a full reset).
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Operation and trigger counts since arming.
+    pub fn stats(&self) -> FaultStoreStats {
+        FaultStoreStats {
+            reads: self.counters[0].load(Ordering::Relaxed),
+            writes: self.counters[1].load(Ordering::Relaxed),
+            syncs: self.counters[2].load(Ordering::Relaxed),
+            triggered: self.triggered.lock().len() as u64,
+        }
+    }
+
+    /// The fault points that have fired so far, in firing order.
+    pub fn triggered(&self) -> Vec<FaultPoint> {
+        self.triggered.lock().clone()
+    }
+
+    /// Whether any scheduled fault has fired yet.
+    pub fn has_triggered(&self) -> bool {
+        !self.triggered.lock().is_empty()
+    }
+
+    /// Simulate a machine crash plus a reboot onto a healthy device:
+    /// pending lost writes are rolled back to their pre-write images,
+    /// and the schedule, counters and tripped error state are cleared so
+    /// recovery runs against a working (but possibly corrupt) disk.
+    pub fn crash_disk(&self) -> io::Result<()> {
+        self.disarm();
+        let lost = std::mem::take(&mut *self.pending_lost.lock());
+        for (id, img) in lost {
+            self.inner.write(PageId(id), &img)?;
+        }
+        self.schedule.lock().clear();
+        self.triggered.lock().clear();
+        for c in &self.counters {
+            c.store(0, Ordering::SeqCst);
+        }
+        for a in &self.active_transient {
+            a.store(0, Ordering::SeqCst);
+        }
+        for p in &self.permanent {
+            p.store(false, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+
+    /// Common fault gate: advance the class counter, fire any scheduled
+    /// point, and return either an injected error, a write/sync-special
+    /// kind for the caller to apply, or nothing.
+    fn gate(&self, op: IoOp) -> io::Result<Option<FaultKind>> {
+        let i = op.idx();
+        if self.permanent[i].load(Ordering::SeqCst) {
+            return Err(permanent_error(op));
+        }
+        if !self.armed.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let index = self.counters[i].fetch_add(1, Ordering::SeqCst);
+        let hit = self.schedule.lock().remove(&(op, index));
+        if let Some(kind) = hit {
+            self.triggered.lock().push(FaultPoint { op, index, kind });
+            match kind {
+                FaultKind::Transient { times } => {
+                    self.active_transient[i].fetch_add(times, Ordering::SeqCst);
+                }
+                FaultKind::Permanent => {
+                    self.permanent[i].store(true, Ordering::SeqCst);
+                    return Err(permanent_error(op));
+                }
+                other => return Ok(Some(other)),
+            }
+        }
+        // Counted-down transient window (set by a Transient point above
+        // or on an earlier operation of this class).
+        let remaining = self.active_transient[i].load(Ordering::SeqCst);
+        if remaining > 0
+            && self.active_transient[i]
+                .compare_exchange(remaining, remaining - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient {op:?} failure"),
+            ));
+        }
+        Ok(None)
+    }
+}
+
+fn permanent_error(op: IoOp) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::BrokenPipe,
+        format!("injected permanent {op:?} failure: device gone"),
+    )
+}
+
+/// The current disk image of `id`, or all-zero bytes if unreadable.
+fn disk_image(inner: &Arc<dyn PageStore>, id: PageId) -> Page {
+    let mut img = Page::zeroed();
+    img.as_bytes_mut().fill(0);
+    if inner.read(id, &mut img).is_err() {
+        img.as_bytes_mut().fill(0);
+    }
+    img
+}
+
+impl PageStore for FaultStore {
+    fn read(&self, id: PageId, page: &mut Page) -> io::Result<()> {
+        // Write/sync kinds scheduled on the read class degrade to plain
+        // pass-through (a schedule bug, not worth a panic).
+        self.gate(IoOp::Read)?;
+        self.inner.read(id, page)
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> io::Result<()> {
+        match self.gate(IoOp::Write)? {
+            Some(FaultKind::TornWrite { keep }) => {
+                // Land whole sectors of the new image, keep the old tail.
+                let keep = keep.clamp(SECTOR, PAGE_SIZE) / SECTOR * SECTOR;
+                let old = disk_image(&self.inner, id);
+                let mut torn = page.clone();
+                torn.as_bytes_mut()[keep..].copy_from_slice(&old.as_bytes()[keep..]);
+                self.inner.write(id, &torn)
+            }
+            Some(FaultKind::LostWrite) => {
+                let pre = disk_image(&self.inner, id);
+                self.pending_lost.lock().entry(id.0).or_insert(pre);
+                self.inner.write(id, page)
+            }
+            _ => self.inner.write(id, page),
+        }
+    }
+
+    fn page_count(&self) -> u32 {
+        self.inner.page_count()
+    }
+
+    fn ensure_capacity(&self, count: u32) -> io::Result<()> {
+        self.inner.ensure_capacity(count)
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if let Some(FaultKind::FailedSync) = self.gate(IoOp::Sync)? {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected fsync failure: device cache not drained",
+            ));
+        }
+        self.inner.sync()?;
+        // A successful fsync drains the volatile cache: pending lost
+        // writes become durable.
+        self.pending_lost.lock().clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::InMemoryStore;
+
+    fn store_with_pages(n: u32) -> (Arc<InMemoryStore>, Arc<FaultStore>) {
+        let inner = Arc::new(InMemoryStore::new());
+        inner.ensure_capacity(n).unwrap();
+        let fs = FaultStore::new(inner.clone());
+        (inner, fs)
+    }
+
+    fn page_with(byte: u8) -> Page {
+        let mut p = Page::zeroed();
+        p.as_bytes_mut().fill(byte);
+        p
+    }
+
+    #[test]
+    fn disarmed_store_passes_through() {
+        let (_, fs) = store_with_pages(4);
+        fs.schedule(FaultPoint { op: IoOp::Write, index: 0, kind: FaultKind::Permanent });
+        fs.write(PageId(1), &page_with(7)).unwrap();
+        let mut back = Page::zeroed();
+        fs.read(PageId(1), &mut back).unwrap();
+        assert_eq!(back.as_bytes()[0], 7);
+        assert_eq!(fs.stats().triggered, 0, "disarmed: nothing fires");
+    }
+
+    #[test]
+    fn transient_fails_then_recovers() {
+        let (_, fs) = store_with_pages(4);
+        fs.schedule(FaultPoint {
+            op: IoOp::Read,
+            index: 1,
+            kind: FaultKind::Transient { times: 2 },
+        });
+        fs.arm();
+        let mut p = Page::zeroed();
+        fs.read(PageId(0), &mut p).unwrap(); // index 0: clean
+        let e1 = fs.read(PageId(0), &mut p).unwrap_err(); // index 1: fires
+        assert_eq!(e1.kind(), io::ErrorKind::Interrupted);
+        let e2 = fs.read(PageId(0), &mut p).unwrap_err(); // index 2: still down
+        assert_eq!(e2.kind(), io::ErrorKind::Interrupted);
+        fs.read(PageId(0), &mut p).unwrap(); // recovered
+        assert!(fs.has_triggered());
+    }
+
+    #[test]
+    fn permanent_fails_forever() {
+        let (_, fs) = store_with_pages(4);
+        fs.schedule(FaultPoint { op: IoOp::Write, index: 0, kind: FaultKind::Permanent });
+        fs.arm();
+        assert!(fs.write(PageId(1), &page_with(1)).is_err());
+        assert!(fs.write(PageId(1), &page_with(1)).is_err());
+        assert!(fs.write(PageId(2), &page_with(1)).is_err());
+        // Reads are a separate class and keep working.
+        let mut p = Page::zeroed();
+        fs.read(PageId(1), &mut p).unwrap();
+    }
+
+    #[test]
+    fn torn_write_keeps_old_tail() {
+        let (inner, fs) = store_with_pages(4);
+        inner.write(PageId(1), &page_with(0xAA)).unwrap();
+        fs.schedule(FaultPoint {
+            op: IoOp::Write,
+            index: 0,
+            kind: FaultKind::TornWrite { keep: 1024 },
+        });
+        fs.arm();
+        fs.write(PageId(1), &page_with(0xBB)).unwrap();
+        let mut back = Page::zeroed();
+        inner.read(PageId(1), &mut back).unwrap();
+        assert!(back.as_bytes()[..1024].iter().all(|&b| b == 0xBB), "head landed");
+        assert!(back.as_bytes()[1024..].iter().all(|&b| b == 0xAA), "tail is old");
+    }
+
+    #[test]
+    fn lost_write_rolls_back_at_crash_unless_synced() {
+        let (inner, fs) = store_with_pages(4);
+        inner.write(PageId(1), &page_with(0x11)).unwrap();
+        fs.schedule(FaultPoint { op: IoOp::Write, index: 0, kind: FaultKind::LostWrite });
+        fs.arm();
+        fs.write(PageId(1), &page_with(0x22)).unwrap();
+        // Reads observe the cached write...
+        let mut back = Page::zeroed();
+        fs.read(PageId(1), &mut back).unwrap();
+        assert_eq!(back.as_bytes()[0], 0x22);
+        // ...but a crash rolls it back.
+        fs.crash_disk().unwrap();
+        inner.read(PageId(1), &mut back).unwrap();
+        assert_eq!(back.as_bytes()[0], 0x11, "lost write rolled back");
+
+        // Same again with an intervening sync: the write sticks.
+        fs.schedule(FaultPoint { op: IoOp::Write, index: 0, kind: FaultKind::LostWrite });
+        fs.arm();
+        fs.write(PageId(1), &page_with(0x33)).unwrap();
+        fs.sync().unwrap();
+        fs.crash_disk().unwrap();
+        inner.read(PageId(1), &mut back).unwrap();
+        assert_eq!(back.as_bytes()[0], 0x33, "synced write survived the crash");
+    }
+
+    #[test]
+    fn failed_sync_keeps_writes_lost() {
+        let (inner, fs) = store_with_pages(4);
+        inner.write(PageId(1), &page_with(0x11)).unwrap();
+        fs.schedule(FaultPoint { op: IoOp::Write, index: 0, kind: FaultKind::LostWrite });
+        fs.schedule(FaultPoint { op: IoOp::Sync, index: 0, kind: FaultKind::FailedSync });
+        fs.arm();
+        fs.write(PageId(1), &page_with(0x44)).unwrap();
+        assert!(fs.sync().is_err(), "fsync failure injected");
+        fs.crash_disk().unwrap();
+        let mut back = Page::zeroed();
+        inner.read(PageId(1), &mut back).unwrap();
+        assert_eq!(back.as_bytes()[0], 0x11, "failed fsync did not drain the cache");
+    }
+}

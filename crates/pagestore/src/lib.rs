@@ -20,8 +20,14 @@ mod heap;
 mod page;
 pub mod store;
 
+mod fault;
+
 pub use alloc::PageAllocator;
-pub use buffer::{BufferPool, FrameData, PageReadGuard, PageWriteGuard, PoolStats};
+pub use buffer::{
+    is_storage_poisoned, is_transient_io, BufferPool, FrameData, PageReadGuard, PageWriteGuard,
+    PoolStats, StoragePoisoned,
+};
+pub use fault::{FaultKind, FaultPoint, FaultStore, FaultStoreStats, IoOp};
 pub use heap::HeapFile;
 pub use page::{Page, PageFull, PageId, Rid, SlotId, HEADER_SIZE, PAGE_SIZE, SLOT_SIZE};
 pub use store::{FileStore, InMemoryStore, PageStore, SimulatedLatencyStore};

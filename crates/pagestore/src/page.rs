@@ -3,14 +3,14 @@
 //! Layout:
 //!
 //! ```text
-//! 0        8        16         20       24      26      28          30          32
-//! +--------+--------+----------+--------+-------+-------+-----------+-----------+
-//! | pageLSN|  NSN   | rightlink| page id| level | flags | slot count| cell start|
-//! +--------+--------+----------+--------+-------+-------+-----------+-----------+
-//! | slot array (6 bytes per slot, grows up) ...                                 |
-//! |                        free space                                           |
-//! |                               ... cells (grow down from PAGE_SIZE)          |
-//! +------------------------------------------------------------------------------+
+//! 0        8        16         20       24      26      28          30          32        40
+//! +--------+--------+----------+--------+-------+-------+-----------+-----------+---------+
+//! | pageLSN|  NSN   | rightlink| page id| level | flags | slot count| cell start| checksum|
+//! +--------+--------+----------+--------+-------+-------+-----------+-----------+---------+
+//! | slot array (6 bytes per slot, grows up) ...                                           |
+//! |                        free space                                                     |
+//! |                               ... cells (grow down from PAGE_SIZE)                    |
+//! +----------------------------------------------------------------------------------------+
 //! ```
 //!
 //! The **NSN** (node sequence number) and **rightlink** are the §3
@@ -18,6 +18,14 @@
 //! availability flag backs the Table 1 `Get-Page` / `Free-Page` records.
 //! Slot identifiers are stable across deletions and compaction so that
 //! record identifiers ([`Rid`]) stay valid.
+//!
+//! The **checksum** covers every byte of the page except itself and is
+//! stamped when the buffer pool writes a page back to the store and
+//! verified when it loads one, so torn or bit-rotted on-disk images are
+//! detected at the first fetch rather than corrupting the tree silently.
+//! A stored checksum of `0` is reserved for "never stamped": it is
+//! accepted only when the entire page image is zero (a page freshly
+//! materialized by `ensure_capacity` that no flush has ever touched).
 
 use std::fmt;
 
@@ -26,7 +34,7 @@ use gist_wal::Lsn;
 /// Size of every page in bytes.
 pub const PAGE_SIZE: usize = 8192;
 /// Size of the fixed page header.
-pub const HEADER_SIZE: usize = 32;
+pub const HEADER_SIZE: usize = 40;
 /// Size of one slot-array entry.
 pub const SLOT_SIZE: usize = 6;
 
@@ -38,6 +46,7 @@ const OFF_LEVEL: usize = 24;
 const OFF_FLAGS: usize = 26;
 const OFF_SLOT_COUNT: usize = 28;
 const OFF_CELL_START: usize = 30;
+const OFF_CHECKSUM: usize = 32;
 
 const FLAG_AVAILABLE: u16 = 1 << 0;
 
@@ -262,6 +271,50 @@ impl Page {
             f &= !FLAG_AVAILABLE;
         }
         self.set_u16_at(OFF_FLAGS, f);
+    }
+
+    // ---- checksum (torn/lost-write detection) ----
+
+    /// The checksum stored in the header (`0` = never stamped).
+    pub fn stored_checksum(&self) -> u64 {
+        self.u64_at(OFF_CHECKSUM)
+    }
+
+    /// Compute the checksum of the current page image: FNV-1a + fmix64
+    /// (via [`gist_striped::stable_hash_bytes`]) over every byte except
+    /// the checksum field itself, with `0` remapped to `1` so that `0`
+    /// stays free as the "never stamped" sentinel.
+    pub fn compute_checksum(&self) -> u64 {
+        let head = gist_striped::stable_hash_bytes(&self.data[..OFF_CHECKSUM]);
+        let tail = gist_striped::stable_hash_bytes(&self.data[HEADER_SIZE..]);
+        let mut combined = [0u8; 16];
+        combined[..8].copy_from_slice(&head.to_le_bytes());
+        combined[8..].copy_from_slice(&tail.to_le_bytes());
+        let h = gist_striped::stable_hash_bytes(&combined);
+        if h == 0 { 1 } else { h }
+    }
+
+    /// Stamp the checksum of the current image into the header. Done by
+    /// the buffer pool immediately before a write-back; the in-pool image
+    /// is *not* kept stamped (it goes stale on the first `mark_dirty`).
+    pub fn stamp_checksum(&mut self) {
+        let c = self.compute_checksum();
+        self.set_u64_at(OFF_CHECKSUM, c);
+    }
+
+    /// Verify the stored checksum against the current image.
+    ///
+    /// Returns `true` when the stored value matches, or when the page was
+    /// never stamped (stored checksum `0`) *and* the whole image is zero
+    /// — the state of a page materialized by `ensure_capacity` that no
+    /// flush ever reached. A non-zero image with checksum `0`, or any
+    /// mismatch, is a torn / corrupt read.
+    pub fn verify_checksum(&self) -> bool {
+        let stored = self.stored_checksum();
+        if stored == 0 {
+            return self.data.iter().all(|&b| b == 0);
+        }
+        stored == self.compute_checksum()
     }
 
     /// Number of slots (including vacant ones).
@@ -651,6 +704,60 @@ mod tests {
         p.clear_cells();
         assert_eq!(p.slot_count(), 0);
         assert_eq!(p.contiguous_free(), PAGE_SIZE - HEADER_SIZE);
+    }
+
+    #[test]
+    fn checksum_roundtrip() {
+        let mut p = Page::zeroed();
+        p.format(PageId(9), 1);
+        p.insert_cell(b"payload bytes").unwrap();
+        p.set_page_lsn(Lsn(77));
+        assert_eq!(p.stored_checksum(), 0, "format leaves the page unstamped");
+        p.stamp_checksum();
+        assert_ne!(p.stored_checksum(), 0);
+        assert!(p.verify_checksum(), "freshly stamped image verifies");
+        // Stamping is idempotent: the checksum field itself is excluded.
+        let c = p.stored_checksum();
+        p.stamp_checksum();
+        assert_eq!(p.stored_checksum(), c);
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn checksum_detects_torn_write() {
+        let mut p = Page::zeroed();
+        p.format(PageId(4), 0);
+        for i in 0..20 {
+            p.insert_cell(&[i as u8; 64]).unwrap();
+        }
+        p.stamp_checksum();
+        assert!(p.verify_checksum());
+        // Simulate a torn write: the tail of the page keeps stale bytes.
+        let keep = 4096;
+        for b in &mut p.as_bytes_mut()[keep..] {
+            *b = 0xAA;
+        }
+        assert!(!p.verify_checksum(), "torn image must fail verification");
+        // A single flipped bit anywhere is also caught.
+        let mut q = Page::zeroed();
+        q.format(PageId(5), 0);
+        q.insert_cell(b"bitrot target").unwrap();
+        q.stamp_checksum();
+        q.as_bytes_mut()[PAGE_SIZE - 1] ^= 0x01;
+        assert!(!q.verify_checksum());
+    }
+
+    #[test]
+    fn checksum_zero_sentinel_accepts_only_all_zero_images() {
+        // A raw store page that no flush ever reached is all zeros and
+        // must pass (ensure_capacity materializes pages this way).
+        let p = Page { data: Box::new([0u8; PAGE_SIZE]) };
+        assert_eq!(p.stored_checksum(), 0);
+        assert!(p.verify_checksum());
+        // Any non-zero content with an unstamped (0) checksum is torn.
+        let mut q = Page { data: Box::new([0u8; PAGE_SIZE]) };
+        q.as_bytes_mut()[100] = 1;
+        assert!(!q.verify_checksum());
     }
 
     #[test]

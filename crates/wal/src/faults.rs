@@ -1,0 +1,59 @@
+//! WAL-file fault shim: byte-level damage for persisted log files.
+//!
+//! These helpers model what a crash or failing device does to the log
+//! file itself — truncating it mid-frame (a torn append) or flipping
+//! bits (media corruption) — so tests can drive
+//! [`LogManager::load_file_report`](crate::LogManager::load_file_report)'s
+//! torn-tail-vs-interior-corruption classification against real files.
+
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Current length of `path` in bytes.
+pub fn file_len(path: &Path) -> io::Result<u64> {
+    Ok(std::fs::metadata(path)?.len())
+}
+
+/// Cut the last `n` bytes off `path` (a crash mid-append: the tail frame
+/// is partially written). Truncating more than the file holds leaves an
+/// empty file.
+pub fn truncate_tail(path: &Path, n: u64) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    let len = f.metadata()?.len();
+    f.set_len(len.saturating_sub(n))?;
+    f.sync_all()
+}
+
+/// XOR the byte at absolute offset `pos` with `mask` (bit rot). `mask`
+/// must be non-zero for the byte to actually change.
+pub fn flip_byte(path: &Path, pos: u64, mask: u8) -> io::Result<()> {
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if pos >= len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("flip_byte at {pos} beyond file length {len}"),
+        ));
+    }
+    f.seek(SeekFrom::Start(pos))?;
+    let mut b = [0u8; 1];
+    f.read_exact(&mut b)?;
+    b[0] ^= mask;
+    f.seek(SeekFrom::Start(pos))?;
+    f.write_all(&b)?;
+    f.sync_all()
+}
+
+/// XOR a byte `back` bytes from the end of the file (damage inside the
+/// final record for small `back`).
+pub fn flip_tail_byte(path: &Path, back: u64, mask: u8) -> io::Result<()> {
+    let len = file_len(path)?;
+    if back >= len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("flip_tail_byte {back} bytes back in a {len}-byte file"),
+        ));
+    }
+    flip_byte(path, len - 1 - back, mask)
+}

@@ -28,15 +28,16 @@
 mod lsn;
 mod record;
 pub mod codec;
+pub mod faults;
 pub mod log;
 pub mod recovery;
 
 pub use lsn::{Lsn, TxnId};
 pub use record::{LogRecord, Payload, RecordBody};
-pub use log::{LogFlusher, LogManager};
+pub use log::{LogFlusher, LogManager, WalTailReport};
 pub use recovery::{
-    restart, rollback, AnalysisResult, RecoveryError, RecoveryHandler, RestartOutcome,
-    RollbackKind,
+    restart, restart_with_floor, rollback, AnalysisResult, RecoveryError, RecoveryHandler,
+    RestartOutcome, RollbackKind,
 };
 
 /// Token bracketing a nested top action (§9.1).

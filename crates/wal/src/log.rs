@@ -99,15 +99,24 @@ impl LogManager {
     ///
     /// # Panics
     /// Panics if `lsn` is null or beyond the end of the log — both indicate
-    /// a corrupted backchain, which must not be silently ignored.
+    /// a corrupted backchain, which must not be silently ignored. Recovery
+    /// code paths use [`LogManager::try_get`] instead and surface a
+    /// recovery error rather than taking the process down.
     pub fn get(&self, lsn: Lsn) -> LogRecord {
-        assert!(!lsn.is_null(), "fetching the NULL lsn");
+        match self.try_get(lsn) {
+            Some(rec) => rec,
+            None => panic!("lsn {lsn} is null or beyond end of log ({})", self.len()),
+        }
+    }
+
+    /// Fetch the record with the given LSN, or `None` when `lsn` is null
+    /// or beyond the end of the log (a corrupt backchain pointer).
+    pub fn try_get(&self, lsn: Lsn) -> Option<LogRecord> {
+        if lsn.is_null() {
+            return None;
+        }
         let inner = self.inner.lock();
-        inner
-            .records
-            .get(lsn.0 as usize - 1)
-            .unwrap_or_else(|| panic!("lsn {lsn} beyond end of log ({})", inner.records.len()))
-            .clone()
+        inner.records.get(lsn.0 as usize - 1).cloned()
     }
 
     /// Clone of every record with LSN ≥ `from` in LSN order.
@@ -172,13 +181,21 @@ impl LogManager {
     }
 
     /// Persist the durable prefix to a file (see [`LogManager::load_file`]).
+    ///
+    /// Format: an 8-byte magic, then one frame per record —
+    /// `[len: u32][checksum: u64][body]` with the checksum (FNV-1a +
+    /// fmix64) over the encoded body. The framing is what lets
+    /// [`LogManager::load_file`] tell a torn tail from interior
+    /// corruption.
     pub fn persist_file(&self, path: &Path) -> io::Result<()> {
         let inner = self.inner.lock();
         let durable = &inner.records[..inner.flushed.0 as usize];
-        let mut buf = Vec::new();
+        let mut buf = Vec::with_capacity(16 + durable.len() * 64);
+        buf.extend_from_slice(WAL_MAGIC);
         for rec in durable {
             let enc = codec::encode_record(rec);
             buf.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&gist_striped::stable_hash_bytes(&enc).to_le_bytes());
             buf.extend_from_slice(&enc);
         }
         let mut f = fs::File::create(path)?;
@@ -186,37 +203,130 @@ impl LogManager {
         f.sync_all()
     }
 
-    /// Load a log persisted by [`LogManager::persist_file`]; the loaded prefix is
-    /// entirely durable.
+    /// Load a log persisted by [`LogManager::persist_file`]; the loaded
+    /// prefix is entirely durable. Equivalent to
+    /// [`LogManager::load_file_report`] with the report discarded.
     pub fn load_file(path: &Path) -> io::Result<LogManager> {
+        Self::load_file_report(path).map(|(log, _)| log)
+    }
+
+    /// Load a log file, classifying malformed bytes:
+    ///
+    /// - A **torn or corrupt tail** — the *final* frame is incomplete
+    ///   (truncated mid-frame), fails its checksum, fails to decode, or
+    ///   breaks LSN density — is what a crash during the last append
+    ///   leaves behind. It is *truncated*: the log loads up to the last
+    ///   good record and the report says what was dropped.
+    /// - The same damage **before the durable tail** (a frame followed by
+    ///   further bytes) cannot be explained by a crash mid-append and
+    ///   stays a hard `InvalidData` error.
+    ///
+    /// A missing or wrong magic is always a hard error. One inherent
+    /// ambiguity: interior corruption *of a length field* that makes the
+    /// frame overshoot EOF is indistinguishable from a tear and is
+    /// truncated.
+    pub fn load_file_report(path: &Path) -> io::Result<(LogManager, WalTailReport)> {
         let mut bytes = Vec::new();
         fs::File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "log file magic missing or wrong (not a WAL file)",
+            ));
+        }
         let mut records = Vec::new();
-        let mut off = 0usize;
-        while off + 4 <= bytes.len() {
+        let mut off = WAL_MAGIC.len();
+        let mut report = WalTailReport::default();
+        while off < bytes.len() {
+            // Frame header: length + body checksum.
+            if off + 12 > bytes.len() {
+                report.tail_truncated = true;
+                break;
+            }
             let mut len4 = [0u8; 4];
             len4.copy_from_slice(&bytes[off..off + 4]);
             let len = u32::from_le_bytes(len4) as usize;
-            off += 4;
-            let rec = codec::decode_record(&bytes[off..off + len]).map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("log decode: {e}"))
-            })?;
-            off += len;
+            let mut sum8 = [0u8; 8];
+            sum8.copy_from_slice(&bytes[off + 4..off + 12]);
+            let stored_sum = u64::from_le_bytes(sum8);
+            let body_start = off + 12;
+            let Some(body_end) = body_start.checked_add(len) else {
+                report.tail_truncated = true;
+                break;
+            };
+            if body_end > bytes.len() {
+                // Frame runs past EOF: torn tail.
+                report.tail_truncated = true;
+                break;
+            }
+            let is_final = body_end == bytes.len();
+            let body = &bytes[body_start..body_end];
+            let recno = records.len() + 1;
+            if gist_striped::stable_hash_bytes(body) != stored_sum {
+                if is_final {
+                    report.tail_truncated = true;
+                    break;
+                }
+                return Err(interior_corruption(recno, "checksum mismatch"));
+            }
+            let rec = match codec::decode_record(body) {
+                Ok(rec) => rec,
+                Err(e) => {
+                    if is_final {
+                        report.tail_truncated = true;
+                        break;
+                    }
+                    return Err(interior_corruption(recno, &format!("decode: {e}")));
+                }
+            };
             let expect = Lsn(records.len() as u64 + 1);
             if rec.lsn != expect {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("log not dense: got {} expected {}", rec.lsn, expect),
+                if is_final {
+                    report.tail_truncated = true;
+                    break;
+                }
+                return Err(interior_corruption(
+                    recno,
+                    &format!("not dense: got {} expected {}", rec.lsn, expect),
                 ));
             }
             records.push(rec);
+            off = body_end;
         }
+        if report.tail_truncated {
+            report.dropped_bytes = bytes.len() - off;
+        }
+        report.loaded = records.len();
         let flushed = Lsn(records.len() as u64);
-        Ok(LogManager {
-            inner: Mutex::new(LogInner { records, flushed }),
-            flush_cv: Condvar::new(),
-        })
+        Ok((
+            LogManager {
+                inner: Mutex::new(LogInner { records, flushed }),
+                flush_cv: Condvar::new(),
+            },
+            report,
+        ))
     }
+}
+
+/// Magic prefix of a persisted WAL file.
+const WAL_MAGIC: &[u8; 8] = b"GISTWAL1";
+
+fn interior_corruption(recno: usize, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("log corrupt before the durable tail (record {recno}): {what}"),
+    )
+}
+
+/// What [`LogManager::load_file_report`] found at the end of the file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalTailReport {
+    /// Records successfully loaded.
+    pub loaded: usize,
+    /// Whether a torn/corrupt tail was detected and truncated.
+    pub tail_truncated: bool,
+    /// Bytes dropped with the tail.
+    pub dropped_bytes: usize,
 }
 
 impl LogFlusher for LogManager {

@@ -84,7 +84,14 @@ pub fn rollback(
     let mut cur = last_lsn;
     let mut chain_end = last_lsn;
     while !cur.is_null() && cur > stop_after {
-        let rec = log.get(cur);
+        let Some(rec) = log.try_get(cur) else {
+            // A backchain pointer past the end of the log: the chain is
+            // corrupt. Surfaced as an error rather than a panic so a
+            // damaged log degrades the restart, not the process.
+            return Err(RecoveryError(format!(
+                "rollback of {txn:?}: backchain lsn {cur} beyond end of log"
+            )));
+        };
         debug_assert_eq!(rec.txn, txn, "backchain crossed transactions");
         if let RecordBody::Payload(p) = &rec.body {
             let mut clr_lsn: Option<Lsn> = None;
@@ -249,6 +256,20 @@ pub fn restart(
     log: &LogManager,
     handler: &dyn RecoveryHandler,
 ) -> Result<RestartOutcome, RecoveryError> {
+    restart_with_floor(log, handler, Lsn(u64::MAX))
+}
+
+/// [`restart`] with a *redo floor*: the redo pass starts no later than
+/// `floor`. Used by torn-page repair — a quarantined (zeroed) page has
+/// page LSN 0 and its content exists only in the log, so redo must
+/// repeat history from the log start (`floor = Lsn(1)`) regardless of
+/// what the dirty-page table claims. Page-LSN idempotence makes the
+/// wider scan safe for every healthy page.
+pub fn restart_with_floor(
+    log: &LogManager,
+    handler: &dyn RecoveryHandler,
+    floor: Lsn,
+) -> Result<RestartOutcome, RecoveryError> {
     let analysis_res = analysis(log);
     let mut outcome = RestartOutcome::default();
 
@@ -263,6 +284,7 @@ pub fn restart(
         .copied()
         .min()
         .unwrap_or(analysis_res.start_lsn)
+        .min(floor)
         .max(Lsn(1));
     outcome.redo_start = redo_start;
     for rec in log.scan_from(redo_start) {

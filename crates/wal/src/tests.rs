@@ -388,6 +388,101 @@ fn file_persist_and_load_roundtrip() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Persist a small committed log to a temp file and return
+/// `(dir, path, durable_lsn_count)`. The caller removes `dir`.
+fn persisted_log(tag: &str) -> (std::path::PathBuf, std::path::PathBuf, u64) {
+    let (log, rm) = setup(2);
+    let t = TxnId(1);
+    let b = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let u1 = rm.set(t, b, 0, 5);
+    let u2 = rm.set(t, u1, 1, 9);
+    let c = log.append(t, u2, RecordBody::TxnCommit);
+    let e = log.append(t, c, RecordBody::TxnEnd);
+    log.flush(e);
+    let dir = std::env::temp_dir().join(format!("gist-wal-fault-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wal.log");
+    log.persist_file(&path).unwrap();
+    (dir, path, e.0)
+}
+
+#[test]
+fn torn_tail_is_truncated_not_fatal() {
+    let (dir, path, durable) = persisted_log("torn");
+    // Cut into the final frame: a crash mid-append of the last record.
+    crate::faults::truncate_tail(&path, 3).unwrap();
+    let (loaded, report) = LogManager::load_file_report(&path).unwrap();
+    assert!(report.tail_truncated, "tear detected");
+    assert_eq!(loaded.last_lsn(), Lsn(durable - 1), "only the torn record dropped");
+    assert!(report.dropped_bytes > 0);
+    // The surviving prefix is intact and scannable.
+    assert_eq!(loaded.scan_from(Lsn(1)).len() as u64, durable - 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bitflipped_final_record_is_truncated() {
+    let (dir, path, durable) = persisted_log("flip-tail");
+    // Flip a byte inside the final record's body: checksum catches it.
+    crate::faults::flip_tail_byte(&path, 2, 0x40).unwrap();
+    let (loaded, report) = LogManager::load_file_report(&path).unwrap();
+    assert!(report.tail_truncated);
+    assert_eq!(loaded.last_lsn(), Lsn(durable - 1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interior_corruption_is_a_hard_error() {
+    let (dir, path, _) = persisted_log("interior");
+    // Flip a byte well before the durable tail (inside the first
+    // record's frame, just past the 8-byte magic + 12-byte header).
+    crate::faults::flip_byte(&path, 8 + 12 + 2, 0x10).unwrap();
+    let Err(err) = LogManager::load_file(&path).map(|_| ()) else {
+        panic!("interior corruption must not load");
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("before the durable tail"),
+        "classified as interior corruption: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_into_earlier_frames_drops_only_the_tail() {
+    let (dir, path, durable) = persisted_log("deep-trunc");
+    // Cut away the last frame and a bite of the one before it: both are
+    // tail damage (nothing corrupt is *followed* by good bytes).
+    let len = crate::faults::file_len(&path).unwrap();
+    crate::faults::truncate_tail(&path, len / 3).unwrap();
+    let (loaded, report) = LogManager::load_file_report(&path).unwrap();
+    assert!(report.tail_truncated);
+    assert!(loaded.last_lsn() < Lsn(durable));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_magic_is_a_hard_error() {
+    let dir = std::env::temp_dir().join(format!("gist-wal-fault-magic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wal.log");
+    std::fs::write(&path, b"NOTAWAL!rest of garbage").unwrap();
+    assert!(LogManager::load_file(&path).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rollback_with_corrupt_backchain_errors_instead_of_panicking() {
+    let (log, rm) = setup(2);
+    let t = TxnId(1);
+    let b = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let _u = rm.set(t, b, 0, 5);
+    // A backchain pointer beyond the end of the log (corrupt chain).
+    let bogus = Lsn(999);
+    let err = rollback(&log, &rm, t, bogus, Lsn::NULL, RollbackKind::Abort).unwrap_err();
+    assert!(err.0.contains("beyond end of log"), "{err}");
+}
+
 #[test]
 fn concurrent_appends_get_unique_lsns() {
     let log = std::sync::Arc::new(LogManager::new());

@@ -49,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // more work and crash again.
     let idx = GistIndex::open(db.clone(), "t", BtreeExt)?;
     db.log().flush_all();
-    db.pool().flush_all();
-    let cp_lsn = db.checkpoint();
+    db.pool().flush_all().unwrap();
+    let cp_lsn = db.checkpoint().unwrap();
     let cp = db.log().get(db.log().last_checkpoint().expect("checkpoint written"));
     let RecordBody::Checkpoint { scan_start, .. } = cp.body else {
         unreachable!("last_checkpoint points at a checkpoint record");

@@ -146,7 +146,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("maintenance: {:?}", db.maint_stats());
     assert_eq!(idx.stats()?.marked_entries, 0, "daemon reclaimed every committed delete");
-    db.shutdown();
+    db.shutdown().unwrap();
     check_tree(&idx)?.assert_ok();
     println!("tree invariants OK; final stats {:?}", idx.stats()?);
     Ok(())

@@ -33,6 +33,9 @@ cargo test -q --features latch-audit
 echo "== tier 2: shard-boundary stress under latch-audit =="
 cargo test -q --features latch-audit --test stress shard_
 
+echo "== tier 2: storage fault-injection crash harness =="
+cargo test -q --release --test fault_recovery
+
 echo ""
 echo "verification summary"
 echo "  step                                violations"
@@ -42,4 +45,5 @@ echo "  clippy (default + latch-audit)               0"
 echo "  gist-lint static rules                       0"
 echo "  latch-audit dynamic analyzer                 0"
 echo "  shard stress under latch-audit               0"
+echo "  fault-injection crash harness                0"
 echo "verify.sh: all green"

@@ -12,6 +12,7 @@
 //! | `latch-outside-buffer` | no direct `write_arc()` / `read_arc()` latch calls outside `pagestore/src/buffer.rs` — every latch must pass through the (audited) buffer-pool API |
 //! | `forbid-unsafe` | every crate without `unsafe` carries `#![forbid(unsafe_code)]` |
 //! | `no-global-sync-map` | no new top-level `Mutex<HashMap<...>>` / `RwLock<HashMap<...>>` in the hot-path sync crates (pagestore, lockmgr, predlock) — shared tables there must go through the striped abstraction (`gist-striped`) so they stay partitioned and shard-order audited |
+//! | `no-ignored-io` | no `let _ = ...` / statement-level `....ok();` in the storage crates (pagestore, wal) — every I/O result must be propagated, retried, or poison the pool; a silently dropped error is exactly how a lost write becomes silent corruption |
 //!
 //! Scanning is line/AST-lite on purpose: the build must stay offline, so
 //! no syn/proc-macro dependencies. A light sanitizer strips comments and
@@ -285,6 +286,40 @@ fn rule_no_global_sync_map(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule `no-ignored-io`: in the storage crates every fallible operation
+/// is an I/O operation, and a discarded `Result` there is a fault the
+/// fault-injection layer can never surface — the write "worked" as far
+/// as anyone can tell. `let _ = ...` and statement-level `....ok();`
+/// are the two discard idioms; both are forbidden outside tests. A
+/// result that is *genuinely* ignorable (best-effort cleanup on an
+/// already-failing path) takes a same-line `lint: allow-ignored-io`
+/// waiver stating why.
+fn rule_no_ignored_io(f: &SourceFile, out: &mut Vec<Violation>) {
+    let scoped = ["crates/pagestore/", "crates/wal/"].iter().any(|p| f.path.starts_with(p));
+    if !scoped {
+        return;
+    }
+    for (n, clean, raw, test) in f.lines() {
+        if test || raw.contains("lint: allow-ignored-io") {
+            continue;
+        }
+        // Whitespace-insensitive (`let _=`, `.ok() ;`).
+        let compact: String = clean.chars().filter(|c| !c.is_whitespace()).collect();
+        // `.ok()` in expression position (e.g. `parse().ok()?`) is a
+        // conversion, not a discard — only the statement form is flagged.
+        if compact.contains("let_=") || compact.contains(".ok();") {
+            out.push(Violation {
+                rule: "no-ignored-io",
+                file: f.path.clone(),
+                line: n,
+                msg: "discarded result in a storage crate — propagate it, retry it, \
+                      or poison the pool; waive with `lint: allow-ignored-io` if truly moot"
+                    .into(),
+            });
+        }
+    }
+}
+
 /// Extract the variant names of `pub enum <name>` from sanitized source.
 fn enum_variants(clean: &str, name: &str) -> Vec<String> {
     let mut variants = Vec::new();
@@ -446,6 +481,7 @@ fn scan(files: &[SourceFile]) -> Vec<Violation> {
         rule_no_unwrap(f, &mut out);
         rule_latch_outside_buffer(f, &mut out);
         rule_no_global_sync_map(f, &mut out);
+        rule_no_ignored_io(f, &mut out);
     }
     rule_record_coverage(files, &mut out);
     rule_forbid_unsafe(files, &mut out);
@@ -512,6 +548,7 @@ fn main() {
         "latch-outside-buffer",
         "forbid-unsafe",
         "no-global-sync-map",
+        "no-ignored-io",
     ] {
         let n = violations.iter().filter(|v| v.rule == rule).count();
         println!("  {rule:<22} {n}");
@@ -691,6 +728,49 @@ mod tests {
         );
         let mut v = Vec::new();
         rule_no_global_sync_map(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ignored_io_in_storage_crate_is_flagged() {
+        let f = file("crates/pagestore/src/buffer.rs", "fn f(&self) { let _ = self.store.sync(); }");
+        let mut v = Vec::new();
+        rule_no_ignored_io(&f, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-ignored-io");
+        // The statement-level `.ok()` discard is caught, spacing and all.
+        let f = file("crates/wal/src/log.rs", "fn f(w: &mut W) { w.flush().ok() ; }");
+        let mut v = Vec::new();
+        rule_no_ignored_io(&f, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn ignored_io_outside_scope_waived_or_expression_ok_is_exempt() {
+        // Other crates are out of scope for this rule.
+        let f = file("crates/core/src/db.rs", "let _ = self.maint.stop(false);");
+        let mut v = Vec::new();
+        rule_no_ignored_io(&f, &mut v);
+        assert!(v.is_empty());
+        // `.ok()` as a Result->Option conversion is not a discard.
+        let f = file("crates/wal/src/log.rs", "let n = s.parse::<u64>().ok()?;");
+        let mut v = Vec::new();
+        rule_no_ignored_io(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        // Waiver comment and test modules are exempt.
+        let f = file(
+            "crates/pagestore/src/store.rs",
+            "let _ = fs::remove_file(&p); // lint: allow-ignored-io — cleanup on error path",
+        );
+        let mut v = Vec::new();
+        rule_no_ignored_io(&f, &mut v);
+        assert!(v.is_empty());
+        let f = file(
+            "crates/wal/src/log.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = helper(); }\n}\n",
+        );
+        let mut v = Vec::new();
+        rule_no_ignored_io(&f, &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 

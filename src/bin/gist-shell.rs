@@ -110,7 +110,7 @@ impl Shell {
     }
 
     fn persist(&self) -> Result<(), Box<dyn std::error::Error>> {
-        self.db.shutdown();
+        self.db.shutdown()?;
         self.db.log().persist_file(&self.wal_path)?;
         Ok(())
     }

@@ -38,7 +38,7 @@ fn file_backed_db_survives_process_cycle() {
             idx.insert(txn, &k, rid(k as u64)).unwrap();
         }
         db.commit(txn).unwrap();
-        db.shutdown();
+        db.shutdown().unwrap();
         log.persist_file(&wal).unwrap();
     }
 
@@ -79,7 +79,7 @@ fn file_backed_crash_restart_with_loser() {
         // Force the log (loser records durable), flush SOME pages (steal),
         // then "crash" without shutdown: only persist the durable WAL.
         db.log().flush_all();
-        db.pool().flush_all();
+        db.pool().flush_all().unwrap();
         log.persist_file(&wal).unwrap();
         // No shutdown; pool state dropped with scope.
     }

@@ -1,0 +1,453 @@
+//! Crash-point enumeration over injected storage faults.
+//!
+//! Each case wires the database over a [`FaultStore`] with exactly one
+//! (or one pair of) scheduled fault point(s), replays the same mixed
+//! workload until the point fires, crashes (buffer pool dropped, log
+//! truncated to its durable prefix, the faulted device's volatile cache
+//! rolled back), restarts, and verifies the full contract: the tree
+//! passes the structural checker, every committed key survives, and no
+//! uncommitted key does.
+//!
+//! Fault classes enumerated (the census test asserts the ≥50-point
+//! floor):
+//!
+//! - **torn writes** — detected by the page checksum at restart,
+//!   quarantined, rebuilt by redoing from the log start;
+//! - **lost writes** — the device acks a write it never made durable;
+//!   survived because unsynced write-backs stay in the dirty-page table
+//!   until a sync succeeds (the checkpoint's sync barrier);
+//! - **failed fsyncs** — the checkpoint aborts and the pool degrades,
+//!   so no checkpoint ever vouches for a page the device may still drop;
+//! - **WAL tail corruption** — torn/bit-flipped tail frames of the
+//!   persisted log are truncated (a transaction whose commit record was
+//!   in the lost tail becomes a loser); interior damage stays fatal.
+//!
+//! Deterministic transient-retry and permanent-degradation behavior get
+//! their own tests at the bottom.
+
+use std::sync::Arc;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistError, GistIndex, IndexOptions};
+use gist_repro::pagestore::{
+    FaultKind, FaultPoint, FaultStore, InMemoryStore, IoOp, PageId, PageStore, Rid,
+};
+use gist_repro::wal::{faults as wal_faults, LogManager, Lsn, RecordBody, TxnId};
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId(640_000), n as u16)
+}
+
+const TORN_POINTS: u64 = 10;
+const LOST_POINTS: u64 = 10;
+const SYNC_POINTS: u64 = 5;
+/// Each combo case fires two points: a lost write and the failed fsync
+/// that would have drained it.
+const COMBO_POINTS: u64 = 5;
+const WAL_TRUNCATE_POINTS: &[u64] = &[1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 48];
+const WAL_FLIP_BACKS: &[u64] = &[0, 1, 2, 3, 4, 5, 6, 7];
+const WAL_DEEP_FRACTIONS: &[u64] = &[4, 3, 2];
+
+#[test]
+fn fault_point_census_meets_the_floor() {
+    let total = TORN_POINTS
+        + LOST_POINTS
+        + SYNC_POINTS
+        + 2 * COMBO_POINTS
+        + WAL_TRUNCATE_POINTS.len() as u64
+        + WAL_FLIP_BACKS.len() as u64
+        + WAL_DEEP_FRACTIONS.len() as u64;
+    assert!(total >= 50, "crash-point enumeration covers only {total} fault points");
+}
+
+struct CaseOutcome {
+    triggered: usize,
+    repaired: usize,
+}
+
+/// One store-fault crash point: identical workload, one schedule.
+///
+/// Setup (baseline keys, flush, sync) runs disarmed so the schedule's
+/// op indices address only workload I/O; the workload runs committed
+/// batches with a flush + checkpoint per round until the schedule
+/// fires, then a loser transaction goes durable-but-uncommitted, the
+/// machine crashes, and restart must restore exactly the committed set.
+fn run_store_fault_case(points: &[FaultPoint], fail_final_sync: bool, label: &str) -> CaseOutcome {
+    let faults = FaultStore::new(Arc::new(InMemoryStore::new()));
+    let store: Arc<dyn PageStore> = faults.clone();
+    let log = Arc::new(LogManager::new());
+    let config = DbConfig::default();
+    let db = Db::open(store.clone(), log.clone(), config.clone()).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+
+    // Durable, synced baseline the schedule can never touch.
+    let txn = db.begin();
+    for k in 0..100i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    db.pool().flush_all().unwrap();
+    db.pool().sync_store().unwrap();
+
+    for p in points {
+        faults.schedule(*p);
+    }
+    faults.arm();
+
+    // Mixed workload: one committed batch, a flush (write faults), a
+    // checkpoint (sync faults) per round, until the schedule fires.
+    // Operations may fail once a fault has tripped the pool; a batch
+    // counts as expected only if its commit went through.
+    let mut expected: Vec<i64> = (0..100).collect();
+    let mut next = 1000i64;
+    for _ in 0..40 {
+        if faults.has_triggered() {
+            break;
+        }
+        let range = next..next + 20;
+        next += 20;
+        let txn = db.begin();
+        let mut ok = true;
+        for k in range.clone() {
+            if idx.insert(txn, &k, rid(k as u64)).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        if ok && db.commit(txn).is_ok() {
+            expected.extend(range);
+        } else {
+            let _ = db.abort(txn);
+        }
+        let _ = db.pool().flush_all();
+        if faults.has_triggered() {
+            break;
+        }
+        let _ = db.checkpoint();
+    }
+    assert!(faults.has_triggered(), "{label}: schedule {points:?} never fired");
+
+    if fail_final_sync {
+        // The device develops an fsync failure *after* the lost write:
+        // nothing may drain the volatile cache, and the unsynced
+        // write-backs must stay in the dirty-page table.
+        let at = faults.stats().syncs;
+        faults.schedule(FaultPoint { op: IoOp::Sync, index: at, kind: FaultKind::FailedSync });
+        assert!(db.pool().sync_store().is_err(), "{label}: final sync must fail");
+    }
+
+    // Loser transaction: records durable, commit never written.
+    let loser = db.begin();
+    for k in 9000..9020i64 {
+        let _ = idx.insert(loser, &k, rid(k as u64));
+    }
+    db.log().flush_all();
+
+    let triggered = faults.triggered().len();
+    db.crash();
+    faults.crash_disk().unwrap();
+
+    let (db2, report) = Db::restart(store, log, config).unwrap();
+    let idx2 = GistIndex::open(db2.clone(), "t", BtreeExt).unwrap();
+    check_tree(&idx2).unwrap().assert_ok();
+    let txn = db2.begin();
+    let mut got: Vec<i64> = idx2
+        .search(txn, &I64Query::range(0, 20_000))
+        .unwrap()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    db2.commit(txn).unwrap();
+    got.sort();
+    expected.sort();
+    assert_eq!(got, expected, "{label}: committed keys must survive, losers must not");
+    CaseOutcome { triggered, repaired: report.repaired_pages.len() }
+}
+
+#[test]
+fn torn_write_crash_points_recover() {
+    let mut repaired_total = 0;
+    for i in 0..TORN_POINTS {
+        let keep = 512 * (1 + (i as usize % 8));
+        let out = run_store_fault_case(
+            &[FaultPoint { op: IoOp::Write, index: i, kind: FaultKind::TornWrite { keep } }],
+            false,
+            &format!("torn@w{i}/keep{keep}"),
+        );
+        assert_eq!(out.triggered, 1);
+        repaired_total += out.repaired;
+    }
+    // A tear whose old tail happens to equal the new one is harmless
+    // (and undetectable), but across the enumeration some tears must
+    // have produced — and the checksums caught — real corruption.
+    assert!(repaired_total > 0, "no torn page was ever quarantined");
+}
+
+#[test]
+fn lost_write_crash_points_recover() {
+    for i in 0..LOST_POINTS {
+        let out = run_store_fault_case(
+            &[FaultPoint { op: IoOp::Write, index: i, kind: FaultKind::LostWrite }],
+            false,
+            &format!("lost@w{i}"),
+        );
+        assert_eq!(out.triggered, 1);
+    }
+}
+
+#[test]
+fn failed_fsync_crash_points_recover() {
+    for j in 0..SYNC_POINTS {
+        let out = run_store_fault_case(
+            &[FaultPoint { op: IoOp::Sync, index: j, kind: FaultKind::FailedSync }],
+            false,
+            &format!("fsync@s{j}"),
+        );
+        assert_eq!(out.triggered, 1);
+    }
+}
+
+#[test]
+fn lost_write_with_failed_fsync_crash_points_recover() {
+    for i in 0..COMBO_POINTS {
+        let out = run_store_fault_case(
+            &[FaultPoint { op: IoOp::Write, index: 2 * i, kind: FaultKind::LostWrite }],
+            true,
+            &format!("lost+fsync@w{}", 2 * i),
+        );
+        assert_eq!(out.triggered, 2, "lost write and failed fsync must both fire");
+    }
+}
+
+enum WalDamage {
+    /// Cut `n` bytes off the end (crash mid-append).
+    Truncate(u64),
+    /// Flip a bit `back` bytes from the end (tail media corruption).
+    FlipTail(u64),
+    /// Cut `len / d` bytes: deep tail loss spanning whole records.
+    TruncateFraction(u64),
+}
+
+/// One WAL-tail crash point: commit several batches, persist the log,
+/// damage its tail, reload with truncation, restart. A batch survives
+/// iff its commit record survived the damage.
+fn run_wal_tail_case(damage: WalDamage, tag: &str) {
+    let dir = std::env::temp_dir().join(format!("gist-fault-wal-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("wal.log");
+
+    let store: Arc<dyn PageStore> = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let config = DbConfig::default();
+    let db = Db::open(store.clone(), log.clone(), config.clone()).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    // Catalog + root durable and synced; every later update lives only
+    // in the log, so tail damage never violates the WAL rule.
+    db.pool().flush_all().unwrap();
+    db.pool().sync_store().unwrap();
+
+    let mut batches: Vec<(TxnId, std::ops::Range<i64>)> = Vec::new();
+    let mut next = 0i64;
+    for _ in 0..3 {
+        let range = next..next + 20;
+        next += 20;
+        let txn = db.begin();
+        for k in range.clone() {
+            idx.insert(txn, &k, rid(k as u64)).unwrap();
+        }
+        db.commit(txn).unwrap();
+        batches.push((txn, range));
+    }
+    let loser = db.begin();
+    for k in 9000..9010i64 {
+        idx.insert(loser, &k, rid(k as u64)).unwrap();
+    }
+    db.log().flush_all();
+    let durable_records = log.len();
+    log.persist_file(&path).unwrap();
+    db.crash();
+
+    let len = wal_faults::file_len(&path).unwrap();
+    let expect_tear = match damage {
+        WalDamage::Truncate(n) => {
+            wal_faults::truncate_tail(&path, n).unwrap();
+            true
+        }
+        WalDamage::FlipTail(back) => {
+            wal_faults::flip_tail_byte(&path, back, 0x20).unwrap();
+            true
+        }
+        // A fractional cut may coincidentally land on a frame boundary
+        // (clean prefix, nothing torn), so only record loss is asserted.
+        WalDamage::TruncateFraction(d) => {
+            wal_faults::truncate_tail(&path, len / d).unwrap();
+            false
+        }
+    };
+
+    let (log2, report) = LogManager::load_file_report(&path).unwrap();
+    if expect_tear {
+        assert!(report.tail_truncated, "{tag}: tail damage must be classified as a tear");
+    }
+    assert!(log2.len() < durable_records, "{tag}: damage must have cost records");
+    let log2 = Arc::new(log2);
+
+    let (db2, _) = Db::restart(store, log2.clone(), config).unwrap();
+    let idx2 = GistIndex::open(db2.clone(), "t", BtreeExt).unwrap();
+    check_tree(&idx2).unwrap().assert_ok();
+
+    let mut expected = Vec::new();
+    for (txn, range) in &batches {
+        let committed = log2
+            .scan_from(Lsn(1))
+            .iter()
+            .any(|r| r.txn == *txn && matches!(r.body, RecordBody::TxnCommit));
+        if committed {
+            expected.extend(range.clone());
+        }
+    }
+    let txn = db2.begin();
+    let mut got: Vec<i64> = idx2
+        .search(txn, &I64Query::range(0, 20_000))
+        .unwrap()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    db2.commit(txn).unwrap();
+    got.sort();
+    expected.sort();
+    assert_eq!(got, expected, "{tag}: exactly the batches whose commit survived");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_torn_tail_crash_points_recover() {
+    for &n in WAL_TRUNCATE_POINTS {
+        run_wal_tail_case(WalDamage::Truncate(n), &format!("cut{n}"));
+    }
+}
+
+#[test]
+fn wal_flipped_tail_crash_points_recover() {
+    for &back in WAL_FLIP_BACKS {
+        run_wal_tail_case(WalDamage::FlipTail(back), &format!("flip{back}"));
+    }
+}
+
+#[test]
+fn wal_deep_truncation_crash_points_recover() {
+    for &d in WAL_DEEP_FRACTIONS {
+        run_wal_tail_case(WalDamage::TruncateFraction(d), &format!("frac{d}"));
+    }
+}
+
+// ---- deterministic transient / permanent behavior at the Db level ----
+
+#[test]
+fn transient_read_faults_are_retried_invisibly() {
+    let faults = FaultStore::new(Arc::new(InMemoryStore::new()));
+    let store: Arc<dyn PageStore> = faults.clone();
+    let log = Arc::new(LogManager::new());
+    let config = DbConfig::default();
+    {
+        let db = Db::open(store.clone(), log.clone(), config.clone()).unwrap();
+        let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+        let txn = db.begin();
+        for k in 0..300i64 {
+            idx.insert(txn, &k, rid(k as u64)).unwrap();
+        }
+        db.commit(txn).unwrap();
+        db.shutdown().unwrap();
+    }
+    // A flaky device: reads fail twice then recover, at two points of
+    // the cold reopen (catalog load, then mid rebuild). Each window is
+    // 2 consecutive failures — within the pool's bounded retry — and
+    // the windows are spaced so they never overlap.
+    for i in [0, 3] {
+        faults.schedule(FaultPoint {
+            op: IoOp::Read,
+            index: i,
+            kind: FaultKind::Transient { times: 2 },
+        });
+    }
+    faults.arm();
+    let db = Db::open(store, log, config).unwrap();
+    let idx = GistIndex::open(db.clone(), "t", BtreeExt).unwrap();
+    let txn = db.begin();
+    assert_eq!(idx.search(txn, &I64Query::range(0, 1000)).unwrap().len(), 300);
+    db.commit(txn).unwrap();
+    assert!(!db.pool().is_poisoned(), "transient faults must not degrade the pool");
+    assert_eq!(faults.stats().triggered, 2, "every scheduled hiccup fired and was absorbed");
+    check_tree(&idx).unwrap().assert_ok();
+}
+
+#[test]
+fn permanent_write_failure_degrades_to_read_only_database() {
+    let faults = FaultStore::new(Arc::new(InMemoryStore::new()));
+    let store: Arc<dyn PageStore> = faults.clone();
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    let txn = db.begin();
+    for k in 0..100i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    db.pool().flush_all().unwrap();
+    db.pool().sync_store().unwrap();
+
+    faults.schedule(FaultPoint { op: IoOp::Write, index: 0, kind: FaultKind::Permanent });
+    faults.arm();
+    // More committed work, still only in the pool — then the device dies
+    // on the first write-back and the pool degrades to read-only.
+    let txn = db.begin();
+    for k in 100..120i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    assert!(db.pool().flush_all().is_err());
+    assert!(db.pool().is_poisoned());
+
+    // Mutations are refused with the dedicated read-only error...
+    let txn = db.begin();
+    let err = idx.insert(txn, &500, rid(500)).unwrap_err();
+    assert!(matches!(err, GistError::StorageFailed(_)), "got: {err}");
+    let _ = db.abort(txn);
+    assert!(db.checkpoint().is_err(), "a read-only pool cannot checkpoint");
+    assert!(db.shutdown().is_err(), "a clean shutdown cannot be vouched for");
+
+    // ...but reads are still served from the intact cache.
+    let txn = db.begin();
+    assert_eq!(idx.search(txn, &I64Query::range(0, 1000)).unwrap().len(), 120);
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn failed_fsync_aborts_the_checkpoint_and_keeps_the_dpt() {
+    let faults = FaultStore::new(Arc::new(InMemoryStore::new()));
+    let store: Arc<dyn PageStore> = faults.clone();
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, DbConfig::default()).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    let txn = db.begin();
+    for k in 0..100i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+    // Write-backs land but remain unsynced: candidates for loss.
+    db.pool().flush_all().unwrap();
+    assert!(!db.pool().dirty_page_table().is_empty(), "unsynced write-backs stay in the DPT");
+
+    faults.schedule(FaultPoint { op: IoOp::Sync, index: 0, kind: FaultKind::FailedSync });
+    faults.arm();
+    assert!(db.checkpoint().is_err(), "the sync barrier failed, so the checkpoint must too");
+    assert_eq!(db.log().last_checkpoint(), None, "no checkpoint record was written");
+    assert!(
+        !db.pool().dirty_page_table().is_empty(),
+        "pages the device may still drop stay in the DPT"
+    );
+    // Post-fsyncgate policy: a failed fsync's write-back state is
+    // unknowable, so the pool degrades rather than retrying.
+    assert!(db.pool().is_poisoned());
+}

@@ -123,7 +123,7 @@ fn worker_threads_reclaim_in_background() {
     }
     assert_eq!(idx.stats().unwrap().marked_entries, 0, "workers reclaimed the marks");
     assert_eq!(keys_present(&db, &idx, 0, 300).len(), 200);
-    db.shutdown();
+    db.shutdown().unwrap();
     check_tree(&idx).unwrap().assert_ok();
 }
 
@@ -254,8 +254,8 @@ fn checkpoint_bounds_restart_redo() {
     // Make the pool clean so the checkpoint's DPT is empty, then take a
     // fuzzy checkpoint.
     db.log().flush_all();
-    db.pool().flush_all();
-    let cp_lsn = db.checkpoint();
+    db.pool().flush_all().unwrap();
+    let cp_lsn = db.checkpoint().unwrap();
     let cp_rec = db.log().get(db.log().last_checkpoint().unwrap());
     let RecordBody::Checkpoint { scan_start, ref dirty_pages, .. } = cp_rec.body else {
         panic!("expected a checkpoint record");
@@ -330,7 +330,7 @@ fn fuzzy_checkpoint_with_active_transactions_and_dirty_pages() {
     for k in 100..120i64 {
         idx.insert(loser, &k, rid(k as u64)).unwrap();
     }
-    let cp_lsn = db.checkpoint(); // pool still dirty, loser still active
+    let cp_lsn = db.checkpoint().unwrap(); // pool still dirty, loser still active
     let cp_rec = db.log().get(db.log().last_checkpoint().unwrap());
     let RecordBody::Checkpoint { ref active_txns, ref dirty_pages, .. } = cp_rec.body else {
         panic!("expected a checkpoint record");
@@ -376,7 +376,7 @@ fn periodic_checkpoints_fire_while_workers_run() {
     }
     assert!(log.last_checkpoint().is_some(), "daemon checkpointed on its own");
     assert!(db.maint_stats().checkpoints >= 1);
-    db.shutdown();
+    db.shutdown().unwrap();
 }
 
 /// Duplicate candidates for the same leaf coalesce in the queue, and

@@ -313,7 +313,7 @@ fn crash_mid_transaction_with_partial_page_flushes() {
     }
     // Steal: push everything to the store (log forced first by the WAL
     // rule inside flush_all).
-    db.pool().flush_all();
+    db.pool().flush_all().unwrap();
     db.crash();
 
     let (db2, idx2) = h.restart();
@@ -372,7 +372,7 @@ fn store_only_durability_without_log_is_ignored() {
     db.commit(txn).unwrap();
     let loser = db.begin();
     idx.insert(loser, &2, rid(2)).unwrap();
-    db.pool().flush_all(); // forces the log for flushed pages
+    db.pool().flush_all().unwrap(); // forces the log for flushed pages
     db.crash();
     let (db2, idx2) = h.restart();
     assert_eq!(keys_present(&db2, &idx2, 0, 10), vec![1]);

@@ -315,7 +315,7 @@ mod shard_stress {
         for p in 1..=32u32 {
             pool.new_page_write(PageId(p), 0).unwrap().mark_dirty_unlogged();
         }
-        pool.flush_all();
+        pool.flush_all().unwrap();
 
         let (coll_names, spread_names) = colliding_and_spread_names(&lm, 0, 8);
         let (coll_nodes, spread_nodes) = colliding_and_spread_nodes(&pm, 0, 8);
