@@ -476,6 +476,39 @@ pub fn assert_thread_clear(context: &str) {
     });
 }
 
+/// After containing a panic (`catch_unwind`), assert the unwind left no
+/// shadow-state residue on this thread: every latch, striped shard lock
+/// and discipline scope must have been released by RAII guards during
+/// unwinding. Residue is reported under rule `unwind-residue` and then
+/// *cleared*, so a worker thread that contained one dead operation
+/// audits its next operation from a clean slate instead of cascading
+/// false positives.
+pub fn assert_unwind_clear(context: &str) {
+    TS.with(|cell| {
+        let mut ts = cell.borrow_mut();
+        if !ts.held.is_empty() {
+            let msg =
+                format!("{context}: unwind left latches held {}", held_desc(&ts.held));
+            ts.held.clear();
+            report(&mut ts, "unwind-residue", msg);
+        }
+        if !ts.shard_locks.is_empty() {
+            let msg = format!(
+                "{context}: unwind left striped shard locks {:?}",
+                ts.shard_locks,
+            );
+            ts.shard_locks.clear();
+            report(&mut ts, "unwind-residue", msg);
+        }
+        if !ts.scopes.is_empty() {
+            let names: Vec<&'static str> = ts.scopes.iter().map(|s| s.name).collect();
+            let msg = format!("{context}: unwind left discipline scopes {names:?}");
+            ts.scopes.clear();
+            report(&mut ts, "unwind-residue", msg);
+        }
+    });
+}
+
 /// Run `f` with violations on this thread *captured* instead of
 /// panicking. Used by deliberate-fault harnesses that prove the
 /// analyzer fires. Nested captures compose (inner wins).
@@ -862,6 +895,36 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "latch-during-lock-wait");
         assert!(v[0].message.contains("queue shard 2"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn unwind_residue_detected_and_cleared() {
+        let pool = new_instance_id();
+        let layer = new_instance_id();
+        let ((), v) = capture(|| {
+            // Simulate an unwind that somehow skipped its RAII releases:
+            // a latch, a shard lock, and a scope are still recorded.
+            latch_acquired(pool, 5, true, true);
+            shard_lock_acquired(layer, 2);
+            std::mem::forget(enter_scope("doomed-op", 8, true, true));
+            assert_unwind_clear("after contained panic");
+            // The residue was cleared: the thread is clean again.
+            assert_thread_clear("post-clear");
+        });
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "unwind-residue"), "{v:?}");
+        assert!(v[0].message.contains("after contained panic"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn unwind_clear_is_silent_when_raii_did_its_job() {
+        let pool = new_instance_id();
+        let ((), v) = capture(|| {
+            latch_acquired(pool, 6, true, true);
+            latch_released(pool, 6);
+            assert_unwind_clear("clean unwind");
+        });
+        assert!(v.is_empty(), "unexpected: {v:?}");
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Cost of the chaos crash-point gate when nothing is armed.
+//!
+//! The PR-5 acceptance bound: a `--features chaos` build with every
+//! point disarmed must stay within **1%** of the no-feature build on an
+//! insert/search hot loop. Two measurements support that:
+//!
+//! 1. **Hot-loop throughput** — a mixed insert + range-search workload,
+//!    measured as compiled. Built *without* the `chaos` feature the
+//!    points don't exist (true baseline); built *with* it every
+//!    operation crosses several disarmed gates.
+//! 2. **Gate microbench** (chaos builds only) — the per-call cost of a
+//!    disarmed `chaos::point()` (one relaxed atomic load on the fast
+//!    path), multiplied by a conservative points-per-operation count and
+//!    divided by the measured per-operation time. This in-process ratio
+//!    is the asserted acceptance number: unlike a cross-binary
+//!    throughput delta it is immune to run-to-run machine noise.
+//!
+//! Results are written to `BENCH_chaos.json` and printed as a table.
+//!
+//! Usage:
+//!   cargo run --release -p gist-bench --features chaos --bin bench_chaos [out.json]
+//!   cargo run --release -p gist-bench --bin bench_chaos [out.json]   # baseline
+
+use std::time::Duration;
+
+use gist_am::I64Query;
+use gist_bench::{btree_db, render_table, run_for, wl_rid, Row};
+use gist_core::DbConfig;
+
+/// Measurement window per throughput cell.
+const WINDOW: Duration = Duration::from_millis(700);
+const THREADS: [usize; 2] = [1, 4];
+/// Disarmed-gate microbench iterations.
+#[cfg(feature = "chaos")]
+const GATE_ITERS: u64 = 50_000_000;
+/// Conservative gate crossings per workload operation: descent +
+/// predicate check + leaf add (before/after) + commit on the insert
+/// path, cursor register + next on the search path.
+#[cfg(feature = "chaos")]
+const POINTS_PER_OP: f64 = 7.0;
+
+/// Mixed hot loop: every iteration commits one insert; every eighth also
+/// runs a short range search (so both the insert points and the cursor
+/// points sit on the measured path).
+fn run_workload(threads: usize) -> f64 {
+    let (db, idx) = btree_db(DbConfig::default());
+    let tp = run_for(threads, WINDOW, move |t, i| {
+        let k = (t as i64) * 1_000_000_000 + i as i64;
+        let txn = db.begin();
+        idx.insert(txn, &k, wl_rid(k as u64)).expect("insert");
+        if i % 8 == 0 {
+            idx.search(txn, &I64Query::range(k - 16, k)).expect("search");
+        }
+        db.commit(txn).expect("commit");
+    });
+    tp.per_sec()
+}
+
+/// Per-call cost of a disarmed crash point, in nanoseconds.
+#[cfg(feature = "chaos")]
+fn gate_ns_per_call() -> f64 {
+    use std::hint::black_box;
+    let t0 = std::time::Instant::now();
+    for _ in 0..GATE_ITERS {
+        black_box(gist_chaos::point(black_box("insert.before_descent"))).expect("disarmed");
+    }
+    t0.elapsed().as_nanos() as f64 / GATE_ITERS as f64
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mode = if cfg!(feature = "chaos") { "disarmed" } else { "baseline" };
+
+    let mut rows = Vec::new();
+    let mut json_results = String::new();
+    let mut per_op_ns = f64::INFINITY;
+    for &t in &THREADS {
+        let ops = run_workload(t);
+        // Per-thread service time: how long one operation occupies one
+        // worker (the denominator the gate cost is compared against).
+        let op_ns = 1e9 / (ops / t as f64);
+        per_op_ns = per_op_ns.min(op_ns);
+        if !json_results.is_empty() {
+            json_results.push_str(",\n");
+        }
+        json_results.push_str(&format!(
+            "    {{\"mode\": \"{mode}\", \"threads\": {t}, \"ops_per_sec\": {ops:.1}, \"ns_per_op\": {op_ns:.1}}}"
+        ));
+        rows.push(Row::new(format!("{mode} / {t}T")).col("ops/s", ops).col("ns/op", op_ns));
+    }
+
+    #[cfg(feature = "chaos")]
+    let (gate_ns, overhead_pct) = {
+        let gate_ns = gate_ns_per_call();
+        // Worst case: the fastest measured operation paying the full
+        // per-op gate budget.
+        let pct = gate_ns * POINTS_PER_OP / per_op_ns * 100.0;
+        rows.push(
+            Row::new("disarmed gate")
+                .col("ns/call", gate_ns)
+                .col("calls/op", POINTS_PER_OP)
+                .col("overhead %", pct),
+        );
+        (gate_ns, pct)
+    };
+
+    println!("{}", render_table("Chaos gate overhead (disarmed)", &rows));
+
+    #[cfg(feature = "chaos")]
+    let extra = format!(
+        ",\n  \"gate_ns_per_call\": {gate_ns:.4},\n  \"points_per_op\": {POINTS_PER_OP},\n  \"disarmed_overhead_pct\": {overhead_pct:.4},\n  \"acceptance\": \"disarmed chaos gates must cost < 1% of hot-loop operation time\""
+    );
+    #[cfg(not(feature = "chaos"))]
+    let extra = String::from(
+        ",\n  \"note\": \"baseline build: chaos points compiled out; rerun with --features chaos for the gated numbers\"",
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_gate_overhead\",\n  \"mode\": \"{mode}\",\n  \"cores\": {cores},\n  \"config\": {{\"window_ms\": {}, \"search_every\": 8}},\n  \"results\": [\n{json_results}\n  ]{extra}\n}}\n",
+        WINDOW.as_millis(),
+    );
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+
+    #[cfg(feature = "chaos")]
+    assert!(
+        overhead_pct < 1.0,
+        "acceptance: disarmed chaos gates must cost < 1% of hot-loop operation \
+         time (got {overhead_pct:.3}%)"
+    );
+}

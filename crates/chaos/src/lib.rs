@@ -1,0 +1,359 @@
+//! Operation-level chaos injection for the GiST stack.
+//!
+//! The storage layer already has a fault shim (`pagestore::fault`) that
+//! damages *pages*; this crate kills *operations*. A fixed catalog of
+//! named crash points ([`CATALOG`]) is threaded through the insert,
+//! delete, cursor, transaction and maintenance code paths. Each point is
+//! a single call:
+//!
+//! ```ignore
+//! chaos::point("insert.split.after_sibling_write")?;
+//! ```
+//!
+//! Disarmed (the normal state) a point is one relaxed atomic load.
+//! Armed, it can panic the calling thread, return an injection error
+//! that propagates like any other failure, delay, or yield — letting a
+//! harness prove the §3/§7 claims of the paper: an operation may die
+//! between the sibling write and the parent install and every other
+//! thread keeps going, with logical undo cleaning up the corpse.
+//!
+//! Consumers compile their `chaos::point` shim to a no-op constant when
+//! their `chaos` feature is off; this crate only exists behind that
+//! feature. All state is process-global so a test can arm a point in one
+//! thread and have a worker elsewhere trip it; tests that arm points
+//! must serialize against each other (see `tests/chaos_ops.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Every crash point that exists in the source tree, one entry per
+/// `chaos::point("...")` call site. The `chaos-point-registry` lint rule
+/// cross-checks this list against the code: a call site whose name is
+/// missing here, a duplicated call-site name, or a stale entry with no
+/// call site all fail the lint.
+pub const CATALOG: &[&str] = &[
+    "insert.before_descent",
+    "insert.before_leaf_add",
+    "insert.after_leaf_add",
+    "insert.before_predicate_check",
+    "insert.split.after_sibling_write",
+    "insert.split.before_parent_install",
+    "insert.split.after_parent_install",
+    "delete.before_mark",
+    "delete.after_mark",
+    "cursor.after_register",
+    "cursor.before_next",
+    "commit.after_wal_flush",
+    "abort.before_undo",
+    "maint.before_gc",
+];
+
+/// What an armed crash point does to the thread that reaches it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Panic the calling thread (simulates a code bug / kill mid-op).
+    Panic,
+    /// Return [`ChaosInjected`], which consumers surface as an error.
+    Error,
+    /// Sleep for the given number of milliseconds, then continue.
+    Delay(u64),
+    /// Yield the scheduler slice, then continue.
+    Yield,
+}
+
+/// The error a point armed with [`ChaosAction::Error`] returns; carries
+/// the point name so failures are attributable in test output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosInjected(pub &'static str);
+
+impl std::fmt::Display for ChaosInjected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chaos injection at crash point {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ChaosInjected {}
+
+/// One armed entry: the action plus how many more times it fires.
+/// `remaining == None` means "every time until disarmed".
+#[derive(Clone, Copy, Debug)]
+struct Trigger {
+    action: ChaosAction,
+    remaining: Option<u32>,
+}
+
+#[derive(Default)]
+struct Registry {
+    armed: HashMap<&'static str, Trigger>,
+    fired: HashMap<&'static str, u64>,
+}
+
+/// Fast-path gate: `point()` returns immediately unless something is
+/// armed. Kept in sync with `Registry::armed` under the registry mutex.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, Registry> {
+    // A panic *while holding* this mutex is impossible by construction
+    // (the Panic action fires after the guard is dropped), but the
+    // armed thread dies by design, so recover from poisoning anyway.
+    REGISTRY
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A crash point. Call sites pass a `&'static str` that MUST appear in
+/// [`CATALOG`] (the lint enforces this statically; arming enforces it
+/// dynamically). Returns `Err(ChaosInjected)` when armed with
+/// [`ChaosAction::Error`]; panics when armed with [`ChaosAction::Panic`].
+#[inline]
+pub fn point(name: &'static str) -> Result<(), ChaosInjected> {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    point_slow(name)
+}
+
+#[cold]
+fn point_slow(name: &'static str) -> Result<(), ChaosInjected> {
+    let action = {
+        let mut reg = registry();
+        let Some(trigger) = reg.armed.get_mut(name) else { return Ok(()) };
+        let action = trigger.action;
+        let expired = match trigger.remaining.as_mut() {
+            Some(n) => {
+                *n -= 1;
+                *n == 0
+            }
+            None => false,
+        };
+        if expired {
+            reg.armed.remove(name);
+            if reg.armed.is_empty() {
+                ANY_ARMED.store(false, Ordering::Relaxed);
+            }
+        }
+        *reg.fired.entry(name).or_insert(0) += 1;
+        action
+        // Registry guard dropped here — the panic below never poisons
+        // it while armed entries remain for other threads.
+    };
+    match action {
+        ChaosAction::Panic => panic!("chaos: armed panic at crash point {name:?}"),
+        ChaosAction::Error => Err(ChaosInjected(name)),
+        ChaosAction::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        ChaosAction::Yield => {
+            std::thread::yield_now();
+            Ok(())
+        }
+    }
+}
+
+fn arm_trigger(name: &'static str, trigger: Trigger) {
+    assert!(
+        CATALOG.contains(&name),
+        "chaos: {name:?} is not a cataloged crash point (see chaos::CATALOG)"
+    );
+    let mut reg = registry();
+    reg.armed.insert(name, trigger);
+    ANY_ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Arm `name` to perform `action` every time it is reached, until
+/// [`disarm`]/[`disarm_all`]. Panics if `name` is not in [`CATALOG`].
+pub fn arm(name: &'static str, action: ChaosAction) {
+    arm_trigger(name, Trigger { action, remaining: None });
+}
+
+/// Arm `name` to fire exactly `times` times, then auto-disarm. The
+/// usual harness shape is `arm_times(p, ChaosAction::Panic, 1)`: one
+/// victim dies, every retry and peer passes through untouched.
+pub fn arm_times(name: &'static str, action: ChaosAction, times: u32) {
+    assert!(times > 0, "chaos: arm_times needs times >= 1");
+    arm_trigger(name, Trigger { action, remaining: Some(times) });
+}
+
+/// Disarm a single point (no-op if it was not armed).
+pub fn disarm(name: &'static str) {
+    let mut reg = registry();
+    reg.armed.remove(name);
+    if reg.armed.is_empty() {
+        ANY_ARMED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Disarm every point and clear the fired counters. Harnesses call this
+/// between scenarios so state never leaks across tests.
+pub fn disarm_all() {
+    let mut reg = registry();
+    reg.armed.clear();
+    reg.fired.clear();
+    ANY_ARMED.store(false, Ordering::Relaxed);
+}
+
+/// How many times `name` has fired since the last [`disarm_all`].
+pub fn fired(name: &'static str) -> u64 {
+    registry().fired.get(name).copied().unwrap_or(0)
+}
+
+/// Total fires across all points since the last [`disarm_all`].
+pub fn total_fired() -> u64 {
+    registry().fired.values().sum()
+}
+
+/// SplitMix64 — the standard 64-bit mixer; deterministic and seedable.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically arm a subset of the catalog from `seed`, replacing
+/// any existing schedule. Two runs with the same seed arm the same
+/// points with the same actions. Seeded schedules use only the
+/// *recoverable* actions — `Error`, `Delay`, `Yield` — so a seeded soak
+/// keeps all of its worker threads (arming `Panic` is an explicit,
+/// per-point decision). Returns the armed `(point, action)` pairs.
+pub fn schedule_from_seed(seed: u64) -> Vec<(&'static str, ChaosAction)> {
+    disarm_all();
+    let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+    let mut armed = Vec::new();
+    for &name in CATALOG {
+        let roll = splitmix64(&mut state);
+        // Arm roughly half the catalog per seed.
+        if roll & 1 == 0 {
+            continue;
+        }
+        let action = match (roll >> 1) % 4 {
+            0 => ChaosAction::Error,
+            1 => ChaosAction::Delay(1 + (roll >> 3) % 3),
+            _ => ChaosAction::Yield,
+        };
+        // Errors are one-shot so seeded workloads converge; delays and
+        // yields are persistent schedule perturbation.
+        match action {
+            ChaosAction::Error => arm_times(name, action, 1 + ((roll >> 5) % 3) as u32),
+            _ => arm(name, action),
+        }
+        armed.push((name, action));
+    }
+    armed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex as StdMutex, OnceLock as StdOnceLock};
+
+    /// The registry is process-global; serialize tests touching it.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: StdOnceLock<StdMutex<()>> = StdOnceLock::new();
+        GATE.get_or_init(StdMutex::default)
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disarmed_points_are_silent() {
+        let _g = serial();
+        disarm_all();
+        for &name in CATALOG {
+            assert_eq!(point(name), Ok(()));
+        }
+        assert_eq!(total_fired(), 0);
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &name in CATALOG {
+            assert!(seen.insert(name), "duplicate catalog entry {name:?}");
+        }
+        assert!(CATALOG.len() >= 12, "issue requires >= 12 crash points");
+    }
+
+    #[test]
+    fn error_arm_fires_and_counts() {
+        let _g = serial();
+        disarm_all();
+        arm("delete.after_mark", ChaosAction::Error);
+        assert_eq!(point("delete.after_mark"), Err(ChaosInjected("delete.after_mark")));
+        assert_eq!(point("delete.before_mark"), Ok(()));
+        assert_eq!(fired("delete.after_mark"), 1);
+        disarm_all();
+        assert_eq!(point("delete.after_mark"), Ok(()));
+    }
+
+    #[test]
+    fn arm_times_auto_disarms() {
+        let _g = serial();
+        disarm_all();
+        arm_times("commit.after_wal_flush", ChaosAction::Error, 2);
+        assert!(point("commit.after_wal_flush").is_err());
+        assert!(point("commit.after_wal_flush").is_err());
+        assert_eq!(point("commit.after_wal_flush"), Ok(()));
+        assert_eq!(fired("commit.after_wal_flush"), 2);
+        // The registry emptied, so the fast path gate is closed again.
+        assert!(!ANY_ARMED.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn panic_arm_panics_without_poisoning_registry() {
+        let _g = serial();
+        disarm_all();
+        arm_times("insert.before_descent", ChaosAction::Panic, 1);
+        let result = std::panic::catch_unwind(|| point("insert.before_descent"));
+        assert!(result.is_err());
+        // The registry must still be usable after the armed panic.
+        assert_eq!(fired("insert.before_descent"), 1);
+        assert_eq!(point("insert.before_descent"), Ok(()));
+        disarm_all();
+    }
+
+    #[test]
+    fn delay_and_yield_continue() {
+        let _g = serial();
+        disarm_all();
+        arm("cursor.before_next", ChaosAction::Delay(1));
+        arm("cursor.after_register", ChaosAction::Yield);
+        assert_eq!(point("cursor.before_next"), Ok(()));
+        assert_eq!(point("cursor.after_register"), Ok(()));
+        assert_eq!(fired("cursor.before_next"), 1);
+        assert_eq!(fired("cursor.after_register"), 1);
+        disarm_all();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a cataloged crash point")]
+    fn arming_unknown_point_panics() {
+        arm("no.such.point", ChaosAction::Error);
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_and_recoverable() {
+        let _g = serial();
+        let a = schedule_from_seed(1);
+        let b = schedule_from_seed(1);
+        assert_eq!(a, b, "same seed must arm the same schedule");
+        let c = schedule_from_seed(2);
+        assert_ne!(a, c, "different seeds should differ (true for 1 vs 2)");
+        for (name, action) in &c {
+            assert!(CATALOG.contains(name));
+            assert_ne!(*action, ChaosAction::Panic, "seeded schedules never panic");
+        }
+        assert!(!a.is_empty() && !c.is_empty());
+        disarm_all();
+    }
+}

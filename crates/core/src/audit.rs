@@ -7,7 +7,9 @@
 //! and node deletion, and the split's bottom-up atomic unit.
 
 #[cfg(feature = "latch-audit")]
-pub(crate) use gist_audit::{enter_scope, enter_scope_rel, new_instance_id, nsn_drawn};
+pub(crate) use gist_audit::{
+    assert_unwind_clear, enter_scope, enter_scope_rel, new_instance_id, nsn_drawn,
+};
 
 #[cfg(not(feature = "latch-audit"))]
 mod noop {
@@ -36,6 +38,9 @@ mod noop {
 
     #[inline(always)]
     pub(crate) fn nsn_drawn(_counter: u64, _value: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn assert_unwind_clear(_context: &str) {}
 }
 
 #[cfg(not(feature = "latch-audit"))]

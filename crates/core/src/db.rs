@@ -9,6 +9,7 @@
 //! rightward (§9.2) — needs nothing but RID comparison and link walking.
 
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -201,6 +202,44 @@ pub struct Db {
     /// node. Restart clears the set, which is safe: no operation survives
     /// a crash, so no stale root pointers exist afterwards.
     retired_roots: Mutex<HashSet<PageId>>,
+    /// [`Db::run_txn`] retries performed (attempts beyond each first).
+    retries: AtomicU64,
+    /// Total microseconds [`Db::run_txn`] slept in backoff.
+    backoff_micros: AtomicU64,
+    /// Panics contained by [`Db::contained`] / [`Db::run_txn`].
+    panics_contained: AtomicU64,
+    /// Per-process state for deterministic backoff jitter.
+    jitter_state: AtomicU64,
+}
+
+/// Point-in-time snapshot of the database's degradation and self-healing
+/// counters ([`Db::robustness_stats`]): how often operations had to be
+/// retried, how long they backed off, how many worker panics were
+/// contained, what the watchdog killed, the lock manager's contention
+/// tallies, and whether the buffer pool has degraded to read-only.
+#[derive(Debug, Clone)]
+pub struct RobustnessStats {
+    /// [`Db::run_txn`] retry attempts (beyond each call's first try).
+    pub txn_retries: u64,
+    /// Total microseconds spent sleeping in retry backoff.
+    pub backoff_micros: u64,
+    /// Operation panics contained (transaction aborted, caller got
+    /// [`GistError::Panicked`] instead of a dead thread).
+    pub panics_contained: u64,
+    /// Idle transactions aborted by the maintenance watchdog.
+    pub watchdog_aborts: u64,
+    /// Lock requests granted without waiting.
+    pub lock_immediate_grants: u64,
+    /// Lock requests that had to wait.
+    pub lock_waits: u64,
+    /// Deadlock victims selected by the detector.
+    pub lock_deadlocks: u64,
+    /// Lock waits that hit the timeout safety net.
+    pub lock_timeouts: u64,
+    /// Whether the buffer pool is poisoned (storage failed; read-only).
+    pub pool_poisoned: bool,
+    /// The poison reason, when poisoned.
+    pub pool_poison_reason: Option<String>,
 }
 
 impl Db {
@@ -250,7 +289,7 @@ impl Db {
         // manager strongly for checkpoint capture).
         let sink: std::sync::Weak<dyn GcSink> = Arc::downgrade(&maint) as _;
         txns.set_gc_sink(sink);
-        Ok(Arc::new(Db {
+        let db = Arc::new(Db {
             pool,
             log,
             locks,
@@ -264,7 +303,19 @@ impl Db {
             audit_nsn: crate::audit::new_instance_id(),
             catalog: Mutex::new(Vec::new()),
             retired_roots: Mutex::new(HashSet::new()),
-        }))
+            retries: AtomicU64::new(0),
+            backoff_micros: AtomicU64::new(0),
+            panics_contained: AtomicU64::new(0),
+            jitter_state: AtomicU64::new(0x1234_5678_9ABC_DEF0),
+        });
+        // The database is the daemon's undo handler: the transaction
+        // watchdog needs logical undo to roll idle victims back. Weak for
+        // the same reason as the GC sink — the daemon must not keep the
+        // database alive.
+        let handler: std::sync::Weak<dyn RecoveryHandler + Send + Sync> =
+            Arc::downgrade(&db) as _;
+        db.maint.set_undo_handler(handler);
+        Ok(db)
     }
 
     /// Restart after a crash: run analysis/redo/undo over the durable
@@ -413,6 +464,114 @@ impl Db {
     pub fn abort(&self, txn: TxnId) -> Result<()> {
         self.txns.abort(txn, self)?;
         Ok(())
+    }
+
+    /// Run `f` against its own transaction, retrying on retryable
+    /// failures ([`GistError::is_retryable`]: deadlock victim, lock
+    /// timeout, watchdog abort) with bounded exponential backoff plus
+    /// jitter. Each attempt gets a fresh transaction; the previous one is
+    /// aborted before the retry, so no hand-written retry loop is ever
+    /// needed at call sites. Panics inside `f` are contained (see
+    /// [`Db::contained`]) and surface as [`GistError::Panicked`] —
+    /// not retried, since a panic is a bug, not contention.
+    ///
+    /// `f` must be idempotent across attempts (standard optimistic-retry
+    /// contract): everything it did in a failed attempt is rolled back
+    /// before the next one starts.
+    pub fn run_txn<T>(&self, f: impl Fn(TxnId) -> Result<T>) -> Result<T> {
+        const MAX_ATTEMPTS: u32 = 10;
+        const MAX_BACKOFF: Duration = Duration::from_millis(64);
+        let mut backoff = Duration::from_millis(1);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let txn = self.begin();
+            let err = match self.contained(txn, || f(txn)) {
+                Ok(v) => match self.commit(txn) {
+                    Ok(()) => return Ok(v),
+                    Err(e) => {
+                        // A failed commit leaves the transaction for us
+                        // to clean up — unless it was already torn down
+                        // (watchdog) or is actually committed (lost ack),
+                        // both of which `abort` absorbs.
+                        let _ = self.abort(txn);
+                        e
+                    }
+                },
+                Err(e) => {
+                    // `contained` already aborted on panic; aborting an
+                    // ended transaction is an ignorable NotActive.
+                    let _ = self.abort(txn);
+                    e
+                }
+            };
+            if !err.is_retryable() || attempt >= MAX_ATTEMPTS {
+                return Err(err);
+            }
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            // Full jitter (deterministic xorshift stream): sleep a
+            // uniformly-drawn slice of the current backoff window, so
+            // colliding retriers spread out instead of thundering back
+            // in lockstep.
+            let mut x = self.jitter_state.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            let span = backoff.as_micros().max(1) as u64;
+            let wait = Duration::from_micros(span / 2 + x % (span / 2 + 1));
+            self.backoff_micros.fetch_add(wait.as_micros() as u64, Ordering::Relaxed);
+            std::thread::sleep(wait);
+            backoff = (backoff * 2).min(MAX_BACKOFF);
+        }
+    }
+
+    /// Run `f` with panic containment: a panic unwinding out of `f` is
+    /// caught, the unwind's shadow-state hygiene is checked (audit rule
+    /// `unwind-residue` — RAII must have released every latch, shard
+    /// lock and scope), `txn` is aborted (its [`OpGuard`] poisoning
+    /// already marked it must-abort, and every page latch was released
+    /// by RAII during the unwind, so logical undo runs cleanly), and the
+    /// caller gets [`GistError::Panicked`]. One dead operation therefore
+    /// never wedges peer threads: its latches, locks and predicates are
+    /// all gone by the time this returns.
+    ///
+    /// [`OpGuard`]: gist_txn::OpGuard
+    pub fn contained<T>(&self, txn: TxnId, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(r) => r,
+            Err(payload) => {
+                self.panics_contained.fetch_add(1, Ordering::Relaxed);
+                crate::audit::assert_unwind_clear("Db::contained after operation panic");
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                let _ = self.abort(txn);
+                Err(GistError::Panicked(msg))
+            }
+        }
+    }
+
+    /// Snapshot the robustness counters: retry/backoff behavior of
+    /// [`Db::run_txn`], contained panics, watchdog aborts, lock-manager
+    /// contention, and buffer-pool poison state.
+    pub fn robustness_stats(&self) -> RobustnessStats {
+        let ls = &self.locks.stats;
+        RobustnessStats {
+            txn_retries: self.retries.load(Ordering::Relaxed),
+            backoff_micros: self.backoff_micros.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            watchdog_aborts: self.maint.stats.snapshot().watchdog_aborts,
+            lock_immediate_grants: ls.immediate_grants.load(Ordering::Relaxed),
+            lock_waits: ls.waits.load(Ordering::Relaxed),
+            lock_deadlocks: ls.deadlocks.load(Ordering::Relaxed),
+            lock_timeouts: ls.timeouts.load(Ordering::Relaxed),
+            pool_poisoned: self.pool.is_poisoned(),
+            pool_poison_reason: self.pool.poison_error().map(|e| e.to_string()),
+        }
     }
 
     /// Establish a savepoint (§10.2).

@@ -34,6 +34,14 @@ pub enum GistError {
     /// refused with this error until the database is restarted against
     /// healthy storage.
     StorageFailed(String),
+    /// A chaos crash point injected this failure (`chaos` feature only).
+    /// Deliberately *not* retryable: the harness decides what happens
+    /// next, not the retry loop.
+    Injected(&'static str),
+    /// An operation panicked and was contained by the `Db`-level
+    /// `catch_unwind` wrapper; the transaction was aborted. Carries the
+    /// panic payload's message.
+    Panicked(String),
 }
 
 impl fmt::Display for GistError {
@@ -49,6 +57,10 @@ impl fmt::Display for GistError {
             GistError::Config(s) => write!(f, "configuration error: {s}"),
             GistError::StorageFailed(s) => {
                 write!(f, "storage failed, database is read-only: {s}")
+            }
+            GistError::Injected(p) => write!(f, "chaos injection at crash point {p:?}"),
+            GistError::Panicked(msg) => {
+                write!(f, "operation panicked (transaction aborted): {msg}")
             }
         }
     }
@@ -91,11 +103,21 @@ impl From<TxnError> for GistError {
 }
 
 impl GistError {
-    /// Whether this error means "abort and retry the transaction"
-    /// (deadlock victims, per §8's resolution of unique-insert races).
+    /// Whether this error means "abort and retry the transaction":
+    /// deadlock victims (per §8's resolution of unique-insert races),
+    /// lock timeouts (documented as a deadlock-detector safety net, so
+    /// they get the same treatment), and watchdog aborts (the
+    /// transaction was torn down for idling; a fresh attempt starts with
+    /// a clean idle clock). [`Db::run_txn`](crate::Db::run_txn)
+    /// automates the abort-and-retry loop for exactly this set.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, GistError::Lock(LockError::Deadlock))
-            || matches!(self, GistError::Txn(TxnError::Lock(LockError::Deadlock)))
+        match self {
+            GistError::Lock(e) | GistError::Txn(TxnError::Lock(e)) => {
+                matches!(e, LockError::Deadlock | LockError::Timeout)
+            }
+            GistError::Txn(TxnError::AbortedByWatchdog(_)) => true,
+            _ => false,
+        }
     }
 }
 
@@ -105,8 +127,18 @@ mod tests {
 
     #[test]
     fn retryable_classification() {
+        use gist_wal::TxnId;
         assert!(GistError::Lock(LockError::Deadlock).is_retryable());
-        assert!(!GistError::Lock(LockError::Timeout).is_retryable());
+        assert!(GistError::Txn(TxnError::Lock(LockError::Deadlock)).is_retryable());
+        // Timeouts are the deadlock detector's safety net: same verdict.
+        assert!(GistError::Lock(LockError::Timeout).is_retryable());
+        assert!(GistError::Txn(TxnError::Lock(LockError::Timeout)).is_retryable());
+        // A watchdog abort tore down an idle transaction; retry is safe.
+        assert!(GistError::Txn(TxnError::AbortedByWatchdog(TxnId(7))).is_retryable());
+        // Poisoned and injected failures must reach the caller as-is.
+        assert!(!GistError::Txn(TxnError::MustAbort(TxnId(7))).is_retryable());
+        assert!(!GistError::Injected("delete.after_mark").is_retryable());
+        assert!(!GistError::Panicked("boom".into()).is_retryable());
         assert!(!GistError::UniqueViolation.is_retryable());
         assert!(!GistError::NotFound.is_retryable());
     }

@@ -30,6 +30,7 @@
 
 pub(crate) mod audit;
 pub mod baseline;
+pub(crate) mod chaos;
 pub mod check;
 mod db;
 mod entry;
@@ -41,7 +42,9 @@ mod node;
 mod ops;
 mod tree;
 
-pub use db::{Db, DbConfig, IsolationLevel, NsnSource, PredicateMode, RestartReport};
+pub use db::{
+    Db, DbConfig, IsolationLevel, NsnSource, PredicateMode, RestartReport, RobustnessStats,
+};
 pub use entry::{InternalEntry, LeafEntry};
 pub use error::GistError;
 pub use ext::GistExtension;

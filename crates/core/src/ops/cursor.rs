@@ -89,6 +89,9 @@ impl<E: GistExtension> Cursor<E> {
                 }
             }
         }
+        // An injected fault here strands the registered scan predicate
+        // on the transaction; abort's release path must reclaim it.
+        crate::chaos::point("cursor.after_register")?;
         let mem = db.global_nsn();
         let root = index.root()?;
         index.signal_lock(txn, root)?;
@@ -118,6 +121,15 @@ impl<E: GistExtension> Cursor<E> {
     // so the signature is Result<Option<..>> and the trait does not fit.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<(E::Key, Rid)>> {
+        let db = self.index.db().clone();
+        let op = db.txns().op_enter(self.txn)?;
+        let r = self.next_inner();
+        op.complete();
+        r
+    }
+
+    fn next_inner(&mut self) -> Result<Option<(E::Key, Rid)>> {
+        crate::chaos::point("cursor.before_next")?;
         loop {
             if let Some(hit) = self.pending.pop_front() {
                 return Ok(Some(hit));
@@ -294,7 +306,10 @@ impl<E: GistExtension> Cursor<E> {
 impl<E: GistExtension> GistIndex<E> {
     /// Open an incremental cursor over `query`.
     pub fn cursor(self: &Arc<Self>, txn: TxnId, query: E::Query) -> Result<Cursor<E>> {
-        Cursor::new(self.clone(), txn, query)
+        let op = self.db().txns().op_enter(txn)?;
+        let r = Cursor::new(self.clone(), txn, query);
+        op.complete();
+        r
     }
 
     /// SEARCH: all `(key, RID)` pairs satisfying `query` (drains a

@@ -36,6 +36,18 @@ impl<E: GistExtension> GistIndex<E> {
     /// parent BPs must not shrink yet, or the path to the key would
     /// vanish for concurrent searches.
     pub fn delete(self: &Arc<Self>, txn: TxnId, key: &E::Key, rid: gist_pagestore::Rid) -> Result<()> {
+        let op = self.db().txns().op_enter(txn)?;
+        let r = self.delete_inner(txn, key, rid);
+        op.complete();
+        r
+    }
+
+    fn delete_inner(
+        self: &Arc<Self>,
+        txn: TxnId,
+        key: &E::Key,
+        rid: gist_pagestore::Rid,
+    ) -> Result<()> {
         let db = self.db().clone();
         let cfg = db.config();
         let degree3 = cfg.isolation == IsolationLevel::RepeatableRead;
@@ -101,6 +113,7 @@ impl<E: GistExtension> GistIndex<E> {
                     })
                     .map(|(slot, cell)| (slot, cell.to_vec()));
                 if let Some((slot, old_cell)) = target {
+                    crate::chaos::point("delete.before_mark")?;
                     let rec = GistRecord::MarkLeafEntry {
                         page: pid.0,
                         nsn: w.nsn(),
@@ -113,6 +126,9 @@ impl<E: GistExtension> GistIndex<E> {
                     w.update_cell(slot, &marked)
                         .unwrap_or_else(|e| unreachable!("mark is same-size: {e}"));
                     w.mark_dirty(lsn);
+                    // An injected fault here leaves a logged, applied mark
+                    // behind — exactly what the abort path must undo.
+                    crate::chaos::point("delete.after_mark")?;
                     // Hand the leaf to the maintenance daemon: if (when)
                     // this transaction commits, the mark becomes
                     // garbage-collectable and the daemon reclaims the
@@ -313,6 +329,9 @@ impl<E: GistExtension> GistIndex<E> {
         drop(child_g);
         drop(parent_g);
         db.locks().unlock(txn, name);
+        // The drained node's predicate table must not be inherited by
+        // the page's next tenant after reallocation.
+        db.preds().purge_node(self.node_key(child));
         db.alloc().free(child);
         Ok(true)
     }
@@ -337,6 +356,13 @@ impl<E: GistExtension> GistIndex<E> {
     /// This is the synchronous escape hatch behind [`Self::vacuum`];
     /// the daemon's full-sweep work item calls it too.
     pub fn vacuum_sync(&self, txn: TxnId) -> Result<VacuumReport> {
+        let op = self.db().txns().op_enter(txn)?;
+        let r = self.vacuum_sync_inner(txn);
+        op.complete();
+        r
+    }
+
+    fn vacuum_sync_inner(&self, txn: TxnId) -> Result<VacuumReport> {
         let db = self.db().clone();
         let mut report = VacuumReport::default();
         loop {

@@ -36,11 +36,17 @@ impl<E: GistExtension> GistIndex<E> {
     /// performs the §8 combined search+insert. A deadlock error means
     /// the caller must abort (and may retry) the transaction.
     pub fn insert(self: &Arc<Self>, txn: TxnId, key: &E::Key, rid: Rid) -> Result<()> {
-        if self.is_unique() {
+        // Operation scope: registers the in-flight op with the
+        // transaction (watchdog exemption); a panic inside the scope
+        // poisons the transaction (must-abort) via the guard's Drop.
+        let op = self.db().txns().op_enter(txn)?;
+        let r = if self.is_unique() {
             self.insert_unique(txn, key, rid)
         } else {
             self.insert_nonunique(txn, key, rid)
-        }
+        };
+        op.complete();
+        r
     }
 
     /// §8: probe with an "`= key`" search (leaving probe predicates on
@@ -113,6 +119,7 @@ impl<E: GistExtension> GistIndex<E> {
         let cell = LeafEntry::new(key_bytes.clone(), rid).encode();
 
         // Phase 2: locate the target leaf (X-latched).
+        crate::chaos::point("insert.before_descent")?;
         let (mut leaf, mut stack) = self.locate_leaf(txn, key)?;
 
         // Phase 3: make room — opportunistic garbage collection first
@@ -135,6 +142,7 @@ impl<E: GistExtension> GistIndex<E> {
 
         // Phase 5: the Add-Leaf-Entry content record (logged, then
         // applied under the latch).
+        crate::chaos::point("insert.before_leaf_add")?;
         let slot = leaf.next_insert_slot();
         let rec = GistRecord::AddLeafEntry {
             page: leaf.page_id().0,
@@ -146,6 +154,7 @@ impl<E: GistExtension> GistIndex<E> {
         leaf.insert_cell_at(slot, &cell)
             .unwrap_or_else(|e| unreachable!("room was ensured before logging: {e}"));
         leaf.mark_dirty(lsn);
+        crate::chaos::point("insert.after_leaf_add")?;
 
         // Phase 6: check the predicates attached to the leaf; block on
         // conflicting scans after registering our own insert predicate
@@ -153,6 +162,9 @@ impl<E: GistExtension> GistIndex<E> {
         let leaf_pid = leaf.page_id();
         let mut wait_result: Result<()> = Ok(());
         if degree3 && !pure {
+            // An injected fault here drops the leaf latch via RAII; the
+            // logged leaf insert is undone by the transaction's abort.
+            crate::chaos::point("insert.before_predicate_check")?;
             let owners = db.preds().check_insert(
                 self.node_key(leaf_pid),
                 txn,
@@ -417,6 +429,13 @@ impl<E: GistExtension> GistIndex<E> {
         let orig_bp_new = self.encode_bp_opt(&Some(orig_bp_new_p.clone()));
         let new_bp = self.encode_bp_opt(&Some(new_bp_p.clone()));
 
+        // Anchor for in-unit compensation: a failure below, after pages
+        // have been mutated, reverts under the still-held latches and
+        // logs CLRs whose undo_next resumes here — the unit becomes a
+        // no-op on every rollback path without anyone observing the
+        // intermediate state.
+        let level_start = db.txns().last_lsn(txn).ok_or(GistError::Txn(gist_txn::TxnError::NotActive(txn)))?;
+
         // Allocate and format the sibling (Get-Page, inside the unit).
         let new_pid = db.alloc().allocate();
         let get_rec = GistRecord::GetPage { page: new_pid.0, level, bp: new_bp.clone() };
@@ -472,101 +491,220 @@ impl<E: GistExtension> GistIndex<E> {
         new_g.set_rightlink(orig_rightlink_old);
         new_g.mark_dirty(lsn);
 
-        // Replicate predicate attachments consistent with the sibling's
-        // BP (§4.3) and the signaling locks (§10.3).
-        self.db().preds().replicate(
-            self.node_key(node_id),
-            self.node_key(new_pid),
-            &|kind, bytes| match kind {
-                PredKind::Scan => ext.query_bytes_consistent_pred(bytes, &new_bp_p),
-                PredKind::Insert => ext.key_bytes_within_pred(bytes, &new_bp_p),
-            },
-        );
-        db.locks().replicate_shared(
-            LockName::Node { index: self.id(), page: node_id },
-            LockName::Node { index: self.id(), page: new_pid },
-        );
+        // Everything from here to the end of the unit runs with `node_g`
+        // and `new_g` (and any parent guards) still latched, so a failure
+        // can be reverted in place before any other operation can observe
+        // the intermediate state. The immediately-invoked closure makes
+        // every early `?` land in the revert arm below.
+        let finish = (|| -> Result<()> {
+            crate::chaos::point("insert.split.after_sibling_write")?;
 
-        // Install the parent entries.
-        match parent_loc {
-            ParentLoc::IsRoot => {
-                // Root split: allocate a new root holding entries for
-                // both halves and swing the catalog pointer — all inside
-                // the same atomic unit.
-                let root_pid = db.alloc().allocate();
-                let root_bp = self.encode_bp_opt(&Some(ext.union_preds(&orig_bp_new_p, &new_bp_p)));
-                let rec = GistRecord::GetPage { page: root_pid.0, level: level + 1, bp: root_bp.clone() };
-                let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
-                let mut root_g = db.pool().new_page_write(root_pid, level + 1)?;
-                node::init_node(&mut root_g, &root_bp);
-                root_g.set_available(false);
-                root_g.mark_dirty(lsn);
-                for (child, bp) in [(node_id, &orig_bp_new), (new_pid, &new_bp)] {
-                    let cell = InternalEntry::new(child, bp.clone()).encode();
-                    let slot = root_g.next_insert_slot();
-                    let rec = GistRecord::InternalEntryAdd { page: root_pid.0, slot, cell: cell.clone() };
+            // Replicate predicate attachments consistent with the
+            // sibling's BP (§4.3) and the signaling locks (§10.3).
+            self.db().preds().replicate(
+                self.node_key(node_id),
+                self.node_key(new_pid),
+                &|kind, bytes| match kind {
+                    PredKind::Scan => ext.query_bytes_consistent_pred(bytes, &new_bp_p),
+                    PredKind::Insert => ext.key_bytes_within_pred(bytes, &new_bp_p),
+                },
+            );
+            db.locks().replicate_shared(
+                LockName::Node { index: self.id(), page: node_id },
+                LockName::Node { index: self.id(), page: new_pid },
+            );
+
+            // Install the parent entries.
+            crate::chaos::point("insert.split.before_parent_install")?;
+            match parent_loc {
+                ParentLoc::IsRoot => {
+                    // Root split: allocate a new root holding entries for
+                    // both halves and swing the catalog pointer — all inside
+                    // the same atomic unit.
+                    let install_start = db.txns().last_lsn(txn).ok_or(GistError::Txn(gist_txn::TxnError::NotActive(txn)))?;
+                    let root_pid = db.alloc().allocate();
+                    let root_bp =
+                        self.encode_bp_opt(&Some(ext.union_preds(&orig_bp_new_p, &new_bp_p)));
+                    let rec = GistRecord::GetPage {
+                        page: root_pid.0,
+                        level: level + 1,
+                        bp: root_bp.clone(),
+                    };
                     let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
-                    root_g
-                        .insert_cell_at(slot, &cell)
-                        .unwrap_or_else(|e| unreachable!("fresh root has room: {e}"));
+                    let mut root_g = db.pool().new_page_write(root_pid, level + 1)?;
+                    node::init_node(&mut root_g, &root_bp);
+                    root_g.set_available(false);
                     root_g.mark_dirty(lsn);
-                }
-                db.set_root(txn, self.catalog_slot(), root_pid)?;
-                held.push(root_g);
-            }
-            ParentLoc::Found(parent_g, mut entry_slot) => {
-                let mut parent_g = parent_g;
-                let new_entry = InternalEntry::new(new_pid, new_bp.clone()).encode();
-                // The parent may itself be full: split it recursively,
-                // then continue on whichever half holds our entry.
-                while !node::has_room(&parent_g, new_entry.len()) {
-                    let upper = if stack.is_empty() { &[] } else { &stack[..stack.len() - 1] };
-                    let (p_orig, p_new, _) = self.split_rec(txn, parent_g, upper, held, None)?;
-                    if node::find_child_entry(&p_orig, node_id).is_some() {
-                        parent_g = p_orig;
-                        held.push(p_new);
-                    } else {
-                        parent_g = p_new;
-                        held.push(p_orig);
+                    for (child, bp) in [(node_id, &orig_bp_new), (new_pid, &new_bp)] {
+                        let cell = InternalEntry::new(child, bp.clone()).encode();
+                        let slot = root_g.next_insert_slot();
+                        let rec =
+                            GistRecord::InternalEntryAdd { page: root_pid.0, slot, cell: cell.clone() };
+                        let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+                        root_g
+                            .insert_cell_at(slot, &cell)
+                            .unwrap_or_else(|e| unreachable!("fresh root has room: {e}"));
+                        root_g.mark_dirty(lsn);
                     }
-                    entry_slot = node::find_child_entry(&parent_g, node_id)
-                        .unwrap_or_else(|| {
-                            unreachable!("entry present after parent split")
-                        })
-                        .0;
+                    // The catalog swing below is the commit point of the
+                    // root split, so the crash point sits just before it:
+                    // an injected failure reverts the fresh root while it
+                    // is still unreachable.
+                    if let Err(e) = crate::chaos::point("insert.split.after_parent_install") {
+                        let l = db.txns().log_compensation(
+                            txn,
+                            install_start,
+                            GistRecord::SetAvailable { page: root_pid.0 }.to_payload(),
+                        )?;
+                        root_g.clear_cells();
+                        root_g.set_available(true);
+                        root_g.mark_dirty(l);
+                        drop(root_g);
+                        db.alloc().free(root_pid);
+                        return Err(e);
+                    }
+                    db.set_root(txn, self.catalog_slot(), root_pid)?;
+                    held.push(root_g);
                 }
-                // Update the original node's entry to its shrunk BP.
-                let old_cell = parent_g
-                    .cell(entry_slot)
-                    .unwrap_or_else(|| unreachable!("parent entry present"))
-                    .to_vec();
-                let upd_cell = InternalEntry::new(node_id, orig_bp_new.clone()).encode();
-                let rec = GistRecord::InternalEntryUpdate {
-                    page: parent_g.page_id().0,
-                    slot: entry_slot,
-                    new_cell: upd_cell.clone(),
-                    old_cell,
-                };
-                let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
-                parent_g
-                    .update_cell(entry_slot, &upd_cell)
-                    .unwrap_or_else(|e| unreachable!("room was ensured for the update: {e}"));
-                parent_g.mark_dirty(lsn);
-                // Add the sibling's entry.
-                let slot = parent_g.next_insert_slot();
-                let rec = GistRecord::InternalEntryAdd {
-                    page: parent_g.page_id().0,
-                    slot,
-                    cell: new_entry.clone(),
-                };
-                let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
-                parent_g
-                    .insert_cell_at(slot, &new_entry)
-                    .unwrap_or_else(|e| unreachable!("room was ensured: {e}"));
-                parent_g.mark_dirty(lsn);
-                held.push(parent_g);
+                ParentLoc::Found(parent_g, mut entry_slot) => {
+                    let mut parent_g = parent_g;
+                    let new_entry = InternalEntry::new(new_pid, new_bp.clone()).encode();
+                    // The parent may itself be full: split it recursively,
+                    // then continue on whichever half holds our entry. A
+                    // failed recursion has already reverted its own level.
+                    while !node::has_room(&parent_g, new_entry.len()) {
+                        let upper =
+                            if stack.is_empty() { &[] } else { &stack[..stack.len() - 1] };
+                        let (p_orig, p_new, _) = self.split_rec(txn, parent_g, upper, held, None)?;
+                        if node::find_child_entry(&p_orig, node_id).is_some() {
+                            parent_g = p_orig;
+                            held.push(p_new);
+                        } else {
+                            parent_g = p_new;
+                            held.push(p_orig);
+                        }
+                        entry_slot = node::find_child_entry(&parent_g, node_id)
+                            .unwrap_or_else(|| {
+                                unreachable!("entry present after parent split")
+                            })
+                            .0;
+                    }
+                    let install_start = db.txns().last_lsn(txn).ok_or(GistError::Txn(gist_txn::TxnError::NotActive(txn)))?;
+                    // Update the original node's entry to its shrunk BP.
+                    let old_cell = parent_g
+                        .cell(entry_slot)
+                        .unwrap_or_else(|| unreachable!("parent entry present"))
+                        .to_vec();
+                    let upd_cell = InternalEntry::new(node_id, orig_bp_new.clone()).encode();
+                    let rec = GistRecord::InternalEntryUpdate {
+                        page: parent_g.page_id().0,
+                        slot: entry_slot,
+                        new_cell: upd_cell.clone(),
+                        old_cell: old_cell.clone(),
+                    };
+                    let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+                    parent_g
+                        .update_cell(entry_slot, &upd_cell)
+                        .unwrap_or_else(|e| unreachable!("room was ensured for the update: {e}"));
+                    parent_g.mark_dirty(lsn);
+                    // Add the sibling's entry.
+                    let add_slot = parent_g.next_insert_slot();
+                    let rec = GistRecord::InternalEntryAdd {
+                        page: parent_g.page_id().0,
+                        slot: add_slot,
+                        cell: new_entry.clone(),
+                    };
+                    let lsn = db.txns().log_update(txn, RecordBody::Payload(rec.to_payload()))?;
+                    parent_g
+                        .insert_cell_at(add_slot, &new_entry)
+                        .unwrap_or_else(|e| unreachable!("room was ensured: {e}"));
+                    parent_g.mark_dirty(lsn);
+                    if let Err(e) = crate::chaos::point("insert.split.after_parent_install") {
+                        // Revert both installs under the parent latch.
+                        let l = db.txns().log_compensation(
+                            txn,
+                            install_start,
+                            GistRecord::InternalEntryDelete {
+                                page: parent_g.page_id().0,
+                                slot: add_slot,
+                                cell: new_entry.clone(),
+                            }
+                            .to_payload(),
+                        )?;
+                        parent_g.delete_cell(add_slot);
+                        parent_g.mark_dirty(l);
+                        let l = db.txns().log_compensation(
+                            txn,
+                            install_start,
+                            GistRecord::InternalEntryUpdate {
+                                page: parent_g.page_id().0,
+                                slot: entry_slot,
+                                new_cell: old_cell.clone(),
+                                old_cell: upd_cell,
+                            }
+                            .to_payload(),
+                        )?;
+                        parent_g
+                            .update_cell(entry_slot, &old_cell)
+                            .unwrap_or_else(|e| unreachable!("restoring the original cell: {e}"));
+                        parent_g.mark_dirty(l);
+                        return Err(e);
+                    }
+                    held.push(parent_g);
+                }
+            }
+            Ok(())
+        })();
+
+        match finish {
+            Ok(()) => Ok((node_g, new_g, pending_to_new)),
+            Err(e) => {
+                // Revert this level's split in place: move the entries
+                // back, restore the BP/NSN/rightlink, and return the
+                // sibling to the free pool — all before the latches drop,
+                // so no concurrent operation ever saw the failed split.
+                // The CLRs re-apply the revert at restart and make every
+                // rollback skip straight past the unit's records.
+                let l = db.txns().log_compensation(
+                    txn,
+                    level_start,
+                    GistRecord::UndoSplit {
+                        orig: node_id.0,
+                        new: new_pid.0,
+                        restored: moved.clone(),
+                        orig_bp: orig_bp_old.clone(),
+                        orig_nsn: orig_nsn_old,
+                        orig_rightlink: orig_rightlink_old.0,
+                    }
+                    .to_payload(),
+                )?;
+                for (slot, cell) in &moved {
+                    node_g
+                        .insert_cell_at(*slot, cell)
+                        .unwrap_or_else(|e| unreachable!("restored cells refill their slots: {e}"));
+                }
+                node::set_bp(&mut node_g, &orig_bp_old)
+                    .map_err(|e| GistError::Corrupt(format!("split revert BP: {e}")))?;
+                node_g.set_nsn(orig_nsn_old);
+                node_g.set_rightlink(orig_rightlink_old);
+                node_g.mark_dirty(l);
+                new_g.clear_cells();
+                new_g.mark_dirty(l);
+                let l = db.txns().log_compensation(
+                    txn,
+                    level_start,
+                    GistRecord::SetAvailable { page: new_pid.0 }.to_payload(),
+                )?;
+                new_g.set_available(true);
+                new_g.mark_dirty(l);
+                drop(new_g);
+                // The sibling's replicated predicate table must not leak
+                // onto the page's next tenant (the signaling-lock copies
+                // evaporate with their owners).
+                db.preds().purge_node(self.node_key(new_pid));
+                db.alloc().free(new_pid);
+                Err(e)
             }
         }
-        Ok((node_g, new_g, pending_to_new))
     }
 }

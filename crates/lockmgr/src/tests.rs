@@ -541,3 +541,38 @@ fn waiter_survives_owner_abort_release_order() {
     }
     assert_eq!(lm.holders(rid(1)).len(), 4, "all S waiters granted together");
 }
+
+#[test]
+fn dead_parked_waiter_does_not_strand_later_waiters() {
+    // A waiter whose wait dies (here: via the manager's timeout safety
+    // net — the same cleanup path a panicking waiter thread unwinds
+    // through) must leave the FIFO queue, or every waiter queued behind
+    // it would be stranded forever once the holder releases.
+    let lm = Arc::new(LockManager::with_timeout(Duration::from_millis(150)));
+    lm.lock(TxnId(1), rid(1), LockMode::X).unwrap();
+    // B parks behind A and will die in the queue (timeout).
+    let b = {
+        let lm = lm.clone();
+        std::thread::spawn(move || lm.lock(TxnId(2), rid(1), LockMode::X))
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(lm.waiter_count(rid(1)), 1, "B is parked");
+    // C queues strictly behind B. Its own patience is irrelevant to the
+    // bug: what matters is that B's corpse must not gate C's grant.
+    let c = {
+        let lm = lm.clone();
+        std::thread::spawn(move || lm.lock(TxnId(3), rid(1), LockMode::X))
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(lm.waiter_count(rid(1)), 2, "C is parked behind B");
+    // B dies in the queue.
+    assert_eq!(b.join().unwrap(), Err(LockError::Timeout));
+    assert_eq!(lm.waiter_count(rid(1)), 1, "B's entry was reaped");
+    // A releases: C — not B's ghost — must be granted.
+    lm.release_all(TxnId(1));
+    assert_eq!(c.join().unwrap(), Ok(()));
+    let holders: Vec<TxnId> = lm.holders(rid(1)).into_iter().map(|(t, _)| t).collect();
+    assert_eq!(holders, vec![TxnId(3)]);
+    assert!(lm.stats.timeouts.load(Ordering::Relaxed) >= 1);
+    lm.release_all(TxnId(3));
+}

@@ -41,9 +41,30 @@ use parking_lot::{Condvar, Mutex};
 
 use gist_pagestore::{BufferPool, PageId};
 use gist_txn::{GcCandidate, GcSink, TxnManager};
+use gist_wal::recovery::RecoveryHandler;
 use gist_wal::{LogManager, Lsn, TxnId};
 
 pub(crate) mod audit;
+
+/// Chaos-injection shim: with the `chaos` feature, forwards to the
+/// gist-chaos registry (an injected fault surfaces as a retryable
+/// `MaintError::Retry`, exercising the daemon's backoff path); without
+/// it, an inlined no-op.
+#[cfg(feature = "chaos")]
+pub(crate) mod chaos {
+    pub(crate) fn point(name: &'static str) -> Result<(), super::MaintError> {
+        gist_chaos::point(name)
+            .map_err(|e| super::MaintError::Retry(format!("chaos injection at {}", e.0)))
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+pub(crate) mod chaos {
+    #[inline(always)]
+    pub(crate) fn point(_name: &'static str) -> Result<(), super::MaintError> {
+        Ok(())
+    }
+}
 
 /// Failure modes of one maintenance work item.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -217,6 +238,12 @@ pub struct MaintConfig {
     pub retry_backoff: Duration,
     /// Worker threads spawned by [`MaintDaemon::start`].
     pub workers: usize,
+    /// Transaction-watchdog deadline: an Active transaction with no
+    /// operation in flight whose last activity is older than this is
+    /// aborted by the daemon, releasing its locks and predicates so
+    /// queues blocked behind it (§4 predicate waits, §8/§10.3 FIFO
+    /// insert queues) drain. `None` (the default) disables the watchdog.
+    pub txn_idle_deadline: Option<Duration>,
 }
 
 impl Default for MaintConfig {
@@ -226,6 +253,7 @@ impl Default for MaintConfig {
             max_retries: 10,
             retry_backoff: Duration::from_millis(2),
             workers: 1,
+            txn_idle_deadline: None,
         }
     }
 }
@@ -253,6 +281,8 @@ pub struct MaintStats {
     pub dropped: AtomicU64,
     /// Items that failed fatally.
     pub failures: AtomicU64,
+    /// Idle transactions aborted by the watchdog.
+    pub watchdog_aborts: AtomicU64,
 }
 
 /// A point-in-time copy of [`MaintStats`].
@@ -269,6 +299,7 @@ pub struct MaintStatsSnapshot {
     pub retries: u64,
     pub dropped: u64,
     pub failures: u64,
+    pub watchdog_aborts: u64,
 }
 
 impl MaintStats {
@@ -285,6 +316,7 @@ impl MaintStats {
             retries: self.retries.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            watchdog_aborts: self.watchdog_aborts.load(Ordering::Relaxed),
         }
     }
 }
@@ -317,6 +349,11 @@ pub struct MaintDaemon {
     cond: Condvar,
     indexes: Mutex<HashMap<u32, Weak<dyn MaintIndex>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Logical-undo handler for the transaction watchdog (the database
+    /// façade). Weak so the daemon does not keep the database alive.
+    undo_handler: Mutex<Option<Weak<dyn RecoveryHandler + Send + Sync>>>,
+    /// Last watchdog pass (rate limit for the worker-loop tick).
+    last_watchdog: Mutex<Instant>,
     /// Counters.
     pub stats: MaintStats,
 }
@@ -348,6 +385,8 @@ impl MaintDaemon {
             cond: Condvar::new(),
             indexes: Mutex::new(HashMap::new()),
             workers: Mutex::new(Vec::new()),
+            undo_handler: Mutex::new(None),
+            last_watchdog: Mutex::new(Instant::now()),
             stats: MaintStats::default(),
         })
     }
@@ -355,6 +394,55 @@ impl MaintDaemon {
     /// The daemon's configuration.
     pub fn config(&self) -> &MaintConfig {
         &self.config
+    }
+
+    /// Install the logical-undo handler the transaction watchdog needs
+    /// to abort victims (rollback replays undo through the index). Held
+    /// weakly so the daemon never keeps the database alive.
+    pub fn set_undo_handler(&self, h: Weak<dyn RecoveryHandler + Send + Sync>) {
+        *self.undo_handler.lock() = Some(h);
+    }
+
+    /// Run one watchdog pass right now: abort every Active transaction
+    /// with no operation in flight that has been idle longer than
+    /// [`MaintConfig::txn_idle_deadline`]. Returns the number of
+    /// transactions aborted. A no-op when the deadline is unset or no
+    /// undo handler is installed.
+    pub fn watchdog_tick(&self) -> usize {
+        let Some(deadline) = self.config.txn_idle_deadline else {
+            return 0;
+        };
+        let handler = match self.undo_handler.lock().clone() {
+            Some(w) => match w.upgrade() {
+                Some(h) => h,
+                None => return 0,
+            },
+            None => return 0,
+        };
+        let aborted = self.txns.watchdog_scan(deadline, handler.as_ref());
+        let n = aborted.len();
+        if n > 0 {
+            self.stats.watchdog_aborts.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        n
+    }
+
+    /// Worker-loop wrapper around [`Self::watchdog_tick`], rate-limited
+    /// so multiple workers don't redundantly rescan the table.
+    fn maybe_watchdog_tick(&self) {
+        let Some(deadline) = self.config.txn_idle_deadline else {
+            return;
+        };
+        let min_gap = (deadline / 4).max(Duration::from_millis(1));
+        {
+            let mut last = self.last_watchdog.lock();
+            let now = Instant::now();
+            if now.duration_since(*last) < min_gap {
+                return;
+            }
+            *last = now;
+        }
+        self.watchdog_tick();
     }
 
     /// Make an index's tree work reachable. Held weakly: a dropped index
@@ -524,24 +612,39 @@ impl MaintDaemon {
                     }
                     if let Some(q) = st.heap.pop() {
                         st.in_flight += 1;
-                        break q;
+                        break Some(q);
                     }
-                    // Sleep until the next backoff expiry or checkpoint
-                    // tick, whichever comes first.
+                    // Sleep until the next backoff expiry, checkpoint
+                    // tick, or watchdog deadline, whichever comes first.
                     let mut wait = Duration::from_millis(50);
                     if let Some(interval) = self.config.checkpoint_interval {
                         let since = now.duration_since(st.last_checkpoint);
                         wait = wait.min(interval.saturating_sub(since));
                     }
+                    if let Some(deadline) = self.config.txn_idle_deadline {
+                        wait = wait.min((deadline / 2).max(Duration::from_millis(1)));
+                    }
                     if let Some(ready) = st.delayed.iter().map(|(t, _)| *t).min() {
                         wait = wait.min(ready.saturating_duration_since(now));
                     }
-                    self.cond.wait_for(&mut st, wait.max(Duration::from_millis(1)));
+                    let timed_out = self
+                        .cond
+                        .wait_for(&mut st, wait.max(Duration::from_millis(1)))
+                        .timed_out();
+                    if timed_out {
+                        // Drop the state lock for the watchdog pass: it
+                        // takes the transaction table lock and may run a
+                        // full logical abort.
+                        break None;
+                    }
                 }
             };
-            self.process(q);
-            // A work item must never leak a latch past its boundary.
-            audit::assert_thread_clear("maint worker item");
+            if let Some(q) = q {
+                self.process(q);
+                // A work item must never leak a latch past its boundary.
+                audit::assert_thread_clear("maint worker item");
+            }
+            self.maybe_watchdog_tick();
         }
     }
 
@@ -608,7 +711,9 @@ impl MaintDaemon {
                 None => Ok(None), // index dropped: work is moot
                 Some(idx) => {
                     self.stats.gc_runs.fetch_add(1, Ordering::Relaxed);
-                    match idx.maint_gc_leaf(*leaf, *parent_hint) {
+                    match chaos::point("maint.before_gc")
+                        .and_then(|()| idx.maint_gc_leaf(*leaf, *parent_hint))
+                    {
                         Ok(out) => {
                             self.stats
                                 .entries_reclaimed

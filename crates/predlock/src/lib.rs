@@ -423,6 +423,28 @@ impl PredicateManager {
         }
     }
 
+    /// Detach every predicate from `node` and drop the node's table.
+    /// Called when a page is returned to the free pool — a reverted
+    /// split's sibling, a drained node — so the page's next tenant does
+    /// not inherit attachments that belong to a dead incarnation. The
+    /// predicates themselves survive (they remain attached to every
+    /// other node, and to their owners until transaction end).
+    pub fn purge_node(&self, node: NodeKey) {
+        let ids: Vec<PredId> = {
+            let mut sh = self.nodes.lock(&node);
+            match sh.remove(&node) {
+                Some(list) => list.iter().map(|e| e.id).collect(),
+                None => return,
+            }
+        };
+        let mut reg = self.registry.lock();
+        for id in ids {
+            if let Some(p) = reg.preds.get_mut(&id) {
+                p.attachments.retain(|n| n != &node);
+            }
+        }
+    }
+
     /// Remove every predicate owned by `txn` (transaction termination:
     /// "the predicates and their node attachments are only removed when
     /// the owner transaction terminates", §4.3).

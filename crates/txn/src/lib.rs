@@ -26,6 +26,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -33,7 +34,7 @@ use gist_lockmgr::{LockError, LockManager, LockMode, LockName};
 use gist_pagestore::PageId;
 use gist_predlock::PredicateManager;
 use gist_wal::recovery::{rollback, RecoveryHandler, RollbackKind};
-use gist_wal::{LogManager, Lsn, NestedTopAction, RecordBody, TxnId};
+use gist_wal::{LogManager, Lsn, NestedTopAction, Payload, RecordBody, TxnId};
 
 /// A leaf page that a transaction left delete-marked entries on —
 /// physical reclamation is deferred to the maintenance daemon, which
@@ -66,8 +67,11 @@ pub trait GcSink: Send + Sync {
 pub enum TxnStatus {
     /// Running.
     Active,
-    /// Commit record written and forced; end record written; gone from
-    /// the table (this status is only ever returned transiently).
+    /// Commit record written and forced — the point of no return. The
+    /// entry stays in the table only until [`TxnManager`] finishes the
+    /// end record and lock release; an `abort` arriving in that window
+    /// (a caller that lost the commit acknowledgement) *completes* the
+    /// commit instead of undoing it.
     Committed,
     /// Abort decided; rollback in progress.
     Aborting,
@@ -90,6 +94,20 @@ struct TxnInfo {
     /// Leaves this transaction delete-marked entries on; handed to the
     /// [`GcSink`] at commit, dropped at abort.
     gc_candidates: Vec<GcCandidate>,
+    /// Must-abort: an operation panicked mid-flight (its [`OpGuard`]
+    /// unwound), so shadow state may be torn. Further operations and
+    /// commit are refused; `abort` still works and clears everything.
+    poisoned: bool,
+    /// The watchdog selected this transaction for abort. Set under the
+    /// table lock so no new operation can slip in while the watchdog is
+    /// rolling the victim back outside the lock.
+    doomed: bool,
+    /// Operations currently inside an [`OpGuard`] scope. The watchdog
+    /// never dooms a transaction with in-flight operations — "idle"
+    /// means *between* operations, not parked inside one.
+    ops_in_flight: u32,
+    /// Last time an operation entered or left. Watchdog idle clock.
+    last_activity: Instant,
 }
 
 /// Errors from transaction operations.
@@ -103,6 +121,14 @@ pub enum TxnError {
     Undo(String),
     /// Lock acquisition failed (deadlock victim or timeout).
     Lock(LockError),
+    /// The maintenance watchdog aborted this transaction for idling past
+    /// the configured deadline. Retryable: begin a fresh transaction.
+    AbortedByWatchdog(TxnId),
+    /// The transaction is poisoned (an operation panicked mid-flight);
+    /// only `abort` is accepted.
+    MustAbort(TxnId),
+    /// A chaos crash point injected this failure (`chaos` feature).
+    Injected(&'static str),
 }
 
 impl fmt::Display for TxnError {
@@ -112,6 +138,13 @@ impl fmt::Display for TxnError {
             TxnError::NoSuchSavepoint(s) => write!(f, "no such savepoint {s:?}"),
             TxnError::Undo(e) => write!(f, "undo failed: {e}"),
             TxnError::Lock(e) => write!(f, "{e}"),
+            TxnError::AbortedByWatchdog(t) => {
+                write!(f, "transaction {t} was aborted by the idle-transaction watchdog")
+            }
+            TxnError::MustAbort(t) => {
+                write!(f, "transaction {t} is poisoned by a mid-operation panic; abort it")
+            }
+            TxnError::Injected(p) => write!(f, "chaos injection at crash point {p:?}"),
         }
     }
 }
@@ -134,6 +167,12 @@ pub struct TxnManager {
     /// Weak so the daemon (which holds an `Arc<TxnManager>` for
     /// checkpointing) and the manager don't keep each other alive.
     gc_sink: Mutex<Option<std::sync::Weak<dyn GcSink>>>,
+    /// Transactions the watchdog aborted that left the table before the
+    /// victim thread noticed. Consumed by the victim's next call (its
+    /// operations report [`TxnError::AbortedByWatchdog`]; its own
+    /// `abort` succeeds as a no-op). A victim that never returns leaks
+    /// one id here — bounded by the watchdog's own abort count.
+    watchdog_tombstones: Mutex<HashSet<TxnId>>,
 }
 
 impl TxnManager {
@@ -150,6 +189,7 @@ impl TxnManager {
             table: Mutex::new(HashMap::new()),
             next_txn: Mutex::new(0),
             gc_sink: Mutex::new(None),
+            watchdog_tombstones: Mutex::new(HashSet::new()),
         }
     }
 
@@ -205,6 +245,10 @@ impl TxnManager {
                 next_savepoint: 0,
                 pinned_nodes: HashSet::new(),
                 gc_candidates: Vec::new(),
+                poisoned: false,
+                doomed: false,
+                ops_in_flight: 0,
+                last_activity: Instant::now(),
             },
         );
         // §10.3: X lock on the own id, so others can block on this txn.
@@ -220,6 +264,29 @@ impl TxnManager {
         let mut table = self.table.lock();
         let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
         let lsn = self.log.append(txn, info.last_lsn, body);
+        info.last_lsn = lsn;
+        Ok(lsn)
+    }
+
+    /// Append a compensation record (CLR) for `txn`. `redo` re-applies
+    /// the revert at restart (repeat history); `undo_next` makes any
+    /// later rollback resume *below* the records the compensation
+    /// neutralizes, so they are never undone a second time.
+    ///
+    /// This is the live-failure counterpart of the CLRs the rollback
+    /// driver writes: an atomic unit of work (a node split, §9.1) that
+    /// fails halfway reverts its applied changes under the latches it
+    /// still holds and logs the revert here, leaving the unit a no-op on
+    /// every path — live abort, savepoint rollback, and restart undo.
+    pub fn log_compensation(
+        &self,
+        txn: TxnId,
+        undo_next: Lsn,
+        redo: Payload,
+    ) -> Result<Lsn, TxnError> {
+        let mut table = self.table.lock();
+        let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+        let lsn = self.log.append(txn, info.last_lsn, RecordBody::Clr { undo_next, redo });
         info.last_lsn = lsn;
         Ok(lsn)
     }
@@ -241,15 +308,43 @@ impl TxnManager {
         Ok(lsn)
     }
 
-    /// Commit: force the log, write the end record, release predicates
-    /// and locks.
+    /// Commit: force the log (the point of no return), then write the
+    /// end record and release predicates and locks. The force and the
+    /// completion are separate steps so that a caller dying *after* the
+    /// commit record is durable (the `"commit.after_wal_flush"` crash
+    /// point) leaves a transaction that any later `abort` or watchdog
+    /// pass completes rather than undoes.
     pub fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
-        let gc = {
+        {
             let mut table = self.table.lock();
-            let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+            let info = match table.get_mut(&txn) {
+                Some(info) => info,
+                None => return Err(self.terminated_error(txn)),
+            };
+            if info.poisoned {
+                return Err(TxnError::MustAbort(txn));
+            }
+            if info.doomed {
+                return Err(TxnError::AbortedByWatchdog(txn));
+            }
             let commit_lsn = self.log.append(txn, info.last_lsn, RecordBody::TxnCommit);
             self.log.flush(commit_lsn);
-            let end_lsn = self.log.append(txn, commit_lsn, RecordBody::TxnEnd);
+            info.last_lsn = commit_lsn;
+            info.status = TxnStatus::Committed;
+        }
+        chaos::point("commit.after_wal_flush")?;
+        self.finish_commit(txn);
+        Ok(())
+    }
+
+    /// Second half of commit, idempotent: end record, table removal,
+    /// predicate and lock release, GC hand-off. Safe to call again for a
+    /// transaction that already finished (no-op).
+    fn finish_commit(&self, txn: TxnId) {
+        let gc = {
+            let mut table = self.table.lock();
+            let Some(info) = table.get(&txn) else { return };
+            let end_lsn = self.log.append(txn, info.last_lsn, RecordBody::TxnEnd);
             self.log.flush(end_lsn);
             table.remove(&txn).map(|i| i.gc_candidates).unwrap_or_default()
         };
@@ -263,14 +358,39 @@ impl TxnManager {
                 sink.committed(txn, gc);
             }
         }
-        Ok(())
     }
 
     /// Abort: logical undo through `handler`, then end and release.
+    ///
+    /// Absorbs three racy shapes instead of erroring: a transaction whose
+    /// commit record is already durable is *completed* (the caller lost
+    /// the acknowledgement, not the commit); one that is already rolling
+    /// back elsewhere (watchdog vs. owner race) returns `Ok` and lets
+    /// that rollback finish; and one the watchdog already tore down
+    /// returns `Ok`, consuming its tombstone.
     pub fn abort(&self, txn: TxnId, handler: &dyn RecoveryHandler) -> Result<(), TxnError> {
+        chaos::point("abort.before_undo")?;
         let last_lsn = {
             let mut table = self.table.lock();
-            let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+            let info = match table.get_mut(&txn) {
+                Some(info) => info,
+                None => {
+                    return if self.watchdog_tombstones.lock().remove(&txn) {
+                        Ok(())
+                    } else {
+                        Err(TxnError::NotActive(txn))
+                    };
+                }
+            };
+            match info.status {
+                TxnStatus::Committed => {
+                    drop(table);
+                    self.finish_commit(txn);
+                    return Ok(());
+                }
+                TxnStatus::Aborting => return Ok(()),
+                TxnStatus::Active => {}
+            }
             info.status = TxnStatus::Aborting;
             let abort_lsn = self.log.append(txn, info.last_lsn, RecordBody::TxnAbort);
             info.last_lsn = abort_lsn;
@@ -428,6 +548,153 @@ impl TxnManager {
     /// Number of transactions currently in the table.
     pub fn active_count(&self) -> usize {
         self.table.lock().len()
+    }
+
+    /// The error for a transaction that is no longer in the table:
+    /// [`TxnError::AbortedByWatchdog`] if the watchdog tore it down
+    /// (tombstone present, left for the owner's `abort` to consume),
+    /// plain [`TxnError::NotActive`] otherwise.
+    fn terminated_error(&self, txn: TxnId) -> TxnError {
+        if self.watchdog_tombstones.lock().contains(&txn) {
+            TxnError::AbortedByWatchdog(txn)
+        } else {
+            TxnError::NotActive(txn)
+        }
+    }
+
+    /// Enter an operation scope for `txn`. Refuses poisoned (must-abort)
+    /// and watchdog-doomed transactions. While the returned [`OpGuard`]
+    /// is live the watchdog will not select `txn` (it is not idle), and
+    /// if the operation panics the guard's unwind path marks `txn`
+    /// poisoned so further work is refused until `abort`.
+    pub fn op_enter(&self, txn: TxnId) -> Result<OpGuard<'_>, TxnError> {
+        let mut table = self.table.lock();
+        let info = match table.get_mut(&txn) {
+            Some(info) => info,
+            None => return Err(self.terminated_error(txn)),
+        };
+        if info.poisoned {
+            return Err(TxnError::MustAbort(txn));
+        }
+        if info.doomed {
+            return Err(TxnError::AbortedByWatchdog(txn));
+        }
+        if info.status != TxnStatus::Active {
+            return Err(TxnError::NotActive(txn));
+        }
+        info.ops_in_flight += 1;
+        info.last_activity = Instant::now();
+        Ok(OpGuard { mgr: self, txn, done: false })
+    }
+
+    /// Leave an operation scope: `poison` marks the transaction
+    /// must-abort (the unwind path).
+    fn op_exit(&self, txn: TxnId, poison: bool) {
+        let mut table = self.table.lock();
+        if let Some(info) = table.get_mut(&txn) {
+            info.ops_in_flight = info.ops_in_flight.saturating_sub(1);
+            info.last_activity = Instant::now();
+            if poison {
+                info.poisoned = true;
+            }
+        }
+    }
+
+    /// Whether `txn` is poisoned (must-abort).
+    pub fn is_poisoned(&self, txn: TxnId) -> bool {
+        self.table.lock().get(&txn).map(|i| i.poisoned).unwrap_or(false)
+    }
+
+    /// One watchdog pass: abort every Active transaction with no
+    /// operation in flight whose last activity is at least
+    /// `idle_deadline` ago. Victims are marked *doomed* under the table
+    /// lock — from that point their own operations are refused with
+    /// [`TxnError::AbortedByWatchdog`] — then rolled back outside it
+    /// through `handler`, releasing their locks, FIFO insert predicates
+    /// and attached scan predicates so blocked queues drain. Returns the
+    /// aborted ids.
+    pub fn watchdog_scan(
+        &self,
+        idle_deadline: Duration,
+        handler: &dyn RecoveryHandler,
+    ) -> Vec<TxnId> {
+        let now = Instant::now();
+        let victims: Vec<TxnId> = {
+            let mut table = self.table.lock();
+            table
+                .iter_mut()
+                .filter(|(_, i)| {
+                    i.status == TxnStatus::Active
+                        && !i.doomed
+                        && i.ops_in_flight == 0
+                        && now.duration_since(i.last_activity) >= idle_deadline
+                })
+                .map(|(t, i)| {
+                    i.doomed = true;
+                    *t
+                })
+                .collect()
+        };
+        let mut aborted = Vec::new();
+        for t in victims {
+            // Tombstone first so the owner sees AbortedByWatchdog (not a
+            // bare NotActive) the moment the table entry disappears.
+            self.watchdog_tombstones.lock().insert(t);
+            match self.abort(t, handler) {
+                Ok(()) => aborted.push(t),
+                Err(_) => {
+                    // Rollback failed; leave the tombstone so the owner
+                    // still learns why, but don't count the victim.
+                    // (The transaction stays doomed: nothing new starts.)
+                }
+            }
+        }
+        aborted
+    }
+}
+
+/// RAII operation scope from [`TxnManager::op_enter`]. Call
+/// [`OpGuard::complete`] on every normal exit (success *or* clean
+/// error); dropping the guard without completing it — i.e. a panic
+/// unwinding through the operation — poisons the transaction.
+pub struct OpGuard<'a> {
+    mgr: &'a TxnManager,
+    txn: TxnId,
+    done: bool,
+}
+
+impl OpGuard<'_> {
+    /// Normal exit: the operation either succeeded or failed cleanly
+    /// (its error path released everything it took).
+    pub fn complete(mut self) {
+        self.done = true;
+        self.mgr.op_exit(self.txn, false);
+    }
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.mgr.op_exit(self.txn, true);
+        }
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod chaos {
+    /// Crash point on the transaction paths; injections surface as
+    /// [`TxnError::Injected`](super::TxnError::Injected).
+    pub(crate) fn point(name: &'static str) -> Result<(), super::TxnError> {
+        gist_chaos::point(name).map_err(|e| super::TxnError::Injected(e.0))
+    }
+}
+
+#[cfg(not(feature = "chaos"))]
+mod chaos {
+    /// Crash points compile to nothing without the `chaos` feature.
+    #[inline(always)]
+    pub(crate) fn point(_name: &'static str) -> Result<(), super::TxnError> {
+        Ok(())
     }
 }
 

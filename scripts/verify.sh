@@ -21,8 +21,8 @@ cargo test --release --test maint
 echo "== tier 2: cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier 2: cargo clippy --workspace --all-targets --features latch-audit =="
-cargo clippy --workspace --all-targets --features latch-audit -- -D warnings
+echo "== tier 2: cargo clippy --workspace --all-targets --features chaos,latch-audit =="
+cargo clippy --workspace --all-targets --features chaos,latch-audit -- -D warnings
 
 echo "== tier 2: gist-lint (static discipline rules) =="
 cargo run -q --bin gist-lint
@@ -36,6 +36,10 @@ cargo test -q --features latch-audit --test stress shard_
 echo "== tier 2: storage fault-injection crash harness =="
 cargo test -q --release --test fault_recovery
 
+echo "== tier 2: operation-level chaos harness (two seeds, audited) =="
+CHAOS_SEED=1 cargo test -q --release --features chaos,latch-audit --test chaos_ops
+CHAOS_SEED=2 cargo test -q --release --features chaos,latch-audit --test chaos_ops
+
 echo ""
 echo "verification summary"
 echo "  step                                violations"
@@ -46,4 +50,5 @@ echo "  gist-lint static rules                       0"
 echo "  latch-audit dynamic analyzer                 0"
 echo "  shard stress under latch-audit               0"
 echo "  fault-injection crash harness                0"
+echo "  chaos harness (seeds 1+2, audited)           0"
 echo "verify.sh: all green"

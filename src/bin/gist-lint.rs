@@ -13,6 +13,7 @@
 //! | `forbid-unsafe` | every crate without `unsafe` carries `#![forbid(unsafe_code)]` |
 //! | `no-global-sync-map` | no new top-level `Mutex<HashMap<...>>` / `RwLock<HashMap<...>>` in the hot-path sync crates (pagestore, lockmgr, predlock) — shared tables there must go through the striped abstraction (`gist-striped`) so they stay partitioned and shard-order audited |
 //! | `no-ignored-io` | no `let _ = ...` / statement-level `....ok();` in the storage crates (pagestore, wal) — every I/O result must be propagated, retried, or poison the pool; a silently dropped error is exactly how a lost write becomes silent corruption |
+//! | `chaos-point-registry` | every `chaos::point("...")` call site names an entry of the chaos crate's `CATALOG`, the catalog is duplicate-free, and every cataloged point is threaded through at least one call site |
 //!
 //! Scanning is line/AST-lite on purpose: the build must stay offline, so
 //! no syn/proc-macro dependencies. A light sanitizer strips comments and
@@ -445,6 +446,138 @@ fn rule_record_coverage(files: &[SourceFile], out: &mut Vec<Violation>) {
     }
 }
 
+/// Character positions of `"` pairs in a sanitized line. Comment content
+/// is blanked by the sanitizer (including any quotes in it), so every
+/// pair found here delimits a real string literal; the content is read
+/// back from the raw line at the same character positions.
+fn quote_pairs(clean_line: &str) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut open: Option<usize> = None;
+    for (i, ch) in clean_line.chars().enumerate() {
+        if ch == '"' {
+            match open.take() {
+                Some(q1) => pairs.push((q1, i)),
+                None => open = Some(i),
+            }
+        }
+    }
+    pairs
+}
+
+/// Rule `chaos-point-registry`: the chaos crate's `CATALOG` is the single
+/// source of truth for crash-point names. Every `chaos::point("...")`
+/// call site must name a cataloged point (a dangling name is a point the
+/// per-point chaos harness would silently never arm), the catalog must be
+/// duplicate-free, and every cataloged name must be threaded through at
+/// least one call site (an unused entry is dead coverage the harness
+/// *thinks* it exercises).
+fn rule_chaos_point_registry(files: &[SourceFile], out: &mut Vec<Violation>) {
+    let Some(cat_file) = find_file(files, "chaos/src/lib.rs") else {
+        out.push(Violation {
+            rule: "chaos-point-registry",
+            file: "crates/chaos/src/lib.rs".into(),
+            line: 1,
+            msg: "chaos crate not found — the crash-point catalog is unverifiable".into(),
+        });
+        return;
+    };
+    // Walk the catalog line by line. The sanitized text is the guide:
+    // comments are blanked there (so a quote in a doc comment cannot
+    // start a phantom literal), while real literals keep their quotes —
+    // the *content* between them is then read from the raw line at the
+    // same character positions.
+    let mut catalog: Vec<(String, usize)> = Vec::new();
+    let mut in_catalog = false;
+    for (n, clean, raw, _test) in cat_file.lines() {
+        if !in_catalog {
+            if clean.contains("const CATALOG") {
+                in_catalog = true;
+            } else {
+                continue;
+            }
+        }
+        for (q1, q2) in quote_pairs(clean) {
+            let name: String = raw.chars().skip(q1 + 1).take(q2 - q1 - 1).collect();
+            catalog.push((name, n));
+        }
+        if clean.contains(']') && clean.contains(';') {
+            break;
+        }
+    }
+    if catalog.is_empty() {
+        out.push(Violation {
+            rule: "chaos-point-registry",
+            file: cat_file.path.clone(),
+            line: 1,
+            msg: "could not parse any names out of `CATALOG`".into(),
+        });
+        return;
+    }
+    let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for (name, line) in &catalog {
+        if !seen.insert(name.as_str()) {
+            out.push(Violation {
+                rule: "chaos-point-registry",
+                file: cat_file.path.clone(),
+                line: *line,
+                msg: format!("duplicate catalog entry {name:?}"),
+            });
+        }
+    }
+    // Call sites: `chaos::point("...")` in non-test code anywhere in the
+    // workspace. Forwarding shims (`gist_chaos::point(name)`) carry no
+    // string literal on the line and are skipped.
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for f in files {
+        if f.path == cat_file.path {
+            continue; // the registry itself (arm/fire plumbing, unit tests)
+        }
+        for (n, clean, raw, test) in f.lines() {
+            if test || !clean.contains("chaos::point(") {
+                continue;
+            }
+            let pairs = quote_pairs(clean);
+            let mut search = 0;
+            while let Some(rel) = clean[search..].find("chaos::point(") {
+                let call_char = clean[..search + rel].chars().count();
+                search += rel + "chaos::point(".len();
+                // The literal belonging to this call is the first quote
+                // pair at/after the call site (a shim forwarding a
+                // variable has none on the line).
+                let Some(&(q1, q2)) = pairs.iter().find(|(q1, _)| *q1 >= call_char) else {
+                    continue;
+                };
+                let name: String = raw.chars().skip(q1 + 1).take(q2 - q1 - 1).collect();
+                used.insert(name.clone());
+                if !seen.contains(name.as_str()) {
+                    out.push(Violation {
+                        rule: "chaos-point-registry",
+                        file: f.path.clone(),
+                        line: n,
+                        msg: format!(
+                            "chaos point {name:?} is not in the chaos crate's CATALOG — \
+                             the per-point harness would never arm it"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for (name, line) in &catalog {
+        if !used.contains(name) {
+            out.push(Violation {
+                rule: "chaos-point-registry",
+                file: cat_file.path.clone(),
+                line: *line,
+                msg: format!(
+                    "catalog entry {name:?} has no `chaos::point({name:?})` call site — \
+                     dead coverage"
+                ),
+            });
+        }
+    }
+}
+
 /// Rule `forbid-unsafe`: group files by crate root; a crate whose sources
 /// contain no `unsafe` must carry `#![forbid(unsafe_code)]` in its root.
 fn rule_forbid_unsafe(files: &[SourceFile], out: &mut Vec<Violation>) {
@@ -485,6 +618,7 @@ fn scan(files: &[SourceFile]) -> Vec<Violation> {
     }
     rule_record_coverage(files, &mut out);
     rule_forbid_unsafe(files, &mut out);
+    rule_chaos_point_registry(files, &mut out);
     out
 }
 
@@ -549,6 +683,7 @@ fn main() {
         "forbid-unsafe",
         "no-global-sync-map",
         "no-ignored-io",
+        "chaos-point-registry",
     ] {
         let n = violations.iter().filter(|v| v.rule == rule).count();
         println!("  {rule:<22} {n}");
@@ -771,6 +906,74 @@ mod tests {
         );
         let mut v = Vec::new();
         rule_no_ignored_io(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    fn chaos_lib(names: &[&str]) -> SourceFile {
+        let body: String =
+            names.iter().map(|n| format!("    \"{n}\",\n")).collect();
+        file(
+            "crates/chaos/src/lib.rs",
+            &format!("pub const CATALOG: &[&str] = &[\n{body}];\n"),
+        )
+    }
+
+    #[test]
+    fn chaos_dangling_point_is_flagged() {
+        let files = vec![
+            chaos_lib(&["a.one", "b.two"]),
+            file(
+                "crates/core/src/ops/insert.rs",
+                "fn f() { crate::chaos::point(\"a.one\")?; crate::chaos::point(\"c.ghost\")?; }\nfn g() { crate::chaos::point(\"b.two\")?; }\n",
+            ),
+        ];
+        let mut v = Vec::new();
+        rule_chaos_point_registry(&files, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "chaos-point-registry");
+        assert!(v[0].msg.contains("c.ghost"), "{v:?}");
+    }
+
+    #[test]
+    fn chaos_duplicate_catalog_entry_is_flagged() {
+        let files = vec![
+            chaos_lib(&["a.one", "a.one"]),
+            file("crates/core/src/x.rs", "fn f() { crate::chaos::point(\"a.one\")?; }\n"),
+        ];
+        let mut v = Vec::new();
+        rule_chaos_point_registry(&files, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("duplicate"), "{v:?}");
+        assert_eq!(v[0].line, 3, "second occurrence's line");
+    }
+
+    #[test]
+    fn chaos_unused_catalog_entry_is_flagged() {
+        let files = vec![
+            chaos_lib(&["a.one", "b.unthreaded"]),
+            file("crates/core/src/x.rs", "fn f() { crate::chaos::point(\"a.one\")?; }\n"),
+        ];
+        let mut v = Vec::new();
+        rule_chaos_point_registry(&files, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("b.unthreaded"), "{v:?}");
+        assert!(v[0].msg.contains("no `chaos::point"), "{v:?}");
+    }
+
+    #[test]
+    fn chaos_shim_and_test_sites_are_ignored() {
+        let files = vec![
+            chaos_lib(&["a.one"]),
+            // The forwarding shim has no literal on the line; a test
+            // module may fire unregistered names freely.
+            file(
+                "crates/core/src/chaos.rs",
+                "pub fn point(name: &'static str) { gist_chaos::point(name) }\n#[cfg(test)]\nmod tests { fn t() { crate::chaos::point(\"not.in.catalog\"); } }\n",
+            ),
+            file("crates/core/src/x.rs", "fn f() { crate::chaos::point(\"a.one\")?; }\n"),
+        ];
+        let mut v = Vec::new();
+        rule_chaos_point_registry(&files, &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -277,6 +277,21 @@ impl Shell {
                     println!("  {line}");
                 }
             }
+            "robustness" => {
+                let s = self.db.robustness_stats();
+                println!("  txn retries (run_txn):   {}", s.txn_retries);
+                println!("  backoff slept (micros):  {}", s.backoff_micros);
+                println!("  panics contained:        {}", s.panics_contained);
+                println!("  watchdog aborts:         {}", s.watchdog_aborts);
+                println!("  lock immediate grants:   {}", s.lock_immediate_grants);
+                println!("  lock waits:              {}", s.lock_waits);
+                println!("  lock deadlocks:          {}", s.lock_deadlocks);
+                println!("  lock timeouts:           {}", s.lock_timeouts);
+                match s.pool_poison_reason {
+                    Some(reason) => println!("  pool POISONED:           {reason}"),
+                    None => println!("  pool poisoned:           no"),
+                }
+            }
             "crash" => {
                 self.txn = None;
                 self.db.log().persist_file(&self.wal_path)?;
@@ -299,7 +314,7 @@ create <i> | create-unique <i> | drop <i>
 begin | commit | abort | savepoint | rollback-sp
 insert <i> <key> <payload> | delete <i> <key>
 get <i> <key> | range <i> <lo> <hi>
-stats <i> | check <i> | vacuum <i> | catalog
+stats <i> | check <i> | vacuum <i> | catalog | robustness
 crash | flush | exit";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

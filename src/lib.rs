@@ -31,6 +31,8 @@
 pub use gist_am as am;
 #[cfg(feature = "latch-audit")]
 pub use gist_audit as audit;
+#[cfg(feature = "chaos")]
+pub use gist_chaos as chaos;
 pub use gist_core as core;
 pub use gist_lockmgr as lockmgr;
 pub use gist_maint as maint;
