@@ -21,14 +21,11 @@
 //!   cargo run --release -p gist-bench --features chaos --bin bench_chaos [out.json]
 //!   cargo run --release -p gist-bench --bin bench_chaos [out.json]   # baseline
 
-use std::time::Duration;
-
 use gist_am::I64Query;
+use gist_bench::harness::{JsonObj, JsonReport, WINDOW};
 use gist_bench::{btree_db, render_table, run_for, wl_rid, Row};
 use gist_core::DbConfig;
 
-/// Measurement window per throughput cell.
-const WINDOW: Duration = Duration::from_millis(700);
 const THREADS: [usize; 2] = [1, 4];
 /// Disarmed-gate microbench iterations.
 #[cfg(feature = "chaos")]
@@ -69,11 +66,18 @@ fn gate_ns_per_call() -> f64 {
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_chaos.json".to_string());
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mode = if cfg!(feature = "chaos") { "disarmed" } else { "baseline" };
+    let mut report = JsonReport::new("chaos_gate_overhead");
+    report.head("mode", format!("\"{mode}\""));
+    report.head(
+        "config",
+        JsonObj::new()
+            .int("window_ms", WINDOW.as_millis() as i128)
+            .int("search_every", 8)
+            .render(),
+    );
 
     let mut rows = Vec::new();
-    let mut json_results = String::new();
     let mut per_op_ns = f64::INFINITY;
     for &t in &THREADS {
         let ops = run_workload(t);
@@ -81,17 +85,18 @@ fn main() {
         // worker (the denominator the gate cost is compared against).
         let op_ns = 1e9 / (ops / t as f64);
         per_op_ns = per_op_ns.min(op_ns);
-        if !json_results.is_empty() {
-            json_results.push_str(",\n");
-        }
-        json_results.push_str(&format!(
-            "    {{\"mode\": \"{mode}\", \"threads\": {t}, \"ops_per_sec\": {ops:.1}, \"ns_per_op\": {op_ns:.1}}}"
-        ));
+        report.push(
+            JsonObj::new()
+                .str("mode", mode)
+                .int("threads", t as i128)
+                .num("ops_per_sec", ops, 1)
+                .num("ns_per_op", op_ns, 1),
+        );
         rows.push(Row::new(format!("{mode} / {t}T")).col("ops/s", ops).col("ns/op", op_ns));
     }
 
     #[cfg(feature = "chaos")]
-    let (gate_ns, overhead_pct) = {
+    let overhead_pct = {
         let gate_ns = gate_ns_per_call();
         // Worst case: the fastest measured operation paying the full
         // per-op gate budget.
@@ -102,25 +107,23 @@ fn main() {
                 .col("calls/op", POINTS_PER_OP)
                 .col("overhead %", pct),
         );
-        (gate_ns, pct)
+        report.tail("gate_ns_per_call", format!("{gate_ns:.4}"));
+        report.tail("points_per_op", format!("{POINTS_PER_OP}"));
+        report.tail("disarmed_overhead_pct", format!("{pct:.4}"));
+        report.tail(
+            "acceptance",
+            "\"disarmed chaos gates must cost < 1% of hot-loop operation time\"",
+        );
+        pct
     };
+    #[cfg(not(feature = "chaos"))]
+    report.tail(
+        "note",
+        "\"baseline build: chaos points compiled out; rerun with --features chaos for the gated numbers\"",
+    );
 
     println!("{}", render_table("Chaos gate overhead (disarmed)", &rows));
-
-    #[cfg(feature = "chaos")]
-    let extra = format!(
-        ",\n  \"gate_ns_per_call\": {gate_ns:.4},\n  \"points_per_op\": {POINTS_PER_OP},\n  \"disarmed_overhead_pct\": {overhead_pct:.4},\n  \"acceptance\": \"disarmed chaos gates must cost < 1% of hot-loop operation time\""
-    );
-    #[cfg(not(feature = "chaos"))]
-    let extra = String::from(
-        ",\n  \"note\": \"baseline build: chaos points compiled out; rerun with --features chaos for the gated numbers\"",
-    );
-    let json = format!(
-        "{{\n  \"bench\": \"chaos_gate_overhead\",\n  \"mode\": \"{mode}\",\n  \"cores\": {cores},\n  \"config\": {{\"window_ms\": {}, \"search_every\": 8}},\n  \"results\": [\n{json_results}\n  ]{extra}\n}}\n",
-        WINDOW.as_millis(),
-    );
-    std::fs::write(&out_path, json).expect("write json");
-    println!("wrote {out_path}");
+    report.write(&out_path);
 
     #[cfg(feature = "chaos")]
     assert!(

@@ -1,0 +1,178 @@
+//! Group-commit pipeline throughput: committed transactions per second
+//! under each durability mode, against a per-commit-sync baseline.
+//!
+//! The WAL device is given a simulated per-sync latency (`fsync_to`
+//! sleeps once per issued sync, serialized — the model of a commodity
+//! disk's write barrier). Four configurations run a commit-heavy
+//! workload (one insert per transaction) at 1, 2, 4 and 8 threads:
+//!
+//! * **sync** — `group_commit: false`, `Durability::Immediate`: the
+//!   pre-pipeline behaviour, every commit issues its own device sync.
+//!   This is the in-PR baseline.
+//! * **immediate** — pipeline on, `Durability::Immediate`: committers
+//!   park, the flusher syncs whatever has accumulated (natural batching
+//!   under concurrency, no added latency).
+//! * **batched** — `Durability::Batched { window }`: the flusher may
+//!   linger up to the window so more committers join each sync.
+//! * **async** — `Durability::Async`: commit returns at fill; the
+//!   flusher's idle sweep bounds the loss window.
+//!
+//! Acceptance: **batched at 8 threads ≥ 5× sync at 8 threads**.
+//! Results are written to `BENCH_commit.json` and printed as a table.
+//!
+//! Usage: `cargo run --release -p gist-bench --bin bench_commit [out.json]`
+//!
+//! With `BENCH_COMMIT_SMOKE=1` (the `verify.sh` tier-2 gate) only the
+//! baseline and the batched mode run, at 1 and 8 threads with a shorter
+//! window — the acceptance assertion is unchanged.
+
+use std::time::Duration;
+
+use gist_bench::harness::{
+    latency_store, preloaded_db, ramp, JsonObj, JsonReport, KEY_STRIDE, PRELOAD, RAMP_THREADS,
+    WINDOW,
+};
+use gist_bench::{render_table, run_for, wl_rid, Row, XorShift};
+use gist_core::{DbConfig, Durability, RobustnessStats, TxnOptions};
+
+/// Simulated device latency per issued WAL sync — a commodity-disk
+/// barrier, deliberately large enough to dominate scheduler noise (the
+/// simulated device sleeps, so on few-core hosts other workers still
+/// overlap CPU work with it, exactly like real I/O).
+const SYNC_LATENCY: Duration = Duration::from_millis(1);
+/// Extra linger the batched mode allows per sync.
+const BATCH_WINDOW: Duration = Duration::from_micros(200);
+/// Pool big enough that the growing tree never evicts inside the window
+/// (an eviction writeback would charge a WAL barrier to a worker).
+const POOL_CAPACITY: usize = 65_536;
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Sync,
+    Immediate,
+    Batched,
+    Async,
+}
+
+impl Mode {
+    const ALL: [Mode; 4] = [Mode::Sync, Mode::Immediate, Mode::Batched, Mode::Async];
+
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Sync => "sync",
+            Mode::Immediate => "immediate",
+            Mode::Batched => "batched",
+            Mode::Async => "async",
+        }
+    }
+
+    fn group_commit(self) -> bool {
+        !matches!(self, Mode::Sync)
+    }
+
+    fn durability(self) -> Durability {
+        match self {
+            Mode::Sync | Mode::Immediate => Durability::Immediate,
+            Mode::Batched => Durability::Batched { window: BATCH_WINDOW },
+            Mode::Async => Durability::Async,
+        }
+    }
+}
+
+/// One cell: fresh database, commit-heavy workload, committed-txn/s plus
+/// the pipeline's own counters.
+fn run_cell(mode: Mode, threads: usize, window: Duration) -> (f64, RobustnessStats) {
+    // Preload with a free device (setup is not the measurement), then
+    // dial in the simulated sync cost for the measured window.
+    let config = DbConfig {
+        pool_capacity: POOL_CAPACITY,
+        lock_timeout: Duration::from_secs(30),
+        group_commit: mode.group_commit(),
+        ..DbConfig::default()
+    };
+    let (db, idx) = preloaded_db(latency_store(Duration::ZERO), config, PRELOAD, KEY_STRIDE);
+    db.log().set_sync_latency(SYNC_LATENCY);
+    let durability = mode.durability();
+    let worker_db = db.clone();
+    let tp = run_for(threads, window, move |t, i| {
+        // Random keys inside the preloaded range: the leaf bounding
+        // predicates already cover them, so the steady state measures the
+        // commit protocol, not BP-update / split units of work.
+        let mut rng =
+            XorShift::new(0x9E37_79B9 ^ (t as u64) << 32 ^ i.wrapping_mul(0x2545_F491));
+        let k = rng.below((PRELOAD * KEY_STRIDE) as u64) as i64;
+        let txn = worker_db.begin_with(TxnOptions { durability });
+        idx.insert(txn, &k, wl_rid((1u64 << 40) | ((t as u64) << 32) | i)).expect("insert");
+        worker_db.commit(txn).expect("commit");
+    });
+    let stats = db.robustness_stats();
+    db.shutdown().expect("shutdown");
+    (tp.per_sec(), stats)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_commit.json".to_string());
+    let smoke = std::env::var("BENCH_COMMIT_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let modes: &[Mode] = if smoke { &[Mode::Sync, Mode::Batched] } else { &Mode::ALL };
+    let threads: &[usize] = if smoke { &[1, 8] } else { &RAMP_THREADS };
+    let window = if smoke { Duration::from_millis(400) } else { WINDOW };
+
+    let mut report = JsonReport::new("commit_pipeline_throughput");
+    report.head(
+        "config",
+        JsonObj::new()
+            .int("wal_sync_latency_us", SYNC_LATENCY.as_micros() as i128)
+            .int("batch_window_us", BATCH_WINDOW.as_micros() as i128)
+            .int("window_ms", window.as_millis() as i128)
+            .bool("smoke", smoke)
+            .render(),
+    );
+    report.head("baseline", "\"sync (group_commit off: one device sync per commit)\"");
+
+    let mut rows = Vec::new();
+    let mut sync_8t = 0.0;
+    let mut batched_8t = 0.0;
+    for &mode in modes {
+        let mut row = Row::new(format!("{} commits/s", mode.label()));
+        let per_thread = ramp(threads, |t| {
+            let (ops, stats) = run_cell(mode, t, window);
+            report.push(
+                JsonObj::new()
+                    .str("mode", mode.label())
+                    .int("threads", t as i128)
+                    .num("commits_per_sec", ops, 1)
+                    .int("wal_batches_flushed", stats.wal_batches_flushed as i128)
+                    .num("wal_mean_batch_size", stats.wal_mean_batch_size, 2)
+                    .int("commit_wait_p50_us", stats.commit_wait_p50_us as i128)
+                    .int("commit_wait_p99_us", stats.commit_wait_p99_us as i128),
+            );
+            row.cols.push((format!("{t}T"), ops));
+            ops
+        });
+        rows.push(row);
+        // The acceptance comparison reads the highest thread count (8).
+        if let Mode::Sync = mode {
+            sync_8t = per_thread.last().unwrap().1;
+        }
+        if let Mode::Batched = mode {
+            batched_8t = per_thread.last().unwrap().1;
+        }
+    }
+
+    println!("{}", render_table("Commit pipeline throughput (committed txn/s)", &rows));
+    let speedup = batched_8t / sync_8t;
+    println!("batched/sync at 8T: {speedup:.2}x");
+
+    report.tail("batched_over_sync_8t", format!("{speedup:.3}"));
+    report.tail(
+        "acceptance",
+        "\"batched group commit at 8 threads must deliver >= 5x the per-commit-sync baseline\"",
+    );
+    report.write(&out_path);
+
+    assert!(
+        speedup >= 5.0,
+        "acceptance: batched group commit at 8 threads must deliver >= 5x \
+         the per-commit-sync baseline (got {speedup:.2}x)"
+    );
+}

@@ -22,21 +22,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gist_am::{BtreeExt, I64Query};
-use gist_bench::{render_table, run_for, wl_rid, Row, XorShift};
-use gist_core::{Db, DbConfig, GistIndex, IndexOptions};
-use gist_pagestore::{FaultStore, InMemoryStore, PageStore, SimulatedLatencyStore};
-use gist_wal::LogManager;
+use gist_bench::harness::{
+    latency_store, preloaded_db, JsonObj, JsonReport, KEY_STRIDE, POOL_CAPACITY, PRELOAD,
+    READ_LATENCY, WINDOW,
+};
+use gist_bench::{render_table, run_for, Row, XorShift};
+use gist_core::{Db, DbConfig, GistIndex};
+use gist_pagestore::{FaultStore, InMemoryStore, PageStore};
 
-/// Preloaded keys (spaced so range searches hit a few).
-const PRELOAD: i64 = 20_000;
-const KEY_STRIDE: i64 = 10;
-/// Pool frames — far below the ~70-leaf working set, so traversals miss
-/// and the on-load verification actually runs.
-const POOL_CAPACITY: usize = 8;
-/// Simulated device latency for the realistic cells.
-const READ_LATENCY: Duration = Duration::from_micros(120);
-/// Measurement window per cell.
-const WINDOW: Duration = Duration::from_millis(700);
 const THREADS: [usize; 2] = [1, 4];
 
 #[derive(Clone, Copy, PartialEq)]
@@ -57,12 +50,8 @@ impl StoreKind {
 
     fn build(self) -> Arc<dyn PageStore> {
         match self {
-            StoreKind::Raw => Arc::new(InMemoryStore::new()),
-            StoreKind::Latency => Arc::new(SimulatedLatencyStore::new(
-                Box::new(InMemoryStore::new()),
-                READ_LATENCY,
-                Duration::ZERO,
-            )),
+            StoreKind::Raw => latency_store(Duration::ZERO),
+            StoreKind::Latency => latency_store(READ_LATENCY),
             // Never armed: measures the pure interposition cost.
             StoreKind::DisarmedFaults => FaultStore::new(Arc::new(InMemoryStore::new())),
         }
@@ -75,14 +64,7 @@ fn fresh_db(kind: StoreKind, verify: bool) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>
         lock_timeout: Duration::from_secs(30),
         ..DbConfig::default()
     };
-    let db = Db::open(kind.build(), Arc::new(LogManager::new()), config).expect("open db");
-    let idx = GistIndex::create(db.clone(), "bench", BtreeExt, IndexOptions::default())
-        .expect("create index");
-    let txn = db.begin();
-    for k in 0..PRELOAD {
-        idx.insert(txn, &(k * KEY_STRIDE), wl_rid(k as u64)).expect("preload");
-    }
-    db.commit(txn).expect("preload commit");
+    let (db, idx) = preloaded_db(kind.build(), config, PRELOAD, KEY_STRIDE);
     // Every store image carries a stamped checksum before measurement.
     db.pool().flush_all().expect("flush");
     db.pool().sync_store().expect("sync");
@@ -109,20 +91,25 @@ fn run_cell(kind: StoreKind, verify: bool, threads: usize) -> f64 {
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fault.json".to_string());
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-
-    let mut rows = Vec::new();
-    let mut json_results = String::new();
-    let mut emit = |kind: StoreKind, verify: bool, t: usize, ops: f64| {
-        if !json_results.is_empty() {
-            json_results.push_str(",\n");
-        }
-        json_results.push_str(&format!(
-            "    {{\"store\": \"{}\", \"verify_checksums\": {verify}, \"threads\": {t}, \"ops_per_sec\": {ops:.1}}}",
-            kind.label()
-        ));
+    let mut report = JsonReport::new("fault_layer_overhead");
+    report.head(
+        "config",
+        JsonObj::new()
+            .int("preload_keys", PRELOAD as i128)
+            .int("pool_capacity", POOL_CAPACITY as i128)
+            .int("read_latency_us", READ_LATENCY.as_micros() as i128)
+            .int("window_ms", WINDOW.as_millis() as i128)
+            .render(),
+    );
+    let result = |kind: StoreKind, verify: bool, t: usize, ops: f64| {
+        JsonObj::new()
+            .str("store", kind.label())
+            .bool("verify_checksums", verify)
+            .int("threads", t as i128)
+            .num("ops_per_sec", ops, 1)
     };
 
+    let mut rows = Vec::new();
     // verify-off baselines, then verify-on, per store kind and thread count.
     let mut overhead_latency = Vec::new();
     let mut overhead_raw = Vec::new();
@@ -130,8 +117,8 @@ fn main() {
         for &t in &THREADS {
             let off = run_cell(kind, false, t);
             let on = run_cell(kind, true, t);
-            emit(kind, false, t, off);
-            emit(kind, true, t, on);
+            report.push(result(kind, false, t, off));
+            report.push(result(kind, true, t, on));
             let pct = (off - on) / off * 100.0;
             rows.push(
                 Row::new(format!("{} / {t}T", kind.label()))
@@ -152,7 +139,7 @@ fn main() {
     for &t in &THREADS {
         let raw = run_cell(StoreKind::Raw, true, t);
         let shim = run_cell(StoreKind::DisarmedFaults, true, t);
-        emit(StoreKind::DisarmedFaults, true, t, shim);
+        report.push(result(StoreKind::DisarmedFaults, true, t, shim));
         let pct = (raw - shim) / raw * 100.0;
         rows.push(
             Row::new(format!("fault shim / {t}T"))
@@ -167,13 +154,20 @@ fn main() {
 
     let max_latency_overhead =
         overhead_latency.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let json = format!(
-        "{{\n  \"bench\": \"fault_layer_overhead\",\n  \"cores\": {cores},\n  \"config\": {{\"preload_keys\": {PRELOAD}, \"pool_capacity\": {POOL_CAPACITY}, \"read_latency_us\": {}, \"window_ms\": {}}},\n  \"results\": [\n{json_results}\n  ],\n  \"checksum_overhead_pct\": {{\"raw\": {overhead_raw:?}, \"latency\": {overhead_latency:?}}},\n  \"disarmed_shim_overhead_pct\": {shim_pcts:?},\n  \"acceptance\": \"checksum overhead on the latency store must stay under 5%\",\n  \"max_latency_overhead_pct\": {max_latency_overhead:.3}\n}}\n",
-        READ_LATENCY.as_micros(),
-        WINDOW.as_millis(),
+    report.tail(
+        "checksum_overhead_pct",
+        JsonObj::new()
+            .raw("raw", &format!("{overhead_raw:?}"))
+            .raw("latency", &format!("{overhead_latency:?}"))
+            .render(),
     );
-    std::fs::write(&out_path, json).expect("write json");
-    println!("wrote {out_path}");
+    report.tail("disarmed_shim_overhead_pct", format!("{shim_pcts:?}"));
+    report.tail(
+        "acceptance",
+        "\"checksum overhead on the latency store must stay under 5%\"",
+    );
+    report.tail("max_latency_overhead_pct", format!("{max_latency_overhead:.3}"));
+    report.write(&out_path);
 
     assert!(
         max_latency_overhead < 5.0,

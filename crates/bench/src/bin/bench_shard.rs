@@ -16,46 +16,22 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gist_am::{BtreeExt, I64Query};
-use gist_bench::{run_for, render_table, wl_rid, Row, XorShift};
-use gist_core::{Db, DbConfig, GistIndex, IndexOptions};
-use gist_pagestore::{InMemoryStore, PageStore, SimulatedLatencyStore};
-use gist_wal::LogManager;
+use gist_bench::harness::{
+    latency_db, ramp, JsonObj, JsonReport, KEY_STRIDE, POOL_CAPACITY, PRELOAD, RAMP_THREADS,
+    READ_LATENCY, WINDOW,
+};
+use gist_bench::{render_table, run_for, wl_rid, Row, XorShift};
+use gist_core::{Db, DbConfig, GistIndex};
 
-/// Preloaded keys (spaced by `KEY_STRIDE` so range searches hit a few).
-const PRELOAD: i64 = 20_000;
-const KEY_STRIDE: i64 = 10;
-/// Pool frames — far below the ~70-leaf working set, so traversals miss.
-const POOL_CAPACITY: usize = 8;
-/// Simulated read latency per page miss.
-const READ_LATENCY: Duration = Duration::from_micros(120);
-/// Measurement window per cell.
-const WINDOW: Duration = Duration::from_millis(700);
-
-const THREADS: [usize; 4] = [1, 2, 4, 8];
 const WORKLOADS: [&str; 3] = ["search", "insert", "mixed"];
 
 fn fresh_db(shards: usize) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
-    let store: Arc<dyn PageStore> = Arc::new(SimulatedLatencyStore::new(
-        Box::new(InMemoryStore::new()),
-        READ_LATENCY,
-        Duration::ZERO,
-    ));
-    let log = Arc::new(LogManager::new());
-    let config = DbConfig {
+    latency_db(DbConfig {
         pool_capacity: POOL_CAPACITY,
         sync_shards: shards,
         lock_timeout: Duration::from_secs(30),
         ..DbConfig::default()
-    };
-    let db = Db::open(store, log, config).expect("open db");
-    let idx = GistIndex::create(db.clone(), "bench", BtreeExt, IndexOptions::default())
-        .expect("create index");
-    let txn = db.begin();
-    for k in 0..PRELOAD {
-        idx.insert(txn, &(k * KEY_STRIDE), wl_rid(k as u64)).expect("preload");
-    }
-    db.commit(txn).expect("preload commit");
-    (db, idx)
+    })
 }
 
 /// One workload operation: begin / op / commit, aborting on error (a
@@ -99,34 +75,38 @@ fn run_cell(shards: usize, workload: &'static str, threads: usize) -> f64 {
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_shard.json".to_string());
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut report = JsonReport::new("shard_throughput");
+    report.head(
+        "config",
+        JsonObj::new()
+            .int("preload_keys", PRELOAD as i128)
+            .int("pool_capacity", POOL_CAPACITY as i128)
+            .int("read_latency_us", READ_LATENCY.as_micros() as i128)
+            .int("window_ms", WINDOW.as_millis() as i128)
+            .render(),
+    );
+    report.head("baseline", "\"shards=1 (pre-refactor global-mutex structure)\"");
 
     let mut rows = Vec::new();
-    let mut json_results = String::new();
-    let mut cell = |shards: usize, workload: &'static str| -> Vec<f64> {
-        let mut per_thread = Vec::new();
-        let mut row = Row::new(format!("{workload} / {shards} shard(s)"));
-        for &t in &THREADS {
-            let ops = run_cell(shards, workload, t);
-            if !json_results.is_empty() {
-                json_results.push_str(",\n");
-            }
-            json_results.push_str(&format!(
-                "    {{\"shards\": {shards}, \"workload\": \"{workload}\", \"threads\": {t}, \"ops_per_sec\": {ops:.1}}}"
-            ));
-            row = row.col(&format!("{t}T ops/s"), ops);
-            per_thread.push(ops);
-        }
-        rows.push(row);
-        per_thread
-    };
-
     let mut mixed_scaling = (0.0, 0.0); // (single-shard, sharded)
     for &shards in &[1usize, 16] {
         for workload in WORKLOADS {
-            let per_thread = cell(shards, workload);
+            let mut row = Row::new(format!("{workload} / {shards} shard(s)"));
+            let per_thread = ramp(&RAMP_THREADS, |t| {
+                let ops = run_cell(shards, workload, t);
+                report.push(
+                    JsonObj::new()
+                        .int("shards", shards as i128)
+                        .str("workload", workload)
+                        .int("threads", t as i128)
+                        .num("ops_per_sec", ops, 1),
+                );
+                row.cols.push((format!("{t}T ops/s"), ops));
+                ops
+            });
+            rows.push(row);
             if workload == "mixed" {
-                let scale = per_thread[3] / per_thread[0];
+                let scale = per_thread[3].1 / per_thread[0].1;
                 if shards == 1 {
                     mixed_scaling.0 = scale;
                 } else {
@@ -142,15 +122,14 @@ fn main() {
         mixed_scaling.0, mixed_scaling.1
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"shard_throughput\",\n  \"cores\": {cores},\n  \"config\": {{\"preload_keys\": {PRELOAD}, \"pool_capacity\": {POOL_CAPACITY}, \"read_latency_us\": {}, \"window_ms\": {}}},\n  \"baseline\": \"shards=1 (pre-refactor global-mutex structure)\",\n  \"results\": [\n{json_results}\n  ],\n  \"mixed_scaling_8t_over_1t\": {{\"shards_1\": {:.3}, \"shards_16\": {:.3}}}\n}}\n",
-        READ_LATENCY.as_micros(),
-        WINDOW.as_millis(),
-        mixed_scaling.0,
-        mixed_scaling.1,
+    report.tail(
+        "mixed_scaling_8t_over_1t",
+        JsonObj::new()
+            .num("shards_1", mixed_scaling.0, 3)
+            .num("shards_16", mixed_scaling.1, 3)
+            .render(),
     );
-    std::fs::write(&out_path, json).expect("write json");
-    println!("wrote {out_path}");
+    report.write(&out_path);
 
     assert!(
         mixed_scaling.1 >= 2.0,

@@ -1,0 +1,233 @@
+//! Shared scaffolding for the `bench_*` acceptance binaries.
+//!
+//! Every bench binary needs the same three pieces: a preloaded database
+//! over an (optionally latency-injected) store, a thread ramp that runs
+//! one cell per thread count, and a hand-rolled JSON report written next
+//! to the repo root. They used to be copy-pasted per binary; this module
+//! is the single copy.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gist_am::BtreeExt;
+use gist_core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_pagestore::{InMemoryStore, PageStore, SimulatedLatencyStore};
+use gist_wal::LogManager;
+
+use crate::workload::wl_rid;
+
+/// Keys preloaded by [`preloaded_db`] callers that use the defaults
+/// (spaced by [`KEY_STRIDE`] so range searches hit a few).
+pub const PRELOAD: i64 = 20_000;
+/// Spacing between preloaded keys.
+pub const KEY_STRIDE: i64 = 10;
+/// Pool frames — far below the ~70-leaf preloaded working set, so
+/// traversals miss and simulated I/O actually happens.
+pub const POOL_CAPACITY: usize = 8;
+/// Simulated device read latency for the latency-injected cells.
+pub const READ_LATENCY: Duration = Duration::from_micros(120);
+/// Measurement window per cell.
+pub const WINDOW: Duration = Duration::from_millis(700);
+/// The standard thread ramp.
+pub const RAMP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// An in-memory store behind a simulated per-read device latency
+/// (`Duration::ZERO` returns the raw store).
+pub fn latency_store(read_latency: Duration) -> Arc<dyn PageStore> {
+    let inner = InMemoryStore::new();
+    if read_latency.is_zero() {
+        Arc::new(inner)
+    } else {
+        Arc::new(SimulatedLatencyStore::new(Box::new(inner), read_latency, Duration::ZERO))
+    }
+}
+
+/// Open a database + B-tree index over `store` and preload `preload`
+/// keys spaced by `stride` in one committed transaction.
+pub fn preloaded_db(
+    store: Arc<dyn PageStore>,
+    config: DbConfig,
+    preload: i64,
+    stride: i64,
+) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let db = Db::open(store, Arc::new(LogManager::new()), config).expect("open db");
+    let idx = GistIndex::create(db.clone(), "bench", BtreeExt, IndexOptions::default())
+        .expect("create index");
+    let txn = db.begin();
+    for k in 0..preload {
+        idx.insert(txn, &(k * stride), wl_rid(k as u64)).expect("preload");
+    }
+    db.commit(txn).expect("preload commit");
+    (db, idx)
+}
+
+/// The standard miss-heavy setup: latency-injected store, tiny pool,
+/// [`PRELOAD`] keys at [`KEY_STRIDE`]. The caller's `config` supplies
+/// everything else (shards, durability, ...); `pool_capacity` and
+/// `lock_timeout` should normally be [`POOL_CAPACITY`] and ~30 s.
+pub fn latency_db(config: DbConfig) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    preloaded_db(latency_store(READ_LATENCY), config, PRELOAD, KEY_STRIDE)
+}
+
+/// Run `cell` once per thread count and collect `(threads, cell result)`.
+pub fn ramp<T>(threads: &[usize], mut cell: impl FnMut(usize) -> T) -> Vec<(usize, T)> {
+    threads.iter().map(|&t| (t, cell(t))).collect()
+}
+
+/// One hand-rolled JSON object, built field by field (the repo vendors
+/// no serde; the report format is simple enough not to need it).
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj(String);
+
+impl JsonObj {
+    /// Empty object.
+    pub fn new() -> Self {
+        JsonObj(String::new())
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.0.is_empty() {
+            self.0.push_str(", ");
+        }
+        self.0.push('"');
+        self.0.push_str(name);
+        self.0.push_str("\": ");
+    }
+
+    /// Add a string field (caller guarantees no quotes/backslashes —
+    /// labels here are static identifiers).
+    pub fn str(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.0.push('"');
+        self.0.push_str(value);
+        self.0.push('"');
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, name: &str, value: i128) -> Self {
+        self.key(name);
+        self.0.push_str(&value.to_string());
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, name: &str, value: bool) -> Self {
+        self.key(name);
+        self.0.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Add a float field with `decimals` fractional digits.
+    pub fn num(mut self, name: &str, value: f64, decimals: usize) -> Self {
+        self.key(name);
+        self.0.push_str(&format!("{value:.decimals$}"));
+        self
+    }
+
+    /// Add a field whose value is already-rendered JSON.
+    pub fn raw(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.0.push_str(value);
+        self
+    }
+
+    /// Render as `{...}`.
+    pub fn render(&self) -> String {
+        format!("{{{}}}", self.0)
+    }
+}
+
+/// Accumulates a bench report — head fields, a `"results"` array, tail
+/// fields — and writes it as pretty-printed JSON.
+#[derive(Debug)]
+pub struct JsonReport {
+    head: Vec<(String, String)>,
+    results: Vec<String>,
+    tail: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// New report; records the bench name and the host core count.
+    pub fn new(bench: &str) -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        JsonReport {
+            head: vec![
+                ("bench".into(), format!("\"{bench}\"")),
+                ("cores".into(), cores.to_string()),
+            ],
+            results: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+
+    /// Add a top-level field before `"results"` (raw JSON value).
+    pub fn head(&mut self, name: &str, value: impl Into<String>) -> &mut Self {
+        self.head.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Add a top-level field after `"results"` (raw JSON value).
+    pub fn tail(&mut self, name: &str, value: impl Into<String>) -> &mut Self {
+        self.tail.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Append one result object.
+    pub fn push(&mut self, obj: JsonObj) -> &mut Self {
+        self.results.push(obj.render());
+        self
+    }
+
+    /// Render the whole report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (name, value) in &self.head {
+            out.push_str(&format!("  \"{name}\": {value},\n"));
+        }
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(r);
+            out.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+        for (name, value) in &self.tail {
+            out.push_str(&format!(",\n  \"{name}\": {value}"));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write the report to `path` and announce it on stdout.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.render()).expect("write json");
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_shape() {
+        let mut rep = JsonReport::new("demo");
+        rep.head("config", JsonObj::new().int("window_ms", 700).render());
+        rep.push(JsonObj::new().str("mode", "a").int("threads", 4).num("ops_per_sec", 123.456, 1));
+        rep.push(JsonObj::new().str("mode", "b").bool("ok", true));
+        rep.tail("speedup", "2.500");
+        let s = rep.render();
+        assert!(s.starts_with("{\n  \"bench\": \"demo\",\n  \"cores\": "));
+        assert!(s.contains("\"config\": {\"window_ms\": 700},"));
+        assert!(s.contains("    {\"mode\": \"a\", \"threads\": 4, \"ops_per_sec\": 123.5},\n"));
+        assert!(s.contains("    {\"mode\": \"b\", \"ok\": true}\n"));
+        assert!(s.ends_with("  ],\n  \"speedup\": 2.500\n}\n"));
+    }
+
+    #[test]
+    fn ramp_visits_each_thread_count_in_order() {
+        let out = ramp(&[1, 2, 4], |t| t * 10);
+        assert_eq!(out, vec![(1, 10), (2, 20), (4, 40)]);
+    }
+}

@@ -51,6 +51,13 @@ pub const CATALOG: &[&str] = &[
     "commit.after_wal_flush",
     "abort.before_undo",
     "maint.before_gc",
+    // Group-commit pipeline (crates/commitpipe). The first fires on the
+    // committer's thread between LSN reservation and record fill (Error
+    // heals the hole with a Noop filler; Panic leaves it for the durable
+    // horizon to fence). The other two bracket the flusher's fsync.
+    "commitpipe.append.post_reserve_pre_fill",
+    "commitpipe.flusher.post_fill_pre_fsync",
+    "commitpipe.flusher.post_fsync_pre_wakeup",
 ];
 
 /// What an armed crash point does to the thread that reaches it.

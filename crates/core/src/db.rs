@@ -22,7 +22,7 @@ use gist_pagestore::{
     BufferPool, HeapFile, PageAllocator, PageId, PageStore, PageWriteGuard, Rid, SlotId,
 };
 use gist_predlock::PredicateManager;
-use gist_txn::{GcSink, SavepointId, TxnManager};
+use gist_txn::{Durability, GcSink, SavepointId, TxnManager, TxnOptions};
 use gist_wal::recovery::{RecoveryError, RecoveryHandler};
 use gist_wal::{LogManager, LogRecord, Lsn, Payload, RecordBody, TxnId};
 
@@ -98,6 +98,18 @@ pub struct DbConfig {
     /// stays global regardless — §3's correctness argument needs one
     /// totally-ordered sequence-number source per tree.
     pub sync_shards: usize,
+    /// Default commit durability for transactions begun via [`Db::begin`]
+    /// ([`Db::begin_with`] overrides per transaction).
+    pub durability: Durability,
+    /// Start the group-commit flusher thread. When off, every durability
+    /// request is served inline by its caller — the pre-pipeline
+    /// one-fsync-per-commit behavior (the benchmarks' baseline).
+    pub group_commit: bool,
+    /// Simulated log-device sync latency, paid once per durability
+    /// advance under a device-wide mutex. Zero (the default) keeps
+    /// in-memory tests instant; benchmarks set it to make fsync sharing
+    /// observable.
+    pub wal_sync_latency: Duration,
 }
 
 impl Default for DbConfig {
@@ -111,6 +123,9 @@ impl Default for DbConfig {
             memorize_parent_lsn: true,
             maint: gist_maint::MaintConfig::default(),
             sync_shards: 0,
+            durability: Durability::Immediate,
+            group_commit: true,
+            wal_sync_latency: Duration::ZERO,
         }
     }
 }
@@ -240,6 +255,23 @@ pub struct RobustnessStats {
     pub pool_poisoned: bool,
     /// The poison reason, when poisoned.
     pub pool_poison_reason: Option<String>,
+    /// Group-commit batches the WAL flusher has fsynced.
+    pub wal_batches_flushed: u64,
+    /// Mean committers released per batch (0 when no batch ran).
+    pub wal_mean_batch_size: f64,
+    /// Median commit wait on the pipeline, in microseconds.
+    pub commit_wait_p50_us: u64,
+    /// 99th-percentile commit wait on the pipeline, in microseconds.
+    pub commit_wait_p99_us: u64,
+    /// Log append watermark (reserved LSN).
+    pub wal_append_lsn: u64,
+    /// Log durable watermark; `wal_append_lsn - wal_durable_lsn` is the
+    /// volatile tail a crash right now would lose.
+    pub wal_durable_lsn: u64,
+    /// Whether the background flusher thread is running.
+    pub wal_flusher_running: bool,
+    /// Flusher panics contained (batch retried by the next wakeup).
+    pub wal_flusher_panics: u64,
 }
 
 impl Db {
@@ -280,6 +312,17 @@ impl Db {
         ));
         let preds = Arc::new(PredicateManager::with_shards(config.sync_shards));
         let txns = Arc::new(TxnManager::new(log.clone(), locks.clone(), preds.clone()));
+        txns.set_default_durability(config.durability);
+        if !config.wal_sync_latency.is_zero() {
+            log.set_sync_latency(config.wal_sync_latency);
+        }
+        // Re-point the WAL-before-data barrier at the pipeline: page
+        // writeback then batches its log force with pending commits
+        // instead of issuing a private fsync (inline when not started).
+        pool.set_flusher(txns.pipeline().clone());
+        if config.group_commit {
+            txns.pipeline().start();
+        }
         let alloc = Arc::new(PageAllocator::new(1));
         let heap = HeapFile::new(pool.clone(), alloc.clone());
         let maint =
@@ -447,9 +490,15 @@ impl Db {
 
     // ---- transactions ----
 
-    /// Begin a transaction.
+    /// Begin a transaction with the configured default durability.
     pub fn begin(&self) -> TxnId {
         self.txns.begin()
+    }
+
+    /// Begin a transaction with explicit options (e.g. a per-transaction
+    /// [`Durability`] mode).
+    pub fn begin_with(&self, opts: TxnOptions) -> TxnId {
+        self.txns.begin_with(opts)
     }
 
     /// Commit a transaction (forces the log, releases predicates and
@@ -560,6 +609,7 @@ impl Db {
     /// contention, and buffer-pool poison state.
     pub fn robustness_stats(&self) -> RobustnessStats {
         let ls = &self.locks.stats;
+        let ps = self.txns.pipeline().stats();
         RobustnessStats {
             txn_retries: self.retries.load(Ordering::Relaxed),
             backoff_micros: self.backoff_micros.load(Ordering::Relaxed),
@@ -571,6 +621,14 @@ impl Db {
             lock_timeouts: ls.timeouts.load(Ordering::Relaxed),
             pool_poisoned: self.pool.is_poisoned(),
             pool_poison_reason: self.pool.poison_error().map(|e| e.to_string()),
+            wal_batches_flushed: ps.batches_flushed,
+            wal_mean_batch_size: ps.mean_batch_size,
+            commit_wait_p50_us: ps.commit_wait_p50_us,
+            commit_wait_p99_us: ps.commit_wait_p99_us,
+            wal_append_lsn: ps.append_lsn,
+            wal_durable_lsn: ps.durable_lsn,
+            wal_flusher_running: ps.running,
+            wal_flusher_panics: ps.flusher_panics,
         }
     }
 
@@ -594,6 +652,9 @@ impl Db {
     /// page is pinned.
     pub fn crash(&self) {
         self.maint.stop(false);
+        // Kill the flusher without draining: whatever it had not fsynced
+        // is exactly what the crash loses.
+        self.txns.pipeline().stop(false);
         self.pool.crash();
         self.log.crash();
     }
@@ -605,6 +666,9 @@ impl Db {
     /// its failure is reported rather than swallowed.
     pub fn shutdown(&self) -> Result<()> {
         self.maint.stop(true);
+        // Drain the pipeline (joins the flusher after a final sweep),
+        // then belt-and-suspenders force for the inline path.
+        self.txns.pipeline().stop(true);
         self.log.flush_all();
         self.pool.flush_all()?;
         self.pool.sync_store()?;
@@ -851,6 +915,16 @@ impl Db {
             }
         }
         Err(RecoveryError(format!("leaf entry with {rid:?} not found from {start} during undo")))
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        // The flusher thread keeps the pipeline alive on its own; a Db
+        // dropped without `shutdown`/`crash` must still join it or every
+        // short-lived database leaks a thread. No drain: a drop without
+        // shutdown carries no durability promise.
+        self.txns.pipeline().stop(false);
     }
 }
 

@@ -54,6 +54,9 @@ pub use gist_maint::{
     DrainOutcome, GcOutcome, MaintConfig, MaintDaemon, MaintError, MaintIndex,
     MaintStatsSnapshot, SweepOutcome, WorkItem,
 };
+// The commit pipeline's per-transaction knobs, re-exported for the same
+// reason (`Db::begin_with` and `DbConfig::durability` take them).
+pub use gist_txn::{Durability, TxnOptions};
 pub use logrec::GistRecord;
 pub use ops::cursor::{Cursor, CursorSnapshot};
 pub use ops::delete::VacuumReport;

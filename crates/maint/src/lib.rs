@@ -786,12 +786,22 @@ impl MaintDaemon {
     /// failed sync fails the checkpoint — the previous checkpoint, whose
     /// DPT still covers those pages, stays authoritative.
     pub fn checkpoint_now(&self) -> std::io::Result<Lsn> {
-        let scan_start = self.log.last_lsn();
+        // The *filled* watermark, not `last_lsn()`: with the reserve-
+        // then-fill log buffer the reserved counter can run ahead of
+        // published records, and a scan_start beyond an in-flight
+        // reservation would let analysis skip it. Every record that is
+        // not yet published here has an LSN > filled and is re-observed
+        // by the scan (which is inclusive of scan_start).
+        let scan_start = self.log.filled_lsn();
         self.pool.sync_store()?;
         let dpt = self.pool.dirty_page_table();
-        let lsn = self.txns.checkpoint_with(scan_start, dpt);
+        // Count before publishing: `checkpoint_with` parks on the commit
+        // pipeline after appending, so an observer who polls
+        // `last_checkpoint()` can see the record milliseconds before the
+        // daemon returns — the counter must already cover it by then.
+        // The fallible part (the sync barrier) is behind us.
         self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
-        Ok(lsn)
+        Ok(self.txns.checkpoint_with(scan_start, dpt))
     }
 }
 

@@ -30,11 +30,22 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use gist_commitpipe::{CommitPipeline, PipeError};
 use gist_lockmgr::{LockError, LockManager, LockMode, LockName};
 use gist_pagestore::PageId;
 use gist_predlock::PredicateManager;
 use gist_wal::recovery::{rollback, RecoveryHandler, RollbackKind};
 use gist_wal::{LogManager, Lsn, NestedTopAction, Payload, RecordBody, TxnId};
+
+pub use gist_commitpipe::Durability;
+
+/// Per-transaction options ([`TxnManager::begin_with`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxnOptions {
+    /// How long commit waits for the commit record to become durable
+    /// (see [`Durability`]).
+    pub durability: Durability,
+}
 
 /// A leaf page that a transaction left delete-marked entries on —
 /// physical reclamation is deferred to the maintenance daemon, which
@@ -108,6 +119,8 @@ struct TxnInfo {
     ops_in_flight: u32,
     /// Last time an operation entered or left. Watchdog idle clock.
     last_activity: Instant,
+    /// How long commit waits on the pipeline's durable horizon.
+    durability: Durability,
 }
 
 /// Errors from transaction operations.
@@ -129,6 +142,10 @@ pub enum TxnError {
     MustAbort(TxnId),
     /// A chaos crash point injected this failure (`chaos` feature).
     Injected(&'static str),
+    /// The commit pipeline's durable horizon never reached this LSN
+    /// within the park timeout (flusher dead or fenced). The commit's
+    /// outcome is unknown — like a lost acknowledgement.
+    PipelineStalled(Lsn),
 }
 
 impl fmt::Display for TxnError {
@@ -145,6 +162,9 @@ impl fmt::Display for TxnError {
                 write!(f, "transaction {t} is poisoned by a mid-operation panic; abort it")
             }
             TxnError::Injected(p) => write!(f, "chaos injection at crash point {p:?}"),
+            TxnError::PipelineStalled(lsn) => {
+                write!(f, "commit pipeline stalled before lsn {lsn} became durable")
+            }
         }
     }
 }
@@ -157,9 +177,24 @@ impl From<LockError> for TxnError {
     }
 }
 
+impl From<PipeError> for TxnError {
+    fn from(e: PipeError) -> Self {
+        match e {
+            PipeError::Injected(p) => TxnError::Injected(p),
+            PipeError::Stalled(lsn) => TxnError::PipelineStalled(lsn),
+        }
+    }
+}
+
 /// The transaction manager.
 pub struct TxnManager {
     log: Arc<LogManager>,
+    /// Group-commit pipeline over `log`. Owned here so every commit path
+    /// parks on it; the embedder (`Db::build`) starts and stops its
+    /// background flusher. Until started, requests are served inline.
+    pipeline: Arc<CommitPipeline>,
+    /// Durability mode for transactions begun without explicit options.
+    default_durability: Mutex<Durability>,
     locks: Arc<LockManager>,
     preds: Arc<PredicateManager>,
     table: Mutex<HashMap<TxnId, TxnInfo>>,
@@ -183,6 +218,8 @@ impl TxnManager {
         preds: Arc<PredicateManager>,
     ) -> Self {
         TxnManager {
+            pipeline: CommitPipeline::new(log.clone()),
+            default_durability: Mutex::new(Durability::Immediate),
             log,
             locks,
             preds,
@@ -217,6 +254,17 @@ impl TxnManager {
         &self.log
     }
 
+    /// The group-commit pipeline (the embedder starts/stops its flusher
+    /// and reads its stats).
+    pub fn pipeline(&self) -> &Arc<CommitPipeline> {
+        &self.pipeline
+    }
+
+    /// Durability mode for transactions begun via [`TxnManager::begin`].
+    pub fn set_default_durability(&self, mode: Durability) {
+        *self.default_durability.lock() = mode;
+    }
+
     /// The shared lock manager.
     pub fn locks(&self) -> &Arc<LockManager> {
         &self.locks
@@ -227,8 +275,13 @@ impl TxnManager {
         &self.preds
     }
 
-    /// Start a transaction.
+    /// Start a transaction with the manager's default durability.
     pub fn begin(&self) -> TxnId {
+        self.begin_with(TxnOptions { durability: *self.default_durability.lock() })
+    }
+
+    /// Start a transaction with explicit per-transaction options.
+    pub fn begin_with(&self, opts: TxnOptions) -> TxnId {
         let id = {
             let mut n = self.next_txn.lock();
             *n += 1;
@@ -249,6 +302,7 @@ impl TxnManager {
                 doomed: false,
                 ops_in_flight: 0,
                 last_activity: Instant::now(),
+                durability: opts.durability,
             },
         );
         // §10.3: X lock on the own id, so others can block on this txn.
@@ -298,24 +352,41 @@ impl TxnManager {
         Ok(self.log.begin_nta(info.last_lsn))
     }
 
-    /// Finish a nested top action for `txn`: writes and flushes the dummy
-    /// CLR.
+    /// Finish a nested top action for `txn`: writes the dummy CLR and
+    /// forces it through the commit pipeline.
+    ///
+    /// The force must happen before the unit's latches are released —
+    /// once its pages can reach disk, the fact that the unit completed
+    /// must be durable too, otherwise restart would undo a structure
+    /// modification that concurrent operations have already built upon.
+    /// Routing it through the pipeline (instead of an inline flush) lets
+    /// the terminator share a device sync with whatever commits and
+    /// units are in flight; with no flusher running the barrier degrades
+    /// to the old synchronous flush.
     pub fn end_nta(&self, txn: TxnId, nta: NestedTopAction) -> Result<Lsn, TxnError> {
-        let mut table = self.table.lock();
-        let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
-        let lsn = self.log.end_nta(txn, info.last_lsn, nta);
-        info.last_lsn = lsn;
+        let lsn = {
+            let mut table = self.table.lock();
+            let info = table.get_mut(&txn).ok_or(TxnError::NotActive(txn))?;
+            let lsn = self.log.end_nta(txn, info.last_lsn, nta);
+            info.last_lsn = lsn;
+            lsn
+        };
+        // Barrier outside the table lock: parking here must not block
+        // unrelated begin/commit traffic.
+        self.pipeline.barrier(lsn)?;
         Ok(lsn)
     }
 
-    /// Commit: force the log (the point of no return), then write the
-    /// end record and release predicates and locks. The force and the
+    /// Commit: append the commit record through the group-commit
+    /// pipeline, park until it is durable per the transaction's
+    /// [`Durability`] mode (the point of no return), then write the end
+    /// record and release predicates and locks. The force and the
     /// completion are separate steps so that a caller dying *after* the
     /// commit record is durable (the `"commit.after_wal_flush"` crash
     /// point) leaves a transaction that any later `abort` or watchdog
     /// pass completes rather than undoes.
     pub fn commit(&self, txn: TxnId) -> Result<(), TxnError> {
-        {
+        let (commit_lsn, durability) = {
             let mut table = self.table.lock();
             let info = match table.get_mut(&txn) {
                 Some(info) => info,
@@ -327,11 +398,14 @@ impl TxnManager {
             if info.doomed {
                 return Err(TxnError::AbortedByWatchdog(txn));
             }
-            let commit_lsn = self.log.append(txn, info.last_lsn, RecordBody::TxnCommit);
-            self.log.flush(commit_lsn);
+            let commit_lsn = self.pipeline.append_commit(txn, info.last_lsn)?;
             info.last_lsn = commit_lsn;
             info.status = TxnStatus::Committed;
-        }
+            (commit_lsn, info.durability)
+        };
+        // Park outside the table lock: a whole batch of committers must
+        // be able to reach the pipeline so one fsync covers all of them.
+        self.pipeline.commit_durable(commit_lsn, durability)?;
         chaos::point("commit.after_wal_flush")?;
         self.finish_commit(txn);
         Ok(())
@@ -344,8 +418,10 @@ impl TxnManager {
         let gc = {
             let mut table = self.table.lock();
             let Some(info) = table.get(&txn) else { return };
-            let end_lsn = self.log.append(txn, info.last_lsn, RecordBody::TxnEnd);
-            self.log.flush(end_lsn);
+            // The end record is not forced: it only saves restart an undo
+            // it would skip anyway, so the pipeline's idle sweep (or the
+            // next commit's fsync) carrying it out is soon enough.
+            self.log.append(txn, info.last_lsn, RecordBody::TxnEnd);
             table.remove(&txn).map(|i| i.gc_candidates).unwrap_or_default()
         };
         self.preds.release_txn(txn);
@@ -402,8 +478,10 @@ impl TxnManager {
             .map_err(|e| TxnError::Undo(e.0))?;
         {
             let mut table = self.table.lock();
-            let end_lsn = self.log.append(txn, chain_end, RecordBody::TxnEnd);
-            self.log.flush(end_lsn);
+            // Unforced, like the commit-side end record: losing an abort's
+            // end record only costs restart a re-undo of already-undone
+            // work (CLRs make that idempotent).
+            self.log.append(txn, chain_end, RecordBody::TxnEnd);
             table.remove(&txn);
         }
         self.preds.release_txn(txn);
@@ -522,7 +600,11 @@ impl TxnManager {
             Lsn::NULL,
             RecordBody::Checkpoint { scan_start, active_txns: active, dirty_pages },
         );
-        self.log.flush(lsn);
+        // Force through the pipeline so the checkpoint is on disk before
+        // the maintenance daemon trims anything that relies on it. A
+        // stalled pipeline leaves the checkpoint volatile, which is safe:
+        // restart just falls back to the previous durable one.
+        let _ = self.pipeline.barrier(lsn);
         lsn
     }
 

@@ -28,6 +28,7 @@ const TAG_CLR: u8 = 6;
 const TAG_NTA_END: u8 = 7;
 const TAG_CHECKPOINT: u8 = 8;
 const TAG_PAYLOAD: u8 = 9;
+const TAG_NOOP: u8 = 10;
 
 /// Append a `u64` to `out`.
 pub fn put_u64(out: &mut Vec<u8>, v: u64) {
@@ -173,6 +174,7 @@ pub fn encode_record(rec: &LogRecord) -> Vec<u8> {
             out.push(TAG_PAYLOAD);
             put_payload(&mut out, p);
         }
+        RecordBody::Noop => out.push(TAG_NOOP),
     }
     out
 }
@@ -215,6 +217,7 @@ pub fn decode_record(buf: &[u8]) -> Result<LogRecord, CodecError> {
             RecordBody::Checkpoint { scan_start, active_txns, dirty_pages }
         }
         TAG_PAYLOAD => RecordBody::Payload(read_payload(&mut r)?),
+        TAG_NOOP => RecordBody::Noop,
         other => return Err(CodecError(format!("unknown record tag {other}"))),
     };
     if !r.exhausted() {

@@ -34,7 +34,7 @@ pub mod recovery;
 
 pub use lsn::{Lsn, TxnId};
 pub use record::{LogRecord, Payload, RecordBody};
-pub use log::{LogFlusher, LogManager, WalTailReport};
+pub use log::{LogFlusher, LogManager, Reservation, WalTailReport};
 pub use recovery::{
     restart, restart_with_floor, rollback, AnalysisResult, RecoveryError, RecoveryHandler,
     RestartOutcome, RollbackKind,

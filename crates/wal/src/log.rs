@@ -1,10 +1,24 @@
-//! The log manager: append, flush, scan, and crash simulation.
+//! The log manager: reserve-then-fill append, durability, scan, and
+//! crash simulation.
+//!
+//! Appends are two-phase (PR 6): a *reservation* draws the next LSN from
+//! an atomic counter and pins a slot in a segmented buffer; the *fill*
+//! publishes the record into that slot. No mutex is held across record
+//! construction, so the log is no longer the global serialization point
+//! it was when every append pushed onto a `Vec` under one lock. A
+//! contiguous *filled* watermark trails the reservation counter; only the
+//! filled prefix can become durable, so a reservation abandoned mid-fill
+//! (a crash between reserve and fill) fences durability exactly like a
+//! torn tail in the on-disk format.
 
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::codec;
 use crate::{LogRecord, Lsn, NestedTopAction, RecordBody, TxnId};
@@ -19,11 +33,40 @@ pub trait LogFlusher: Send + Sync {
     fn flush_until(&self, lsn: Lsn);
 }
 
-struct LogInner {
-    /// All records, `records[i].lsn == Lsn(i as u64 + 1)`.
-    records: Vec<LogRecord>,
-    /// Durable prefix: everything with LSN ≤ `flushed` survives a crash.
-    flushed: Lsn,
+/// Slots per segment (power of two so slot lookup is a mask).
+const SEGMENT_BITS: u32 = 9;
+const SEGMENT_SIZE: usize = 1 << SEGMENT_BITS;
+
+/// One fixed-size run of record slots. A slot is written exactly once
+/// (by the reservation's owner) and read many times.
+struct Segment {
+    cells: Vec<OnceLock<LogRecord>>,
+}
+
+impl Segment {
+    fn new() -> Arc<Segment> {
+        Arc::new(Segment { cells: (0..SEGMENT_SIZE).map(|_| OnceLock::new()).collect() })
+    }
+}
+
+/// A reserved LSN whose slot has not been filled yet.
+///
+/// Dropping a reservation without [`LogManager::fill`]ing it leaves a
+/// hole that permanently fences the durable horizon — callers must fill
+/// every reservation on all non-crash paths (see
+/// [`LogManager::fill_noop`] for the graceful abandonment path).
+#[must_use = "an unfilled reservation fences the durable horizon forever"]
+pub struct Reservation {
+    lsn: Lsn,
+    txn: TxnId,
+    prev_lsn: Lsn,
+}
+
+impl Reservation {
+    /// The LSN this reservation pinned.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
 }
 
 /// In-memory write-ahead log with an explicit durable prefix.
@@ -31,10 +74,35 @@ struct LogInner {
 /// LSNs are dense (`1, 2, 3, …`), which keeps them strictly monotonically
 /// increasing as §10.1 requires for NSN generation. [`LogManager::crash`]
 /// models a system failure by discarding the non-durable suffix.
+///
+/// Three watermarks order the pipeline:
+/// `durable ≤ filled ≤ reserved`. Reservation moves `reserved`, a fill at
+/// the frontier moves `filled`, and an fsync (simulated by
+/// [`LogManager::fsync_to`]) moves `durable`.
 pub struct LogManager {
-    inner: Mutex<LogInner>,
-    /// Signalled whenever the durable prefix advances (group-commit style
-    /// waiters; kept simple here since flushes are synchronous).
+    /// Segment directory: `segments[i]` holds LSNs
+    /// `[i·SEGMENT_SIZE + 1, (i+1)·SEGMENT_SIZE]`. The write lock is taken
+    /// only to extend the directory or to rebuild after a crash.
+    segments: RwLock<Vec<Arc<Segment>>>,
+    /// Last reserved LSN (the paper's global NSN counter, §10.1).
+    reserved: AtomicU64,
+    /// Contiguous filled prefix: every LSN ≤ `filled` has its record
+    /// published.
+    filled: AtomicU64,
+    /// Durable prefix: everything with LSN ≤ `durable` survives a crash.
+    /// Advances only under `sync_mutex`.
+    durable: AtomicU64,
+    /// Simulated device sync cost in microseconds (benches model a real
+    /// fsync; tests leave it at zero). Paid once per durability advance,
+    /// serialized by `sync_mutex` like a real single log device.
+    sync_micros: AtomicU64,
+    /// Serializes durability advances (one fsync in flight at a time).
+    sync_mutex: Mutex<()>,
+    /// Parking lot for group-commit waiters ([`LogManager::wait_durable`]).
+    wait_mutex: Mutex<()>,
+    /// Signalled whenever the durable prefix advances; committers parked
+    /// on their commit LSN wake here (the commit pipeline batches the
+    /// fsync and then calls [`LogManager::notify_durable`]).
     flush_cv: Condvar,
 }
 
@@ -48,8 +116,114 @@ impl LogManager {
     /// Empty log.
     pub fn new() -> Self {
         LogManager {
-            inner: Mutex::new(LogInner { records: Vec::new(), flushed: Lsn::NULL }),
+            segments: RwLock::new(Vec::new()),
+            reserved: AtomicU64::new(0),
+            filled: AtomicU64::new(0),
+            durable: AtomicU64::new(0),
+            sync_micros: AtomicU64::new(0),
+            sync_mutex: Mutex::new(()),
+            wait_mutex: Mutex::new(()),
             flush_cv: Condvar::new(),
+        }
+    }
+
+    fn from_records(records: Vec<LogRecord>) -> LogManager {
+        let log = LogManager::new();
+        let n = records.len() as u64;
+        log.install_records(records);
+        log.reserved.store(n, Ordering::SeqCst);
+        log.filled.store(n, Ordering::SeqCst);
+        log.durable.store(n, Ordering::SeqCst);
+        log
+    }
+
+    /// Replace the segment directory with exactly `records` (dense from
+    /// LSN 1). Caller updates the watermarks.
+    fn install_records(&self, records: Vec<LogRecord>) {
+        let mut segs = self.segments.write();
+        segs.clear();
+        for rec in records {
+            let idx = ((rec.lsn.0 - 1) >> SEGMENT_BITS) as usize;
+            while segs.len() <= idx {
+                segs.push(Segment::new());
+            }
+            let cell = &segs[idx].cells[((rec.lsn.0 - 1) as usize) & (SEGMENT_SIZE - 1)];
+            // OnceLock::set into cells just cleared above can only
+            // succeed; not an I/O result.
+            let _ = cell.set(rec); // lint: allow-ignored-io
+        }
+    }
+
+    fn segment_for(&self, lsn: u64) -> Arc<Segment> {
+        let idx = ((lsn - 1) >> SEGMENT_BITS) as usize;
+        self.segments.read()[idx].clone()
+    }
+
+    fn cell_get(&self, lsn: u64) -> Option<LogRecord> {
+        let seg = self.segment_for(lsn);
+        seg.cells[((lsn - 1) as usize) & (SEGMENT_SIZE - 1)].get().cloned()
+    }
+
+    fn cell_is_set(&self, lsn: u64) -> bool {
+        let seg = self.segment_for(lsn);
+        seg.cells[((lsn - 1) as usize) & (SEGMENT_SIZE - 1)].get().is_some()
+    }
+
+    /// Reserve the next LSN for `txn` (backchain `prev_lsn`). The slot is
+    /// pinned; [`LogManager::fill`] publishes the record. The two-phase
+    /// split exists so the commit pipeline can inject crash points between
+    /// reservation and publication; ordinary appenders use
+    /// [`LogManager::append`].
+    pub fn reserve(&self, txn: TxnId, prev_lsn: Lsn) -> Reservation {
+        let lsn = self.reserved.fetch_add(1, Ordering::SeqCst) + 1;
+        // Make sure the slot's segment exists before returning: the fill
+        // (and any concurrent reader) must never see a missing segment.
+        let idx = ((lsn - 1) >> SEGMENT_BITS) as usize;
+        if self.segments.read().len() <= idx {
+            let mut segs = self.segments.write();
+            while segs.len() <= idx {
+                segs.push(Segment::new());
+            }
+        }
+        Reservation { lsn: Lsn(lsn), txn, prev_lsn }
+    }
+
+    /// Publish the record for a reservation and advance the filled
+    /// watermark over any newly contiguous prefix.
+    pub fn fill(&self, res: Reservation, body: RecordBody) -> Lsn {
+        let lsn = res.lsn;
+        let rec = LogRecord { lsn, prev_lsn: res.prev_lsn, txn: res.txn, body };
+        let seg = self.segment_for(lsn.0);
+        let set = seg.cells[((lsn.0 - 1) as usize) & (SEGMENT_SIZE - 1)].set(rec);
+        debug_assert!(set.is_ok(), "slot {lsn} filled twice");
+        self.advance_filled();
+        lsn
+    }
+
+    /// Publish a no-op filler for a reservation that is being abandoned
+    /// gracefully (e.g. a chaos *error* injection between reserve and
+    /// fill). Keeps the log dense so the durable horizon is not fenced; a
+    /// *panic* between reserve and fill skips this and leaves a real hole.
+    pub fn fill_noop(&self, res: Reservation) -> Lsn {
+        let lsn = res.lsn;
+        self.fill(Reservation { lsn, txn: TxnId::NONE, prev_lsn: Lsn::NULL }, RecordBody::Noop)
+    }
+
+    /// Cooperatively advance `filled` while the next slot is published.
+    fn advance_filled(&self) {
+        loop {
+            let f = self.filled.load(Ordering::Acquire);
+            if f >= self.reserved.load(Ordering::Acquire) || !self.cell_is_set(f + 1) {
+                return;
+            }
+            // Lost races just mean another filler advanced it; retry from
+            // the new frontier either way (not an I/O result).
+            let _ = self.filled.compare_exchange( // lint: allow-ignored-io
+                f,
+                f + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
         }
     }
 
@@ -59,40 +233,105 @@ impl LogManager {
     /// normally the transaction manager — tracks each transaction's last
     /// LSN).
     pub fn append(&self, txn: TxnId, prev_lsn: Lsn, body: RecordBody) -> Lsn {
-        let mut inner = self.inner.lock();
-        let lsn = Lsn(inner.records.len() as u64 + 1);
-        inner.records.push(LogRecord { lsn, prev_lsn, txn, body });
-        lsn
+        let res = self.reserve(txn, prev_lsn);
+        self.fill(res, body)
     }
 
-    /// LSN of the most recently appended record ([`Lsn::NULL`] if empty).
+    /// LSN of the most recently reserved record ([`Lsn::NULL`] if empty).
     ///
     /// This is the paper's "global NSN" counter when NSNs are sourced from
     /// the log (§10.1).
     pub fn last_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().records.len() as u64)
+        Lsn(self.reserved.load(Ordering::Acquire))
+    }
+
+    /// Contiguous published prefix: every record with LSN ≤ this has been
+    /// filled. Only this prefix can become durable.
+    pub fn filled_lsn(&self) -> Lsn {
+        Lsn(self.filled.load(Ordering::Acquire))
     }
 
     /// Durable prefix of the log.
     pub fn flushed_lsn(&self) -> Lsn {
-        self.inner.lock().flushed
+        Lsn(self.durable.load(Ordering::Acquire))
     }
 
-    /// Force everything up to (and including) `lsn` durable.
-    pub fn flush(&self, lsn: Lsn) {
-        let mut inner = self.inner.lock();
-        let limit = Lsn(lsn.0.min(inner.records.len() as u64));
-        if limit > inner.flushed {
-            inner.flushed = limit;
-            self.flush_cv.notify_all();
+    /// Set the simulated per-fsync device latency (benches model a real
+    /// log device; zero — the default — makes durability advances free).
+    pub fn set_sync_latency(&self, latency: Duration) {
+        self.sync_micros.store(latency.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Advance the durable horizon to `min(lsn, filled)` *without* waking
+    /// waiters — the commit pipeline's flusher separates the fsync from
+    /// the wakeup so a crash between them is testable. Returns the new
+    /// durable horizon.
+    ///
+    /// A caller that finds its target already durable returns for free
+    /// (real code checks the horizon before issuing a sync). A caller
+    /// that decided to sync pays the full simulated device latency even
+    /// when a concurrent sync covered its target while it was queued for
+    /// the device: each sync is its own device barrier, which is exactly
+    /// the per-commit cost a group-commit flusher amortizes away.
+    pub fn fsync_to(&self, lsn: Lsn) -> Lsn {
+        let target = lsn.0.min(self.filled.load(Ordering::Acquire));
+        if target <= self.durable.load(Ordering::Acquire) {
+            return self.flushed_lsn();
+        }
+        let _device = self.sync_mutex.lock();
+        let micros = self.sync_micros.load(Ordering::Relaxed);
+        if micros > 0 {
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+        // Only fsync_to moves the horizon, always under the device lock,
+        // so a monotonicity check suffices.
+        if target > self.durable.load(Ordering::Acquire) {
+            self.durable.store(target, Ordering::Release);
+        }
+        self.flushed_lsn()
+    }
+
+    /// Wake everyone parked in [`LogManager::wait_durable`]. The empty
+    /// lock acquisition orders the wakeup after any waiter's horizon
+    /// check, so no waiter that observed a stale horizon can miss it.
+    pub fn notify_durable(&self) {
+        drop(self.wait_mutex.lock());
+        self.flush_cv.notify_all();
+    }
+
+    /// Park until the durable horizon reaches `lsn` or `timeout` elapses;
+    /// returns whether the horizon was reached. Waiters re-check the
+    /// horizon periodically, so a missed wakeup degrades latency, never
+    /// correctness.
+    pub fn wait_durable(&self, lsn: Lsn, timeout: Duration) -> bool {
+        const RECHECK: Duration = Duration::from_millis(2);
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.wait_mutex.lock();
+        loop {
+            if self.flushed_lsn() >= lsn {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.flush_cv.wait_for(&mut guard, (deadline - now).min(RECHECK));
         }
     }
 
-    /// Force the entire log durable.
+    /// Force everything up to (and including) `lsn` durable and wake
+    /// waiters. (Internal to the WAL/commit-pipeline layers; everything
+    /// above them requests durability through the pipeline — the
+    /// `no-inline-flush` lint enforces this.)
+    pub fn flush(&self, lsn: Lsn) {
+        self.fsync_to(lsn);
+        self.notify_durable();
+    }
+
+    /// Force the entire filled prefix durable.
     pub fn flush_all(&self) {
-        let mut inner = self.inner.lock();
-        inner.flushed = Lsn(inner.records.len() as u64);
-        self.flush_cv.notify_all();
+        self.fsync_to(Lsn::MAX);
+        self.notify_durable();
     }
 
     /// Fetch the record with the given LSN.
@@ -109,26 +348,33 @@ impl LogManager {
         }
     }
 
-    /// Fetch the record with the given LSN, or `None` when `lsn` is null
-    /// or beyond the end of the log (a corrupt backchain pointer).
+    /// Fetch the record with the given LSN, or `None` when `lsn` is null,
+    /// beyond the end of the log (a corrupt backchain pointer), or a
+    /// reserved-but-unfilled hole.
     pub fn try_get(&self, lsn: Lsn) -> Option<LogRecord> {
-        if lsn.is_null() {
+        if lsn.is_null() || lsn.0 > self.reserved.load(Ordering::Acquire) {
             return None;
         }
-        let inner = self.inner.lock();
-        inner.records.get(lsn.0 as usize - 1).cloned()
+        self.cell_get(lsn.0)
     }
 
-    /// Clone of every record with LSN ≥ `from` in LSN order.
+    /// Clone of every record with LSN ≥ `from` in LSN order, up to the
+    /// filled watermark.
     pub fn scan_from(&self, from: Lsn) -> Vec<LogRecord> {
-        let inner = self.inner.lock();
-        let start = (from.0.max(1) - 1) as usize;
-        inner.records.get(start..).unwrap_or(&[]).to_vec()
+        let upto = self.filled.load(Ordering::Acquire);
+        let start = from.0.max(1);
+        let mut out = Vec::with_capacity(upto.saturating_sub(start - 1) as usize);
+        for lsn in start..=upto {
+            if let Some(rec) = self.cell_get(lsn) {
+                out.push(rec);
+            }
+        }
+        out
     }
 
-    /// Number of records currently in the log.
+    /// Number of contiguously published records currently in the log.
     pub fn len(&self) -> usize {
-        self.inner.lock().records.len()
+        self.filled.load(Ordering::Acquire) as usize
     }
 
     /// Whether the log is empty.
@@ -137,26 +383,34 @@ impl LogManager {
     }
 
     /// Simulate a system crash: every record past the durable prefix is
-    /// lost, exactly as if the machine died after its last `fsync`.
+    /// lost (including reserved-but-unfilled holes), exactly as if the
+    /// machine died after its last `fsync`.
     ///
-    /// Returns the number of records discarded.
+    /// Returns the number of reservations discarded.
     pub fn crash(&self) -> usize {
-        let mut inner = self.inner.lock();
-        let keep = inner.flushed.0 as usize;
-        let lost = inner.records.len().saturating_sub(keep);
-        inner.records.truncate(keep);
-        lost
+        let durable = self.durable.load(Ordering::Acquire);
+        let lost = self.reserved.load(Ordering::Acquire).saturating_sub(durable);
+        let keep: Vec<LogRecord> =
+            (1..=durable).filter_map(|l| self.cell_get(l)).collect();
+        debug_assert_eq!(keep.len() as u64, durable, "durable prefix must be contiguous");
+        self.install_records(keep);
+        self.filled.store(durable, Ordering::SeqCst);
+        self.reserved.store(durable, Ordering::SeqCst);
+        lost as usize
     }
 
     /// LSN of the most recent checkpoint record, if any.
     pub fn last_checkpoint(&self) -> Option<Lsn> {
-        let inner = self.inner.lock();
-        inner
-            .records
-            .iter()
+        let upto = self.filled.load(Ordering::Acquire);
+        (1..=upto)
             .rev()
-            .find(|r| matches!(r.body, RecordBody::Checkpoint { .. }))
-            .map(|r| r.lsn)
+            .find(|&l| {
+                matches!(
+                    self.cell_get(l).map(|r| r.body),
+                    Some(RecordBody::Checkpoint { .. })
+                )
+            })
+            .map(Lsn)
     }
 
     /// Begin a nested top action for `txn` whose backchain currently ends
@@ -169,15 +423,13 @@ impl LogManager {
     /// whole unit of work invisible to rollback. Returns the new last LSN
     /// for the transaction's backchain.
     ///
-    /// The terminator is flushed immediately: once the unit's effects can
-    /// reach disk (its latches are released right after this call), the
-    /// fact that it completed must be durable too, otherwise restart would
-    /// undo a structure modification whose pages concurrent operations have
-    /// already built upon.
+    /// The terminator is *not* forced here: durability policy belongs to
+    /// the caller. The transaction layer forces it through the commit
+    /// pipeline before the unit's latches are released, so concurrent
+    /// units and committers share one device sync instead of each paying
+    /// an inline flush.
     pub fn end_nta(&self, txn: TxnId, txn_last_lsn: Lsn, nta: NestedTopAction) -> Lsn {
-        let lsn = self.append(txn, txn_last_lsn, RecordBody::NtaEnd { undo_next: nta.undo_next });
-        self.flush(lsn);
-        lsn
+        self.append(txn, txn_last_lsn, RecordBody::NtaEnd { undo_next: nta.undo_next })
     }
 
     /// Persist the durable prefix to a file (see [`LogManager::load_file`]).
@@ -188,12 +440,17 @@ impl LogManager {
     /// [`LogManager::load_file`] tell a torn tail from interior
     /// corruption.
     pub fn persist_file(&self, path: &Path) -> io::Result<()> {
-        let inner = self.inner.lock();
-        let durable = &inner.records[..inner.flushed.0 as usize];
-        let mut buf = Vec::with_capacity(16 + durable.len() * 64);
+        let durable = self.durable.load(Ordering::Acquire);
+        let mut buf = Vec::with_capacity(16 + durable as usize * 64);
         buf.extend_from_slice(WAL_MAGIC);
-        for rec in durable {
-            let enc = codec::encode_record(rec);
+        for lsn in 1..=durable {
+            let Some(rec) = self.cell_get(lsn) else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("durable prefix has a hole at lsn {lsn}"),
+                ));
+            };
+            let enc = codec::encode_record(&rec);
             buf.extend_from_slice(&(enc.len() as u32).to_le_bytes());
             buf.extend_from_slice(&gist_striped::stable_hash_bytes(&enc).to_le_bytes());
             buf.extend_from_slice(&enc);
@@ -297,14 +554,7 @@ impl LogManager {
             report.dropped_bytes = bytes.len() - off;
         }
         report.loaded = records.len();
-        let flushed = Lsn(records.len() as u64);
-        Ok((
-            LogManager {
-                inner: Mutex::new(LogInner { records, flushed }),
-                flush_cv: Condvar::new(),
-            },
-            report,
-        ))
+        Ok((LogManager::from_records(records), report))
     }
 }
 

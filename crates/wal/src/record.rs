@@ -73,6 +73,10 @@ pub enum RecordBody {
     },
     /// Resource-manager content record (redo/undo via handler).
     Payload(Payload),
+    /// Filler for a gracefully abandoned log reservation (PR 6 commit
+    /// pipeline): keeps LSNs dense when an append is cancelled between
+    /// reserve and fill. No transaction, no redo, no undo.
+    Noop,
 }
 
 impl RecordBody {
@@ -88,6 +92,7 @@ impl RecordBody {
             RecordBody::NtaEnd { .. } => "NtaEnd",
             RecordBody::Checkpoint { .. } => "Checkpoint",
             RecordBody::Payload(_) => "Payload",
+            RecordBody::Noop => "Noop",
         }
     }
 

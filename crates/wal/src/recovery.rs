@@ -200,6 +200,7 @@ pub fn analysis(log: &LogManager) -> AnalysisResult {
                 | RecordBody::NtaEnd { .. }
                 | RecordBody::Clr { .. }
                 | RecordBody::Checkpoint { .. }
+                | RecordBody::Noop
                 | RecordBody::Payload(_) => {
                     let status = res
                         .txn_table

@@ -484,6 +484,98 @@ fn rollback_with_corrupt_backchain_errors_instead_of_panicking() {
 }
 
 #[test]
+fn hole_fences_durable_horizon_until_filled() {
+    let log = LogManager::new();
+    let a = log.append(TxnId(1), Lsn::NULL, RecordBody::TxnBegin);
+    // Reserve but do not fill: the filled watermark stops at `a`.
+    let hole = log.reserve(TxnId(1), a);
+    let after = log.append(TxnId(1), a, RecordBody::TxnCommit);
+    assert_eq!(log.filled_lsn(), a, "fill past a hole must not publish");
+    log.flush_all();
+    assert_eq!(log.flushed_lsn(), a, "durability is fenced by the hole");
+    // Filling the hole unblocks everything behind it.
+    log.fill(hole, RecordBody::Noop);
+    assert_eq!(log.filled_lsn(), after);
+    log.flush_all();
+    assert_eq!(log.flushed_lsn(), after);
+}
+
+#[test]
+fn crash_discards_reserved_but_unfilled_hole() {
+    let log = LogManager::new();
+    let a = log.append(TxnId(1), Lsn::NULL, RecordBody::TxnBegin);
+    log.flush(a);
+    let _hole = log.reserve(TxnId(1), a);
+    let _after = log.append(TxnId(1), a, RecordBody::TxnCommit);
+    let lost = log.crash();
+    assert_eq!(lost, 2, "the hole and the record behind it are both lost");
+    assert_eq!(log.last_lsn(), a);
+    assert_eq!(log.filled_lsn(), a);
+    // The log accepts appends again and stays dense.
+    let b = log.append(TxnId(2), Lsn::NULL, RecordBody::TxnBegin);
+    assert_eq!(b, Lsn(a.0 + 1));
+}
+
+#[test]
+fn fill_noop_keeps_log_dense_and_invisible_to_restart() {
+    let (log, rm) = setup(2);
+    let t = TxnId(1);
+    let b = log.append(t, Lsn::NULL, RecordBody::TxnBegin);
+    let res = log.reserve(t, b);
+    let noop = log.fill_noop(res);
+    let u = rm.set(t, b, 0, 7);
+    let c = log.append(t, u, RecordBody::TxnCommit);
+    log.flush(c);
+    log.crash();
+    rm.wipe();
+    let out = restart(&log, &rm).unwrap();
+    assert!(out.completed_winners.contains(&t));
+    assert_eq!(rm.get(0), 7);
+    assert_eq!(log.get(noop).body.kind_name(), "Noop");
+    assert_eq!(log.get(noop).txn, TxnId::NONE, "noop filler carries no transaction");
+}
+
+#[test]
+fn wait_durable_wakes_parked_waiter() {
+    let log = std::sync::Arc::new(LogManager::new());
+    let c = log.append(TxnId(1), Lsn::NULL, RecordBody::TxnCommit);
+    let waiter = {
+        let log = log.clone();
+        std::thread::spawn(move || log.wait_durable(c, std::time::Duration::from_secs(5)))
+    };
+    // Advance silently, then wake: the waiter must observe the horizon.
+    log.fsync_to(c);
+    log.notify_durable();
+    assert!(waiter.join().unwrap(), "waiter saw the durable horizon");
+    assert!(
+        !log.wait_durable(Lsn(c.0 + 1), std::time::Duration::from_millis(10)),
+        "waiting for a non-existent LSN times out"
+    );
+}
+
+#[test]
+fn fsync_pays_serialized_device_latency_once_per_advance() {
+    let log = LogManager::new();
+    log.set_sync_latency(std::time::Duration::from_millis(5));
+    let mut last = Lsn::NULL;
+    for i in 0..8u64 {
+        last = log.append(TxnId(i + 1), Lsn::NULL, RecordBody::TxnBegin);
+    }
+    let t0 = std::time::Instant::now();
+    log.flush(last); // one batch: one device sync
+    let one_batch = t0.elapsed();
+    assert!(one_batch >= std::time::Duration::from_millis(5));
+    assert!(
+        one_batch < std::time::Duration::from_millis(40),
+        "batched advance pays the device once, not per record: {one_batch:?}"
+    );
+    // Already durable: free.
+    let t1 = std::time::Instant::now();
+    log.flush(last);
+    assert!(t1.elapsed() < std::time::Duration::from_millis(5));
+}
+
+#[test]
 fn concurrent_appends_get_unique_lsns() {
     let log = std::sync::Arc::new(LogManager::new());
     let mut handles = Vec::new();

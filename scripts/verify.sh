@@ -40,6 +40,13 @@ echo "== tier 2: operation-level chaos harness (two seeds, audited) =="
 CHAOS_SEED=1 cargo test -q --release --features chaos,latch-audit --test chaos_ops
 CHAOS_SEED=2 cargo test -q --release --features chaos,latch-audit --test chaos_ops
 
+echo "== tier 2: commit-pipeline flusher crash points (chaos, audited) =="
+cargo test -q --release --features chaos,latch-audit --test fault_recovery flusher_crash
+
+echo "== tier 2: group-commit acceptance bench (smoke) =="
+BENCH_COMMIT_SMOKE=1 cargo run -q --release -p gist-bench --bin bench_commit \
+    target/BENCH_commit_smoke.json
+
 echo ""
 echo "verification summary"
 echo "  step                                violations"
@@ -51,4 +58,6 @@ echo "  latch-audit dynamic analyzer                 0"
 echo "  shard stress under latch-audit               0"
 echo "  fault-injection crash harness                0"
 echo "  chaos harness (seeds 1+2, audited)           0"
+echo "  flusher crash points (audited)               0"
+echo "  group-commit acceptance (>=5x)               0"
 echo "verify.sh: all green"

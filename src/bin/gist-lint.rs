@@ -13,6 +13,7 @@
 //! | `forbid-unsafe` | every crate without `unsafe` carries `#![forbid(unsafe_code)]` |
 //! | `no-global-sync-map` | no new top-level `Mutex<HashMap<...>>` / `RwLock<HashMap<...>>` in the hot-path sync crates (pagestore, lockmgr, predlock) — shared tables there must go through the striped abstraction (`gist-striped`) so they stay partitioned and shard-order audited |
 //! | `no-ignored-io` | no `let _ = ...` / statement-level `....ok();` in the storage crates (pagestore, wal) — every I/O result must be propagated, retried, or poison the pool; a silently dropped error is exactly how a lost write becomes silent corruption |
+//! | `no-inline-flush` | no direct `log.flush(...)` outside crates/wal and crates/commitpipe — durability goes through the group-commit pipeline, a private fsync re-serializes committers on the device |
 //! | `chaos-point-registry` | every `chaos::point("...")` call site names an entry of the chaos crate's `CATALOG`, the catalog is duplicate-free, and every cataloged point is threaded through at least one call site |
 //!
 //! Scanning is line/AST-lite on purpose: the build must stay offline, so
@@ -321,6 +322,38 @@ fn rule_no_ignored_io(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule `no-inline-flush`: a direct `log.flush(...)` outside the WAL
+/// crate and the commit pipeline is a private fsync — it bypasses group
+/// commit and re-serializes every committer on the log device, exactly
+/// the cost the pipeline exists to amortize. Durability requests must go
+/// through the pipeline (`commit_durable`, `barrier`, or the pool's
+/// registered flusher). `flush_all` (shutdown/drain) is not matched, and
+/// tests are exempt; a deliberate private force takes a same-line
+/// `lint: allow-inline-flush` waiver stating why.
+fn rule_no_inline_flush(f: &SourceFile, out: &mut Vec<Violation>) {
+    if ["crates/wal/", "crates/commitpipe/"].iter().any(|p| f.path.starts_with(p)) {
+        return;
+    }
+    for (n, clean, raw, test) in f.lines() {
+        if test || raw.contains("lint: allow-inline-flush") {
+            continue;
+        }
+        let compact: String = clean.chars().filter(|c| !c.is_whitespace()).collect();
+        if compact.contains("log.flush(") || compact.contains("log().flush(") {
+            out.push(Violation {
+                rule: "no-inline-flush",
+                file: f.path.clone(),
+                line: n,
+                msg: "direct log flush outside crates/wal and crates/commitpipe — route \
+                      durability through the commit pipeline so group commit can batch \
+                      the fsync; waive with `lint: allow-inline-flush` if a private \
+                      force is really intended"
+                    .into(),
+            });
+        }
+    }
+}
+
 /// Extract the variant names of `pub enum <name>` from sanitized source.
 fn enum_variants(clean: &str, name: &str) -> Vec<String> {
     let mut variants = Vec::new();
@@ -615,6 +648,7 @@ fn scan(files: &[SourceFile]) -> Vec<Violation> {
         rule_latch_outside_buffer(f, &mut out);
         rule_no_global_sync_map(f, &mut out);
         rule_no_ignored_io(f, &mut out);
+        rule_no_inline_flush(f, &mut out);
     }
     rule_record_coverage(files, &mut out);
     rule_forbid_unsafe(files, &mut out);
@@ -683,6 +717,7 @@ fn main() {
         "forbid-unsafe",
         "no-global-sync-map",
         "no-ignored-io",
+        "no-inline-flush",
         "chaos-point-registry",
     ] {
         let n = violations.iter().filter(|v| v.rule == rule).count();
@@ -777,6 +812,51 @@ mod tests {
         let mut v = Vec::new();
         rule_latch_outside_buffer(&f, &mut v);
         assert!(v.is_empty(), "buffer.rs itself is the blessed site");
+    }
+
+    #[test]
+    fn inline_flush_outside_wal_is_flagged() {
+        let f = file("crates/txn/src/lib.rs", "fn c(&self) { self.log.flush(lsn); }");
+        let mut v = Vec::new();
+        rule_no_inline_flush(&f, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-inline-flush");
+        // Accessor form is the same bypass.
+        let f = file("crates/maint/src/lib.rs", "fn c(&self) { self.log().flush(lsn); }");
+        let mut v = Vec::new();
+        rule_no_inline_flush(&f, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn inline_flush_exemptions_hold() {
+        // The WAL crate and the pipeline own the flush internals.
+        for path in ["crates/wal/src/recovery.rs", "crates/commitpipe/src/lib.rs"] {
+            let f = file(path, "fn c(&self) { self.log.flush(lsn); }");
+            let mut v = Vec::new();
+            rule_no_inline_flush(&f, &mut v);
+            assert!(v.is_empty(), "{path}: {v:?}");
+        }
+        // flush_all (shutdown drain) is not an inline per-record force.
+        let f = file("crates/core/src/db.rs", "fn s(&self) { self.log.flush_all(); }");
+        let mut v = Vec::new();
+        rule_no_inline_flush(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        // Waiver and test modules are exempt.
+        let f = file(
+            "crates/core/src/db.rs",
+            "fn s(&self) { self.log.flush(lsn); } // lint: allow-inline-flush — bootstrap",
+        );
+        let mut v = Vec::new();
+        rule_no_inline_flush(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        let f = file(
+            "crates/core/src/db.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(log: &L) { log.flush(lsn); }\n}\n",
+        );
+        let mut v = Vec::new();
+        rule_no_inline_flush(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

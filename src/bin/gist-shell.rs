@@ -291,6 +291,19 @@ impl Shell {
                     Some(reason) => println!("  pool POISONED:           {reason}"),
                     None => println!("  pool poisoned:           no"),
                 }
+                println!(
+                    "  wal flusher:             {}",
+                    if s.wal_flusher_running { "running" } else { "inline" }
+                );
+                println!("  wal batches flushed:     {}", s.wal_batches_flushed);
+                println!("  wal mean batch size:     {:.2}", s.wal_mean_batch_size);
+                println!("  commit wait p50 (us):    {}", s.commit_wait_p50_us);
+                println!("  commit wait p99 (us):    {}", s.commit_wait_p99_us);
+                println!(
+                    "  wal lsn lag (append-durable): {}",
+                    s.wal_append_lsn.saturating_sub(s.wal_durable_lsn)
+                );
+                println!("  wal flusher panics:      {}", s.wal_flusher_panics);
             }
             "crash" => {
                 self.txn = None;

@@ -451,3 +451,313 @@ fn failed_fsync_aborts_the_checkpoint_and_keeps_the_dpt() {
     // unknowable, so the pool degrades rather than retrying.
     assert!(db.pool().is_poisoned());
 }
+
+/// Flusher crash points (`--features chaos`): the commit pipeline's
+/// three crash points from the chaos catalog, driven here rather than in
+/// `tests/chaos_ops.rs` because they need crash + restart plumbing (and
+/// two of them fire on the background flusher thread, not the victim's).
+///
+/// Contract under test (PR 6 tentpole):
+///
+/// - `Immediate` / `Batched` committers survive a flusher crash *after*
+///   the batch fsync even if the wakeup is lost — the commit record is
+///   already durable, the parked committer self-heals off the horizon;
+/// - a reserved-but-never-filled slot (committer dies between reserve
+///   and fill) leaves a hole that fences the durable horizon: nothing
+///   past it ever becomes durable, so a crash discards exactly the
+///   suffix the hole poisoned, and everything committed before the hole
+///   survives;
+/// - a *graceful* failure between reserve and fill heals the hole with
+///   a `Noop` filler: the log stays dense and later commits proceed;
+/// - an fsync-path error makes the flusher retry the batch; parked
+///   committers just wait one idle sweep longer;
+/// - `Async` loss is bounded and clean: a crash inside the window loses
+///   the transaction entirely (atomicity holds trivially — its records
+///   never reached the durable prefix), and once the idle sweep has run
+///   the transaction is as durable as an `Immediate` one.
+#[cfg(feature = "chaos")]
+mod flusher_crash {
+    use std::sync::{Arc, Mutex, MutexGuard};
+    use std::time::Duration;
+
+    use gist_repro::am::{BtreeExt, I64Query};
+    use gist_repro::chaos::{self, ChaosAction};
+    use gist_repro::core::check::check_tree;
+    use gist_repro::core::{
+        Db, DbConfig, Durability, GistIndex, IndexOptions, TxnOptions,
+    };
+    use gist_repro::pagestore::{InMemoryStore, PageStore};
+    use gist_repro::wal::LogManager;
+
+    use super::rid;
+
+    /// The chaos registry is process-global; serialize and start clean.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        let g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        chaos::disarm_all();
+        g
+    }
+
+    struct Rig {
+        store: Arc<dyn PageStore>,
+        log: Arc<LogManager>,
+        config: DbConfig,
+        db: Arc<Db>,
+        idx: Arc<GistIndex<BtreeExt>>,
+        /// Keys whose commit acknowledged a durability guarantee.
+        expected: Vec<i64>,
+    }
+
+    impl Rig {
+        /// Group-commit database with `baseline` keys committed
+        /// `Immediate` and the pipeline quiesced (everything filled is
+        /// durable, so the next armed trigger hits our victim's batch).
+        fn new(baseline: i64) -> Rig {
+            let store: Arc<dyn PageStore> = Arc::new(InMemoryStore::new());
+            let log = Arc::new(LogManager::new());
+            let config = DbConfig { group_commit: true, ..DbConfig::default() };
+            let db = Db::open(store.clone(), log.clone(), config.clone()).unwrap();
+            let idx =
+                GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+            let txn = db.begin();
+            for k in 0..baseline {
+                idx.insert(txn, &k, rid(k as u64)).unwrap();
+            }
+            db.commit(txn).unwrap();
+            let mut rig =
+                Rig { store, log, config, db, idx, expected: (0..baseline).collect() };
+            rig.quiesce();
+            rig
+        }
+
+        /// Wait for the idle sweep to drain unforced records (end
+        /// records) so the filled prefix is fully durable.
+        fn quiesce(&mut self) {
+            for _ in 0..200 {
+                if self.log.flushed_lsn() >= self.log.filled_lsn() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            panic!("pipeline did not quiesce");
+        }
+
+        /// One single-key transaction under `mode`; returns commit result.
+        fn commit_one(&self, k: i64, mode: Durability) -> Result<(), gist_repro::core::GistError> {
+            let txn = self.db.begin_with(TxnOptions { durability: mode });
+            self.idx.insert(txn, &k, rid(k as u64)).unwrap();
+            let out = self.db.commit(txn);
+            if out.is_err() {
+                let _ = self.db.abort(txn);
+            }
+            out
+        }
+
+        /// Crash, restart, structural check, and assert the surviving
+        /// key set is exactly `self.expected`.
+        fn crash_and_verify(self) {
+            self.db.crash();
+            chaos::disarm_all();
+            let (db2, _report) = Db::restart(self.store, self.log, self.config).unwrap();
+            let idx2 = GistIndex::open(db2.clone(), "t", BtreeExt).unwrap();
+            check_tree(&idx2).unwrap().assert_ok();
+            let txn = db2.begin();
+            let mut got: Vec<i64> = idx2
+                .search(txn, &I64Query::range(0, 20_000))
+                .unwrap()
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            db2.commit(txn).unwrap();
+            got.sort();
+            let mut expected = self.expected.clone();
+            expected.sort();
+            assert_eq!(got, expected, "exactly the acknowledged commits survive the crash");
+            db2.shutdown().unwrap();
+        }
+    }
+
+    /// Crash point between the batch fsync and the waiter wakeup: the
+    /// flusher dies *after* the device sync. The parked committer must
+    /// still get its acknowledgement (it self-heals by rechecking the
+    /// durable horizon — the dormant-`flush_cv` wakeup is an
+    /// optimization, not a correctness dependency), and the commit must
+    /// survive a subsequent crash. Exercised for both parking modes.
+    #[test]
+    fn flusher_crash_after_fsync_before_wakeup_keeps_commits() {
+        let _g = serial();
+        for mode in
+            [Durability::Immediate, Durability::Batched { window: Duration::from_millis(1) }]
+        {
+            let mut rig = Rig::new(50);
+            chaos::arm_times("commitpipe.flusher.post_fsync_pre_wakeup", ChaosAction::Panic, 1);
+            rig.commit_one(10_000, mode).expect("commit must succeed despite the lost wakeup");
+            rig.expected.push(10_000);
+            chaos::disarm_all();
+            rig.quiesce();
+            let stats = rig.db.robustness_stats();
+            assert!(
+                stats.wal_flusher_panics >= 1,
+                "the armed panic must have fired on the flusher thread"
+            );
+            assert!(stats.wal_flusher_running, "a contained panic must not kill the flusher");
+            rig.crash_and_verify();
+        }
+    }
+
+    /// Crash point between LSN reservation and record fill, armed to
+    /// panic: the committing thread dies holding a reservation it never
+    /// fills. The hole must fence the durable horizon — later appends
+    /// (an `Async` commit here) can never become durable — and a crash
+    /// discards the whole fenced suffix while everything committed
+    /// before the hole survives.
+    #[test]
+    fn abandoned_reservation_fences_the_durable_horizon() {
+        let _g = serial();
+        let rig = Rig::new(50);
+        chaos::arm_times("commitpipe.append.post_reserve_pre_fill", ChaosAction::Panic, 1);
+        let db = rig.db.clone();
+        let idx = rig.idx.clone();
+        let victim = std::thread::spawn(move || {
+            let txn = db.begin();
+            idx.insert(txn, &10_000, rid(10_000)).unwrap();
+            db.commit(txn)
+        });
+        assert!(victim.join().is_err(), "the victim must die between reserve and fill");
+        chaos::disarm_all();
+
+        // An Async commit past the hole returns (it only needs the fill),
+        // but its durability can never arrive: the horizon is fenced.
+        // The key sits inside the already-widened bounding predicate so
+        // the insert itself runs no nested top action (an NTA terminator
+        // barriers on the pipeline, which the hole has wedged — that
+        // stall is the *correct* behavior, but not what this test is
+        // about).
+        rig.commit_one(9_999, Durability::Async).expect("async commit returns at fill");
+        std::thread::sleep(Duration::from_millis(20));
+        let fence = rig.log.flushed_lsn();
+        assert!(
+            fence < rig.log.last_lsn(),
+            "the durable horizon must be fenced below the reserved hole"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rig.log.flushed_lsn(), fence, "no idle sweep may move past the hole");
+        let stats = rig.db.robustness_stats();
+        assert!(stats.wal_append_lsn > stats.wal_durable_lsn, "pipeline lag is observable");
+
+        // Neither the victim (no commit record) nor the async commit
+        // (record behind the fence) survives the crash.
+        rig.crash_and_verify();
+    }
+
+    /// Same crash point armed to *error* instead of panic: the graceful
+    /// path heals the reservation with a `Noop` filler, the commit call
+    /// fails, the transaction aborts cleanly, and — because the log
+    /// stayed dense — later commits are completely unaffected.
+    #[test]
+    fn healed_reservation_keeps_the_log_dense() {
+        let _g = serial();
+        let mut rig = Rig::new(50);
+        chaos::arm_times("commitpipe.append.post_reserve_pre_fill", ChaosAction::Error, 1);
+        let err = rig.commit_one(10_000, Durability::Immediate);
+        assert!(err.is_err(), "the injected error must surface through commit");
+        chaos::disarm_all();
+
+        // The Noop filler keeps the log dense: an Immediate commit right
+        // after must park, flush and acknowledge normally.
+        rig.commit_one(10_001, Durability::Immediate).expect("the healed log must stay usable");
+        rig.expected.push(10_001);
+        rig.quiesce();
+        assert_eq!(
+            rig.log.flushed_lsn(),
+            rig.log.filled_lsn(),
+            "after healing, the durable horizon catches the filled prefix"
+        );
+        rig.crash_and_verify();
+    }
+
+    /// Crash point between fill and fsync, armed to error twice: the
+    /// batch fails before the device sync, parked committers stay
+    /// parked, and the idle sweep retries until the batch lands. The
+    /// committer sees nothing but a little extra latency.
+    #[test]
+    fn flusher_fsync_error_retries_until_durable() {
+        let _g = serial();
+        let mut rig = Rig::new(50);
+        chaos::arm_times("commitpipe.flusher.post_fill_pre_fsync", ChaosAction::Error, 2);
+        rig.commit_one(10_000, Durability::Immediate)
+            .expect("commit must outlast two failed flush attempts");
+        rig.expected.push(10_000);
+        chaos::disarm_all();
+        rig.quiesce();
+        rig.crash_and_verify();
+    }
+
+    /// `Async` durability: with every flush attempt failing, a crash
+    /// inside the loss window drops the acknowledged-but-unflushed
+    /// transaction entirely — bounded, documented loss, and clean (its
+    /// records never reached the durable prefix, so restart owes no
+    /// undo). Without interference the idle sweep closes the window and
+    /// the same transaction survives.
+    #[test]
+    fn async_commit_loss_window_is_bounded_by_the_idle_sweep() {
+        // Lost half: flusher errors on every batch from the moment the
+        // insert's records (and its structure-modification terminator)
+        // are down, so the commit record itself never becomes durable.
+        // The point stays armed until after the crash — one successful
+        // sweep would close the window.
+        {
+            let _g = serial();
+            let rig = Rig::new(50);
+            let txn = rig.db.begin_with(TxnOptions { durability: Durability::Async });
+            rig.idx.insert(txn, &10_000, rid(10_000)).unwrap();
+            chaos::arm("commitpipe.flusher.post_fill_pre_fsync", ChaosAction::Error);
+            rig.db.commit(txn).expect("async commit returns at fill");
+            // `expected` does not include 10_000: that is the documented
+            // loss window. The insert's records may well be durable —
+            // restart sees a transaction with no commit record and rolls
+            // it back cleanly.
+            rig.crash_and_verify();
+        }
+        // Durable half: one idle sweep later the window is closed.
+        {
+            let _g = serial();
+            let mut rig = Rig::new(50);
+            rig.commit_one(10_000, Durability::Async).expect("async commit returns at fill");
+            rig.expected.push(10_000);
+            rig.quiesce();
+            rig.crash_and_verify();
+        }
+    }
+
+    /// Under `latch-audit`, `commit_durable` asserts the committing
+    /// thread holds no page latch while parked on the pipeline (a latch
+    /// held across a park would stall every reader of that page for a
+    /// full device sync). Hammering concurrent parking commits proves
+    /// the whole commit path reaches the pipeline latch-clean.
+    #[cfg(feature = "latch-audit")]
+    #[test]
+    fn no_page_latch_is_held_while_parked_on_commit() {
+        let _g = serial();
+        let rig = Rig::new(50);
+        let mut workers = Vec::new();
+        for t in 0..4i64 {
+            let db = rig.db.clone();
+            let idx = rig.idx.clone();
+            workers.push(std::thread::spawn(move || {
+                for i in 0..25i64 {
+                    let k = 20_000 + t * 1_000 + i;
+                    let txn = db.begin_with(TxnOptions { durability: Durability::Immediate });
+                    idx.insert(txn, &k, rid(k as u64)).unwrap();
+                    db.commit(txn).unwrap();
+                }
+            }));
+        }
+        for w in workers {
+            w.join().expect("a latch held across a park would have tripped the audit");
+        }
+        rig.db.shutdown().unwrap();
+    }
+}
