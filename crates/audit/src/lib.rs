@@ -51,6 +51,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{LazyLock, Mutex, MutexGuard};
 
+pub mod mc;
+pub mod mutation;
+
 /// One reported discipline violation.
 #[derive(Debug, Clone)]
 pub struct Violation {
@@ -183,6 +186,7 @@ fn held_desc(held: &[HeldLatch]) -> String {
 /// (plain `fetch_read`/`fetch_write`); try-acquisitions and fresh-frame
 /// latches pass `false` and contribute no order-graph edges.
 pub fn latch_acquired(pool: u64, page: u64, exclusive: bool, blocking: bool) {
+    mc::on_latch_acquired(pool, page);
     STATS.latch_acquires.fetch_add(1, Ordering::Relaxed);
     TS.with(|cell| {
         let mut ts = cell.borrow_mut();
@@ -220,6 +224,7 @@ pub fn latch_acquired(pool: u64, page: u64, exclusive: bool, blocking: bool) {
 
 /// Record a latch release on `(pool, page)`.
 pub fn latch_released(pool: u64, page: u64) {
+    mc::on_latch_released(pool, page);
     TS.with(|cell| {
         let mut ts = cell.borrow_mut();
         match ts.held.iter().rposition(|h| h.pool == pool && h.page == page) {
@@ -239,6 +244,9 @@ pub fn latch_released(pool: u64, page: u64) {
 
 /// Record an X→S downgrade of a held latch (the latch stays held).
 pub fn latch_downgraded(pool: u64, page: u64) {
+    // An X→S downgrade publishes the holder's writes exactly like a
+    // release, so it carries the same happens-before edge.
+    mc::on_latch_released(pool, page);
     TS.with(|cell| {
         let mut ts = cell.borrow_mut();
         match ts.held.iter().rposition(|h| h.pool == pool && h.page == page) {
@@ -270,6 +278,7 @@ pub fn latch_page_fresh(pool: u64, page: u64) {
 /// `(pool, page)`. Any *other* latch held by the thread violates the
 /// no-latch-across-I/O discipline, unless an active scope allows it.
 pub fn io_event(pool: u64, page: u64, what: &'static str) {
+    mc::on_io_event(pool, page, what);
     STATS.io_events.fetch_add(1, Ordering::Relaxed);
     TS.with(|cell| {
         let mut ts = cell.borrow_mut();
@@ -299,6 +308,7 @@ pub fn io_event(pool: u64, page: u64, what: &'static str) {
 /// waits must be latch-free; other lock classes (signaling locks on
 /// nodes, transaction waits) have their own protocols.
 pub fn lock_wait(is_record: bool, desc: &str) {
+    mc::on_lock_wait("lock-wait");
     STATS.lock_waits.fetch_add(1, Ordering::Relaxed);
     if !is_record {
         return;
@@ -323,6 +333,7 @@ pub fn lock_wait(is_record: bool, desc: &str) {
 /// the queue shard whose condvar the request is about to park on (pure
 /// diagnostics — the discipline checked is the same latch-free-wait rule).
 pub fn lock_wait_sharded(is_record: bool, desc: &str, shard: usize) {
+    mc::on_lock_wait("lock-wait-sharded");
     STATS.lock_waits.fetch_add(1, Ordering::Relaxed);
     if !is_record {
         return;
@@ -350,6 +361,7 @@ pub fn lock_wait_sharded(is_record: bool, desc: &str, shard: usize) {
 /// acquisition (including re-entry on the held shard) can deadlock
 /// against a thread locking the same pair the other way around.
 pub fn shard_lock_acquired(layer: u64, index: usize) {
+    mc::on_shard_event(layer, index, "shard-acquire");
     STATS.shard_acquires.fetch_add(1, Ordering::Relaxed);
     TS.with(|cell| {
         let mut ts = cell.borrow_mut();
@@ -369,6 +381,7 @@ pub fn shard_lock_acquired(layer: u64, index: usize) {
 
 /// Record release of shard `index` of striped table `layer`.
 pub fn shard_lock_released(layer: u64, index: usize) {
+    mc::on_shard_event(layer, index, "shard-release");
     TS.with(|cell| {
         let mut ts = cell.borrow_mut();
         match ts.shard_locks.iter().rposition(|&(l, i)| l == layer && i == index) {
@@ -395,6 +408,7 @@ pub fn shard_held_count() -> usize {
 /// be issued at most once per counter; a duplicate means the counter
 /// regressed or was reissued, which would break split detection.
 pub fn nsn_drawn(counter: u64, value: u64) {
+    mc::on_nsn_drawn(counter);
     STATS.nsn_draws.fetch_add(1, Ordering::Relaxed);
     let fresh = lock(&NSN_SEEN).entry(counter).or_default().insert(value);
     if !fresh {

@@ -1,0 +1,257 @@
+//! Model-checker hook layer: the seam between the instrumentation
+//! points and a deterministic scheduler.
+//!
+//! The audit hooks (latch/shard/NSN/IO events) and the `gist-sync`
+//! wrappers (mutex/rwlock/condvar operations) all report here. When a
+//! [`McScheduler`] is registered — `crates/mc` installs one for the
+//! duration of an exploration — every hook on a *managed* thread becomes
+//! a cooperative yield point: the scheduler serializes the managed
+//! threads, picks which one runs next at each point, virtualizes
+//! condvar parking (including timeouts, so no real time passes), and
+//! feeds a vector-clock happens-before race detector with the
+//! acquire/release edges and shadow-state accesses reported through
+//! this module.
+//!
+//! With no scheduler registered (every production and ordinary-test
+//! configuration) the fast path is one relaxed atomic load.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, LazyLock, RwLock};
+use std::time::Duration;
+
+/// What kind of synchronization object an event refers to. Object
+/// identity is the `(kind, id)` pair, so id counters of different
+/// layers never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// A `gist-sync` mutex.
+    Mutex,
+    /// A `gist-sync` reader/writer lock.
+    RwLock,
+    /// A `gist-sync` condition variable.
+    Condvar,
+    /// A buffer-pool page latch, id = `pool ⊕ page` packed.
+    Latch,
+    /// A striped-table shard, id = `layer ⊕ index` packed.
+    Shard,
+    /// An instrumented atomic cell (e.g. the WAL watermarks).
+    Atomic,
+    /// A named code region (explicit `yield_now`-style points).
+    Region,
+}
+
+/// Identity of a synchronization object or shadow-state cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct McObj {
+    /// Object kind (namespaces the id).
+    pub kind: ObjKind,
+    /// Object id, unique within its kind.
+    pub id: u64,
+}
+
+impl McObj {
+    /// Object of `kind` with `id`.
+    pub fn new(kind: ObjKind, id: u64) -> McObj {
+        McObj { kind, id }
+    }
+}
+
+/// The operation about to run at a yield point (recorded into the
+/// schedule trace; the scheduler may switch tasks before it executes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McOp {
+    /// About to acquire a mutex (or retry after a virtual park).
+    MutexLock,
+    /// Just released a mutex.
+    MutexUnlock,
+    /// About to acquire a rwlock in shared mode.
+    RwRead,
+    /// About to acquire a rwlock in exclusive mode.
+    RwWrite,
+    /// Just released a rwlock (either mode).
+    RwUnlock,
+    /// About to notify a condition variable.
+    CvNotify,
+    /// About to perform an instrumented atomic operation.
+    AtomicOp,
+    /// A latch event forwarded from the buffer-pool hooks.
+    Latch,
+    /// A shard-lock event forwarded from the striped-table hooks.
+    Shard,
+    /// A store I/O event.
+    Io,
+    /// An explicit named region / NSN draw / other labelled point.
+    Region,
+}
+
+/// A deterministic scheduler driving managed threads. Implemented by
+/// `crates/mc`; everything here is called from the *managed* thread
+/// itself, between two of its operations.
+pub trait McScheduler: Send + Sync {
+    /// Whether the calling thread is one of the scheduler's managed
+    /// tasks. Hooks on unmanaged threads must behave as if no scheduler
+    /// were registered.
+    fn managed(&self) -> bool;
+
+    /// Cooperative scheduling point: the calling task is about to
+    /// perform `op` on `obj`. Blocks until the scheduler picks this
+    /// task to run again.
+    fn yield_point(&self, op: McOp, obj: McObj, what: &'static str);
+
+    /// Happens-before *acquire* edge: join `obj`'s clock into the
+    /// calling task's clock.
+    fn acquire(&self, obj: McObj);
+
+    /// Happens-before *release* edge: join the calling task's clock
+    /// into `obj`'s clock.
+    fn release(&self, obj: McObj);
+
+    /// A shadow-state access to `cell` for the race detector.
+    fn access(&self, cell: McObj, write: bool, what: &'static str);
+
+    /// Park the calling task until [`McScheduler::unpark`] on `obj` or
+    /// the *virtual* timeout elapses; returns whether it was notified
+    /// (false = timed out). No real time passes.
+    fn park(&self, obj: McObj, timeout: Option<Duration>) -> bool;
+
+    /// Mark tasks parked on `obj` runnable (one in park order, or all).
+    fn unpark(&self, obj: McObj, all: bool);
+}
+
+/// Fast-path gate: true only while a scheduler is registered.
+static MC_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+#[allow(clippy::type_complexity)]
+static SCHEDULER: LazyLock<RwLock<Option<Arc<dyn McScheduler>>>> =
+    LazyLock::new(|| RwLock::new(None));
+
+/// Install (or clear) the process-global scheduler. Explorations are
+/// expected to serialize themselves; the last call wins.
+pub fn set_scheduler(sched: Option<Arc<dyn McScheduler>>) {
+    let mut slot = SCHEDULER.write().unwrap_or_else(|p| p.into_inner());
+    MC_ACTIVE.store(sched.is_some(), Ordering::SeqCst);
+    *slot = sched;
+}
+
+/// The registered scheduler, if the calling thread is one of its
+/// managed tasks (the common fast path is one relaxed load + `None`).
+pub fn scheduler() -> Option<Arc<dyn McScheduler>> {
+    if !MC_ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let slot = SCHEDULER.read().unwrap_or_else(|p| p.into_inner());
+    match &*slot {
+        Some(s) if s.managed() => Some(s.clone()),
+        _ => None,
+    }
+}
+
+/// Fresh id for an instrumented atomic cell (shared with the audit
+/// instance-id space, so values never repeat within a process).
+pub fn fresh_cell_id() -> u64 {
+    crate::new_instance_id()
+}
+
+/// Instrumented atomic read-modify-write on `cell`: a yield point, an
+/// acquire+release edge pair (RMWs totally order themselves on the
+/// cell) and a write access.
+pub fn atomic_rmw(cell: u64, what: &'static str) {
+    if let Some(s) = scheduler() {
+        let obj = McObj::new(ObjKind::Atomic, cell);
+        s.yield_point(McOp::AtomicOp, obj, what);
+        s.acquire(obj);
+        s.access(obj, true, what);
+        s.release(obj);
+    }
+}
+
+/// Instrumented acquire-load of `cell`: a yield point, a read access,
+/// and an acquire+release edge pair on the cell object. The release on
+/// a load over-approximates real hardware ordering slightly, but it
+/// keeps every pair of same-cell atomic operations HB-ordered —
+/// atomics never data-race by definition, so the detector must never
+/// flag two instrumented atomic ops against each other.
+pub fn atomic_load(cell: u64, what: &'static str) {
+    if let Some(s) = scheduler() {
+        let obj = McObj::new(ObjKind::Atomic, cell);
+        s.yield_point(McOp::AtomicOp, obj, what);
+        s.acquire(obj);
+        s.access(obj, false, what);
+        s.release(obj);
+    }
+}
+
+/// Instrumented release-store to `cell`: a yield point, a write access,
+/// and an acquire+release edge pair (see [`atomic_load`] for why the
+/// store also acquires).
+pub fn atomic_store(cell: u64, what: &'static str) {
+    if let Some(s) = scheduler() {
+        let obj = McObj::new(ObjKind::Atomic, cell);
+        s.yield_point(McOp::AtomicOp, obj, what);
+        s.acquire(obj);
+        s.access(obj, true, what);
+        s.release(obj);
+    }
+}
+
+/// Explicit named yield point (scenario code uses this to widen the
+/// interleaving surface around un-instrumented steps).
+pub fn region(what: &'static str) {
+    if let Some(s) = scheduler() {
+        s.yield_point(McOp::Region, McObj::new(ObjKind::Region, 0), what);
+    }
+}
+
+/// Pack a `(hi, lo)` pair into one object id (latches: pool/page;
+/// shards: layer/index).
+fn pack(hi: u64, lo: u64) -> u64 {
+    (hi << 32) ^ (lo & 0xffff_ffff)
+}
+
+/// Forward a latch acquisition from the buffer-pool hooks: yield point
+/// plus an HB acquire edge on the latch object.
+pub(crate) fn on_latch_acquired(pool: u64, page: u64) {
+    if let Some(s) = scheduler() {
+        let obj = McObj::new(ObjKind::Latch, pack(pool, page));
+        s.yield_point(McOp::Latch, obj, "latch-acquire");
+        s.acquire(obj);
+    }
+}
+
+/// Forward a latch release (or X→S downgrade, which publishes writes
+/// exactly like a release) from the buffer-pool hooks.
+pub(crate) fn on_latch_released(pool: u64, page: u64) {
+    if let Some(s) = scheduler() {
+        let obj = McObj::new(ObjKind::Latch, pack(pool, page));
+        s.release(obj);
+        s.yield_point(McOp::Latch, obj, "latch-release");
+    }
+}
+
+/// Forward a shard-lock event as a pure yield point (the shard mutex
+/// itself is a `gist-sync` mutex, which already carries the HB edges).
+pub(crate) fn on_shard_event(layer: u64, index: usize, what: &'static str) {
+    if let Some(s) = scheduler() {
+        let obj = McObj::new(ObjKind::Shard, pack(layer, index as u64));
+        s.yield_point(McOp::Shard, obj, what);
+    }
+}
+
+/// Forward an NSN draw: the counter is an atomic RMW, so order draws on
+/// the same counter and record the access.
+pub(crate) fn on_nsn_drawn(counter: u64) {
+    atomic_rmw(counter, "nsn-counter");
+}
+
+/// Forward a store I/O event as a yield point.
+pub(crate) fn on_io_event(pool: u64, page: u64, what: &'static str) {
+    if let Some(s) = scheduler() {
+        s.yield_point(McOp::Io, McObj::new(ObjKind::Latch, pack(pool, page)), what);
+    }
+}
+
+/// Forward a lock-manager wait announcement as a yield point (the wait
+/// itself is virtualized through the `gist-sync` condvar).
+pub(crate) fn on_lock_wait(what: &'static str) {
+    region(what);
+}

@@ -1,0 +1,59 @@
+//! Runtime-armed mutation registry for model-checker self-tests.
+//!
+//! A *mutation* reintroduces a fixed historical concurrency bug behind
+//! a named switch so `crates/mc` can prove its explorer finds the bug
+//! within a bounded schedule budget. The buggy branches are compiled in
+//! only under the owning crate's `mutations` feature (enabled by the
+//! umbrella `model-check` feature, never by default) and are inert
+//! until a test arms them here; disarmed cost is one relaxed load.
+//!
+//! Names in use:
+//! - `lockmgr.release-all-single-pass` — the pre-fix orphan-grant race
+//!   (`release_all` takes one held-set snapshot instead of looping).
+//! - `predlock.attach-skip-dedupe` — the pre-fix duplicate-FIFO race
+//!   (`attach` pushes unconditionally instead of deduping against a
+//!   racing `replicate`).
+//! - `wal.wait-durable-unguarded-park` — the classic lost wakeup
+//!   (`wait_durable` checks the horizon outside the wait mutex, then
+//!   parks without a generation check).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{LazyLock, Mutex};
+
+static ARMED_COUNT: AtomicUsize = AtomicUsize::new(0);
+static ARMED: LazyLock<Mutex<HashSet<&'static str>>> =
+    LazyLock::new(|| Mutex::new(HashSet::new()));
+
+/// Arm the named mutation. Idempotent.
+pub fn arm(name: &'static str) {
+    let mut set = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+    if set.insert(name) {
+        ARMED_COUNT.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm the named mutation. Idempotent.
+pub fn disarm(name: &'static str) {
+    let mut set = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+    if set.remove(name) {
+        ARMED_COUNT.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Disarm every mutation (test teardown).
+pub fn disarm_all() {
+    let mut set = ARMED.lock().unwrap_or_else(|p| p.into_inner());
+    if !set.is_empty() {
+        set.clear();
+        ARMED_COUNT.store(0, Ordering::SeqCst);
+    }
+}
+
+/// Whether the named mutation is armed (fast path: nothing armed).
+pub fn armed(name: &str) -> bool {
+    if ARMED_COUNT.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    ARMED.lock().unwrap_or_else(|p| p.into_inner()).contains(name)
+}

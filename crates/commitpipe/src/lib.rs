@@ -32,7 +32,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gist_wal::{LogFlusher, LogManager, Lsn, RecordBody, TxnId};
-use parking_lot::{Condvar, Mutex};
+use gist_sync::{Condvar, Mutex};
 
 /// How long a transaction waits for its commit record to become durable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

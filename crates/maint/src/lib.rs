@@ -554,21 +554,29 @@ impl MaintDaemon {
         loop {
             let q = {
                 let mut st = self.state.lock();
-                let now = Instant::now();
-                if ignore_backoff {
-                    let delayed = std::mem::take(&mut st.delayed);
-                    for (_, q) in delayed {
-                        st.heap.push(q);
+                loop {
+                    let now = Instant::now();
+                    if ignore_backoff {
+                        let delayed = std::mem::take(&mut st.delayed);
+                        for (_, q) in delayed {
+                            st.heap.push(q);
+                        }
+                    } else {
+                        Self::promote_ready(&mut st, now);
                     }
-                } else {
-                    Self::promote_ready(&mut st, now);
-                }
-                match st.heap.pop() {
-                    Some(q) => {
+                    if let Some(q) = st.heap.pop() {
                         st.in_flight += 1;
-                        q
+                        break q;
                     }
-                    None => break,
+                    // An empty queue is not an idle queue: a worker may
+                    // still own an item whose `finish` re-enqueues it
+                    // (retry backoff, follow-up work). Returning now
+                    // would let "drained" race that re-enqueue, so wait
+                    // for the in-flight count to settle first.
+                    if st.in_flight == 0 {
+                        return processed;
+                    }
+                    self.cond.wait(&mut st);
                 }
             };
             self.process(q);
@@ -576,7 +584,6 @@ impl MaintDaemon {
             audit::assert_thread_clear("maint run_until_idle item");
             processed += 1;
         }
-        processed
     }
 
     fn promote_ready(st: &mut State, now: Instant) {
@@ -924,6 +931,84 @@ mod tests {
         assert_eq!(s.nodes_drained, 1);
         assert_eq!(s.retries, 2);
         assert_eq!(d.backlog(), 0);
+    }
+
+    /// A `FakeIndex` whose first GC call parks until released and then
+    /// asks for a retry — holds an item *in flight* on a worker thread
+    /// while the test calls `run_until_idle`.
+    struct ParkedRetryIndex {
+        id: u32,
+        gc_calls: AtomicU64,
+        entered: std::sync::mpsc::Sender<()>,
+        release: std::sync::Mutex<std::sync::mpsc::Receiver<()>>,
+    }
+
+    impl MaintIndex for ParkedRetryIndex {
+        fn maint_index_id(&self) -> u32 {
+            self.id
+        }
+        fn maint_gc_leaf(
+            &self,
+            _leaf: PageId,
+            _parent_hint: Option<PageId>,
+        ) -> Result<GcOutcome, MaintError> {
+            if self.gc_calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                self.entered.send(()).unwrap();
+                self.release.lock().unwrap().recv().unwrap();
+                return Err(MaintError::Retry("parked".into()));
+            }
+            Ok(GcOutcome { reclaimed: 1, leaf_empty: false })
+        }
+        fn maint_try_drain(
+            &self,
+            _leaf: PageId,
+            _parent_hint: Option<PageId>,
+        ) -> Result<DrainOutcome, MaintError> {
+            Ok(DrainOutcome::Deleted)
+        }
+        fn maint_sweep(&self) -> Result<SweepOutcome, MaintError> {
+            Ok(SweepOutcome { entries_removed: 0, nodes_deleted: 0 })
+        }
+    }
+
+    /// Regression: `run_until_idle` must not conclude "drained" while a
+    /// worker still owns an item — the worker's `finish` may re-enqueue
+    /// it (retry backoff), and a caller that returned early would race
+    /// that re-enqueue and observe unreclaimed work after a "sync".
+    #[test]
+    fn run_until_idle_waits_for_in_flight_retries() {
+        let (d, _log) = daemon(MaintConfig::default());
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel();
+        let idx = Arc::new(ParkedRetryIndex {
+            id: 4,
+            gc_calls: AtomicU64::new(0),
+            entered: entered_tx,
+            release: std::sync::Mutex::new(release_rx),
+        });
+        let weak: Weak<dyn MaintIndex> = {
+            let a: Arc<dyn MaintIndex> = idx.clone();
+            Arc::downgrade(&a)
+        };
+        d.register_index(weak);
+        d.start();
+        d.enqueue(WorkItem::Gc { index: 4, leaf: PageId(6), parent_hint: None });
+        // The worker owns the item (queue empty, in_flight = 1) ...
+        entered_rx.recv().unwrap();
+        // ... and is released only after the drain is underway.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            release_tx.send(()).unwrap();
+        });
+        d.run_until_idle();
+        releaser.join().unwrap();
+        assert_eq!(
+            idx.gc_calls.load(Ordering::Relaxed),
+            2,
+            "run_until_idle processed the retry the in-flight worker re-enqueued"
+        );
+        assert_eq!(d.backlog(), 0);
+        d.stop(/*drain=*/ false);
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Vector-clock happens-before tracking and data-race detection.
+//!
+//! Every managed task carries a vector clock. Synchronization objects
+//! (mutexes, rwlocks, condvars, latches, instrumented atomics) carry a
+//! clock too: a *release* joins the releasing task's clock into the
+//! object (then ticks the task), an *acquire* joins the object's clock
+//! into the acquiring task. Shadow-state accesses are checked against
+//! the cell's last write and the reads since that write using the
+//! FastTrack-style `(task, epoch)` encoding: accesses `a` then `b`
+//! conflict iff one is a write, they come from different tasks, and
+//! `b`'s task clock has not absorbed `a`'s epoch.
+
+use std::collections::HashMap;
+
+use gist_audit::mc::McObj;
+
+/// A vector clock, one component per task (spawn-order indexed).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(pub Vec<u32>);
+
+impl VClock {
+    /// Component for `task` (zero if the clock is narrower).
+    pub fn get(&self, task: usize) -> u32 {
+        self.0.get(task).copied().unwrap_or(0)
+    }
+
+    /// Pointwise maximum: absorb everything `other` has seen.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Advance this task's own component.
+    pub fn tick(&mut self, task: usize) {
+        if self.0.len() <= task {
+            self.0.resize(task + 1, 0);
+        }
+        self.0[task] += 1;
+    }
+}
+
+/// One recorded access for race reporting.
+#[derive(Debug, Clone)]
+pub struct AccessInfo {
+    /// Task index (spawn order) that performed the access.
+    pub task: usize,
+    /// Task name at the time of the access.
+    pub task_name: String,
+    /// The instrumentation label (`what`) of the access site.
+    pub what: &'static str,
+    /// Whether it was a write.
+    pub write: bool,
+    /// Captured backtrace, if stack capture was enabled (replay phase).
+    pub stack: Option<String>,
+}
+
+/// A pair of conflicting accesses with no happens-before edge.
+#[derive(Debug, Clone)]
+pub struct Race {
+    /// The shadow-state cell both sides touched.
+    pub cell: McObj,
+    /// The earlier access.
+    pub prior: AccessInfo,
+    /// The later access (the one that detected the race).
+    pub current: AccessInfo,
+}
+
+impl Race {
+    /// Multi-line human-readable rendering (both stacks when present).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "data race on {:?}#{}:\n  prior  {} by task {} ({}) at `{}`\n  racing {} by task {} ({}) at `{}`\n",
+            self.cell.kind,
+            self.cell.id,
+            if self.prior.write { "write" } else { "read " },
+            self.prior.task,
+            self.prior.task_name,
+            self.prior.what,
+            if self.current.write { "write" } else { "read " },
+            self.current.task,
+            self.current.task_name,
+            self.current.what,
+        );
+        if let Some(s) = &self.prior.stack {
+            out.push_str("  prior stack:\n");
+            for line in s.lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        if let Some(s) = &self.current.stack {
+            out.push_str("  racing stack:\n");
+            for line in s.lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// `(task, epoch)` plus reporting metadata for one remembered access.
+#[derive(Debug, Clone)]
+struct Epoch {
+    task: usize,
+    at: u32,
+    info: AccessInfo,
+}
+
+/// Per-cell access history: the last write and the reads since it.
+#[derive(Debug, Default)]
+struct CellHistory {
+    last_write: Option<Epoch>,
+    reads: Vec<Epoch>,
+}
+
+/// Happens-before state for one schedule iteration.
+#[derive(Debug, Default)]
+pub struct HbState {
+    /// Per-task vector clocks.
+    pub task_clocks: Vec<VClock>,
+    /// Per-sync-object clocks (accumulated releases).
+    obj_clocks: HashMap<McObj, VClock>,
+    /// Per-cell access histories.
+    cells: HashMap<McObj, CellHistory>,
+}
+
+impl HbState {
+    /// Fresh state for `tasks` tasks. Each task's own component starts
+    /// at 1 so a first access's epoch `(t, 1)` is *not* absorbed by
+    /// another task's fresh all-zero clock.
+    pub fn new(tasks: usize) -> HbState {
+        let mut state = HbState::default();
+        state.clock_mut(tasks.saturating_sub(1));
+        state
+    }
+
+    fn clock_mut(&mut self, task: usize) -> &mut VClock {
+        if self.task_clocks.len() <= task {
+            let old = self.task_clocks.len();
+            self.task_clocks.resize_with(task + 1, VClock::default);
+            for i in old..=task {
+                self.task_clocks[i].tick(i);
+            }
+        }
+        &mut self.task_clocks[task]
+    }
+
+    /// Acquire edge: `task` absorbs `obj`'s clock.
+    pub fn acquire(&mut self, task: usize, obj: McObj) {
+        if let Some(oc) = self.obj_clocks.get(&obj) {
+            let oc = oc.clone();
+            self.clock_mut(task).join(&oc);
+        }
+    }
+
+    /// Release edge: `obj` absorbs `task`'s clock; `task` ticks so its
+    /// later work is not ordered before this release.
+    pub fn release(&mut self, task: usize, obj: McObj) {
+        let tc = self.clock_mut(task).clone();
+        self.obj_clocks.entry(obj).or_default().join(&tc);
+        self.clock_mut(task).tick(task);
+    }
+
+    /// Record an access to `cell`; returns the race it completes, if
+    /// the access conflicts with an unordered earlier one.
+    pub fn access(
+        &mut self,
+        task: usize,
+        task_name: &str,
+        cell: McObj,
+        write: bool,
+        what: &'static str,
+        stack: Option<String>,
+    ) -> Option<Race> {
+        let clock = self.clock_mut(task).clone();
+        let info = AccessInfo {
+            task,
+            task_name: task_name.to_string(),
+            what,
+            write,
+            stack,
+        };
+        let hist = self.cells.entry(cell).or_default();
+
+        let ordered =
+            |e: &Epoch, c: &VClock| e.task == task || c.get(e.task) >= e.at;
+
+        let mut race = None;
+        if let Some(w) = &hist.last_write {
+            if !ordered(w, &clock) {
+                race = Some(Race { cell, prior: w.info.clone(), current: info.clone() });
+            }
+        }
+        if write && race.is_none() {
+            for r in &hist.reads {
+                if !ordered(r, &clock) {
+                    race = Some(Race { cell, prior: r.info.clone(), current: info.clone() });
+                    break;
+                }
+            }
+        }
+
+        let epoch = Epoch { task, at: clock.get(task), info };
+        if write {
+            hist.last_write = Some(epoch);
+            hist.reads.clear();
+        } else {
+            hist.reads.retain(|r| r.task != task);
+            hist.reads.push(epoch);
+        }
+        race
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gist_audit::mc::ObjKind;
+
+    fn cell(id: u64) -> McObj {
+        McObj::new(ObjKind::Atomic, id)
+    }
+
+    fn lock(id: u64) -> McObj {
+        McObj::new(ObjKind::Mutex, id)
+    }
+
+    #[test]
+    fn unsynchronized_write_write_is_a_race() {
+        let mut hb = HbState::new(2);
+        assert!(hb.access(0, "a", cell(1), true, "w0", None).is_none());
+        let race = hb.access(1, "b", cell(1), true, "w1", None);
+        let race = race.expect("conflicting unordered writes race");
+        assert_eq!(race.prior.task, 0);
+        assert_eq!(race.current.task, 1);
+    }
+
+    #[test]
+    fn release_acquire_orders_accesses() {
+        let mut hb = HbState::new(2);
+        assert!(hb.access(0, "a", cell(1), true, "w0", None).is_none());
+        hb.release(0, lock(9));
+        hb.acquire(1, lock(9));
+        assert!(hb.access(1, "b", cell(1), true, "w1", None).is_none());
+    }
+
+    #[test]
+    fn read_read_never_races_but_unordered_write_after_read_does() {
+        let mut hb = HbState::new(3);
+        assert!(hb.access(0, "a", cell(2), false, "r0", None).is_none());
+        assert!(hb.access(1, "b", cell(2), false, "r1", None).is_none());
+        // Task 2 writes, ordered after task 0's read only.
+        hb.release(0, lock(5));
+        hb.acquire(2, lock(5));
+        let race = hb.access(2, "c", cell(2), true, "w2", None);
+        let race = race.expect("write conflicts with task 1's unordered read");
+        assert_eq!(race.prior.task, 1);
+    }
+
+    #[test]
+    fn tick_on_release_separates_pre_and_post_release_work() {
+        let mut hb = HbState::new(2);
+        hb.release(0, lock(1));
+        hb.acquire(1, lock(1));
+        // Task 0's *post-release* write is not ordered with task 1.
+        assert!(hb.access(0, "a", cell(3), true, "w0", None).is_none());
+        assert!(hb.access(1, "b", cell(3), true, "w1", None).is_some());
+    }
+}

@@ -43,7 +43,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use gist_sync::Mutex;
 
 use gist_pagestore::PageId;
 use gist_striped::Striped;
@@ -206,7 +206,15 @@ impl PredicateManager {
             // a duplicate FIFO entry for one predicate.
             let mut sh = self.nodes.lock(&node);
             let list = sh.entry(node).or_default();
-            if list.iter().all(|e| e.id != pred) {
+            // Historical duplicate-FIFO race, compiled in only under the
+            // `mutations` feature and armed at runtime by model-checker
+            // self-tests: pushing without the dedupe check duplicates the
+            // entry when a replicate already copied it here.
+            #[cfg(feature = "mutations")]
+            let skip_dedupe = gist_audit::mutation::armed("predlock.attach-skip-dedupe");
+            #[cfg(not(feature = "mutations"))]
+            let skip_dedupe = false;
+            if skip_dedupe || list.iter().all(|e| e.id != pred) {
                 list.push(entry);
             }
         }

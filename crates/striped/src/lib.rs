@@ -34,7 +34,7 @@
 
 use std::hash::{Hash, Hasher};
 
-use parking_lot::{Mutex, MutexGuard};
+use gist_sync::{Mutex, MutexGuard};
 
 mod audit;
 

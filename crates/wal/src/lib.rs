@@ -25,6 +25,7 @@
 //! ([`codec`]) and file persistence ([`LogManager::persist_file`]) are
 //! also provided for round-trip realism.
 
+mod audit;
 mod lsn;
 mod record;
 pub mod codec;

@@ -18,10 +18,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use gist_sync::{Condvar, Mutex, RwLock};
 
 use crate::codec;
-use crate::{LogRecord, Lsn, NestedTopAction, RecordBody, TxnId};
+use crate::{audit, LogRecord, Lsn, NestedTopAction, RecordBody, TxnId};
 
 /// Anything that can force the log durable up to an LSN.
 ///
@@ -98,12 +98,21 @@ pub struct LogManager {
     sync_micros: AtomicU64,
     /// Serializes durability advances (one fsync in flight at a time).
     sync_mutex: Mutex<()>,
-    /// Parking lot for group-commit waiters ([`LogManager::wait_durable`]).
-    wait_mutex: Mutex<()>,
+    /// Wakeup generation for group-commit waiters: [`LogManager::notify_durable`]
+    /// bumps it under this mutex before signalling, and
+    /// [`LogManager::wait_durable`] checks the horizon and snapshots the
+    /// generation under the same mutex before parking — so a notify can
+    /// never land unseen between a waiter's check and its park.
+    wait_mutex: Mutex<u64>,
     /// Signalled whenever the durable prefix advances; committers parked
     /// on their commit LSN wake here (the commit pipeline batches the
     /// fsync and then calls [`LogManager::notify_durable`]).
     flush_cv: Condvar,
+    /// Model-checker shadow cells for the three watermarks (see
+    /// `crate::audit`); zero when the `latch-audit` feature is off.
+    hb_reserved: u64,
+    hb_filled: u64,
+    hb_durable: u64,
 }
 
 impl Default for LogManager {
@@ -122,8 +131,11 @@ impl LogManager {
             durable: AtomicU64::new(0),
             sync_micros: AtomicU64::new(0),
             sync_mutex: Mutex::new(()),
-            wait_mutex: Mutex::new(()),
+            wait_mutex: Mutex::new(0),
             flush_cv: Condvar::new(),
+            hb_reserved: audit::new_cell_id(),
+            hb_filled: audit::new_cell_id(),
+            hb_durable: audit::new_cell_id(),
         }
     }
 
@@ -175,6 +187,7 @@ impl LogManager {
     /// reservation and publication; ordinary appenders use
     /// [`LogManager::append`].
     pub fn reserve(&self, txn: TxnId, prev_lsn: Lsn) -> Reservation {
+        audit::atomic_rmw(self.hb_reserved, "wal-reserve");
         let lsn = self.reserved.fetch_add(1, Ordering::SeqCst) + 1;
         // Make sure the slot's segment exists before returning: the fill
         // (and any concurrent reader) must never see a missing segment.
@@ -212,6 +225,8 @@ impl LogManager {
     /// Cooperatively advance `filled` while the next slot is published.
     fn advance_filled(&self) {
         loop {
+            audit::atomic_rmw(self.hb_filled, "wal-filled-advance");
+            audit::atomic_load(self.hb_reserved, "wal-reserved-read");
             let f = self.filled.load(Ordering::Acquire);
             if f >= self.reserved.load(Ordering::Acquire) || !self.cell_is_set(f + 1) {
                 return;
@@ -242,17 +257,20 @@ impl LogManager {
     /// This is the paper's "global NSN" counter when NSNs are sourced from
     /// the log (§10.1).
     pub fn last_lsn(&self) -> Lsn {
+        audit::atomic_load(self.hb_reserved, "wal-reserved-read");
         Lsn(self.reserved.load(Ordering::Acquire))
     }
 
     /// Contiguous published prefix: every record with LSN ≤ this has been
     /// filled. Only this prefix can become durable.
     pub fn filled_lsn(&self) -> Lsn {
+        audit::atomic_load(self.hb_filled, "wal-filled-read");
         Lsn(self.filled.load(Ordering::Acquire))
     }
 
     /// Durable prefix of the log.
     pub fn flushed_lsn(&self) -> Lsn {
+        audit::atomic_load(self.hb_durable, "wal-durable-read");
         Lsn(self.durable.load(Ordering::Acquire))
     }
 
@@ -274,7 +292,9 @@ impl LogManager {
     /// the device: each sync is its own device barrier, which is exactly
     /// the per-commit cost a group-commit flusher amortizes away.
     pub fn fsync_to(&self, lsn: Lsn) -> Lsn {
+        audit::atomic_load(self.hb_filled, "wal-filled-read");
         let target = lsn.0.min(self.filled.load(Ordering::Acquire));
+        audit::atomic_load(self.hb_durable, "wal-durable-read");
         if target <= self.durable.load(Ordering::Acquire) {
             return self.flushed_lsn();
         }
@@ -286,27 +306,44 @@ impl LogManager {
         // Only fsync_to moves the horizon, always under the device lock,
         // so a monotonicity check suffices.
         if target > self.durable.load(Ordering::Acquire) {
+            audit::atomic_store(self.hb_durable, "wal-durable-store");
             self.durable.store(target, Ordering::Release);
         }
         self.flushed_lsn()
     }
 
-    /// Wake everyone parked in [`LogManager::wait_durable`]. The empty
-    /// lock acquisition orders the wakeup after any waiter's horizon
-    /// check, so no waiter that observed a stale horizon can miss it.
+    /// Wake everyone parked in [`LogManager::wait_durable`]: bump the
+    /// wakeup generation under the wait mutex, then signal. A waiter
+    /// checks the horizon and snapshots the generation under the same
+    /// mutex before parking, so this bump is impossible to miss — the
+    /// waiter either sees the new horizon, sees the new generation, or
+    /// is already parked and receives the signal.
     pub fn notify_durable(&self) {
-        drop(self.wait_mutex.lock());
+        let mut gen = self.wait_mutex.lock();
+        *gen = gen.wrapping_add(1);
+        drop(gen);
         self.flush_cv.notify_all();
     }
 
     /// Park until the durable horizon reaches `lsn` or `timeout` elapses;
-    /// returns whether the horizon was reached. Waiters re-check the
-    /// horizon periodically, so a missed wakeup degrades latency, never
-    /// correctness.
+    /// returns whether the horizon was reached.
+    ///
+    /// The wait is a generation handshake with [`LogManager::notify_durable`]
+    /// (no polling): each loop checks the horizon under the wait mutex,
+    /// then parks for the full remaining time. A timed-out wait whose
+    /// generation is unchanged means no durability advance was
+    /// announced while parked, so one final horizon check decides
+    /// (covering [`LogManager::fsync_to`] callers that advance the
+    /// horizon without a notify, which is that method's contract). The
+    /// `wal-lost-wakeup` model-check scenario pins the no-missed-notify
+    /// property across every explored schedule.
     pub fn wait_durable(&self, lsn: Lsn, timeout: Duration) -> bool {
-        const RECHECK: Duration = Duration::from_millis(2);
+        #[cfg(feature = "mutations")]
+        if gist_audit::mutation::armed("wal.wait-durable-unguarded-park") {
+            return self.wait_durable_unguarded_park(lsn, timeout);
+        }
         let deadline = Instant::now() + timeout;
-        let mut guard = self.wait_mutex.lock();
+        let mut gen = self.wait_mutex.lock();
         loop {
             if self.flushed_lsn() >= lsn {
                 return true;
@@ -315,7 +352,36 @@ impl LogManager {
             if now >= deadline {
                 return false;
             }
-            self.flush_cv.wait_for(&mut guard, (deadline - now).min(RECHECK));
+            let seen = *gen;
+            let timed_out = self.flush_cv.wait_for(&mut gen, deadline - now).timed_out();
+            if timed_out && *gen == seen {
+                return self.flushed_lsn() >= lsn;
+            }
+        }
+    }
+
+    /// Historical lost-wakeup bug, compiled in only under the
+    /// `mutations` feature and armed at runtime by model-checker
+    /// self-tests: the horizon check happens *outside* the wait mutex
+    /// and the park ignores the generation, so a notify that lands
+    /// between the check and the park is lost and the waiter sleeps its
+    /// full timeout.
+    #[cfg(feature = "mutations")]
+    fn wait_durable_unguarded_park(&self, lsn: Lsn, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.flushed_lsn() >= lsn {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let mut gen = self.wait_mutex.lock();
+            // The buggy wait ignores the result on purpose: this body
+            // reproduces the historical race verbatim.
+            let _ = self.flush_cv.wait_for(&mut gen, deadline - now); // lint: allow-ignored-io
+            drop(gen);
         }
     }
 

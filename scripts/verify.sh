@@ -6,6 +6,10 @@
 # Tier-2 verification gate: zero clippy warnings, zero gist-lint
 # violations, and the full test suite under the gist-audit dynamic
 # discipline analyzer (`--features latch-audit`).
+#
+# Tier-3: the crates/mc deterministic schedule explorer — schedule-pinned
+# regression scenarios, mutation-detection proofs, and exhaustive DFS over
+# the WAL watermark invariants (`--features model-check`).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,8 +25,8 @@ cargo test --release --test maint
 echo "== tier 2: cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier 2: cargo clippy --workspace --all-targets --features chaos,latch-audit =="
-cargo clippy --workspace --all-targets --features chaos,latch-audit -- -D warnings
+echo "== tier 2: cargo clippy --workspace --all-targets --features chaos,latch-audit,model-check =="
+cargo clippy --workspace --all-targets --features chaos,latch-audit,model-check -- -D warnings
 
 echo "== tier 2: gist-lint (static discipline rules) =="
 cargo run -q --bin gist-lint
@@ -47,6 +51,15 @@ echo "== tier 2: group-commit acceptance bench (smoke) =="
 BENCH_COMMIT_SMOKE=1 cargo run -q --release -p gist-bench --bin bench_commit \
     target/BENCH_commit_smoke.json
 
+echo "== tier 3: deterministic model checker (crates/mc) =="
+# Fixed per-scenario budgets and two schedule-generation seeds per
+# scenario are compiled into tests/mc_scenarios.rs (seeded-random +
+# PCT; exhaustive DFS for the small WAL watermark state space). Any
+# failing exploration writes its minimized, byte-replayable schedule
+# trace to $MC_TRACE_DIR/<scenario>.trace for offline replay.
+MC_TRACE_DIR=target/mc-traces \
+    cargo test -q --release --features model-check --test mc_scenarios
+
 echo ""
 echo "verification summary"
 echo "  step                                violations"
@@ -60,4 +73,5 @@ echo "  fault-injection crash harness                0"
 echo "  chaos harness (seeds 1+2, audited)           0"
 echo "  flusher crash points (audited)               0"
 echo "  group-commit acceptance (>=5x)               0"
+echo "  model checker (mc scenarios)                 0"
 echo "verify.sh: all green"

@@ -14,6 +14,7 @@
 //! | `no-global-sync-map` | no new top-level `Mutex<HashMap<...>>` / `RwLock<HashMap<...>>` in the hot-path sync crates (pagestore, lockmgr, predlock) — shared tables there must go through the striped abstraction (`gist-striped`) so they stay partitioned and shard-order audited |
 //! | `no-ignored-io` | no `let _ = ...` / statement-level `....ok();` in the storage crates (pagestore, wal) — every I/O result must be propagated, retried, or poison the pool; a silently dropped error is exactly how a lost write becomes silent corruption |
 //! | `no-inline-flush` | no direct `log.flush(...)` outside crates/wal and crates/commitpipe — durability goes through the group-commit pipeline, a private fsync re-serializes committers on the device |
+//! | `no-raw-std-sync` | no bare `parking_lot` / `std::sync` mutex, rwlock or condvar in the model-checked hot-path crates (lockmgr, predlock, commitpipe, wal, striped) — synchronization there must go through the `gist-sync` wrappers, or the deterministic scheduler (`crates/mc`) cannot see the operation and its schedules silently lose coverage |
 //! | `chaos-point-registry` | every `chaos::point("...")` call site names an entry of the chaos crate's `CATALOG`, the catalog is duplicate-free, and every cataloged point is threaded through at least one call site |
 //!
 //! Scanning is line/AST-lite on purpose: the build must stay offline, so
@@ -354,6 +355,57 @@ fn rule_no_inline_flush(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule `no-raw-std-sync`: the hot-path crates are model-checked through
+/// the `gist-sync` wrappers — every mutex/rwlock/condvar operation there
+/// is a scheduling point and a happens-before edge. A bare `parking_lot`
+/// or `std::sync` primitive in those crates is invisible to the
+/// deterministic scheduler: schedules interleave *around* it, the race
+/// detector loses its edges, and the mc regression suite quietly stops
+/// covering the code it pins. Tests are exempt (they run unmanaged); a
+/// deliberate raw primitive takes a same-line `lint: allow-raw-sync`
+/// waiver stating why it must not be a yield point.
+fn rule_no_raw_std_sync(f: &SourceFile, out: &mut Vec<Violation>) {
+    let scoped = [
+        "crates/lockmgr/",
+        "crates/predlock/",
+        "crates/commitpipe/",
+        "crates/wal/",
+        "crates/striped/",
+    ]
+    .iter()
+    .any(|p| f.path.starts_with(p));
+    if !scoped {
+        return;
+    }
+    for (n, clean, raw, test) in f.lines() {
+        if test || raw.contains("lint: allow-raw-sync") {
+            continue;
+        }
+        let offender = if clean.contains("parking_lot") {
+            Some("parking_lot")
+        } else if clean.contains("std::sync")
+            && ["Mutex", "RwLock", "Condvar"].iter().any(|t| clean.contains(t))
+        {
+            Some("std::sync")
+        } else {
+            None
+        };
+        if let Some(source) = offender {
+            out.push(Violation {
+                rule: "no-raw-std-sync",
+                file: f.path.clone(),
+                line: n,
+                msg: format!(
+                    "bare `{source}` synchronization in a model-checked crate — use the \
+                     `gist-sync` wrappers so the deterministic scheduler sees the \
+                     operation; waive with `lint: allow-raw-sync` if it must stay \
+                     invisible"
+                ),
+            });
+        }
+    }
+}
+
 /// Extract the variant names of `pub enum <name>` from sanitized source.
 fn enum_variants(clean: &str, name: &str) -> Vec<String> {
     let mut variants = Vec::new();
@@ -649,6 +701,7 @@ fn scan(files: &[SourceFile]) -> Vec<Violation> {
         rule_no_global_sync_map(f, &mut out);
         rule_no_ignored_io(f, &mut out);
         rule_no_inline_flush(f, &mut out);
+        rule_no_raw_std_sync(f, &mut out);
     }
     rule_record_coverage(files, &mut out);
     rule_forbid_unsafe(files, &mut out);
@@ -718,6 +771,7 @@ fn main() {
         "no-global-sync-map",
         "no-ignored-io",
         "no-inline-flush",
+        "no-raw-std-sync",
         "chaos-point-registry",
     ] {
         let n = violations.iter().filter(|v| v.rule == rule).count();
@@ -856,6 +910,61 @@ mod tests {
         );
         let mut v = Vec::new();
         rule_no_inline_flush(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn raw_sync_in_model_checked_crate_is_flagged() {
+        // Imports and qualified construction are both caught.
+        let f = file("crates/lockmgr/src/manager.rs", "use parking_lot::{Condvar, Mutex};");
+        let mut v = Vec::new();
+        rule_no_raw_std_sync(&f, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-raw-std-sync");
+        let f = file("crates/wal/src/log.rs", "use std::sync::{Arc, Mutex};");
+        let mut v = Vec::new();
+        rule_no_raw_std_sync(&f, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        let f = file("crates/commitpipe/src/lib.rs", "let m = std::sync::Condvar::new();");
+        let mut v = Vec::new();
+        rule_no_raw_std_sync(&f, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn raw_sync_exemptions_hold() {
+        // The gist-sync wrappers themselves and out-of-scope crates may
+        // name parking_lot freely.
+        for path in ["crates/sync/src/lib.rs", "crates/pagestore/src/buffer.rs"] {
+            let f = file(path, "inner: parking_lot::Mutex<T>,");
+            let mut v = Vec::new();
+            rule_no_raw_std_sync(&f, &mut v);
+            assert!(v.is_empty(), "{path}: {v:?}");
+        }
+        // Non-lock std::sync imports (Arc, atomics, OnceLock) are fine.
+        let f = file("crates/wal/src/log.rs", "use std::sync::{Arc, OnceLock};\nuse std::sync::atomic::{AtomicU64, Ordering};");
+        let mut v = Vec::new();
+        rule_no_raw_std_sync(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        // gist-sync imports are the blessed path.
+        let f = file("crates/lockmgr/src/manager.rs", "use gist_sync::{Condvar, Mutex};");
+        let mut v = Vec::new();
+        rule_no_raw_std_sync(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        // Waiver and test modules are exempt.
+        let f = file(
+            "crates/striped/src/lib.rs",
+            "use parking_lot::Mutex; // lint: allow-raw-sync — shard fast path measured",
+        );
+        let mut v = Vec::new();
+        rule_no_raw_std_sync(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        let f = file(
+            "crates/wal/src/log.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n",
+        );
+        let mut v = Vec::new();
+        rule_no_raw_std_sync(&f, &mut v);
         assert!(v.is_empty(), "{v:?}");
     }
 

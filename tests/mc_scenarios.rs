@@ -1,0 +1,414 @@
+//! Model-checker scenario suite (`--features model-check`).
+//!
+//! Drives the `gist-mc` deterministic schedule explorer against the real
+//! lock-manager / predicate-manager / WAL code, instrumented through the
+//! audit hook layer. Three kinds of test live here:
+//!
+//! 1. **Regression pins** — the PR 3 race fixes (orphan grant in
+//!    `release_all` vs `replicate_shared`; duplicate FIFO attach) and the
+//!    `wait_durable` generation handshake, explored on the *fixed* code:
+//!    every schedule must satisfy the post-conditions, and the
+//!    happens-before detector must report zero races.
+//! 2. **Mutation detection** — each historical bug is compiled back in
+//!    behind a `gist_audit::mutation` switch; the explorer must find a
+//!    failing schedule within a fixed budget, and replaying the recorded
+//!    trace must reproduce it byte-for-byte.
+//! 3. **Exhaustive invariants** — the WAL watermark ordering
+//!    (`durable ≤ filled ≤ reserved`) and hole-fencing, checked at every
+//!    scheduling point of a bounded-DFS-enumerated scenario.
+//!
+//! Mutation arming is process-global, and the test harness runs tests on
+//! parallel threads, so every test serializes on [`suite_lock`] (the
+//! explorer's own lock only covers a single exploration, not the
+//! arm/explore/disarm span).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use gist_audit::mutation;
+use gist_lockmgr::{LockManager, LockMode, LockName};
+use gist_mc::{Explorer, Failure, Report, Sim};
+use gist_predlock::{NodeKey, PredKind, PredicateManager};
+use gist_wal::{LogManager, Lsn, RecordBody, TxnId};
+
+use gist_pagestore::PageId;
+
+/// Serializes the whole suite: mutation arming is global state.
+fn suite_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Arms a mutation for the guard's lifetime; disarms on drop even if the
+/// test panics, so a failure cannot poison later tests.
+struct Armed(&'static str);
+
+impl Armed {
+    fn new(name: &'static str) -> Armed {
+        mutation::arm(name);
+        Armed(name)
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        mutation::disarm(self.0);
+    }
+}
+
+/// A mutation-detection failure must replay byte-for-byte: re-running the
+/// minimized trace (with the mutation still armed) reproduces the same
+/// failure class and re-records the identical serialized trace.
+/// `deadline_is_failure` must match the exploration that found the
+/// failure — a lost-wakeup trace only fails again if the replay also
+/// treats fired timeouts as failures.
+fn assert_replays_byte_for_byte(
+    report: &Report,
+    deadline_is_failure: bool,
+    scenario: impl Fn(&mut Sim),
+) {
+    let failure = report.failure.as_ref().expect("caller found a failure");
+    let mut explorer =
+        Explorer::replay(&format!("{}-replay", report.scenario), failure.minimized.clone());
+    if deadline_is_failure {
+        explorer = explorer.deadline_is_failure();
+    }
+    let (replayed, trace) = explorer.run_verbatim(scenario);
+    let refailure = replayed.failure.expect("replay must reproduce the failure");
+    assert_eq!(
+        std::mem::discriminant(&refailure.failure),
+        std::mem::discriminant(&failure.failure),
+        "replayed failure class differs: {} vs {}",
+        refailure.failure,
+        failure.failure
+    );
+    assert_eq!(
+        trace.serialize(),
+        failure.minimized.serialize(),
+        "replay must re-record the identical trace"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: wait_durable generation handshake (lost wakeup).
+// ---------------------------------------------------------------------------
+
+/// One committer waiting for LSN 1 to become durable; one flusher that
+/// appends the record, syncs it, and signals. The waiter's park timeout
+/// is an hour of *virtual* time: in a correct implementation it never
+/// fires, because the generation handshake makes the notify impossible
+/// to miss. `woke` records whether the waiter saw the horizon.
+fn wal_wait_scenario(sim: &mut Sim) {
+    let log = Arc::new(LogManager::new());
+    let woke = Arc::new(AtomicBool::new(false));
+
+    let (l, w) = (log.clone(), woke.clone());
+    sim.spawn("waiter", move || {
+        let ok = l.wait_durable(Lsn(1), Duration::from_secs(3600));
+        w.store(ok, Ordering::SeqCst);
+    });
+
+    let l = log.clone();
+    sim.spawn("flusher", move || {
+        l.append(TxnId(1), Lsn::NULL, RecordBody::TxnCommit);
+        l.fsync_to(Lsn(1));
+        l.notify_durable();
+    });
+
+    sim.check(move || {
+        if woke.load(Ordering::SeqCst) {
+            Ok(())
+        } else {
+            Err("waiter missed the durability notification".to_string())
+        }
+    });
+}
+
+/// Fixed code: no schedule may lose the wakeup — the waiter's virtual
+/// timeout never fires (`deadline_is_failure` turns any firing into a
+/// [`Failure::LostWakeup`]) and every schedule sees the horizon.
+#[test]
+fn wal_wait_durable_never_loses_wakeup() {
+    let _serial = suite_lock();
+    for (name, explorer) in [
+        ("wal-wakeup-seeded", Explorer::seeded("wal-wakeup-seeded", 0x5EED, 64)),
+        ("wal-wakeup-pct", Explorer::pct("wal-wakeup-pct", 0x9C7, 3, 64)),
+    ] {
+        let report = explorer.deadline_is_failure().run(wal_wait_scenario);
+        report.assert_no_failure();
+        assert_eq!(report.timeouts_fired, 0, "{name}: a virtual timeout fired");
+    }
+}
+
+/// Reintroduce the pre-handshake bug (horizon checked outside the wait
+/// mutex, park ignores the generation): the explorer must find a
+/// schedule that loses the wakeup, and the trace must replay.
+///
+/// This is a textbook depth-2 bug — the flusher must run to completion
+/// inside the two-step window between the waiter's unguarded horizon
+/// check and its park — so PCT (one priority-change point) finds it
+/// where uniform random choice would need ~2^15 luck. The small
+/// `max_steps` keeps the change-point sampling dense.
+#[test]
+fn wal_wait_durable_mutation_lost_wakeup_is_found() {
+    let _serial = suite_lock();
+    let _armed = Armed::new("wal.wait-durable-unguarded-park");
+    let report = Explorer::pct("wal-lost-wakeup", 0x5EED, 2, 2048)
+        .max_steps(128)
+        .deadline_is_failure()
+        .run(wal_wait_scenario);
+    let failure = report.failure.as_ref().expect("mutation must be detected within budget");
+    assert!(
+        matches!(failure.failure, Failure::LostWakeup { .. }),
+        "expected a lost wakeup, got {}",
+        failure.failure
+    );
+    assert_replays_byte_for_byte(&report, true, wal_wait_scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2a: lockmgr orphan grant (release_all vs replicate_shared).
+// ---------------------------------------------------------------------------
+
+/// Transaction 7 holds S on node A (pre-seeded on the driver thread).
+/// One task terminates it (`release_all`) while another replicates A's
+/// signaling locks to a new split sibling B. In every schedule the
+/// terminated transaction must end up holding nothing: either the
+/// replication happened first and the release loop swept B too, or the
+/// release purged A first and the replication saw no granted owners.
+fn lockmgr_orphan_scenario(sim: &mut Sim) {
+    let lm = Arc::new(LockManager::with_timeout_and_shards(Duration::from_secs(5), 4));
+    let txn = TxnId(7);
+    let from = LockName::Custom(1);
+    let to = LockName::Custom(2);
+    lm.lock(txn, from, LockMode::S).expect("uncontended grant");
+
+    let l = lm.clone();
+    sim.spawn("terminator", move || l.release_all(txn));
+    let l = lm.clone();
+    sim.spawn("splitter", move || l.replicate_shared(from, to));
+
+    sim.check(move || {
+        for name in [from, to] {
+            if let Some(mode) = lm.holds(txn, name) {
+                return Err(format!("orphaned {mode:?} grant on {name:?} after release_all"));
+            }
+        }
+        let held = lm.held_by(txn);
+        if held.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("held set not empty after release_all: {held:?}"))
+        }
+    });
+}
+
+/// Fixed code: the release loop re-reads the held set, so no schedule
+/// leaves an orphaned grant (and the HB detector sees no races).
+#[test]
+fn lockmgr_release_all_never_orphans_replicated_grant() {
+    let _serial = suite_lock();
+    let report = Explorer::seeded("lockmgr-orphan", 0xA11, 128).run(lockmgr_orphan_scenario);
+    report.assert_no_failure();
+}
+
+/// Reintroduce the single-pass `release_all`: some schedule leaves the
+/// replicated grant orphaned on B, and the explorer finds it.
+#[test]
+fn lockmgr_release_all_mutation_orphan_is_found() {
+    let _serial = suite_lock();
+    let _armed = Armed::new("lockmgr.release-all-single-pass");
+    let report = Explorer::seeded("lockmgr-orphan-mut", 0xA11, 256).run(lockmgr_orphan_scenario);
+    let failure = report.failure.as_ref().expect("mutation must be detected within budget");
+    assert!(
+        matches!(failure.failure, Failure::PostCondition { .. }),
+        "expected a post-condition failure, got {}",
+        failure.failure
+    );
+    assert!(failure.failure.to_string().contains("orphaned"), "{}", failure.failure);
+    assert_replays_byte_for_byte(&report, false, lockmgr_orphan_scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2b: predlock duplicate FIFO attach (attach vs replicate).
+// ---------------------------------------------------------------------------
+
+/// A scan predicate is attached to node A (driver thread). One task
+/// attaches it to node B directly while another replicates A's
+/// attachments to B (a split). B's FIFO list must never end up with two
+/// entries for the same predicate.
+fn predlock_duplicate_scenario(sim: &mut Sim) {
+    let pm = Arc::new(PredicateManager::with_shards(4));
+    let node_a: NodeKey = (1, PageId(10));
+    let node_b: NodeKey = (1, PageId(11));
+    let pred = pm.register(TxnId(3), PredKind::Scan, vec![0xAB]);
+    assert!(pm.attach(pred, node_a), "fresh attachment");
+
+    let p = pm.clone();
+    sim.spawn("attacher", move || {
+        p.attach(pred, node_b);
+    });
+    let p = pm.clone();
+    sim.spawn("splitter", move || {
+        p.replicate(node_a, node_b, &|_, _| true);
+    });
+
+    sim.check(move || {
+        let entries = pm.predicates_on(node_b);
+        let mut ids: Vec<_> = entries.iter().map(|e| e.id).collect();
+        let total = ids.len();
+        ids.sort();
+        ids.dedup();
+        if ids.len() == total {
+            Ok(())
+        } else {
+            Err(format!("duplicate FIFO entries on split sibling: {total} entries, {} distinct", ids.len()))
+        }
+    });
+}
+
+/// Fixed code: the attach-side dedupe keeps every schedule duplicate-free.
+#[test]
+fn predlock_attach_never_duplicates_fifo_entry() {
+    let _serial = suite_lock();
+    let report = Explorer::seeded("predlock-dup", 0xF1F0, 128).run(predlock_duplicate_scenario);
+    report.assert_no_failure();
+}
+
+/// Reintroduce the unconditional push: the explorer finds a schedule
+/// where a racing replicate already copied the entry and the attach
+/// duplicates it.
+#[test]
+fn predlock_attach_mutation_duplicate_is_found() {
+    let _serial = suite_lock();
+    let _armed = Armed::new("predlock.attach-skip-dedupe");
+    let report =
+        Explorer::seeded("predlock-dup-mut", 0xF1F0, 256).run(predlock_duplicate_scenario);
+    let failure = report.failure.as_ref().expect("mutation must be detected within budget");
+    assert!(
+        matches!(failure.failure, Failure::PostCondition { .. }),
+        "expected a post-condition failure, got {}",
+        failure.failure
+    );
+    assert!(failure.failure.to_string().contains("duplicate"), "{}", failure.failure);
+    assert_replays_byte_for_byte(&report, false, predlock_duplicate_scenario);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3: WAL watermark invariants, exhaustively.
+// ---------------------------------------------------------------------------
+
+/// Attach the `durable ≤ filled ≤ reserved` ordering invariant, checked
+/// at every scheduling point of the iteration.
+fn watermark_invariant(sim: &mut Sim, log: &Arc<LogManager>) {
+    let l = log.clone();
+    sim.invariant(move || {
+        // Lock-free: three atomic loads (hooks are suppressed while an
+        // invariant runs, so these do not re-enter the scheduler).
+        let durable = l.flushed_lsn().0;
+        let filled = l.filled_lsn().0;
+        let reserved = l.last_lsn().0;
+        if durable <= filled && filled <= reserved {
+            Ok(())
+        } else {
+            Err(format!(
+                "watermark order violated: durable={durable} filled={filled} reserved={reserved}"
+            ))
+        }
+    });
+}
+
+/// LSN 1 is reserved on the driver thread but *not yet filled* — a hole.
+/// One task fills it late; the other tries to sync to it. At every
+/// scheduling point `durable ≤ filled ≤ reserved` must hold, which is
+/// exactly the hole-fencing property: the sync may not publish LSN 1 as
+/// durable while it is still a hole. Kept to two short tasks so bounded
+/// DFS can enumerate *every* schedule.
+fn wal_hole_fence_scenario(sim: &mut Sim) {
+    let log = Arc::new(LogManager::new());
+    let hole = log.reserve(TxnId(1), Lsn::NULL);
+    assert_eq!(hole.lsn(), Lsn(1));
+
+    let l = log.clone();
+    sim.spawn("late-filler", move || {
+        l.fill(hole, RecordBody::TxnBegin);
+    });
+    let l = log.clone();
+    sim.spawn("syncer", move || {
+        l.fsync_to(Lsn(1));
+    });
+
+    watermark_invariant(sim, &log);
+    sim.check(move || {
+        let filled = log.filled_lsn();
+        if filled != Lsn(1) {
+            return Err(format!("record filled but filled watermark is {filled:?}"));
+        }
+        // The hole is plugged; a final sync must now reach LSN 1.
+        let durable = log.fsync_to(Lsn(1));
+        if durable == Lsn(1) {
+            Ok(())
+        } else {
+            Err(format!("hole fence never lifted: durable={durable:?} after final sync"))
+        }
+    });
+}
+
+/// Wider variant for randomized exploration: a second appender races the
+/// late fill and the sync targets the *second* record, so the fence must
+/// hold across an out-of-order fill pair.
+fn wal_watermark_scenario(sim: &mut Sim) {
+    let log = Arc::new(LogManager::new());
+    let hole = log.reserve(TxnId(1), Lsn::NULL);
+    assert_eq!(hole.lsn(), Lsn(1));
+
+    let l = log.clone();
+    sim.spawn("late-filler", move || {
+        l.fill(hole, RecordBody::TxnBegin);
+    });
+    let l = log.clone();
+    sim.spawn("sync-appender", move || {
+        let lsn = l.append(TxnId(2), Lsn::NULL, RecordBody::TxnCommit);
+        l.fsync_to(lsn);
+    });
+
+    watermark_invariant(sim, &log);
+    sim.check(move || {
+        let filled = log.filled_lsn();
+        if filled != Lsn(2) {
+            return Err(format!("both records filled but filled watermark is {filled:?}"));
+        }
+        let durable = log.fsync_to(Lsn(2));
+        if durable == Lsn(2) {
+            Ok(())
+        } else {
+            Err(format!("hole fence never lifted: durable={durable:?} after final sync"))
+        }
+    });
+}
+
+/// Bounded DFS enumerates *every* schedule of the hole-fencing scenario;
+/// the watermark ordering invariant holds at each scheduling point and
+/// the happens-before detector reports zero races.
+#[test]
+fn wal_watermark_invariants_hold_exhaustively() {
+    let _serial = suite_lock();
+    let report = Explorer::dfs("wal-watermarks", 200_000).run(wal_hole_fence_scenario);
+    report.assert_no_failure();
+    assert!(
+        report.exhausted,
+        "DFS must exhaust the bounded scenario (ran {} schedules)",
+        report.iterations
+    );
+    assert!(report.iterations > 10, "scenario too small to mean anything");
+}
+
+/// Randomized sweep of the wider out-of-order-fill scenario (too many
+/// interleavings for exhaustive enumeration).
+#[test]
+fn wal_watermark_invariants_hold_under_random_schedules() {
+    let _serial = suite_lock();
+    let report = Explorer::seeded("wal-watermarks-wide", 0xD00F, 128).run(wal_watermark_scenario);
+    report.assert_no_failure();
+}
