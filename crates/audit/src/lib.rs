@@ -92,6 +92,11 @@ struct ThreadState {
     scopes: Vec<Scope>,
     /// Striped-table shard mutexes held: `(layer, shard index)`.
     shard_locks: Vec<(u64, usize)>,
+    /// Open optimistic read sections: `(pool, page)` per live
+    /// `OptimisticReadGuard` on this thread.
+    optimistic: Vec<(u64, u64)>,
+    /// Live epoch-reclamation pins (nested guards counted individually).
+    epoch_pins: usize,
     capture: Option<Vec<Violation>>,
 }
 
@@ -108,6 +113,8 @@ struct Stats {
     lock_waits: AtomicU64,
     nsn_draws: AtomicU64,
     shard_acquires: AtomicU64,
+    optimistic_enters: AtomicU64,
+    epoch_pins: AtomicU64,
     violations: AtomicU64,
 }
 
@@ -118,6 +125,8 @@ static STATS: Stats = Stats {
     lock_waits: AtomicU64::new(0),
     nsn_draws: AtomicU64::new(0),
     shard_acquires: AtomicU64::new(0),
+    optimistic_enters: AtomicU64::new(0),
+    epoch_pins: AtomicU64::new(0),
     violations: AtomicU64::new(0),
 };
 
@@ -190,6 +199,15 @@ pub fn latch_acquired(pool: u64, page: u64, exclusive: bool, blocking: bool) {
     STATS.latch_acquires.fetch_add(1, Ordering::Relaxed);
     TS.with(|cell| {
         let mut ts = cell.borrow_mut();
+        if !ts.optimistic.is_empty() {
+            let msg = format!(
+                "latch acquisition of {pool}:{page} inside an optimistic read \
+                 section (open sections: {:?}) — the fast path must stay \
+                 latch-free; exit the section (fall back) before latching",
+                ts.optimistic,
+            );
+            report(&mut ts, "latch-in-optimistic", msg);
+        }
         if blocking && !ts.held.is_empty() {
             let held: Vec<(u64, u64)> = ts.held.iter().map(|h| (h.pool, h.page)).collect();
             if let Some(cycle) = add_order_edges(&held, (pool, page)) {
@@ -220,6 +238,23 @@ pub fn latch_acquired(pool: u64, page: u64, exclusive: bool, blocking: bool) {
             report(&mut ts, "latch-count", msg);
         }
     });
+}
+
+/// Whether the calling thread is managed by a registered model-check
+/// scheduler. Blocking frame-latch acquisitions consult this: a managed
+/// task must not block inside the raw rwlock (the scheduler cannot see
+/// the block and the exploration would freeze) and virtualizes the wait
+/// through [`latch_contended`] instead. One relaxed load when no
+/// scheduler is registered.
+pub fn latch_managed() -> bool {
+    mc::latch_managed()
+}
+
+/// A managed task's `try_` frame-latch acquisition failed inside its
+/// virtualized blocking loop: park virtually until the holder releases
+/// (or a short virtual timeout retries). No-op outside model checking.
+pub fn latch_contended(pool: u64, page: u64) {
+    mc::on_latch_contended(pool, page);
 }
 
 /// Record a latch release on `(pool, page)`.
@@ -404,6 +439,98 @@ pub fn shard_held_count() -> usize {
     TS.with(|cell| cell.borrow().shard_locks.len())
 }
 
+/// Record the opening of an optimistic read section on `(pool, page)`
+/// (an `OptimisticReadGuard` was created). Until the matching
+/// [`optimistic_exit`], the thread must not acquire any latch
+/// (`latch-in-optimistic`), and the section must be covered by a live
+/// epoch pin (`optimistic-unpinned`): an unpinned optimistic reader
+/// races page reclamation.
+pub fn optimistic_enter(pool: u64, page: u64) {
+    mc::on_optimistic(pool, page, "optimistic-enter");
+    STATS.optimistic_enters.fetch_add(1, Ordering::Relaxed);
+    TS.with(|cell| {
+        let mut ts = cell.borrow_mut();
+        if ts.epoch_pins == 0 {
+            let msg = format!(
+                "optimistic read section on {pool}:{page} opened with no epoch \
+                 pin — a drained page could be recycled under this reader",
+            );
+            report(&mut ts, "optimistic-unpinned", msg);
+        }
+        ts.optimistic.push((pool, page));
+    });
+}
+
+/// Record the close of an optimistic read section on `(pool, page)`
+/// (guard dropped — whether validation succeeded or not).
+pub fn optimistic_exit(pool: u64, page: u64) {
+    mc::on_optimistic(pool, page, "optimistic-exit");
+    TS.with(|cell| {
+        let mut ts = cell.borrow_mut();
+        match ts.optimistic.iter().rposition(|&s| s == (pool, page)) {
+            Some(i) => {
+                ts.optimistic.remove(i);
+            }
+            None => {
+                let msg = format!(
+                    "exit of optimistic section {pool}:{page} which this \
+                     thread never entered (open: {:?})",
+                    ts.optimistic,
+                );
+                report(&mut ts, "optimistic-exit-unentered", msg);
+            }
+        }
+    });
+}
+
+/// Record one optimistic dereference (`read_with`) on `(pool, page)`:
+/// the epoch pin must still be live at the moment of the copy-out, not
+/// just at guard creation.
+pub fn optimistic_read(pool: u64, page: u64) {
+    mc::on_optimistic(pool, page, "optimistic-read");
+    TS.with(|cell| {
+        let mut ts = cell.borrow_mut();
+        if ts.epoch_pins == 0 {
+            let msg = format!(
+                "optimistic dereference of {pool}:{page} with no epoch pin \
+                 (the guard outlived its pin)",
+            );
+            report(&mut ts, "optimistic-unpinned", msg);
+        }
+    });
+}
+
+/// Record an epoch-reclamation pin on domain `gc` (a `Guard` was
+/// created; nested guards each count).
+pub fn epoch_pinned(gc: u64) {
+    mc::on_epoch(gc, "epoch-pin");
+    STATS.epoch_pins.fetch_add(1, Ordering::Relaxed);
+    TS.with(|cell| cell.borrow_mut().epoch_pins += 1);
+}
+
+/// Record an epoch-reclamation unpin (a `Guard` dropped).
+pub fn epoch_unpinned(gc: u64) {
+    mc::on_epoch(gc, "epoch-unpin");
+    TS.with(|cell| {
+        let mut ts = cell.borrow_mut();
+        if ts.epoch_pins == 0 {
+            report(
+                &mut ts,
+                "epoch-unpin-unpinned",
+                format!("epoch unpin on domain {gc} with no pin recorded"),
+            );
+        } else {
+            ts.epoch_pins -= 1;
+        }
+    });
+}
+
+/// Record an epoch collection attempt on domain `gc` (pure model-checker
+/// yield point: collection is where deferred frees race live pins).
+pub fn epoch_collect(gc: u64) {
+    mc::on_epoch(gc, "epoch-collect");
+}
+
 /// Record an NSN drawn from counter instance `counter`. Each value must
 /// be issued at most once per counter; a duplicate means the counter
 /// regressed or was reissued, which would break split detection.
@@ -487,6 +614,18 @@ pub fn assert_thread_clear(context: &str) {
             );
             report(&mut ts, "shard-leak", msg);
         }
+        if !ts.optimistic.is_empty() {
+            let msg = format!(
+                "{context}: thread still has open optimistic sections {:?}",
+                ts.optimistic,
+            );
+            report(&mut ts, "optimistic-leak", msg);
+        }
+        if ts.epoch_pins != 0 {
+            let msg =
+                format!("{context}: thread still holds {} epoch pin(s)", ts.epoch_pins);
+            report(&mut ts, "epoch-pin-leak", msg);
+        }
     });
 }
 
@@ -518,6 +657,20 @@ pub fn assert_unwind_clear(context: &str) {
             let names: Vec<&'static str> = ts.scopes.iter().map(|s| s.name).collect();
             let msg = format!("{context}: unwind left discipline scopes {names:?}");
             ts.scopes.clear();
+            report(&mut ts, "unwind-residue", msg);
+        }
+        if !ts.optimistic.is_empty() {
+            let msg = format!(
+                "{context}: unwind left optimistic sections open {:?}",
+                ts.optimistic,
+            );
+            ts.optimistic.clear();
+            report(&mut ts, "unwind-residue", msg);
+        }
+        if ts.epoch_pins != 0 {
+            let msg =
+                format!("{context}: unwind left {} epoch pin(s) held", ts.epoch_pins);
+            ts.epoch_pins = 0;
             report(&mut ts, "unwind-residue", msg);
         }
     });
@@ -603,6 +756,10 @@ pub struct AuditSummary {
     pub nsn_draws: u64,
     /// Striped-table shard-mutex acquisitions recorded.
     pub shard_acquires: u64,
+    /// Optimistic read sections opened.
+    pub optimistic_enters: u64,
+    /// Epoch-reclamation pins recorded.
+    pub epoch_pins: u64,
     /// Order-graph edges accumulated.
     pub order_edges: u64,
     /// Violations detected (captured or panicked).
@@ -618,6 +775,8 @@ impl fmt::Display for AuditSummary {
         writeln!(f, "  lock waits           {:>10}", self.lock_waits)?;
         writeln!(f, "  NSN draws            {:>10}", self.nsn_draws)?;
         writeln!(f, "  shard acquisitions   {:>10}", self.shard_acquires)?;
+        writeln!(f, "  optimistic sections  {:>10}", self.optimistic_enters)?;
+        writeln!(f, "  epoch pins           {:>10}", self.epoch_pins)?;
         writeln!(f, "  order-graph edges    {:>10}", self.order_edges)?;
         write!(f, "  violations           {:>10}", self.violations)
     }
@@ -632,6 +791,8 @@ pub fn summary() -> AuditSummary {
         lock_waits: STATS.lock_waits.load(Ordering::Relaxed),
         nsn_draws: STATS.nsn_draws.load(Ordering::Relaxed),
         shard_acquires: STATS.shard_acquires.load(Ordering::Relaxed),
+        optimistic_enters: STATS.optimistic_enters.load(Ordering::Relaxed),
+        epoch_pins: STATS.epoch_pins.load(Ordering::Relaxed),
         order_edges: order_edge_count() as u64,
         violations: STATS.violations.load(Ordering::Relaxed),
     }
@@ -939,6 +1100,96 @@ mod tests {
             assert_unwind_clear("clean unwind");
         });
         assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn latch_inside_optimistic_section_fires() {
+        let pool = new_instance_id();
+        let gc = new_instance_id();
+        let ((), v) = capture(|| {
+            epoch_pinned(gc);
+            optimistic_enter(pool, 7);
+            latch_acquired(pool, 8, false, true); // violation
+            latch_released(pool, 8);
+            optimistic_exit(pool, 7);
+            epoch_unpinned(gc);
+        });
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "latch-in-optimistic");
+    }
+
+    #[test]
+    fn latch_after_optimistic_exit_is_fine() {
+        let pool = new_instance_id();
+        let gc = new_instance_id();
+        let ((), v) = capture(|| {
+            epoch_pinned(gc);
+            optimistic_enter(pool, 7);
+            optimistic_read(pool, 7);
+            optimistic_exit(pool, 7);
+            epoch_unpinned(gc);
+            // Fallback after the section closed: perfectly legal.
+            latch_acquired(pool, 7, false, true);
+            latch_released(pool, 7);
+            assert_thread_clear("test");
+        });
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn unpinned_optimistic_section_fires() {
+        let pool = new_instance_id();
+        let ((), v) = capture(|| {
+            optimistic_enter(pool, 3); // no epoch pin: violation
+            optimistic_exit(pool, 3);
+        });
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "optimistic-unpinned");
+    }
+
+    #[test]
+    fn dereference_after_unpin_fires() {
+        let pool = new_instance_id();
+        let gc = new_instance_id();
+        let ((), v) = capture(|| {
+            epoch_pinned(gc);
+            optimistic_enter(pool, 4);
+            epoch_unpinned(gc); // pin dropped while the guard lives
+            optimistic_read(pool, 4); // violation
+            optimistic_exit(pool, 4);
+        });
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "optimistic-unpinned");
+    }
+
+    #[test]
+    fn optimistic_leak_and_epoch_leak_detected() {
+        let pool = new_instance_id();
+        let gc = new_instance_id();
+        let ((), v) = capture(|| {
+            epoch_pinned(gc);
+            optimistic_enter(pool, 5);
+            assert_thread_clear("op end"); // both leaked
+            optimistic_exit(pool, 5); // clean up for the next test
+            epoch_unpinned(gc);
+        });
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].rule, "optimistic-leak");
+        assert_eq!(v[1].rule, "epoch-pin-leak");
+    }
+
+    #[test]
+    fn unwind_clears_optimistic_residue() {
+        let pool = new_instance_id();
+        let gc = new_instance_id();
+        let ((), v) = capture(|| {
+            epoch_pinned(gc);
+            optimistic_enter(pool, 6);
+            assert_unwind_clear("after contained panic");
+            assert_thread_clear("post-clear");
+        });
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "unwind-residue"), "{v:?}");
     }
 
     #[test]

@@ -219,12 +219,37 @@ pub(crate) fn on_latch_acquired(pool: u64, page: u64) {
 }
 
 /// Forward a latch release (or X→S downgrade, which publishes writes
-/// exactly like a release) from the buffer-pool hooks.
+/// exactly like a release) from the buffer-pool hooks. Waiters spinning
+/// virtually in [`on_latch_contended`] are unparked so the token
+/// handoff reaches them promptly.
 pub(crate) fn on_latch_released(pool: u64, page: u64) {
     if let Some(s) = scheduler() {
         let obj = McObj::new(ObjKind::Latch, pack(pool, page));
         s.release(obj);
+        s.unpark(obj, true);
         s.yield_point(McOp::Latch, obj, "latch-release");
+    }
+}
+
+/// Whether the calling thread is a managed model-check task. The buffer
+/// pool consults this before a *blocking* frame-latch acquisition: a
+/// managed task must never block inside the raw rwlock while holding
+/// the scheduler token (the exploration would freeze on a block the
+/// scheduler cannot see) and spins on the `try_` variant instead,
+/// reporting each failed attempt through [`on_latch_contended`].
+pub(crate) fn latch_managed() -> bool {
+    scheduler().is_some()
+}
+
+/// A managed task failed a `try_` frame-latch acquisition inside its
+/// virtualized blocking loop: park on the latch object until the
+/// holder's release unparks us. The short *virtual* timeout covers
+/// guard drops that bypass the release hook (load-error paths, evicted
+/// frames) — no real time passes either way.
+pub(crate) fn on_latch_contended(pool: u64, page: u64) {
+    if let Some(s) = scheduler() {
+        let obj = McObj::new(ObjKind::Latch, pack(pool, page));
+        s.park(obj, Some(Duration::from_millis(1)));
     }
 }
 
@@ -254,4 +279,23 @@ pub(crate) fn on_io_event(pool: u64, page: u64, what: &'static str) {
 /// itself is virtualized through the `gist-sync` condvar).
 pub(crate) fn on_lock_wait(what: &'static str) {
     region(what);
+}
+
+/// Forward an optimistic read-path event (section enter/exit, each
+/// dereference) as a pure yield point on the page's latch object. No HB
+/// edge: the optimistic read is racy by design and synchronizes only
+/// through its seqlock validation.
+pub(crate) fn on_optimistic(pool: u64, page: u64, what: &'static str) {
+    if let Some(s) = scheduler() {
+        s.yield_point(McOp::Latch, McObj::new(ObjKind::Latch, pack(pool, page)), what);
+    }
+}
+
+/// Forward an epoch-reclamation event (pin/unpin/collect) as a yield
+/// point on the domain object — these are exactly the points where a
+/// deferred free races a live reader.
+pub(crate) fn on_epoch(gc: u64, what: &'static str) {
+    if let Some(s) = scheduler() {
+        s.yield_point(McOp::Region, McObj::new(ObjKind::Region, gc), what);
+    }
 }

@@ -16,6 +16,10 @@
 //! - `wal.wait-durable-unguarded-park` — the classic lost wakeup
 //!   (`wait_durable` checks the horizon outside the wait mutex, then
 //!   parks without a generation check).
+//! - `epoch.skip-retire` — §7.2 reclamation without the epoch grace
+//!   period (`EpochGc::retire` runs the deferred free immediately), so
+//!   a drained page can be reallocated under a pinned optimistic
+//!   reader.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};

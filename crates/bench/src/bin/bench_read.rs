@@ -1,0 +1,161 @@
+//! Read-path throughput benchmark: optimistic latch-free traversal vs
+//! the latched baseline.
+//!
+//! Runs a search-only workload and a 90/10 read-mostly mix at 1, 2, 4
+//! and 8 threads over a latency-injected store, once with
+//! `optimistic_reads` on and once with it off (the pre-optimistic
+//! latched traversal, bit-for-bit the old code path). The pool is
+//! deliberately tiny relative to the preloaded tree, so most traversed
+//! pages miss and the measurement exposes how each protocol behaves
+//! under pool pressure with real device latency. The latched path must
+//! bring every page into the pool: each miss pins a frame and holds its
+//! X latch across the simulated read, so at high thread counts the
+//! loaders pin the whole pool, eviction stalls hunting for unpinned
+//! victims, and throughput convoys — the paper's "no latches held
+//! during I/Os" pathology at the buffer-manager layer. The optimistic
+//! path's misses bypass the pool entirely (a validated direct store
+//! read into a private copy: no frame, no pin, no eviction pressure),
+//! so its reads overlap their I/O freely and throughput scales with
+//! the thread count. Results are written to `BENCH_read.json` and
+//! printed as a table.
+//!
+//! Usage: `cargo run --release -p gist-bench --bin bench_read [out.json]`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gist_am::{BtreeExt, I64Query};
+use gist_bench::harness::{
+    latency_db, ramp, JsonObj, JsonReport, KEY_STRIDE, PRELOAD, RAMP_THREADS, READ_LATENCY,
+    WINDOW,
+};
+use gist_bench::{render_table, run_for, wl_rid, Row, XorShift};
+use gist_core::{Db, DbConfig, GistIndex, IsolationLevel};
+
+const WORKLOADS: [&str; 2] = ["search", "read_mostly"];
+/// Frames: far below the preloaded tree (~80 pages), so traversals
+/// miss constantly and the protocols are compared under pool pressure
+/// (see the module doc). Matching the 8-thread ramp peak makes the
+/// latched convoy sharpest: eight concurrent loaders can pin every
+/// frame in the pool.
+const POOL_FRAMES: usize = 8;
+
+fn fresh_db(optimistic: bool) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let (db, idx) = latency_db(DbConfig {
+        pool_capacity: POOL_FRAMES,
+        optimistic_reads: optimistic,
+        // Latch-only isolation (the protocol-benchmark level): no record
+        // or predicate locks, so the measurement isolates the traversal
+        // synchronization this bench compares.
+        isolation: IsolationLevel::Latching,
+        lock_timeout: Duration::from_secs(30),
+        ..DbConfig::default()
+    });
+    // Warm the pool: one full-range scan touches every node, paying the
+    // simulated read latency exactly once per page.
+    let txn = db.begin();
+    idx.search(txn, &I64Query::range(0, PRELOAD * KEY_STRIDE)).expect("warmup scan");
+    db.commit(txn).expect("warmup commit");
+    (db, idx)
+}
+
+/// One workload operation: begin / op / commit, aborting on error (a
+/// lock timeout or deadlock abort must not wedge the worker).
+fn one_op(
+    db: &Arc<Db>,
+    idx: &Arc<GistIndex<BtreeExt>>,
+    workload: &str,
+    thread: usize,
+    i: u64,
+) {
+    let mut rng = XorShift::new(0x9E37_79B9 ^ (thread as u64) << 32 ^ i.wrapping_mul(0x2545_F491));
+    let insert = workload == "read_mostly" && i % 10 == 9;
+    let txn = db.begin();
+    let outcome = if insert {
+        let k = rng.below((PRELOAD * KEY_STRIDE) as u64) as i64;
+        idx.insert(txn, &k, wl_rid(10_000_000 + thread as u64 * 1_000_000_000 + i))
+    } else {
+        let lo = rng.below((PRELOAD * KEY_STRIDE) as u64) as i64;
+        idx.search(txn, &I64Query::range(lo, lo + 5 * KEY_STRIDE)).map(|_| ())
+    };
+    match outcome {
+        Ok(()) => db.commit(txn).expect("commit"),
+        Err(_) => {
+            let _ = db.abort(txn);
+        }
+    }
+}
+
+fn run_cell(optimistic: bool, workload: &'static str, threads: usize) -> f64 {
+    let (db, idx) = fresh_db(optimistic);
+    let tp = run_for(threads, WINDOW, move |t, i| one_op(&db, &idx, workload, t, i));
+    tp.per_sec()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_read.json".to_string());
+    let mut report = JsonReport::new("read_path_throughput");
+    report.head(
+        "config",
+        JsonObj::new()
+            .int("preload_keys", PRELOAD as i128)
+            .int("pool_capacity", POOL_FRAMES as i128)
+            .int("read_latency_us", READ_LATENCY.as_micros() as i128)
+            .int("window_ms", WINDOW.as_millis() as i128)
+            .render(),
+    );
+    report.head("baseline", "\"optimistic_reads=false (latched traversal)\"");
+
+    let mut rows = Vec::new();
+    // (workload, optimistic?) -> per-thread throughputs.
+    let mut search_curves: [(Vec<f64>, &str); 2] = [(Vec::new(), "latched"), (Vec::new(), "optimistic")];
+    for &optimistic in &[false, true] {
+        let mode = if optimistic { "optimistic" } else { "latched" };
+        for workload in WORKLOADS {
+            let mut row = Row::new(format!("{workload} / {mode}"));
+            let per_thread = ramp(&RAMP_THREADS, |t| {
+                let ops = run_cell(optimistic, workload, t);
+                report.push(
+                    JsonObj::new()
+                        .str("mode", mode)
+                        .str("workload", workload)
+                        .int("threads", t as i128)
+                        .num("ops_per_sec", ops, 1),
+                );
+                row.cols.push((format!("{t}T ops/s"), ops));
+                ops
+            });
+            rows.push(row);
+            if workload == "search" {
+                search_curves[usize::from(optimistic)].0 =
+                    per_thread.iter().map(|(_, ops)| *ops).collect();
+            }
+        }
+    }
+
+    println!("{}", render_table("Read-path throughput", &rows));
+    let latched_8t = search_curves[0].0[3];
+    let optimistic_8t = search_curves[1].0[3];
+    let speedup = optimistic_8t / latched_8t;
+    println!("search 8T: optimistic {optimistic_8t:.0} ops/s vs latched {latched_8t:.0} ops/s ({speedup:.2}x)");
+
+    report.tail(
+        "search_8t_speedup_vs_latched",
+        JsonObj::new().num("speedup", speedup, 3).render(),
+    );
+    report.write(&out_path);
+
+    let curve = &search_curves[1].0;
+    for w in curve.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "acceptance: optimistic search throughput must be monotone non-decreasing \
+             across the thread ramp (got {curve:?})",
+        );
+    }
+    assert!(
+        speedup >= 1.5,
+        "acceptance: optimistic search at 8T must be >= 1.5x the latched baseline \
+         (got {speedup:.2}x)",
+    );
+}

@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use gist_epoch::EpochGc;
 use gist_lockmgr::LockManager;
 use gist_maint::{MaintDaemon, MaintStatsSnapshot};
 use gist_pagestore::{
@@ -110,6 +111,12 @@ pub struct DbConfig {
     /// in-memory tests instant; benchmarks set it to make fsync sharing
     /// observable.
     pub wal_sync_latency: Duration,
+    /// Serve [`crate::GistIndex::search`] through the optimistic
+    /// latch-free read path (seqlock-validated copy-out under an epoch
+    /// pin, falling back to the latched cursor on contention). Off
+    /// reproduces the pre-optimistic latched traversal exactly;
+    /// incremental cursors always use the latched protocol.
+    pub optimistic_reads: bool,
 }
 
 impl Default for DbConfig {
@@ -126,6 +133,7 @@ impl Default for DbConfig {
             durability: Durability::Immediate,
             group_commit: true,
             wal_sync_latency: Duration::ZERO,
+            optimistic_reads: true,
         }
     }
 }
@@ -225,6 +233,39 @@ pub struct Db {
     panics_contained: AtomicU64,
     /// Per-process state for deterministic backoff jitter.
     jitter_state: AtomicU64,
+    /// Epoch-reclamation domain: optimistic traversals pin it; §7.2
+    /// page frees, dropped-index frees and pool evictions retire
+    /// through its bin.
+    epoch: Arc<EpochGc>,
+    /// Nodes served by a validated optimistic copy-out.
+    opt_hits: AtomicU64,
+    /// Seqlock validation failures that re-read a node optimistically.
+    opt_retries: AtomicU64,
+    /// Optimistic traversals that fell back to the latched cursor.
+    opt_fallbacks: AtomicU64,
+}
+
+/// Counters for the optimistic (latch-free) read path
+/// ([`Db::opt_read_stats`]).
+#[derive(Debug, Clone, Default)]
+pub struct OptReadStats {
+    /// Nodes served by a validated optimistic copy-out.
+    pub hits: u64,
+    /// Seqlock validation failures that re-read the same node
+    /// optimistically (a concurrent writer touched the frame mid-copy).
+    pub retries: u64,
+    /// Traversals that gave up on the fast path — eviction under the
+    /// reader, retry budget exhausted, or an uncachable page — and
+    /// restarted on the latched cursor (partial results kept).
+    pub fallbacks: u64,
+    /// Pool misses served by a pool-bypassing direct store read (no
+    /// frame, no pin, no eviction pressure).
+    pub direct_reads: u64,
+    /// Epochs the oldest live pin trails the global epoch by (0 =
+    /// nothing is holding reclamation back).
+    pub epoch_lag: u64,
+    /// Retired frames/pages waiting in the epoch bin.
+    pub epoch_pending: u64,
 }
 
 /// Point-in-time snapshot of the database's degradation and self-healing
@@ -272,6 +313,19 @@ pub struct RobustnessStats {
     pub wal_flusher_running: bool,
     /// Flusher panics contained (batch retried by the next wakeup).
     pub wal_flusher_panics: u64,
+    /// Optimistic-read fast-path hits (validated copy-outs).
+    pub opt_read_hits: u64,
+    /// Optimistic-read seqlock retries.
+    pub opt_read_retries: u64,
+    /// Optimistic traversals that fell back to the latched cursor.
+    pub opt_read_fallbacks: u64,
+    /// Optimistic pool misses served by a direct (pool-bypassing)
+    /// store read.
+    pub opt_read_direct: u64,
+    /// Epochs the oldest live pin trails the global epoch by.
+    pub epoch_lag: u64,
+    /// Retired frames/pages waiting in the epoch bin.
+    pub epoch_pending: u64,
 }
 
 impl Db {
@@ -297,6 +351,10 @@ impl Db {
     ) -> Result<Arc<Db>> {
         let pool = BufferPool::with_shards(store.clone(), config.pool_capacity, config.sync_shards);
         pool.set_flusher(log.clone());
+        // One reclamation domain per database: evicted frames and §7.2
+        // page frees defer behind the optimistic readers' pins.
+        let epoch = Arc::new(EpochGc::new());
+        pool.set_epoch(epoch.clone());
         if store.page_count() == 0 {
             // Bootstrap the catalog page and make it durable immediately
             // so redo can always assume a formatted page 0.
@@ -350,6 +408,10 @@ impl Db {
             backoff_micros: AtomicU64::new(0),
             panics_contained: AtomicU64::new(0),
             jitter_state: AtomicU64::new(0x1234_5678_9ABC_DEF0),
+            epoch,
+            opt_hits: AtomicU64::new(0),
+            opt_retries: AtomicU64::new(0),
+            opt_fallbacks: AtomicU64::new(0),
         });
         // The database is the daemon's undo handler: the transaction
         // watchdog needs logical undo to roll idle victims back. Weak for
@@ -448,6 +510,36 @@ impl Db {
         &self.maint
     }
 
+    /// The epoch-reclamation domain optimistic readers pin.
+    pub fn epoch(&self) -> &Arc<EpochGc> {
+        &self.epoch
+    }
+
+    /// Snapshot the optimistic read-path counters.
+    pub fn opt_read_stats(&self) -> OptReadStats {
+        let es = self.epoch.stats();
+        OptReadStats {
+            hits: self.opt_hits.load(Ordering::Relaxed),
+            retries: self.opt_retries.load(Ordering::Relaxed),
+            fallbacks: self.opt_fallbacks.load(Ordering::Relaxed),
+            direct_reads: self.pool.stats.direct_reads.load(Ordering::Relaxed),
+            epoch_lag: es.epoch_lag,
+            epoch_pending: es.pending,
+        }
+    }
+
+    pub(crate) fn note_opt_hits(&self, n: u64) {
+        self.opt_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_opt_retry(&self) {
+        self.opt_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_opt_fallback(&self) {
+        self.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Spawn the maintenance daemon's worker threads (idempotent). Until
     /// this is called (or [`Db::maint_sync`] is driven by hand), queued
     /// work — post-commit GC, drains, checkpoint requests — just
@@ -460,7 +552,11 @@ impl Db {
     /// calling thread — the deterministic escape hatch for tests and
     /// single-threaded tools. Returns the number of items processed.
     pub fn maint_sync(&self) -> usize {
-        self.maint.run_until_idle()
+        let n = self.maint.run_until_idle();
+        // Drain whatever the epoch bin can prove quiescent, so tests
+        // driving maintenance by hand observe deterministic reuse.
+        self.epoch.try_collect();
+        n
     }
 
     /// A snapshot of the maintenance counters.
@@ -610,6 +706,7 @@ impl Db {
     pub fn robustness_stats(&self) -> RobustnessStats {
         let ls = &self.locks.stats;
         let ps = self.txns.pipeline().stats();
+        let os = self.opt_read_stats();
         RobustnessStats {
             txn_retries: self.retries.load(Ordering::Relaxed),
             backoff_micros: self.backoff_micros.load(Ordering::Relaxed),
@@ -629,6 +726,12 @@ impl Db {
             wal_durable_lsn: ps.durable_lsn,
             wal_flusher_running: ps.running,
             wal_flusher_panics: ps.flusher_panics,
+            opt_read_hits: os.hits,
+            opt_read_retries: os.retries,
+            opt_read_fallbacks: os.fallbacks,
+            opt_read_direct: os.direct_reads,
+            epoch_lag: os.epoch_lag,
+            epoch_pending: os.epoch_pending,
         }
     }
 
@@ -657,6 +760,10 @@ impl Db {
         self.txns.pipeline().stop(false);
         self.pool.crash();
         self.log.crash();
+        // A crash implies quiescence (the pool just asserted it), so the
+        // epoch bin can drain — retired frames drop, deferred page frees
+        // are moot (the allocator is rebuilt at restart anyway).
+        self.epoch.try_collect();
     }
 
     /// Flush everything (clean shutdown). The maintenance daemon is
@@ -672,6 +779,7 @@ impl Db {
         self.log.flush_all();
         self.pool.flush_all()?;
         self.pool.sync_store()?;
+        self.epoch.try_collect();
         Ok(())
     }
 
@@ -819,9 +927,16 @@ impl Db {
         self.commit(txn)?;
         self.catalog.lock().retain(|e| e.slot != entry.slot);
         self.retired_roots.lock().remove(&entry.root);
-        for pid in &pages {
-            self.alloc.free(*pid);
-        }
+        // The dropped index's pages go back to the allocator through the
+        // epoch bin: an optimistic traversal that raced the drop may
+        // still dereference them until its pin drains.
+        let alloc = self.alloc.clone();
+        let freed: Vec<PageId> = pages.clone();
+        self.epoch.retire(move || {
+            for pid in freed {
+                alloc.free(pid);
+            }
+        });
         Ok(pages.len())
     }
 

@@ -43,7 +43,8 @@ mod ops;
 mod tree;
 
 pub use db::{
-    Db, DbConfig, IsolationLevel, NsnSource, PredicateMode, RestartReport, RobustnessStats,
+    Db, DbConfig, IsolationLevel, NsnSource, OptReadStats, PredicateMode, RestartReport,
+    RobustnessStats,
 };
 pub use entry::{InternalEntry, LeafEntry};
 pub use error::GistError;

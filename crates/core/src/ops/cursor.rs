@@ -1,19 +1,42 @@
-//! Search (Fig. 3) as an incremental cursor.
+//! Search (Fig. 3) in two traversal modes: a **latched incremental
+//! cursor** and an **optimistic latch-free fast path** for one-shot
+//! drains ([`GistIndex::search`]).
 //!
-//! The search operation keeps a stack of `(page pointer, memorized
-//! counter)` pairs, latches one node at a time (never across I/Os),
-//! detects splits by comparing the memorized value with the node's NSN —
-//! pushing the rightlink with the *original* memorized value when the
-//! node has split — attaches its predicate to every visited node
-//! (top-down), and S-locks the RIDs of qualifying entries.
-//!
+//! *Latched cursor* ([`Cursor`]) — always used by incremental scans, and
+//! the fallback for the fast path: keeps a stack of `(page pointer,
+//! memorized counter)` pairs, latches one node at a time (never across
+//! I/Os), detects splits by comparing the memorized value with the
+//! node's NSN — pushing the rightlink with the *original* memorized
+//! value when the node has split — attaches its predicate to every
+//! visited node (top-down), and S-locks the RIDs of qualifying entries.
 //! Blocking (on a record lock or on insert predicates ahead in a leaf's
-//! FIFO list) never happens while a latch is held: the node is re-pushed,
-//! the latch dropped, the wait performed, and the node re-processed —
-//! "since the latched leaf can be split in the meantime, we might have to
-//! traverse rightlinks, guided by the node's original NSN" (§5), which
-//! the re-push preserves. Footnote 9's duplicate suppression is the
-//! `seen` set of *data* RIDs.
+//! FIFO list) never happens while a latch is held: the node is
+//! re-pushed, the latch dropped, the wait performed, and the node
+//! re-processed — "since the latched leaf can be split in the meantime,
+//! we might have to traverse rightlinks, guided by the node's original
+//! NSN" (§5), which the re-push preserves. Footnote 9's duplicate
+//! suppression is the `seen` set of *data* RIDs.
+//!
+//! *Optimistic path* (`DbConfig::optimistic_reads`, the default for
+//! [`GistIndex::search`]): the same stack/NSN/rightlink logic, but each
+//! node is read through `BufferPool::fetch_optimistic` — no latch, no
+//! pin, no LRU traffic, and no per-node signaling locks. A cached node
+//! is copied under a seqlock version check; an uncached one is read
+//! straight from the store into a private copy, bypassing the pool
+//! (validated against the store-write counters, so the reader adds no
+//! eviction pressure and never convoys behind a loading frame's
+//! latch). Qualifying entries are *copied out*; record locks
+//! are `try_lock`ed only after the copy and the copy is re-validated
+//! with the locks held, so a lock is never trusted for an entry that
+//! changed mid-read. One epoch pin ([`gist_epoch`]) covers the whole
+//! traversal: §7.2 page frees defer until every pin drains, so a
+//! drained page can never be reallocated (re-typed) under the reader —
+//! which is exactly the hazard the latched protocol's signaling locks
+//! exist to prevent. A moved version word retries the node
+//! (`MAX_OPT_RETRIES` attempts); eviction under the reader, an
+//! uncachable page, or budget exhaustion falls back to a latched
+//! [`Cursor`] seeded with the RIDs already delivered, preserving exact
+//! result sets.
 //!
 //! Cursors also serve §10.2: [`Cursor::snapshot`] captures the stack (and
 //! progress) when a savepoint is established; [`Cursor::restore`] brings
@@ -25,7 +48,7 @@ use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use gist_lockmgr::{LockMode, LockName};
-use gist_pagestore::{PageId, Rid};
+use gist_pagestore::{PageId, Rid, Validation};
 use gist_predlock::{PredId, PredKind, GLOBAL_NODE};
 use gist_wal::TxnId;
 
@@ -303,6 +326,40 @@ impl<E: GistExtension> Cursor<E> {
     }
 }
 
+/// Retry budget per node on the optimistic path before falling back to
+/// the latched cursor. Small on purpose: a node that keeps moving is
+/// under write pressure, and the latched path queues fairly instead of
+/// spinning.
+const MAX_OPT_RETRIES: usize = 4;
+
+/// A consistent snapshot of one node's qualifying content, copied out
+/// under the seqlock version check.
+enum NodeCopy<K> {
+    Leaf {
+        nsn: u64,
+        rightlink: PageId,
+        /// `(rid, key, delete-marked)` for entries matching the query.
+        candidates: Vec<(Rid, K, bool)>,
+    },
+    Internal {
+        nsn: u64,
+        rightlink: PageId,
+        /// `(child, memorized counter)` for entries matching the query.
+        children: Vec<(PageId, u64)>,
+    },
+}
+
+/// Result of the optimistic drain: the complete result set, or a
+/// partial prefix plus the RID set it covers so a latched fallback
+/// cursor can finish without duplicating deliveries.
+enum OptOutcome<K> {
+    Done(Vec<(K, Rid)>),
+    Fallback {
+        seen: HashSet<Rid>,
+        partial: Vec<(K, Rid)>,
+    },
+}
+
 impl<E: GistExtension> GistIndex<E> {
     /// Open an incremental cursor over `query`.
     pub fn cursor(self: &Arc<Self>, txn: TxnId, query: E::Query) -> Result<Cursor<E>> {
@@ -313,9 +370,284 @@ impl<E: GistExtension> GistIndex<E> {
     }
 
     /// SEARCH: all `(key, RID)` pairs satisfying `query` (drains a
-    /// cursor).
+    /// cursor). With `DbConfig::optimistic_reads` (the default) the
+    /// drain first runs latch-free (see the module docs), falling back
+    /// to a seeded latched cursor when validation keeps failing or a
+    /// page leaves the pool mid-read.
     pub fn search(self: &Arc<Self>, txn: TxnId, query: &E::Query) -> Result<Vec<(E::Key, Rid)>> {
-        let mut c = self.cursor(txn, query.clone())?;
-        c.collect_all()
+        if self.db().config().optimistic_reads {
+            let db = self.db().clone();
+            let op = db.txns().op_enter(txn)?;
+            let r = self.search_optimistic(txn, query);
+            op.complete();
+            match r? {
+                OptOutcome::Done(out) => Ok(out),
+                OptOutcome::Fallback { seen, partial } => {
+                    // The fallback registers a second scan predicate and
+                    // re-takes signaling locks from the root; both are
+                    // conservative (extra blocking only, never missed
+                    // conflicts). Seeding `seen` keeps result sets exact.
+                    let mut c = self.cursor(txn, query.clone())?;
+                    c.seen.extend(seen);
+                    let mut out = partial;
+                    out.extend(c.collect_all()?);
+                    Ok(out)
+                }
+            }
+        } else {
+            let mut c = self.cursor(txn, query.clone())?;
+            c.collect_all()
+        }
+    }
+
+    /// One-shot latch-free drain of `query` (module docs: *Optimistic
+    /// path*). Same stack/NSN/rightlink traversal as [`Cursor`], but
+    /// every node is copied out under a seqlock check instead of being
+    /// latched, and one epoch pin replaces the signaling locks.
+    fn search_optimistic(
+        self: &Arc<Self>,
+        txn: TxnId,
+        query: &E::Query,
+    ) -> Result<OptOutcome<E::Key>> {
+        let index = self.clone();
+        let db = index.db().clone();
+        let ext = index.ext();
+        let isolation = db.config().isolation;
+        let degree3 = isolation == IsolationLevel::RepeatableRead;
+        let hybrid3 = degree3 && db.config().predicate_mode == PredicateMode::Hybrid;
+        let takes_record_locks = isolation != IsolationLevel::Latching
+            && db.config().predicate_mode == PredicateMode::Hybrid;
+
+        let mut pred = None;
+        if degree3 {
+            let mut qb = Vec::new();
+            ext.encode_query(query, &mut qb);
+            let p = db.preds().register(txn, PredKind::Scan, qb);
+            pred = Some(p);
+            if db.config().predicate_mode == PredicateMode::PureGlobal {
+                // §4.2: one global predicate; verified against
+                // conflicting predicates before any traversal.
+                let owners = db.preds().attach_scan_and_check(p, GLOBAL_NODE, &|q, k| {
+                    index.ext().query_conflicts_key_bytes(q, k)
+                });
+                for owner in owners {
+                    db.txns().wait_for_txn(txn, owner).map_err(crate::GistError::Lock)?;
+                }
+            }
+        }
+        // Same injection point as Cursor::new: a fault here strands the
+        // registered scan predicate on the transaction.
+        crate::chaos::point("cursor.after_register")?;
+
+        let mem = db.global_nsn();
+        let root = index.root()?;
+        let mut stack: Vec<(PageId, u64)> = vec![(root, mem)];
+        let mut seen: HashSet<Rid> = HashSet::new();
+        let mut attached: HashSet<PageId> = HashSet::new();
+        let mut out: Vec<(E::Key, Rid)> = Vec::new();
+        let mut hits = 0u64;
+
+        // One pin for the whole traversal: §7.2 frees (drained nodes,
+        // dropped indexes) retired after this point cannot run until we
+        // unpin, so a stacked child pointer can never be re-typed under
+        // us. This substitutes for the latched cursor's signaling locks.
+        let mut pin = db.epoch().pin();
+
+        macro_rules! fall_back {
+            () => {{
+                db.note_opt_fallback();
+                db.note_opt_hits(hits);
+                return Ok(OptOutcome::Fallback { seen, partial: out });
+            }};
+        }
+
+        'outer: while let Some((pid, mem)) = stack.pop() {
+            if pid.is_invalid() {
+                continue;
+            }
+
+            // Hybrid Degree 3: attach before reading, exactly as the
+            // latched path does — the copy below is only trusted if no
+            // conflicting insert predicate was ahead of us (§10.3 FIFO
+            // fairness), and any writer that lands after our attach and
+            // still changes the node also bumps its version word.
+            if hybrid3 && !attached.contains(&pid) {
+                let Some(p) = pred else {
+                    unreachable!("degree3 search always carries a predicate")
+                };
+                let owners =
+                    db.preds()
+                        .attach_scan_and_check(p, index.node_key(pid), &index.conflict_fn());
+                attached.insert(pid);
+                if !owners.is_empty() {
+                    stack.push((pid, mem));
+                    // Never block while pinned: a stalled reader would
+                    // stall reclamation for everyone.
+                    drop(pin);
+                    for owner in owners {
+                        db.txns().wait_for_txn(txn, owner).map_err(crate::GistError::Lock)?;
+                    }
+                    pin = db.epoch().pin();
+                    continue 'outer;
+                }
+            }
+
+            let mut attempts = 0usize;
+            'node: loop {
+                let Some(og) = db.pool().fetch_optimistic(pid)? else {
+                    // Neither cached, directly readable (a write-back
+                    // overlapped the bypass window), nor warmable; let
+                    // the latched path pin it properly.
+                    fall_back!();
+                };
+                let copy = og.read_with(|p| {
+                    let nsn = p.nsn();
+                    let rightlink = p.rightlink();
+                    if p.is_leaf() {
+                        let mut candidates = Vec::new();
+                        for (_, cell) in node::entry_cells(p) {
+                            let rid = LeafEntry::decode_rid(cell);
+                            if seen.contains(&rid) {
+                                continue;
+                            }
+                            let entry = LeafEntry::decode(cell);
+                            let key = ext.decode_key(&entry.key_bytes);
+                            if ext.consistent_key(&key, query) {
+                                candidates.push((rid, key, entry.deleted));
+                            }
+                        }
+                        NodeCopy::Leaf { nsn, rightlink, candidates }
+                    } else {
+                        let mut children = Vec::new();
+                        for (_, e) in node::internal_entries(p) {
+                            let pb = ext.decode_pred(&e.pred_bytes);
+                            if ext.consistent_pred(&pb, query) {
+                                children.push((e.child, index.read_mem(Some(p))));
+                            }
+                        }
+                        NodeCopy::Internal { nsn, rightlink, children }
+                    }
+                });
+                let Some(copy) = copy else {
+                    if og.validate() == Validation::Evicted {
+                        fall_back!();
+                    }
+                    attempts += 1;
+                    db.note_opt_retry();
+                    if attempts > MAX_OPT_RETRIES {
+                        fall_back!();
+                    }
+                    continue 'node;
+                };
+
+                // Split detection (§3), identical to the latched path:
+                // the rightlink inherits the memorized value.
+                let (nsn, rightlink) = match &copy {
+                    NodeCopy::Leaf { nsn, rightlink, .. }
+                    | NodeCopy::Internal { nsn, rightlink, .. } => (*nsn, *rightlink),
+                };
+                if nsn > mem {
+                    stack.push((rightlink, mem));
+                }
+
+                match copy {
+                    NodeCopy::Internal { children, .. } => {
+                        // `read_with` re-checked the version word after
+                        // the copy, so the child pointers and memorized
+                        // counters are a consistent snapshot; the epoch
+                        // pin keeps every one of them type-stable.
+                        stack.extend(children);
+                        hits += 1;
+                        break 'node;
+                    }
+                    NodeCopy::Leaf { candidates, .. } => {
+                        // Lock-then-revalidate: S-lock every candidate,
+                        // then confirm the node didn't change while the
+                        // locks were acquired — a lock taken against a
+                        // stale copy proves nothing about the entry.
+                        let mut locked: Vec<Rid> = Vec::new();
+                        let mut blocker = None;
+                        if takes_record_locks {
+                            for (rid, _, _) in &candidates {
+                                if db.locks().try_lock(txn, LockName::Rid(*rid), LockMode::S) {
+                                    locked.push(*rid);
+                                } else {
+                                    blocker = Some(*rid);
+                                    break;
+                                }
+                            }
+                        }
+                        if let Some(rid) = blocker {
+                            // Block with nothing held (§5): no latch to
+                            // drop here, but the pin must not outlive
+                            // the wait. Re-push preserves the memorized
+                            // NSN guiding any rightlink chase the wait
+                            // makes necessary.
+                            drop(og);
+                            stack.push((pid, mem));
+                            if isolation == IsolationLevel::ReadCommitted {
+                                // Degree 2 retains nothing across the
+                                // wait (cursor stability only).
+                                for r in locked.drain(..) {
+                                    db.locks().unlock(txn, LockName::Rid(r));
+                                }
+                            }
+                            drop(pin);
+                            db.locks().lock(txn, LockName::Rid(rid), LockMode::S)?;
+                            if isolation == IsolationLevel::ReadCommitted {
+                                db.locks().unlock(txn, LockName::Rid(rid));
+                            }
+                            pin = db.epoch().pin();
+                            continue 'outer;
+                        }
+                        match og.validate() {
+                            Validation::Ok => {
+                                for (rid, key, deleted) in candidates {
+                                    // Lock held (Degree ≥ 2): the
+                                    // entry's fate is decided; a
+                                    // surviving mark is a committed
+                                    // delete (aborts unmark first).
+                                    seen.insert(rid);
+                                    if !deleted {
+                                        out.push((key, rid));
+                                    }
+                                    if takes_record_locks
+                                        && isolation == IsolationLevel::ReadCommitted
+                                    {
+                                        db.locks().unlock(txn, LockName::Rid(rid));
+                                    }
+                                }
+                                hits += 1;
+                                break 'node;
+                            }
+                            v => {
+                                // The node changed under our locks. In
+                                // Degree 2 release them (no retained
+                                // stale locks); Degree 3 keeps them —
+                                // extra S locks are 2PL-legal and make
+                                // the re-read regrant instantly.
+                                if isolation == IsolationLevel::ReadCommitted {
+                                    for r in locked.drain(..) {
+                                        db.locks().unlock(txn, LockName::Rid(r));
+                                    }
+                                }
+                                if v == Validation::Evicted {
+                                    fall_back!();
+                                }
+                                attempts += 1;
+                                db.note_opt_retry();
+                                if attempts > MAX_OPT_RETRIES {
+                                    fall_back!();
+                                }
+                                continue 'node;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        drop(pin);
+        db.note_opt_hits(hits);
+        Ok(OptOutcome::Done(out))
     }
 }

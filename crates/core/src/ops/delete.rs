@@ -332,7 +332,15 @@ impl<E: GistExtension> GistIndex<E> {
         // The drained node's predicate table must not be inherited by
         // the page's next tenant after reallocation.
         db.preds().purge_node(self.node_key(child));
-        db.alloc().free(child);
+        // §7.2 reclamation goes through the epoch bin: an optimistic
+        // traversal may still hold a pointer to the drained page, and
+        // deferring the allocator free until every such pin drains is
+        // what lets the fast path skip the signaling locks — the page
+        // cannot be reallocated (and re-typed) under a pinned reader; it
+        // is only ever observed empty-and-available, which the traversal
+        // skips harmlessly.
+        let alloc = db.alloc().clone();
+        db.epoch().retire(move || alloc.free(child));
         Ok(true)
     }
 

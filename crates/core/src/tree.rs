@@ -176,39 +176,88 @@ impl<E: GistExtension> GistIndex<E> {
     }
 
     /// Compute tree statistics with a full sweep (no isolation — a
-    /// diagnostic snapshot).
+    /// diagnostic snapshot). With `DbConfig::optimistic_reads` each
+    /// node is copied out latch-free under a seqlock check, falling
+    /// back to a latched read per node when its version word moves.
     pub fn stats(&self) -> Result<TreeStats> {
+        /// Everything the sweep needs from one node, copied out so the
+        /// latch (or optimistic guard) never outlives the visit.
+        struct NodeSweep {
+            available: bool,
+            level: u16,
+            rightlink: PageId,
+            /// `(marked, live)` entry counts when the node is a leaf.
+            leaf: Option<(usize, usize)>,
+            children: Vec<PageId>,
+        }
+        let read_node = |p: &gist_pagestore::Page| {
+            let available = p.is_available();
+            let is_leaf = !available && p.is_leaf();
+            NodeSweep {
+                available,
+                level: if available { 0 } else { p.level() },
+                rightlink: p.rightlink(),
+                leaf: is_leaf.then(|| {
+                    let (mut marked, mut live) = (0, 0);
+                    for (_, e) in node::leaf_entries(p) {
+                        if e.deleted {
+                            marked += 1;
+                        } else {
+                            live += 1;
+                        }
+                    }
+                    (marked, live)
+                }),
+                children: if available || is_leaf {
+                    Vec::new()
+                } else {
+                    node::internal_entries(p).into_iter().map(|(_, e)| e.child).collect()
+                },
+            }
+        };
+
         let mut stats = TreeStats::default();
         let root = self.root()?;
         let mut queue = vec![root];
         let mut visited: HashSet<PageId> = HashSet::new();
         let mut max_level = 0u16;
+        let optimistic = self.db.config().optimistic_reads;
+        // One pin for the whole sweep: freed-but-reachable pages stay
+        // type-stable while we peek at them latch-free.
+        let _pin = optimistic.then(|| self.db.epoch().pin());
         while let Some(pid) = queue.pop() {
             if pid.is_invalid() || !visited.insert(pid) {
                 continue;
             }
-            let g = self.db.pool().fetch_read(pid)?;
-            if g.is_available() {
+            let mut copy = None;
+            if optimistic {
+                if let Some(og) = self.db.pool().fetch_optimistic(pid)? {
+                    copy = og.read_with(read_node);
+                }
+            }
+            let ns = match copy {
+                Some(ns) => ns,
+                None => {
+                    // Version word moved (or the page is uncachable):
+                    // one latched read settles this node.
+                    let g = self.db.pool().fetch_read(pid)?;
+                    read_node(&g)
+                }
+            };
+            if ns.available {
                 // Freed page still reachable via a dangling rightlink
                 // (never followed by operations thanks to the NSN guard).
                 continue;
             }
             stats.nodes += 1;
-            max_level = max_level.max(g.level());
-            queue.push(g.rightlink());
-            if g.is_leaf() {
+            max_level = max_level.max(ns.level);
+            queue.push(ns.rightlink);
+            if let Some((marked, live)) = ns.leaf {
                 stats.leaves += 1;
-                for (_, e) in node::leaf_entries(&g) {
-                    if e.deleted {
-                        stats.marked_entries += 1;
-                    } else {
-                        stats.live_entries += 1;
-                    }
-                }
+                stats.marked_entries += marked;
+                stats.live_entries += live;
             } else {
-                for (_, e) in node::internal_entries(&g) {
-                    queue.push(e.child);
-                }
+                queue.extend(ns.children);
             }
         }
         stats.height = max_level as usize + 1;

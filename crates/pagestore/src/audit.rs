@@ -7,8 +7,9 @@
 
 #[cfg(feature = "latch-audit")]
 pub(crate) use gist_audit::{
-    io_event, latch_acquired, latch_downgraded, latch_page_fresh, latch_released,
-    new_instance_id,
+    io_event, latch_acquired, latch_contended, latch_downgraded, latch_managed,
+    latch_page_fresh, latch_released, new_instance_id, optimistic_enter, optimistic_exit,
+    optimistic_read,
 };
 
 // Only the buffer-pool unit tests open scopes from this crate; production
@@ -33,6 +34,14 @@ mod noop {
     pub(crate) fn latch_released(_pool: u64, _page: u64) {}
 
     #[inline(always)]
+    pub(crate) fn latch_managed() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub(crate) fn latch_contended(_pool: u64, _page: u64) {}
+
+    #[inline(always)]
     pub(crate) fn latch_downgraded(_pool: u64, _page: u64) {}
 
     #[inline(always)]
@@ -40,6 +49,15 @@ mod noop {
 
     #[inline(always)]
     pub(crate) fn io_event(_pool: u64, _page: u64, _what: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn optimistic_enter(_pool: u64, _page: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn optimistic_exit(_pool: u64, _page: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn optimistic_read(_pool: u64, _page: u64) {}
 
     #[inline(always)]
     #[allow(dead_code)] // mirrors the audited API; used by tests

@@ -17,6 +17,19 @@
 //! counts and the flusher discipline are unchanged — sharding only
 //! affects how a page id finds its frame.
 //!
+//! ## Optimistic reads
+//!
+//! Each frame additionally carries a **sequence-lock version word**:
+//! even = stable, odd = an X latch (or eviction) is mutating the frame.
+//! [`BufferPool::fetch_optimistic`] returns an [`OptimisticReadGuard`]
+//! that pins nothing and takes no latch — readers copy what they need
+//! out via [`OptimisticReadGuard::read_with`] and then prove the copy
+//! consistent with [`OptimisticReadGuard::validate`]. Evicted frames are
+//! *retired* through an epoch bin ([`gist_epoch::EpochGc`], when one is
+//! registered) rather than dropped, and their version word goes odd
+//! permanently, so a stale guard can never validate against a reloaded
+//! incarnation of the same page id.
+//!
 //! ## Fault handling
 //!
 //! Every store I/O goes through a bounded exponential-backoff retry for
@@ -38,6 +51,7 @@ use std::time::Duration;
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
 
+use gist_epoch::EpochGc;
 use gist_striped::Striped;
 use gist_wal::{LogFlusher, Lsn};
 
@@ -136,6 +150,61 @@ struct Frame {
     /// Reported by [`BufferPool::dirty_page_table`] to fuzzy checkpoints.
     rec_lsn: AtomicU64,
     tick: AtomicU64,
+    /// Sequence-lock version word for the optimistic read path. Even =
+    /// stable; odd = a [`PageWriteGuard`] is live (bumped odd at guard
+    /// construction, even again at drop/downgrade) or the frame is dead
+    /// (eviction/crash/failed load bump it odd *forever*). Optimistic
+    /// guards snapshot it at fetch and fail validation on any change.
+    seq: AtomicU64,
+    /// Set when the frame leaves the table (eviction, crash, failed
+    /// load): optimistic guards report [`Validation::Evicted`] and the
+    /// caller must go back through the latched path.
+    evicted: AtomicBool,
+}
+
+impl Frame {
+    /// Kill the frame for optimistic readers: `evicted` plus a permanent
+    /// odd version word. Callers hold the frame's write latch raw (or
+    /// have proven quiescence), so the word is even on entry — no
+    /// `PageWriteGuard` can exist.
+    fn mark_evicted(&self) {
+        self.evicted.store(true, Ordering::Release);
+        self.seq.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Blocking X acquisition of the frame latch. A task managed by a
+    /// model-check scheduler must never block inside the raw rwlock —
+    /// it would hold the scheduler token through a block the scheduler
+    /// cannot see and freeze the whole exploration — so it spins on the
+    /// `try_` variant with each miss parked virtually instead. Outside
+    /// model checking this is exactly `write_arc()`.
+    fn latch_write_blocking(&self) -> WriteGuardInner {
+        if audit::latch_managed() {
+            loop {
+                if let Some(g) = self.latch.try_write_arc() {
+                    return g;
+                }
+                audit::latch_contended(self.audit_id, u64::from(self.id.0));
+            }
+        } else {
+            self.latch.write_arc()
+        }
+    }
+
+    /// Blocking S acquisition of the frame latch; see
+    /// [`Frame::latch_write_blocking`] for the model-check virtualization.
+    fn latch_read_blocking(&self) -> ReadGuardInner {
+        if audit::latch_managed() {
+            loop {
+                if let Some(g) = self.latch.try_read_arc() {
+                    return g;
+                }
+                audit::latch_contended(self.audit_id, u64::from(self.id.0));
+            }
+        } else {
+            self.latch.read_arc()
+        }
+    }
 }
 
 /// Buffer-pool counters.
@@ -149,6 +218,9 @@ pub struct PoolStats {
     pub evictions: AtomicU64,
     /// Dirty pages written back.
     pub writebacks: AtomicU64,
+    /// Optimistic misses served by a pool-bypassing direct store read
+    /// (no frame, no pin, no eviction pressure).
+    pub direct_reads: AtomicU64,
 }
 
 /// The buffer pool.
@@ -177,6 +249,17 @@ pub struct BufferPool {
     /// write-back may still be *lost* by a crash, so these stay in the
     /// dirty-page table and restart redo re-covers them.
     unsynced: Mutex<HashMap<u32, u64>>, // lint: allow-global-sync-map — per write-back, not per fetch
+    /// Epoch-reclamation domain evicted frames retire through (frames
+    /// are dropped immediately when none is registered). Registered once
+    /// at `Db::build`; read per eviction, not per fetch.
+    epoch: Mutex<Option<Arc<EpochGc>>>,
+    /// Store writes issued (incremented before the write starts) and
+    /// completed (incremented after it returns, success or not). A
+    /// pool-bypassing optimistic read is only valid if no store write
+    /// overlapped its window: `begun == done` at capture and `begun`
+    /// unchanged at re-check — see [`Self::fetch_optimistic`].
+    store_writes_begun: AtomicU64,
+    store_writes_done: AtomicU64,
     /// Counters (hits/misses/evictions/writebacks).
     pub stats: PoolStats,
 }
@@ -210,6 +293,9 @@ impl BufferPool {
             poison_reason: Mutex::new(String::new()),
             verify_checksums: AtomicBool::new(true),
             unsynced: Mutex::new(HashMap::new()),
+            epoch: Mutex::new(None),
+            store_writes_begun: AtomicU64::new(0),
+            store_writes_done: AtomicU64::new(0),
             stats: PoolStats::default(),
         })
     }
@@ -277,6 +363,13 @@ impl BufferPool {
         *self.flusher.lock() = Some(f);
     }
 
+    /// Register the epoch-reclamation domain evicted frames retire
+    /// through (instead of being dropped immediately). Optimistic
+    /// readers pin the same domain across their traversals.
+    pub fn set_epoch(&self, gc: Arc<EpochGc>) {
+        *self.epoch.lock() = Some(gc);
+    }
+
     /// The underlying page store.
     pub fn store(&self) -> &Arc<dyn PageStore> {
         &self.store
@@ -339,7 +432,7 @@ impl BufferPool {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             // Block on the frame latch (no other latch is held here).
             if write {
-                let g = frame.latch.write_arc();
+                let g = frame.latch_write_blocking();
                 if let Some(e) = g.load_error() {
                     // The load failed: every parked waiter gets the error
                     // rather than re-fetching forever (the loader already
@@ -350,9 +443,9 @@ impl BufferPool {
                 }
                 debug_assert!(g.loaded);
                 audit::latch_acquired(self.audit_id, u64::from(id.0), true, blocking);
-                return Ok(FetchResult::Write(PageWriteGuard { frame, guard: Some(g) }));
+                return Ok(FetchResult::Write(PageWriteGuard::new(frame, g)));
             }
-            let g = frame.latch.read_arc();
+            let g = frame.latch_read_blocking();
             if let Some(e) = g.load_error() {
                 drop(g);
                 frame.pins.fetch_sub(1, Ordering::Relaxed);
@@ -378,6 +471,8 @@ impl BufferPool {
             dirty: AtomicBool::new(false),
             rec_lsn: AtomicU64::new(0),
             tick: AtomicU64::new(self.tick()),
+            seq: AtomicU64::new(0),
+            evicted: AtomicBool::new(false),
         });
         let mut g = frame.latch.write_arc();
         {
@@ -408,7 +503,7 @@ impl BufferPool {
                 g.loaded = true;
                 audit::latch_acquired(self.audit_id, u64::from(id.0), write, blocking);
                 if write {
-                    Ok(FetchResult::Write(PageWriteGuard { frame, guard: Some(g) }))
+                    Ok(FetchResult::Write(PageWriteGuard::new(frame, g)))
                 } else {
                     let rg = ArcRwLockWriteGuard::downgrade(g);
                     Ok(FetchResult::Read(PageReadGuard { frame, guard: rg }))
@@ -419,11 +514,98 @@ impl BufferPool {
                 drop(g);
                 if self.frames.lock(&id).remove(&id).is_some() {
                     self.total.fetch_sub(1, Ordering::Relaxed);
+                    frame.mark_evicted();
                 }
                 frame.pins.fetch_sub(1, Ordering::Relaxed);
                 Err(e)
             }
         }
+    }
+
+    /// Optimistic latch-free fetch: a version-stamped handle to page
+    /// `id`'s cached frame that pins nothing, takes no latch, and never
+    /// touches the LRU clock — the read-path synchronization cost is a
+    /// shard probe plus one atomic load. Copy data out with
+    /// [`OptimisticReadGuard::read_with`], then prove the copies
+    /// consistent with [`OptimisticReadGuard::validate`].
+    ///
+    /// A miss *bypasses the pool*: the page image is read from the store
+    /// into a private buffer — no frame, no pin, no eviction pressure —
+    /// and validated against the store-write counters. The validation
+    /// argument: every modification happens in a cached frame, and a
+    /// frame never leaves the frame table without its dirty image being
+    /// written back first (drained pages stay cached, dirty and marked
+    /// available, until ordinary eviction), so *absent from the table ⇒
+    /// the store holds the newest version*. The direct copy is therefore
+    /// current provided (a) no store write was in flight or began during
+    /// the read window (`begun == done` at capture, `begun` unchanged at
+    /// re-check) and (b) the page is still absent at re-probe (a
+    /// concurrent fetch would make the cached frame authoritative). A
+    /// window that cannot validate falls back to warming the cache with
+    /// one ordinary latched read (acquired and released *before* the
+    /// optimistic section opens, so the no-latch-inside-section
+    /// discipline holds) and re-probing; `Ok(None)` means the page would
+    /// not stay cached even then and the caller should use the latched
+    /// path for this node.
+    pub fn fetch_optimistic(
+        self: &Arc<Self>,
+        id: PageId,
+    ) -> io::Result<Option<OptimisticReadGuard>> {
+        assert!(!id.is_invalid(), "fetch of the invalid page id");
+        for warmed in [false, true] {
+            let frame = self.frames.lock(&id).get(&id).cloned();
+            if let Some(frame) = frame {
+                audit::optimistic_enter(self.audit_id, u64::from(id.0));
+                let seq = frame.seq.load(Ordering::Acquire);
+                return Ok(Some(OptimisticReadGuard {
+                    inner: GuardInner::Cached { frame, seq },
+                }));
+            }
+            if warmed {
+                break;
+            }
+            if let Some(g) = self.read_direct(id) {
+                return Ok(Some(g));
+            }
+            // Bypass could not validate (store write in flight, image
+            // unreadable, or the page got cached mid-window): warm the
+            // cache with one latched read and re-probe. An unreadable
+            // page surfaces its error through the latched path, keeping
+            // error reporting identical to the baseline.
+            drop(self.fetch_read(id)?);
+        }
+        Ok(None)
+    }
+
+    /// Pool-bypassing direct read for [`Self::fetch_optimistic`]: read
+    /// the store image of `id` into a private page and validate that no
+    /// store write overlapped the window and the page stayed uncached.
+    /// `None` means the caller must take the warm-and-re-probe path.
+    fn read_direct(self: &Arc<Self>, id: PageId) -> Option<OptimisticReadGuard> {
+        let begun = self.store_writes_begun.load(Ordering::SeqCst);
+        if self.store_writes_done.load(Ordering::SeqCst) != begun {
+            return None; // a write-back is in flight somewhere
+        }
+        audit::io_event(self.audit_id, u64::from(id.0), "direct-read");
+        let mut page = Box::new(Page::zeroed());
+        if with_io_retry(|| self.store.read(id, &mut page)).is_err() {
+            return None;
+        }
+        if self.verify_checksums.load(Ordering::Relaxed) && !page.verify_checksum() {
+            return None;
+        }
+        if self.frames.lock(&id).contains_key(&id) {
+            // Cached mid-window: the frame is now authoritative.
+            return None;
+        }
+        if self.store_writes_begun.load(Ordering::SeqCst) != begun {
+            return None; // a write began during the window
+        }
+        self.stats.direct_reads.fetch_add(1, Ordering::Relaxed);
+        audit::optimistic_enter(self.audit_id, u64::from(id.0));
+        Some(OptimisticReadGuard {
+            inner: GuardInner::Direct { audit_id: self.audit_id, id, page },
+        })
     }
 
     /// Latch page `id` in X mode without blocking on the latch. Returns
@@ -451,7 +633,7 @@ impl BufferPool {
                         return Err(e);
                     }
                     audit::latch_acquired(self.audit_id, u64::from(id.0), true, false);
-                    return Ok(Some(PageWriteGuard { frame, guard: Some(g) }));
+                    return Ok(Some(PageWriteGuard::new(frame, g)));
                 }
                 None => {
                     frame.pins.fetch_sub(1, Ordering::Relaxed);
@@ -491,7 +673,7 @@ impl BufferPool {
                 })
             };
             if let Some(frame) = existing {
-                let g = frame.latch.write_arc();
+                let g = frame.latch_write_blocking();
                 if g.load_error.is_some() {
                     // The failed loader already removed the frame from the
                     // table; loop to create a fresh one (no store read on
@@ -506,7 +688,7 @@ impl BufferPool {
                 // a deadlock cycle with structured tree operations (any
                 // residual holder is a transient stale rightlink chaser).
                 audit::latch_acquired(self.audit_id, u64::from(id.0), true, false);
-                return Ok(PageWriteGuard { frame, guard: Some(g) });
+                return Ok(PageWriteGuard::new(frame, g));
             }
             let frame = Arc::new(Frame {
                 id,
@@ -520,6 +702,8 @@ impl BufferPool {
                 dirty: AtomicBool::new(false),
                 rec_lsn: AtomicU64::new(0),
                 tick: AtomicU64::new(self.tick()),
+                seq: AtomicU64::new(0),
+                evicted: AtomicBool::new(false),
             });
             let g = frame.latch.write_arc();
             {
@@ -532,7 +716,7 @@ impl BufferPool {
             }
             self.evict_excess();
             audit::latch_acquired(self.audit_id, u64::from(id.0), true, false);
-            return Ok(PageWriteGuard { frame, guard: Some(g) });
+            return Ok(PageWriteGuard::new(frame, g));
         }
     }
 
@@ -584,14 +768,40 @@ impl BufferPool {
             }
             // Remove only if still unpinned (a fetcher may be parked on
             // the latch; its pin protects it) and still the mapped frame.
-            let mut frames = self.frames.lock(&frame.id);
-            if frame.pins.load(Ordering::Relaxed) == 0
-                && frames.get(&frame.id).is_some_and(|f| Arc::ptr_eq(f, &frame))
-            {
-                frames.remove(&frame.id);
-                self.total.fetch_sub(1, Ordering::Relaxed);
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            let removed = {
+                let mut frames = self.frames.lock(&frame.id);
+                if frame.pins.load(Ordering::Relaxed) == 0
+                    && frames.get(&frame.id).is_some_and(|f| Arc::ptr_eq(f, &frame))
+                {
+                    frames.remove(&frame.id);
+                    self.total.fetch_sub(1, Ordering::Relaxed);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            };
+            if removed {
+                // Kill the frame for optimistic readers while its write
+                // latch is still held, then *retire* it: a latch-free
+                // traversal may still hold an `Arc` to it, and the page
+                // id may be reloaded into a fresh frame immediately —
+                // the epoch bin keeps the dead incarnation (and its
+                // permanently odd version word) alive until every pin
+                // that could have observed the mapping has drained.
+                frame.mark_evicted();
+                drop(guard);
+                self.retire_frame(frame);
             }
+        }
+    }
+
+    /// Drop an evicted frame through the registered epoch domain (or
+    /// immediately when none is registered).
+    fn retire_frame(&self, frame: Arc<Frame>) {
+        match self.epoch.lock().clone() {
+            Some(gc) => gc.retire(move || drop(frame)),
+            None => drop(frame),
         }
     }
 
@@ -615,7 +825,15 @@ impl BufferPool {
         // store is synced this write may still be lost by a crash, so the
         // page stays in the dirty-page table under its old recLSN.
         let rl = frame.rec_lsn.load(Ordering::Relaxed);
-        self.retry_write_op(|| self.store.write(frame.id, &img))?;
+        // Bracket the store write for pool-bypassing optimistic reads: a
+        // bypass whose window overlaps any part of this write (including
+        // a failed one, which may have torn the image) must discard its
+        // copy. `begun` moves before the first byte can land, `done` only
+        // after the write call has returned.
+        self.store_writes_begun.fetch_add(1, Ordering::SeqCst);
+        let wrote = self.retry_write_op(|| self.store.write(frame.id, &img));
+        self.store_writes_done.fetch_add(1, Ordering::SeqCst);
+        wrote?;
         {
             let mut unsynced = self.unsynced.lock();
             let entry = unsynced.entry(frame.id.0).or_insert(u64::MAX);
@@ -644,7 +862,7 @@ impl BufferPool {
             if !frame.dirty.load(Ordering::Relaxed) {
                 continue;
             }
-            let g = frame.latch.read_arc();
+            let g = frame.latch_read_blocking();
             if frame.dirty.load(Ordering::Relaxed) {
                 self.write_back(&frame, &g.page)?;
             }
@@ -699,6 +917,11 @@ impl BufferPool {
         for idx in 0..self.frames.shard_count() {
             let mut frames = self.frames.lock_index(idx);
             self.total.fetch_sub(frames.len(), Ordering::Relaxed);
+            for f in frames.values() {
+                // Quiescence was asserted above, so no write guard is
+                // live: the word is even and goes permanently odd.
+                f.mark_evicted();
+            }
             frames.clear();
         }
         self.unsynced.lock().clear();
@@ -780,6 +1003,124 @@ enum FetchResult {
     Retry,
 }
 
+/// Outcome of [`OptimisticReadGuard::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validation {
+    /// The version word never moved: every `read_with` copy taken
+    /// through this guard is a consistent snapshot of the page.
+    Ok,
+    /// A writer touched (or is touching) the frame since the guard was
+    /// taken: discard the copies, re-fetch, re-read.
+    Retry,
+    /// The frame left the pool (eviction, crash, failed load): the page
+    /// must be re-fetched through the latched path.
+    Evicted,
+}
+
+/// Latch-free, pin-free handle to a page image.
+///
+/// Two shapes, invisible to callers. A *cached* guard holds an `Arc` to
+/// the frame (memory safety is never at stake — Rust keeps the
+/// allocation alive) and the seqlock version word it observed at fetch;
+/// *logical* safety — the page id still mapping to this frame, the
+/// image not mutating under the reader — is exactly what
+/// [`Self::read_with`] + [`Self::validate`] prove. A *direct* guard
+/// owns a private copy read straight from the store on a pool miss,
+/// fully validated at construction (see
+/// [`BufferPool::fetch_optimistic`]), so its reads always succeed and
+/// `validate` is always [`Validation::Ok`] — following its pointers is
+/// exactly as safe as the latched path following pointers from a
+/// released page, which is what the link protocol (NSNs, right-links,
+/// empty-and-available markers) exists to permit. Callers must not act
+/// on copied data until `validate` returns [`Validation::Ok`], and must
+/// hold an epoch pin for the guard's whole life so drained pages cannot
+/// be reallocated mid-traversal (enforced by the `optimistic-unpinned`
+/// audit rule).
+pub struct OptimisticReadGuard {
+    inner: GuardInner,
+}
+
+enum GuardInner {
+    Cached { frame: Arc<Frame>, seq: u64 },
+    Direct { audit_id: u64, id: PageId, page: Box<Page> },
+}
+
+impl OptimisticReadGuard {
+    /// Id of the observed page.
+    pub fn page_id(&self) -> PageId {
+        match &self.inner {
+            GuardInner::Cached { frame, .. } => frame.id,
+            GuardInner::Direct { id, .. } => *id,
+        }
+    }
+
+    /// Whether this guard bypassed the pool (private store-read copy).
+    pub fn is_direct(&self) -> bool {
+        matches!(self.inner, GuardInner::Direct { .. })
+    }
+
+    /// Run `f` over the page image if the frame is momentarily stable,
+    /// returning `None` when a writer is active (odd/moved version word,
+    /// or the latch is exclusively held or wanted) — the caller treats
+    /// that like [`Validation::Retry`]. The internal `try_read` is
+    /// writer-preferring (it fails the moment a writer waits), so the
+    /// optimistic path can never starve mutators, and it is deliberately
+    /// *not* reported as a latch acquisition: the audit section stays
+    /// latch-free. A direct guard's copy is private and already
+    /// validated, so `f` always runs.
+    pub fn read_with<T>(&self, f: impl FnOnce(&Page) -> T) -> Option<T> {
+        let (frame, seq) = match &self.inner {
+            GuardInner::Direct { audit_id, id, page } => {
+                audit::optimistic_read(*audit_id, u64::from(id.0));
+                return Some(f(page));
+            }
+            GuardInner::Cached { frame, seq } => (frame, *seq),
+        };
+        if seq & 1 == 1 || frame.seq.load(Ordering::Acquire) != seq {
+            return None;
+        }
+        let g = frame.latch.try_read()?;
+        if !g.loaded || g.load_error.is_some() {
+            return None;
+        }
+        audit::optimistic_read(frame.audit_id, u64::from(frame.id.0));
+        let out = f(&g.page);
+        drop(g);
+        if frame.seq.load(Ordering::Acquire) != seq {
+            return None;
+        }
+        Some(out)
+    }
+
+    /// Whether the guard's snapshot is still current (a direct guard was
+    /// proven current at construction and its copy is private).
+    pub fn validate(&self) -> Validation {
+        let (frame, seq) = match &self.inner {
+            GuardInner::Direct { .. } => return Validation::Ok,
+            GuardInner::Cached { frame, seq } => (frame, *seq),
+        };
+        if frame.evicted.load(Ordering::Acquire) {
+            return Validation::Evicted;
+        }
+        let now = frame.seq.load(Ordering::Acquire);
+        if now != seq || now & 1 == 1 {
+            Validation::Retry
+        } else {
+            Validation::Ok
+        }
+    }
+}
+
+impl Drop for OptimisticReadGuard {
+    fn drop(&mut self) {
+        let (aid, pid) = match &self.inner {
+            GuardInner::Cached { frame, .. } => (frame.audit_id, frame.id),
+            GuardInner::Direct { audit_id, id, .. } => (*audit_id, *id),
+        };
+        audit::optimistic_exit(aid, u64::from(pid.0));
+    }
+}
+
 /// S-mode latch on a page.
 pub struct PageReadGuard {
     frame: Arc<Frame>,
@@ -818,6 +1159,14 @@ pub struct PageWriteGuard {
 }
 
 impl PageWriteGuard {
+    /// Wrap a freshly acquired X latch: the seqlock word goes odd for
+    /// the guard's whole life, so optimistic readers refuse to copy (and
+    /// any copy already taken fails validation).
+    fn new(frame: Arc<Frame>, guard: WriteGuardInner) -> PageWriteGuard {
+        frame.seq.fetch_add(1, Ordering::AcqRel);
+        PageWriteGuard { frame, guard: Some(guard) }
+    }
+
     /// Id of the latched page.
     pub fn page_id(&self) -> PageId {
         self.frame.id
@@ -862,6 +1211,10 @@ impl PageWriteGuard {
         let Some(guard) = self.guard.take() else {
             unreachable!("write guard downgraded twice");
         };
+        // Writes are published: the seqlock word returns to even before
+        // the X latch weakens to S (readers admitted after this point
+        // see a stable word).
+        frame.seq.fetch_add(1, Ordering::AcqRel);
         // `self` drops here with `guard == None`: the pin and the audit
         // held-entry transfer to the read guard instead of being released.
         drop(self);
@@ -886,8 +1239,13 @@ impl std::ops::DerefMut for PageWriteGuard {
 impl Drop for PageWriteGuard {
     fn drop(&mut self) {
         // `None` means `downgrade` moved the latch into a read guard:
-        // pin and audit entry live on there.
-        if self.guard.take().is_some() {
+        // pin and audit entry live on there (and the seqlock word was
+        // already returned to even at the downgrade).
+        if let Some(g) = self.guard.take() {
+            // Even again *before* the latch releases: a reader admitted
+            // by the release must see a stable version word.
+            self.frame.seq.fetch_add(1, Ordering::AcqRel);
+            drop(g);
             audit::latch_released(self.frame.audit_id, u64::from(self.frame.id.0));
             self.frame.pins.fetch_sub(1, Ordering::Relaxed);
         }
@@ -1305,5 +1663,173 @@ mod tests {
         let g = pool.fetch_read(PageId(1)).unwrap();
         let v = u64::from_le_bytes(g.cell(0).unwrap().try_into().unwrap());
         assert_eq!(v, 800, "increments never lost under the X latch");
+    }
+
+    use gist_epoch::EpochGc;
+
+    #[test]
+    fn optimistic_read_round_trip() {
+        let pool = pool(8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"stable").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        let gc = Arc::new(EpochGc::new());
+        let _pin = gc.pin();
+        let og = pool.fetch_optimistic(PageId(1)).unwrap().expect("cached");
+        assert_eq!(og.page_id(), PageId(1));
+        let copy = og.read_with(|p| p.cell(0).map(<[u8]>::to_vec)).expect("no writer active");
+        assert_eq!(copy.unwrap(), b"stable");
+        assert_eq!(og.validate(), Validation::Ok);
+    }
+
+    #[test]
+    fn optimistic_miss_bypasses_the_pool() {
+        let pool = pool(8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"direct").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        pool.flush_all().unwrap();
+        pool.crash();
+        let gc = Arc::new(EpochGc::new());
+        let _pin = gc.pin();
+        // Not cached: the miss is served by a direct store read into a
+        // private copy — the pool stays empty (no frame, no pin, no
+        // eviction pressure) and the copy validates unconditionally.
+        let og = pool.fetch_optimistic(PageId(1)).unwrap().expect("direct read");
+        assert!(og.is_direct());
+        let copy = og.read_with(|p| p.cell(0).map(<[u8]>::to_vec)).unwrap();
+        assert_eq!(copy.unwrap(), b"direct");
+        assert_eq!(og.validate(), Validation::Ok);
+        assert_eq!(pool.cached_frames(), 0, "bypass must not populate the pool");
+        assert_eq!(pool.stats.direct_reads.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn direct_read_falls_back_when_page_unreadable() {
+        // A page id beyond the store cannot be read directly; the miss
+        // path then warms the cache, whose loader reports the error.
+        let pool = pool(8);
+        let gc = Arc::new(EpochGc::new());
+        let _pin = gc.pin();
+        assert!(pool.fetch_optimistic(PageId(100)).is_err(), "loader surfaces the error");
+    }
+
+    #[test]
+    fn active_writer_blocks_optimistic_copy() {
+        let pool = pool(8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"x").unwrap();
+        }
+        let gc = Arc::new(EpochGc::new());
+        let _pin = gc.pin();
+        let g = pool.fetch_write(PageId(1)).unwrap();
+        let og = pool.fetch_optimistic(PageId(1)).unwrap().unwrap();
+        assert!(og.read_with(|p| p.page_lsn()).is_none(), "seq odd while writer live");
+        assert_eq!(og.validate(), Validation::Retry);
+        drop(g);
+        // A guard taken after the writer finishes is stable again.
+        let og2 = pool.fetch_optimistic(PageId(1)).unwrap().unwrap();
+        assert!(og2.read_with(|p| p.page_lsn()).is_some());
+        assert_eq!(og2.validate(), Validation::Ok);
+    }
+
+    #[test]
+    fn concurrent_writer_invalidates_taken_copies() {
+        let pool = pool(8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"v0").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        let gc = Arc::new(EpochGc::new());
+        let _pin = gc.pin();
+        let og = pool.fetch_optimistic(PageId(1)).unwrap().unwrap();
+        let copy = og.read_with(|p| p.cell(0).map(<[u8]>::to_vec)).unwrap();
+        assert_eq!(copy.unwrap(), b"v0");
+        // The write runs on another thread: latching on a thread with an
+        // open optimistic section is an audit violation by design.
+        let writer = pool.clone();
+        std::thread::spawn(move || {
+            let mut g = writer.fetch_write(PageId(1)).unwrap();
+            g.update_cell(0, b"v1").unwrap();
+            g.mark_dirty_unlogged();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(og.validate(), Validation::Retry, "copy is stale");
+        assert!(og.read_with(|p| p.page_lsn()).is_none(), "stale guard refuses to copy");
+    }
+
+    #[test]
+    fn downgrade_restores_an_even_version_word() {
+        let gc = Arc::new(EpochGc::new());
+        let _pin = gc.pin();
+        let pool = pool(8);
+        let g = pool.new_page_write(PageId(1), 0).unwrap();
+        let og = pool.fetch_optimistic(PageId(1)).unwrap().unwrap();
+        assert!(og.read_with(|p| p.page_lsn()).is_none(), "writer live");
+        let r = g.downgrade();
+        assert_eq!(og.validate(), Validation::Retry, "word moved while odd-snapshotted");
+        let og2 = pool.fetch_optimistic(PageId(1)).unwrap().unwrap();
+        assert!(og2.read_with(|p| p.page_lsn()).is_some(), "shares with the S latch");
+        assert_eq!(og2.validate(), Validation::Ok);
+        drop(r);
+    }
+
+    #[test]
+    fn eviction_kills_optimistic_guards_and_retires_frames() {
+        let pool = pool(2);
+        let gc = Arc::new(EpochGc::new());
+        pool.set_epoch(gc.clone());
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"victim").unwrap();
+            g.mark_dirty_unlogged();
+        }
+        let pin = gc.pin();
+        let og = pool.fetch_optimistic(PageId(1)).unwrap().unwrap();
+        // Flood the pool from another thread (this thread's optimistic
+        // section must stay latch-free): page 1 is the unpinned
+        // minimum-tick victim — the optimistic guard holds no pin.
+        let flood = pool.clone();
+        std::thread::spawn(move || {
+            for i in 2..=8u32 {
+                let mut g = flood.new_page_write(PageId(i), 0).unwrap();
+                g.insert_cell(&i.to_le_bytes()).unwrap();
+                g.mark_dirty_unlogged();
+            }
+        })
+        .join()
+        .unwrap();
+        assert!(pool.stats.evictions.load(Ordering::Relaxed) > 0);
+        assert_eq!(og.validate(), Validation::Evicted);
+        assert!(og.read_with(|p| p.page_lsn()).is_none(), "dead frame refuses to copy");
+        // The dead frames were retired, not dropped: the live pin holds
+        // them in the epoch bin until it drains.
+        assert!(gc.stats().pending > 0, "eviction deferred behind the pin");
+        drop(og);
+        drop(pin);
+        gc.try_collect();
+        assert_eq!(gc.stats().pending, 0, "garbage drained once unpinned");
+    }
+
+    #[test]
+    fn crash_kills_optimistic_guards() {
+        let pool = pool(8);
+        {
+            let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+            g.insert_cell(b"gone").unwrap();
+        }
+        let gc = Arc::new(EpochGc::new());
+        let _pin = gc.pin();
+        let og = pool.fetch_optimistic(PageId(1)).unwrap().unwrap();
+        pool.crash();
+        assert_eq!(og.validate(), Validation::Evicted);
+        assert!(og.read_with(|p| p.page_lsn()).is_none());
     }
 }

@@ -24,8 +24,8 @@ mod fault;
 
 pub use alloc::PageAllocator;
 pub use buffer::{
-    is_storage_poisoned, is_transient_io, BufferPool, FrameData, PageReadGuard, PageWriteGuard,
-    PoolStats, StoragePoisoned,
+    is_storage_poisoned, is_transient_io, BufferPool, FrameData, OptimisticReadGuard,
+    PageReadGuard, PageWriteGuard, PoolStats, StoragePoisoned, Validation,
 };
 pub use fault::{FaultKind, FaultPoint, FaultStore, FaultStoreStats, IoOp};
 pub use heap::HeapFile;

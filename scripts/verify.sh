@@ -37,6 +37,10 @@ cargo test -q --features latch-audit
 echo "== tier 2: shard-boundary stress under latch-audit =="
 cargo test -q --features latch-audit --test stress shard_
 
+echo "== tier 2: optimistic read-path equivalence + stress under latch-audit =="
+cargo test -q --features latch-audit --test optimistic
+cargo test -q --features latch-audit --test stress optimistic_
+
 echo "== tier 2: storage fault-injection crash harness =="
 cargo test -q --release --test fault_recovery
 
@@ -69,6 +73,7 @@ echo "  clippy (default + latch-audit)               0"
 echo "  gist-lint static rules                       0"
 echo "  latch-audit dynamic analyzer                 0"
 echo "  shard stress under latch-audit               0"
+echo "  optimistic equivalence + stress              0"
 echo "  fault-injection crash harness                0"
 echo "  chaos harness (seeds 1+2, audited)           0"
 echo "  flusher crash points (audited)               0"

@@ -15,6 +15,7 @@
 //! | `no-ignored-io` | no `let _ = ...` / statement-level `....ok();` in the storage crates (pagestore, wal) — every I/O result must be propagated, retried, or poison the pool; a silently dropped error is exactly how a lost write becomes silent corruption |
 //! | `no-inline-flush` | no direct `log.flush(...)` outside crates/wal and crates/commitpipe — durability goes through the group-commit pipeline, a private fsync re-serializes committers on the device |
 //! | `no-raw-std-sync` | no bare `parking_lot` / `std::sync` mutex, rwlock or condvar in the model-checked hot-path crates (lockmgr, predlock, commitpipe, wal, striped) — synchronization there must go through the `gist-sync` wrappers, or the deterministic scheduler (`crates/mc`) cannot see the operation and its schedules silently lose coverage |
+//! | `no-latch-in-optimistic` | no `fetch_read` / `fetch_write` / `new_page_write` inside a `read_with(...)` optimistic closure in `crates/core` — the latch-free fast path must not take latches mid-copy (static twin of the dynamic `latch-in-optimistic` audit rule) |
 //! | `chaos-point-registry` | every `chaos::point("...")` call site names an entry of the chaos crate's `CATALOG`, the catalog is duplicate-free, and every cataloged point is threaded through at least one call site |
 //!
 //! Scanning is line/AST-lite on purpose: the build must stay offline, so
@@ -406,6 +407,68 @@ fn rule_no_raw_std_sync(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule `no-latch-in-optimistic`: the optimistic fast path must stay
+/// latch-free. A `fetch_read` / `fetch_write` / `new_page_write` inside a
+/// `read_with(...)` closure in `crates/core` acquires a latch while an
+/// optimistic seqlock copy is being taken — the exact inversion the
+/// dynamic `latch-in-optimistic` audit rule panics on at runtime, caught
+/// here at the source level before any test has to hit the interleaving.
+/// Tracks parenthesis depth from each `read_with(` to its matching close,
+/// across lines, so multi-line closures are covered. A deliberate latched
+/// fetch takes a same-line `lint: allow-latch-in-optimistic` waiver.
+fn rule_no_latch_in_optimistic(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !f.path.starts_with("crates/core/") {
+        return;
+    }
+    const NEEDLES: [&str; 3] = ["fetch_read(", "fetch_write(", "new_page_write("];
+    // Paren depths at which a `read_with(` argument list opened; the
+    // region closes when the depth returns to the recorded value.
+    let mut open: Vec<i64> = Vec::new();
+    let mut depth: i64 = 0;
+    for (n, clean, raw, test) in f.lines() {
+        let waived = test || raw.contains("lint: allow-latch-in-optimistic");
+        let b = clean.as_bytes();
+        let mut i = 0;
+        let mut flagged = false;
+        while i < b.len() {
+            if b[i..].starts_with(b"read_with(") {
+                i += "read_with".len(); // lands on the '('
+                open.push(depth);
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            if !open.is_empty() && !waived && !flagged {
+                if let Some(needle) = NEEDLES.iter().find(|nd| b[i..].starts_with(nd.as_bytes()))
+                {
+                    out.push(Violation {
+                        rule: "no-latch-in-optimistic",
+                        file: f.path.clone(),
+                        line: n,
+                        msg: format!(
+                            "`{needle}` inside a `read_with` optimistic closure — the fast \
+                             path must not take latches; copy what you need out and fetch \
+                             after validation, or waive with `lint: allow-latch-in-optimistic`"
+                        ),
+                    });
+                    flagged = true;
+                }
+            }
+            match b[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    while open.last().is_some_and(|d| depth <= *d) {
+                        open.pop();
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+}
+
 /// Extract the variant names of `pub enum <name>` from sanitized source.
 fn enum_variants(clean: &str, name: &str) -> Vec<String> {
     let mut variants = Vec::new();
@@ -702,6 +765,7 @@ fn scan(files: &[SourceFile]) -> Vec<Violation> {
         rule_no_ignored_io(f, &mut out);
         rule_no_inline_flush(f, &mut out);
         rule_no_raw_std_sync(f, &mut out);
+        rule_no_latch_in_optimistic(f, &mut out);
     }
     rule_record_coverage(files, &mut out);
     rule_forbid_unsafe(files, &mut out);
@@ -772,6 +836,7 @@ fn main() {
         "no-ignored-io",
         "no-inline-flush",
         "no-raw-std-sync",
+        "no-latch-in-optimistic",
         "chaos-point-registry",
     ] {
         let n = violations.iter().filter(|v| v.rule == rule).count();
@@ -853,6 +918,51 @@ mod tests {
         let mut v = Vec::new();
         rule_no_unwrap(&f, &mut v);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn seeded_latch_in_optimistic_closure_is_flagged() {
+        let src = "fn f(pool: &Pool, og: &Og) {\n    \
+                   let x = og.read_with(|p| {\n        \
+                   let g = pool.fetch_read(p.rightlink())?;\n        \
+                   g.nsn()\n    });\n}\n";
+        let f = file("crates/core/src/ops/cursor.rs", src);
+        let mut v = Vec::new();
+        rule_no_latch_in_optimistic(&f, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-latch-in-optimistic");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn latched_fetch_outside_read_with_is_fine() {
+        let src = "fn f(pool: &Pool, og: &Og) {\n    \
+                   let copy = og.read_with(|p| p.nsn());\n    \
+                   let g = pool.fetch_read(PageId(1));\n}\n";
+        let f = file("crates/core/src/tree.rs", src);
+        let mut v = Vec::new();
+        rule_no_latch_in_optimistic(&f, &mut v);
+        assert!(v.is_empty(), "region must close with the call: {v:?}");
+    }
+
+    #[test]
+    fn latch_in_optimistic_scopes_to_core_only() {
+        let src = "fn f(og: &Og) { og.read_with(|p| self.fetch_read(p.id())); }\n";
+        let f = file("crates/pagestore/src/buffer.rs", src);
+        let mut v = Vec::new();
+        rule_no_latch_in_optimistic(&f, &mut v);
+        assert!(v.is_empty(), "rule applies to crates/core only: {v:?}");
+    }
+
+    #[test]
+    fn latch_in_optimistic_waiver_is_respected() {
+        let src = "fn f(pool: &Pool, og: &Og) {\n    \
+                   og.read_with(|p| pool.fetch_read(p.id())); \
+                   // lint: allow-latch-in-optimistic — measured, cold path\n}\n";
+        let f = file("crates/core/src/tree.rs", src);
+        let mut v = Vec::new();
+        rule_no_latch_in_optimistic(&f, &mut v);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

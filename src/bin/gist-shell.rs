@@ -304,6 +304,12 @@ impl Shell {
                     s.wal_append_lsn.saturating_sub(s.wal_durable_lsn)
                 );
                 println!("  wal flusher panics:      {}", s.wal_flusher_panics);
+                println!("  opt-read node hits:      {}", s.opt_read_hits);
+                println!("  opt-read retries:        {}", s.opt_read_retries);
+                println!("  opt-read fallbacks:      {}", s.opt_read_fallbacks);
+                println!("  opt-read direct reads:   {}", s.opt_read_direct);
+                println!("  epoch lag:               {}", s.epoch_lag);
+                println!("  epoch pending frees:     {}", s.epoch_pending);
             }
             "crash" => {
                 self.txn = None;

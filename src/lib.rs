@@ -23,6 +23,8 @@
 //! - [`striped`] — the shared sharding utility (`Striped<T>`) behind the
 //!   partitioned buffer-pool frame table, the striped lock-manager
 //!   queues, and the per-node predicate tables.
+//! - [`epoch`] — quiescent-state (epoch) reclamation guarding page reuse
+//!   under the optimistic latch-free read path.
 //! - `audit` (behind the `latch-audit` feature) — the dynamic latch/lock
 //!   discipline analyzer asserting the §5 protocol invariants at runtime.
 
@@ -34,6 +36,7 @@ pub use gist_audit as audit;
 #[cfg(feature = "chaos")]
 pub use gist_chaos as chaos;
 pub use gist_core as core;
+pub use gist_epoch as epoch;
 pub use gist_lockmgr as lockmgr;
 pub use gist_maint as maint;
 pub use gist_pagestore as pagestore;

@@ -32,7 +32,8 @@ use gist_mc::{Explorer, Failure, Report, Sim};
 use gist_predlock::{NodeKey, PredKind, PredicateManager};
 use gist_wal::{LogManager, Lsn, RecordBody, TxnId};
 
-use gist_pagestore::PageId;
+use gist_epoch::EpochGc;
+use gist_pagestore::{BufferPool, InMemoryStore, PageId, PageStore};
 
 /// Serializes the whole suite: mutation arming is global state.
 fn suite_lock() -> MutexGuard<'static, ()> {
@@ -411,4 +412,205 @@ fn wal_watermark_invariants_hold_under_random_schedules() {
     let _serial = suite_lock();
     let report = Explorer::seeded("wal-watermarks-wide", 0xD00F, 128).run(wal_watermark_scenario);
     report.assert_no_failure();
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic read path 1: seqlock copies vs a concurrent split.
+// ---------------------------------------------------------------------------
+
+/// An optimistic reader copies two coupled cells plus the NSN out of a
+/// node while a writer applies a split-style update (both cells, the
+/// NSN and the rightlink move together under one `PageWriteGuard`).
+/// Every copy the reader manages to take must be one of the two
+/// coherent states — the version word must make torn copies impossible
+/// in every schedule.
+fn optimistic_reader_vs_split_scenario(sim: &mut Sim) {
+    let store = Arc::new(InMemoryStore::new());
+    store.ensure_capacity(16).unwrap();
+    let pool = BufferPool::new(store, 8);
+    {
+        let mut g = pool.new_page_write(PageId(1), 0).unwrap();
+        g.insert_cell(&[0]).unwrap();
+        g.insert_cell(&[0]).unwrap();
+        g.mark_dirty_unlogged();
+    }
+    let gc = Arc::new(EpochGc::new());
+
+    let observed = Arc::new(Mutex::new(Vec::new()));
+    let (p, g2, obs) = (pool.clone(), gc.clone(), observed.clone());
+    sim.spawn("reader", move || {
+        let _pin = g2.pin();
+        for _ in 0..3 {
+            let Some(og) = p.fetch_optimistic(PageId(1)).unwrap() else { break };
+            let copy = og.read_with(|pg| {
+                (
+                    pg.cell(0).unwrap()[0],
+                    pg.cell(1).unwrap()[0],
+                    pg.nsn(),
+                )
+            });
+            if let Some(c) = copy {
+                obs.lock().unwrap().push(c);
+                break;
+            }
+        }
+    });
+    let p = pool.clone();
+    sim.spawn("splitter", move || {
+        let mut g = p.fetch_write(PageId(1)).unwrap();
+        g.update_cell(0, &[7]).unwrap();
+        g.update_cell(1, &[7]).unwrap();
+        g.set_nsn(1);
+        g.set_rightlink(PageId(2));
+        g.mark_dirty_unlogged();
+    });
+
+    sim.check(move || {
+        for (a, b, nsn) in observed.lock().unwrap().iter() {
+            let coherent = (*a == 0 && *b == 0 && *nsn == 0) || (*a == 7 && *b == 7 && *nsn == 1);
+            if !coherent {
+                return Err(format!("torn optimistic copy: a={a} b={b} nsn={nsn}"));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Fixed code: no schedule yields a torn copy, under both seeded-random
+/// and PCT exploration, and the happens-before detector is quiet.
+#[test]
+fn optimistic_reader_never_sees_torn_split() {
+    let _serial = suite_lock();
+    for explorer in [
+        Explorer::seeded("opt-split-seeded", 0x0511, 128),
+        Explorer::pct("opt-split-pct", 0x0512, 3, 128),
+    ] {
+        let report = explorer.run(optimistic_reader_vs_split_scenario);
+        report.assert_no_failure();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic read path 2: epoch pin vs §7.2 drain-free-reuse.
+// ---------------------------------------------------------------------------
+
+/// The type-confusion race the epoch bin exists to prevent. Node 1 is a
+/// parent holding a pointer to child node 2. The reader pins an epoch,
+/// takes a validated copy of the parent, and — if the pointer was still
+/// present — follows it to the child under the same pin. The drainer
+/// detaches the child from the parent, empties it, and retires the
+/// "free + reuse by an unrelated node" through the epoch bin.
+///
+/// Invariant: a validated parent copy containing the pointer proves the
+/// detach (and therefore the retire, which the drainer issues after it)
+/// had not happened when the reader pinned — so the reuse must be
+/// deferred past the reader's unpin, and a validated copy of the child
+/// can never show the reused identity.
+fn optimistic_reader_vs_drain_scenario(sim: &mut Sim) {
+    let store = Arc::new(InMemoryStore::new());
+    store.ensure_capacity(16).unwrap();
+    let pool = BufferPool::new(store, 8);
+    {
+        let mut g = pool.new_page_write(PageId(1), 1).unwrap();
+        g.insert_cell(&[2]).unwrap(); // "pointer" to the child
+        g.mark_dirty_unlogged();
+    }
+    {
+        let mut g = pool.new_page_write(PageId(2), 0).unwrap();
+        g.insert_cell(b"live").unwrap();
+        g.mark_dirty_unlogged();
+    }
+    let gc = Arc::new(EpochGc::new());
+
+    let saw_reused = Arc::new(AtomicBool::new(false));
+    let (p, g2, saw) = (pool.clone(), gc.clone(), saw_reused.clone());
+    sim.spawn("reader", move || {
+        let _pin = g2.pin();
+        let Some(og) = p.fetch_optimistic(PageId(1)).unwrap() else { return };
+        let Some(ptr) = og.read_with(|pg| pg.cell(0).map(|c| c[0])) else { return };
+        drop(og);
+        if ptr.is_none() {
+            return; // validated copy says the drain already detached it
+        }
+        let Some(og) = p.fetch_optimistic(PageId(2)).unwrap() else { return };
+        if let Some(Some(marker)) = og.read_with(|pg| pg.cell(0).map(<[u8]>::to_vec)) {
+            if marker == b"reused" {
+                saw.store(true, Ordering::SeqCst);
+            }
+        }
+    });
+    let (p, g2) = (pool.clone(), gc.clone());
+    sim.spawn("drainer", move || {
+        // §7.2 order: detach from the parent first ...
+        {
+            let mut g = p.fetch_write(PageId(1)).unwrap();
+            g.delete_cell(0);
+            g.mark_dirty_unlogged();
+        }
+        // ... drain the child empty ...
+        {
+            let mut g = p.fetch_write(PageId(2)).unwrap();
+            g.clear_cells();
+            g.mark_dirty_unlogged();
+        }
+        // ... then retire the free; the closure models the allocator
+        // handing the page straight to an unrelated node.
+        let p2 = p.clone();
+        g2.retire(move || {
+            let mut g = p2.fetch_write(PageId(2)).unwrap();
+            g.clear_cells();
+            g.insert_cell(b"reused").unwrap();
+            g.mark_dirty_unlogged();
+        });
+    });
+
+    let gc2 = gc.clone();
+    sim.check(move || {
+        // Both tasks are done (reader unpinned): the deferred free must
+        // now be collectable — nothing may leak in the bin.
+        gc2.try_collect();
+        let pending = gc2.stats().pending;
+        if pending != 0 {
+            return Err(format!("epoch bin leaked {pending} frees at quiescence"));
+        }
+        if saw_reused.load(Ordering::SeqCst) {
+            Err("validated copy of a reused page taken under a live pin".to_string())
+        } else {
+            Ok(())
+        }
+    });
+}
+
+/// Fixed code: in every schedule the reuse stays invisible to the
+/// pinned reader and the bin drains at quiescence.
+#[test]
+fn optimistic_reader_never_sees_reused_page() {
+    let _serial = suite_lock();
+    for explorer in [
+        Explorer::seeded("opt-drain-seeded", 0xD7A1, 128),
+        Explorer::pct("opt-drain-pct", 0xD7A2, 3, 128),
+    ] {
+        let report = explorer.run(optimistic_reader_vs_drain_scenario);
+        report.assert_no_failure();
+    }
+}
+
+/// Arm `epoch.skip-retire` (frees run inline, ignoring live pins): the
+/// explorer must find a schedule where the pinned reader's validated
+/// child copy shows the reused identity, and the minimized trace must
+/// replay byte-for-byte.
+#[test]
+fn epoch_skip_retire_mutation_is_found() {
+    let _serial = suite_lock();
+    let _armed = Armed::new("epoch.skip-retire");
+    let report =
+        Explorer::seeded("opt-drain-mut", 0xD7A3, 512).run(optimistic_reader_vs_drain_scenario);
+    let failure = report.failure.as_ref().expect("mutation must be detected within budget");
+    assert!(
+        matches!(failure.failure, Failure::PostCondition { .. }),
+        "expected a post-condition failure, got {}",
+        failure.failure
+    );
+    assert!(failure.failure.to_string().contains("reused"), "{}", failure.failure);
+    assert_replays_byte_for_byte(&report, false, optimistic_reader_vs_drain_scenario);
 }

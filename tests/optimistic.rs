@@ -1,0 +1,203 @@
+//! The optimistic latch-free read path: equivalence with the latched
+//! cursor, repeatability under a concurrent writer storm, and the
+//! fallback seeding that keeps result sets exact.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gist_repro::am::{BtreeExt, I64Query};
+use gist_repro::core::check::check_tree;
+use gist_repro::core::{Db, DbConfig, GistIndex, IndexOptions};
+use gist_repro::pagestore::{InMemoryStore, PageId, Rid};
+use gist_repro::wal::LogManager;
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId(810_000 + (n >> 16) as u32), (n & 0xFFFF) as u16)
+}
+
+fn open(optimistic: bool) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let config = DbConfig { optimistic_reads: optimistic, ..DbConfig::default() };
+    let db = Db::open(store, log, config).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    (db, idx)
+}
+
+/// The two read paths must be observationally identical: the same
+/// committed content answers the same queries with the same result
+/// sets, whichever traversal mode the config selects.
+#[test]
+fn optimistic_and_latched_return_identical_result_sets() {
+    let (db_opt, idx_opt) = open(true);
+    let (db_lat, idx_lat) = open(false);
+    for (db, idx) in [(&db_opt, &idx_opt), (&db_lat, &idx_lat)] {
+        let txn = db.begin();
+        for k in 0..3_000i64 {
+            idx.insert(txn, &k, rid(k as u64)).unwrap();
+        }
+        // Punch some holes so delete-marked entries are in play too.
+        for k in (0..3_000i64).step_by(7) {
+            idx.delete(txn, &k, rid(k as u64)).unwrap();
+        }
+        db.commit(txn).unwrap();
+    }
+
+    let queries = [
+        I64Query::range(0, 2_999),
+        I64Query::range(-50, 10),
+        I64Query::range(1_490, 1_510),
+        I64Query::range(2_999, 9_999),
+        I64Query::range(4_000, 5_000), // empty
+    ];
+    for q in &queries {
+        let t1 = db_opt.begin();
+        let mut a = idx_opt.search(t1, q).unwrap();
+        db_opt.commit(t1).unwrap();
+        let t2 = db_lat.begin();
+        let mut b = idx_lat.search(t2, q).unwrap();
+        db_lat.commit(t2).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "optimistic and latched result sets diverge");
+    }
+
+    // The fast path actually ran on the optimistic db and never ran on
+    // the latched one.
+    let so = db_opt.opt_read_stats();
+    assert!(so.hits > 0, "optimistic path never validated a node: {so:?}");
+    let sl = db_lat.opt_read_stats();
+    assert_eq!((sl.hits, sl.retries, sl.fallbacks), (0, 0, 0), "latched db used fast path");
+}
+
+/// Under a sustained insert/delete storm the optimistic drain must
+/// still deliver exact, duplicate-free, repeatable result sets — the
+/// stable baseline region in full, and never a phantom inside it.
+#[test]
+fn optimistic_scans_stay_exact_under_writer_storm() {
+    let (db, idx) = open(true);
+    let txn = db.begin();
+    for k in 0..1_000i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scans = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+
+    // Writers churn private key regions far above the baseline, with
+    // enough delete traffic to drive splits, marks and drains.
+    for t in 0..2u64 {
+        let (db, idx, stop) = (db.clone(), idx.clone(), stop.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut mine: Vec<(i64, Rid)> = Vec::new();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let txn = db.begin();
+                let res: gist_repro::core::Result<()> = if i % 3 == 2 && !mine.is_empty() {
+                    let (k, r) = mine[0];
+                    idx.delete(txn, &k, r).map(|_| ())
+                } else {
+                    let k = 100_000 + (t as i64) * 1_000_000 + i as i64;
+                    idx.insert(txn, &k, rid(2_000_000 + t * 100_000_000 + i)).map(|_| ())
+                };
+                match res {
+                    Ok(()) => {
+                        db.commit(txn).unwrap();
+                        if i % 3 == 2 && !mine.is_empty() {
+                            mine.remove(0);
+                        } else {
+                            let k = 100_000 + (t as i64) * 1_000_000 + i as i64;
+                            mine.push((k, rid(2_000_000 + t * 100_000_000 + i)));
+                        }
+                        i += 1;
+                    }
+                    Err(e) if e.is_retryable() => db.abort(txn).unwrap(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }));
+    }
+
+    // Readers: every scan of the baseline returns it exactly, and a
+    // repeated scan inside one Degree 3 transaction is identical.
+    for _ in 0..2 {
+        let (db, idx, stop, scans) = (db.clone(), idx.clone(), stop.clone(), scans.clone());
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let txn = db.begin();
+                let q = I64Query::range(0, 999);
+                let a = match idx.search(txn, &q) {
+                    Ok(v) => v,
+                    Err(e) if e.is_retryable() => {
+                        db.abort(txn).unwrap();
+                        continue;
+                    }
+                    Err(e) => panic!("{e}"),
+                };
+                assert_eq!(a.len(), 1_000, "baseline must be stable and phantom-free");
+                let mut rids: Vec<Rid> = a.iter().map(|(_, r)| *r).collect();
+                rids.sort();
+                rids.dedup();
+                assert_eq!(rids.len(), 1_000, "duplicate delivery");
+                let b = match idx.search(txn, &q) {
+                    Ok(v) => v,
+                    Err(e) if e.is_retryable() => {
+                        db.abort(txn).unwrap();
+                        continue;
+                    }
+                    Err(e) => panic!("{e}"),
+                };
+                // Delivery order is traversal order and may legally
+                // differ between the two drains (splits reorder the
+                // stack); repeatability is about the *set*.
+                let (mut a, mut b) = (a, b);
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "Degree 3 repeatability violated");
+                db.commit(txn).unwrap();
+                scans.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs(2));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(scans.load(Ordering::Relaxed) > 0, "no scan completed");
+    let s = db.opt_read_stats();
+    assert!(s.hits > 0, "storm test never exercised the fast path: {s:?}");
+    check_tree(&idx).unwrap().assert_ok();
+    db.shutdown().unwrap();
+}
+
+/// Epoch reclamation under the storm: after everything quiesces, a
+/// collect cycle leaves no pending frees behind (nothing leaks from
+/// the retire bin).
+#[test]
+fn optimistic_epoch_bin_drains_at_quiescence() {
+    let (db, idx) = open(true);
+    let txn = db.begin();
+    for k in 0..2_000i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    for k in 500..1_500i64 {
+        idx.delete(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    // Vacuum + maintenance drain emptied nodes; their §7.2 frees go
+    // through the epoch bin.
+    let txn = db.begin();
+    idx.vacuum_sync(txn).unwrap();
+    db.commit(txn).unwrap();
+    db.maint_sync();
+
+    let s = db.opt_read_stats();
+    assert_eq!(s.epoch_pending, 0, "retire bin not drained at quiescence: {s:?}");
+    check_tree(&idx).unwrap().assert_ok();
+}

@@ -187,6 +187,111 @@ fn repeated_crash_cycles_with_work_between() {
     }
 }
 
+/// Optimistic scans racing vacuum-driven node drains and heavy buffer
+/// eviction. A tiny pool keeps knocking pages out from under the
+/// latch-free readers (`Validation::Evicted` → seeded latched
+/// fallback), while drains push §7.2 frees through the epoch bin; the
+/// scanners must still see the stable baseline exactly. Under
+/// `--features latch-audit` this also proves the no-latch and
+/// pin-coverage rules hold on the fast path at stress volume.
+#[test]
+fn optimistic_scans_race_drains_and_eviction() {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let config = DbConfig { pool_capacity: 24, ..DbConfig::default() };
+    let db = Db::open(store, log, config).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+
+    let txn = db.begin();
+    for k in 0..1_500i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // One writer churning a private region above the baseline; the
+    // delete half of the churn leaves nodes for vacuum to drain.
+    {
+        let (db, idx, stop) = (db.clone(), idx.clone(), stop.clone());
+        handles.push(std::thread::spawn(move || {
+            let mut mine: Vec<(i64, Rid)> = Vec::new();
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let txn = db.begin();
+                let res: gist_repro::core::Result<()> = if i % 2 == 1 && !mine.is_empty() {
+                    let (k, r) = mine[0];
+                    idx.delete(txn, &k, r).map(|_| ())
+                } else {
+                    let k = 50_000 + i as i64;
+                    idx.insert(txn, &k, rid(3_000_000 + i)).map(|_| ())
+                };
+                match res {
+                    Ok(()) => {
+                        db.commit(txn).unwrap();
+                        if i % 2 == 1 && !mine.is_empty() {
+                            mine.remove(0);
+                        } else {
+                            mine.push((50_000 + i as i64, rid(3_000_000 + i)));
+                        }
+                        i += 1;
+                    }
+                    Err(e) if e.is_retryable() => db.abort(txn).unwrap(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }));
+    }
+    // Two optimistic scanners over the stable baseline.
+    for _ in 0..2 {
+        let (db, idx, stop) = (db.clone(), idx.clone(), stop.clone());
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let txn = db.begin();
+                let a = match idx.search(txn, &I64Query::range(0, 1_499)) {
+                    Ok(v) => v,
+                    Err(e) if e.is_retryable() => {
+                        db.abort(txn).unwrap();
+                        continue;
+                    }
+                    Err(e) => panic!("{e}"),
+                };
+                assert_eq!(a.len(), 1_500, "baseline stable under eviction races");
+                db.commit(txn).unwrap();
+            }
+        }));
+    }
+    // A periodic vacuum to keep drains flowing.
+    {
+        let (db, idx, stop) = (db.clone(), idx.clone(), stop.clone());
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(50));
+                let txn = db.begin();
+                match idx.vacuum_sync(txn) {
+                    Ok(_) => db.commit(txn).unwrap(),
+                    Err(e) if e.is_retryable() => db.abort(txn).unwrap(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs(2));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let s = db.opt_read_stats();
+    assert!(
+        s.hits + s.retries + s.fallbacks > 0,
+        "fast path never engaged under eviction stress: {s:?}"
+    );
+    check_tree(&idx).unwrap().assert_ok();
+}
+
 #[test]
 fn unique_index_under_concurrent_mixed_load() {
     let store = Arc::new(InMemoryStore::new());
