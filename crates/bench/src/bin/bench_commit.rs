@@ -26,11 +26,12 @@
 //! baseline and the batched mode run, at 1 and 8 threads with a shorter
 //! window — the acceptance assertion is unchanged.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use gist_bench::harness::{
-    latency_store, preloaded_db, ramp, JsonObj, JsonReport, KEY_STRIDE, PRELOAD, RAMP_THREADS,
-    WINDOW,
+    latency_store, preloaded_db, ramp, JsonObj, JsonReport, LatencyHist, KEY_STRIDE, PRELOAD,
+    RAMP_THREADS, WINDOW,
 };
 use gist_bench::{render_table, run_for, wl_rid, Row, XorShift};
 use gist_core::{DbConfig, Durability, RobustnessStats, TxnOptions};
@@ -81,7 +82,7 @@ impl Mode {
 
 /// One cell: fresh database, commit-heavy workload, committed-txn/s plus
 /// the pipeline's own counters.
-fn run_cell(mode: Mode, threads: usize, window: Duration) -> (f64, RobustnessStats) {
+fn run_cell(mode: Mode, threads: usize, window: Duration) -> (f64, RobustnessStats, u64) {
     // Preload with a free device (setup is not the measurement), then
     // dial in the simulated sync cost for the measured window.
     let config = DbConfig {
@@ -94,6 +95,10 @@ fn run_cell(mode: Mode, threads: usize, window: Duration) -> (f64, RobustnessSta
     db.log().set_sync_latency(SYNC_LATENCY);
     let durability = mode.durability();
     let worker_db = db.clone();
+    // End-to-end commit-call latency (not just the pipeline's park time):
+    // the p999 is the tail a client actually observes.
+    let hist = Arc::new(LatencyHist::new());
+    let worker_hist = hist.clone();
     let tp = run_for(threads, window, move |t, i| {
         // Random keys inside the preloaded range: the leaf bounding
         // predicates already cover them, so the steady state measures the
@@ -103,11 +108,13 @@ fn run_cell(mode: Mode, threads: usize, window: Duration) -> (f64, RobustnessSta
         let k = rng.below((PRELOAD * KEY_STRIDE) as u64) as i64;
         let txn = worker_db.begin_with(TxnOptions { durability });
         idx.insert(txn, &k, wl_rid((1u64 << 40) | ((t as u64) << 32) | i)).expect("insert");
+        let t0 = Instant::now();
         worker_db.commit(txn).expect("commit");
+        worker_hist.record(t0.elapsed());
     });
     let stats = db.robustness_stats();
     db.shutdown().expect("shutdown");
-    (tp.per_sec(), stats)
+    (tp.per_sec(), stats, hist.p999_us())
 }
 
 fn main() {
@@ -135,7 +142,7 @@ fn main() {
     for &mode in modes {
         let mut row = Row::new(format!("{} commits/s", mode.label()));
         let per_thread = ramp(threads, |t| {
-            let (ops, stats) = run_cell(mode, t, window);
+            let (ops, stats, p999) = run_cell(mode, t, window);
             report.push(
                 JsonObj::new()
                     .str("mode", mode.label())
@@ -144,7 +151,8 @@ fn main() {
                     .int("wal_batches_flushed", stats.wal_batches_flushed as i128)
                     .num("wal_mean_batch_size", stats.wal_mean_batch_size, 2)
                     .int("commit_wait_p50_us", stats.commit_wait_p50_us as i128)
-                    .int("commit_wait_p99_us", stats.commit_wait_p99_us as i128),
+                    .int("commit_wait_p99_us", stats.commit_wait_p99_us as i128)
+                    .int("commit_call_p999_us", p999 as i128),
             );
             row.cols.push((format!("{t}T"), ops));
             ops

@@ -1,0 +1,209 @@
+//! Overload resilience: goodput and tail latency under admission
+//! oversubscription, with WAL backpressure and epoch caps engaged.
+//!
+//! Two cells run the same transaction — one async-durability insert
+//! plus a ~100µs in-transaction hold, the shape of a short OLTP unit of
+//! work — through `Db::run_txn` (shed → backoff → retry) for a fixed
+//! window:
+//!
+//! * **peak** — exactly `CAPACITY` worker threads against an admission
+//!   cap of `CAPACITY`: the controller is full but never oversubscribed;
+//!   this is the goodput ceiling.
+//! * **oversub_4x** — `4 × CAPACITY` workers against the same cap: three
+//!   quarters of the offered load must park or shed at admission. A
+//!   well-behaved controller keeps goodput at the ceiling (the extra
+//!   threads wait their turn) instead of collapsing under thrash.
+//!
+//! The WAL backpressure gate and the epoch retire-bin caps are armed
+//! with deliberately tight limits, and the report carries their
+//! counters so a regression that starts leaning on the escalation paths
+//! (inline flushes, forced advances) is visible even while the
+//! acceptance still passes.
+//!
+//! Acceptance:
+//! * goodput at 4× oversubscription ≥ **80%** of peak;
+//! * the volatile log tail stays bounded by the backpressure limit
+//!   (plus one in-flight reservation per worker);
+//! * the epoch retire bin stays under its byte cap.
+//!
+//! Results are written to `BENCH_overload.json`.
+//!
+//! Usage: `cargo run --release -p gist-bench --bin bench_overload [out.json]`
+//!
+//! With `BENCH_OVERLOAD_SMOKE=1` (the `verify.sh` tier-2 gate) the
+//! window shrinks; cells and assertions are unchanged.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gist_bench::harness::{
+    latency_store, preloaded_db, JsonObj, JsonReport, LatencyHist, WINDOW,
+};
+use gist_bench::{render_table, run_for, wl_rid, Row, XorShift};
+use gist_core::{AdmissionConfig, DbConfig, Durability, RobustnessStats};
+
+/// Admission credits — the in-flight transaction ceiling for both cells.
+const CAPACITY: usize = 4;
+/// Offered-load multiplier for the oversubscribed cell.
+const OVERSUB: usize = 4;
+/// How long a shedding `try_begin` parks before giving up.
+const ADMIT_TIMEOUT: Duration = Duration::from_millis(50);
+/// In-transaction hold: the credit is occupied this long per txn, so
+/// throughput is admission-bound, not allocator-bound.
+const TXN_HOLD: Duration = Duration::from_micros(100);
+/// Volatile-log-tail cap (records) for the backpressure gate — tight
+/// enough that async committers outrun the flusher between idle sweeps
+/// and actually hit the gate (the point of the bench is to measure the
+/// defenses engaged, not dormant).
+const BP_LIMIT: u64 = 64;
+/// Backpressure park budget before the inline-flush escalation.
+const BP_TIMEOUT: Duration = Duration::from_millis(5);
+/// Epoch retire-bin byte cap.
+const EPOCH_CAP: u64 = 1 << 20;
+/// Simulated WAL device sync latency — enough that the flusher visibly
+/// trails async committers and the backpressure gate has work to do.
+const SYNC_LATENCY: Duration = Duration::from_micros(100);
+/// Keys preloaded before measurement.
+const PRELOAD: i64 = 2_000;
+
+struct CellResult {
+    goodput: f64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    stats: RobustnessStats,
+}
+
+fn run_cell(threads: usize, window: Duration) -> CellResult {
+    let config = DbConfig {
+        pool_capacity: 4_096,
+        lock_timeout: Duration::from_secs(30),
+        durability: Durability::Async,
+        admission: AdmissionConfig {
+            max_in_flight: CAPACITY,
+            admit_timeout: ADMIT_TIMEOUT,
+        },
+        wal_backpressure_limit: BP_LIMIT,
+        wal_backpressure_timeout: BP_TIMEOUT,
+        epoch_cap_bytes: EPOCH_CAP,
+        ..DbConfig::default()
+    };
+    let (db, idx) = preloaded_db(latency_store(Duration::ZERO), config, PRELOAD, 1);
+    db.log().set_sync_latency(SYNC_LATENCY);
+    let hist = Arc::new(LatencyHist::new());
+    let worker_db = db.clone();
+    let worker_hist = hist.clone();
+    let tp = run_for(threads, window, move |t, i| {
+        let mut rng = XorShift::new(0xC0FF_EE00 ^ (t as u64) << 32 ^ i.wrapping_mul(0x9E37));
+        let k = PRELOAD + rng.below(1 << 30) as i64;
+        let t0 = Instant::now();
+        worker_db
+            .run_txn(|txn| {
+                idx.insert(txn, &k, wl_rid((2u64 << 40) | ((t as u64) << 32) | i))?;
+                // The unit of work: the transaction owns its admission
+                // credit (and its locks) for the hold.
+                std::thread::sleep(TXN_HOLD);
+                Ok(())
+            })
+            .expect("run_txn under overload");
+        worker_hist.record(t0.elapsed());
+    });
+    let stats = db.robustness_stats();
+    db.shutdown().expect("shutdown");
+    CellResult {
+        goodput: tp.per_sec(),
+        p50_us: hist.p50_us(),
+        p99_us: hist.p99_us(),
+        p999_us: hist.p999_us(),
+        stats,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_overload.json".to_string());
+    let smoke = std::env::var("BENCH_OVERLOAD_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let window = if smoke { Duration::from_millis(400) } else { WINDOW };
+
+    let mut report = JsonReport::new("overload_resilience");
+    report.head(
+        "config",
+        JsonObj::new()
+            .int("capacity", CAPACITY as i128)
+            .int("oversub", OVERSUB as i128)
+            .int("admit_timeout_ms", ADMIT_TIMEOUT.as_millis() as i128)
+            .int("txn_hold_us", TXN_HOLD.as_micros() as i128)
+            .int("wal_bp_limit", BP_LIMIT as i128)
+            .int("epoch_cap_bytes", EPOCH_CAP as i128)
+            .int("window_ms", window.as_millis() as i128)
+            .bool("smoke", smoke)
+            .render(),
+    );
+
+    let cells = [("peak", CAPACITY), ("oversub_4x", CAPACITY * OVERSUB)];
+    let mut rows = vec![
+        Row::new("goodput txn/s".to_string()),
+        Row::new("p999 µs".to_string()),
+    ];
+    let mut goodputs = Vec::new();
+    for (label, threads) in cells {
+        let r = run_cell(threads, window);
+        let s = &r.stats;
+        report.push(
+            JsonObj::new()
+                .str("cell", label)
+                .int("threads", threads as i128)
+                .num("goodput_per_sec", r.goodput, 1)
+                .int("latency_p50_us", r.p50_us as i128)
+                .int("latency_p99_us", r.p99_us as i128)
+                .int("latency_p999_us", r.p999_us as i128)
+                .int("admission_shed", s.admission.shed as i128)
+                .int("admission_parked", s.admission.parked as i128)
+                .int("admission_forced", s.admission.forced as i128)
+                .int("txn_retries", s.txn_retries as i128)
+                .int("retries_exhausted", s.retries_exhausted as i128)
+                .int("wal_bp_parks", s.wal_bp_parks as i128)
+                .int("wal_bp_stalls", s.wal_bp_stalls as i128)
+                .int("wal_bp_backlog", s.wal_bp_backlog as i128)
+                .int("epoch_pending_bytes", s.epoch_pending_bytes as i128)
+                .int("epoch_forced_advances", s.epoch_forced_advances as i128)
+                .str("health", s.health.label()),
+        );
+        rows[0].cols.push((label.to_string(), r.goodput));
+        rows[1].cols.push((label.to_string(), r.p999_us as f64));
+        // Memory-bound acceptance, checked per cell: the volatile log
+        // tail may exceed the gate only by the reservations already
+        // past it (one per worker), the retire bin never by more than
+        // the cap (the stall regime stops growth at the cap itself).
+        assert!(
+            s.wal_bp_backlog <= BP_LIMIT + threads as u64,
+            "{label}: log tail {} records exceeds backpressure bound {}",
+            s.wal_bp_backlog,
+            BP_LIMIT + threads as u64
+        );
+        assert!(
+            s.epoch_pending_bytes <= EPOCH_CAP,
+            "{label}: retire bin {} bytes exceeds cap {EPOCH_CAP}",
+            s.epoch_pending_bytes
+        );
+        goodputs.push(r.goodput);
+    }
+
+    println!("{}", render_table("Overload resilience (admission cap 4)", &rows));
+    let ratio = goodputs[1] / goodputs[0];
+    println!("oversub_4x/peak goodput: {:.1}%", ratio * 100.0);
+
+    report.tail("goodput_ratio", format!("{ratio:.3}"));
+    report.tail(
+        "acceptance",
+        "\"goodput at 4x admission oversubscription must stay >= 80% of peak; \
+         log tail and retire bin stay under their caps\"",
+    );
+    report.write(&out_path);
+
+    assert!(
+        ratio >= 0.8,
+        "acceptance: goodput at 4x oversubscription must stay >= 80% of peak \
+         (got {:.1}%)",
+        ratio * 100.0
+    );
+}

@@ -74,6 +74,85 @@ pub fn ramp<T>(threads: &[usize], mut cell: impl FnMut(usize) -> T) -> Vec<(usiz
     threads.iter().map(|&t| (t, cell(t))).collect()
 }
 
+const HIST_BUCKETS: usize = 32;
+
+/// A thread-safe power-of-two latency histogram: `record` is one
+/// relaxed atomic increment, percentiles come back as the bucket's
+/// upper bound in microseconds. The same shape the commit pipeline uses
+/// internally, shared here so every bench reports p50/p99/p999 from one
+/// implementation instead of per-binary copies.
+#[derive(Debug)]
+pub struct LatencyHist {
+    buckets: [std::sync::atomic::AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHist { buckets: std::array::from_fn(|_| std::sync::atomic::AtomicU64::new(0)) }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        self.record_us(latency.as_micros() as u64);
+    }
+
+    /// Record one sample given directly in microseconds.
+    pub fn record_us(&self, micros: u64) {
+        use std::sync::atomic::Ordering;
+        let b = (64 - micros.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        use std::sync::atomic::Ordering;
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds, as the matching
+    /// bucket's upper bound; 0 when empty.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        use std::sync::atomic::Ordering;
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let need = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= need {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (HIST_BUCKETS - 1)
+    }
+
+    /// Median, in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.percentile_us(0.50)
+    }
+
+    /// 99th percentile, in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.percentile_us(0.99)
+    }
+
+    /// 99.9th percentile — the overload benches' hang detector: parked
+    /// waiters that only move on timeout expiry show up here long before
+    /// they dent the mean.
+    pub fn p999_us(&self) -> u64 {
+        self.percentile_us(0.999)
+    }
+}
+
 /// One hand-rolled JSON object, built field by field (the repo vendors
 /// no serde; the report format is simple enough not to need it).
 #[derive(Debug, Clone, Default)]
@@ -229,5 +308,20 @@ mod tests {
     fn ramp_visits_each_thread_count_in_order() {
         let out = ramp(&[1, 2, 4], |t| t * 10);
         assert_eq!(out, vec![(1, 10), (2, 20), (4, 40)]);
+    }
+
+    #[test]
+    fn latency_hist_percentiles_are_bucket_upper_bounds() {
+        let h = LatencyHist::new();
+        assert_eq!(h.percentile_us(0.5), 0, "empty histogram reads 0");
+        for _ in 0..999 {
+            h.record_us(100); // bucket 7 → upper bound 128
+        }
+        h.record_us(10_000); // bucket 14 → upper bound 16384
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.p50_us(), 128);
+        assert_eq!(h.p99_us(), 128);
+        assert_eq!(h.p999_us(), 128, "999/1000 samples sit at or below 128µs");
+        assert_eq!(h.percentile_us(1.0), 16_384, "the outlier owns the max");
     }
 }

@@ -58,6 +58,15 @@ pub const CATALOG: &[&str] = &[
     "commitpipe.append.post_reserve_pre_fill",
     "commitpipe.flusher.post_fill_pre_fsync",
     "commitpipe.flusher.post_fsync_pre_wakeup",
+    // Overload-resilience points (ISSUE 9). `Delay` actions model the
+    // three stall shapes the degradation layer must absorb: a flusher
+    // that stops draining batches, an optimistic reader that holds its
+    // epoch pin far past a traversal's natural length, and a committer
+    // that dawdles between appending its commit record and parking on
+    // the durable horizon.
+    "commitpipe.flusher.stall",
+    "cursor.optimistic.pinned",
+    "commit.before_durable_wait",
 ];
 
 /// What an armed crash point does to the thread that reaches it.

@@ -440,6 +440,11 @@ impl CommitPipeline {
     /// sync, then waiters wake. The two chaos points bracket the sync so
     /// fault tests can crash a batch on either side of it.
     fn flush_batch(&self, commits: u64) -> Result<(), PipeError> {
+        // Overload-resilience chaos point: armed with a `Delay` it makes
+        // the flusher linger at the top of every batch (a stalled
+        // flusher), which is what drives committers into `Stalled` /
+        // inline-flush degradation in the stall-chaos harness.
+        chaos::point("commitpipe.flusher.stall")?;
         let target = self.log.filled_lsn();
         chaos::point("commitpipe.flusher.post_fill_pre_fsync")?;
         if target > self.log.flushed_lsn() {

@@ -18,12 +18,13 @@ use parking_lot::Mutex;
 
 use gist_epoch::EpochGc;
 use gist_lockmgr::LockManager;
+use gist_overload::{AdmissionConfig, AdmissionController, AdmissionStats, HealthReport, HealthState};
 use gist_maint::{MaintDaemon, MaintStatsSnapshot};
 use gist_pagestore::{
     BufferPool, HeapFile, PageAllocator, PageId, PageStore, PageWriteGuard, Rid, SlotId,
 };
 use gist_predlock::PredicateManager;
-use gist_txn::{Durability, GcSink, SavepointId, TxnManager, TxnOptions};
+use gist_txn::{Durability, GcSink, SavepointId, TxnEndObserver, TxnManager, TxnOptions};
 use gist_wal::recovery::{RecoveryError, RecoveryHandler};
 use gist_wal::{LogManager, LogRecord, Lsn, Payload, RecordBody, TxnId};
 
@@ -117,6 +118,28 @@ pub struct DbConfig {
     /// reproduces the pre-optimistic latched traversal exactly;
     /// incremental cursors always use the latched protocol.
     pub optimistic_reads: bool,
+    /// Admission control for transaction begins: at most
+    /// [`AdmissionConfig::max_in_flight`] transactions run at once;
+    /// [`Db::try_begin`] sheds with [`GistError::Overloaded`] after
+    /// parking [`AdmissionConfig::admit_timeout`], while [`Db::begin`]
+    /// barges past the cap after the same park (it cannot fail).
+    /// `max_in_flight: 0` disables admission entirely.
+    pub admission: AdmissionConfig,
+    /// WAL backpressure: when the volatile log tail (`reserved −
+    /// durable`) exceeds this many records, `LogManager::reserve` parks
+    /// the appender until the flusher catches up. `0` disables the gate.
+    pub wal_backpressure_limit: u64,
+    /// How long a backpressured appender parks before escalating to an
+    /// inline flush of the filled prefix (stalled-flusher degradation).
+    pub wal_backpressure_timeout: Duration,
+    /// Epoch retire-bin byte cap: above it the domain reports a stall,
+    /// optimistic reads fall back to the latched path, and retire forces
+    /// an epoch advance. `0` disables the cap.
+    pub epoch_cap_bytes: u64,
+    /// Oldest-pin age budget: a pin older than this marks the epoch
+    /// domain stalled (same degradations as the byte cap). Zero disables
+    /// the age check.
+    pub epoch_stall_age: Duration,
 }
 
 impl Default for DbConfig {
@@ -134,6 +157,11 @@ impl Default for DbConfig {
             group_commit: true,
             wal_sync_latency: Duration::ZERO,
             optimistic_reads: true,
+            admission: AdmissionConfig::default(),
+            wal_backpressure_limit: 1 << 16,
+            wal_backpressure_timeout: Duration::from_millis(100),
+            epoch_cap_bytes: 64 << 20,
+            epoch_stall_age: Duration::from_secs(2),
         }
     }
 }
@@ -243,6 +271,14 @@ pub struct Db {
     opt_retries: AtomicU64,
     /// Optimistic traversals that fell back to the latched cursor.
     opt_fallbacks: AtomicU64,
+    /// Admission controller gating transaction begins (overload shed).
+    admission: AdmissionController,
+    /// [`Db::run_txn`] calls that exhausted their retry budget on a
+    /// retryable error and surfaced it to the caller.
+    retries_exhausted: AtomicU64,
+    /// Searches that skipped the optimistic path because the epoch
+    /// domain was stalled (graceful degradation to the latched cursor).
+    opt_stall_skips: AtomicU64,
 }
 
 /// Counters for the optimistic (latch-free) read path
@@ -326,6 +362,33 @@ pub struct RobustnessStats {
     pub epoch_lag: u64,
     /// Retired frames/pages waiting in the epoch bin.
     pub epoch_pending: u64,
+    /// [`Db::run_txn`] calls that exhausted their retry budget on a
+    /// retryable error (the caller got the last underlying failure).
+    pub retries_exhausted: u64,
+    /// Admission-controller counters ([`Db::try_begin`] sheds,
+    /// [`Db::begin`] forced admissions, parked begins).
+    pub admission: AdmissionStats,
+    /// WAL appends that parked on the backpressure gate.
+    pub wal_bp_parks: u64,
+    /// Backpressure parks that timed out and escalated to an inline
+    /// flush (stalled-flusher degradation).
+    pub wal_bp_stalls: u64,
+    /// Volatile log tail (`reserved − durable`) the backpressure gate
+    /// currently sees.
+    pub wal_bp_backlog: u64,
+    /// Bytes waiting in the epoch retire bin.
+    pub epoch_pending_bytes: u64,
+    /// Whether the epoch domain is currently in its stall regime.
+    pub epoch_stalled: bool,
+    /// Healthy→stalled transitions of the epoch domain.
+    pub epoch_stalls: u64,
+    /// Forced epoch advances issued while stalled.
+    pub epoch_forced_advances: u64,
+    /// Searches that skipped the optimistic path because the epoch
+    /// domain was stalled.
+    pub opt_stall_skips: u64,
+    /// The aggregate health verdict ([`Db::health`]).
+    pub health: HealthState,
 }
 
 impl Db {
@@ -354,7 +417,9 @@ impl Db {
         // One reclamation domain per database: evicted frames and §7.2
         // page frees defer behind the optimistic readers' pins.
         let epoch = Arc::new(EpochGc::new());
+        epoch.set_limits(config.epoch_cap_bytes, config.epoch_stall_age);
         pool.set_epoch(epoch.clone());
+        log.set_backpressure(config.wal_backpressure_limit, config.wal_backpressure_timeout);
         if store.page_count() == 0 {
             // Bootstrap the catalog page and make it durable immediately
             // so redo can always assume a formatted page 0.
@@ -390,6 +455,7 @@ impl Db {
         // manager strongly for checkpoint capture).
         let sink: std::sync::Weak<dyn GcSink> = Arc::downgrade(&maint) as _;
         txns.set_gc_sink(sink);
+        let admission = AdmissionController::new(config.admission.clone());
         let db = Arc::new(Db {
             pool,
             log,
@@ -412,6 +478,9 @@ impl Db {
             opt_hits: AtomicU64::new(0),
             opt_retries: AtomicU64::new(0),
             opt_fallbacks: AtomicU64::new(0),
+            admission,
+            retries_exhausted: AtomicU64::new(0),
+            opt_stall_skips: AtomicU64::new(0),
         });
         // The database is the daemon's undo handler: the transaction
         // watchdog needs logical undo to roll idle victims back. Weak for
@@ -420,6 +489,12 @@ impl Db {
         let handler: std::sync::Weak<dyn RecoveryHandler + Send + Sync> =
             Arc::downgrade(&db) as _;
         db.maint.set_undo_handler(handler);
+        // Admission credits ride the transaction's lifetime exactly: the
+        // end observer fires once per transaction-table removal (commit,
+        // owner abort, watchdog teardown), so a credit can never outlive
+        // its transaction or leak on any exit path. Weak, as above.
+        let observer: std::sync::Weak<dyn TxnEndObserver> = Arc::downgrade(&db) as _;
+        db.txns.set_end_observer(observer);
         Ok(db)
     }
 
@@ -540,6 +615,24 @@ impl Db {
         self.opt_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Whether searches may take the optimistic latch-free path right
+    /// now: configured on *and* the epoch domain is not stalled. Under a
+    /// stall (retire bin over its byte cap, or a pin past the age
+    /// budget) reads degrade to the latched cursor — which takes no pin,
+    /// so the overloaded domain stops growing while forced advances and
+    /// collection push it back under its caps. Recovery is automatic:
+    /// the next call after the stall clears re-enables the fast path.
+    pub fn optimistic_enabled(&self) -> bool {
+        if !self.config.optimistic_reads {
+            return false;
+        }
+        if self.epoch.is_stalled() {
+            self.opt_stall_skips.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
     /// Spawn the maintenance daemon's worker threads (idempotent). Until
     /// this is called (or [`Db::maint_sync`] is driven by hand), queued
     /// work — post-commit GC, drains, checkpoint requests — just
@@ -587,14 +680,55 @@ impl Db {
     // ---- transactions ----
 
     /// Begin a transaction with the configured default durability.
+    ///
+    /// Infallible by contract, so under admission pressure it parks up
+    /// to the admit timeout and then *barges* past the cap (counted in
+    /// [`AdmissionStats::forced`]). Callers that can shed — batch jobs,
+    /// retry loops — should prefer [`Db::try_begin`].
     pub fn begin(&self) -> TxnId {
-        self.txns.begin()
+        self.admission.force_admit();
+        let txn = self.txns.begin();
+        self.admission.bind(txn.0);
+        txn
     }
 
     /// Begin a transaction with explicit options (e.g. a per-transaction
-    /// [`Durability`] mode).
+    /// [`Durability`] mode). Same forced-admission contract as
+    /// [`Db::begin`].
     pub fn begin_with(&self, opts: TxnOptions) -> TxnId {
-        self.txns.begin_with(opts)
+        self.admission.force_admit();
+        let txn = self.txns.begin_with(opts);
+        self.admission.bind(txn.0);
+        txn
+    }
+
+    /// Begin a transaction, or shed with [`GistError::Overloaded`] if
+    /// the admission controller is at capacity and no credit frees up
+    /// within the configured admit timeout. Nothing is started on the
+    /// shed path, so backing off and retrying is always safe —
+    /// [`Db::run_txn`] does exactly that.
+    pub fn try_begin(&self) -> Result<TxnId> {
+        if !self.admission.try_admit() {
+            return Err(GistError::Overloaded);
+        }
+        let txn = self.txns.begin();
+        self.admission.bind(txn.0);
+        Ok(txn)
+    }
+
+    /// [`Db::try_begin`] with explicit options.
+    pub fn try_begin_with(&self, opts: TxnOptions) -> Result<TxnId> {
+        if !self.admission.try_admit() {
+            return Err(GistError::Overloaded);
+        }
+        let txn = self.txns.begin_with(opts);
+        self.admission.bind(txn.0);
+        Ok(txn)
+    }
+
+    /// The admission controller gating [`Db::begin`]/[`Db::try_begin`].
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
     }
 
     /// Commit a transaction (forces the log, releases predicates and
@@ -625,12 +759,27 @@ impl Db {
     /// before the next one starts.
     pub fn run_txn<T>(&self, f: impl Fn(TxnId) -> Result<T>) -> Result<T> {
         const MAX_ATTEMPTS: u32 = 10;
-        const MAX_BACKOFF: Duration = Duration::from_millis(64);
         let mut backoff = Duration::from_millis(1);
         let mut attempt = 0;
         loop {
             attempt += 1;
-            let txn = self.begin();
+            // Fallible begin: under overload the shed happens here, before
+            // any work — the backoff below then doubles as admission
+            // throttling (no transaction to abort on this path).
+            let txn = match self.try_begin() {
+                Ok(txn) => txn,
+                Err(err) => {
+                    if !err.is_retryable() || attempt >= MAX_ATTEMPTS {
+                        if err.is_retryable() {
+                            self.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Err(err);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff_sleep(&mut backoff);
+                    continue;
+                }
+            };
             let err = match self.contained(txn, || f(txn)) {
                 Ok(v) => match self.commit(txn) {
                     Ok(()) => return Ok(v),
@@ -651,23 +800,34 @@ impl Db {
                 }
             };
             if !err.is_retryable() || attempt >= MAX_ATTEMPTS {
+                if err.is_retryable() {
+                    // Budget exhausted on a contention-class error: the
+                    // caller sees the last underlying failure, and the
+                    // counter lets operators tell "slow" from "losing".
+                    self.retries_exhausted.fetch_add(1, Ordering::Relaxed);
+                }
                 return Err(err);
             }
             self.retries.fetch_add(1, Ordering::Relaxed);
-            // Full jitter (deterministic xorshift stream): sleep a
-            // uniformly-drawn slice of the current backoff window, so
-            // colliding retriers spread out instead of thundering back
-            // in lockstep.
-            let mut x = self.jitter_state.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
-            x ^= x >> 33;
-            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-            x ^= x >> 33;
-            let span = backoff.as_micros().max(1) as u64;
-            let wait = Duration::from_micros(span / 2 + x % (span / 2 + 1));
-            self.backoff_micros.fetch_add(wait.as_micros() as u64, Ordering::Relaxed);
-            std::thread::sleep(wait);
-            backoff = (backoff * 2).min(MAX_BACKOFF);
+            self.backoff_sleep(&mut backoff);
         }
+    }
+
+    /// One jittered backoff step for [`Db::run_txn`]: sleep a
+    /// uniformly-drawn slice of the current window (full jitter over a
+    /// deterministic xorshift stream, so colliding retriers spread out
+    /// instead of thundering back in lockstep), then double the window.
+    fn backoff_sleep(&self, backoff: &mut Duration) {
+        const MAX_BACKOFF: Duration = Duration::from_millis(64);
+        let mut x = self.jitter_state.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        let span = backoff.as_micros().max(1) as u64;
+        let wait = Duration::from_micros(span / 2 + x % (span / 2 + 1));
+        self.backoff_micros.fetch_add(wait.as_micros() as u64, Ordering::Relaxed);
+        std::thread::sleep(wait);
+        *backoff = (*backoff * 2).min(MAX_BACKOFF);
     }
 
     /// Run `f` with panic containment: a panic unwinding out of `f` is
@@ -707,6 +867,8 @@ impl Db {
         let ls = &self.locks.stats;
         let ps = self.txns.pipeline().stats();
         let os = self.opt_read_stats();
+        let bs = self.log.backpressure_stats();
+        let es = self.epoch.stats();
         RobustnessStats {
             txn_retries: self.retries.load(Ordering::Relaxed),
             backoff_micros: self.backoff_micros.load(Ordering::Relaxed),
@@ -732,7 +894,60 @@ impl Db {
             opt_read_direct: os.direct_reads,
             epoch_lag: os.epoch_lag,
             epoch_pending: os.epoch_pending,
+            retries_exhausted: self.retries_exhausted.load(Ordering::Relaxed),
+            admission: self.admission.stats(),
+            wal_bp_parks: bs.parks,
+            wal_bp_stalls: bs.stalls,
+            wal_bp_backlog: bs.backlog,
+            epoch_pending_bytes: es.pending_bytes,
+            epoch_stalled: es.stalled,
+            epoch_stalls: es.stalls,
+            epoch_forced_advances: es.forced_advances,
+            opt_stall_skips: self.opt_stall_skips.load(Ordering::Relaxed),
+            health: self.health(),
         }
+    }
+
+    /// The database's aggregate health verdict, computed from current
+    /// conditions (no latched state — safe to poll): `ReadOnly` when the
+    /// buffer pool is poisoned, `Degraded` while any overload defense is
+    /// engaged (flusher down with group commit configured, WAL backlog
+    /// at the backpressure limit, epoch domain stalled, admission at
+    /// capacity), `Healthy` otherwise. Degradations clear themselves, so
+    /// the verdict recovers as soon as the underlying pressure does.
+    pub fn health(&self) -> HealthState {
+        let mut r = HealthReport::healthy();
+        if self.pool.is_poisoned() {
+            let why = self
+                .pool
+                .poison_error()
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "unknown storage failure".into());
+            r.read_only(format!("buffer pool poisoned: {why}"));
+        }
+        let ps = self.txns.pipeline().stats();
+        if self.config.group_commit && !ps.running {
+            r.degrade("group-commit flusher not running; durability served inline");
+        }
+        let bs = self.log.backpressure_stats();
+        if bs.limit > 0 && bs.backlog >= bs.limit {
+            r.degrade(format!(
+                "wal backlog {} records at/over backpressure limit {}",
+                bs.backlog, bs.limit
+            ));
+        }
+        let es = self.epoch.stats();
+        if es.stalled {
+            r.degrade(format!(
+                "epoch reclamation stalled ({} bytes pending, oldest pin {}µs); \
+                 optimistic reads disabled",
+                es.pending_bytes, es.oldest_pin_micros
+            ));
+        }
+        if self.admission.is_saturated() {
+            r.degrade("admission controller saturated; begins park or shed");
+        }
+        r.state()
     }
 
     /// Establish a savepoint (§10.2).
@@ -1030,6 +1245,16 @@ impl Db {
             }
         }
         Err(RecoveryError(format!("leaf entry with {rid:?} not found from {start} during undo")))
+    }
+}
+
+impl TxnEndObserver for Db {
+    /// Free the transaction's admission credit the instant it leaves the
+    /// transaction table — commit, owner abort, or watchdog teardown all
+    /// funnel through here, so a wedged client can delay a credit but
+    /// never leak it (the watchdog's timeout bounds the delay).
+    fn txn_ended(&self, txn: TxnId) {
+        self.admission.release(txn.0);
     }
 }
 

@@ -42,6 +42,12 @@ pub enum GistError {
     /// `catch_unwind` wrapper; the transaction was aborted. Carries the
     /// panic payload's message.
     Panicked(String),
+    /// The admission controller shed this transaction: the in-flight
+    /// credit pool stayed exhausted past the admission deadline. No
+    /// transaction was started and no state changed — backing off and
+    /// retrying (as [`Db::run_txn`](crate::Db::run_txn) does) is always
+    /// safe.
+    Overloaded,
 }
 
 impl fmt::Display for GistError {
@@ -61,6 +67,9 @@ impl fmt::Display for GistError {
             GistError::Injected(p) => write!(f, "chaos injection at crash point {p:?}"),
             GistError::Panicked(msg) => {
                 write!(f, "operation panicked (transaction aborted): {msg}")
+            }
+            GistError::Overloaded => {
+                write!(f, "admission shed: too many transactions in flight")
             }
         }
     }
@@ -116,6 +125,9 @@ impl GistError {
                 matches!(e, LockError::Deadlock | LockError::Timeout)
             }
             GistError::Txn(TxnError::AbortedByWatchdog(_)) => true,
+            // A shed admission never started a transaction, so a backed-
+            // off retry is trivially safe — that is the whole shed path.
+            GistError::Overloaded => true,
             _ => false,
         }
     }
@@ -135,6 +147,8 @@ mod tests {
         assert!(GistError::Txn(TxnError::Lock(LockError::Timeout)).is_retryable());
         // A watchdog abort tore down an idle transaction; retry is safe.
         assert!(GistError::Txn(TxnError::AbortedByWatchdog(TxnId(7))).is_retryable());
+        // A shed admission started nothing; retry through the backoff.
+        assert!(GistError::Overloaded.is_retryable());
         // Poisoned and injected failures must reach the caller as-is.
         assert!(!GistError::Txn(TxnError::MustAbort(TxnId(7))).is_retryable());
         assert!(!GistError::Injected("delete.after_mark").is_retryable());

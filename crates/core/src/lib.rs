@@ -57,6 +57,9 @@ pub use gist_maint::{
 };
 // The commit pipeline's per-transaction knobs, re-exported for the same
 // reason (`Db::begin_with` and `DbConfig::durability` take them).
+// The overload-resilience surface (`DbConfig::admission`, `Db::health`,
+// `RobustnessStats::admission`), re-exported for the same reason.
+pub use gist_overload::{AdmissionConfig, AdmissionStats, HealthState};
 pub use gist_txn::{Durability, TxnOptions};
 pub use logrec::GistRecord;
 pub use ops::cursor::{Cursor, CursorSnapshot};

@@ -375,7 +375,7 @@ impl<E: GistExtension> GistIndex<E> {
     /// to a seeded latched cursor when validation keeps failing or a
     /// page leaves the pool mid-read.
     pub fn search(self: &Arc<Self>, txn: TxnId, query: &E::Query) -> Result<Vec<(E::Key, Rid)>> {
-        if self.db().config().optimistic_reads {
+        if self.db().optimistic_enabled() {
             let db = self.db().clone();
             let op = db.txns().op_enter(txn)?;
             let r = self.search_optimistic(txn, query);
@@ -452,6 +452,10 @@ impl<E: GistExtension> GistIndex<E> {
         // unpin, so a stacked child pointer can never be re-typed under
         // us. This substitutes for the latched cursor's signaling locks.
         let mut pin = db.epoch().pin();
+        // Chaos: the traversal holds its epoch pin here. A Delay models
+        // the stalled-reader shape (the pin ages while the bin fills); an
+        // Error/Panic dies pinned and must release via RAII.
+        crate::chaos::point("cursor.optimistic.pinned")?;
 
         macro_rules! fall_back {
             () => {{

@@ -221,7 +221,7 @@ impl<E: GistExtension> GistIndex<E> {
         let mut queue = vec![root];
         let mut visited: HashSet<PageId> = HashSet::new();
         let mut max_level = 0u16;
-        let optimistic = self.db.config().optimistic_reads;
+        let optimistic = self.db.optimistic_enabled();
         // One pin for the whole sweep: freed-but-reachable pages stay
         // type-stable while we peek at them latch-free.
         let _pin = optimistic.then(|| self.db.epoch().pin());

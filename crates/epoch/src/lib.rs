@@ -35,8 +35,9 @@
 //! collected opportunistically on every retire and by the maintenance
 //! daemon's sync sweeps.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -46,6 +47,13 @@ use gist_audit as audit_crate;
 /// A deferred reclamation callback.
 type Retired = Box<dyn FnOnce() + Send>;
 
+/// Microseconds since a process-wide base instant, offset by 1 so the
+/// value is never 0 (0 is the "unpinned" sentinel in pin timestamps).
+fn now_micros() -> u64 {
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    (BASE.get_or_init(Instant::now).elapsed().as_micros() as u64).saturating_add(1)
+}
+
 /// Per-thread pin slot: 0 = quiescent, otherwise the global epoch the
 /// thread pinned at (nested pins share the outermost stamp).
 struct Slot {
@@ -53,6 +61,9 @@ struct Slot {
     /// Nesting depth of live guards on the owning thread (only that
     /// thread writes it, so a plain atomic is enough bookkeeping).
     depth: AtomicU64,
+    /// [`now_micros`] at the outermost pin, 0 when quiescent. The stall
+    /// detector reads it to age the oldest live pin.
+    pinned_at: AtomicU64,
 }
 
 /// Point-in-time reclamation counters ([`EpochGc::stats`]).
@@ -71,6 +82,18 @@ pub struct EpochStats {
     /// `global_epoch - min(pinned epoch)` — how far the slowest live
     /// reader lags the present (0 with no reader pinned).
     pub epoch_lag: u64,
+    /// Bytes accounted to callbacks still parked in the bin.
+    pub pending_bytes: u64,
+    /// Configured bin byte cap (`0` = unlimited).
+    pub cap_bytes: u64,
+    /// Age of the oldest live pin in microseconds (0 with none pinned).
+    pub oldest_pin_micros: u64,
+    /// Whether the domain is currently in the stalled regime.
+    pub stalled: bool,
+    /// Healthy→stalled transitions observed (lifetime total).
+    pub stalls: u64,
+    /// Forced epoch advances performed by the stall defense.
+    pub forced_advances: u64,
 }
 
 /// One reclamation domain (one per [`Db`-like] owner). Cheap to clone
@@ -82,10 +105,25 @@ pub struct EpochGc {
     /// Every slot ever registered (one per thread that pinned; threads
     /// are few and slots are two words, so no unregistration).
     slots: Mutex<Vec<Arc<Slot>>>,
-    /// Retired callbacks, each stamped with the epoch at retire time.
-    bin: Mutex<Vec<(u64, Retired)>>,
+    /// Retired callbacks, each stamped with the epoch at retire time and
+    /// the caller's byte estimate for what the callback frees.
+    bin: Mutex<Vec<(u64, u64, Retired)>>,
     retired: AtomicU64,
     reclaimed: AtomicU64,
+    /// Bytes currently accounted to the bin (estimates supplied through
+    /// [`EpochGc::retire_sized`]; plain [`EpochGc::retire`] counts 0).
+    bin_bytes: AtomicU64,
+    /// Bin byte cap; at or above it the domain reports stalled. `0`
+    /// (default) disables the cap.
+    cap_bytes: AtomicU64,
+    /// Pin-age budget in microseconds; an older live pin marks the
+    /// domain stalled. `0` (default) disables the budget.
+    stall_age_micros: AtomicU64,
+    /// Whether the last stall evaluation was positive (edge detector for
+    /// the `stalls` counter).
+    stalled_flag: AtomicBool,
+    stalls: AtomicU64,
+    forced_advances: AtomicU64,
     /// gist-audit instance id (0 when auditing is off).
     #[cfg_attr(not(feature = "latch-audit"), allow(dead_code))]
     audit_id: u64,
@@ -120,6 +158,12 @@ impl EpochGc {
             bin: Mutex::new(Vec::new()),
             retired: AtomicU64::new(0),
             reclaimed: AtomicU64::new(0),
+            bin_bytes: AtomicU64::new(0),
+            cap_bytes: AtomicU64::new(0),
+            stall_age_micros: AtomicU64::new(0),
+            stalled_flag: AtomicBool::new(false),
+            stalls: AtomicU64::new(0),
+            forced_advances: AtomicU64::new(0),
             audit_id: {
                 #[cfg(feature = "latch-audit")]
                 {
@@ -143,8 +187,11 @@ impl EpochGc {
             if let Some((_, s)) = local.iter().find(|(k, _)| *k == key) {
                 return s.clone();
             }
-            let slot =
-                Arc::new(Slot { epoch: AtomicU64::new(0), depth: AtomicU64::new(0) });
+            let slot = Arc::new(Slot {
+                epoch: AtomicU64::new(0),
+                depth: AtomicU64::new(0),
+                pinned_at: AtomicU64::new(0),
+            });
             self.slots.lock().push(slot.clone());
             local.push((key, slot.clone()));
             slot
@@ -164,6 +211,7 @@ impl EpochGc {
             // older than every pin) already tolerates.
             let e = self.global.load(Ordering::SeqCst);
             slot.epoch.store(e, Ordering::SeqCst);
+            slot.pinned_at.store(now_micros(), Ordering::Relaxed);
         }
         slot.depth.fetch_add(1, Ordering::Relaxed);
         #[cfg(feature = "latch-audit")]
@@ -175,6 +223,14 @@ impl EpochGc {
     /// With nothing pinned the callback runs inline, so untouched
     /// single-threaded paths keep their eager-free behavior.
     pub fn retire(self: &Arc<Self>, free: impl FnOnce() + Send + 'static) {
+        self.retire_sized(0, free);
+    }
+
+    /// [`EpochGc::retire`] with a byte estimate of what `free` releases,
+    /// charged against the bin cap until the callback runs. Callers that
+    /// park sizeable resources (evicted buffer frames) use this so the
+    /// stall detector can bound the bin by memory, not just count.
+    pub fn retire_sized(self: &Arc<Self>, bytes: u64, free: impl FnOnce() + Send + 'static) {
         self.retired.fetch_add(1, Ordering::Relaxed);
         #[cfg(feature = "mutations")]
         if audit_crate::mutation::armed("epoch.skip-retire") {
@@ -186,8 +242,16 @@ impl EpochGc {
             return;
         }
         let e = self.global.load(Ordering::SeqCst);
-        self.bin.lock().push((e, Box::new(free)));
+        self.bin_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.bin.lock().push((e, bytes, Box::new(free)));
         self.try_collect();
+        // Over the cap even after collecting: the bin is hostage to a
+        // live pin. Force the epoch forward so everything retired from
+        // here on is stamped past that pin and frees the moment it
+        // unpins, instead of queueing behind the stalled generation.
+        if self.is_stalled() {
+            self.force_advance();
+        }
     }
 
     /// Advance the global epoch if possible and run every callback whose
@@ -215,17 +279,22 @@ impl EpochGc {
         let ready: Vec<Retired> = {
             let mut bin = self.bin.lock();
             let mut ready = Vec::new();
-            bin.retain_mut(|(stamp, cb)| {
+            let mut freed_bytes = 0u64;
+            bin.retain_mut(|(stamp, bytes, cb)| {
                 if *stamp < horizon {
                     // retain_mut gives &mut; swap the box out with a
                     // no-op so the closure can move to `ready`.
                     let cb = std::mem::replace(cb, Box::new(|| {}));
+                    freed_bytes += *bytes;
                     ready.push(cb);
                     false
                 } else {
                     true
                 }
             });
+            if freed_bytes > 0 {
+                self.bin_bytes.fetch_sub(freed_bytes, Ordering::Relaxed);
+            }
             ready
         };
         let n = ready.len();
@@ -234,6 +303,61 @@ impl EpochGc {
             cb();
         }
         n
+    }
+
+    /// Configure the stall defense: a bin holding at least `cap_bytes`
+    /// of pending frees, or a live pin older than `stall_age`, flips the
+    /// domain into the stalled regime ([`EpochGc::is_stalled`]). Either
+    /// knob at zero disables that trigger (both default to disabled).
+    pub fn set_limits(&self, cap_bytes: u64, stall_age: Duration) {
+        self.cap_bytes.store(cap_bytes, Ordering::Relaxed);
+        self.stall_age_micros.store(stall_age.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Age of the oldest live pin, if any thread is pinned.
+    pub fn oldest_pin_age(&self) -> Option<Duration> {
+        let oldest = self
+            .slots
+            .lock()
+            .iter()
+            .map(|s| s.pinned_at.load(Ordering::Relaxed))
+            .filter(|&t| t != 0)
+            .min()?;
+        Some(Duration::from_micros(now_micros().saturating_sub(oldest)))
+    }
+
+    /// Whether the domain is in the stalled regime: the bin is at its
+    /// byte cap, or the oldest live pin has outlived its age budget.
+    /// The embedder reacts by flipping optimistic reads to the latched
+    /// fallback (no new pins) and forcing the epoch forward — it never
+    /// frees under a live pin, so safety is untouched. Transitions into
+    /// the regime are counted for `stats().stalls`.
+    pub fn is_stalled(&self) -> bool {
+        let cap = self.cap_bytes.load(Ordering::Relaxed);
+        let over_cap = cap != 0 && self.bin_bytes.load(Ordering::Relaxed) >= cap;
+        let budget = self.stall_age_micros.load(Ordering::Relaxed);
+        let over_age = budget != 0
+            && self
+                .oldest_pin_age()
+                .map(|age| age.as_micros() as u64 >= budget)
+                .unwrap_or(false);
+        let stalled = over_cap || over_age;
+        if stalled != self.stalled_flag.swap(stalled, Ordering::Relaxed) && stalled {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+        }
+        stalled
+    }
+
+    /// Quiescence-assisted advance for the stall defense: push the
+    /// global epoch forward unconditionally, then collect. A live pin
+    /// still fences everything it could reference (the collection
+    /// horizon stays `min(pinned)`), but new retirees land in a fresh
+    /// generation and the advance condition cannot wedge behind a
+    /// reader that will never re-observe the current epoch.
+    pub fn force_advance(self: &Arc<Self>) -> usize {
+        self.forced_advances.fetch_add(1, Ordering::Relaxed);
+        self.global.fetch_add(1, Ordering::SeqCst);
+        self.try_collect()
     }
 
     /// The smallest epoch any thread is currently pinned at.
@@ -267,6 +391,15 @@ impl EpochGc {
             pending: self.bin.lock().len() as u64,
             pinned_threads: pinned,
             epoch_lag: min.map(|m| global.saturating_sub(m)).unwrap_or(0),
+            pending_bytes: self.bin_bytes.load(Ordering::Relaxed),
+            cap_bytes: self.cap_bytes.load(Ordering::Relaxed),
+            oldest_pin_micros: self
+                .oldest_pin_age()
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0),
+            stalled: self.is_stalled(),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            forced_advances: self.forced_advances.load(Ordering::Relaxed),
         }
     }
 }
@@ -286,6 +419,7 @@ impl Drop for Guard {
     fn drop(&mut self) {
         if self.slot.depth.fetch_sub(1, Ordering::Relaxed) == 1 {
             self.slot.epoch.store(0, Ordering::SeqCst);
+            self.slot.pinned_at.store(0, Ordering::Relaxed);
         }
         #[cfg(feature = "latch-audit")]
         audit_crate::epoch_unpinned(self.gc.audit_id);
@@ -355,6 +489,58 @@ mod tests {
         gc.try_collect();
         gc.try_collect();
         assert!(ran.load(Ordering::SeqCst), "old garbage freed under a late pin");
+    }
+
+    #[test]
+    fn byte_cap_marks_stall_and_recovers() {
+        let gc = Arc::new(EpochGc::new());
+        gc.set_limits(1024, Duration::ZERO);
+        assert!(!gc.is_stalled());
+        let guard = gc.pin();
+        for _ in 0..4 {
+            gc.retire_sized(512, || {});
+        }
+        let s = gc.stats();
+        assert!(s.stalled, "2 KiB pending under a pin vs a 1 KiB cap");
+        assert_eq!(s.pending_bytes, 2048);
+        assert_eq!(s.stalls, 1, "one healthy→stalled transition");
+        assert!(s.forced_advances >= 1, "stall defense forces the epoch on");
+        drop(guard);
+        gc.try_collect();
+        let s = gc.stats();
+        assert!(!s.stalled, "unpin drains the bin and clears the stall");
+        assert_eq!(s.pending_bytes, 0);
+    }
+
+    #[test]
+    fn pin_age_budget_marks_stall() {
+        let gc = Arc::new(EpochGc::new());
+        gc.set_limits(0, Duration::from_millis(5));
+        assert!(gc.oldest_pin_age().is_none());
+        let guard = gc.pin();
+        assert!(!gc.is_stalled(), "fresh pin is within budget");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(gc.oldest_pin_age().unwrap() >= Duration::from_millis(5));
+        assert!(gc.is_stalled(), "pin outlived its age budget");
+        drop(guard);
+        assert!(!gc.is_stalled());
+        assert_eq!(gc.stats().stalls, 1);
+    }
+
+    #[test]
+    fn forced_advance_keeps_the_horizon_safe() {
+        let gc = Arc::new(EpochGc::new());
+        let guard = gc.pin();
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = ran.clone();
+        gc.retire(move || r.store(true, Ordering::SeqCst));
+        let before = gc.stats().global_epoch;
+        gc.force_advance();
+        assert!(gc.stats().global_epoch > before, "advance is unconditional");
+        assert!(!ran.load(Ordering::SeqCst), "live pin still fences its garbage");
+        drop(guard);
+        gc.try_collect();
+        assert!(ran.load(Ordering::SeqCst));
     }
 
     #[test]

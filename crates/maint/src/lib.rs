@@ -576,7 +576,11 @@ impl MaintDaemon {
                     if st.in_flight == 0 {
                         return processed;
                     }
-                    self.cond.wait(&mut st);
+                    // Bounded wait (lint: no-unbounded-wait): the wakeup
+                    // comes from `finish`, but a worker that died without
+                    // it must not wedge the drain — the timeout re-checks
+                    // the in-flight count and delayed backoffs.
+                    self.cond.wait_for(&mut st, Duration::from_millis(50));
                 }
             };
             self.process(q);

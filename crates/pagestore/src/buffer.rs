@@ -56,7 +56,7 @@ use gist_striped::Striped;
 use gist_wal::{LogFlusher, Lsn};
 
 use crate::audit;
-use crate::page::{Page, PageId};
+use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::store::PageStore;
 
 type ReadGuardInner = ArcRwLockReadGuard<RawRwLock, FrameData>;
@@ -800,7 +800,10 @@ impl BufferPool {
     /// immediately when none is registered).
     fn retire_frame(&self, frame: Arc<Frame>) {
         match self.epoch.lock().clone() {
-            Some(gc) => gc.retire(move || drop(frame)),
+            // Charge the dead incarnation's page image against the
+            // domain's bin cap so a stalled reader shows up as bounded,
+            // accounted memory instead of silent frame growth.
+            Some(gc) => gc.retire_sized(PAGE_SIZE as u64, move || drop(frame)),
             None => drop(frame),
         }
     }

@@ -73,6 +73,19 @@ pub trait GcSink: Send + Sync {
     fn committed(&self, txn: TxnId, candidates: Vec<GcCandidate>);
 }
 
+/// Observer fired exactly once when a transaction leaves the table —
+/// after its end record is logged and the entry removed, on *every*
+/// termination path: commit, owner abort, and watchdog teardown.
+///
+/// Registered by the embedder (`Db`) to release the admission-control
+/// credit bound to the transaction; because abort covers the watchdog
+/// path, a credit can never outlive its transaction no matter how it
+/// dies.
+pub trait TxnEndObserver: Send + Sync {
+    /// `txn` terminated and was removed from the table.
+    fn txn_ended(&self, txn: TxnId);
+}
+
 /// State of a transaction in the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxnStatus {
@@ -202,6 +215,9 @@ pub struct TxnManager {
     /// Weak so the daemon (which holds an `Arc<TxnManager>` for
     /// checkpointing) and the manager don't keep each other alive.
     gc_sink: Mutex<Option<std::sync::Weak<dyn GcSink>>>,
+    /// End-of-transaction observer (admission-credit release). Weak for
+    /// the same cycle-breaking reason as `gc_sink`.
+    end_observer: Mutex<Option<std::sync::Weak<dyn TxnEndObserver>>>,
     /// Transactions the watchdog aborted that left the table before the
     /// victim thread noticed. Consumed by the victim's next call (its
     /// operations report [`TxnError::AbortedByWatchdog`]; its own
@@ -226,6 +242,7 @@ impl TxnManager {
             table: Mutex::new(HashMap::new()),
             next_txn: Mutex::new(0),
             gc_sink: Mutex::new(None),
+            end_observer: Mutex::new(None),
             watchdog_tombstones: Mutex::new(HashSet::new()),
         }
     }
@@ -234,6 +251,20 @@ impl TxnManager {
     /// maintenance daemon). Replaces any previous sink.
     pub fn set_gc_sink(&self, sink: std::sync::Weak<dyn GcSink>) {
         *self.gc_sink.lock() = Some(sink);
+    }
+
+    /// Register the end-of-transaction observer. Replaces any previous
+    /// observer.
+    pub fn set_end_observer(&self, obs: std::sync::Weak<dyn TxnEndObserver>) {
+        *self.end_observer.lock() = Some(obs);
+    }
+
+    /// Fire the end observer for a transaction that just left the table.
+    fn notify_ended(&self, txn: TxnId) {
+        let obs = self.end_observer.lock().as_ref().and_then(|w| w.upgrade());
+        if let Some(obs) = obs {
+            obs.txn_ended(txn);
+        }
     }
 
     /// Remember that `txn` delete-marked entries on a leaf, for deferred
@@ -405,6 +436,7 @@ impl TxnManager {
         };
         // Park outside the table lock: a whole batch of committers must
         // be able to reach the pipeline so one fsync covers all of them.
+        chaos::point("commit.before_durable_wait")?;
         self.pipeline.commit_durable(commit_lsn, durability)?;
         chaos::point("commit.after_wal_flush")?;
         self.finish_commit(txn);
@@ -426,6 +458,7 @@ impl TxnManager {
         };
         self.preds.release_txn(txn);
         self.locks.release_all(txn);
+        self.notify_ended(txn);
         // Hand GC work to the daemon only after every lock is gone, so
         // reclamation can't deadlock against this transaction's remains.
         if !gc.is_empty() {
@@ -460,7 +493,14 @@ impl TxnManager {
             };
             match info.status {
                 TxnStatus::Committed => {
+                    let (commit_lsn, durability) = (info.last_lsn, info.durability);
                     drop(table);
+                    // Lost ack: the commit record is already in the log,
+                    // but the dying caller may not have reached its
+                    // durability wait — honor the promise before
+                    // completing, so "abort finishes the commit" means a
+                    // commit that survives a crash right after this call.
+                    self.pipeline.commit_durable(commit_lsn, durability)?;
                     self.finish_commit(txn);
                     return Ok(());
                 }
@@ -486,6 +526,7 @@ impl TxnManager {
         }
         self.preds.release_txn(txn);
         self.locks.release_all(txn);
+        self.notify_ended(txn);
         Ok(())
     }
 

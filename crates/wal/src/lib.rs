@@ -35,7 +35,7 @@ pub mod recovery;
 
 pub use lsn::{Lsn, TxnId};
 pub use record::{LogRecord, Payload, RecordBody};
-pub use log::{LogFlusher, LogManager, Reservation, WalTailReport};
+pub use log::{LogFlusher, LogManager, Reservation, WalBackpressureStats, WalTailReport};
 pub use recovery::{
     restart, restart_with_floor, rollback, AnalysisResult, RecoveryError, RecoveryHandler,
     RestartOutcome, RollbackKind,

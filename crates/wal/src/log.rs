@@ -108,6 +108,18 @@ pub struct LogManager {
     /// on their commit LSN wake here (the commit pipeline batches the
     /// fsync and then calls [`LogManager::notify_durable`]).
     flush_cv: Condvar,
+    /// Backpressure high-watermark on the in-flight backlog
+    /// (`reserved − durable`); `0` disables the gate.
+    bp_limit: AtomicU64,
+    /// How long a gated reservation parks (microseconds) before
+    /// escalating to an inline flush and proceeding anyway.
+    bp_timeout_micros: AtomicU64,
+    /// Reservations that parked on the backpressure gate.
+    bp_parks: AtomicU64,
+    /// Parks that expired with the backlog still over the limit — the
+    /// flusher was stalled or absent, and the reservation escalated to
+    /// an inline flush.
+    bp_stalls: AtomicU64,
     /// Model-checker shadow cells for the three watermarks (see
     /// `crate::audit`); zero when the `latch-audit` feature is off.
     hb_reserved: u64,
@@ -133,6 +145,10 @@ impl LogManager {
             sync_mutex: Mutex::new(()),
             wait_mutex: Mutex::new(0),
             flush_cv: Condvar::new(),
+            bp_limit: AtomicU64::new(0),
+            bp_timeout_micros: AtomicU64::new(100_000),
+            bp_parks: AtomicU64::new(0),
+            bp_stalls: AtomicU64::new(0),
             hb_reserved: audit::new_cell_id(),
             hb_filled: audit::new_cell_id(),
             hb_durable: audit::new_cell_id(),
@@ -187,6 +203,7 @@ impl LogManager {
     /// reservation and publication; ordinary appenders use
     /// [`LogManager::append`].
     pub fn reserve(&self, txn: TxnId, prev_lsn: Lsn) -> Reservation {
+        self.backpressure_gate();
         audit::atomic_rmw(self.hb_reserved, "wal-reserve");
         let lsn = self.reserved.fetch_add(1, Ordering::SeqCst) + 1;
         // Make sure the slot's segment exists before returning: the fill
@@ -199,6 +216,85 @@ impl LogManager {
             }
         }
         Reservation { lsn: Lsn(lsn), txn, prev_lsn }
+    }
+
+    /// Configure reservation backpressure: once the in-flight backlog
+    /// (`reserved − durable`) reaches `limit` records, new reservations
+    /// park until the durable horizon advances or `timeout` elapses.
+    /// `limit == 0` disables the gate (the default).
+    pub fn set_backpressure(&self, limit: u64, timeout: Duration) {
+        self.bp_limit.store(limit, Ordering::Relaxed);
+        self.bp_timeout_micros.store(timeout.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the backpressure gate for `robustness_stats()`.
+    pub fn backpressure_stats(&self) -> WalBackpressureStats {
+        audit::atomic_load(self.hb_reserved, "wal-reserved-read");
+        let reserved = self.reserved.load(Ordering::Acquire);
+        audit::atomic_load(self.hb_durable, "wal-durable-read");
+        let durable = self.durable.load(Ordering::Acquire);
+        WalBackpressureStats {
+            limit: self.bp_limit.load(Ordering::Relaxed),
+            backlog: reserved.saturating_sub(durable),
+            parks: self.bp_parks.load(Ordering::Relaxed),
+            stalls: self.bp_stalls.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reservation-side backpressure: park (deadline-bounded, on the
+    /// same generation handshake group-commit waiters use, so every
+    /// [`LogManager::notify_durable`] releases parked writers too) while
+    /// the backlog sits at its high-watermark. A park that expires with
+    /// the backlog still full means the flusher is stalled or absent;
+    /// the writer then *escalates to an inline flush* of the filled
+    /// prefix — the same degradation the commit pipeline uses — and
+    /// proceeds regardless. Reservations therefore never fail and never
+    /// wait unboundedly: shedding is the admission controller's job, and
+    /// the bounded park is what makes the parking provably
+    /// deadlock-free against the flusher (the `wal-backpressure`
+    /// model-check scenario pins this).
+    fn backpressure_gate(&self) {
+        let limit = self.bp_limit.load(Ordering::Relaxed);
+        if limit == 0 {
+            return;
+        }
+        let backlog = || {
+            audit::atomic_load(self.hb_reserved, "wal-reserved-read");
+            let reserved = self.reserved.load(Ordering::Acquire);
+            audit::atomic_load(self.hb_durable, "wal-durable-read");
+            reserved.saturating_sub(self.durable.load(Ordering::Acquire))
+        };
+        if backlog() < limit {
+            return;
+        }
+        self.bp_parks.fetch_add(1, Ordering::Relaxed);
+        let timeout = Duration::from_micros(self.bp_timeout_micros.load(Ordering::Relaxed));
+        let deadline = Instant::now() + timeout;
+        let mut gen = self.wait_mutex.lock();
+        loop {
+            if backlog() < limit {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let seen = *gen;
+            let timed_out = self.flush_cv.wait_for(&mut gen, deadline - now).timed_out();
+            if timed_out && *gen == seen {
+                break;
+            }
+        }
+        drop(gen);
+        if backlog() < limit {
+            return;
+        }
+        // Stalled flusher (or a durable horizon fenced by a hole):
+        // degrade to an inline flush and let the reservation through.
+        // Over-cap excursions are bounded by the number of concurrently
+        // escalating writers, never unbounded growth.
+        self.bp_stalls.fetch_add(1, Ordering::Relaxed);
+        self.flush(self.filled_lsn());
     }
 
     /// Publish the record for a reservation and advance the filled
@@ -632,6 +728,19 @@ fn interior_corruption(recno: usize, what: &str) -> io::Error {
         io::ErrorKind::InvalidData,
         format!("log corrupt before the durable tail (record {recno}): {what}"),
     )
+}
+
+/// Snapshot of the reservation backpressure gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalBackpressureStats {
+    /// Configured backlog high-watermark (`0` = gate disabled).
+    pub limit: u64,
+    /// Current in-flight backlog (`reserved − durable`).
+    pub backlog: u64,
+    /// Reservations that parked on the gate.
+    pub parks: u64,
+    /// Parks that expired and escalated to an inline flush.
+    pub stalls: u64,
 }
 
 /// What [`LogManager::load_file_report`] found at the end of the file.

@@ -55,6 +55,16 @@ echo "== tier 2: group-commit acceptance bench (smoke) =="
 BENCH_COMMIT_SMOKE=1 cargo run -q --release -p gist-bench --bin bench_commit \
     target/BENCH_commit_smoke.json
 
+echo "== tier 2: overload resilience (admission, backpressure, health) =="
+cargo test -q --release --test overload
+
+echo "== tier 2: epoch-stall degradation drill (chaos, audited) =="
+cargo test -q --release --features chaos,latch-audit --test overload epoch_stall
+
+echo "== tier 2: overload acceptance bench (smoke) =="
+BENCH_OVERLOAD_SMOKE=1 cargo run -q --release -p gist-bench --bin bench_overload \
+    target/BENCH_overload_smoke.json
+
 echo "== tier 3: deterministic model checker (crates/mc) =="
 # Fixed per-scenario budgets and two schedule-generation seeds per
 # scenario are compiled into tests/mc_scenarios.rs (seeded-random +
@@ -78,5 +88,8 @@ echo "  fault-injection crash harness                0"
 echo "  chaos harness (seeds 1+2, audited)           0"
 echo "  flusher crash points (audited)               0"
 echo "  group-commit acceptance (>=5x)               0"
+echo "  overload: admission/backpressure             0"
+echo "  epoch-stall drill (degrade, no hang)         0"
+echo "  overload acceptance (>=80% goodput)          0"
 echo "  model checker (mc scenarios)                 0"
 echo "verify.sh: all green"

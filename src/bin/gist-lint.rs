@@ -16,6 +16,7 @@
 //! | `no-inline-flush` | no direct `log.flush(...)` outside crates/wal and crates/commitpipe — durability goes through the group-commit pipeline, a private fsync re-serializes committers on the device |
 //! | `no-raw-std-sync` | no bare `parking_lot` / `std::sync` mutex, rwlock or condvar in the model-checked hot-path crates (lockmgr, predlock, commitpipe, wal, striped) — synchronization there must go through the `gist-sync` wrappers, or the deterministic scheduler (`crates/mc`) cannot see the operation and its schedules silently lose coverage |
 //! | `no-latch-in-optimistic` | no `fetch_read` / `fetch_write` / `new_page_write` inside a `read_with(...)` optimistic closure in `crates/core` — the latch-free fast path must not take latches mid-copy (static twin of the dynamic `latch-in-optimistic` audit rule) |
+//! | `no-unbounded-wait` | no bare `.wait(&mut ...)` condvar parks in non-test crate code — every wait must carry a deadline (`wait_for`/`wait_until`) so a lost wakeup degrades instead of hanging (the `gist-sync` wrappers and the `mc` scheduler are exempt) |
 //! | `chaos-point-registry` | every `chaos::point("...")` call site names an entry of the chaos crate's `CATALOG`, the catalog is duplicate-free, and every cataloged point is threaded through at least one call site |
 //!
 //! Scanning is line/AST-lite on purpose: the build must stay offline, so
@@ -469,6 +470,37 @@ fn rule_no_latch_in_optimistic(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule `no-unbounded-wait`: every condvar wait in non-test crate code
+/// must carry a timeout (`wait_for` / `wait_until`). A bare
+/// `.wait(&mut ...)` parks forever on a notification that a dead or
+/// wedged peer may never send — the overload-resilience work requires
+/// every park to have a deadline so degradation (inline flush, forced
+/// advance, shed) can engage instead of a hang. The `gist-sync` wrapper
+/// crate itself and the `mc` scheduler (which virtualizes time) are out
+/// of scope; a deliberate forever-wait takes a same-line
+/// `lint: allow-unbounded-wait` waiver.
+fn rule_no_unbounded_wait(f: &SourceFile, out: &mut Vec<Violation>) {
+    if f.path.starts_with("crates/sync/") || f.path.starts_with("crates/mc/") {
+        return;
+    }
+    for (n, clean, raw, test) in f.lines() {
+        if test || raw.contains("lint: allow-unbounded-wait") {
+            continue;
+        }
+        if clean.contains(".wait(&mut") {
+            out.push(Violation {
+                rule: "no-unbounded-wait",
+                file: f.path.clone(),
+                line: n,
+                msg: "unbounded condvar wait — park with `wait_for`/`wait_until` so a \
+                      missing wakeup degrades instead of hanging; waive with \
+                      `lint: allow-unbounded-wait` if the wait is provably paired"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Extract the variant names of `pub enum <name>` from sanitized source.
 fn enum_variants(clean: &str, name: &str) -> Vec<String> {
     let mut variants = Vec::new();
@@ -766,6 +798,7 @@ fn scan(files: &[SourceFile]) -> Vec<Violation> {
         rule_no_inline_flush(f, &mut out);
         rule_no_raw_std_sync(f, &mut out);
         rule_no_latch_in_optimistic(f, &mut out);
+        rule_no_unbounded_wait(f, &mut out);
     }
     rule_record_coverage(files, &mut out);
     rule_forbid_unsafe(files, &mut out);
@@ -837,6 +870,7 @@ fn main() {
         "no-inline-flush",
         "no-raw-std-sync",
         "no-latch-in-optimistic",
+        "no-unbounded-wait",
         "chaos-point-registry",
     ] {
         let n = violations.iter().filter(|v| v.rule == rule).count();
@@ -869,6 +903,36 @@ mod tests {
     fn sanitizer_handles_char_literals_and_lifetimes() {
         let s = sanitize("let q = '\"'; fn f<'a>(x: &'a str) { x.unwrap() }");
         assert!(s.contains(".unwrap()"), "code after char literal still visible: {s}");
+    }
+
+    #[test]
+    fn unbounded_wait_is_flagged_and_bounded_wait_is_not() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "fn a(c: &Condvar, m: &Mutex<u8>) {\n    let mut g = m.lock();\n    c.wait(&mut g);\n    c.wait_for(&mut g, Duration::from_millis(50));\n}",
+        );
+        let mut v = Vec::new();
+        rule_no_unbounded_wait(&f, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-unbounded-wait");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn unbounded_wait_exemptions_hold() {
+        let src = "fn a(c: &Condvar, m: &Mutex<u8>) {\n    c.wait(&mut m.lock()); // lint: allow-unbounded-wait\n}\n#[cfg(test)]\nmod tests {\n    fn t(c: &Condvar, m: &Mutex<u8>) { c.wait(&mut m.lock()); }\n}\n";
+        let mut v = Vec::new();
+        rule_no_unbounded_wait(&file("crates/x/src/lib.rs", src), &mut v);
+        assert!(v.is_empty(), "waiver + test region exempt: {v:?}");
+        rule_no_unbounded_wait(
+            &file("crates/sync/src/lib.rs", "fn w(c: &C, g: &mut G) { c.wait(&mut *g); }"),
+            &mut v,
+        );
+        rule_no_unbounded_wait(
+            &file("crates/mc/src/lib.rs", "fn w(c: &C, g: &mut G) { c.wait(&mut *g); }"),
+            &mut v,
+        );
+        assert!(v.is_empty(), "wrapper + scheduler crates exempt: {v:?}");
     }
 
     #[test]

@@ -311,6 +311,39 @@ impl Shell {
                 println!("  epoch lag:               {}", s.epoch_lag);
                 println!("  epoch pending frees:     {}", s.epoch_pending);
             }
+            "health" => {
+                let s = self.db.robustness_stats();
+                let health = &s.health;
+                println!("  state: {}", health.label());
+                for reason in health.reasons() {
+                    println!("    - {reason}");
+                }
+                println!(
+                    "  admission:      {}/{} in flight, {} parked, {} shed, {} forced",
+                    s.admission.in_flight,
+                    if s.admission.capacity == 0 {
+                        "inf".to_string()
+                    } else {
+                        s.admission.capacity.to_string()
+                    },
+                    s.admission.parked,
+                    s.admission.shed,
+                    s.admission.forced
+                );
+                println!("  retry budget:   {} exhausted", s.retries_exhausted);
+                println!(
+                    "  wal gate:       backlog {} rec, {} parks, {} inline-flush stalls",
+                    s.wal_bp_backlog, s.wal_bp_parks, s.wal_bp_stalls
+                );
+                println!(
+                    "  epoch bin:      {} bytes pending, stalled: {} ({} stalls, {} forced advances)",
+                    s.epoch_pending_bytes,
+                    if s.epoch_stalled { "YES" } else { "no" },
+                    s.epoch_stalls,
+                    s.epoch_forced_advances
+                );
+                println!("  opt-read stall skips: {}", s.opt_stall_skips);
+            }
             "crash" => {
                 self.txn = None;
                 self.db.log().persist_file(&self.wal_path)?;
@@ -333,7 +366,7 @@ create <i> | create-unique <i> | drop <i>
 begin | commit | abort | savepoint | rollback-sp
 insert <i> <key> <payload> | delete <i> <key>
 get <i> <key> | range <i> <lo> <hi>
-stats <i> | check <i> | vacuum <i> | catalog | robustness
+stats <i> | check <i> | vacuum <i> | catalog | robustness | health
 crash | flush | exit";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -25,6 +25,9 @@
 //!   queues, and the per-node predicate tables.
 //! - [`epoch`] — quiescent-state (epoch) reclamation guarding page reuse
 //!   under the optimistic latch-free read path.
+//! - [`overload`] — admission control and the health-state machine
+//!   behind the overload defenses (WAL backpressure, epoch-stall
+//!   degradation).
 //! - `audit` (behind the `latch-audit` feature) — the dynamic latch/lock
 //!   discipline analyzer asserting the §5 protocol invariants at runtime.
 
@@ -39,6 +42,7 @@ pub use gist_core as core;
 pub use gist_epoch as epoch;
 pub use gist_lockmgr as lockmgr;
 pub use gist_maint as maint;
+pub use gist_overload as overload;
 pub use gist_pagestore as pagestore;
 pub use gist_predlock as predlock;
 pub use gist_striped as striped;

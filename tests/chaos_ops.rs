@@ -118,6 +118,14 @@ fn victim_body(
             idx.delete(txn, &k, rid(k as u64))?;
         }
         Ok(())
+    } else if point == "cursor.before_next" {
+        // A latched-path point: with optimistic reads on (the default)
+        // a quiescent search drains latch-free and never reaches
+        // `next_inner`, so drive the latched cursor directly.
+        let mut c = idx.cursor(txn, I64Query::range(0, BASELINE))?;
+        let hits = c.collect_all()?;
+        assert_eq!(hits.len(), BASELINE as usize);
+        Ok(())
     } else if point.starts_with("cursor.") {
         let hits = idx.search(txn, &I64Query::range(0, BASELINE))?;
         assert_eq!(hits.len(), BASELINE as usize);
@@ -143,10 +151,14 @@ fn run_point_scenario(point: &'static str, action: ChaosAction) {
     let (db, idx) = h.open();
 
     let expect;
-    if point == "commit.after_wal_flush" {
+    if point.starts_with("commit.") {
         // Victim inserts, then the injection hits inside commit — after
-        // the commit record is flushed, i.e. after the point of no
-        // return. The error (or unwind) must not un-commit it.
+        // the commit record is appended and the transaction is marked
+        // committed (`commit.before_durable_wait` fires before the
+        // durability park, `commit.after_wal_flush` after it), i.e.
+        // after the point of no return. The error (or unwind) must not
+        // un-commit it; the lost-ack abort below completes the commit
+        // including its durability promise.
         let txn = db.begin();
         for k in VICTIM_LO..VICTIM_LO + 3 {
             idx.insert(txn, &k, rid(k as u64)).unwrap();

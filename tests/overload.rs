@@ -1,0 +1,269 @@
+//! Overload resilience: admission control (shed and barge), the
+//! `run_txn` retry budget, WAL backpressure escalation, and the
+//! health-state machine — including the chaos-driven epoch-stall
+//! degradation drill (`--features chaos`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gist_repro::core::{
+    AdmissionConfig, Db, DbConfig, GistError, GistIndex, HealthState, IndexOptions,
+};
+use gist_repro::lockmgr::LockError;
+use gist_repro::pagestore::{InMemoryStore, PageId, Rid};
+use gist_repro::wal::{LogManager, Lsn, RecordBody, TxnId};
+
+use gist_repro::am::BtreeExt;
+
+fn rid(n: u64) -> Rid {
+    Rid::new(PageId(910_000 + (n >> 16) as u32), (n & 0xFFFF) as u16)
+}
+
+fn open(config: DbConfig) -> (Arc<Db>, Arc<GistIndex<BtreeExt>>) {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    let db = Db::open(store, log, config).unwrap();
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    (db, idx)
+}
+
+fn reasons(state: &HealthState) -> String {
+    state.reasons().join("; ")
+}
+
+/// At capacity, `try_begin` sheds with `Overloaded` (retryable, nothing
+/// started), health reads degraded, and both clear once a credit frees.
+#[test]
+fn try_begin_sheds_at_capacity_and_recovers() {
+    let config = DbConfig {
+        admission: AdmissionConfig {
+            max_in_flight: 2,
+            admit_timeout: Duration::from_millis(5),
+        },
+        ..DbConfig::default()
+    };
+    let (db, idx) = open(config);
+
+    let t1 = db.begin();
+    let t2 = db.begin();
+    let err = db.try_begin().unwrap_err();
+    assert!(matches!(err, GistError::Overloaded), "expected shed, got {err:?}");
+    assert!(err.is_retryable(), "Overloaded must be retryable for run_txn");
+
+    let s = db.admission().stats();
+    assert_eq!(s.in_flight, 2);
+    assert_eq!(s.capacity, 2);
+    assert!(s.shed >= 1, "shed not counted: {s:?}");
+
+    // Saturation is an operator-visible degradation, not a failure.
+    let health = db.health();
+    assert_eq!(health.label(), "degraded", "saturated controller: {health:?}");
+    assert!(
+        reasons(&health).contains("admission"),
+        "degradation should name admission: {health:?}"
+    );
+
+    // The admitted transactions still do real work while the controller
+    // sheds newcomers.
+    idx.insert(t1, &1i64, rid(1)).unwrap();
+    db.commit(t1).unwrap();
+    db.commit(t2).unwrap();
+
+    // Credits released at commit: admission is open and healthy again.
+    let t3 = db.try_begin().expect("credit freed by commit");
+    db.commit(t3).unwrap();
+    let s = db.admission().stats();
+    assert_eq!(s.in_flight, 0, "credits leaked: {s:?}");
+    assert_eq!(db.health().label(), "healthy");
+}
+
+/// `begin` never fails: when the park times out it barges past the cap
+/// (counted), and the credit accounting still balances at the end.
+#[test]
+fn begin_barges_past_saturated_controller() {
+    let config = DbConfig {
+        admission: AdmissionConfig {
+            max_in_flight: 1,
+            admit_timeout: Duration::from_millis(10),
+        },
+        ..DbConfig::default()
+    };
+    let (db, idx) = open(config);
+
+    let t1 = db.begin();
+    // Infallible path: parks ~10ms, then forces admission.
+    let t2 = db.begin();
+    let s = db.admission().stats();
+    assert!(s.forced >= 1, "expected a forced admission: {s:?}");
+    assert!(s.in_flight >= 2);
+
+    idx.insert(t2, &2i64, rid(2)).unwrap();
+    db.commit(t2).unwrap();
+    db.abort(t1).unwrap();
+    let s = db.admission().stats();
+    assert_eq!(s.in_flight, 0, "credits leaked after barge: {s:?}");
+}
+
+/// Satellite regression: when every attempt fails with a retryable
+/// error, `run_txn` burns its whole budget, returns the *last
+/// underlying error* (not a wrapper), and increments
+/// `retries_exhausted` exactly once.
+#[test]
+fn run_txn_exhausted_budget_returns_last_error() {
+    let (db, _idx) = open(DbConfig::default());
+    let calls = AtomicU64::new(0);
+
+    let err = db
+        .run_txn(|_txn| -> gist_repro::core::Result<()> {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(GistError::Lock(LockError::Deadlock))
+        })
+        .unwrap_err();
+
+    assert!(
+        matches!(err, GistError::Lock(LockError::Deadlock)),
+        "caller must see the last underlying error, got {err:?}"
+    );
+    assert_eq!(calls.load(Ordering::Relaxed), 10, "budget is 10 attempts");
+    let s = db.robustness_stats();
+    assert_eq!(s.txn_retries, 9, "10 attempts = 9 retries: {s:?}");
+    assert_eq!(s.retries_exhausted, 1, "exhaustion counted once: {s:?}");
+    // Every attempt's transaction was cleaned up — no leaked credits.
+    assert_eq!(db.admission().stats().in_flight, 0);
+}
+
+/// The backpressure gate with *no flusher at all*: reservations park,
+/// the park expires, and the writer escalates to an inline flush — the
+/// log keeps accepting appends and the tail stays bounded. This is the
+/// degradation path the `wal-backpressure` mc scenario explores for
+/// deadlocks; here we pin its single-threaded semantics.
+#[test]
+fn wal_backpressure_escalates_to_inline_flush_without_flusher() {
+    let log = LogManager::new();
+    const LIMIT: u64 = 4;
+    log.set_backpressure(LIMIT, Duration::from_millis(1));
+
+    let mut prev = Lsn::NULL;
+    for _ in 0..100 {
+        prev = log.append(TxnId(1), prev, RecordBody::TxnCommit);
+    }
+
+    let s = log.backpressure_stats();
+    assert!(s.parks > 0, "gate never engaged: {s:?}");
+    assert!(s.stalls > 0, "no flusher: every park must escalate: {s:?}");
+    // Inline flushes kept the volatile tail at (or under) the gate —
+    // the last reservation lands after its escalating flush, so the
+    // backlog is small but not necessarily zero.
+    assert!(s.backlog <= LIMIT, "tail unbounded despite escalation: {s:?}");
+}
+
+/// Health surfaces a stopped group-commit flusher as degraded (inline
+/// durability still works), and recovers when it restarts.
+#[test]
+fn health_degrades_while_flusher_is_down() {
+    let (db, idx) = open(DbConfig::default());
+    assert_eq!(db.health().label(), "healthy");
+
+    db.txns().pipeline().stop(false);
+    let health = db.health();
+    assert_eq!(health.label(), "degraded", "stopped flusher: {health:?}");
+    assert!(
+        reasons(&health).contains("flusher"),
+        "degradation should name the flusher: {health:?}"
+    );
+
+    // Commits still succeed — durability is served inline.
+    let txn = db.begin();
+    idx.insert(txn, &3i64, rid(3)).unwrap();
+    db.commit(txn).unwrap();
+
+    db.txns().pipeline().start();
+    assert_eq!(db.health().label(), "healthy");
+}
+
+/// The epoch-stall drill (chaos builds only): a reader parks inside the
+/// optimistic path holding its epoch pin while the group-commit flusher
+/// crawls. The database must *degrade, not hang* — health flips to
+/// degraded with the stall named, reads fall back to the latched path
+/// (and stay correct), writes keep committing — and once the pin drops
+/// it walks back to healthy on its own.
+#[cfg(feature = "chaos")]
+#[test]
+fn epoch_stall_degrades_and_recovers() {
+    use gist_repro::am::I64Query;
+    use gist_repro::chaos::{self, ChaosAction};
+    use std::time::Instant;
+
+    let config = DbConfig {
+        optimistic_reads: true,
+        // A pin is "stalled" after 10ms so the drill converges fast.
+        epoch_stall_age: Duration::from_millis(10),
+        ..DbConfig::default()
+    };
+    let (db, idx) = open(config);
+    let txn = db.begin();
+    for k in 0..200i64 {
+        idx.insert(txn, &k, rid(k as u64)).unwrap();
+    }
+    db.commit(txn).unwrap();
+
+    // A slow flusher (every batch crawls) plus one reader that parks
+    // 100ms inside the optimistic path, epoch pin held.
+    chaos::arm("commitpipe.flusher.stall", ChaosAction::Delay(5));
+    chaos::arm_times("cursor.optimistic.pinned", ChaosAction::Delay(100), 1);
+    let reader = {
+        let (db, idx) = (db.clone(), idx.clone());
+        std::thread::spawn(move || {
+            let t = db.begin();
+            let hits = idx.search(t, &I64Query::range(0, 199)).unwrap();
+            db.commit(t).unwrap();
+            hits.len()
+        })
+    };
+
+    // The pin ages past the budget: health must reach "degraded" with
+    // the epoch stall named — bounded poll, because the acceptance is
+    // degradation *instead of* a hang.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut saw_degraded = false;
+    while Instant::now() < deadline {
+        let health = db.health();
+        if health.label() == "degraded" && reasons(&health).contains("epoch") {
+            saw_degraded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(saw_degraded, "epoch stall never surfaced: {:?}", db.health());
+
+    // Degraded, not broken: reads take the latched fallback and stay
+    // exact; writes still commit.
+    let t = db.begin();
+    let hits = idx.search(t, &I64Query::range(0, 199)).unwrap();
+    assert_eq!(hits.len(), 200, "latched fallback lost rows");
+    idx.insert(t, &1_000i64, rid(1_000)).unwrap();
+    db.commit(t).unwrap();
+
+    chaos::disarm_all();
+    assert_eq!(reader.join().unwrap(), 200, "stalled reader still answers exactly");
+
+    // Pin released: the stall clears and health self-recovers.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut recovered = false;
+    while Instant::now() < deadline {
+        if db.health().label() == "healthy" {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(recovered, "health stuck after the pin dropped: {:?}", db.health());
+
+    let s = db.robustness_stats();
+    assert!(s.epoch_stalls >= 1, "stall transition not counted: {s:?}");
+    assert!(
+        s.opt_stall_skips >= 1,
+        "no read took the latched fallback during the stall: {s:?}"
+    );
+}
