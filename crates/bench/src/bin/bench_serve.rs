@@ -1,0 +1,280 @@
+//! Serving-layer disconnect storm: tail latency and cleanup hygiene
+//! while clients die mid-transaction.
+//!
+//! Eight client threads hammer a [`Server`] over in-memory pipe
+//! transports. Each iteration is one short session — `Begin`, a few
+//! inserts, a read, `Commit` — except that roughly a third of the
+//! sessions are **killed mid-transaction** (the client vanishes without
+//! aborting), and the admission cap is set well below the offered
+//! concurrency so `Begin` sheds as retryable `Busy` under load.
+//!
+//! What the bench prices:
+//!
+//! * per-request latency over the full wire path (encode → frame →
+//!   pipe → decode → dispatch → reply), with the p999 as the hang
+//!   detector — a session stuck on a dead peer shows up there first;
+//! * teardown throughput: every killed session must release its
+//!   transaction, locks, predicates and admission credit while the
+//!   storm keeps running.
+//!
+//! Acceptance:
+//! * the engine reads **healthy** after drain;
+//! * zero leaked transactions / credits / predicate entries;
+//! * `Busy` responses were counted (shedding engaged, not queueing);
+//! * p999 request latency stays under the client call deadline
+//!   (nothing served by timeout expiry).
+//!
+//! Results are written to `BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release -p gist-bench --bin bench_serve [out.json]`
+//!
+//! With `BENCH_SERVE_SMOKE=1` (the `verify.sh` tier-2 gate) the window
+//! shrinks; cells and assertions are unchanged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gist_bench::harness::{latency_store, preloaded_db, JsonObj, JsonReport, LatencyHist, WINDOW};
+use gist_bench::{run_for, XorShift};
+use gist_core::{AdmissionConfig, DbConfig};
+use gist_serve::{pipe_pair, Client, ServeConfig, Server};
+use gist_wire::{Request, Response};
+
+/// Storm client threads.
+const THREADS: usize = 8;
+/// Admission credits — well under [`THREADS`] so `Begin` sheds.
+const CAPACITY: usize = 3;
+/// Per-call client deadline; the p999 acceptance bound.
+const CALL_DEADLINE: Duration = Duration::from_millis(500);
+/// Inserts per session before the commit-or-kill decision.
+const INSERTS: u64 = 4;
+/// One session in `KILL_ONE_IN` dies mid-transaction.
+const KILL_ONE_IN: u64 = 3;
+/// Keys preloaded before the storm.
+const PRELOAD: i64 = 1_000;
+
+struct StormCounters {
+    sessions: AtomicU64,
+    kills: AtomicU64,
+    commits: AtomicU64,
+    begin_give_ups: AtomicU64,
+    errors: AtomicU64,
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let smoke = std::env::var("BENCH_SERVE_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let window = if smoke { Duration::from_millis(400) } else { WINDOW };
+
+    let config = DbConfig {
+        admission: AdmissionConfig {
+            max_in_flight: CAPACITY,
+            admit_timeout: Duration::from_millis(2),
+        },
+        ..DbConfig::default()
+    };
+    let (db, idx) = preloaded_db(latency_store(Duration::ZERO), config, PRELOAD, 1);
+    let server = Server::new(
+        db.clone(),
+        ServeConfig {
+            read_slice: Duration::from_millis(5),
+            idle_deadline: Duration::from_secs(2),
+            write_deadline: Duration::from_millis(250),
+            drain_deadline: Duration::from_secs(1),
+            busy_retry_ms: 2,
+        },
+    );
+    server.register_index(idx);
+
+    let hist = Arc::new(LatencyHist::new());
+    let counters = Arc::new(StormCounters {
+        sessions: AtomicU64::new(0),
+        kills: AtomicU64::new(0),
+        commits: AtomicU64::new(0),
+        begin_give_ups: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    });
+
+    let srv = server.clone();
+    let (h2, c2) = (hist.clone(), counters.clone());
+    let tp = run_for(THREADS, window, move |t, i| {
+        let mut rng = XorShift::new(0x5E12_4E00 ^ ((t as u64) << 40) ^ i.wrapping_mul(0x9E37));
+        let (server_end, client_end) = pipe_pair();
+        // The session thread is detached; teardown runs on it regardless.
+        let _ = srv.serve_conn(Box::new(server_end));
+        let mut client = Client::new(Box::new(client_end), CALL_DEADLINE);
+        c2.sessions.fetch_add(1, Ordering::Relaxed);
+
+        let call = |client: &mut Client, req: &Request| -> Option<Response> {
+            let t0 = Instant::now();
+            let rsp = client.call(req).ok();
+            h2.record(t0.elapsed());
+            rsp
+        };
+
+        // Begin with bounded Busy retries: shed load backs off, never parks.
+        let mut begun = false;
+        for _ in 0..5 {
+            match call(&mut client, &Request::Begin) {
+                Some(Response::Begun) => {
+                    begun = true;
+                    break;
+                }
+                Some(Response::Busy { retry_after_ms }) => {
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms)));
+                }
+                _ => {
+                    c2.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        if !begun {
+            c2.begin_give_ups.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+
+        let mut first_key = 0i64;
+        for n in 0..INSERTS {
+            let key = PRELOAD + rng.below(1 << 30) as i64;
+            if n == 0 {
+                first_key = key;
+            }
+            let req = Request::Insert {
+                index: "bench".into(),
+                key,
+                payload: vec![n as u8; 32],
+            };
+            match call(&mut client, &req) {
+                Some(Response::Ok) => {}
+                _ => {
+                    // Lock conflict or worse: the server aborted the txn;
+                    // this session is done.
+                    c2.errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        // Read-your-writes probe: preloaded rows carry synthetic rids
+        // with no heap backing, so only storm-inserted keys are readable.
+        match call(&mut client, &Request::Get { index: "bench".into(), key: first_key }) {
+            Some(Response::Rows(rows)) if !rows.is_empty() => {}
+            _ => {
+                c2.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+
+        if rng.below(KILL_ONE_IN) == 0 {
+            // The storm: vanish mid-transaction. Teardown must release
+            // the txn, its locks, and the admission credit.
+            c2.kills.fetch_add(1, Ordering::Relaxed);
+            drop(client);
+            return;
+        }
+        match call(&mut client, &Request::Commit) {
+            Some(Response::Ok) => {
+                c2.commits.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                c2.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        client.close();
+    });
+
+    // Give straggler session threads their teardown window, then drain.
+    let report_drain = server.drain();
+    let sstats = server.stats();
+    let rstats = db.robustness_stats();
+    let health = db.health();
+
+    let sessions = counters.sessions.load(Ordering::Relaxed);
+    let kills = counters.kills.load(Ordering::Relaxed);
+    let commits = counters.commits.load(Ordering::Relaxed);
+    let give_ups = counters.begin_give_ups.load(Ordering::Relaxed);
+    let errors = counters.errors.load(Ordering::Relaxed);
+
+    let mut report = JsonReport::new("serve_disconnect_storm");
+    report.head(
+        "config",
+        JsonObj::new()
+            .int("threads", THREADS as i128)
+            .int("admission_capacity", CAPACITY as i128)
+            .int("call_deadline_ms", CALL_DEADLINE.as_millis() as i128)
+            .int("kill_one_in", KILL_ONE_IN as i128)
+            .int("window_ms", window.as_millis() as i128)
+            .bool("smoke", smoke)
+            .render(),
+    );
+    report.push(
+        JsonObj::new()
+            .str("cell", "storm")
+            .num("sessions_per_sec", tp.per_sec(), 1)
+            .int("sessions", sessions as i128)
+            .int("kills_mid_txn", kills as i128)
+            .int("commits", commits as i128)
+            .int("begin_give_ups", give_ups as i128)
+            .int("client_errors", errors as i128)
+            .int("requests", sstats.requests as i128)
+            .int("busy_sheds", sstats.busy_sheds as i128)
+            .int("teardown_aborts", sstats.teardown_aborts as i128)
+            .int("drain_forced_aborts", sstats.drain_forced_aborts as i128)
+            .int("io_errors", sstats.io_errors as i128)
+            .int("latency_p50_us", hist.p50_us() as i128)
+            .int("latency_p99_us", hist.p99_us() as i128)
+            .int("latency_p999_us", hist.p999_us() as i128)
+            .int("admission_shed", rstats.admission.shed as i128)
+            .int("active_txns_after", db.txns().active_count() as i128)
+            .int("credits_after", rstats.admission.in_flight as i128)
+            .str("health", health.label()),
+    );
+
+    println!(
+        "storm: {} sessions ({:.0}/s), {} killed mid-txn, {} commits, {} busy sheds, \
+         {} teardown aborts, p50/p99/p999 = {}/{}/{} µs",
+        sessions,
+        tp.per_sec(),
+        kills,
+        commits,
+        sstats.busy_sheds,
+        sstats.teardown_aborts,
+        hist.p50_us(),
+        hist.p99_us(),
+        hist.p999_us(),
+    );
+    println!(
+        "after drain: health={}, active txns={}, credits in flight={}, forced aborts={}",
+        health.label(),
+        db.txns().active_count(),
+        rstats.admission.in_flight,
+        report_drain.forced_aborts,
+    );
+
+    report.tail(
+        "acceptance",
+        "\"healthy after drain; zero leaked txns/credits/predicates; Busy counted; \
+         p999 under the call deadline\"",
+    );
+    report.write(&out_path);
+
+    // Acceptance: the engine survived the storm with nothing leaked and
+    // nothing served by timeout expiry.
+    assert_eq!(health.label(), "healthy", "engine degraded: {:?}", health.reasons());
+    assert_eq!(db.txns().active_count(), 0, "leaked transactions");
+    assert_eq!(rstats.admission.in_flight, 0, "leaked admission credits");
+    let ps = db.preds().stats();
+    assert_eq!((ps.predicates, ps.attachments, ps.nodes), (0, 0, 0), "leaked predicates: {ps:?}");
+    assert!(kills > 0, "the storm never killed a session; raise the window");
+    assert!(
+        sstats.busy_sheds > 0,
+        "admission never shed through the wire; the cap is not binding"
+    );
+    let p999 = hist.p999_us();
+    assert!(
+        u128::from(p999) < CALL_DEADLINE.as_micros(),
+        "p999 request latency {p999}µs at the call deadline — something served by timeout"
+    );
+    db.shutdown().expect("shutdown");
+}

@@ -67,6 +67,14 @@ pub const CATALOG: &[&str] = &[
     "commitpipe.flusher.stall",
     "cursor.optimistic.pinned",
     "commit.before_durable_wait",
+    // Serving-layer points (ISSUE 10): kill a session right after
+    // accept, between decode and dispatch, or before the reply hits
+    // the wire; the drain point fires per force-aborted straggler
+    // (cleanup is unconditional — the injection is only counted).
+    "serve.session.after_accept",
+    "serve.session.before_dispatch",
+    "serve.session.before_reply",
+    "serve.drain.before_force_abort",
 ];
 
 /// What an armed crash point does to the thread that reaches it.

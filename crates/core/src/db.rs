@@ -745,6 +745,22 @@ impl Db {
         Ok(())
     }
 
+    /// Abort a *session-owned* transaction during connection teardown
+    /// (the serving layer's funnel). Identical to [`Db::abort`] except
+    /// that the already-gone shape — the watchdog reaped it, a racing
+    /// commit completed, the drain sweep got there first — is absorbed
+    /// as success: teardown must be idempotent because the session
+    /// thread and the drain sweep can both observe the same dying
+    /// connection. Resources still release exactly once regardless of
+    /// who wins: every ending funnels through the transaction table's
+    /// single removal and its [`TxnEndObserver`] notification.
+    pub fn end_session_txn(&self, txn: TxnId) -> Result<()> {
+        match self.abort(txn) {
+            Err(GistError::Txn(gist_txn::TxnError::NotActive(_))) => Ok(()),
+            other => other,
+        }
+    }
+
     /// Run `f` against its own transaction, retrying on retryable
     /// failures ([`GistError::is_retryable`]: deadlock victim, lock
     /// timeout, watchdog abort) with bounded exponential backoff plus
@@ -1070,6 +1086,12 @@ impl Db {
     /// Look up an index by name.
     pub fn open_index_raw(&self, name: &str) -> Option<CatalogEntry> {
         self.catalog.lock().iter().find(|e| e.name == name).cloned()
+    }
+
+    /// Names of every cataloged index (serving-layer re-registration
+    /// after restart).
+    pub fn catalog_names(&self) -> Vec<String> {
+        self.catalog.lock().iter().map(|e| e.name.clone()).collect()
     }
 
     /// One human-readable line per cataloged index.

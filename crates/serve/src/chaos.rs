@@ -1,0 +1,18 @@
+//! Named crash points in the serving path (`chaos` feature), same
+//! contract as `gist-core`'s shim: disarmed points cost one relaxed
+//! atomic load; without the feature they compile to `Ok(())`. An
+//! injected error terminates the session abruptly — exactly the
+//! "process boundary failed mid-request" shape the teardown sweep in
+//! `tests/serve.rs` drives through every point.
+
+#[cfg(feature = "chaos")]
+#[inline]
+pub(crate) fn point(name: &'static str) -> Result<(), &'static str> {
+    gist_chaos::point(name).map_err(|e| e.0)
+}
+
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn point(_name: &'static str) -> Result<(), &'static str> {
+    Ok(())
+}

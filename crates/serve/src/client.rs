@@ -1,0 +1,62 @@
+//! A minimal blocking client: one request, one response, bounded by a
+//! call deadline. Used by the test harness, the bench storm, and the
+//! `gist-serve` binary's self-check; real clients only need to speak
+//! `gist-wire`, not this type.
+
+use std::io;
+use std::time::{Duration, Instant};
+
+use gist_wire::{encode_frame, FrameDecoder, Request, Response, WireError};
+
+use crate::io::Transport;
+
+fn wire_to_io(e: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// Blocking request/response client over any [`Transport`].
+pub struct Client {
+    conn: Box<dyn Transport>,
+    dec: FrameDecoder,
+    deadline: Duration,
+}
+
+impl Client {
+    /// Wrap `conn`; every [`Client::call`] is bounded by `deadline`.
+    pub fn new(conn: Box<dyn Transport>, deadline: Duration) -> Self {
+        Client { conn, dec: FrameDecoder::new(), deadline }
+    }
+
+    /// Send `req` and block for its response (or the deadline).
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        let frame = encode_frame(&req.encode())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "oversized request"))?;
+        self.conn.send(&frame, self.deadline)?;
+        let start = Instant::now();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(body) = self.dec.next_frame().map_err(wire_to_io)? {
+                return Response::decode(&body).map_err(wire_to_io);
+            }
+            let left = self
+                .deadline
+                .checked_sub(start.elapsed())
+                .filter(|d| !d.is_zero())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "call deadline"))?;
+            match self.conn.recv(&mut buf, left)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed mid-call",
+                    ))
+                }
+                n => self.dec.feed(&buf[..n]),
+            }
+        }
+    }
+
+    /// Close the connection.
+    pub fn close(mut self) {
+        self.conn.close();
+    }
+}

@@ -1,0 +1,211 @@
+//! Deadline-wrapped transport layer — the **only** file in this crate
+//! allowed to touch raw `read`/`write` calls (the `no-unbounded-read`
+//! lint rule pins that; everything else goes through [`Transport`]).
+//!
+//! Two concrete transports: [`TcpConn`] for the real server binary and
+//! [`PipeConn`], an in-memory duplex byte pipe for tests and the bench
+//! harness (deterministic, no ports, and `drop` behaves like a peer
+//! reset — exactly what the disconnect-storm drill needs).
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Byte transport with bounded blocking. Every call carries an explicit
+/// deadline; nothing in the serving layer may park on a peer forever.
+pub trait Transport: Send {
+    /// Read up to `buf.len()` bytes. `Ok(0)` means clean EOF; an error
+    /// of kind [`io::ErrorKind::TimedOut`] means the deadline slice
+    /// expired with no data (the caller decides whether that is idle
+    /// time or eviction time).
+    fn recv(&mut self, buf: &mut [u8], deadline: Duration) -> io::Result<usize>;
+
+    /// Write the whole buffer within `deadline`.
+    fn send(&mut self, bytes: &[u8], deadline: Duration) -> io::Result<()>;
+
+    /// Close both directions; the peer observes EOF / broken pipe.
+    fn close(&mut self);
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+/// [`Transport`] over a [`TcpStream`], deadlines mapped onto socket
+/// read/write timeouts.
+pub struct TcpConn {
+    stream: TcpStream,
+}
+
+impl TcpConn {
+    /// Wrap an accepted or connected stream.
+    pub fn new(stream: TcpStream) -> Self {
+        TcpConn { stream }
+    }
+}
+
+impl Transport for TcpConn {
+    fn recv(&mut self, buf: &mut [u8], deadline: Duration) -> io::Result<usize> {
+        use std::io::Read;
+        // A zero Duration means "no timeout" to the socket API; clamp up.
+        self.stream.set_read_timeout(Some(deadline.max(Duration::from_millis(1))))?;
+        match self.stream.read(buf) {
+            // Both kinds mean "timeout" depending on platform; normalize.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "read deadline"))
+            }
+            other => other,
+        }
+    }
+
+    fn send(&mut self, bytes: &[u8], deadline: Duration) -> io::Result<()> {
+        use std::io::Write;
+        self.stream.set_write_timeout(Some(deadline.max(Duration::from_millis(1))))?;
+        match self.stream.write_all(bytes) {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "write deadline"))
+            }
+            other => other,
+        }
+    }
+
+    fn close(&mut self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory pipe
+// ---------------------------------------------------------------------
+
+struct ChanState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+/// One direction of the duplex pipe.
+struct Chan {
+    state: Mutex<ChanState>,
+    cv: Condvar,
+}
+
+impl Chan {
+    fn new() -> Arc<Self> {
+        Arc::new(Chan {
+            state: Mutex::new(ChanState { buf: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One end of an in-memory duplex connection (see [`pipe_pair`]).
+/// Dropping an end closes both directions, so the peer sees EOF on
+/// reads and broken pipe on writes — a faithful stand-in for a client
+/// process dying mid-transaction.
+pub struct PipeConn {
+    rx: Arc<Chan>,
+    tx: Arc<Chan>,
+}
+
+/// Build a connected pair of pipe ends.
+pub fn pipe_pair() -> (PipeConn, PipeConn) {
+    let a = Chan::new();
+    let b = Chan::new();
+    (
+        PipeConn { rx: a.clone(), tx: b.clone() },
+        PipeConn { rx: b, tx: a },
+    )
+}
+
+impl Transport for PipeConn {
+    fn recv(&mut self, buf: &mut [u8], deadline: Duration) -> io::Result<usize> {
+        let due = Instant::now() + deadline;
+        let mut st = self.rx.state.lock();
+        while st.buf.is_empty() && !st.closed {
+            if self.rx.cv.wait_until(&mut st, due).timed_out() && st.buf.is_empty() {
+                if st.closed {
+                    break;
+                }
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "read deadline"));
+            }
+        }
+        if st.buf.is_empty() {
+            return Ok(0); // closed and drained: EOF
+        }
+        let n = buf.len().min(st.buf.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = st.buf.pop_front().unwrap_or_default();
+        }
+        Ok(n)
+    }
+
+    fn send(&mut self, bytes: &[u8], _deadline: Duration) -> io::Result<()> {
+        let mut st = self.tx.state.lock();
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
+        }
+        st.buf.extend(bytes);
+        self.tx.cv.notify_all();
+        Ok(())
+    }
+
+    fn close(&mut self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+impl Drop for PipeConn {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_roundtrip_and_eof() {
+        let (mut a, mut b) = pipe_pair();
+        a.send(b"abc", Duration::from_millis(50)).unwrap();
+        let mut buf = [0u8; 8];
+        let n = b.recv(&mut buf, Duration::from_millis(50)).unwrap();
+        assert_eq!(&buf[..n], b"abc");
+        drop(a);
+        assert_eq!(b.recv(&mut buf, Duration::from_millis(50)).unwrap(), 0, "EOF after drop");
+        assert_eq!(
+            b.send(b"x", Duration::from_millis(50)).unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+    }
+
+    #[test]
+    fn pipe_recv_times_out_without_data() {
+        let (_a, mut b) = pipe_pair();
+        let mut buf = [0u8; 8];
+        let err = b.recv(&mut buf, Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn pipe_drains_buffered_bytes_after_close() {
+        let (mut a, mut b) = pipe_pair();
+        a.send(b"tail", Duration::from_millis(50)).unwrap();
+        drop(a);
+        let mut buf = [0u8; 2];
+        // Buffered bytes survive the close; EOF only once drained.
+        assert_eq!(b.recv(&mut buf, Duration::from_millis(50)).unwrap(), 2);
+        assert_eq!(b.recv(&mut buf, Duration::from_millis(50)).unwrap(), 2);
+        assert_eq!(b.recv(&mut buf, Duration::from_millis(50)).unwrap(), 0);
+    }
+}

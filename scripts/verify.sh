@@ -65,6 +65,17 @@ echo "== tier 2: overload acceptance bench (smoke) =="
 BENCH_OVERLOAD_SMOKE=1 cargo run -q --release -p gist-bench --bin bench_overload \
     target/BENCH_overload_smoke.json
 
+echo "== tier 2: serving layer (wire protocol, sessions, drain) =="
+cargo test -q --release --test serve
+cargo test -q --release -p gist-wire
+
+echo "== tier 2: serve chaos teardown sweep (every serve.* point) =="
+cargo test -q --release --features chaos --test serve
+
+echo "== tier 2: serve disconnect-storm bench (smoke) =="
+BENCH_SERVE_SMOKE=1 cargo run -q --release -p gist-bench --bin bench_serve \
+    target/BENCH_serve_smoke.json
+
 echo "== tier 3: deterministic model checker (crates/mc) =="
 # Fixed per-scenario budgets and two schedule-generation seeds per
 # scenario are compiled into tests/mc_scenarios.rs (seeded-random +
@@ -91,5 +102,8 @@ echo "  group-commit acceptance (>=5x)               0"
 echo "  overload: admission/backpressure             0"
 echo "  epoch-stall drill (degrade, no hang)         0"
 echo "  overload acceptance (>=80% goodput)          0"
+echo "  serve: protocol corpus + sessions            0"
+echo "  serve chaos teardown sweep                   0"
+echo "  serve disconnect storm (no leaks)            0"
 echo "  model checker (mc scenarios)                 0"
 echo "verify.sh: all green"

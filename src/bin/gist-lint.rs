@@ -17,6 +17,7 @@
 //! | `no-raw-std-sync` | no bare `parking_lot` / `std::sync` mutex, rwlock or condvar in the model-checked hot-path crates (lockmgr, predlock, commitpipe, wal, striped) — synchronization there must go through the `gist-sync` wrappers, or the deterministic scheduler (`crates/mc`) cannot see the operation and its schedules silently lose coverage |
 //! | `no-latch-in-optimistic` | no `fetch_read` / `fetch_write` / `new_page_write` inside a `read_with(...)` optimistic closure in `crates/core` — the latch-free fast path must not take latches mid-copy (static twin of the dynamic `latch-in-optimistic` audit rule) |
 //! | `no-unbounded-wait` | no bare `.wait(&mut ...)` condvar parks in non-test crate code — every wait must carry a deadline (`wait_for`/`wait_until`) so a lost wakeup degrades instead of hanging (the `gist-sync` wrappers and the `mc` scheduler are exempt) |
+//! | `no-unbounded-read` | no raw `.read(...)` / `.write_all(...)` socket calls in `crates/serve` outside the deadline-wrapped transport helpers (`io.rs`) — a session parked on a dead peer with no deadline is exactly the leak the serving layer exists to prevent |
 //! | `chaos-point-registry` | every `chaos::point("...")` call site names an entry of the chaos crate's `CATALOG`, the catalog is duplicate-free, and every cataloged point is threaded through at least one call site |
 //!
 //! Scanning is line/AST-lite on purpose: the build must stay offline, so
@@ -501,6 +502,45 @@ fn rule_no_unbounded_wait(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule `no-unbounded-read`: inside `crates/serve`, every socket read
+/// or write must go through the deadline-wrapped helpers in
+/// `crates/serve/src/io.rs` (the `Transport` trait's `recv`/`send`). A
+/// raw `.read(...)` / `.write_all(...)` elsewhere in the crate parks a
+/// session thread on a peer that may never speak again, which defeats
+/// slow-client eviction and graceful drain. The helper module itself is
+/// exempt (it is where the deadlines are applied); a deliberate raw
+/// call elsewhere takes a same-line `lint: allow-raw-io` waiver.
+fn rule_no_unbounded_read(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !f.path.starts_with("crates/serve/") || f.path == "crates/serve/src/io.rs" {
+        return;
+    }
+    const RAW_IO: &[&str] = &[
+        ".read(",
+        ".read_exact(",
+        ".read_to_end(",
+        ".read_to_string(",
+        ".write(",
+        ".write_all(",
+        ".peek(",
+    ];
+    for (n, clean, raw, test) in f.lines() {
+        if test || raw.contains("lint: allow-raw-io") {
+            continue;
+        }
+        if RAW_IO.iter().any(|p| clean.contains(p)) {
+            out.push(Violation {
+                rule: "no-unbounded-read",
+                file: f.path.clone(),
+                line: n,
+                msg: "raw socket I/O outside the deadline-wrapped helpers — go through \
+                      `Transport::recv`/`Transport::send` (crates/serve/src/io.rs) so \
+                      every park is bounded; waive with `lint: allow-raw-io`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 /// Extract the variant names of `pub enum <name>` from sanitized source.
 fn enum_variants(clean: &str, name: &str) -> Vec<String> {
     let mut variants = Vec::new();
@@ -799,6 +839,7 @@ fn scan(files: &[SourceFile]) -> Vec<Violation> {
         rule_no_raw_std_sync(f, &mut out);
         rule_no_latch_in_optimistic(f, &mut out);
         rule_no_unbounded_wait(f, &mut out);
+        rule_no_unbounded_read(f, &mut out);
     }
     rule_record_coverage(files, &mut out);
     rule_forbid_unsafe(files, &mut out);
@@ -871,6 +912,7 @@ fn main() {
         "no-raw-std-sync",
         "no-latch-in-optimistic",
         "no-unbounded-wait",
+        "no-unbounded-read",
         "chaos-point-registry",
     ] {
         let n = violations.iter().filter(|v| v.rule == rule).count();
@@ -933,6 +975,28 @@ mod tests {
             &mut v,
         );
         assert!(v.is_empty(), "wrapper + scheduler crates exempt: {v:?}");
+    }
+
+    #[test]
+    fn unbounded_read_flagged_only_in_serve_outside_io_helpers() {
+        let src = "fn pump(s: &mut TcpStream, buf: &mut [u8]) {\n    let n = s.read(buf);\n    s.write_all(buf);\n}";
+        let mut v = Vec::new();
+        rule_no_unbounded_read(&file("crates/serve/src/session.rs", src), &mut v);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "no-unbounded-read"));
+        // The deadline-helper module itself is exempt, as is any other crate.
+        let mut v = Vec::new();
+        rule_no_unbounded_read(&file("crates/serve/src/io.rs", src), &mut v);
+        rule_no_unbounded_read(&file("crates/wal/src/lib.rs", src), &mut v);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unbounded_read_exemptions_hold() {
+        let src = "fn pump(s: &mut TcpStream, buf: &mut [u8]) {\n    let n = s.read(buf); // lint: allow-raw-io\n}\n#[cfg(test)]\nmod tests {\n    fn t(s: &mut TcpStream, b: &mut [u8]) { s.read(b).unwrap(); }\n}\n";
+        let mut v = Vec::new();
+        rule_no_unbounded_read(&file("crates/serve/src/session.rs", src), &mut v);
+        assert!(v.is_empty(), "waiver + test region exempt: {v:?}");
     }
 
     #[test]

@@ -318,22 +318,27 @@ impl Shell {
                 for reason in health.reasons() {
                     println!("    - {reason}");
                 }
+                // Surface the counters driving the verdict next to it:
+                // credit occupancy (degrades at 100%) and WAL backlog
+                // against its backpressure limit.
+                let occupancy = match (s.admission.in_flight * 100).checked_div(s.admission.capacity)
+                {
+                    None => "unlimited credits".to_string(),
+                    Some(pct) => format!("{pct}% of {} credits", s.admission.capacity),
+                };
                 println!(
-                    "  admission:      {}/{} in flight, {} parked, {} shed, {} forced",
-                    s.admission.in_flight,
-                    if s.admission.capacity == 0 {
-                        "inf".to_string()
-                    } else {
-                        s.admission.capacity.to_string()
-                    },
-                    s.admission.parked,
-                    s.admission.shed,
-                    s.admission.forced
+                    "  admission:      {} in flight ({occupancy}), {} parked, {} shed, {} forced",
+                    s.admission.in_flight, s.admission.parked, s.admission.shed, s.admission.forced
                 );
                 println!("  retry budget:   {} exhausted", s.retries_exhausted);
+                let bp = self.db.log().backpressure_stats();
+                let backlog = match (bp.backlog * 100).checked_div(bp.limit) {
+                    None => format!("backlog {} rec (gate off)", bp.backlog),
+                    Some(pct) => format!("backlog {}/{} rec ({pct}%)", bp.backlog, bp.limit),
+                };
                 println!(
-                    "  wal gate:       backlog {} rec, {} parks, {} inline-flush stalls",
-                    s.wal_bp_backlog, s.wal_bp_parks, s.wal_bp_stalls
+                    "  wal gate:       {backlog}, {} parks, {} inline-flush stalls",
+                    s.wal_bp_parks, s.wal_bp_stalls
                 );
                 println!(
                     "  epoch bin:      {} bytes pending, stalled: {} ({} stalls, {} forced advances)",

@@ -28,6 +28,10 @@
 //! - [`overload`] — admission control and the health-state machine
 //!   behind the overload defenses (WAL backpressure, epoch-stall
 //!   degradation).
+//! - [`wire`] — the length-prefixed, checksummed binary protocol spoken
+//!   by the serving layer (fuzz-safe decode, incremental framing).
+//! - [`serve`] — the fault-tolerant serving front-end: session-owned
+//!   transactions, deadline-sliced I/O, `Busy` shedding, graceful drain.
 //! - `audit` (behind the `latch-audit` feature) — the dynamic latch/lock
 //!   discipline analyzer asserting the §5 protocol invariants at runtime.
 
@@ -45,6 +49,8 @@ pub use gist_maint as maint;
 pub use gist_overload as overload;
 pub use gist_pagestore as pagestore;
 pub use gist_predlock as predlock;
+pub use gist_serve as serve;
 pub use gist_striped as striped;
 pub use gist_txn as txn;
 pub use gist_wal as wal;
+pub use gist_wire as wire;

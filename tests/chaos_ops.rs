@@ -256,12 +256,16 @@ fn run_point_scenario(point: &'static str, action: ChaosAction) {
 /// `maint.before_gc` fires on the maintenance daemon and has its own
 /// test below; the `commitpipe.*` points fire on (or wedge) the
 /// group-commit flusher and are covered by the flusher crash tests in
-/// `tests/fault_recovery.rs`.
+/// `tests/fault_recovery.rs`; the `serve.*` points fire on the serving
+/// layer's accept/dispatch/drain path and are swept by the session-
+/// teardown drill in `tests/serve.rs`.
 fn foreground_points() -> Vec<&'static str> {
     chaos::CATALOG
         .iter()
         .copied()
-        .filter(|p| !p.starts_with("maint.") && !p.starts_with("commitpipe."))
+        .filter(|p| {
+            !p.starts_with("maint.") && !p.starts_with("commitpipe.") && !p.starts_with("serve.")
+        })
         .collect()
 }
 

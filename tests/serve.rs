@@ -1,0 +1,611 @@
+//! The serving-layer robustness suite (PR 10 tentpole verification).
+//!
+//! Everything here runs the real `gist-serve` session machinery over
+//! in-memory pipe transports, with three escalating adversaries:
+//!
+//! 1. **Protocol corpus** — arbitrary, truncated, bit-flipped, and
+//!    oversized bytes must yield typed protocol errors and a torn-down
+//!    session, never a panic, and never a leaked transaction.
+//! 2. **`FaultTransport`** — deterministic torn writes, resets, stalls
+//!    and short reads by op-index schedule (mirroring `FaultStore`).
+//! 3. **Chaos points** (`--features chaos`) — the session is killed at
+//!    every `serve.*` crash point inside an open transaction; the
+//!    leak sweep must come back empty each time.
+//!
+//! The leak sweep is the contract from ISSUE 10: zero active
+//! transactions, zero held locks, zero predicate entries, zero
+//! admission credits after every disconnect, no matter how rude.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gist_repro::am::BtreeExt;
+use gist_repro::core::{AdmissionConfig, Db, DbConfig, GistIndex, IndexOptions};
+use gist_repro::pagestore::InMemoryStore;
+use gist_repro::serve::{
+    pipe_pair, Client, FaultKind, FaultPlan, FaultTransport, IoOp, ServeConfig, Server, Transport,
+};
+use gist_repro::wal::{LogManager, TxnId};
+use gist_repro::wire::{
+    checksum, encode_frame, ErrorCode, Request, Response, FRAME_HEADER, MAGIC, MAX_FRAME,
+};
+
+const CALL_DEADLINE: Duration = Duration::from_secs(2);
+
+fn open_db(config: DbConfig) -> Arc<Db> {
+    let store = Arc::new(InMemoryStore::new());
+    let log = Arc::new(LogManager::new());
+    Db::open(store, log, config).unwrap()
+}
+
+fn test_serve_config() -> ServeConfig {
+    ServeConfig {
+        read_slice: Duration::from_millis(10),
+        idle_deadline: Duration::from_secs(5),
+        write_deadline: Duration::from_millis(250),
+        drain_deadline: Duration::from_millis(200),
+        busy_retry_ms: 15,
+    }
+}
+
+/// A server with one pre-registered index "t".
+fn server(config: DbConfig, serve: ServeConfig) -> (Arc<Db>, Server) {
+    let db = open_db(config);
+    let idx = GistIndex::create(db.clone(), "t", BtreeExt, IndexOptions::default()).unwrap();
+    let srv = Server::new(db.clone(), serve);
+    srv.register_index(idx);
+    (db, srv)
+}
+
+fn connect(srv: &Server) -> (Client, JoinHandle<()>) {
+    let (server_end, client_end) = pipe_pair();
+    let handle = srv.serve_conn(Box::new(server_end));
+    (Client::new(Box::new(client_end), CALL_DEADLINE), handle)
+}
+
+/// The ISSUE-10 leak sweep: after sessions die, nothing may linger.
+/// `probe_txns` are ids the dead sessions plausibly owned; each must
+/// hold no locks.
+fn assert_no_leaks(db: &Arc<Db>, probe_txns: &[TxnId]) {
+    assert_eq!(db.txns().active_count(), 0, "leaked transactions");
+    assert_eq!(db.admission().stats().in_flight, 0, "leaked admission credits");
+    let ps = db.preds().stats();
+    assert_eq!(
+        (ps.predicates, ps.attachments, ps.nodes),
+        (0, 0, 0),
+        "leaked predicate entries: {ps:?}"
+    );
+    for &t in probe_txns {
+        let held = db.locks().held_by(t);
+        assert!(held.is_empty(), "txn {t:?} still holds locks: {held:?}");
+    }
+}
+
+fn expect_rows(rsp: Response) -> Vec<(i64, Vec<u8>)> {
+    match rsp {
+        Response::Rows(rows) => rows,
+        other => panic!("expected Rows, got {other:?}"),
+    }
+}
+
+fn expect_error(rsp: Response, code: ErrorCode) {
+    match rsp {
+        Response::Error { code: got, .. } => assert_eq!(got, code),
+        other => panic!("expected Error({code:?}), got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Happy path
+// ---------------------------------------------------------------------
+
+#[test]
+fn full_crud_roundtrip_over_the_wire() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let (mut c, h) = connect(&srv);
+
+    assert_eq!(c.call(&Request::Ping).unwrap(), Response::Pong);
+    assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+    for k in 0..20i64 {
+        let rsp = c
+            .call(&Request::Insert { index: "t".into(), key: k, payload: format!("v{k}").into_bytes() })
+            .unwrap();
+        assert_eq!(rsp, Response::Ok, "insert {k}");
+    }
+    let rows = expect_rows(c.call(&Request::Get { index: "t".into(), key: 7 }).unwrap());
+    assert_eq!(rows, vec![(7, b"v7".to_vec())]);
+    let rows = expect_rows(c.call(&Request::Range { index: "t".into(), lo: 5, hi: 9 }).unwrap());
+    assert_eq!(rows.len(), 5);
+    assert_eq!(c.call(&Request::Delete { index: "t".into(), key: 7 }).unwrap(), Response::Ok);
+    let rows = expect_rows(c.call(&Request::Get { index: "t".into(), key: 7 }).unwrap());
+    assert!(rows.is_empty(), "{rows:?}");
+    assert_eq!(c.call(&Request::Commit).unwrap(), Response::Ok);
+
+    // Second index via the wire.
+    assert_eq!(
+        c.call(&Request::CreateIndex { name: "u".into(), unique: true }).unwrap(),
+        Response::Ok
+    );
+    expect_error(
+        c.call(&Request::CreateIndex { name: "u".into(), unique: true }).unwrap(),
+        ErrorCode::IndexExists,
+    );
+
+    c.close();
+    h.join().unwrap();
+    assert_no_leaks(&db, &[]);
+}
+
+#[test]
+fn txn_state_machine_is_enforced() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let (mut c, h) = connect(&srv);
+
+    expect_error(c.call(&Request::Commit).unwrap(), ErrorCode::TxnRequired);
+    expect_error(
+        c.call(&Request::Get { index: "t".into(), key: 1 }).unwrap(),
+        ErrorCode::TxnRequired,
+    );
+    expect_error(
+        c.call(&Request::Get { index: "nope".into(), key: 1 }).unwrap(),
+        ErrorCode::NoSuchIndex,
+    );
+    assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+    expect_error(c.call(&Request::Begin).unwrap(), ErrorCode::TxnAlreadyOpen);
+    assert_eq!(c.call(&Request::Abort).unwrap(), Response::Ok);
+
+    // Unique violation is benign: the transaction survives it.
+    assert_eq!(
+        c.call(&Request::CreateIndex { name: "uq".into(), unique: true }).unwrap(),
+        Response::Ok
+    );
+    assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+    assert_eq!(
+        c.call(&Request::Insert { index: "uq".into(), key: 1, payload: vec![1] }).unwrap(),
+        Response::Ok
+    );
+    expect_error(
+        c.call(&Request::Insert { index: "uq".into(), key: 1, payload: vec![2] }).unwrap(),
+        ErrorCode::UniqueViolation,
+    );
+    assert_eq!(c.call(&Request::Commit).unwrap(), Response::Ok, "txn survived the violation");
+
+    c.close();
+    h.join().unwrap();
+    assert_no_leaks(&db, &[]);
+}
+
+#[test]
+fn health_and_stats_endpoints_serialize_engine_state() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let (mut c, h) = connect(&srv);
+
+    match c.call(&Request::Health).unwrap() {
+        Response::Health { label, reasons } => {
+            assert_eq!(label, "healthy");
+            assert!(reasons.is_empty(), "{reasons:?}");
+        }
+        other => panic!("expected Health, got {other:?}"),
+    }
+    match c.call(&Request::Stats).unwrap() {
+        Response::Stats(entries) => {
+            let get = |k: &str| {
+                entries
+                    .iter()
+                    .find(|(n, _)| n == k)
+                    .unwrap_or_else(|| panic!("missing stat {k:?} in {entries:?}"))
+                    .1
+            };
+            assert_eq!(get("serve_sessions_opened"), 1);
+            assert_eq!(get("admission_in_flight"), 0);
+            assert!(get("serve_requests") >= 2);
+            assert_eq!(get("pool_poisoned"), 0);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    c.close();
+    h.join().unwrap();
+    assert_no_leaks(&db, &[]);
+}
+
+// ---------------------------------------------------------------------
+// Shedding
+// ---------------------------------------------------------------------
+
+#[test]
+fn saturated_admission_surfaces_as_retryable_busy() {
+    let config = DbConfig {
+        admission: AdmissionConfig {
+            max_in_flight: 1,
+            admit_timeout: Duration::from_millis(5),
+        },
+        ..DbConfig::default()
+    };
+    let (db, srv) = server(config, test_serve_config());
+    let (mut c, h) = connect(&srv);
+
+    // Occupy the only credit out-of-band, as a competing workload would.
+    let hog = db.begin();
+    match c.call(&Request::Begin).unwrap() {
+        Response::Busy { retry_after_ms } => assert_eq!(retry_after_ms, 15),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // Shed, not hung: the session is still serving.
+    assert_eq!(c.call(&Request::Ping).unwrap(), Response::Pong);
+    db.abort(hog).unwrap();
+    assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun, "credit freed");
+    assert_eq!(c.call(&Request::Abort).unwrap(), Response::Ok);
+    assert_eq!(srv.stats().busy_sheds, 1);
+
+    c.close();
+    h.join().unwrap();
+    assert_no_leaks(&db, &[hog]);
+}
+
+// ---------------------------------------------------------------------
+// Protocol corpus: malformed bytes are errors, never panics or leaks
+// ---------------------------------------------------------------------
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Build the malformed-input corpus: deterministic garbage, truncations
+/// of a valid frame at every cut, bit-flips across a valid frame, a
+/// hostile length header, a valid frame with trailing junk, and an
+/// unknown-tag message in a well-formed frame.
+fn protocol_corpus() -> Vec<Vec<u8>> {
+    let mut corpus = Vec::new();
+    let mut state = 0xBAD_C0DEu64;
+    for _ in 0..48 {
+        let len = (splitmix(&mut state) % 160 + 1) as usize;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            bytes.push(splitmix(&mut state) as u8);
+        }
+        corpus.push(bytes);
+    }
+    let valid = encode_frame(&Request::Insert { index: "t".into(), key: 1, payload: vec![7; 30] }.encode())
+        .unwrap();
+    for cut in 1..valid.len() {
+        corpus.push(valid[..cut].to_vec());
+    }
+    for bit in (0..valid.len() * 8).step_by(13) {
+        let mut flipped = valid.clone();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        corpus.push(flipped);
+    }
+    let mut hostile = Vec::new();
+    hostile.extend_from_slice(&MAGIC.to_le_bytes());
+    hostile.extend_from_slice(&(MAX_FRAME as u32 + 77).to_le_bytes());
+    hostile.extend_from_slice(&[0u8; 8]);
+    hostile.extend_from_slice(&[0xAA; 64]);
+    corpus.push(hostile);
+    // Well-formed frame, trailing junk inside the message body.
+    let mut body = Request::Ping.encode();
+    body.push(0x99);
+    corpus.push(encode_frame(&body).unwrap());
+    // Well-formed frame, unknown request tag.
+    let unknown = vec![0xEEu8, 1, 2, 3];
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC.to_le_bytes());
+    frame.extend_from_slice(&(unknown.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&checksum(&unknown).to_le_bytes());
+    frame.extend_from_slice(&unknown);
+    corpus.push(frame);
+    corpus
+}
+
+#[test]
+fn protocol_corpus_never_panics_and_never_leaks() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let corpus = protocol_corpus();
+    assert!(corpus.len() > 100, "corpus unexpectedly small: {}", corpus.len());
+
+    let mut handles = Vec::new();
+    for bytes in &corpus {
+        let (server_end, mut client_end) = pipe_pair();
+        handles.push(srv.serve_conn(Box::new(server_end)));
+        let _ = client_end.send(bytes, Duration::from_millis(100));
+        // Hang up rudely; the session must clean itself up either way.
+        drop(client_end);
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = srv.stats();
+    assert_eq!(stats.sessions_opened, corpus.len() as u64);
+    assert_eq!(stats.sessions_closed, corpus.len() as u64);
+    assert!(
+        stats.protocol_errors > 0,
+        "corpus produced no protocol errors: {stats:?}"
+    );
+    assert_no_leaks(&db, &[]);
+}
+
+#[test]
+fn malformed_bytes_inside_an_open_transaction_abort_it() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    // Garbage arriving while the session owns a transaction: the session
+    // dies a protocol death and teardown must abort the transaction.
+    for garbage in [
+        vec![0xFFu8; FRAME_HEADER],           // bad magic
+        encode_frame(&[0xEE, 9, 9]).unwrap(), // unknown request tag
+    ] {
+        let probe = db.begin();
+        db.abort(probe).unwrap();
+        let (server_end, mut raw) = pipe_pair();
+        let h = srv.serve_conn(Box::new(server_end));
+        let begin = encode_frame(&Request::Begin.encode()).unwrap();
+        raw.send(&begin, Duration::from_millis(200)).unwrap();
+        let mut buf = [0u8; 256];
+        let n = raw.recv(&mut buf, Duration::from_secs(2)).unwrap();
+        assert!(n > 0, "no Begun reply");
+        assert_eq!(db.txns().active_count(), 1, "wire Begin opened a txn");
+        raw.send(&garbage, Duration::from_millis(200)).unwrap();
+        // Session replies Error{Protocol} (best effort) and hangs up.
+        h.join().unwrap();
+        drop(raw);
+        assert_no_leaks(&db, &[TxnId(probe.0 + 1)]);
+    }
+    assert!(srv.stats().protocol_errors >= 2, "{:?}", srv.stats());
+}
+
+// ---------------------------------------------------------------------
+// Wire faults: torn writes, resets, stalls, short reads
+// ---------------------------------------------------------------------
+
+#[test]
+fn short_reads_reassemble_and_requests_still_serve() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let plan = FaultPlan::new();
+    // First six server-side reads deliver at most 3 bytes each: the
+    // Ping frame (17 bytes) arrives in shreds.
+    for i in 0..6 {
+        plan.set(IoOp::Recv, i, FaultKind::ShortRead(3));
+    }
+    plan.arm();
+    let (server_end, client_end) = pipe_pair();
+    let h = srv.serve_conn(Box::new(FaultTransport::new(Box::new(server_end), plan.clone())));
+    let mut c = Client::new(Box::new(client_end), CALL_DEADLINE);
+
+    assert_eq!(c.call(&Request::Ping).unwrap(), Response::Pong);
+    assert!(plan.stats().short_reads >= 4, "{:?}", plan.stats());
+
+    c.close();
+    h.join().unwrap();
+    assert_no_leaks(&db, &[]);
+}
+
+#[test]
+fn torn_reply_mid_transaction_tears_down_cleanly() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let probe = db.begin();
+    db.abort(probe).unwrap();
+
+    let plan = FaultPlan::new();
+    // Reply 0 (Begun) is clean; reply 1 tears after 5 bytes (mid-header).
+    plan.set(IoOp::Send, 1, FaultKind::TornWrite(5));
+    plan.arm();
+    let (server_end, client_end) = pipe_pair();
+    let h = srv.serve_conn(Box::new(FaultTransport::new(Box::new(server_end), plan.clone())));
+    let mut c = Client::new(Box::new(client_end), Duration::from_millis(500));
+
+    assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+    assert_eq!(db.txns().active_count(), 1);
+    let err = c
+        .call(&Request::Insert { index: "t".into(), key: 5, payload: vec![1] })
+        .unwrap_err();
+    // The client saw a partial frame then EOF (or just the deadline).
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::TimedOut
+        ),
+        "{err:?}"
+    );
+    drop(c);
+    h.join().unwrap();
+    assert_eq!(plan.stats().torn_writes, 1);
+    assert_eq!(srv.stats().io_errors, 1, "torn write counted as an I/O session end");
+    assert_no_leaks(&db, &[TxnId(probe.0 + 1)]);
+}
+
+#[test]
+fn injected_reset_mid_transaction_releases_everything() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let probe = db.begin();
+    db.abort(probe).unwrap();
+
+    let plan = FaultPlan::new();
+    plan.arm();
+    let (server_end, client_end) = pipe_pair();
+    let h = srv.serve_conn(Box::new(FaultTransport::new(Box::new(server_end), plan.clone())));
+    let mut c = Client::new(Box::new(client_end), CALL_DEADLINE);
+
+    assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+    assert_eq!(
+        c.call(&Request::Insert { index: "t".into(), key: 9, payload: vec![2; 64] }).unwrap(),
+        Response::Ok
+    );
+    // Now reset the next server read: the connection dies inside the
+    // txn with real locks and an admission credit held. Deadline-sliced
+    // polling advances the recv op index continuously, so blanket a
+    // generous range rather than aiming at one index.
+    assert_eq!(db.txns().active_count(), 1);
+    assert_eq!(db.admission().stats().in_flight, 1);
+    for i in 0..10_000u64 {
+        plan.set(IoOp::Recv, i, FaultKind::Reset);
+    }
+    h.join().unwrap();
+    drop(c);
+    assert_eq!(srv.stats().io_errors, 1);
+    assert_no_leaks(&db, &[TxnId(probe.0 + 1)]);
+}
+
+#[test]
+fn stalled_client_is_evicted_on_deadline() {
+    let serve_cfg = ServeConfig {
+        idle_deadline: Duration::from_millis(120),
+        ..test_serve_config()
+    };
+    let (db, srv) = server(DbConfig::default(), serve_cfg);
+    let probe = db.begin();
+    db.abort(probe).unwrap();
+
+    let (mut c, h) = connect(&srv);
+    assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+    // Client goes silent while owning a transaction. The session must
+    // evict it and release everything.
+    h.join().unwrap();
+    assert_eq!(srv.stats().evicted_slow, 1);
+    assert_no_leaks(&db, &[TxnId(probe.0 + 1)]);
+    drop(c);
+}
+
+// ---------------------------------------------------------------------
+// Drain
+// ---------------------------------------------------------------------
+
+#[test]
+fn drain_lets_idle_sessions_finish_and_rejects_new_begins() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let (mut c, h) = connect(&srv);
+    assert_eq!(c.call(&Request::Ping).unwrap(), Response::Pong);
+
+    let drainer = {
+        let srv = srv.clone();
+        std::thread::spawn(move || srv.drain())
+    };
+    // While draining, liveness stays; new transactions are refused.
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(srv.is_draining());
+    // (an Err here is fine too — the session may already have drained out)
+    if let Ok(rsp) = c.call(&Request::Begin) {
+        expect_error(rsp, ErrorCode::ShuttingDown);
+    }
+    let report = drainer.join().unwrap();
+    assert_eq!(report.forced_aborts, 0, "{report:?}");
+    h.join().unwrap();
+    assert_no_leaks(&db, &[]);
+    drop(c);
+}
+
+#[test]
+fn drain_force_aborts_stragglers_and_counts_them() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let probe = db.begin();
+    db.abort(probe).unwrap();
+
+    let (mut c, h) = connect(&srv);
+    assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+    assert_eq!(
+        c.call(&Request::Insert { index: "t".into(), key: 3, payload: vec![3] }).unwrap(),
+        Response::Ok
+    );
+    assert_eq!(db.txns().active_count(), 1);
+
+    // The client never finishes; drain must force-abort at the deadline.
+    let report = srv.drain();
+    assert_eq!(report.sessions_at_start, 1);
+    assert_eq!(report.forced_aborts, 1, "{report:?}");
+    assert!(!report.clean);
+    assert_eq!(srv.stats().drain_forced_aborts, 1);
+    h.join().unwrap();
+    assert_no_leaks(&db, &[TxnId(probe.0 + 1)]);
+    drop(c);
+}
+
+// ---------------------------------------------------------------------
+// Chaos: disconnect at every serve crash point inside an open txn
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "chaos")]
+mod chaos_teardown {
+    use super::*;
+    use gist_repro::chaos::{self, ChaosAction};
+    use std::sync::{Mutex, MutexGuard};
+
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        let g = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+        chaos::disarm_all();
+        g
+    }
+
+    /// ISSUE 10 satellite: disconnect at every serve chaos point inside
+    /// an open transaction leaves zero locks, zero predicate entries,
+    /// zero credits.
+    #[test]
+    fn killed_session_at_each_dispatch_point_leaks_nothing() {
+        let _g = serial();
+        for point in ["serve.session.before_dispatch", "serve.session.before_reply"] {
+            assert!(chaos::CATALOG.contains(&point), "{point} not cataloged");
+            let (db, srv) = server(DbConfig::default(), test_serve_config());
+            let probe = db.begin();
+            db.abort(probe).unwrap();
+            let (mut c, h) = connect(&srv);
+            assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+            assert_eq!(
+                c.call(&Request::Insert { index: "t".into(), key: 1, payload: vec![9; 16] })
+                    .unwrap(),
+                Response::Ok
+            );
+            assert_eq!(db.txns().active_count(), 1, "{point}: txn open");
+
+            chaos::arm_times(point, ChaosAction::Error, 1);
+            let err = c.call(&Request::Get { index: "t".into(), key: 1 }).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{point}: {err:?}");
+            h.join().unwrap();
+            assert!(chaos::fired(point) >= 1, "{point} never fired");
+            chaos::disarm_all();
+
+            assert_eq!(srv.stats().injected_ends, 1, "{point}");
+            assert_no_leaks(&db, &[TxnId(probe.0 + 1)]);
+        }
+    }
+
+    #[test]
+    fn killed_session_at_accept_leaks_nothing() {
+        let _g = serial();
+        let (db, srv) = server(DbConfig::default(), test_serve_config());
+        chaos::arm_times("serve.session.after_accept", ChaosAction::Error, 1);
+        let (mut c, h) = connect(&srv);
+        // The session died before its first read; any call fails.
+        assert!(c.call(&Request::Ping).is_err());
+        h.join().unwrap();
+        assert!(chaos::fired("serve.session.after_accept") >= 1);
+        chaos::disarm_all();
+        assert_no_leaks(&db, &[]);
+        drop(c);
+    }
+
+    #[test]
+    fn drain_cleanup_survives_injection_at_its_own_point() {
+        let _g = serial();
+        let (db, srv) = server(DbConfig::default(), test_serve_config());
+        let probe = db.begin();
+        db.abort(probe).unwrap();
+        let (mut c, h) = connect(&srv);
+        assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+
+        // Injection at the force-abort point is counted but must not
+        // skip the cleanup: drain's contract is unconditional.
+        chaos::arm_times("serve.drain.before_force_abort", ChaosAction::Error, 1);
+        let report = srv.drain();
+        assert_eq!(report.forced_aborts, 1, "{report:?}");
+        assert!(chaos::fired("serve.drain.before_force_abort") >= 1);
+        chaos::disarm_all();
+        h.join().unwrap();
+        assert_no_leaks(&db, &[TxnId(probe.0 + 1)]);
+        drop(c);
+    }
+}
