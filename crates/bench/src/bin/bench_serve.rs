@@ -159,7 +159,7 @@ fn main() {
         // Read-your-writes probe: preloaded rows carry synthetic rids
         // with no heap backing, so only storm-inserted keys are readable.
         match call(&mut client, &Request::Get { index: "bench".into(), key: first_key }) {
-            Some(Response::Rows(rows)) if !rows.is_empty() => {}
+            Some(Response::Rows { rows, .. }) if !rows.is_empty() => {}
             _ => {
                 c2.errors.fetch_add(1, Ordering::Relaxed);
                 return;

@@ -241,8 +241,12 @@ impl Server {
                 Ok((stream, _peer)) => {
                     let _ = stream.set_nodelay(true);
                     // Sessions do their own deadline slicing; the stream
-                    // stays blocking with per-call timeouts.
-                    stream.set_nonblocking(false)?;
+                    // stays blocking with per-call timeouts. A failure
+                    // configuring one accepted socket drops that socket,
+                    // not the accept loop — the server keeps listening.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
                     self.serve_conn(Box::new(TcpConn::new(stream)));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -259,6 +263,14 @@ impl Server {
     /// still owned by live sessions (counted). Cleanup is
     /// unconditional: even a chaos injection at the drain point only
     /// gets counted, never skips the abort.
+    ///
+    /// The sweep cannot race a concurrent `Begin` into leaking a fresh
+    /// transaction: `Begin` re-checks the draining flag *under its
+    /// session's slot lock*, so a transaction either lands in the slot
+    /// before the sweep takes it (and is aborted here) or is refused as
+    /// `ShuttingDown`. Drain does not wait for straggler session
+    /// *threads* to observe their loss — callers about to tear the
+    /// `Db` down should follow with [`Server::await_sessions`].
     pub fn drain(&self) -> DrainReport {
         let inner = &self.inner;
         inner.draining.store(true, Ordering::SeqCst);
@@ -282,5 +294,23 @@ impl Server {
         }
         inner.stats.drain_forced_aborts.fetch_add(forced, Ordering::SeqCst);
         DrainReport { sessions_at_start, forced_aborts: forced, clean: stragglers.is_empty() }
+    }
+
+    /// Wait (up to `deadline`) for every session thread to finish its
+    /// teardown, i.e. for the session registry to empty. Sessions are
+    /// registered *before* their thread spawns and deregistered as the
+    /// last `Db`-touching step of teardown, so a `true` return means no
+    /// session is still dispatching against the engine — the guarantee
+    /// a caller needs between [`Server::drain`] and `Db::shutdown`.
+    /// Returns `false` if stragglers remain at the deadline.
+    pub fn await_sessions(&self, deadline: Duration) -> bool {
+        let due = Instant::now() + deadline;
+        while !self.inner.sessions.lock().is_empty() {
+            if Instant::now() >= due {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        true
     }
 }

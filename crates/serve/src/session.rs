@@ -12,7 +12,10 @@ use gist_core::{GistError, GistIndex, IndexOptions};
 use gist_pagestore::Rid;
 use gist_txn::TxnError;
 use gist_wal::TxnId;
-use gist_wire::{encode_frame, ErrorCode, FrameDecoder, Request, Response};
+use gist_wire::{
+    encode_frame, encoded_row_size, ErrorCode, FrameDecoder, Request, Response, MAX_ROWS,
+    ROWS_BYTE_BUDGET,
+};
 use parking_lot::Mutex;
 
 use crate::chaos;
@@ -124,6 +127,15 @@ fn serve_loop(inner: &Arc<ServerInner>, conn: &mut dyn Transport, shared: &Sessi
                 Err(end) => return end,
             }
         }
+        // Drain check between pump and read: buffered requests were
+        // answered (liveness holds through the flag), but once this
+        // session owns no transaction it leaves before blocking for
+        // more input — a chatty client cannot pin a draining server,
+        // and a session whose transaction the drain sweep force-aborted
+        // exits on its next pass instead of idling to the deadline.
+        if inner.draining.load(Ordering::SeqCst) && shared.txn.lock().is_none() {
+            return SessionEnd::Drained;
+        }
         match conn.recv(&mut buf, cfg.read_slice) {
             Ok(0) => return SessionEnd::Eof,
             Ok(n) => {
@@ -131,10 +143,7 @@ fn serve_loop(inner: &Arc<ServerInner>, conn: &mut dyn Transport, shared: &Sessi
                 dec.feed(&buf[..n]);
             }
             Err(e) if e.kind() == io::ErrorKind::TimedOut => {
-                // Idle slice: the spot where drain and eviction act.
-                if inner.draining.load(Ordering::SeqCst) && shared.txn.lock().is_none() {
-                    return SessionEnd::Drained;
-                }
+                // Idle slice: where slow-client eviction acts.
                 if last_activity.elapsed() >= cfg.idle_deadline {
                     inner.stats.evicted_slow.fetch_add(1, Ordering::SeqCst);
                     return SessionEnd::Evicted;
@@ -153,9 +162,10 @@ fn reply(inner: &ServerInner, conn: &mut dyn Transport, rsp: &Response) -> Resul
     if chaos::point("serve.session.before_reply").is_err() {
         return Err(SessionEnd::Injected);
     }
-    // Response encoders truncate to their field caps, so a response
-    // frame cannot exceed MAX_FRAME; `None` would be a server bug and
-    // is treated as an I/O-level session end rather than a panic.
+    // Every response encoder bounds its body below MAX_FRAME — `Rows`
+    // by the frame byte budget (with its `truncated` flag), the other
+    // collections by entry caps — so `None` here would be a server bug
+    // and is treated as an I/O-level session end rather than a panic.
     let Some(frame) = encode_frame(&rsp.encode()) else {
         return Err(SessionEnd::Io);
     };
@@ -198,13 +208,19 @@ fn dispatch(inner: &Arc<ServerInner>, shared: &SessionShared, req: Request) -> R
     match req {
         Request::Ping => Response::Pong,
         Request::Begin => {
+            let mut slot = shared.txn.lock();
+            // Checked *under the slot lock*: drain sets the flag before
+            // sweeping slots, so either this Begin installs its txn
+            // before the sweep reads the slot (the sweep aborts it), or
+            // it acquires the lock after the sweep and observes the
+            // flag here. No interleaving lets a fresh transaction slip
+            // past the force-abort unseen.
             if inner.draining.load(Ordering::SeqCst) {
                 return Response::Error {
                     code: ErrorCode::ShuttingDown,
                     message: "server is draining".to_string(),
                 };
             }
-            let mut slot = shared.txn.lock();
             if slot.is_some() {
                 return Response::Error {
                     code: ErrorCode::TxnAlreadyOpen,
@@ -340,12 +356,25 @@ fn data_op(
 }
 
 fn rows_rsp(db: &gist_core::Db, hits: Vec<(i64, Rid)>) -> Result<Response, GistError> {
-    let mut rows = Vec::with_capacity(hits.len());
+    // Bound the result by the wire caps here, where rows are dropped —
+    // row count and the frame byte budget — so the `truncated` flag the
+    // client sees is authoritative and a legal oversized result set can
+    // never produce a frame `encode_frame` would refuse (which used to
+    // kill the session for a valid query).
+    let mut rows = Vec::with_capacity(hits.len().min(MAX_ROWS));
+    let mut used = 0usize;
+    let mut truncated = false;
     for (key, rid) in hits {
         let payload = db.heap().get(rid).map_err(GistError::from)?.unwrap_or_default();
+        let sz = encoded_row_size(payload.len());
+        if rows.len() >= MAX_ROWS || used + sz > ROWS_BYTE_BUDGET {
+            truncated = true;
+            break;
+        }
+        used += sz;
         rows.push((key, payload));
     }
-    Ok(Response::Rows(rows))
+    Ok(Response::Rows { rows, truncated })
 }
 
 /// Flatten the engine's robustness counters plus this server's own

@@ -33,7 +33,10 @@ mod frame;
 mod msg;
 
 pub use frame::{checksum, encode_frame, FrameDecoder, FRAME_HEADER, MAGIC, MAX_FRAME};
-pub use msg::{ErrorCode, Request, Response, MAX_NAME, MAX_PAYLOAD, MAX_ROWS};
+pub use msg::{
+    encoded_row_size, ErrorCode, Request, Response, MAX_NAME, MAX_PAYLOAD, MAX_ROWS,
+    ROWS_BYTE_BUDGET,
+};
 
 use std::fmt;
 

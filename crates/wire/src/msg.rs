@@ -6,7 +6,7 @@
 //! field caps below before any allocation, so arbitrary bytes decode to
 //! a typed [`WireError`], never a panic.
 
-use crate::{Reader, WireError, Writer};
+use crate::{Reader, WireError, Writer, MAX_FRAME};
 
 /// Cap on index-name length (bytes).
 pub const MAX_NAME: usize = 256;
@@ -14,9 +14,30 @@ pub const MAX_NAME: usize = 256;
 /// Cap on a single row payload (bytes).
 pub const MAX_PAYLOAD: usize = 64 * 1024;
 
-/// Cap on rows in a single `Rows` response; larger result sets must be
-/// narrowed by the client's range predicate.
+/// Cap on rows in a single `Rows` response. Result sets cut at this cap
+/// (or at [`ROWS_BYTE_BUDGET`]) come back with the `truncated` flag set
+/// so the client knows to narrow its range predicate.
 pub const MAX_ROWS: usize = 4096;
+
+/// Fixed per-row encoding overhead: i64 key (8) + u32 payload length (4).
+const ROW_OVERHEAD: usize = 12;
+
+/// Bytes of a `Rows` body before the first row: tag (1) + truncated
+/// flag (1) + row count (4).
+const ROWS_PREFIX: usize = 6;
+
+/// Byte budget for the rows of one `Rows` response: a full frame body
+/// minus the fixed prefix. Rows are dropped (and the truncation
+/// flagged) once this is exhausted, so a legal result set can never
+/// produce a body `encode_frame` would refuse.
+pub const ROWS_BYTE_BUDGET: usize = MAX_FRAME - ROWS_PREFIX;
+
+/// Encoded size of one row whose payload is `payload_len` bytes (after
+/// the [`MAX_PAYLOAD`] cap). Servers building a `Rows` response sum
+/// this against [`ROWS_BYTE_BUDGET`] to decide where to truncate.
+pub fn encoded_row_size(payload_len: usize) -> usize {
+    ROW_OVERHEAD + payload_len.min(MAX_PAYLOAD)
+}
 
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -181,8 +202,15 @@ pub enum Response {
     Ok,
     /// Transaction opened.
     Begun,
-    /// Result rows for `Get`/`Range` (key, heap payload).
-    Rows(Vec<(i64, Vec<u8>)>),
+    /// Result rows for `Get`/`Range`.
+    Rows {
+        /// `(key, heap payload)` pairs.
+        rows: Vec<(i64, Vec<u8>)>,
+        /// Set when rows were dropped to honor [`MAX_ROWS`] or
+        /// [`ROWS_BYTE_BUDGET`]: the client saw a prefix of the result
+        /// set and should narrow its range and re-issue.
+        truncated: bool,
+    },
     /// Admission control shed the request; retry after the hint.
     Busy {
         /// Client should back off at least this long before retrying.
@@ -220,18 +248,34 @@ const MAX_ENTRIES: usize = 256;
 
 impl Response {
     /// Serialize to a frame body. Oversized collections are truncated
-    /// to their caps (the server constructs these; truncation keeps the
-    /// frame under [`crate::MAX_FRAME`] instead of failing the reply).
+    /// to their caps — `Rows` by row count *and* total bytes, with the
+    /// cut reported in its `truncated` flag — so a response body never
+    /// exceeds [`crate::MAX_FRAME`] and truncation is always visible to
+    /// the client, never silent.
     pub fn encode(&self) -> Vec<u8> {
         match self {
             Response::Pong => Writer::new(RSP_PONG).finish(),
             Response::Ok => Writer::new(RSP_OK).finish(),
             Response::Begun => Writer::new(RSP_BEGUN).finish(),
-            Response::Rows(rows) => {
+            Response::Rows { rows, truncated } => {
                 let mut w = Writer::new(RSP_ROWS);
-                let n = rows.len().min(MAX_ROWS);
-                w.u32(n as u32);
-                for (key, payload) in rows.iter().take(n) {
+                // How many leading rows fit the count cap and the frame
+                // byte budget. Servers construct within budget already
+                // (setting `truncated` themselves); this recount makes
+                // encode total even for hand-built oversized values.
+                let mut fit = 0usize;
+                let mut used = 0usize;
+                for (_, payload) in rows.iter().take(MAX_ROWS) {
+                    let sz = encoded_row_size(payload.len());
+                    if used + sz > ROWS_BYTE_BUDGET {
+                        break;
+                    }
+                    used += sz;
+                    fit += 1;
+                }
+                w.u8(u8::from(*truncated || fit < rows.len()));
+                w.u32(fit as u32);
+                for (key, payload) in rows.iter().take(fit) {
                     w.i64(*key);
                     w.bytes(&payload[..payload.len().min(MAX_PAYLOAD)]);
                 }
@@ -283,6 +327,11 @@ impl Response {
             RSP_OK => Response::Ok,
             RSP_BEGUN => Response::Begun,
             RSP_ROWS => {
+                let truncated = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("truncated flag not 0/1")),
+                };
                 let n = r.u32()? as usize;
                 if n > MAX_ROWS {
                     return Err(WireError::Malformed("row count exceeds cap"));
@@ -290,7 +339,7 @@ impl Response {
                 // Each row is at least 12 bytes (key + payload length);
                 // reject counts the remaining bytes cannot possibly hold
                 // before reserving anything.
-                if n.saturating_mul(12) > r.remaining() {
+                if n.saturating_mul(ROW_OVERHEAD) > r.remaining() {
                     return Err(WireError::Truncated);
                 }
                 let mut rows = Vec::with_capacity(n);
@@ -299,7 +348,7 @@ impl Response {
                     let payload = r.bytes(MAX_PAYLOAD)?;
                     rows.push((key, payload));
                 }
-                Response::Rows(rows)
+                Response::Rows { rows, truncated }
             }
             RSP_BUSY => Response::Busy { retry_after_ms: r.u32()? },
             RSP_ERROR => Response::Error {
@@ -426,7 +475,8 @@ mod tests {
             Response::Pong,
             Response::Ok,
             Response::Begun,
-            Response::Rows(vec![(1, vec![0xAB; 32]), (-2, vec![])]),
+            Response::Rows { rows: vec![(1, vec![0xAB; 32]), (-2, vec![])], truncated: false },
+            Response::Rows { rows: vec![(7, vec![3; 8])], truncated: true },
             Response::Busy { retry_after_ms: 25 },
             Response::Error { code: ErrorCode::Retry, message: "deadlock victim".into() },
             Response::Health { label: "degraded".into(), reasons: vec!["wal backlog".into()] },
@@ -495,15 +545,46 @@ mod tests {
         assert_eq!(Request::decode(&w.finish()).unwrap_err(), WireError::Truncated);
         // Row count far beyond what the body could hold.
         let mut w = Writer::new(RSP_ROWS);
+        w.u8(0);
         w.u32(MAX_ROWS as u32);
         Response::decode(&w.finish()).unwrap_err();
         // Row count beyond the hard cap.
         let mut w = Writer::new(RSP_ROWS);
+        w.u8(0);
         w.u32(u32::MAX);
         assert_eq!(
             Response::decode(&w.finish()).unwrap_err(),
             WireError::Malformed("row count exceeds cap")
         );
+        // Truncated flag outside 0/1.
+        let mut w = Writer::new(RSP_ROWS);
+        w.u8(7);
+        w.u32(0);
+        assert_eq!(
+            Response::decode(&w.finish()).unwrap_err(),
+            WireError::Malformed("truncated flag not 0/1")
+        );
+    }
+
+    #[test]
+    fn rows_encode_respects_frame_budget_and_flags_truncation() {
+        // 20 max-size rows cannot fit one frame (the bug class the
+        // truncation flag exists for: 16 already exceed MAX_FRAME).
+        let rows: Vec<_> = (0..20i64).map(|k| (k, vec![k as u8; MAX_PAYLOAD])).collect();
+        let body = Response::Rows { rows: rows.clone(), truncated: false }.encode();
+        assert!(body.len() <= MAX_FRAME, "body {} exceeds frame cap", body.len());
+        assert!(crate::encode_frame(&body).is_some(), "encoded Rows must always frame");
+        match Response::decode(&body).unwrap() {
+            Response::Rows { rows: got, truncated } => {
+                assert!(truncated, "dropped rows must be flagged");
+                assert!(!got.is_empty() && got.len() < rows.len(), "{}", got.len());
+                assert_eq!(got[..], rows[..got.len()], "surviving prefix intact");
+            }
+            other => panic!("expected Rows, got {other:?}"),
+        }
+        // A within-budget result set encodes losslessly, unflagged.
+        let small = Response::Rows { rows: vec![(1, vec![9; 64])], truncated: false };
+        assert_eq!(Response::decode(&small.encode()).unwrap(), small);
     }
 
     #[test]

@@ -110,6 +110,16 @@ fn run(base: &str, addr: &str) -> Result<(), Box<dyn std::error::Error>> {
         report.sessions_at_start, report.forced_aborts, report.clean
     );
     let _ = acceptor.join();
+    // Drain force-aborted straggler transactions but their session
+    // threads may still be mid-dispatch; wait for them to finish
+    // teardown so none touches the engine during shutdown or after the
+    // WAL snapshot below.
+    if !server.await_sessions(std::time::Duration::from_secs(5)) {
+        eprintln!(
+            "warning: {} session(s) still live at shutdown",
+            server.session_count()
+        );
+    }
     let stats = server.stats();
     eprintln!(
         "served {} requests over {} sessions ({} busy sheds, {} protocol errors, {} evictions)",

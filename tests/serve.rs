@@ -84,7 +84,10 @@ fn assert_no_leaks(db: &Arc<Db>, probe_txns: &[TxnId]) {
 
 fn expect_rows(rsp: Response) -> Vec<(i64, Vec<u8>)> {
     match rsp {
-        Response::Rows(rows) => rows,
+        Response::Rows { rows, truncated } => {
+            assert!(!truncated, "unexpected truncation: {rows:?}");
+            rows
+        }
         other => panic!("expected Rows, got {other:?}"),
     }
 }
@@ -204,6 +207,43 @@ fn health_and_stats_endpoints_serialize_engine_state() {
         }
         other => panic!("expected Stats, got {other:?}"),
     }
+
+    c.close();
+    h.join().unwrap();
+    assert_no_leaks(&db, &[]);
+}
+
+#[test]
+fn oversized_result_set_truncates_with_flag_instead_of_killing_session() {
+    let (db, srv) = server(DbConfig::default(), test_serve_config());
+    let (mut c, h) = connect(&srv);
+
+    // 300 × 4 KB payloads ≈ 1.2 MB of rows: the full result set cannot
+    // fit one MAX_FRAME frame. This used to make encode_frame fail and
+    // drop the connection mid-transaction for a perfectly legal query.
+    const N: i64 = 300;
+    const PAYLOAD: usize = 4000;
+    assert_eq!(c.call(&Request::Begin).unwrap(), Response::Begun);
+    for k in 0..N {
+        let rsp = c
+            .call(&Request::Insert { index: "t".into(), key: k, payload: vec![k as u8; PAYLOAD] })
+            .unwrap();
+        assert_eq!(rsp, Response::Ok, "insert {k}");
+    }
+    match c.call(&Request::Range { index: "t".into(), lo: 0, hi: N - 1 }).unwrap() {
+        Response::Rows { rows, truncated } => {
+            assert!(truncated, "oversized result set must be flagged");
+            assert!(!rows.is_empty() && (rows.len() as i64) < N, "got {} rows", rows.len());
+            for (k, payload) in &rows {
+                assert!((0..N).contains(k), "{k}");
+                assert_eq!(payload.len(), PAYLOAD);
+            }
+        }
+        other => panic!("expected Rows, got {other:?}"),
+    }
+    // The session survived the oversized read and keeps serving.
+    assert_eq!(c.call(&Request::Ping).unwrap(), Response::Pong);
+    assert_eq!(c.call(&Request::Commit).unwrap(), Response::Ok);
 
     c.close();
     h.join().unwrap();
@@ -518,6 +558,10 @@ fn drain_force_aborts_stragglers_and_counts_them() {
     assert_eq!(report.forced_aborts, 1, "{report:?}");
     assert!(!report.clean);
     assert_eq!(srv.stats().drain_forced_aborts, 1);
+    // The force-aborted session notices its loss and finishes teardown
+    // well inside the wait bound — nothing dispatches after this.
+    assert!(srv.await_sessions(Duration::from_secs(2)), "straggler session never exited");
+    assert_eq!(srv.session_count(), 0);
     h.join().unwrap();
     assert_no_leaks(&db, &[TxnId(probe.0 + 1)]);
     drop(c);
